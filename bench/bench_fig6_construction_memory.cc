@@ -1,0 +1,72 @@
+// Reproduces Figure 6 ("Index Construction Times, In Memory"):
+// wall-clock construction time of the suffix tree (ST) vs SPINE for each
+// genome, plus the memory-budget effect: under the paper's 1 GB budget
+// (scaled with the dataset scale) the ST runs out of memory on the
+// largest chromosome while SPINE completes — SPINE handles ~30% longer
+// strings for a given budget.
+
+#include <cstdio>
+
+#include "bench_util/table.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "compact/compact_spine.h"
+#include "seq/datasets.h"
+#include "suffix_tree/packed_suffix_tree.h"
+#include "suffix_tree/suffix_tree.h"
+
+namespace spine::bench {
+namespace {
+
+void Run() {
+  double scale = seq::BenchScaleFromEnv();
+  PrintBanner("Figure 6", "in-memory construction time, ST vs SPINE", scale);
+  const uint64_t budget =
+      static_cast<uint64_t>(1024.0 * 1024.0 * 1024.0 * scale);
+  std::printf("memory budget (paper's 1 GiB, scaled): %s\n\n",
+              FormatBytes(budget).c_str());
+
+  TablePrinter table({"Genome", "Length", "ST secs", "SPINE secs",
+                      "ST bytes (Kurtz-class)", "SPINE bytes", "ST fits?",
+                      "SPINE fits?"});
+  for (const seq::DatasetSpec& spec : seq::AllDatasets()) {
+    if (spec.is_protein) continue;
+    std::string s = seq::MakeDataset(spec, scale);
+
+    // The paper's ST is MUMmer's ~17 B/char implementation; our
+    // equivalent is the (head, depth)-packed tree.
+    WallTimer st_timer;
+    PackedSuffixTree tree(seq::DatasetAlphabet(spec));
+    Status st_status = tree.AppendString(s);
+    SPINE_CHECK_MSG(st_status.ok(), st_status.ToString().c_str());
+    double st_secs = st_timer.ElapsedSeconds();
+    uint64_t st_bytes = tree.MemoryBytes();
+
+    WallTimer spine_timer;
+    CompactSpineIndex index(seq::DatasetAlphabet(spec));
+    Status sp_status = index.AppendString(s);
+    SPINE_CHECK_MSG(sp_status.ok(), sp_status.ToString().c_str());
+    double spine_secs = spine_timer.ElapsedSeconds();
+    uint64_t spine_bytes =
+        index.LogicalBytes().Total();  // the Section 5 layout's bytes
+
+    table.AddRow({spec.name, FormatMega(s.size()), FormatDouble(st_secs),
+                  FormatDouble(spine_secs), FormatBytes(st_bytes),
+                  FormatBytes(spine_bytes),
+                  st_bytes <= budget ? "yes" : "NO (out of budget)",
+                  spine_bytes <= budget ? "yes" : "NO (out of budget)"});
+  }
+  table.Print();
+  std::printf(
+      "\npaper: both indexes build in < 2 s/Mbp; SPINE slightly faster, and "
+      "ST exceeds\nthe 1 GiB budget on HC19 while SPINE completes (SPINE "
+      "handles ~30%% more string\nfor a given budget).\n");
+}
+
+}  // namespace
+}  // namespace spine::bench
+
+int main() {
+  spine::bench::Run();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Reproduces Figure 7 ("Index Construction Times, On Disk"): building
+// disk-resident indexes through a fixed-budget buffer pool. The paper
+// found SPINE builds in about half the ST time — ~30% from smaller
+// nodes and a further ~20% from better page locality (construction
+// walks links that point mostly at the *top* of the backbone, Fig. 8).
+//
+// Absolute times on a 2026 machine mean little next to a 2003 IDE disk
+// with O_SYNC writes, so we report page-fault counts and a modeled time
+// under a fixed early-2000s disk cost model alongside wall time.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util/table.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "seq/datasets.h"
+#include "storage/disk_model.h"
+#include "storage/disk_spine.h"
+#include "storage/disk_suffix_tree.h"
+
+namespace spine::bench {
+namespace {
+
+void Run() {
+  double scale = seq::BenchScaleFromEnv();
+  PrintBanner("Figure 7", "on-disk construction, ST vs SPINE", scale);
+
+  const uint32_t pool_frames = 2048;  // 8 MiB pool: indexes spill to disk
+  storage::DiskCostModel model;
+  std::printf("buffer pool: %u frames (%s); disk model: %.1f ms/page I/O\n\n",
+              pool_frames, FormatBytes(pool_frames * 4096ull).c_str(),
+              model.PageIoMs());
+
+  TablePrinter table({"Genome", "Length", "ST misses", "SPINE misses",
+                      "ST modeled h", "SPINE modeled h", "speedup",
+                      "ST wall s", "SPINE wall s"});
+  for (const char* name : {"ECO", "CEL", "HC21"}) {
+    std::string s = seq::MakeDataset(seq::DatasetByName(name), scale);
+    std::string dir = ::getenv("TMPDIR") ? ::getenv("TMPDIR") : "/tmp";
+
+    storage::DiskSuffixTree::Options st_options;
+    st_options.pool_frames = pool_frames;
+    auto tree = storage::DiskSuffixTree::Create(
+        Alphabet::Dna(), dir + "/fig7_st_" + name + ".idx", st_options);
+    SPINE_CHECK(tree.ok());
+    WallTimer st_timer;
+    SPINE_CHECK((*tree)->AppendString(s).ok());
+    SPINE_CHECK((*tree)->Flush().ok());
+    double st_wall = st_timer.ElapsedSeconds();
+    storage::IoStats st_io = (*tree)->io_stats();
+
+    storage::DiskSpine::Options sp_options;
+    sp_options.pool_frames = pool_frames;
+    auto index = storage::DiskSpine::Create(
+        Alphabet::Dna(), dir + "/fig7_spine_" + name + ".idx", sp_options);
+    SPINE_CHECK(index.ok());
+    WallTimer spine_timer;
+    SPINE_CHECK((*index)->AppendString(s).ok());
+    SPINE_CHECK((*index)->Flush().ok());
+    double spine_wall = spine_timer.ElapsedSeconds();
+    storage::IoStats spine_io = (*index)->io_stats();
+
+    double st_hours = model.ModeledSeconds(st_io) / 3600.0;
+    double spine_hours = model.ModeledSeconds(spine_io) / 3600.0;
+    table.AddRow({name, FormatMega(s.size()), FormatCount(st_io.misses),
+                  FormatCount(spine_io.misses), FormatDouble(st_hours, 3),
+                  FormatDouble(spine_hours, 3),
+                  FormatDouble(st_hours / spine_hours, 2) + "x",
+                  FormatDouble(st_wall), FormatDouble(spine_wall)});
+  }
+  table.Print();
+  std::printf("\npaper (full scale, hours with O_SYNC): SPINE builds in "
+              "about half the ST time\n(e.g. HC21: ~21 h ST vs ~10 h SPINE). "
+              "The expected shape here: SPINE's page-miss\ncount and modeled "
+              "time well below half of ST's.\n");
+}
+
+}  // namespace
+}  // namespace spine::bench
+
+int main() {
+  spine::bench::Run();
+  return 0;
+}

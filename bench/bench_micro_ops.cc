@@ -1,0 +1,136 @@
+// Google-benchmark microbenchmarks: per-operation costs of the three
+// index structures (append throughput, point search, occurrence
+// enumeration). Complements the table-level benches with steady-state
+// per-op numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "compact/compact_spine.h"
+#include "core/spine_index.h"
+#include "seq/generator.h"
+#include "dawg/suffix_automaton.h"
+#include "suffix_tree/packed_suffix_tree.h"
+#include "suffix_tree/suffix_tree.h"
+
+namespace spine {
+namespace {
+
+std::string MakeGenome(uint64_t length) {
+  seq::GeneratorOptions options;
+  options.length = length;
+  options.seed = 7;
+  return seq::GenerateSequence(Alphabet::Dna(), options);
+}
+
+void BM_SpineReferenceAppend(benchmark::State& state) {
+  std::string s = MakeGenome(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    SpineIndex index(Alphabet::Dna());
+    benchmark::DoNotOptimize(index.AppendString(s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(s.size()));
+}
+BENCHMARK(BM_SpineReferenceAppend)->Arg(1 << 16);
+
+void BM_SpineCompactAppend(benchmark::State& state) {
+  std::string s = MakeGenome(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    CompactSpineIndex index(Alphabet::Dna());
+    benchmark::DoNotOptimize(index.AppendString(s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(s.size()));
+}
+BENCHMARK(BM_SpineCompactAppend)->Arg(1 << 16);
+
+void BM_SuffixTreeAppend(benchmark::State& state) {
+  std::string s = MakeGenome(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    SuffixTree tree(Alphabet::Dna());
+    benchmark::DoNotOptimize(tree.AppendString(s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(s.size()));
+}
+BENCHMARK(BM_SuffixTreeAppend)->Arg(1 << 16);
+
+void BM_PackedSuffixTreeAppend(benchmark::State& state) {
+  std::string s = MakeGenome(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    PackedSuffixTree tree(Alphabet::Dna());
+    benchmark::DoNotOptimize(tree.AppendString(s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(s.size()));
+}
+BENCHMARK(BM_PackedSuffixTreeAppend)->Arg(1 << 16);
+
+void BM_SuffixAutomatonAppend(benchmark::State& state) {
+  std::string s = MakeGenome(static_cast<uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    SuffixAutomaton dawg(Alphabet::Dna());
+    benchmark::DoNotOptimize(dawg.AppendString(s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(s.size()));
+}
+BENCHMARK(BM_SuffixAutomatonAppend)->Arg(1 << 16);
+
+void BM_SpineCompactContains(benchmark::State& state) {
+  std::string s = MakeGenome(1 << 18);
+  CompactSpineIndex index(Alphabet::Dna());
+  (void)index.AppendString(s);
+  Rng rng(3);
+  for (auto _ : state) {
+    size_t offset = rng.Below(s.size() - 64);
+    benchmark::DoNotOptimize(
+        index.Contains(std::string_view(s).substr(offset, 64)));
+  }
+}
+BENCHMARK(BM_SpineCompactContains);
+
+void BM_SuffixTreeContains(benchmark::State& state) {
+  std::string s = MakeGenome(1 << 18);
+  SuffixTree tree(Alphabet::Dna());
+  (void)tree.AppendString(s);
+  Rng rng(3);
+  for (auto _ : state) {
+    size_t offset = rng.Below(s.size() - 64);
+    benchmark::DoNotOptimize(
+        tree.Contains(std::string_view(s).substr(offset, 64)));
+  }
+}
+BENCHMARK(BM_SuffixTreeContains);
+
+void BM_SpineCompactFindAll(benchmark::State& state) {
+  std::string s = MakeGenome(1 << 18);
+  CompactSpineIndex index(Alphabet::Dna());
+  (void)index.AppendString(s);
+  Rng rng(5);
+  for (auto _ : state) {
+    size_t offset = rng.Below(s.size() - 16);
+    benchmark::DoNotOptimize(
+        index.FindAll(std::string_view(s).substr(offset, 12)));
+  }
+}
+BENCHMARK(BM_SpineCompactFindAll);
+
+void BM_SuffixTreeFindAll(benchmark::State& state) {
+  std::string s = MakeGenome(1 << 18);
+  SuffixTree tree(Alphabet::Dna());
+  (void)tree.AppendString(s);
+  Rng rng(5);
+  for (auto _ : state) {
+    size_t offset = rng.Below(s.size() - 16);
+    benchmark::DoNotOptimize(
+        tree.FindAll(std::string_view(s).substr(offset, 12)));
+  }
+}
+BENCHMARK(BM_SuffixTreeFindAll);
+
+}  // namespace
+}  // namespace spine

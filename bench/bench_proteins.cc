@@ -1,0 +1,64 @@
+// Reproduces Section 5.2 ("SPINE Implementation for Proteins"): over
+// the 20-letter amino-acid alphabet the paper observed (a) numeric
+// labels even smaller than for DNA, (b) a steep fan-out decay with
+// < 30% of nodes carrying any rib, and (c) construction time scaling
+// linearly with proteome length.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench_util/table.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "compact/compact_spine.h"
+#include "seq/datasets.h"
+
+namespace spine::bench {
+namespace {
+
+void Run() {
+  double scale = seq::BenchScaleFromEnv();
+  PrintBanner("Section 5.2", "protein-alphabet behaviour", scale);
+
+  TablePrinter table({"Proteome", "Length", "secs", "secs/Mchar", "Max label",
+                      "1", "2", "3", "4", ">4", "with edges"});
+  for (const seq::DatasetSpec& spec : seq::AllDatasets()) {
+    if (!spec.is_protein) continue;
+    std::string s = seq::MakeDataset(spec, scale);
+    CompactSpineIndex index(Alphabet::Protein());
+    WallTimer timer;
+    Status status = index.AppendString(s);
+    SPINE_CHECK_MSG(status.ok(), status.ToString().c_str());
+    double secs = timer.ElapsedSeconds();
+
+    auto counts = index.FanoutCounts();
+    double n = static_cast<double>(index.size() + 1);
+    double with_edges = 0;
+    std::vector<std::string> row = {
+        spec.name, FormatMega(s.size()), FormatDouble(secs),
+        FormatDouble(secs / (static_cast<double>(s.size()) / 1e6)),
+        FormatCount(std::max({index.max_lel(), index.max_pt(),
+                              index.max_prt()}))};
+    for (int k = 0; k < 5; ++k) {
+      double fraction = static_cast<double>(counts[k]) / n;
+      with_edges += fraction;
+      row.push_back(FormatPercent(fraction));
+    }
+    row.push_back(FormatPercent(with_edges));
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\npaper: protein label maxima are smaller than DNA's; fan-out "
+              "decays steeply;\nfewer than 30%% of nodes carry any rib; "
+              "construction scales linearly (flat\nsecs/Mchar column); "
+              "character labels cost 5 bits instead of 2.\n");
+}
+
+}  // namespace
+}  // namespace spine::bench
+
+int main() {
+  spine::bench::Run();
+  return 0;
+}

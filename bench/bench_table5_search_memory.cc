@@ -1,0 +1,123 @@
+// Reproduces Table 5 ("Substring Matching Times, In Memory"): time to
+// find all maximal matching substrings (including all repetitions)
+// between genome pairs, SPINE vs suffix tree. The paper reports SPINE
+// ~30% faster thanks to its set-based suffix processing.
+//
+// Like the paper we match *unrelated* genomes (cross-species pairs), so
+// the cost is dominated by mismatch-driven suffix shrinking — exactly
+// where SPINE's link chains beat suffix links. A related-strain row
+// (mutated copy) is added to exercise the all-occurrences machinery too.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util/table.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "compact/compact_spine.h"
+#include "core/matcher.h"
+#include "seq/datasets.h"
+#include "seq/generator.h"
+#include "suffix_tree/st_matcher.h"
+#include "suffix_tree/suffix_tree.h"
+
+namespace spine::bench {
+namespace {
+
+constexpr uint32_t kMinMatchLen = 20;
+
+struct Pair {
+  const char* data;
+  const char* query;
+};
+
+void Run() {
+  double scale = seq::BenchScaleFromEnv();
+  PrintBanner("Table 5",
+              "all maximal matching substrings (threshold 20), ST vs SPINE",
+              scale);
+
+  const Pair pairs[] = {{"ECO", "CEL"},
+                        {"CEL", "HC21"},
+                        {"HC21", "CEL"},
+                        {"HC21", "HC19"},
+                        {"HC19", "HC21"}};
+
+  TablePrinter table({"Data Seq", "Query Seq", "ST secs", "SPINE secs",
+                      "SPINE/ST", "Matches"});
+  for (const Pair& pair : pairs) {
+    std::string data =
+        seq::MakeDataset(seq::DatasetByName(pair.data), scale);
+    std::string query =
+        seq::MakeDataset(seq::DatasetByName(pair.query), scale);
+
+    SuffixTree tree(Alphabet::Dna());
+    SPINE_CHECK(tree.AppendString(data).ok());
+    CompactSpineIndex index(Alphabet::Dna());
+    SPINE_CHECK(index.AppendString(data).ok());
+
+    WallTimer st_timer;
+    auto st_matches = GenericStFindMaximalMatches(tree, query, kMinMatchLen,
+                                                  nullptr);
+    auto st_occurrences =
+        CollectAllOccurrences(tree, query, st_matches);
+    double st_secs = st_timer.ElapsedSeconds();
+
+    WallTimer spine_timer;
+    auto spine_matches =
+        GenericFindMaximalMatches(index, query, kMinMatchLen);
+    auto spine_occurrences =
+        GenericCollectAllOccurrences(index, spine_matches);
+    double spine_secs = spine_timer.ElapsedSeconds();
+
+    SPINE_CHECK(st_matches.size() == spine_matches.size());
+    table.AddRow({pair.data, pair.query, FormatDouble(st_secs, 3),
+                  FormatDouble(spine_secs, 3),
+                  FormatDouble(st_secs > 0 ? spine_secs / st_secs : 0.0),
+                  FormatCount(spine_matches.size())});
+  }
+
+  // Extension row: related strains (divergent copy) — matches abound and
+  // the deferred all-occurrences scan does real work.
+  {
+    std::string data = seq::MakeDataset(seq::DatasetByName("CEL"), scale);
+    seq::MutateOptions mutate;
+    mutate.seed = 99;
+    std::string query = seq::MutateCopy(Alphabet::Dna(), data, mutate);
+
+    SuffixTree tree(Alphabet::Dna());
+    SPINE_CHECK(tree.AppendString(data).ok());
+    CompactSpineIndex index(Alphabet::Dna());
+    SPINE_CHECK(index.AppendString(data).ok());
+
+    WallTimer st_timer;
+    auto st_matches =
+        GenericStFindMaximalMatches(tree, query, kMinMatchLen, nullptr);
+    auto st_occurrences = CollectAllOccurrences(tree, query, st_matches);
+    double st_secs = st_timer.ElapsedSeconds();
+
+    WallTimer spine_timer;
+    auto spine_matches =
+        GenericFindMaximalMatches(index, query, kMinMatchLen);
+    auto spine_occurrences =
+        GenericCollectAllOccurrences(index, spine_matches);
+    double spine_secs = spine_timer.ElapsedSeconds();
+
+    table.AddRow({"CEL", "CEL-strain", FormatDouble(st_secs, 3),
+                  FormatDouble(spine_secs, 3),
+                  FormatDouble(st_secs > 0 ? spine_secs / st_secs : 0.0),
+                  FormatCount(spine_matches.size())});
+  }
+  table.Print();
+  std::printf("\npaper (full scale, secs): ECO/CEL 20 vs 16; CEL/HC21 45 vs "
+              "31; HC21/CEL 26 vs 17;\nHC21/HC19 83 vs 54; HC19/HC21 - vs 30 "
+              "(ST out of memory) — SPINE ~30%% faster.\n");
+}
+
+}  // namespace
+}  // namespace spine::bench
+
+int main() {
+  spine::bench::Run();
+  return 0;
+}

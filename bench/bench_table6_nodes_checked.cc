@@ -1,0 +1,76 @@
+// Reproduces Table 6 ("Number of Nodes Checked"): instrumented counters
+// of how many index nodes each matcher examines while finding all
+// maximal matching substrings. The paper's explanation (Section 4.1):
+// a suffix-tree mismatch walks suffix links one suffix at a time, while
+// SPINE's links drop whole *sets* of suffixes per hop, so SPINE checks
+// far fewer nodes.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util/table.h"
+#include "common/check.h"
+#include "compact/compact_spine.h"
+#include "core/matcher.h"
+#include "seq/datasets.h"
+#include "suffix_tree/st_matcher.h"
+#include "suffix_tree/suffix_tree.h"
+
+namespace spine::bench {
+namespace {
+
+constexpr uint32_t kMinMatchLen = 20;
+
+struct Pair {
+  const char* data;
+  const char* query;
+};
+
+void Run() {
+  double scale = seq::BenchScaleFromEnv();
+  PrintBanner("Table 6", "number of nodes checked during matching (1000s)",
+              scale);
+
+  const Pair pairs[] = {{"CEL", "ECO"}, {"HC21", "ECO"}, {"HC21", "CEL"}};
+
+  TablePrinter table({"Data Seq", "Query Seq", "ST (1000s)", "SPINE (1000s)",
+                      "SPINE/ST"});
+  for (const Pair& pair : pairs) {
+    std::string data = seq::MakeDataset(seq::DatasetByName(pair.data), scale);
+    std::string query =
+        seq::MakeDataset(seq::DatasetByName(pair.query), scale);
+
+    SuffixTree tree(Alphabet::Dna());
+    SPINE_CHECK(tree.AppendString(data).ok());
+    CompactSpineIndex index(Alphabet::Dna());
+    SPINE_CHECK(index.AppendString(data).ok());
+
+    SearchStats st_stats;
+    GenericStFindMaximalMatches(tree, query, kMinMatchLen, &st_stats);
+    SearchStats spine_stats;
+    GenericFindMaximalMatches(index, query, kMinMatchLen, &spine_stats);
+
+    uint64_t st_checked = st_stats.nodes_checked + st_stats.link_traversals +
+                          st_stats.chain_hops;
+    uint64_t spine_checked = spine_stats.nodes_checked +
+                             spine_stats.link_traversals +
+                             spine_stats.chain_hops;
+    table.AddRow({pair.data, pair.query, FormatCount(st_checked / 1000),
+                  FormatCount(spine_checked / 1000),
+                  FormatDouble(static_cast<double>(spine_checked) /
+                               static_cast<double>(st_checked))});
+  }
+  table.Print();
+  std::printf("\npaper (full scale, 1000s of nodes): CEL/ECO 3,515 vs 2,119; "
+              "HC21/ECO 3,514 vs 2,163;\nHC21/CEL 15,077 vs 8,701 — SPINE "
+              "checks ~40%% fewer nodes.\ncounting: every edge lookup, "
+              "suffix/link hop and extrib-chain hop is one check.\n");
+}
+
+}  // namespace
+}  // namespace spine::bench
+
+int main() {
+  spine::bench::Run();
+  return 0;
+}

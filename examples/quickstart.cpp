@@ -1,0 +1,81 @@
+// Quickstart: build a SPINE index over a DNA string, run the three
+// search operations, inspect the structure, and persist the compact
+// index to disk.
+//
+//   $ ./examples/quickstart
+//
+// Uses the paper's running example string "aaccacaaca" (Figures 1-3) so
+// the printed structure can be compared against the paper directly.
+
+#include <cstdio>
+#include <string>
+
+#include "compact/compact_spine.h"
+#include "compact/serializer.h"
+#include "core/matcher.h"
+#include "core/spine_index.h"
+
+int main() {
+  using namespace spine;
+
+  // 1. Build: SPINE is online — characters stream in one at a time.
+  SpineIndex index(Alphabet::Dna());
+  const std::string data = "aaccacaaca";
+  Status status = index.AppendString(data);
+  if (!status.ok()) {
+    std::fprintf(stderr, "build failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("indexed %llu characters; the index is self-contained: "
+              "reconstructed = %s\n\n",
+              static_cast<unsigned long long>(index.size()),
+              index.ReconstructString().c_str());
+
+  // 2. Point lookups.
+  for (const char* pattern : {"cac", "acca", "accaa"}) {
+    std::printf("Contains(\"%s\") = %s\n", pattern,
+                index.Contains(pattern) ? "yes" : "no");
+  }
+
+  // 3. All occurrences (the paper's target-node-buffer scan).
+  std::printf("\nFindAll(\"ac\") start positions:");
+  for (uint32_t pos : index.FindAll("ac")) std::printf(" %u", pos);
+  std::printf("   (expected: 1 4 7)\n");
+
+  // 4. Maximal matches against a second string (mini alignment).
+  auto matches = FindMaximalMatches(index, "ccacaacag", 3);
+  std::printf("\nmaximal matches of \"ccacaacag\" (>= 3 chars):\n");
+  for (const auto& match : CollectAllOccurrences(index, matches)) {
+    std::printf("  query[%u..%u) = \"%s\" occurs in data at:",
+                match.match.query_pos,
+                match.match.query_pos + match.match.length,
+                std::string("ccacaacag")
+                    .substr(match.match.query_pos, match.match.length)
+                    .c_str());
+    for (uint32_t pos : match.data_positions) std::printf(" %u", pos);
+    std::printf("\n");
+  }
+
+  // 5. The structure itself (compare with the paper's Figure 3).
+  std::printf("\n%s", index.DebugString().c_str());
+
+  // 6. The compact (Section 5) layout persists to a single file.
+  CompactSpineIndex compact(Alphabet::Dna());
+  (void)compact.AppendString(data);
+  const std::string path = "/tmp/quickstart_spine.idx";
+  status = SaveCompactSpine(compact, path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  Result<CompactSpineIndex> loaded = LoadCompactSpine(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nsaved + reloaded compact index from %s: Contains(\"caca\") "
+              "= %s\n",
+              path.c_str(), loaded->Contains("caca") ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,134 @@
+#include "align/aligner.h"
+
+#include <algorithm>
+
+#include "align/edit_distance.h"
+#include "common/check.h"
+#include "compact/compact_spine.h"
+#include "core/matcher.h"
+
+namespace spine::align {
+
+double AlignmentResult::QueryCoverage(uint64_t query_len) const {
+  if (query_len == 0) return 0.0;
+  // gap_aligned_bases counts query-side bases of edit-aligned gaps.
+  return static_cast<double>(anchored_bases + gap_aligned_bases) /
+         static_cast<double>(query_len);
+}
+
+double AlignmentResult::Identity() const {
+  uint64_t aligned = anchored_bases + gap_aligned_bases;
+  if (aligned == 0) return 0.0;
+  return static_cast<double>(anchored_bases +
+                             (gap_aligned_bases > gap_edits
+                                  ? gap_aligned_bases - gap_edits
+                                  : 0)) /
+         static_cast<double>(anchored_bases + gap_aligned_bases);
+}
+
+namespace {
+
+// Collects chainable anchors from any SPINE implementation.
+template <typename Index>
+std::vector<Anchor> CollectAnchors(const Index& index, std::string_view query,
+                                   const AlignOptions& options) {
+  auto matches =
+      GenericFindMaximalMatches(index, query, options.min_anchor_len);
+  auto expanded = GenericCollectAllOccurrences(index, matches);
+  std::vector<Anchor> anchors;
+  for (const MatchOccurrences& occ : expanded) {
+    if (options.unique_anchors_only && occ.data_positions.size() != 1) {
+      continue;
+    }
+    for (uint32_t data_pos : occ.data_positions) {
+      anchors.push_back({occ.match.query_pos, data_pos, occ.match.length});
+    }
+  }
+  return anchors;
+}
+
+// Smallest alphabet covering `data`: dna, ascii, or byte.
+Alphabet DetectAlphabet(std::string_view data) {
+  bool dna = true, ascii = true;
+  Alphabet dna_alphabet = Alphabet::Dna();
+  Alphabet ascii_alphabet = Alphabet::Ascii();
+  for (char c : data) {
+    if (dna && dna_alphabet.Encode(c) == kInvalidCode) dna = false;
+    if (ascii && ascii_alphabet.Encode(c) == kInvalidCode) ascii = false;
+    if (!dna && !ascii) break;
+  }
+  if (dna) return dna_alphabet;
+  if (ascii) return ascii_alphabet;
+  return Alphabet::Byte();
+}
+
+}  // namespace
+
+Result<AlignmentResult> AlignSequences(std::string_view data,
+                                       std::string_view query,
+                                       const AlignOptions& options) {
+  Alphabet alphabet = DetectAlphabet(data);
+
+  std::vector<Anchor> anchors;
+  if (alphabet.kind() == Alphabet::Kind::kByte) {
+    // The compact layout caps the alphabet at 127 symbols; raw bytes go
+    // through the reference implementation instead.
+    SpineIndex index(alphabet);
+    SPINE_RETURN_IF_ERROR(index.AppendString(data));
+    anchors = CollectAnchors(index, query, options);
+  } else {
+    CompactSpineIndex index(alphabet);
+    SPINE_RETURN_IF_ERROR(index.AppendString(data));
+    anchors = CollectAnchors(index, query, options);
+  }
+
+  AlignmentResult result;
+  // Maximal matches routinely share a handful of junction characters;
+  // allow bounded overlap in the chain and let the chainer trim it.
+  result.chain = BestChain(std::move(anchors), /*max_overlap=*/64);
+  result.anchored_bases = result.chain.score;
+  if (result.chain.anchors.empty()) {
+    result.unaligned_query = query.size();
+    result.unaligned_data = data.size();
+    return result;
+  }
+
+  // Fill inter-anchor gaps with banded edit distance.
+  auto process_gap = [&](uint32_t q_begin, uint32_t q_end, uint32_t d_begin,
+                         uint32_t d_end) {
+    uint64_t q_len = q_end - q_begin;
+    uint64_t d_len = d_end - d_begin;
+    if (q_len == 0 && d_len == 0) return;
+    if (q_len > options.max_gap || d_len > options.max_gap) {
+      result.unaligned_query += q_len;
+      result.unaligned_data += d_len;
+      return;
+    }
+    std::string_view q_gap = query.substr(q_begin, q_len);
+    std::string_view d_gap = data.substr(d_begin, d_len);
+    uint32_t budget = static_cast<uint32_t>(std::max(q_len, d_len));
+    std::optional<uint32_t> edits = BandedEditDistance(q_gap, d_gap, budget);
+    SPINE_DCHECK(edits.has_value());  // budget always suffices
+    result.gap_edits += edits.value_or(budget);
+    result.gap_aligned_bases += q_len;
+  };
+
+  const std::vector<Anchor>& chain = result.chain.anchors;
+  // Interior gaps only: leading/trailing overhangs are reported as
+  // unaligned (global-ish alignment anchored at the chain).
+  result.unaligned_query += chain.front().query_pos;
+  result.unaligned_data += chain.front().data_pos;
+  for (size_t i = 1; i < chain.size(); ++i) {
+    process_gap(chain[i - 1].query_pos + chain[i - 1].length,
+                chain[i].query_pos,
+                chain[i - 1].data_pos + chain[i - 1].length,
+                chain[i].data_pos);
+  }
+  result.unaligned_query +=
+      query.size() - (chain.back().query_pos + chain.back().length);
+  result.unaligned_data +=
+      data.size() - (chain.back().data_pos + chain.back().length);
+  return result;
+}
+
+}  // namespace spine::align

@@ -1,0 +1,61 @@
+// Whole-sequence aligner built on SPINE: the paper's motivating
+// application (Section 1: "performing global alignment between a pair
+// of genomes ... the core operation of which is searching for maximal
+// unique matches").
+//
+// Pipeline:
+//   1. index the data sequence with SPINE,
+//   2. stream the query to collect maximal matching substrings and all
+//      their occurrences (Sections 4 of the paper),
+//   3. turn occurrences into anchors and chain the best collinear,
+//      non-overlapping subset (align/chainer.h),
+//   4. fill the gaps between consecutive anchors with banded edit
+//      distance, producing alignment statistics.
+
+#ifndef SPINE_ALIGN_ALIGNER_H_
+#define SPINE_ALIGN_ALIGNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "align/chainer.h"
+#include "common/status.h"
+
+namespace spine::align {
+
+struct AlignOptions {
+  // Minimum maximal-match length used for anchors (the paper's
+  // "threshold value"; Section 4 example uses 6, genome scale ~20).
+  uint32_t min_anchor_len = 20;
+  // Gaps longer than this on either sequence are not edit-aligned; they
+  // are reported as unaligned blocks (structural difference).
+  uint32_t max_gap = 5000;
+  // Use only anchors unique in the data sequence (MUM-style) when true.
+  bool unique_anchors_only = false;
+};
+
+struct AlignmentResult {
+  Chain chain;                   // the selected anchors
+  uint64_t anchored_bases = 0;   // total exact-match bases in the chain
+  uint64_t gap_edits = 0;        // edit operations inside aligned gaps
+  uint64_t gap_aligned_bases = 0;   // bases covered by edit-aligned gaps
+  uint64_t unaligned_query = 0;  // query bases in skipped blocks/ends
+  uint64_t unaligned_data = 0;   // data bases in skipped blocks/ends
+
+  // Fraction of the query covered by anchors + edit-aligned gaps.
+  double QueryCoverage(uint64_t query_len) const;
+  // Identity over the aligned portion: anchored / (anchored + edits +
+  // gap bases).
+  double Identity() const;
+};
+
+// Aligns `query` against `data`. Fails only on out-of-alphabet input.
+Result<AlignmentResult> AlignSequences(std::string_view data,
+                                       std::string_view query,
+                                       const AlignOptions& options = {});
+
+}  // namespace spine::align
+
+#endif  // SPINE_ALIGN_ALIGNER_H_

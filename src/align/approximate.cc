@@ -1,0 +1,67 @@
+#include "align/approximate.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <unordered_set>
+
+#include "align/edit_distance.h"
+#include "common/check.h"
+
+namespace spine::align {
+
+
+
+std::vector<ApproximateHit> FindApproximate(const CompactSpineIndex& index,
+                                            std::string_view pattern,
+                                            uint32_t max_edits) {
+  std::vector<ApproximateHit> hits;
+  const uint32_t m = static_cast<uint32_t>(pattern.size());
+  if (m == 0 || max_edits >= m) return hits;
+  const uint32_t n = static_cast<uint32_t>(index.size());
+  if (n == 0) return hits;
+
+  // Pigeonhole seeds: k+1 pieces, each non-empty.
+  const uint32_t pieces = max_edits + 1;
+  if (pieces > m) return hits;
+
+  std::unordered_set<int64_t> candidate_starts;
+  for (uint32_t piece = 0; piece < pieces; ++piece) {
+    uint32_t begin = piece * m / pieces;
+    uint32_t end = (piece + 1) * m / pieces;
+    SPINE_DCHECK(end > begin);
+    std::string_view seed = pattern.substr(begin, end - begin);
+    for (uint32_t hit : index.FindAll(seed)) {
+      int64_t base = static_cast<int64_t>(hit) - begin;
+      for (int64_t shift = -static_cast<int64_t>(max_edits);
+           shift <= static_cast<int64_t>(max_edits); ++shift) {
+        int64_t start = base + shift;
+        if (start >= 0 && start < n) candidate_starts.insert(start);
+      }
+    }
+  }
+
+  // Verify each candidate window against the indexed text (SPINE is
+  // self-contained: characters come from the vertebra labels).
+  std::vector<int64_t> starts(candidate_starts.begin(),
+                              candidate_starts.end());
+  std::sort(starts.begin(), starts.end());
+  std::string window;
+  for (int64_t start : starts) {
+    uint32_t window_len =
+        std::min<uint32_t>(m + max_edits, n - static_cast<uint32_t>(start));
+    if (window_len + max_edits < m) continue;  // too close to the end
+    window.clear();
+    for (uint32_t i = 0; i < window_len; ++i) {
+      window.push_back(index.CharAt(static_cast<uint64_t>(start) + i));
+    }
+    auto best = BestPrefixEditDistance(pattern, window, max_edits);
+    if (best.has_value()) {
+      hits.push_back({static_cast<uint32_t>(start), best->second,
+                      best->first});
+    }
+  }
+  return hits;
+}
+
+}  // namespace spine::align

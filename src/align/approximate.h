@@ -1,0 +1,40 @@
+// Approximate pattern matching on a SPINE index via seed-and-extend.
+//
+// The pigeonhole principle: if `pattern` occurs with at most k edits,
+// then splitting it into k+1 pieces guarantees at least one piece occurs
+// exactly. Each piece is located with the exact index (SPINE FindAll),
+// and each candidate window is verified with banded edit distance.
+// This is the classical way exact substring indexes (suffix trees,
+// SPINE) serve approximate queries — functionality the paper contrasts
+// against structures that drop suffix links (Section 7).
+
+#ifndef SPINE_ALIGN_APPROXIMATE_H_
+#define SPINE_ALIGN_APPROXIMATE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "compact/compact_spine.h"
+
+namespace spine::align {
+
+struct ApproximateHit {
+  uint32_t data_pos = 0;  // start of the matched window in the data
+  uint32_t length = 0;    // window length (within +-edits of |pattern|)
+  uint32_t edits = 0;     // edit distance to the pattern
+  bool operator==(const ApproximateHit&) const = default;
+};
+
+// All positions where `pattern` matches the indexed string with at most
+// `max_edits` Levenshtein edits. Hits are reported at the best (lowest
+// edit count, then shortest) window per start position, sorted by
+// position. Returns empty when pattern is empty or max_edits >=
+// |pattern| (where "matches" degenerates).
+std::vector<ApproximateHit> FindApproximate(const CompactSpineIndex& index,
+                                            std::string_view pattern,
+                                            uint32_t max_edits);
+
+}  // namespace spine::align
+
+#endif  // SPINE_ALIGN_APPROXIMATE_H_

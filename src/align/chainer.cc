@@ -1,0 +1,166 @@
+#include "align/chainer.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.h"
+
+namespace spine::align {
+
+namespace {
+
+// Fenwick tree over ranks storing (best score, anchor index), queried
+// as a prefix maximum.
+class PrefixMaxTree {
+ public:
+  explicit PrefixMaxTree(uint32_t size)
+      : scores_(size + 1, 0), indices_(size + 1, kNone) {}
+
+  static constexpr uint32_t kNone = 0xffffffffu;
+
+  void Update(uint32_t rank, uint64_t score, uint32_t index) {
+    for (uint32_t i = rank + 1; i < scores_.size(); i += i & (~i + 1)) {
+      if (score > scores_[i]) {
+        scores_[i] = score;
+        indices_[i] = index;
+      }
+    }
+  }
+
+  // Best (score, index) among ranks [0, rank].
+  std::pair<uint64_t, uint32_t> Query(uint32_t rank) const {
+    uint64_t best = 0;
+    uint32_t index = kNone;
+    for (uint32_t i = rank + 1; i > 0; i -= i & (~i + 1)) {
+      if (scores_[i] > best) {
+        best = scores_[i];
+        index = indices_[i];
+      }
+    }
+    return {best, index};
+  }
+
+ private:
+  std::vector<uint64_t> scores_;
+  std::vector<uint32_t> indices_;
+};
+
+}  // namespace
+
+Chain BestChain(std::vector<Anchor> anchors, uint32_t max_overlap) {
+  Chain chain;
+  if (anchors.empty()) return chain;
+  const uint32_t k = static_cast<uint32_t>(anchors.size());
+
+  // Rank-compress data end positions for the Fenwick tree.
+  std::vector<uint32_t> data_ends(k);
+  for (uint32_t i = 0; i < k; ++i) {
+    data_ends[i] = anchors[i].data_pos + anchors[i].length;
+  }
+  std::vector<uint32_t> sorted_ends = data_ends;
+  std::sort(sorted_ends.begin(), sorted_ends.end());
+  sorted_ends.erase(std::unique(sorted_ends.begin(), sorted_ends.end()),
+                    sorted_ends.end());
+  auto end_rank = [&](uint32_t value) {
+    return static_cast<uint32_t>(
+        std::lower_bound(sorted_ends.begin(), sorted_ends.end(), value) -
+        sorted_ends.begin());
+  };
+  // Rank of the largest data end <= value, or kNone if none.
+  auto last_rank_at_most = [&](uint32_t value) -> uint32_t {
+    auto it = std::upper_bound(sorted_ends.begin(), sorted_ends.end(), value);
+    if (it == sorted_ends.begin()) return PrefixMaxTree::kNone;
+    return static_cast<uint32_t>(it - sorted_ends.begin()) - 1;
+  };
+
+  // Process anchors in query-start order; a *processed* anchor becomes
+  // a valid predecessor once its query end is <= the current query
+  // start + max_overlap (pending anchors wait in a min-heap so their
+  // final DP value is what enters the tree).
+  std::vector<uint32_t> by_start(k);
+  for (uint32_t i = 0; i < k; ++i) by_start[i] = i;
+  std::sort(by_start.begin(), by_start.end(), [&](uint32_t a, uint32_t b) {
+    return anchors[a].query_pos < anchors[b].query_pos;
+  });
+
+  PrefixMaxTree tree(static_cast<uint32_t>(sorted_ends.size()));
+  std::vector<uint64_t> dp(k, 0);
+  std::vector<uint32_t> parent(k, PrefixMaxTree::kNone);
+  // (query end, anchor) of processed anchors not yet in the tree.
+  using Pending = std::pair<uint64_t, uint32_t>;
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending;
+  uint64_t best_score = 0;
+  uint32_t best_index = 0;
+
+  for (uint32_t idx : by_start) {
+    const Anchor& a = anchors[idx];
+    while (!pending.empty() &&
+           pending.top().first <=
+               static_cast<uint64_t>(a.query_pos) + max_overlap) {
+      uint32_t j = pending.top().second;
+      pending.pop();
+      tree.Update(end_rank(data_ends[j]), dp[j], j);
+    }
+    dp[idx] = a.length;
+    uint32_t rank = last_rank_at_most(a.data_pos + max_overlap);
+    if (rank != PrefixMaxTree::kNone) {
+      auto [score, predecessor] = tree.Query(rank);
+      if (score > 0) {
+        dp[idx] = score + a.length;
+        parent[idx] = predecessor;
+      }
+    }
+    pending.push({static_cast<uint64_t>(a.query_pos) + a.length, idx});
+    if (dp[idx] > best_score) {
+      best_score = dp[idx];
+      best_index = idx;
+    }
+  }
+
+  chain.raw_score = best_score;
+  for (uint32_t cur = best_index; cur != PrefixMaxTree::kNone;
+       cur = parent[cur]) {
+    chain.anchors.push_back(anchors[cur]);
+  }
+  std::reverse(chain.anchors.begin(), chain.anchors.end());
+
+  // Trim overlaps off each later anchor so the emitted chain is
+  // strictly non-overlapping; anchors consumed entirely are dropped.
+  std::vector<Anchor> trimmed;
+  trimmed.reserve(chain.anchors.size());
+  for (Anchor a : chain.anchors) {
+    if (!trimmed.empty()) {
+      const Anchor& prev = trimmed.back();
+      uint32_t q_overlap =
+          prev.query_pos + prev.length > a.query_pos
+              ? prev.query_pos + prev.length - a.query_pos
+              : 0;
+      uint32_t d_overlap = prev.data_pos + prev.length > a.data_pos
+                               ? prev.data_pos + prev.length - a.data_pos
+                               : 0;
+      uint32_t trim = std::max(q_overlap, d_overlap);
+      if (trim >= a.length) continue;  // nothing left of this anchor
+      a.query_pos += trim;
+      a.data_pos += trim;
+      a.length -= trim;
+    }
+    trimmed.push_back(a);
+  }
+  chain.anchors = std::move(trimmed);
+  chain.score = 0;
+  for (const Anchor& a : chain.anchors) chain.score += a.length;
+
+#ifndef NDEBUG
+  // Postcondition: the emitted chain is strictly ordered and
+  // non-overlapping (overlaps were trimmed above).
+  for (size_t i = 1; i < chain.anchors.size(); ++i) {
+    const Anchor& prev = chain.anchors[i - 1];
+    const Anchor& cur = chain.anchors[i];
+    SPINE_DCHECK(prev.query_pos + prev.length <= cur.query_pos);
+    SPINE_DCHECK(prev.data_pos + prev.length <= cur.data_pos);
+  }
+#endif
+  return chain;
+}
+
+}  // namespace spine::align

@@ -1,0 +1,47 @@
+// Anchor chaining: selects the best collinear subset of exact-match
+// anchors — the post-processing step whole-genome aligners (e.g.
+// MUMmer, the paper's motivating application) run on the maximal
+// matches that SPINE produces.
+//
+// An anchor (q, d, len) asserts query[q, q+len) == data[d, d+len).
+// A chain is a sequence of anchors in increasing query-start order;
+// anchor j may precede i iff q_start_j < q_start_i (processing order),
+// q_j + len_j <= q_i + max_overlap and d_j + len_j <= d_i + max_overlap
+// — consecutive anchors may overlap by at most `max_overlap` on each
+// axis (maximal matches sharing a few junction characters are the
+// common case; with max_overlap = 0 this is exact non-overlap
+// chaining). The DP maximizes the raw total anchored length via sparse
+// dynamic programming (a pending min-heap activates processed anchors
+// by query end into a prefix-max Fenwick tree over data ends),
+// O(k log k) over k anchors. At emission overlaps are trimmed off the
+// later anchor (dropping anchors a trim consumes entirely), so the
+// returned chain is strictly non-overlapping.
+
+#ifndef SPINE_ALIGN_CHAINER_H_
+#define SPINE_ALIGN_CHAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace spine::align {
+
+struct Anchor {
+  uint32_t query_pos = 0;
+  uint32_t data_pos = 0;
+  uint32_t length = 0;
+  bool operator==(const Anchor&) const = default;
+};
+
+struct Chain {
+  std::vector<Anchor> anchors;  // non-overlapping, increasing on both axes
+  uint64_t score = 0;           // total anchored length after trimming
+  uint64_t raw_score = 0;       // DP objective (before overlap trimming)
+};
+
+// Best collinear chain (see the header comment). max_overlap = 0 gives
+// strict non-overlap chaining.
+Chain BestChain(std::vector<Anchor> anchors, uint32_t max_overlap = 0);
+
+}  // namespace spine::align
+
+#endif  // SPINE_ALIGN_CHAINER_H_

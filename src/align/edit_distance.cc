@@ -1,0 +1,115 @@
+#include "align/edit_distance.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace spine::align {
+
+uint32_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<uint32_t> row(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) row[i] = static_cast<uint32_t>(i);
+  for (size_t j = 1; j <= b.size(); ++j) {
+    uint32_t diagonal = row[0];
+    row[0] = static_cast<uint32_t>(j);
+    for (size_t i = 1; i <= a.size(); ++i) {
+      uint32_t up = row[i];
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1,
+                         diagonal + (a[i - 1] == b[j - 1] ? 0u : 1u)});
+      diagonal = up;
+    }
+  }
+  return row[a.size()];
+}
+
+std::optional<uint32_t> BandedEditDistance(std::string_view a,
+                                           std::string_view b,
+                                           uint32_t max_edits) {
+  const size_t la = a.size(), lb = b.size();
+  const uint64_t len_gap = la > lb ? la - lb : lb - la;
+  if (len_gap > max_edits) return std::nullopt;
+  const int64_t band = static_cast<int64_t>(max_edits);
+  const uint32_t kInf = max_edits + 1;
+
+  // Row-by-row DP restricted to the diagonal band |i - j| <= band.
+  std::vector<uint32_t> prev(2 * max_edits + 2, kInf);
+  std::vector<uint32_t> cur(2 * max_edits + 2, kInf);
+  // Column j maps to band slot j - i + band (valid slots 0..2*band).
+  // Row 0: distance j for j <= band.
+  for (int64_t slot = 0; slot <= 2 * band; ++slot) {
+    int64_t j = slot - band;  // i = 0
+    if (j >= 0 && j <= static_cast<int64_t>(lb)) {
+      prev[slot] = static_cast<uint32_t>(j);
+    }
+  }
+  for (int64_t i = 1; i <= static_cast<int64_t>(la); ++i) {
+    std::fill(cur.begin(), cur.end(), kInf);
+    for (int64_t slot = 0; slot <= 2 * band; ++slot) {
+      int64_t j = i + slot - band;
+      if (j < 0 || j > static_cast<int64_t>(lb)) continue;
+      uint32_t best = kInf;
+      if (j == 0) {
+        best = static_cast<uint32_t>(i);
+      } else {
+        // Diagonal (i-1, j-1) is the same slot in the previous row.
+        if (prev[slot] < kInf) {
+          uint32_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+          best = std::min(best, prev[slot] + cost);
+        }
+        // Left (i, j-1) is slot - 1 in the current row.
+        if (slot > 0 && cur[slot - 1] < kInf) {
+          best = std::min(best, cur[slot - 1] + 1);
+        }
+        // Up (i-1, j) is slot + 1 in the previous row.
+        if (slot < 2 * band && prev[slot + 1] < kInf) {
+          best = std::min(best, prev[slot + 1] + 1);
+        }
+      }
+      if (best <= max_edits) cur[slot] = best;
+    }
+    std::swap(prev, cur);
+  }
+  int64_t final_slot = static_cast<int64_t>(lb) - static_cast<int64_t>(la) +
+                       band;
+  if (final_slot < 0 || final_slot > 2 * band) return std::nullopt;
+  uint32_t result = prev[final_slot];
+  if (result > max_edits) return std::nullopt;
+  return result;
+}
+
+std::optional<std::pair<uint32_t, uint32_t>> BestPrefixEditDistance(
+    std::string_view pattern, std::string_view window, uint32_t max_edits) {
+  const uint32_t m = static_cast<uint32_t>(pattern.size());
+  const uint32_t w = static_cast<uint32_t>(window.size());
+  const uint32_t kInf = max_edits + 1;
+  // dp[j] = edit distance between pattern[0..i) and window[0..j).
+  std::vector<uint32_t> dp(w + 1), next(w + 1);
+  for (uint32_t j = 0; j <= w; ++j) dp[j] = j <= max_edits ? j : kInf;
+  for (uint32_t i = 1; i <= m; ++i) {
+    next[0] = i <= max_edits ? i : kInf;
+    for (uint32_t j = 1; j <= w; ++j) {
+      uint32_t best = kInf;
+      if (dp[j - 1] < kInf) {
+        best = std::min(best,
+                        dp[j - 1] + (pattern[i - 1] == window[j - 1] ? 0 : 1));
+      }
+      if (dp[j] < kInf) best = std::min(best, dp[j] + 1);
+      if (next[j - 1] < kInf) best = std::min(best, next[j - 1] + 1);
+      next[j] = best > max_edits ? kInf : best;
+    }
+    std::swap(dp, next);
+  }
+  uint32_t best_edits = kInf;
+  uint32_t best_len = 0;
+  for (uint32_t j = 0; j <= w; ++j) {
+    if (dp[j] < best_edits) {
+      best_edits = dp[j];
+      best_len = j;
+    }
+  }
+  if (best_edits > max_edits) return std::nullopt;
+  return std::make_pair(best_edits, best_len);
+}
+
+}  // namespace spine::align

@@ -1,0 +1,48 @@
+#include "alphabet/packed_string.h"
+
+#include "common/check.h"
+
+namespace spine {
+
+PackedString::PackedString(uint32_t bits_per_code) : bits_(bits_per_code) {
+  SPINE_CHECK(bits_ >= 1 && bits_ <= 8);
+}
+
+void PackedString::Append(Code code) {
+  SPINE_DCHECK(bits_ == 8 || code < (1u << bits_));
+  uint64_t bit_pos = size_ * bits_;
+  uint64_t word = bit_pos / 64;
+  uint32_t offset = static_cast<uint32_t>(bit_pos % 64);
+  if (word >= words_.size()) words_.push_back(0);
+  words_[word] |= static_cast<uint64_t>(code) << offset;
+  // A code may straddle two words.
+  if (offset + bits_ > 64) {
+    uint32_t spilled = offset + bits_ - 64;
+    words_.push_back(static_cast<uint64_t>(code) >> (bits_ - spilled));
+  } else if (offset + bits_ == 64 && (size_ + 1) * bits_ % 64 == 0) {
+    // Next append starts a fresh word; nothing to do now.
+  }
+  ++size_;
+}
+
+Code PackedString::Get(uint64_t index) const {
+  SPINE_DCHECK(index < size_);
+  uint64_t bit_pos = index * bits_;
+  uint64_t word = bit_pos / 64;
+  uint32_t offset = static_cast<uint32_t>(bit_pos % 64);
+  uint64_t value = words_[word] >> offset;
+  if (offset + bits_ > 64) {
+    value |= words_[word + 1] << (64 - offset);
+  }
+  uint64_t mask = bits_ == 64 ? ~0ull : ((1ull << bits_) - 1);
+  return static_cast<Code>(value & mask);
+}
+
+void PackedString::RestoreFromWords(std::vector<uint64_t> words,
+                                    uint64_t size) {
+  SPINE_CHECK(words.size() * 64 >= size * bits_);
+  words_ = std::move(words);
+  size_ = size;
+}
+
+}  // namespace spine

@@ -1,0 +1,42 @@
+// PackedString: bit-packed storage of alphabet codes.
+//
+// SPINE stores one character label per vertebra; with a DNA alphabet the
+// label costs 2 bits (the "0.25 bytes" CL entry of the paper's Table 2).
+// PackedString provides that storage: an append-only sequence of codes
+// packed at Alphabet::bits_per_code() bits each.
+
+#ifndef SPINE_ALPHABET_PACKED_STRING_H_
+#define SPINE_ALPHABET_PACKED_STRING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+
+namespace spine {
+
+class PackedString {
+ public:
+  explicit PackedString(uint32_t bits_per_code);
+
+  void Append(Code code);
+  Code Get(uint64_t index) const;
+  uint64_t size() const { return size_; }
+  uint32_t bits_per_code() const { return bits_; }
+
+  // Bytes of heap storage used by the packed words.
+  uint64_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  // Raw word access for serialization.
+  const std::vector<uint64_t>& words() const { return words_; }
+  void RestoreFromWords(std::vector<uint64_t> words, uint64_t size);
+
+ private:
+  uint32_t bits_;
+  uint64_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace spine
+
+#endif  // SPINE_ALPHABET_PACKED_STRING_H_

@@ -1,0 +1,101 @@
+#include "bench_util/table.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace spine::bench {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  SPINE_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  auto print_rule = [&]() {
+    std::printf("+");
+    for (size_t c = 0; c < widths.size(); ++c) {
+      for (size_t i = 0; i < widths[c] + 2; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+  print_rule();
+  print_row(headers_);
+  print_rule();
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+}
+
+std::string FormatDouble(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string FormatPercent(double fraction, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals, fraction * 100.0);
+  return buffer;
+}
+
+std::string FormatCount(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 3) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.1f %s", value, units[unit]);
+  return buffer;
+}
+
+std::string FormatMega(uint64_t value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f M",
+                static_cast<double>(value) / 1e6);
+  return buffer;
+}
+
+void PrintBanner(const std::string& artifact, const std::string& description,
+                 double scale) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), description.c_str());
+  std::printf("dataset scale: %.3g of the paper's sizes "
+              "(override with SPINE_BENCH_SCALE)\n",
+              scale);
+  std::printf("================================================================\n");
+}
+
+}  // namespace spine::bench

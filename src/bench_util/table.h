@@ -1,0 +1,40 @@
+// Plain-text table printer for the benchmark harness: each bench binary
+// regenerates one of the paper's tables/figures as aligned rows.
+
+#ifndef SPINE_BENCH_UTIL_TABLE_H_
+#define SPINE_BENCH_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spine::bench {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders the table to stdout with aligned columns.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formatting helpers.
+std::string FormatDouble(double value, int decimals = 2);
+std::string FormatPercent(double fraction, int decimals = 1);  // 0.31 -> 31.0%
+std::string FormatCount(uint64_t value);        // 1234567 -> "1,234,567"
+std::string FormatBytes(uint64_t bytes);        // "12.3 MiB"
+std::string FormatMega(uint64_t value);         // 3500000 -> "3.5 M"
+
+// Prints the standard bench banner: what paper artifact this binary
+// regenerates and at which scale.
+void PrintBanner(const std::string& artifact, const std::string& description,
+                 double scale);
+
+}  // namespace spine::bench
+
+#endif  // SPINE_BENCH_UTIL_TABLE_H_

@@ -1,0 +1,37 @@
+// Invariant-checking macros. SPINE_CHECK fires in all build modes; use it
+// for invariants whose violation would corrupt the index. SPINE_DCHECK
+// compiles away in NDEBUG builds and is for hot paths.
+
+#ifndef SPINE_COMMON_CHECK_H_
+#define SPINE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define SPINE_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SPINE_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define SPINE_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "SPINE_CHECK failed at %s:%d: %s (%s)\n",       \
+                   __FILE__, __LINE__, #cond, msg);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define SPINE_DCHECK(cond) \
+  do {                     \
+  } while (false)
+#else
+#define SPINE_DCHECK(cond) SPINE_CHECK(cond)
+#endif
+
+#endif  // SPINE_COMMON_CHECK_H_

@@ -1,0 +1,46 @@
+// Deterministic, seedable random number generator (splitmix64 core).
+// Used by the synthetic sequence generators and the property tests so
+// that every run is reproducible from its seed.
+
+#ifndef SPINE_COMMON_RNG_H_
+#define SPINE_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace spine {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next 64 uniformly random bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform integer in [lo, hi].
+  uint64_t Between(uint64_t lo, uint64_t hi) {
+    return lo + Below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace spine
+
+#endif  // SPINE_COMMON_RNG_H_

@@ -1,0 +1,70 @@
+// Minimal POD/vector stream serialization shared by the index
+// serializers (compact/serializer.cc, storage/disk_spine.cc metadata).
+
+#ifndef SPINE_COMMON_SERDE_H_
+#define SPINE_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace spine::serde {
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  template <typename T>
+  void Pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  template <typename T>
+  void Vec(const std::vector<T>& vec) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Pod<uint64_t>(vec.size());
+    if (!vec.empty()) {
+      out_.write(reinterpret_cast<const char*>(vec.data()),
+                 static_cast<std::streamsize>(vec.size() * sizeof(T)));
+    }
+  }
+
+ private:
+  std::ostream& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  template <typename T>
+  [[nodiscard]] bool Pod(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    in_.read(reinterpret_cast<char*>(value), sizeof(T));
+    return in_.good();
+  }
+
+  template <typename T>
+  [[nodiscard]] bool Vec(std::vector<T>* vec) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    if (!Pod(&count)) return false;
+    // Guard against absurd sizes from corrupt files.
+    if (count > (1ull << 34) / sizeof(T)) return false;
+    vec->resize(count);
+    if (count > 0) {
+      in_.read(reinterpret_cast<char*>(vec->data()),
+               static_cast<std::streamsize>(count * sizeof(T)));
+    }
+    return in_.good() || count == 0;
+  }
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace spine::serde
+
+#endif  // SPINE_COMMON_SERDE_H_

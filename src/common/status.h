@@ -1,0 +1,108 @@
+// Status and Result<T>: error handling vocabulary for the spine library.
+//
+// The library does not throw exceptions. Operations that can fail for
+// reasons outside the programmer's control (I/O, malformed input files,
+// characters outside the configured alphabet) return Status or Result<T>;
+// violated internal invariants abort via the SPINE_CHECK macros.
+
+#ifndef SPINE_COMMON_STATUS_H_
+#define SPINE_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace spine {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kIoError,
+  kCorruption,
+  kResourceExhausted,
+  kFailedPrecondition,
+};
+
+// Human-readable name for a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+// A cheap value type carrying a status code and, for errors, a message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status. Callers must check
+// ok() before dereferencing.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : value_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace spine
+
+// Propagates a non-OK Status from the evaluated expression.
+#define SPINE_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::spine::Status _spine_status = (expr);    \
+    if (!_spine_status.ok()) return _spine_status; \
+  } while (false)
+
+#endif  // SPINE_COMMON_STATUS_H_

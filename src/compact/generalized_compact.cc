@@ -1,0 +1,206 @@
+#include "compact/generalized_compact.h"
+
+#include <algorithm>
+#include <fstream>
+#include <optional>
+
+#include "common/check.h"
+#include "common/serde.h"
+#include "compact/serializer.h"
+#include "core/matcher.h"
+
+namespace spine {
+
+namespace {
+constexpr uint32_t kGenMagic = 0x53504e47;  // "SPNG"
+constexpr uint32_t kGenVersion = 1;
+}  // namespace
+
+GeneralizedCompactSpine::GeneralizedCompactSpine(const Alphabet& alphabet)
+    : user_alphabet_(alphabet), index_(Alphabet::Ascii()) {}
+
+Status GeneralizedCompactSpine::AddString(std::string_view s,
+                                          std::string name) {
+  // Validate and canonicalize (the user alphabet may fold case; the
+  // inner ASCII index is byte-exact).
+  std::string canonical;
+  canonical.reserve(s.size() + 1);
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == kSeparator) {
+      return Status::InvalidArgument("string contains the separator");
+    }
+    Code code = user_alphabet_.Encode(s[i]);
+    if (code == kInvalidCode) {
+      return Status::InvalidArgument(
+          "character at offset " + std::to_string(i) + " is not in the " +
+          user_alphabet_.name() + " alphabet");
+    }
+    canonical.push_back(user_alphabet_.Decode(code));
+  }
+  SPINE_RETURN_IF_ERROR(index_.AppendString(canonical));
+  Status status = index_.Append(kSeparator);
+  SPINE_CHECK(status.ok());
+  boundaries_.push_back(static_cast<uint32_t>(index_.size()));
+  names_.push_back(name.empty() ? "string-" + std::to_string(names_.size())
+                                : std::move(name));
+  return Status::OK();
+}
+
+uint32_t GeneralizedCompactSpine::StringLength(uint32_t id) const {
+  SPINE_CHECK(id < boundaries_.size());
+  uint32_t start = id == 0 ? 0 : boundaries_[id - 1];
+  return boundaries_[id] - start - 1;  // minus the separator
+}
+
+bool GeneralizedCompactSpine::MapPosition(uint32_t global, Hit* hit) const {
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), global);
+  if (it == boundaries_.end()) return false;
+  uint32_t id = static_cast<uint32_t>(it - boundaries_.begin());
+  hit->string_id = id;
+  hit->offset = global - (id == 0 ? 0 : boundaries_[id - 1]);
+  return true;
+}
+
+namespace {
+
+// Canonicalizes a query through the user alphabet; nullopt if any
+// character is invalid (such a query can never match).
+std::optional<std::string> Canonicalize(const Alphabet& alphabet,
+                                        std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == GeneralizedCompactSpine::kSeparator) return std::nullopt;
+    Code code = alphabet.Encode(c);
+    if (code == kInvalidCode) return std::nullopt;
+    out.push_back(alphabet.Decode(code));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool GeneralizedCompactSpine::Contains(std::string_view pattern) const {
+  auto canonical = Canonicalize(user_alphabet_, pattern);
+  return canonical.has_value() && index_.Contains(*canonical);
+}
+
+std::vector<GeneralizedCompactSpine::Hit> GeneralizedCompactSpine::FindAll(
+    std::string_view pattern) const {
+  std::vector<Hit> hits;
+  auto canonical = Canonicalize(user_alphabet_, pattern);
+  if (!canonical.has_value() || canonical->empty()) return hits;
+  for (uint32_t global : index_.FindAll(*canonical)) {
+    Hit hit;
+    if (MapPosition(global, &hit)) hits.push_back(hit);
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    return a.string_id != b.string_id ? a.string_id < b.string_id
+                                      : a.offset < b.offset;
+  });
+  return hits;
+}
+
+std::vector<GeneralizedCompactSpine::CollectionMatch>
+GeneralizedCompactSpine::MatchAgainst(std::string_view query,
+                                      uint32_t min_len) const {
+  std::vector<CollectionMatch> out;
+  if (min_len == 0) return out;
+  auto canonical = Canonicalize(user_alphabet_, query);
+  if (!canonical.has_value()) return out;
+  auto matches = GenericFindMaximalMatches(index_, *canonical, min_len);
+  auto expanded = GenericCollectAllOccurrences(index_, matches);
+  out.reserve(expanded.size());
+  for (const MatchOccurrences& occ : expanded) {
+    CollectionMatch match;
+    match.query_pos = occ.match.query_pos;
+    match.length = occ.match.length;
+    for (uint32_t global : occ.data_positions) {
+      Hit hit;
+      if (MapPosition(global, &hit)) match.hits.push_back(hit);
+    }
+    std::sort(match.hits.begin(), match.hits.end(),
+              [](const Hit& a, const Hit& b) {
+                return a.string_id != b.string_id ? a.string_id < b.string_id
+                                                  : a.offset < b.offset;
+              });
+    out.push_back(std::move(match));
+  }
+  return out;
+}
+
+Status GeneralizedCompactSpine::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  serde::Writer w(out);
+  w.Pod(kGenMagic);
+  w.Pod(kGenVersion);
+  w.Pod(static_cast<uint32_t>(user_alphabet_.kind()));
+  w.Vec(boundaries_);
+  w.Pod<uint64_t>(names_.size());
+  for (const std::string& name : names_) {
+    w.Pod<uint32_t>(static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  SPINE_RETURN_IF_ERROR(SaveCompactSpineToStream(index_, out));
+  out.flush();
+  if (!out) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<GeneralizedCompactSpine> GeneralizedCompactSpine::Load(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  serde::Reader r(in);
+  uint32_t magic = 0, version = 0, kind = 0;
+  if (!r.Pod(&magic) || magic != kGenMagic) {
+    return Status::Corruption("bad generalized-index magic in " + path);
+  }
+  if (!r.Pod(&version) || version != kGenVersion) {
+    return Status::Corruption("unsupported generalized-index version");
+  }
+  if (!r.Pod(&kind) || kind > 3 ||
+      kind == static_cast<uint32_t>(Alphabet::Kind::kByte)) {
+    return Status::Corruption("bad alphabet kind in " + path);
+  }
+  Alphabet alphabet = Alphabet::Dna();
+  if (kind == static_cast<uint32_t>(Alphabet::Kind::kProtein)) {
+    alphabet = Alphabet::Protein();
+  } else if (kind == static_cast<uint32_t>(Alphabet::Kind::kAscii)) {
+    alphabet = Alphabet::Ascii();
+  }
+  GeneralizedCompactSpine generalized(alphabet);
+  if (!r.Vec(&generalized.boundaries_)) {
+    return Status::Corruption("truncated boundaries in " + path);
+  }
+  uint64_t name_count = 0;
+  if (!r.Pod(&name_count) || name_count != generalized.boundaries_.size()) {
+    return Status::Corruption("name/boundary count mismatch in " + path);
+  }
+  for (uint64_t i = 0; i < name_count; ++i) {
+    uint32_t length = 0;
+    if (!r.Pod(&length) || length > 4096) {
+      return Status::Corruption("bad name length in " + path);
+    }
+    std::string name(length, '\0');
+    in.read(name.data(), length);
+    if (!in.good() && length > 0) {
+      return Status::Corruption("truncated name in " + path);
+    }
+    generalized.names_.push_back(std::move(name));
+  }
+  Result<CompactSpineIndex> inner = LoadCompactSpineFromStream(in);
+  if (!inner.ok()) return inner.status();
+  if (inner->alphabet().kind() != Alphabet::Kind::kAscii) {
+    return Status::Corruption("inner index alphabet mismatch in " + path);
+  }
+  if (!generalized.boundaries_.empty() &&
+      generalized.boundaries_.back() != inner->size()) {
+    return Status::Corruption("boundaries inconsistent with index size");
+  }
+  generalized.index_ = std::move(inner).value();
+  return generalized;
+}
+
+}  // namespace spine

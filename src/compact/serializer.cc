@@ -1,0 +1,217 @@
+#include "compact/serializer.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace spine {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x53504e45;  // "SPNE"
+constexpr uint32_t kVersion = 2;
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  template <typename T>
+  void Pod(const T& value) {
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+  }
+
+  template <typename T>
+  void Vec(const std::vector<T>& vec) {
+    Pod<uint64_t>(vec.size());
+    if (!vec.empty()) {
+      out_.write(reinterpret_cast<const char*>(vec.data()),
+                 static_cast<std::streamsize>(vec.size() * sizeof(T)));
+    }
+  }
+
+ private:
+  std::ostream& out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  template <typename T>
+  bool Pod(T* value) {
+    in_.read(reinterpret_cast<char*>(value), sizeof(T));
+    return in_.good();
+  }
+
+  template <typename T>
+  bool Vec(std::vector<T>* vec) {
+    uint64_t count = 0;
+    if (!Pod(&count)) return false;
+    // Guard against absurd sizes from corrupt files.
+    if (count > (1ull << 34) / sizeof(T)) return false;
+    vec->resize(count);
+    if (count > 0) {
+      in_.read(reinterpret_cast<char*>(vec->data()),
+               static_cast<std::streamsize>(count * sizeof(T)));
+    }
+    return in_.good() || count == 0;
+  }
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace
+
+class CompactSpineSerializer {
+ public:
+  static Status Save(const CompactSpineIndex& index, std::ostream& out) {
+    Writer w(out);
+    w.Pod(kMagic);
+    w.Pod(kVersion);
+    w.Pod(static_cast<uint32_t>(index.alphabet_.kind()));
+    w.Pod<uint64_t>(index.size());
+    w.Vec(index.codes_.words());
+    w.Vec(index.lt_word_);
+    w.Vec(index.lt_lel_);
+    w.Vec(index.root_rib_dest_);
+    for (int k = 0; k < 4; ++k) w.Vec(index.rt_[k]);
+    for (int k = 0; k < 4; ++k) w.Vec(index.rt_free_[k]);
+    w.Pod<uint64_t>(index.rt_big_.size());
+    for (const auto& [node, big] : index.rt_big_) {
+      w.Pod(node);
+      w.Pod(big.link_dest);
+      w.Vec(big.ribs);
+    }
+    w.Pod<uint64_t>(index.extribs_.size());
+    for (const auto& [node, entry] : index.extribs_) {
+      w.Pod(node);
+      w.Pod(entry);
+    }
+    w.Vec(index.overflow_);
+    w.Pod(index.max_lel_);
+    w.Pod(index.max_pt_);
+    w.Pod(index.max_prt_);
+    out.flush();
+    if (!out) return Status::IoError("stream write failure");
+    return Status::OK();
+  }
+
+  static Result<CompactSpineIndex> Load(std::istream& in,
+                                        const std::string& path) {
+    Reader r(in);
+    uint32_t magic = 0, version = 0, kind = 0;
+    uint64_t n = 0;
+    if (!r.Pod(&magic) || magic != kMagic) {
+      return Status::Corruption("bad magic in " + path);
+    }
+    if (!r.Pod(&version) || version != kVersion) {
+      return Status::Corruption("unsupported version in " + path);
+    }
+    if (!r.Pod(&kind) || kind > 3) {
+      return Status::Corruption("bad alphabet kind in " + path);
+    }
+    Alphabet alphabet = Alphabet::Dna();
+    switch (static_cast<Alphabet::Kind>(kind)) {
+      case Alphabet::Kind::kDna:
+        break;
+      case Alphabet::Kind::kProtein:
+        alphabet = Alphabet::Protein();
+        break;
+      case Alphabet::Kind::kByte:
+        return Status::Corruption(
+            "compact images do not support the byte alphabet");
+      case Alphabet::Kind::kAscii:
+        alphabet = Alphabet::Ascii();
+        break;
+    }
+    CompactSpineIndex index(alphabet);
+    if (!r.Pod(&n)) return Status::Corruption("truncated header in " + path);
+
+    std::vector<uint64_t> words;
+    if (!r.Vec(&words)) return Status::Corruption("truncated CL in " + path);
+    if (words.size() * 64 < n * alphabet.bits_per_code()) {
+      return Status::Corruption("CL words inconsistent with size");
+    }
+    index.codes_.RestoreFromWords(std::move(words), n);
+
+    if (!r.Vec(&index.lt_word_) || !r.Vec(&index.lt_lel_) ||
+        !r.Vec(&index.root_rib_dest_)) {
+      return Status::Corruption("truncated LT in " + path);
+    }
+    if (index.lt_word_.size() != n + 1 || index.lt_lel_.size() != n + 1 ||
+        index.root_rib_dest_.size() != alphabet.size()) {
+      return Status::Corruption("LT sizes inconsistent in " + path);
+    }
+    for (int k = 0; k < 4; ++k) {
+      if (!r.Vec(&index.rt_[k])) {
+        return Status::Corruption("truncated RT in " + path);
+      }
+      if (index.rt_[k].size() %
+              CompactSpineIndex::RtStride(static_cast<uint32_t>(k) + 1) !=
+          0) {
+        return Status::Corruption("RT stride misalignment in " + path);
+      }
+    }
+    for (int k = 0; k < 4; ++k) {
+      if (!r.Vec(&index.rt_free_[k])) {
+        return Status::Corruption("truncated RT free list in " + path);
+      }
+    }
+    uint64_t big_count = 0;
+    if (!r.Pod(&big_count)) return Status::Corruption("truncated big table");
+    for (uint64_t i = 0; i < big_count; ++i) {
+      uint32_t node = 0;
+      CompactSpineIndex::BigEntry big;
+      if (!r.Pod(&node) || !r.Pod(&big.link_dest) || !r.Vec(&big.ribs)) {
+        return Status::Corruption("truncated big entry in " + path);
+      }
+      index.rt_big_.emplace(node, std::move(big));
+    }
+    uint64_t ext_count = 0;
+    if (!r.Pod(&ext_count)) return Status::Corruption("truncated extribs");
+    for (uint64_t i = 0; i < ext_count; ++i) {
+      uint32_t node = 0;
+      CompactSpineIndex::ExtribEntry entry;
+      if (!r.Pod(&node) || !r.Pod(&entry)) {
+        return Status::Corruption("truncated extrib entry in " + path);
+      }
+      index.extribs_.emplace(node, entry);
+    }
+    if (!r.Vec(&index.overflow_)) {
+      return Status::Corruption("truncated overflow table in " + path);
+    }
+    if (!r.Pod(&index.max_lel_) || !r.Pod(&index.max_pt_) ||
+        !r.Pod(&index.max_prt_)) {
+      return Status::Corruption("truncated trailer in " + path);
+    }
+    Status valid = index.Validate();
+    if (!valid.ok()) return valid;
+    return index;
+  }
+};
+
+Status SaveCompactSpine(const CompactSpineIndex& index,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return CompactSpineSerializer::Save(index, out);
+}
+
+Result<CompactSpineIndex> LoadCompactSpine(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  return CompactSpineSerializer::Load(in, path);
+}
+
+Status SaveCompactSpineToStream(const CompactSpineIndex& index,
+                                std::ostream& out) {
+  return CompactSpineSerializer::Save(index, out);
+}
+
+Result<CompactSpineIndex> LoadCompactSpineFromStream(std::istream& in) {
+  return CompactSpineSerializer::Load(in, "<stream>");
+}
+
+}  // namespace spine

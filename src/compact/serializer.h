@@ -1,0 +1,35 @@
+// Serialization of CompactSpineIndex to a self-contained disk image.
+//
+// SPINE is self-contained: the vertebra labels encode the original
+// string, so loading the image is all a reader needs (the paper's
+// "the data string is not required any more" property).
+
+#ifndef SPINE_COMPACT_SERIALIZER_H_
+#define SPINE_COMPACT_SERIALIZER_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+#include "compact/compact_spine.h"
+
+namespace spine {
+
+// Writes the index to `path`, replacing any existing file.
+Status SaveCompactSpine(const CompactSpineIndex& index,
+                        const std::string& path);
+
+// Loads an index previously written by SaveCompactSpine. Fails with
+// kCorruption on bad magic/version/truncated data.
+Result<CompactSpineIndex> LoadCompactSpine(const std::string& path);
+
+// Stream variants (used to embed an index image inside a larger file,
+// e.g. the generalized multi-string index).
+Status SaveCompactSpineToStream(const CompactSpineIndex& index,
+                                std::ostream& out);
+Result<CompactSpineIndex> LoadCompactSpineFromStream(std::istream& in);
+
+}  // namespace spine
+
+#endif  // SPINE_COMPACT_SERIALIZER_H_

@@ -1,0 +1,107 @@
+#include "core/generalized_spine.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/matcher.h"
+
+namespace spine {
+
+GeneralizedSpineIndex::GeneralizedSpineIndex(const Alphabet& alphabet)
+    : user_alphabet_(alphabet), index_(Alphabet::Byte()) {}
+
+Status GeneralizedSpineIndex::AddString(std::string_view s) {
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == kSeparator) {
+      return Status::InvalidArgument("string contains the separator byte");
+    }
+    if (user_alphabet_.Encode(s[i]) == kInvalidCode) {
+      return Status::InvalidArgument(
+          "character at offset " + std::to_string(i) + " is not in the " +
+          user_alphabet_.name() + " alphabet");
+    }
+  }
+  // Validation passed: the byte-alphabet appends below cannot fail.
+  Status status = index_.AppendString(s);
+  SPINE_CHECK(status.ok());
+  status = index_.Append(kSeparator);
+  SPINE_CHECK(status.ok());
+  boundaries_.push_back(static_cast<uint32_t>(index_.size()));
+  return Status::OK();
+}
+
+uint32_t GeneralizedSpineIndex::StringLength(uint32_t id) const {
+  SPINE_CHECK(id < boundaries_.size());
+  uint32_t start = id == 0 ? 0 : boundaries_[id - 1];
+  return boundaries_[id] - start - 1;  // minus the separator
+}
+
+bool GeneralizedSpineIndex::MapPosition(uint32_t global, Hit* hit) const {
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), global);
+  if (it == boundaries_.end()) return false;
+  uint32_t id = static_cast<uint32_t>(it - boundaries_.begin());
+  uint32_t start = id == 0 ? 0 : boundaries_[id - 1];
+  hit->string_id = id;
+  hit->offset = global - start;
+  return true;
+}
+
+bool GeneralizedSpineIndex::Contains(std::string_view pattern) const {
+  if (pattern.find(kSeparator) != std::string_view::npos) return false;
+  return index_.Contains(pattern);
+}
+
+std::vector<GeneralizedSpineIndex::Hit> GeneralizedSpineIndex::FindAll(
+    std::string_view pattern) const {
+  std::vector<Hit> hits;
+  if (pattern.empty() ||
+      pattern.find(kSeparator) != std::string_view::npos) {
+    return hits;
+  }
+  for (uint32_t global : index_.FindAll(pattern)) {
+    Hit hit;
+    // Patterns cannot span separators (the separator never matches), so
+    // every occurrence maps cleanly into one string.
+    if (MapPosition(global, &hit)) {
+      SPINE_DCHECK(hit.offset + pattern.size() <= StringLength(hit.string_id));
+      hits.push_back(hit);
+    }
+  }
+  std::sort(hits.begin(), hits.end(), [](const Hit& a, const Hit& b) {
+    return a.string_id != b.string_id ? a.string_id < b.string_id
+                                      : a.offset < b.offset;
+  });
+  return hits;
+}
+
+std::vector<GeneralizedSpineIndex::CollectionMatch>
+GeneralizedSpineIndex::MatchAgainst(std::string_view query,
+                                    uint32_t min_len) const {
+  std::vector<CollectionMatch> out;
+  if (min_len == 0 || query.find(kSeparator) != std::string_view::npos) {
+    return out;
+  }
+  // Queries never contain the separator, so the underlying matcher's
+  // matches are automatically confined to single strings.
+  auto matches = FindMaximalMatches(index_, query, min_len);
+  auto expanded = CollectAllOccurrences(index_, matches);
+  out.reserve(expanded.size());
+  for (const MatchOccurrences& occ : expanded) {
+    CollectionMatch match;
+    match.query_pos = occ.match.query_pos;
+    match.length = occ.match.length;
+    for (uint32_t global : occ.data_positions) {
+      Hit hit;
+      if (MapPosition(global, &hit)) match.hits.push_back(hit);
+    }
+    std::sort(match.hits.begin(), match.hits.end(),
+              [](const Hit& a, const Hit& b) {
+                return a.string_id != b.string_id ? a.string_id < b.string_id
+                                                  : a.offset < b.offset;
+              });
+    out.push_back(std::move(match));
+  }
+  return out;
+}
+
+}  // namespace spine

@@ -1,0 +1,84 @@
+// GeneralizedSpineIndex: one SPINE index over multiple strings.
+//
+// The paper notes (Section 1.1) that "a single SPINE index can be used
+// to index multiple different strings, using techniques similar to
+// those employed in Generalized Suffix Trees". As in a GST, strings are
+// concatenated with a separator that cannot appear in queries, so no
+// match ever crosses a string boundary; hits are mapped back to
+// (string id, offset) through the boundary table.
+
+#ifndef SPINE_CORE_GENERALIZED_SPINE_H_
+#define SPINE_CORE_GENERALIZED_SPINE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "common/status.h"
+#include "core/spine_index.h"
+
+namespace spine {
+
+class GeneralizedSpineIndex {
+ public:
+  // The separator byte; strings containing it are rejected.
+  static constexpr char kSeparator = '\x1f';
+
+  // `alphabet` constrains the strings and queries (DNA, protein or
+  // byte); internally the index runs over the byte alphabet so the
+  // separator can be appended between strings.
+  explicit GeneralizedSpineIndex(const Alphabet& alphabet);
+
+  // Adds one string to the index. Fails (leaving the index unchanged)
+  // if the string contains the separator or out-of-alphabet characters.
+  Status AddString(std::string_view s);
+
+  uint32_t string_count() const {
+    return static_cast<uint32_t>(boundaries_.size());
+  }
+  // Length of string `id` (0-based, in insertion order).
+  uint32_t StringLength(uint32_t id) const;
+
+  struct Hit {
+    uint32_t string_id;
+    uint32_t offset;
+    bool operator==(const Hit&) const = default;
+  };
+
+  bool Contains(std::string_view pattern) const;
+  // All occurrences across all indexed strings, ordered by
+  // (insertion order, offset).
+  std::vector<Hit> FindAll(std::string_view pattern) const;
+
+  // A maximal match of the query against the indexed collection, with
+  // every occurrence mapped to (string, offset).
+  struct CollectionMatch {
+    uint32_t query_pos = 0;
+    uint32_t length = 0;
+    std::vector<Hit> hits;  // ordered by (string id, offset)
+  };
+
+  // All maximal matching substrings (>= min_len) between `query` and
+  // any indexed string, expanded to all occurrences — the multi-string
+  // variant of the paper's Section 4 matching operation. The separator
+  // guarantees no match spans two strings.
+  std::vector<CollectionMatch> MatchAgainst(std::string_view query,
+                                            uint32_t min_len) const;
+
+  const SpineIndex& underlying() const { return index_; }
+
+ private:
+  // Maps a global start position to (string_id, offset); returns false
+  // for positions inside separators (cannot happen for valid patterns).
+  bool MapPosition(uint32_t global, Hit* hit) const;
+
+  Alphabet user_alphabet_;
+  SpineIndex index_;                 // over Alphabet::Byte()
+  std::vector<uint32_t> boundaries_;  // global end (excl.) of each string
+};
+
+}  // namespace spine
+
+#endif  // SPINE_CORE_GENERALIZED_SPINE_H_

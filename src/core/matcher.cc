@@ -1,0 +1,20 @@
+#include "core/matcher.h"
+
+#include "common/check.h"
+
+namespace spine {
+
+std::vector<MaximalMatch> FindMaximalMatches(const SpineIndex& index,
+                                             std::string_view query,
+                                             uint32_t min_len,
+                                             SearchStats* stats) {
+  SPINE_CHECK(min_len >= 1);
+  return GenericFindMaximalMatches(index, query, min_len, stats);
+}
+
+std::vector<MatchOccurrences> CollectAllOccurrences(
+    const SpineIndex& index, const std::vector<MaximalMatch>& matches) {
+  return GenericCollectAllOccurrences(index, matches);
+}
+
+}  // namespace spine

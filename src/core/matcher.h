@@ -1,0 +1,214 @@
+// Streaming matcher: finds all maximal matching substrings between an
+// indexed data string and a query string (the "complex matching
+// operation" of Section 4, the core of genome alignment tools).
+//
+// The matcher streams the query once, maintaining the invariant that the
+// current state (node, pathlen) describes the longest suffix of the
+// processed query that is a substring of the data string, with the node
+// being the end of that substring's first occurrence. On a mismatch the
+// match is reported and the suffix set is shrunk *set-wise*: one hop per
+// link-chain node rather than one hop per suffix, which is where SPINE
+// checks far fewer nodes than a suffix tree (Section 4.1 / Table 6).
+//
+// A reported match (query_pos, length) is maximal: it cannot be extended
+// to the right (the next query character mismatches or the query ends)
+// and it is not a suffix of a longer reported match.
+
+#ifndef SPINE_CORE_MATCHER_H_
+#define SPINE_CORE_MATCHER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/spine_index.h"
+
+namespace spine {
+
+struct MaximalMatch {
+  uint32_t query_pos = 0;   // start offset in the query
+  uint32_t length = 0;
+  NodeId first_end = 0;     // end node of the first occurrence in the data
+
+  bool operator==(const MaximalMatch&) const = default;
+};
+
+// All maximal matches of length >= min_len between the indexed string and
+// `query`. Query characters outside the alphabet act as universal
+// mismatches. min_len must be >= 1.
+std::vector<MaximalMatch> FindMaximalMatches(const SpineIndex& index,
+                                             std::string_view query,
+                                             uint32_t min_len,
+                                             SearchStats* stats = nullptr);
+
+// One occurrence of a maximal match within the data string.
+struct MatchOccurrences {
+  MaximalMatch match;
+  std::vector<uint32_t> data_positions;  // start offsets in the data string
+};
+
+// Expands every match to all of its occurrences in the data string using
+// the paper's deferred technique: a single sequential scan of the
+// backbone serving all matches concurrently (Section 4).
+std::vector<MatchOccurrences> CollectAllOccurrences(
+    const SpineIndex& index, const std::vector<MaximalMatch>& matches);
+
+// ---------------------------------------------------------------------
+// Generic versions, usable with any index exposing the search interface
+// documented in core/search.h (CompactSpineIndex, storage::DiskSpine).
+// ---------------------------------------------------------------------
+
+template <typename Index>
+std::vector<MaximalMatch> GenericFindMaximalMatches(
+    const Index& index, std::string_view query, uint32_t min_len,
+    SearchStats* stats = nullptr) {
+  std::vector<MaximalMatch> out;
+  const Alphabet& alphabet = index.alphabet();
+  NodeId node = kRootNode;
+  uint32_t pathlen = 0;
+  auto report = [&](uint32_t end_pos) {
+    if (pathlen >= min_len) out.push_back({end_pos - pathlen, pathlen, node});
+  };
+  for (uint32_t i = 0; i < query.size(); ++i) {
+    Code c = alphabet.Encode(query[i]);
+    if (c == kInvalidCode) {
+      report(i);
+      node = kRootNode;
+      pathlen = 0;
+      continue;
+    }
+    bool reported = false;
+    while (true) {
+      StepResult step = index.Step(node, c, pathlen, stats);
+      if (step.ok) {
+        node = step.dest;
+        ++pathlen;
+        break;
+      }
+      if (!reported) {
+        report(i);
+        reported = true;
+      }
+      if (step.has_edge) {
+        node = step.fallback_dest;
+        pathlen = step.fallback_pt + 1;
+        break;
+      }
+      if (node == kRootNode) break;
+      pathlen = index.LinkLel(node);
+      node = index.LinkDest(node);
+      if (stats != nullptr) ++stats->link_traversals;
+    }
+  }
+  if (pathlen >= min_len) {
+    out.push_back(
+        {static_cast<uint32_t>(query.size()) - pathlen, pathlen, node});
+  }
+  return out;
+}
+
+// Matching statistics (Chang-Lawler): ms[q] = length of the longest
+// prefix of query[q..] that occurs anywhere in the indexed string.
+// Computed in one streaming pass using the same set-based shrinking as
+// the maximal-match finder; maximal matches are exactly the positions
+// where ms[q] >= min_len and ms[q-1] <= ms[q].
+template <typename Index>
+std::vector<uint32_t> GenericMatchingStatistics(const Index& index,
+                                                std::string_view query,
+                                                SearchStats* stats = nullptr) {
+  // Derived from the maximal matches: between reported match ends the
+  // statistic decays by one per step, because ms[q] >= ms[q-1] - 1 and
+  // any strict improvement would itself end a maximal match.
+  std::vector<uint32_t> ms(query.size(), 0);
+  auto matches = GenericFindMaximalMatches(index, query, 1, stats);
+  for (const MaximalMatch& match : matches) {
+    // match covers query[match.query_pos .. +length); every suffix
+    // start inside it sees at least the remaining length.
+    for (uint32_t q = match.query_pos;
+         q < match.query_pos + match.length; ++q) {
+      uint32_t remaining = match.query_pos + match.length - q;
+      if (remaining > ms[q]) ms[q] = remaining;
+    }
+  }
+  return ms;
+}
+
+template <typename Index>
+std::vector<MatchOccurrences> GenericCollectAllOccurrences(
+    const Index& index, const std::vector<MaximalMatch>& matches) {
+  std::vector<MatchOccurrences> results(matches.size());
+  std::unordered_map<NodeId, std::vector<uint32_t>> watch;
+  for (uint32_t idx = 0; idx < matches.size(); ++idx) {
+    results[idx].match = matches[idx];
+    results[idx].data_positions.push_back(matches[idx].first_end -
+                                          matches[idx].length);
+    watch[matches[idx].first_end].push_back(idx);
+  }
+  if (matches.empty()) return results;
+  const NodeId n = static_cast<NodeId>(index.size());
+  std::vector<uint32_t> newly_matched;
+  for (NodeId j = 1; j <= n; ++j) {
+    const uint32_t lel = index.LinkLel(j);
+    if (lel == 0) continue;
+    auto it = watch.find(index.LinkDest(j));
+    if (it == watch.end()) continue;
+    newly_matched.clear();
+    for (uint32_t idx : it->second) {
+      if (matches[idx].length <= lel) {
+        results[idx].data_positions.push_back(j - matches[idx].length);
+        newly_matched.push_back(idx);
+      }
+    }
+    if (!newly_matched.empty()) {
+      std::vector<uint32_t>& at_j = watch[j];
+      at_j.insert(at_j.end(), newly_matched.begin(), newly_matched.end());
+    }
+  }
+  return results;
+}
+
+// ---------------------------------------------------------------------
+// Classical string problems that fall out of the SPINE structure.
+// ---------------------------------------------------------------------
+
+struct RepeatedSubstring {
+  uint32_t first_end = 0;  // end position of the FIRST occurrence
+  uint32_t length = 0;
+};
+
+// Longest substring occurring at least twice in the indexed string.
+// On SPINE this is simply the maximum LEL over the backbone: LEL(i) is
+// by definition the longest suffix of s[0..i) that occurred earlier.
+// O(n), no extra memory.
+template <typename Index>
+RepeatedSubstring LongestRepeatedSubstring(const Index& index) {
+  RepeatedSubstring best;
+  const NodeId n = static_cast<NodeId>(index.size());
+  for (NodeId i = 1; i <= n; ++i) {
+    uint32_t lel = index.LinkLel(i);
+    if (lel > best.length) {
+      best.length = lel;
+      best.first_end = index.LinkDest(i);
+    }
+  }
+  return best;
+}
+
+// Longest common substring of the indexed string and `query`: the
+// largest matching statistic, i.e. the longest maximal match.
+template <typename Index>
+MaximalMatch LongestCommonSubstring(const Index& index,
+                                    std::string_view query,
+                                    SearchStats* stats = nullptr) {
+  MaximalMatch best;
+  for (const MaximalMatch& match :
+       GenericFindMaximalMatches(index, query, 1, stats)) {
+    if (match.length > best.length) best = match;
+  }
+  return best;
+}
+
+}  // namespace spine
+
+#endif  // SPINE_CORE_MATCHER_H_

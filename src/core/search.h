@@ -1,0 +1,65 @@
+// Generic SPINE search algorithms, shared by every index implementation
+// (reference SpineIndex, CompactSpineIndex, storage::DiskSpine).
+//
+// An Index must provide:
+//   const Alphabet& alphabet() const;
+//   uint64_t size() const;
+//   NodeId LinkDest(NodeId) const;   uint32_t LinkLel(NodeId) const;
+//   StepResult Step(NodeId, Code, uint32_t pathlen, SearchStats*) const;
+
+#ifndef SPINE_CORE_SEARCH_H_
+#define SPINE_CORE_SEARCH_H_
+
+#include <algorithm>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/spine_index.h"
+
+namespace spine {
+
+// End node (== end position) of the first occurrence of `pattern`.
+template <typename Index>
+std::optional<NodeId> GenericFindFirstEnd(const Index& index,
+                                          std::string_view pattern,
+                                          SearchStats* stats = nullptr) {
+  NodeId node = kRootNode;
+  uint32_t pathlen = 0;
+  for (char ch : pattern) {
+    Code c = index.alphabet().Encode(ch);
+    if (c == kInvalidCode) return std::nullopt;
+    StepResult step = index.Step(node, c, pathlen, stats);
+    if (!step.ok) return std::nullopt;
+    node = step.dest;
+    ++pathlen;
+  }
+  return node;
+}
+
+// All start positions via the paper's target-node-buffer backbone scan.
+template <typename Index>
+std::vector<uint32_t> GenericFindAll(const Index& index,
+                                     std::string_view pattern,
+                                     SearchStats* stats = nullptr) {
+  std::vector<uint32_t> starts;
+  if (pattern.empty()) return starts;
+  std::optional<NodeId> first = GenericFindFirstEnd(index, pattern, stats);
+  if (!first.has_value()) return starts;
+  const uint32_t m = static_cast<uint32_t>(pattern.size());
+  std::vector<NodeId> buffer = {*first};
+  const NodeId n = static_cast<NodeId>(index.size());
+  for (NodeId j = *first + 1; j <= n; ++j) {
+    if (index.LinkLel(j) < m) continue;
+    if (std::binary_search(buffer.begin(), buffer.end(), index.LinkDest(j))) {
+      buffer.push_back(j);
+    }
+  }
+  starts.reserve(buffer.size());
+  for (NodeId end : buffer) starts.push_back(end - m);
+  return starts;
+}
+
+}  // namespace spine
+
+#endif  // SPINE_CORE_SEARCH_H_

@@ -1,0 +1,305 @@
+#include "core/spine_index.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace spine {
+
+SpineIndex::SpineIndex(const Alphabet& alphabet)
+    : alphabet_(alphabet), codes_(alphabet.bits_per_code()) {
+  // Node 0 (root) exists from the start; its link entries are unused.
+  link_dest_.push_back(kNoNode);
+  link_lel_.push_back(0);
+}
+
+void SpineIndex::SetLink(NodeId node, NodeId dest, uint32_t lel) {
+  SPINE_DCHECK(node == link_dest_.size() - 1);
+  SPINE_DCHECK(dest < node);
+  link_dest_[node] = dest;
+  link_lel_[node] = lel;
+}
+
+Status SpineIndex::Append(char ch) {
+  Code c = alphabet_.Encode(ch);
+  if (c == kInvalidCode) {
+    return Status::InvalidArgument(
+        std::string("character '") + ch + "' is not in the " +
+        alphabet_.name() + " alphabet");
+  }
+  const NodeId old_tail = static_cast<NodeId>(size());
+  const NodeId t = old_tail + 1;
+
+  // Grow the backbone: vertebra old_tail -> t labeled c.
+  codes_.Append(c);
+  link_dest_.push_back(kNoNode);
+  link_lel_.push_back(0);
+
+  if (old_tail == kRootNode) {
+    // First character: the only suffix is end-terminating.
+    SetLink(t, kRootNode, 0);
+    return Status::OK();
+  }
+
+  // Walk the link chain starting from the old tail. Invariant on entry
+  // to each iteration: the suffixes of s[0..old_tail) still requiring an
+  // explicit extension edge for c have lengths in (LEL(w), L], and all of
+  // them terminate at node w.
+  NodeId w = link_dest_[old_tail];
+  uint32_t lel = link_lel_[old_tail];
+  while (true) {
+    // Vertebra at w?
+    if (codes_.Get(w) == c) {
+      // Every pending suffix, extended by c, first-ends at w + 1.
+      SetLink(t, w + 1, lel + 1);
+      return Status::OK();
+    }
+    auto rib_it = ribs_.find(RibKey(w, c));
+    if (rib_it == ribs_.end()) {
+      // No edge: record the extension of the pending suffix set.
+      ribs_.emplace(RibKey(w, c), Rib{t, lel});
+      if (w == kRootNode) {
+        // First occurrence of character c in the whole string.
+        SPINE_DCHECK(lel == 0);
+        SetLink(t, kRootNode, 0);
+        return Status::OK();
+      }
+      // Shorter suffixes terminate further up the chain.
+      lel = link_lel_[w];
+      w = link_dest_[w];
+      continue;
+    }
+
+    Rib& rib = rib_it->second;
+    if (rib.pt >= lel) {
+      // The pre-existing rib already covers every pending length.
+      SetLink(t, rib.dest, lel + 1);
+      return Status::OK();
+    }
+
+    // Threshold failure: the rib only covers lengths <= rib.pt < L.
+    // Walk the (shared) extrib chain from the rib's destination looking
+    // for a sibling (PRT == rib.pt) that covers length L.
+    NodeId last_sibling_dest = rib.dest;  // the rib itself, conceptually
+    uint32_t last_sibling_pt = rib.pt;
+    NodeId x = rib.dest;
+    while (true) {
+      auto ext_it = extribs_.find(x);
+      if (ext_it == extribs_.end()) break;
+      const Extrib& e = ext_it->second;
+      if (e.prt == rib.pt && e.parent_dest == rib.dest) {
+        if (e.pt >= lel) {
+          // This extension already covers the pending lengths.
+          SetLink(t, e.dest, lel + 1);
+          return Status::OK();
+        }
+        last_sibling_dest = e.dest;
+        last_sibling_pt = e.pt;
+      }
+      x = e.dest;
+    }
+    // No extension covers length L: append a new extrib at the chain end
+    // covering lengths (last_sibling_pt, L]. The longest suffix of the
+    // *new* prefix that occurred before is (length last_sibling_pt) + c.
+    extribs_.emplace(x, Extrib{t, lel, rib.pt, /*parent_dest=*/rib.dest});
+    SetLink(t, last_sibling_dest, last_sibling_pt + 1);
+    return Status::OK();
+  }
+}
+
+Status SpineIndex::AppendString(std::string_view s) {
+  for (char ch : s) {
+    SPINE_RETURN_IF_ERROR(Append(ch));
+  }
+  return Status::OK();
+}
+
+std::string SpineIndex::ReconstructString() const {
+  std::string out;
+  out.reserve(size());
+  for (uint64_t i = 0; i < size(); ++i) out.push_back(CharAt(i));
+  return out;
+}
+
+const SpineIndex::Rib* SpineIndex::FindRib(NodeId node, Code c) const {
+  auto it = ribs_.find(RibKey(node, c));
+  return it == ribs_.end() ? nullptr : &it->second;
+}
+
+const SpineIndex::Extrib* SpineIndex::FindExtrib(NodeId node) const {
+  auto it = extribs_.find(node);
+  return it == extribs_.end() ? nullptr : &it->second;
+}
+
+uint64_t SpineIndex::MemoryBytes() const {
+  // Container book-keeping approximated by typical libstdc++ overheads.
+  constexpr uint64_t kHashNodeOverhead = 16;  // bucket ptr + node next ptr
+  return codes_.MemoryBytes() +
+         link_dest_.size() * sizeof(NodeId) +
+         link_lel_.size() * sizeof(uint32_t) +
+         ribs_.size() * (sizeof(uint64_t) + sizeof(Rib) + kHashNodeOverhead) +
+         extribs_.size() *
+             (sizeof(NodeId) + sizeof(Extrib) + kHashNodeOverhead);
+}
+
+StepResult SpineIndex::Step(NodeId node, Code c, uint32_t pathlen,
+                                        SearchStats* stats) const {
+  StepResult result;
+  if (stats != nullptr) ++stats->nodes_checked;
+  if (node < size() && codes_.Get(node) == c) {
+    // Vertebras are unconditionally traversable.
+    result.ok = true;
+    result.has_edge = true;
+    result.dest = node + 1;
+    return result;
+  }
+  const Rib* rib = FindRib(node, c);
+  if (rib == nullptr) return result;
+  result.has_edge = true;
+  if (pathlen <= rib->pt) {
+    result.ok = true;
+    result.dest = rib->dest;
+    return result;
+  }
+  // Threshold failed: consult the extrib chain for a covering sibling.
+  result.fallback_dest = rib->dest;
+  result.fallback_pt = rib->pt;
+  NodeId x = rib->dest;
+  while (true) {
+    const Extrib* e = FindExtrib(x);
+    if (e == nullptr) break;
+    if (stats != nullptr) ++stats->chain_hops;
+    if (e->prt == rib->pt && e->parent_dest == rib->dest) {
+      if (e->pt >= pathlen) {
+        result.ok = true;
+        result.dest = e->dest;
+        return result;
+      }
+      result.fallback_dest = e->dest;
+      result.fallback_pt = e->pt;
+    }
+    x = e->dest;
+  }
+  return result;  // has_edge, not ok: caller may shrink to fallback_pt.
+}
+
+bool SpineIndex::Contains(std::string_view pattern) const {
+  return FindFirstEnd(pattern).has_value();
+}
+
+std::optional<NodeId> SpineIndex::FindFirstEnd(std::string_view pattern,
+                                               SearchStats* stats) const {
+  NodeId node = kRootNode;
+  uint32_t pathlen = 0;
+  for (char ch : pattern) {
+    Code c = alphabet_.Encode(ch);
+    if (c == kInvalidCode) return std::nullopt;
+    StepResult step = Step(node, c, pathlen, stats);
+    if (!step.ok) return std::nullopt;
+    node = step.dest;
+    ++pathlen;
+  }
+  return node;
+}
+
+std::vector<uint32_t> SpineIndex::FindAll(std::string_view pattern,
+                                          SearchStats* stats) const {
+  std::vector<uint32_t> starts;
+  if (pattern.empty()) return starts;
+  std::optional<NodeId> first = FindFirstEnd(pattern, stats);
+  if (!first.has_value()) return starts;
+  const uint32_t m = static_cast<uint32_t>(pattern.size());
+
+  // Target node buffer scan (Section 4): node j ends another occurrence
+  // iff its link points at a known occurrence end with LEL >= m.
+  std::vector<NodeId> buffer = {*first};
+  const NodeId n = static_cast<NodeId>(size());
+  for (NodeId j = *first + 1; j <= n; ++j) {
+    if (link_lel_[j] < m) continue;
+    if (std::binary_search(buffer.begin(), buffer.end(), link_dest_[j])) {
+      buffer.push_back(j);  // node ids arrive in increasing order
+    }
+  }
+  starts.reserve(buffer.size());
+  for (NodeId end : buffer) starts.push_back(end - m);
+  return starts;
+}
+
+Status SpineIndex::Validate() const {
+  const NodeId n = static_cast<NodeId>(size());
+  for (NodeId i = 1; i <= n; ++i) {
+    if (link_dest_[i] >= i) {
+      return Status::Corruption("link at node " + std::to_string(i) +
+                                " does not point upstream");
+    }
+    if (link_lel_[i] + 1 > i) {
+      return Status::Corruption("LEL at node " + std::to_string(i) +
+                                " exceeds prefix length - 1");
+    }
+    if ((link_lel_[i] == 0) != (link_dest_[i] == kRootNode)) {
+      return Status::Corruption("LEL/root mismatch at node " +
+                                std::to_string(i));
+    }
+    if (link_lel_[i] > link_dest_[i]) {
+      return Status::Corruption("LEL at node " + std::to_string(i) +
+                                " longer than its destination prefix");
+    }
+  }
+  for (const auto& [key, rib] : ribs_) {
+    const NodeId source = static_cast<NodeId>(key >> 8);
+    if (rib.dest <= source) {
+      return Status::Corruption("rib at node " + std::to_string(source) +
+                                " does not point downstream");
+    }
+    if (source != kRootNode && rib.pt <= link_lel_[source]) {
+      return Status::Corruption(
+          "rib PT at node " + std::to_string(source) +
+          " does not exceed the node's LEL (covers nothing)");
+    }
+    if (source == kRootNode && rib.pt != 0) {
+      return Status::Corruption("root rib with non-zero PT");
+    }
+  }
+  for (const auto& [source, e] : extribs_) {
+    if (e.dest <= source) {
+      return Status::Corruption("extrib at node " + std::to_string(source) +
+                                " does not point downstream");
+    }
+    if (e.prt >= e.pt) {
+      return Status::Corruption("extrib at node " + std::to_string(source) +
+                                " has PRT >= PT");
+    }
+  }
+  return Status::OK();
+}
+
+std::string SpineIndex::DebugString() const {
+  std::ostringstream out;
+  const NodeId n = static_cast<NodeId>(size());
+  out << "SpineIndex over \"" << ReconstructString() << "\" (" << n
+      << " nodes)\n";
+  for (NodeId i = 0; i <= n; ++i) {
+    out << "node " << i;
+    if (i < n) out << "  vertebra '" << CharAt(i) << "' -> " << (i + 1);
+    if (i != kRootNode) {
+      out << "  link -> " << link_dest_[i] << " (LEL " << link_lel_[i] << ")";
+    }
+    for (uint32_t c = 0; c < alphabet_.size(); ++c) {
+      const Rib* rib = FindRib(i, static_cast<Code>(c));
+      if (rib != nullptr) {
+        out << "  rib '" << alphabet_.Decode(static_cast<Code>(c)) << "' -> "
+            << rib->dest << " (PT " << rib->pt << ")";
+      }
+    }
+    const Extrib* e = FindExtrib(i);
+    if (e != nullptr) {
+      out << "  extrib -> " << e->dest << " (PT " << e->pt << ", PRT "
+          << e->prt << ")";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace spine

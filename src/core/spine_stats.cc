@@ -1,0 +1,68 @@
+#include "core/spine_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace spine {
+
+LabelMaxima ComputeLabelMaxima(const SpineIndex& index) {
+  LabelMaxima maxima;
+  const NodeId n = static_cast<NodeId>(index.size());
+  for (NodeId i = 1; i <= n; ++i) {
+    maxima.max_lel = std::max(maxima.max_lel, index.LinkLel(i));
+  }
+  index.ForEachRib([&](NodeId, Code, const SpineIndex::Rib& rib) {
+    maxima.max_pt = std::max(maxima.max_pt, rib.pt);
+  });
+  index.ForEachExtrib([&](NodeId, const SpineIndex::Extrib& e) {
+    maxima.max_pt = std::max(maxima.max_pt, e.pt);
+    maxima.max_prt = std::max(maxima.max_prt, e.prt);
+  });
+  return maxima;
+}
+
+double RibDistribution::FractionWithEdges() const {
+  if (total_nodes == 0) return 0;
+  uint64_t with_edges = 0;
+  for (uint64_t count : nodes_with_fanout) with_edges += count;
+  return static_cast<double>(with_edges) / static_cast<double>(total_nodes);
+}
+
+double RibDistribution::FractionWithFanout(uint32_t k) const {
+  if (total_nodes == 0 || k == 0 || k > nodes_with_fanout.size()) return 0;
+  return static_cast<double>(nodes_with_fanout[k - 1]) /
+         static_cast<double>(total_nodes);
+}
+
+RibDistribution ComputeRibDistribution(const SpineIndex& index) {
+  std::unordered_map<NodeId, uint32_t> fanout;
+  index.ForEachRib(
+      [&](NodeId source, Code, const SpineIndex::Rib&) { ++fanout[source]; });
+  index.ForEachExtrib(
+      [&](NodeId source, const SpineIndex::Extrib&) { ++fanout[source]; });
+
+  RibDistribution dist;
+  dist.total_nodes = index.size() + 1;
+  for (const auto& [node, count] : fanout) {
+    if (count > dist.nodes_with_fanout.size()) {
+      dist.nodes_with_fanout.resize(count, 0);
+    }
+    ++dist.nodes_with_fanout[count - 1];
+  }
+  return dist;
+}
+
+std::vector<double> ComputeLinkDestinationHistogram(const SpineIndex& index,
+                                                    uint32_t bins) {
+  std::vector<double> histogram(bins, 0.0);
+  const NodeId n = static_cast<NodeId>(index.size());
+  if (n == 0 || bins == 0) return histogram;
+  for (NodeId i = 1; i <= n; ++i) {
+    uint64_t bin = static_cast<uint64_t>(index.LinkDest(i)) * bins / (n + 1);
+    histogram[static_cast<uint32_t>(bin)] += 1.0;
+  }
+  for (double& value : histogram) value = value * 100.0 / n;
+  return histogram;
+}
+
+}  // namespace spine

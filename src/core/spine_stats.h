@@ -1,0 +1,62 @@
+// Statistics collectors over a built SpineIndex, backing the paper's
+// Table 3 (maximum label values), Table 4 (rib distribution) and
+// Figure 8 (link-destination distribution).
+
+#ifndef SPINE_CORE_SPINE_STATS_H_
+#define SPINE_CORE_SPINE_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/spine_index.h"
+
+namespace spine {
+
+// Maximum numeric label values in the index (Table 3). The paper's key
+// observation: these stay far below 65536 even for 50M+ character
+// genomes, so two bytes suffice (with an overflow table for safety).
+struct LabelMaxima {
+  uint32_t max_lel = 0;
+  uint32_t max_pt = 0;   // over ribs and extribs
+  uint32_t max_prt = 0;
+};
+
+LabelMaxima ComputeLabelMaxima(const SpineIndex& index);
+
+// Distribution of forward-edge fan-out across nodes (Table 4):
+// nodes_with_fanout[k] = number of nodes with exactly k outgoing
+// ribs+extribs (k >= 1; k = 0 nodes are the complement).
+struct RibDistribution {
+  uint64_t total_nodes = 0;  // excludes the root? No: includes all n+1 nodes
+  std::vector<uint64_t> nodes_with_fanout;  // index k -> count, k >= 1
+
+  // Fraction of nodes with at least one forward edge.
+  double FractionWithEdges() const;
+  double FractionWithFanout(uint32_t k) const;
+};
+
+RibDistribution ComputeRibDistribution(const SpineIndex& index);
+
+// Histogram of link destinations over the backbone in `bins` equal-width
+// bins (Figure 8). Percentages sum to ~100.
+std::vector<double> ComputeLinkDestinationHistogram(const SpineIndex& index,
+                                                    uint32_t bins);
+
+// Generic version, usable with any index exposing size()/LinkDest().
+template <typename Index>
+std::vector<double> ComputeLinkDestinationHistogramT(const Index& index,
+                                                     uint32_t bins) {
+  std::vector<double> histogram(bins, 0.0);
+  const NodeId n = static_cast<NodeId>(index.size());
+  if (n == 0 || bins == 0) return histogram;
+  for (NodeId i = 1; i <= n; ++i) {
+    uint64_t bin = static_cast<uint64_t>(index.LinkDest(i)) * bins / (n + 1);
+    histogram[static_cast<uint32_t>(bin)] += 1.0;
+  }
+  for (double& value : histogram) value = value * 100.0 / n;
+  return histogram;
+}
+
+}  // namespace spine
+
+#endif  // SPINE_CORE_SPINE_STATS_H_

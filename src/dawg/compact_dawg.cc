@@ -1,0 +1,149 @@
+#include "dawg/compact_dawg.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace spine {
+
+Result<CompactDawg> CompactDawg::Build(const Alphabet& alphabet,
+                                       std::string_view text) {
+  SuffixAutomaton automaton(alphabet);
+  SPINE_RETURN_IF_ERROR(automaton.AppendString(text));
+
+  CompactDawg cdawg(alphabet, alphabet.bits_per_code());
+  for (char ch : text) cdawg.text_.Append(alphabet.Encode(ch));
+
+  // CDAWG nodes = the automaton's initial state plus every state whose
+  // out-degree differs from 1 (branching states and the sink).
+  std::unordered_map<uint32_t, uint32_t> node_id;
+  std::vector<uint32_t> node_states;
+  auto ensure_node = [&](uint32_t state) {
+    auto [it, inserted] =
+        node_id.emplace(state, static_cast<uint32_t>(node_states.size()));
+    if (inserted) node_states.push_back(state);
+    return it->second;
+  };
+  ensure_node(SuffixAutomaton::kInitialState);
+  for (uint32_t v = 0; v < automaton.state_count(); ++v) {
+    if (automaton.StateOutDegree(v) != 1) ensure_node(v);
+  }
+
+  // Compress chains of out-degree-1 states into single labelled edges.
+  // Chains are shared between in-edges (the automaton is a DAG that
+  // merges), so tails are memoized: chain_target/chain_len give, for an
+  // out-degree-1 state, the terminal node its chain reaches and the
+  // remaining chain length.
+  constexpr uint32_t kUnknown = 0xffffffffu;
+  std::vector<uint32_t> chain_target(automaton.state_count(), kUnknown);
+  std::vector<uint32_t> chain_len(automaton.state_count(), 0);
+  std::vector<uint32_t> path;
+  auto resolve_chain = [&](uint32_t start) {
+    path.clear();
+    uint32_t state = start;
+    while (automaton.StateOutDegree(state) == 1 &&
+           chain_target[state] == kUnknown) {
+      path.push_back(state);
+      uint32_t next = 0;
+      automaton.ForEachTransition(state,
+                                  [&](Code, uint32_t t) { next = t; });
+      state = next;
+    }
+    uint32_t terminal;
+    uint32_t suffix_len;
+    if (automaton.StateOutDegree(state) != 1) {
+      terminal = state;
+      suffix_len = 0;
+    } else {
+      terminal = chain_target[state];
+      suffix_len = chain_len[state];
+    }
+    for (auto it = path.rbegin(); it != path.rend(); ++it) {
+      ++suffix_len;
+      chain_target[*it] = terminal;
+      chain_len[*it] = suffix_len;
+    }
+    return std::make_pair(
+        automaton.StateOutDegree(start) != 1 ? start : chain_target[start],
+        automaton.StateOutDegree(start) != 1 ? 0u : chain_len[start]);
+  };
+
+  // node_states grows only via ensure_node (chain interiors have
+  // out-degree 1 and never become nodes), so indexing by position is
+  // stable during the loop.
+  cdawg.first_edge_.push_back(0);
+  for (uint32_t id = 0; id < node_states.size(); ++id) {
+    uint32_t state = node_states[id];
+    automaton.ForEachTransition(state, [&](Code, uint32_t first_target) {
+      auto [target, tail_len] = resolve_chain(first_target);
+      uint32_t length = 1 + tail_len;
+      // Every string reaching `target` first-ends at its first
+      // occurrence, so the compressed label is the text slice ending
+      // there.
+      uint32_t label_start = automaton.StateFirstEnd(target) - length;
+      cdawg.edges_.push_back({label_start, length, ensure_node(target)});
+    });
+    cdawg.first_edge_.push_back(static_cast<uint32_t>(cdawg.edges_.size()));
+  }
+  return cdawg;
+}
+
+uint64_t CompactDawg::MemoryBytes() const {
+  return edges_.size() * sizeof(Edge) +
+         first_edge_.size() * sizeof(uint32_t) + text_.MemoryBytes();
+}
+
+bool CompactDawg::Contains(std::string_view pattern) const {
+  if (pattern.empty()) return true;
+  if (text_.size() == 0) return false;
+  uint32_t node = 0;
+  size_t i = 0;
+  while (i < pattern.size()) {
+    Code c = alphabet_.Encode(pattern[i]);
+    if (c == kInvalidCode) return false;
+    // Out-edges have distinct first characters (inherited from the
+    // automaton's deterministic transitions).
+    const Edge* chosen = nullptr;
+    for (uint32_t e = first_edge_[node]; e < first_edge_[node + 1]; ++e) {
+      if (text_.Get(edges_[e].label_start) == c) {
+        chosen = &edges_[e];
+        break;
+      }
+    }
+    if (chosen == nullptr) return false;
+    for (uint32_t k = 0; k < chosen->label_len && i < pattern.size();
+         ++k, ++i) {
+      Code pc = alphabet_.Encode(pattern[i]);
+      if (pc == kInvalidCode || text_.Get(chosen->label_start + k) != pc) {
+        return false;
+      }
+    }
+    node = chosen->target;
+  }
+  return true;
+}
+
+Status CompactDawg::Validate() const {
+  const uint32_t n = static_cast<uint32_t>(text_.size());
+  if (first_edge_.empty() || first_edge_[0] != 0 ||
+      first_edge_.back() != edges_.size()) {
+    return Status::Corruption("CSR adjacency malformed");
+  }
+  for (size_t v = 1; v < first_edge_.size(); ++v) {
+    if (first_edge_[v] < first_edge_[v - 1]) {
+      return Status::Corruption("CSR offsets not monotone");
+    }
+  }
+  for (const Edge& edge : edges_) {
+    if (edge.label_len == 0 ||
+        static_cast<uint64_t>(edge.label_start) + edge.label_len > n) {
+      return Status::Corruption("edge label out of range");
+    }
+    if (edge.target >= node_count()) {
+      return Status::Corruption("edge target out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace spine

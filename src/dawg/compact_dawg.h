@@ -1,0 +1,65 @@
+// CompactDawg (CDAWG): the compacted directed acyclic word graph of
+// Inenaga et al. / Crochemore-Verin — the second DAWG variant the
+// paper's Section 7 discusses (quoted at ~22 bytes per indexed
+// character, still unable to reach SPINE's complete compaction).
+//
+// Built statically from the online SuffixAutomaton by compressing
+// non-branching transition chains, exactly as a suffix tree compresses
+// trie paths. Edge labels are recovered positionally: every string
+// reaching automaton state v first-ends at v's first occurrence, so a
+// compressed edge of length L into v is labelled text[first_end(v)-L,
+// first_end(v)) — no label material is copied, only (start, len) pairs
+// plus the bit-packed text.
+
+#ifndef SPINE_DAWG_COMPACT_DAWG_H_
+#define SPINE_DAWG_COMPACT_DAWG_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "alphabet/packed_string.h"
+#include "common/status.h"
+#include "dawg/suffix_automaton.h"
+
+namespace spine {
+
+class CompactDawg {
+ public:
+  // Builds the CDAWG of `text` (via a temporary suffix automaton).
+  static Result<CompactDawg> Build(const Alphabet& alphabet,
+                                   std::string_view text);
+
+  uint64_t size() const { return text_.size(); }
+  uint64_t node_count() const { return first_edge_.size() - 1; }
+  uint64_t edge_count() const { return edges_.size(); }
+  uint64_t MemoryBytes() const;
+
+  bool Contains(std::string_view pattern) const;
+
+  // Structural checks (edge ranges, targets, acyclicity by node order).
+  Status Validate() const;
+
+ private:
+  CompactDawg(const Alphabet& alphabet, uint32_t bits)
+      : alphabet_(alphabet), text_(bits) {}
+
+  struct Edge {
+    uint32_t label_start;  // into text_
+    uint32_t label_len;
+    uint32_t target;       // CDAWG node id
+  };
+
+  Alphabet alphabet_;
+  PackedString text_;
+  // CSR adjacency: node v's edges are edges_[first_edge_[v] ..
+  // first_edge_[v+1]). Node 0 is the source (the automaton's initial
+  // state).
+  std::vector<uint32_t> first_edge_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace spine
+
+#endif  // SPINE_DAWG_COMPACT_DAWG_H_

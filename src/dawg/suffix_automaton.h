@@ -1,0 +1,96 @@
+// Suffix automaton — the DAWG (Directed Acyclic Word Graph) of Blumer
+// et al., "The Smallest Automaton Recognizing the Subwords of a Text"
+// (TCS 1985): the paper's only prior horizontal-compaction relative
+// (Section 7, quoted at ~34 bytes/char for DNA).
+//
+// The suffix automaton is the minimal DFA accepting all substrings of
+// the string; it is built online in O(n * sigma) with the classical
+// Blumer/Crochemore construction. Two of the paper's contrasts are
+// directly observable here:
+//   * DAWG states do not correspond to text positions, so locating
+//     occurrences needs an extra first-position + suffix-link-tree
+//     pass (SPINE's nodes ARE positions);
+//   * the automaton has up to 2n states and 3n transitions, several
+//     times SPINE's footprint.
+
+#ifndef SPINE_DAWG_SUFFIX_AUTOMATON_H_
+#define SPINE_DAWG_SUFFIX_AUTOMATON_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "common/status.h"
+
+namespace spine {
+
+class SuffixAutomaton {
+ public:
+  explicit SuffixAutomaton(const Alphabet& alphabet);
+
+  SuffixAutomaton(const SuffixAutomaton&) = delete;
+  SuffixAutomaton& operator=(const SuffixAutomaton&) = delete;
+  SuffixAutomaton(SuffixAutomaton&&) = default;
+  SuffixAutomaton& operator=(SuffixAutomaton&&) = default;
+
+  // Online extension by one character.
+  Status Append(char c);
+  Status AppendString(std::string_view s);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  uint64_t size() const { return length_; }
+  uint64_t state_count() const { return states_.size(); }
+  uint64_t transition_count() const;
+  uint64_t MemoryBytes() const;
+
+  bool Contains(std::string_view pattern) const;
+  // Number of occurrences of `pattern` (via suffix-link-tree counts).
+  uint64_t CountOccurrences(std::string_view pattern) const;
+  // All start positions, ascending (via first-position propagation down
+  // the suffix-link tree).
+  std::vector<uint32_t> FindAll(std::string_view pattern) const;
+
+  // Structural checks (automaton invariants: len(link(v)) < len(v),
+  // transition monotonicity, state count <= 2n - 1).
+  Status Validate() const;
+
+  // --- Introspection (used by CompactDawg::Build) -----------------------
+
+  static constexpr uint32_t kInitialState = 0;
+  uint32_t StateOutDegree(uint32_t v) const {
+    return static_cast<uint32_t>(states_[v].next.size());
+  }
+  uint32_t StateFirstEnd(uint32_t v) const { return states_[v].first_end; }
+  // Visits (code, target) pairs in code order.
+  template <typename Fn>
+  void ForEachTransition(uint32_t v, Fn&& fn) const {
+    for (const auto& [code, target] : states_[v].next) fn(code, target);
+  }
+
+ private:
+  struct State {
+    uint32_t len = 0;        // length of the longest string in the class
+    uint32_t link = kNone;   // suffix link
+    uint32_t first_end = 0;  // end position of the first occurrence
+    bool is_clone = false;
+    // Sorted (code, target) transition list — compact for genomic
+    // alphabets where most states have very few transitions.
+    std::vector<std::pair<Code, uint32_t>> next;
+  };
+  static constexpr uint32_t kNone = 0xffffffffu;
+
+  uint32_t Transition(uint32_t state, Code c) const;
+  void SetTransition(uint32_t state, Code c, uint32_t target);
+  // State reached by `pattern`, or kNone.
+  uint32_t Walk(std::string_view pattern) const;
+
+  Alphabet alphabet_;
+  std::vector<State> states_;
+  uint32_t last_ = 0;
+  uint64_t length_ = 0;
+};
+
+}  // namespace spine
+
+#endif  // SPINE_DAWG_SUFFIX_AUTOMATON_H_

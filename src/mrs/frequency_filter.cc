@@ -1,0 +1,162 @@
+#include "mrs/frequency_filter.h"
+
+#include <algorithm>
+
+#include "align/edit_distance.h"
+#include "common/check.h"
+
+namespace spine::mrs {
+
+FrequencyFilterIndex::FrequencyFilterIndex(const Alphabet& alphabet,
+                                           std::string text,
+                                           uint32_t frame_size, uint32_t gram)
+    : alphabet_(alphabet),
+      text_(std::move(text)),
+      frame_size_(frame_size),
+      gram_(gram) {
+  dims_ = 1;
+  for (uint32_t i = 0; i < gram_; ++i) dims_ *= alphabet_.size();
+}
+
+uint32_t FrequencyFilterIndex::GramAt(uint64_t pos) const {
+  uint32_t id = 0;
+  for (uint32_t i = 0; i < gram_; ++i) {
+    id = id * alphabet_.size() + alphabet_.Encode(text_[pos + i]);
+  }
+  return id;
+}
+
+Result<FrequencyFilterIndex> FrequencyFilterIndex::Build(
+    const Alphabet& alphabet, std::string_view text, const Options& options) {
+  if (options.frame_size < 4) {
+    return Status::InvalidArgument("frame_size must be at least 4");
+  }
+  if (options.gram < 1) {
+    return Status::InvalidArgument("gram must be at least 1");
+  }
+  // Clamp the gram so the sketch dimensionality stays reasonable.
+  uint32_t gram = options.gram;
+  uint64_t dims = 1;
+  for (uint32_t i = 0; i < gram; ++i) dims *= alphabet.size();
+  while (gram > 1 && dims > 4096) {
+    dims /= alphabet.size();
+    --gram;
+  }
+
+  // Store decoded characters (the verify phase rescans them).
+  std::string retained;
+  retained.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    Code c = alphabet.Encode(text[i]);
+    if (c == kInvalidCode) {
+      return Status::InvalidArgument("character at offset " +
+                                     std::to_string(i) +
+                                     " is not in the alphabet");
+    }
+    retained.push_back(alphabet.Decode(c));
+  }
+  FrequencyFilterIndex index(alphabet, std::move(retained),
+                             options.frame_size, gram);
+  const uint64_t frames =
+      (text.size() + options.frame_size - 1) / options.frame_size;
+  index.frame_counts_.assign(frames * index.dims_, 0);
+  if (index.text_.size() + 1 >= gram) {
+    for (uint64_t i = 0; i + gram <= index.text_.size(); ++i) {
+      ++index.frame_counts_[(i / options.frame_size) * index.dims_ +
+                            index.GramAt(i)];
+    }
+  }
+  return index;
+}
+
+uint64_t FrequencyFilterIndex::SketchBytes() const {
+  return frame_counts_.size() * sizeof(uint16_t);
+}
+
+std::vector<FilterHit> FrequencyFilterIndex::FindApproximate(
+    std::string_view pattern, uint32_t max_edits, uint64_t* frames_pruned,
+    uint64_t* candidates_verified) const {
+  std::vector<FilterHit> hits;
+  const uint32_t m = static_cast<uint32_t>(pattern.size());
+  const uint32_t n = static_cast<uint32_t>(text_.size());
+  if (m == 0 || max_edits >= m || n == 0) return hits;
+
+  // Pattern gram-frequency vector. A matching window (<= max_edits
+  // edits away) must supply at least pattern_grams[g] - max_edits * gram
+  // grams in total, since each edit creates at most `gram` new grams.
+  std::vector<uint32_t> pattern_grams;
+  bool can_filter = m >= gram_;
+  if (can_filter) {
+    pattern_grams.assign(dims_, 0);
+    for (uint32_t i = 0; i + gram_ <= m; ++i) {
+      uint32_t id = 0;
+      bool valid = true;
+      for (uint32_t j = 0; j < gram_; ++j) {
+        Code c = alphabet_.Encode(pattern[i + j]);
+        if (c == kInvalidCode) {
+          valid = false;
+          break;
+        }
+        id = id * alphabet_.size() + c;
+      }
+      if (!valid) return hits;  // foreign characters can never match
+      ++pattern_grams[id];
+    }
+  }
+
+  // Phase 1 — FILTER per start-frame. A window starting in frame f has
+  // gram start positions within frames f..g, so the region's counts
+  // upper-bound its supply.
+  const uint64_t frames = (n + frame_size_ - 1) / frame_size_;
+  const uint32_t max_window = m + max_edits;
+  std::vector<uint32_t> region(dims_, 0);
+  std::vector<uint32_t> candidate_frames;
+  uint64_t pruned = 0;
+  for (uint64_t f = 0; f < frames; ++f) {
+    if (!can_filter) {
+      candidate_frames.push_back(static_cast<uint32_t>(f));
+      continue;
+    }
+    uint64_t last_start = f * frame_size_ + frame_size_ - 1 + max_window;
+    uint64_t g = std::min<uint64_t>(frames - 1, last_start / frame_size_);
+    std::fill(region.begin(), region.end(), 0);
+    for (uint64_t j = f; j <= g; ++j) {
+      for (uint32_t d = 0; d < dims_; ++d) {
+        region[d] += frame_counts_[j * dims_ + d];
+      }
+    }
+    uint64_t deficit = 0;
+    for (uint32_t d = 0; d < dims_; ++d) {
+      if (pattern_grams[d] > region[d]) deficit += pattern_grams[d] - region[d];
+    }
+    // Each edit creates at most `gram` new grams in the window.
+    uint64_t lower_bound = (deficit + gram_ - 1) / gram_;
+    if (lower_bound > max_edits) {
+      ++pruned;
+    } else {
+      candidate_frames.push_back(static_cast<uint32_t>(f));
+    }
+  }
+  if (frames_pruned != nullptr) *frames_pruned = pruned;
+
+  // Phase 2 — VERIFY every start position inside surviving frames.
+  uint64_t verified = 0;
+  for (uint32_t f : candidate_frames) {
+    uint32_t begin = f * frame_size_;
+    uint32_t end = std::min(n, begin + frame_size_);
+    for (uint32_t s = begin; s < end; ++s) {
+      uint32_t window_len = std::min(max_window, n - s);
+      if (window_len + max_edits < m) continue;
+      ++verified;
+      auto best = align::BestPrefixEditDistance(
+          pattern, std::string_view(text_).substr(s, window_len), max_edits);
+      if (best.has_value()) {
+        hits.push_back({s, best->second, best->first});
+      }
+    }
+  }
+  if (candidates_verified != nullptr) *candidates_verified = verified;
+  return hits;
+}
+
+}  // namespace spine::mrs

@@ -1,0 +1,72 @@
+#include "naive/naive_index.h"
+
+#include <algorithm>
+
+namespace spine::naive {
+
+std::vector<uint32_t> FindAllOccurrences(std::string_view text,
+                                         std::string_view pattern) {
+  std::vector<uint32_t> out;
+  if (pattern.empty() || pattern.size() > text.size()) return out;
+  for (size_t i = 0; i + pattern.size() <= text.size(); ++i) {
+    if (text.compare(i, pattern.size(), pattern) == 0) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+int64_t FirstOccurrenceEnd(std::string_view text, std::string_view pattern) {
+  if (pattern.empty()) return 0;
+  size_t pos = text.find(pattern);
+  if (pos == std::string_view::npos) return -1;
+  return static_cast<int64_t>(pos + pattern.size());
+}
+
+uint32_t LongestEarlierSuffix(std::string_view text, uint32_t i) {
+  for (uint32_t len = i == 0 ? 0 : i - 1; len > 0; --len) {
+    std::string_view suffix = text.substr(i - len, len);
+    // Does `suffix` occur in text ending strictly before i?
+    size_t pos = text.substr(0, i - 1).find(suffix);
+    if (pos != std::string_view::npos && pos + len <= i - 1) return len;
+  }
+  return 0;
+}
+
+namespace {
+
+// Matching statistic: longest prefix of query[q..] occurring in data.
+uint32_t MatchingStatistic(std::string_view data, std::string_view query,
+                           uint32_t q) {
+  uint32_t best = 0;
+  for (size_t d = 0; d < data.size(); ++d) {
+    uint32_t len = 0;
+    while (q + len < query.size() && d + len < data.size() &&
+           query[q + len] == data[d + len]) {
+      ++len;
+    }
+    best = std::max(best, len);
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<NaiveMatch> MaximalMatches(std::string_view data,
+                                       std::string_view query,
+                                       uint32_t min_len) {
+  std::vector<NaiveMatch> out;
+  uint32_t prev = 0;
+  for (uint32_t q = 0; q < query.size(); ++q) {
+    uint32_t len = MatchingStatistic(data, query, q);
+    // Maximal: not a proper suffix of the match starting one position
+    // earlier (which would have covered it).
+    if (len >= min_len && (q == 0 || prev < len + 1)) {
+      out.push_back({q, len});
+    }
+    prev = len;
+  }
+  return out;
+}
+
+}  // namespace spine::naive

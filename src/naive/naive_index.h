@@ -1,0 +1,49 @@
+// Brute-force reference implementations used as ground truth in tests.
+// Everything here is O(n * m) or worse by design: correctness over speed.
+
+#ifndef SPINE_NAIVE_NAIVE_INDEX_H_
+#define SPINE_NAIVE_NAIVE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spine::naive {
+
+// All start positions (0-based) of `pattern` in `text`, in increasing order.
+std::vector<uint32_t> FindAllOccurrences(std::string_view text,
+                                         std::string_view pattern);
+
+// End position (exclusive) of the first occurrence of `pattern` in `text`,
+// or -1 if absent. This is exactly the SPINE node a valid search path for
+// `pattern` must end at.
+int64_t FirstOccurrenceEnd(std::string_view text, std::string_view pattern);
+
+// Length of the longest suffix of text[0..i) that also occurs in text
+// ending at some position < i. This is SPINE's LEL(i). LEL(0) = 0.
+uint32_t LongestEarlierSuffix(std::string_view text, uint32_t i);
+
+// A maximal match between a data string and a query string.
+struct NaiveMatch {
+  uint32_t query_pos;  // start in the query
+  uint32_t length;
+  bool operator==(const NaiveMatch&) const = default;
+  bool operator<(const NaiveMatch& o) const {
+    return query_pos != o.query_pos ? query_pos < o.query_pos
+                                    : length < o.length;
+  }
+};
+
+// For every query position, the length of the longest substring of
+// `query` starting there that occurs anywhere in `data`; reports the
+// right-maximal ones of length >= min_len. Right-maximal means the match
+// cannot be extended by the next query character (or the query ends) —
+// the same matches SPINE's streaming matcher reports.
+std::vector<NaiveMatch> MaximalMatches(std::string_view data,
+                                       std::string_view query,
+                                       uint32_t min_len);
+
+}  // namespace spine::naive
+
+#endif  // SPINE_NAIVE_NAIVE_INDEX_H_

@@ -1,0 +1,62 @@
+#include "seq/datasets.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+#include "seq/generator.h"
+
+namespace spine::seq {
+
+const std::vector<DatasetSpec>& AllDatasets() {
+  static const std::vector<DatasetSpec>* kDatasets =
+      new std::vector<DatasetSpec>{
+          {"ECO", 3'500'000, false, 101},
+          {"CEL", 15'500'000, false, 102},
+          {"HC21", 28'500'000, false, 103},
+          {"HC19", 57'500'000, false, 104},
+          {"ECO-R", 1'500'000, true, 201},
+          {"YST-R", 3'100'000, true, 202},
+          {"DRO-R", 7'500'000, true, 203},
+      };
+  return *kDatasets;
+}
+
+const DatasetSpec& DatasetByName(const std::string& name) {
+  for (const DatasetSpec& spec : AllDatasets()) {
+    if (spec.name == name) return spec;
+  }
+  SPINE_CHECK_MSG(false, ("unknown dataset " + name).c_str());
+  __builtin_unreachable();
+}
+
+std::string MakeDataset(const DatasetSpec& spec, double scale) {
+  SPINE_CHECK(scale > 0);
+  GeneratorOptions options;
+  options.length = static_cast<uint64_t>(spec.paper_length * scale);
+  if (options.length < 1000) options.length = 1000;
+  options.seed = spec.seed;
+  // Calibrated against the paper's Table 4: ~25-33% of nodes carry
+  // forward edges with a 15/8/6/4-style fan-out decay, and numeric
+  // labels reach the hundreds/thousands (Table 3). Human chromosomes
+  // are somewhat more repetitive than bacterial genomes.
+  options.repeat_fraction = spec.paper_length > 20'000'000 ? 0.08 : 0.05;
+  options.mean_repeat_len = spec.is_protein ? 150 : 500;
+  options.mutation_rate = 0.01;
+  Alphabet alphabet = DatasetAlphabet(spec);
+  return GenerateSequence(alphabet, options);
+}
+
+double BenchScaleFromEnv(double fallback) {
+  const char* env = std::getenv("SPINE_BENCH_SCALE");
+  if (env == nullptr) return fallback;
+  char* end = nullptr;
+  double value = std::strtod(env, &end);
+  if (end == env || value <= 0) return fallback;
+  return value;
+}
+
+Alphabet DatasetAlphabet(const DatasetSpec& spec) {
+  return spec.is_protein ? Alphabet::Protein() : Alphabet::Dna();
+}
+
+}  // namespace spine::seq

@@ -1,0 +1,53 @@
+// Named dataset presets standing in for the paper's evaluation strings.
+//
+// The paper's datasets (Section 5):
+//   ECO   E.coli genome,            3.5 M characters (DNA)
+//   CEL   C.elegans genome,        15.5 M characters (DNA)
+//   HC21  Human chromosome 21,     28.5 M characters (DNA)
+//   HC19  Human chromosome 19,     57.5 M characters (DNA)
+//   ECO-R E.coli residues,          1.5 M characters (protein)
+//   YST-R Yeast residues,           3.1 M characters (protein)
+//   DRO-R Drosophila residues,      7.5 M characters (protein)
+//
+// We generate synthetic sequences of the same *relative* lengths with a
+// repeat-rich model (see generator.h). The `scale` parameter shrinks all
+// lengths uniformly so benchmarks finish quickly; the environment
+// variable SPINE_BENCH_SCALE overrides the default of 0.1 (i.e. a tenth
+// of the paper's sizes).
+
+#ifndef SPINE_SEQ_DATASETS_H_
+#define SPINE_SEQ_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+
+namespace spine::seq {
+
+struct DatasetSpec {
+  std::string name;        // paper's label, e.g. "ECO"
+  uint64_t paper_length;   // characters in the paper's dataset
+  bool is_protein;
+  uint64_t seed;           // generation seed (deterministic per dataset)
+};
+
+// The seven datasets of the paper, in paper order (DNA first).
+const std::vector<DatasetSpec>& AllDatasets();
+
+// Spec lookup by paper label; aborts on unknown name.
+const DatasetSpec& DatasetByName(const std::string& name);
+
+// Generates the synthetic stand-in for `spec`, scaled by `scale`.
+std::string MakeDataset(const DatasetSpec& spec, double scale);
+
+// Reads SPINE_BENCH_SCALE (a double); returns `fallback` if unset/invalid.
+double BenchScaleFromEnv(double fallback = 0.1);
+
+// Alphabet appropriate for a dataset.
+Alphabet DatasetAlphabet(const DatasetSpec& spec);
+
+}  // namespace spine::seq
+
+#endif  // SPINE_SEQ_DATASETS_H_

@@ -1,0 +1,76 @@
+#include "seq/fasta.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace spine::seq {
+
+Result<std::vector<FastaRecord>> ParseFasta(const std::string& text) {
+  std::vector<FastaRecord> records;
+  std::istringstream in(text);
+  std::string line;
+  FastaRecord* current = nullptr;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      records.emplace_back();
+      current = &records.back();
+      size_t space = line.find_first_of(" \t");
+      if (space == std::string::npos) {
+        current->id = line.substr(1);
+      } else {
+        current->id = line.substr(1, space - 1);
+        size_t rest = line.find_first_not_of(" \t", space);
+        if (rest != std::string::npos) current->comment = line.substr(rest);
+      }
+    } else if (line[0] == ';') {
+      continue;  // old-style comment line
+    } else {
+      if (current == nullptr) {
+        return Status::Corruption("sequence data before any '>' header at line " +
+                                  std::to_string(line_no));
+      }
+      for (char c : line) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          current->sequence.push_back(c);
+        }
+      }
+    }
+  }
+  return records;
+}
+
+Result<std::vector<FastaRecord>> ReadFasta(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failure on " + path);
+  return ParseFasta(buffer.str());
+}
+
+Status WriteFasta(const std::string& path,
+                  const std::vector<FastaRecord>& records, size_t line_width) {
+  if (line_width == 0) {
+    return Status::InvalidArgument("line_width must be positive");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  for (const FastaRecord& rec : records) {
+    out << '>' << rec.id;
+    if (!rec.comment.empty()) out << ' ' << rec.comment;
+    out << '\n';
+    for (size_t i = 0; i < rec.sequence.size(); i += line_width) {
+      out << rec.sequence.substr(i, line_width) << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace spine::seq

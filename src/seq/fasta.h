@@ -1,0 +1,33 @@
+// Minimal FASTA reader/writer for loading real genome/proteome files when
+// the user has them, and for persisting synthetic datasets.
+
+#ifndef SPINE_SEQ_FASTA_H_
+#define SPINE_SEQ_FASTA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spine::seq {
+
+struct FastaRecord {
+  std::string id;        // text after '>' up to first whitespace
+  std::string comment;   // remainder of the header line
+  std::string sequence;  // concatenated sequence lines, whitespace stripped
+};
+
+// Parses all records from a FASTA file.
+Result<std::vector<FastaRecord>> ReadFasta(const std::string& path);
+
+// Parses FASTA records from an in-memory buffer.
+Result<std::vector<FastaRecord>> ParseFasta(const std::string& text);
+
+// Writes records with the given line width for sequence data.
+Status WriteFasta(const std::string& path,
+                  const std::vector<FastaRecord>& records,
+                  size_t line_width = 70);
+
+}  // namespace spine::seq
+
+#endif  // SPINE_SEQ_FASTA_H_

@@ -1,0 +1,121 @@
+#include "seq/generator.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace spine::seq {
+
+namespace {
+
+// Geometric-ish length with the given mean, at least 1.
+uint64_t GeometricLength(Rng& rng, double mean) {
+  if (mean <= 1.0) return 1;
+  double u = rng.NextDouble();
+  // Inverse CDF of the geometric distribution with success prob 1/mean.
+  double len = std::log1p(-u) / std::log1p(-1.0 / mean);
+  if (len < 1.0) return 1;
+  return static_cast<uint64_t>(len);
+}
+
+// Builds a random row-stochastic transition matrix biased toward a few
+// preferred successors per character, so the background text itself has
+// short repeated motifs like real genomes do.
+std::vector<std::vector<double>> MakeTransitions(Rng& rng, uint32_t sigma) {
+  std::vector<std::vector<double>> rows(sigma, std::vector<double>(sigma));
+  for (uint32_t a = 0; a < sigma; ++a) {
+    double total = 0;
+    for (uint32_t b = 0; b < sigma; ++b) {
+      double w = 0.2 + rng.NextDouble();
+      if (rng.Chance(2.0 / sigma)) w += 2.0;  // preferred successor
+      rows[a][b] = w;
+      total += w;
+    }
+    for (uint32_t b = 0; b < sigma; ++b) rows[a][b] /= total;
+  }
+  return rows;
+}
+
+Code SampleRow(Rng& rng, const std::vector<double>& row) {
+  double u = rng.NextDouble();
+  double acc = 0;
+  for (uint32_t b = 0; b < row.size(); ++b) {
+    acc += row[b];
+    if (u < acc) return static_cast<Code>(b);
+  }
+  return static_cast<Code>(row.size() - 1);
+}
+
+}  // namespace
+
+std::string GenerateSequence(const Alphabet& alphabet,
+                             const GeneratorOptions& options) {
+  SPINE_CHECK(alphabet.size() >= 2);
+  Rng rng(options.seed);
+  const uint32_t sigma = alphabet.size();
+  auto transitions = MakeTransitions(rng, sigma);
+
+  std::string out;
+  out.reserve(options.length);
+  Code prev = static_cast<Code>(rng.Below(sigma));
+  out.push_back(alphabet.Decode(prev));
+
+  while (out.size() < options.length) {
+    bool do_repeat =
+        out.size() > 64 && rng.Chance(options.repeat_fraction / 100.0);
+    // repeat_fraction is interpreted per *event*: an event emits ~100
+    // background chars or one repeat segment of mean_repeat_len; dividing
+    // by 100 above makes the emitted-character fractions roughly match
+    // when mean_repeat_len ~ 100 * repeat_fraction/(1-repeat_fraction).
+    if (do_repeat) {
+      uint64_t len = GeometricLength(rng, options.mean_repeat_len);
+      if (len > out.size()) len = out.size();
+      uint64_t start = rng.Below(out.size() - len + 1);
+      for (uint64_t i = 0; i < len && out.size() < options.length; ++i) {
+        char c = out[start + i];
+        if (rng.Chance(options.mutation_rate)) {
+          c = alphabet.Decode(static_cast<Code>(rng.Below(sigma)));
+        }
+        out.push_back(c);
+      }
+      prev = alphabet.Encode(out.back());
+    } else {
+      prev = SampleRow(rng, transitions[prev]);
+      out.push_back(alphabet.Decode(prev));
+    }
+  }
+  return out;
+}
+
+std::string MutateCopy(const Alphabet& alphabet, const std::string& source,
+                       const MutateOptions& options) {
+  Rng rng(options.seed);
+  const uint32_t sigma = alphabet.size();
+  std::string out;
+  out.reserve(source.size());
+  for (size_t i = 0; i < source.size(); ++i) {
+    if (rng.Chance(options.indel_rate)) {
+      uint64_t len = GeometricLength(rng, options.mean_indel_len);
+      if (rng.Chance(0.5)) {
+        // Deletion: skip ahead.
+        i += len;
+        if (i >= source.size()) break;
+      } else {
+        // Insertion: random characters.
+        for (uint64_t k = 0; k < len; ++k) {
+          out.push_back(alphabet.Decode(static_cast<Code>(rng.Below(sigma))));
+        }
+      }
+    }
+    char c = source[i];
+    if (rng.Chance(options.substitution_rate)) {
+      c = alphabet.Decode(static_cast<Code>(rng.Below(sigma)));
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace spine::seq

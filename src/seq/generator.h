@@ -1,0 +1,64 @@
+// Synthetic sequence generator.
+//
+// The paper evaluates on real genomes (E.coli, C.elegans, human
+// chromosomes 19/21) and proteomes, which are not shipped with this
+// repository. The behaviours SPINE's evaluation measures — bounded
+// numeric labels (Table 3), sparse rib distribution (Table 4), skewed
+// link destinations (Fig. 8), nodes-checked ratios (Table 6) — are all
+// consequences of genomic *repeat structure*: long strings where later
+// regions largely repeat earlier patterns. This generator reproduces
+// that structure:
+//
+//   - a background order-1 Markov chain over the alphabet (local
+//     composition bias, like GC content), plus
+//   - segmental duplications: with probability `repeat_fraction`, the
+//     generator copies a random earlier segment (geometric length around
+//     `mean_repeat_len`) and replays it with per-character
+//     `mutation_rate` point mutations.
+//
+// Pairs of related sequences (for the alignment experiments of Tables
+// 5-7) are produced by MutateCopy: a divergent copy of a source sequence
+// with point mutations and indels, mimicking two strains of an organism.
+
+#ifndef SPINE_SEQ_GENERATOR_H_
+#define SPINE_SEQ_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "alphabet/alphabet.h"
+
+namespace spine::seq {
+
+struct GeneratorOptions {
+  uint64_t length = 1 << 20;
+  uint64_t seed = 1;
+  // Fraction of emitted characters that come from replayed repeats.
+  double repeat_fraction = 0.5;
+  // Mean length of a replayed segment (geometric distribution).
+  double mean_repeat_len = 2000;
+  // Per-character substitution probability while replaying a repeat.
+  double mutation_rate = 0.01;
+};
+
+// Generates a repeat-rich random sequence over `alphabet`.
+std::string GenerateSequence(const Alphabet& alphabet,
+                             const GeneratorOptions& options);
+
+struct MutateOptions {
+  uint64_t seed = 7;
+  double substitution_rate = 0.05;
+  double indel_rate = 0.002;
+  // Mean length of an insertion or deletion event (geometric).
+  double mean_indel_len = 20;
+};
+
+// Produces a divergent copy of `source`: the same string with random
+// substitutions and short insertions/deletions. Used to build query
+// sequences that share long exact substrings with the data sequence.
+std::string MutateCopy(const Alphabet& alphabet, const std::string& source,
+                       const MutateOptions& options);
+
+}  // namespace spine::seq
+
+#endif  // SPINE_SEQ_GENERATOR_H_

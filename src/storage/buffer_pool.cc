@@ -1,0 +1,130 @@
+#include "storage/buffer_pool.h"
+
+#include "common/check.h"
+
+namespace spine::storage {
+
+const char* PolicyName(ReplacementPolicy policy) {
+  switch (policy) {
+    case ReplacementPolicy::kLru:
+      return "LRU";
+    case ReplacementPolicy::kClock:
+      return "CLOCK";
+    case ReplacementPolicy::kPinTop:
+      return "PIN-TOP";
+  }
+  return "unknown";
+}
+
+BufferPool::BufferPool(PageFile* file, uint32_t frames,
+                       ReplacementPolicy policy)
+    : file_(file), policy_(policy) {
+  SPINE_CHECK(frames >= 1);
+  frames_.resize(frames);
+  arena_.resize(static_cast<uint64_t>(frames) * kPageSize);
+  lru_pos_.resize(frames);
+  // Pin-top: reserve a quarter of the budget for the top of the file.
+  protected_pages_ = frames / 4;
+}
+
+void BufferPool::Touch(uint32_t frame) {
+  switch (policy_) {
+    case ReplacementPolicy::kLru:
+    case ReplacementPolicy::kPinTop:
+      lru_.erase(lru_pos_[frame]);
+      lru_.push_front(frame);
+      lru_pos_[frame] = lru_.begin();
+      break;
+    case ReplacementPolicy::kClock:
+      frames_[frame].referenced = true;
+      break;
+  }
+}
+
+uint32_t BufferPool::PickVictim() {
+  switch (policy_) {
+    case ReplacementPolicy::kLru:
+      return lru_.back();
+    case ReplacementPolicy::kClock: {
+      while (true) {
+        Frame& frame = frames_[clock_hand_];
+        uint32_t candidate = clock_hand_;
+        clock_hand_ = (clock_hand_ + 1) % frames_.size();
+        if (frame.referenced) {
+          frame.referenced = false;
+        } else {
+          return candidate;
+        }
+      }
+    }
+    case ReplacementPolicy::kPinTop: {
+      // LRU among the unprotected frames; protected (top-of-backbone)
+      // pages are skipped unless nothing else is available.
+      for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+        if (!Protected(frames_[*it].page_id)) return *it;
+      }
+      return lru_.back();
+    }
+  }
+  return 0;
+}
+
+uint8_t* BufferPool::FetchPage(uint64_t page_id, bool mark_dirty) {
+  auto it = page_to_frame_.find(page_id);
+  if (it != page_to_frame_.end()) {
+    ++stats_.hits;
+    uint32_t frame = it->second;
+    if (mark_dirty) frames_[frame].dirty = true;
+    Touch(frame);
+    return FrameData(frame);
+  }
+  ++stats_.misses;
+
+  const bool uses_lru_list = policy_ == ReplacementPolicy::kLru ||
+                             policy_ == ReplacementPolicy::kPinTop;
+  uint32_t frame;
+  if (next_free_ < frames_.size()) {
+    frame = next_free_++;
+    if (uses_lru_list) {
+      lru_.push_front(frame);
+      lru_pos_[frame] = lru_.begin();
+    }
+  } else {
+    frame = PickVictim();
+    Frame& victim = frames_[frame];
+    ++stats_.evictions;
+    if (victim.dirty) {
+      ++stats_.dirty_writebacks;
+      Status status = file_->WritePage(victim.page_id, FrameData(frame));
+      if (!status.ok()) {
+        last_error_ = status;
+        return nullptr;
+      }
+    }
+    page_to_frame_.erase(victim.page_id);
+  }
+
+  Status status = file_->ReadPage(page_id, FrameData(frame));
+  if (!status.ok()) {
+    last_error_ = status;
+    return nullptr;
+  }
+  frames_[frame] = Frame{page_id, /*valid=*/true, mark_dirty,
+                         /*referenced=*/true};
+  page_to_frame_[page_id] = frame;
+  if (uses_lru_list) Touch(frame);
+  return FrameData(frame);
+}
+
+Status BufferPool::FlushAll() {
+  for (uint32_t frame = 0; frame < frames_.size(); ++frame) {
+    Frame& f = frames_[frame];
+    if (f.valid && f.dirty) {
+      SPINE_RETURN_IF_ERROR(file_->WritePage(f.page_id, FrameData(frame)));
+      f.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace spine::storage

@@ -1,0 +1,115 @@
+// BufferPool: fixed-budget page cache with pluggable replacement.
+//
+// Policies:
+//   kLru     — classic least-recently-used.
+//   kClock   — second-chance clock (cheaper bookkeeping).
+//   kPinTop  — the paper's SPINE-specific strategy (Section 6.2): link
+//              destinations skew heavily toward the top of the backbone
+//              (Fig. 8), so "retain as much as possible of the top part
+//              of the Link Table in memory". Implemented as a hybrid:
+//              a quarter of the frames is reserved for the lowest page
+//              ids (the top of the backbone — pages are allocated in
+//              append order); the remaining frames run plain LRU. Pure
+//              evict-the-deepest-page turns sequential scans into
+//              thrashing, so the protected set is capped.
+//
+// Single-threaded by design (the paper's experiments are single
+// threaded); a fetched pointer stays valid until the next Fetch call on
+// the same pool.
+
+#ifndef SPINE_STORAGE_BUFFER_POOL_H_
+#define SPINE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page_file.h"
+
+namespace spine::storage {
+
+enum class ReplacementPolicy { kLru, kClock, kPinTop };
+
+const char* PolicyName(ReplacementPolicy policy);
+
+struct IoStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+
+  uint64_t accesses() const { return hits + misses; }
+  double HitRate() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(hits) /
+                                 static_cast<double>(accesses());
+  }
+};
+
+class BufferPool {
+ public:
+  // `frames` is the memory budget in pages. The pool does not own the
+  // file; it must outlive the pool.
+  BufferPool(PageFile* file, uint32_t frames, ReplacementPolicy policy);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Returns the frame data for `page_id`, faulting it in if necessary.
+  // With mark_dirty the page is written back on eviction/flush.
+  // Returns nullptr only on I/O error (see last_error()).
+  uint8_t* FetchPage(uint64_t page_id, bool mark_dirty);
+
+  Status FlushAll();
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+  uint32_t frame_count() const { return static_cast<uint32_t>(frames_.size()); }
+  uint64_t MemoryBytes() const { return arena_.size(); }
+  const Status& last_error() const { return last_error_; }
+
+ private:
+  struct Frame {
+    uint64_t page_id = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool referenced = false;  // clock bit
+  };
+
+  uint8_t* FrameData(uint32_t frame) {
+    return arena_.data() + static_cast<uint64_t>(frame) * kPageSize;
+  }
+  // Chooses a victim frame according to the policy (all frames valid).
+  uint32_t PickVictim();
+  void Touch(uint32_t frame);
+
+  PageFile* file_;
+  ReplacementPolicy policy_;
+  std::vector<Frame> frames_;
+  std::vector<uint8_t> arena_;
+  std::unordered_map<uint64_t, uint32_t> page_to_frame_;
+
+  // True when `page_id` belongs to the pin-top protected set.
+  bool Protected(uint64_t page_id) const {
+    return policy_ == ReplacementPolicy::kPinTop &&
+           page_id < protected_pages_;
+  }
+
+  // LRU bookkeeping (also used by kPinTop for the unprotected frames):
+  // most recent at front.
+  std::list<uint32_t> lru_;
+  std::vector<std::list<uint32_t>::iterator> lru_pos_;
+  uint64_t protected_pages_ = 0;  // pin-top: page ids below this stay
+  uint32_t clock_hand_ = 0;
+  uint32_t next_free_ = 0;
+
+  IoStats stats_;
+  Status last_error_;
+};
+
+}  // namespace spine::storage
+
+#endif  // SPINE_STORAGE_BUFFER_POOL_H_

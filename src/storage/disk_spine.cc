@@ -1,0 +1,529 @@
+#include "storage/disk_spine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "common/check.h"
+#include "common/serde.h"
+#include "core/search.h"
+
+namespace spine::storage {
+
+namespace {
+constexpr uint32_t kMetaMagic = 0x5350444d;  // "SPDM"
+constexpr uint32_t kMetaVersion = 1;
+
+struct SlotPair {
+  uint32_t node;
+  uint32_t slot;
+};
+}  // namespace
+
+// --- PagedCodes -----------------------------------------------------------
+
+PagedCodes::PagedCodes(BufferPool* pool, PageAllocator* allocator,
+                       uint32_t bits)
+    : pool_(pool), allocator_(allocator), bits_(bits) {
+  SPINE_CHECK(bits >= 1 && bits <= 8);
+  codes_per_page_ = kPageSize * 8 / bits;  // codes never straddle pages
+}
+
+void PagedCodes::Append(Code code) {
+  uint64_t slot = size_ % codes_per_page_;
+  if (slot == 0) page_table_.push_back(allocator_->Allocate());
+  uint8_t* page = pool_->FetchPage(page_table_.back(), true);
+  SPINE_CHECK_MSG(page != nullptr, "buffer pool I/O failure");
+  uint64_t bit_pos = slot * bits_;
+  uint64_t byte = bit_pos / 8;
+  uint32_t offset = static_cast<uint32_t>(bit_pos % 8);
+  if (offset + bits_ <= 8) {
+    page[byte] = static_cast<uint8_t>(page[byte] | (code << offset));
+  } else {
+    // Codes never straddle pages (floor division in codes_per_page_),
+    // so a byte-straddling code always has byte + 1 within the page.
+    uint16_t word;
+    std::memcpy(&word, page + byte, sizeof(word));
+    word =
+        static_cast<uint16_t>(word | (static_cast<uint16_t>(code) << offset));
+    std::memcpy(page + byte, &word, sizeof(word));
+  }
+  ++size_;
+}
+
+Code PagedCodes::Get(uint64_t index) const {
+  SPINE_DCHECK(index < size_);
+  const uint8_t* page =
+      pool_->FetchPage(page_table_[index / codes_per_page_], false);
+  SPINE_CHECK_MSG(page != nullptr, "buffer pool I/O failure");
+  uint64_t bit_pos = (index % codes_per_page_) * bits_;
+  uint64_t byte = bit_pos / 8;
+  uint32_t offset = static_cast<uint32_t>(bit_pos % 8);
+  uint32_t value;
+  if (offset + bits_ <= 8) {
+    value = page[byte] >> offset;
+  } else {
+    uint16_t word;
+    std::memcpy(&word, page + byte, sizeof(word));
+    value = word >> offset;
+  }
+  return static_cast<Code>(value & ((1u << bits_) - 1));
+}
+
+// --- DiskSpine ------------------------------------------------------------
+
+DiskSpine::DiskSpine(const Alphabet& alphabet, PageFile file,
+                     const Options& options)
+    : alphabet_(alphabet),
+      file_(std::move(file)),
+      pool_(&file_, options.pool_frames, options.policy),
+      codes_(&pool_, &allocator_, alphabet.bits_per_code()),
+      lt_(&pool_, &allocator_),
+      extrib_records_(&pool_, &allocator_) {
+  for (uint32_t k = 0; k < 4; ++k) {
+    rt_[k] = std::make_unique<PagedRecordArray>(&pool_, &allocator_,
+                                                4 + 7 * (k + 1));
+  }
+  root_rib_dest_.assign(alphabet.size(), kNoNode);
+}
+
+Result<std::unique_ptr<DiskSpine>> DiskSpine::Create(const Alphabet& alphabet,
+                                                     const std::string& path,
+                                                     const Options& options) {
+  SPINE_CHECK(alphabet.size() <= 127);
+  Result<PageFile> file = PageFile::Create(path, options.sync_mode);
+  if (!file.ok()) return file.status();
+  std::unique_ptr<DiskSpine> index(
+      new DiskSpine(alphabet, std::move(file).value(), options));
+  index->meta_path_ = path + ".meta";
+  index->lt_.Append(LtRecord{0, 0});  // root entry, unused
+  return index;
+}
+
+uint16_t DiskSpine::EncodeLabel(uint32_t value, bool* overflow) {
+  if (value <= 0xffff) {
+    *overflow = false;
+    return static_cast<uint16_t>(value);
+  }
+  SPINE_CHECK_MSG(overflow_.size() < 0x10000, "label overflow table full");
+  *overflow = true;
+  overflow_.push_back(value);
+  return static_cast<uint16_t>(overflow_.size() - 1);
+}
+
+uint32_t DiskSpine::RibPt(const PackedRib& rib) const {
+  return (rib.cl & kPtOverflowFlag) ? overflow_[rib.pt] : rib.pt;
+}
+
+NodeId DiskSpine::LinkDest(NodeId i) const {
+  LtRecord record = lt_.Get(i);
+  uint32_t klass = record.word >> kClassShift;
+  if (klass == 0) return record.word & kValueMask;
+  if (klass == kClassBig) return rt_big_.at(i).link_dest;
+  uint8_t header[4];
+  uint8_t entry[32];
+  rt_[klass - 1]->Read(record.word & kValueMask, entry);
+  std::memcpy(header, entry, 4);
+  uint32_t dest;
+  std::memcpy(&dest, header, 4);
+  return dest;
+}
+
+uint32_t DiskSpine::LinkLel(NodeId i) const {
+  LtRecord record = lt_.Get(i);
+  if (record.word & kLelOverflowBit) return overflow_[record.lel];
+  return record.lel;
+}
+
+void DiskSpine::PushNode(NodeId dest, uint32_t lel) {
+  bool ovf = false;
+  uint16_t stored = EncodeLabel(lel, &ovf);
+  uint32_t word = dest;
+  if (ovf) word |= kLelOverflowBit;
+  lt_.Append(LtRecord{word, stored});
+}
+
+bool DiskSpine::FindRibAt(NodeId node, Code c, RibView* view) const {
+  if (node == kRootNode) {
+    if (root_rib_dest_[c] == kNoNode) return false;
+    *view = {c, root_rib_dest_[c], 0};
+    return true;
+  }
+  LtRecord record = lt_.Get(node);
+  uint32_t klass = record.word >> kClassShift;
+  if (klass == 0) return false;
+  if (klass == kClassBig) {
+    for (const PackedRib& rib : rt_big_.at(node).ribs) {
+      if ((rib.cl & kClMask) == c) {
+        *view = {c, rib.dest, RibPt(rib)};
+        return true;
+      }
+    }
+    return false;
+  }
+  uint8_t entry[32];
+  rt_[klass - 1]->Read(record.word & kValueMask, entry);
+  for (uint32_t k = 0; k < klass; ++k) {
+    PackedRib rib;
+    std::memcpy(&rib, entry + 4 + 7 * k, sizeof(rib));
+    if ((rib.cl & kClMask) == c) {
+      *view = {c, rib.dest, RibPt(rib)};
+      return true;
+    }
+  }
+  return false;
+}
+
+void DiskSpine::AddRib(NodeId node, Code c, NodeId dest, uint32_t pt) {
+  if (node == kRootNode) {
+    SPINE_DCHECK(root_rib_dest_[c] == kNoNode);
+    root_rib_dest_[c] = dest;
+    return;
+  }
+  bool ovf = false;
+  PackedRib rib;
+  rib.dest = dest;
+  rib.pt = EncodeLabel(pt, &ovf);
+  rib.cl = static_cast<uint8_t>(c) | (ovf ? kPtOverflowFlag : 0);
+
+  LtRecord record = lt_.Get(node);
+  uint32_t klass = record.word >> kClassShift;
+  uint32_t flags = record.word & (kLelOverflowBit | kHasExtribBit);
+  if (klass == kClassBig) {
+    rt_big_[node].ribs.push_back(rib);
+    return;
+  }
+
+  uint8_t old_entry[32];
+  uint32_t link_dest;
+  if (klass == 0) {
+    link_dest = record.word & kValueMask;
+  } else {
+    rt_[klass - 1]->Read(record.word & kValueMask, old_entry);
+    std::memcpy(&link_dest, old_entry, 4);
+  }
+
+  if (klass == 4) {
+    BigEntry big;
+    big.link_dest = link_dest;
+    for (uint32_t k = 0; k < 4; ++k) {
+      PackedRib old;
+      std::memcpy(&old, old_entry + 4 + 7 * k, sizeof(old));
+      big.ribs.push_back(old);
+    }
+    big.ribs.push_back(rib);
+    rt_free_[3].push_back(record.word & kValueMask);
+    rt_big_.emplace(node, std::move(big));
+    lt_.Set(node, LtRecord{(kClassBig << kClassShift) | flags, record.lel});
+    return;
+  }
+
+  uint32_t new_class = klass + 1;
+  uint8_t new_entry[32];
+  std::memcpy(new_entry, &link_dest, 4);
+  if (klass > 0) {
+    std::memcpy(new_entry + 4, old_entry + 4, 7 * klass);
+    rt_free_[klass - 1].push_back(record.word & kValueMask);
+  }
+  std::memcpy(new_entry + 4 + 7 * klass, &rib, sizeof(rib));
+
+  uint32_t slot;
+  if (!rt_free_[new_class - 1].empty()) {
+    slot = rt_free_[new_class - 1].back();
+    rt_free_[new_class - 1].pop_back();
+    rt_[new_class - 1]->Write(slot, new_entry);
+  } else {
+    slot = static_cast<uint32_t>(rt_[new_class - 1]->Append(new_entry));
+  }
+  SPINE_CHECK(slot <= kValueMask);
+  lt_.Set(node,
+          LtRecord{(new_class << kClassShift) | flags | slot, record.lel});
+}
+
+void DiskSpine::SetExtrib(NodeId node, NodeId dest, uint32_t pt, uint32_t prt,
+                          NodeId parent_dest) {
+  ExtribRecord record;
+  record.dest = dest;
+  record.parent_dest = parent_dest;
+  bool pt_ovf = false, prt_ovf = false;
+  record.pt = EncodeLabel(pt, &pt_ovf);
+  record.prt = EncodeLabel(prt, &prt_ovf);
+  record.flags = (pt_ovf ? 1 : 0) | (prt_ovf ? 2 : 0);
+  uint32_t slot = static_cast<uint32_t>(extrib_records_.Append(record));
+  extrib_slot_.emplace(node, slot);
+  LtRecord lt = lt_.Get(node);
+  lt.word |= kHasExtribBit;
+  lt_.Set(node, lt);
+}
+
+std::optional<DiskSpine::ExtribView> DiskSpine::ExtribAt(NodeId node) const {
+  if (node == kRootNode) return std::nullopt;
+  LtRecord record = lt_.Get(node);
+  if ((record.word & kHasExtribBit) == 0) return std::nullopt;
+  ExtribRecord e = extrib_records_.Get(extrib_slot_.at(node));
+  ExtribView view;
+  view.dest = e.dest;
+  view.parent_dest = e.parent_dest;
+  view.pt = (e.flags & 1) ? overflow_[e.pt] : e.pt;
+  view.prt = (e.flags & 2) ? overflow_[e.prt] : e.prt;
+  return view;
+}
+
+Status DiskSpine::Append(char ch) {
+  Code c = alphabet_.Encode(ch);
+  if (c == kInvalidCode) {
+    return Status::InvalidArgument(
+        std::string("character '") + ch + "' is not in the " +
+        alphabet_.name() + " alphabet");
+  }
+  if (size() >= kValueMask) {
+    return Status::ResourceExhausted("disk SPINE node limit reached");
+  }
+  const NodeId old_tail = static_cast<NodeId>(size());
+  const NodeId t = old_tail + 1;
+  codes_.Append(c);
+
+  if (old_tail == kRootNode) {
+    PushNode(kRootNode, 0);
+    return Status::OK();
+  }
+  NodeId w = LinkDest(old_tail);
+  uint32_t lel = LinkLel(old_tail);
+  while (true) {
+    if (codes_.Get(w) == c) {
+      PushNode(w + 1, lel + 1);
+      return Status::OK();
+    }
+    RibView rib;
+    if (!FindRibAt(w, c, &rib)) {
+      AddRib(w, c, t, lel);
+      if (w == kRootNode) {
+        PushNode(kRootNode, 0);
+        return Status::OK();
+      }
+      lel = LinkLel(w);
+      w = LinkDest(w);
+      continue;
+    }
+    if (rib.pt >= lel) {
+      PushNode(rib.dest, lel + 1);
+      return Status::OK();
+    }
+    NodeId last_sibling_dest = rib.dest;
+    uint32_t last_sibling_pt = rib.pt;
+    NodeId x = rib.dest;
+    while (true) {
+      std::optional<ExtribView> e = ExtribAt(x);
+      if (!e.has_value()) break;
+      if (e->prt == rib.pt && e->parent_dest == rib.dest) {
+        if (e->pt >= lel) {
+          PushNode(e->dest, lel + 1);
+          return Status::OK();
+        }
+        last_sibling_dest = e->dest;
+        last_sibling_pt = e->pt;
+      }
+      x = e->dest;
+    }
+    SetExtrib(x, t, lel, rib.pt, rib.dest);
+    PushNode(last_sibling_dest, last_sibling_pt + 1);
+    return Status::OK();
+  }
+}
+
+Status DiskSpine::AppendString(std::string_view s) {
+  for (char ch : s) {
+    SPINE_RETURN_IF_ERROR(Append(ch));
+  }
+  return Status::OK();
+}
+
+StepResult DiskSpine::Step(NodeId node, Code c, uint32_t pathlen,
+                           SearchStats* stats) const {
+  StepResult result;
+  if (stats != nullptr) ++stats->nodes_checked;
+  if (node < size() && codes_.Get(node) == c) {
+    result.ok = true;
+    result.has_edge = true;
+    result.dest = node + 1;
+    return result;
+  }
+  RibView rib;
+  if (!FindRibAt(node, c, &rib)) return result;
+  result.has_edge = true;
+  if (pathlen <= rib.pt) {
+    result.ok = true;
+    result.dest = rib.dest;
+    return result;
+  }
+  result.fallback_dest = rib.dest;
+  result.fallback_pt = rib.pt;
+  NodeId x = rib.dest;
+  while (true) {
+    std::optional<ExtribView> e = ExtribAt(x);
+    if (!e.has_value()) break;
+    if (stats != nullptr) ++stats->chain_hops;
+    if (e->prt == rib.pt && e->parent_dest == rib.dest) {
+      if (e->pt >= pathlen) {
+        result.ok = true;
+        result.dest = e->dest;
+        return result;
+      }
+      result.fallback_dest = e->dest;
+      result.fallback_pt = e->pt;
+    }
+    x = e->dest;
+  }
+  return result;
+}
+
+bool DiskSpine::Contains(std::string_view pattern) const {
+  return FindFirstEnd(pattern).has_value();
+}
+
+std::optional<NodeId> DiskSpine::FindFirstEnd(std::string_view pattern,
+                                              SearchStats* stats) const {
+  return GenericFindFirstEnd(*this, pattern, stats);
+}
+
+std::vector<uint32_t> DiskSpine::FindAll(std::string_view pattern,
+                                         SearchStats* stats) const {
+  return GenericFindAll(*this, pattern, stats);
+}
+
+Status DiskSpine::Checkpoint() {
+  SPINE_RETURN_IF_ERROR(pool_.FlushAll());
+  SPINE_RETURN_IF_ERROR(file_.Sync());
+  std::ofstream out(meta_path_, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + meta_path_);
+  serde::Writer w(out);
+  w.Pod(kMetaMagic);
+  w.Pod(kMetaVersion);
+  w.Pod(static_cast<uint32_t>(alphabet_.kind()));
+  w.Pod<uint64_t>(allocator_.allocated());
+  w.Pod<uint64_t>(codes_.size());
+  w.Vec(codes_.page_table());
+  w.Pod<uint64_t>(lt_.size());
+  w.Vec(lt_.page_table());
+  for (int k = 0; k < 4; ++k) {
+    w.Pod<uint64_t>(rt_[k]->size());
+    w.Vec(rt_[k]->page_table());
+    w.Vec(rt_free_[k]);
+  }
+  w.Pod<uint64_t>(extrib_records_.size());
+  w.Vec(extrib_records_.page_table());
+  w.Vec(root_rib_dest_);
+  std::vector<SlotPair> slots;
+  slots.reserve(extrib_slot_.size());
+  for (const auto& [node, slot] : extrib_slot_) slots.push_back({node, slot});
+  w.Vec(slots);
+  w.Pod<uint64_t>(rt_big_.size());
+  for (const auto& [node, big] : rt_big_) {
+    w.Pod(node);
+    w.Pod(big.link_dest);
+    w.Vec(big.ribs);
+  }
+  w.Vec(overflow_);
+  out.flush();
+  if (!out) return Status::IoError("write failure on " + meta_path_);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DiskSpine>> DiskSpine::Open(const std::string& path,
+                                                   const Options& options) {
+  std::ifstream in(path + ".meta", std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path + ".meta");
+  serde::Reader r(in);
+  uint32_t magic = 0, version = 0, kind = 0;
+  if (!r.Pod(&magic) || magic != kMetaMagic) {
+    return Status::Corruption("bad metadata magic in " + path + ".meta");
+  }
+  if (!r.Pod(&version) || version != kMetaVersion) {
+    return Status::Corruption("unsupported metadata version");
+  }
+  if (!r.Pod(&kind) || kind > 3) {
+    return Status::Corruption("bad alphabet kind");
+  }
+  Alphabet alphabet = Alphabet::Dna();
+  switch (static_cast<Alphabet::Kind>(kind)) {
+    case Alphabet::Kind::kDna:
+      break;
+    case Alphabet::Kind::kProtein:
+      alphabet = Alphabet::Protein();
+      break;
+    case Alphabet::Kind::kByte:
+      return Status::Corruption(
+          "disk indexes do not support the byte alphabet");
+    case Alphabet::Kind::kAscii:
+      alphabet = Alphabet::Ascii();
+      break;
+  }
+
+  Result<PageFile> file = PageFile::Open(path, options.sync_mode);
+  if (!file.ok()) return file.status();
+  std::unique_ptr<DiskSpine> index(
+      new DiskSpine(alphabet, std::move(file).value(), options));
+  index->meta_path_ = path + ".meta";
+
+  auto corrupt = [&](const char* what) {
+    return Status::Corruption(std::string("truncated metadata (") + what +
+                              ") in " + path + ".meta");
+  };
+  uint64_t allocated = 0, size = 0;
+  std::vector<uint64_t> table;
+  if (!r.Pod(&allocated)) return corrupt("allocator");
+  index->allocator_.Restore(allocated);
+  if (!r.Pod(&size) || !r.Vec(&table)) return corrupt("codes");
+  index->codes_.Restore(size, std::move(table));
+  if (!r.Pod(&size) || !r.Vec(&table)) return corrupt("link table");
+  if (size != index->codes_.size() + 1) {
+    return Status::Corruption("LT/codes size mismatch in " + path + ".meta");
+  }
+  index->lt_.Restore(size, std::move(table));
+  for (int k = 0; k < 4; ++k) {
+    if (!r.Pod(&size) || !r.Vec(&table)) return corrupt("rib table");
+    index->rt_[k]->Restore(size, std::move(table));
+    if (!r.Vec(&index->rt_free_[k])) return corrupt("rib free list");
+  }
+  if (!r.Pod(&size) || !r.Vec(&table)) return corrupt("extrib records");
+  index->extrib_records_.Restore(size, std::move(table));
+  if (!r.Vec(&index->root_rib_dest_)) return corrupt("root ribs");
+  if (index->root_rib_dest_.size() != alphabet.size()) {
+    return Status::Corruption("root rib table size mismatch");
+  }
+  std::vector<SlotPair> slots;
+  if (!r.Vec(&slots)) return corrupt("extrib directory");
+  for (const SlotPair& pair : slots) {
+    index->extrib_slot_.emplace(pair.node, pair.slot);
+  }
+  uint64_t big_count = 0;
+  if (!r.Pod(&big_count)) return corrupt("big entries");
+  for (uint64_t i = 0; i < big_count; ++i) {
+    uint32_t node = 0;
+    BigEntry big;
+    if (!r.Pod(&node) || !r.Pod(&big.link_dest) || !r.Vec(&big.ribs)) {
+      return corrupt("big entry");
+    }
+    index->rt_big_.emplace(node, std::move(big));
+  }
+  if (!r.Vec(&index->overflow_)) return corrupt("overflow table");
+  return index;
+}
+
+uint64_t DiskSpine::MetadataBytes() const {
+  uint64_t total = codes_.MetadataBytes() + lt_.MetadataBytes() +
+                   extrib_records_.MetadataBytes() +
+                   root_rib_dest_.capacity() * sizeof(uint32_t) +
+                   overflow_.capacity() * sizeof(uint32_t) +
+                   extrib_slot_.size() * (8 + 32);
+  for (uint32_t k = 0; k < 4; ++k) {
+    total += rt_[k]->MetadataBytes() +
+             rt_free_[k].capacity() * sizeof(uint32_t);
+  }
+  for (const auto& [node, big] : rt_big_) {
+    total += sizeof(BigEntry) + big.ribs.capacity() * sizeof(PackedRib) + 32;
+  }
+  return total;
+}
+
+}  // namespace spine::storage

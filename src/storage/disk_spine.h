@@ -1,0 +1,200 @@
+// DiskSpine: the SPINE index with all tables resident in a page file
+// accessed through a fixed-budget buffer pool (Section 6.2).
+//
+// This is "the same algorithm over paged storage": the Link Table, Rib
+// Tables, extrib payloads and character labels all live in pages; every
+// access goes through the pool and is counted. Small bookkeeping that a
+// real system would also keep in memory (page tables, free lists, the
+// node->extrib-slot directory, the label overflow table, root edges)
+// stays in memory and is reported separately as metadata.
+//
+// The pool's replacement policy is pluggable so the paper's buffering
+// observation — link destinations skew toward the top of the backbone,
+// so pinning the top of the LT beats LRU under memory pressure — can be
+// reproduced (bench_ablation_buffering).
+//
+// Thread safety: NONE — even const searches mutate the shared buffer
+// pool. One DiskSpine per thread (or external locking).
+
+#ifndef SPINE_STORAGE_DISK_SPINE_H_
+#define SPINE_STORAGE_DISK_SPINE_H_
+
+#include <array>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "common/status.h"
+#include "core/spine_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_model.h"
+#include "storage/paged_array.h"
+#include "storage/page_file.h"
+
+namespace spine::storage {
+
+// Bit-packed character labels over paged storage.
+class PagedCodes {
+ public:
+  PagedCodes(BufferPool* pool, PageAllocator* allocator, uint32_t bits);
+
+  void Append(Code code);
+  Code Get(uint64_t index) const;
+  uint64_t size() const { return size_; }
+  uint64_t MetadataBytes() const {
+    return page_table_.capacity() * sizeof(uint64_t);
+  }
+  const std::vector<uint64_t>& page_table() const { return page_table_; }
+  void Restore(uint64_t size, std::vector<uint64_t> page_table) {
+    size_ = size;
+    page_table_ = std::move(page_table);
+  }
+
+ private:
+  BufferPool* pool_;
+  PageAllocator* allocator_;
+  uint32_t bits_;
+  uint32_t codes_per_page_;
+  uint64_t size_ = 0;
+  std::vector<uint64_t> page_table_;
+};
+
+class DiskSpine {
+ public:
+  struct Options {
+    uint32_t pool_frames = 1024;  // memory budget in 4 KiB pages
+    ReplacementPolicy policy = ReplacementPolicy::kLru;
+    PageFile::SyncMode sync_mode = PageFile::SyncMode::kNone;
+  };
+
+  // Creates a disk-resident index backed by a fresh file at `path`.
+  static Result<std::unique_ptr<DiskSpine>> Create(const Alphabet& alphabet,
+                                                   const std::string& path,
+                                                   const Options& options);
+
+  // Reopens an index previously persisted with Checkpoint(). The
+  // alphabet is recovered from the metadata sidecar (`path` + ".meta").
+  static Result<std::unique_ptr<DiskSpine>> Open(const std::string& path,
+                                                 const Options& options);
+
+  // Flushes all dirty pages and writes the metadata sidecar, making the
+  // index reopenable. Can be called repeatedly (e.g. as a checkpoint
+  // between appends).
+  Status Checkpoint();
+
+  DiskSpine(const DiskSpine&) = delete;
+  DiskSpine& operator=(const DiskSpine&) = delete;
+
+  // --- Construction / accessors (same contract as CompactSpineIndex) ---
+
+  Status Append(char c);
+  Status AppendString(std::string_view s);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  uint64_t size() const { return codes_.size(); }
+  Code CodeAt(uint64_t i) const { return codes_.Get(i); }
+
+  NodeId LinkDest(NodeId i) const;
+  uint32_t LinkLel(NodeId i) const;
+
+  StepResult Step(NodeId node, Code c, uint32_t pathlen,
+                  SearchStats* stats = nullptr) const;
+  bool Contains(std::string_view pattern) const;
+  std::optional<NodeId> FindFirstEnd(std::string_view pattern,
+                                     SearchStats* stats = nullptr) const;
+  std::vector<uint32_t> FindAll(std::string_view pattern,
+                                SearchStats* stats = nullptr) const;
+
+  // --- I/O accounting ------------------------------------------------------
+
+  const IoStats& io_stats() const { return pool_.stats(); }
+  void ResetIoStats() { pool_.ResetStats(); }
+  Status Flush() { return pool_.FlushAll(); }
+  uint64_t PagesUsed() const { return allocator_.allocated(); }
+  uint64_t PoolMemoryBytes() const { return pool_.MemoryBytes(); }
+  uint64_t MetadataBytes() const;
+
+ private:
+  // On-disk record layouts (mirroring CompactSpineIndex).
+  struct LtRecord {
+    uint32_t word;
+    uint16_t lel;
+  } __attribute__((packed));
+  static_assert(sizeof(LtRecord) == 6);
+
+  struct PackedRib {
+    uint32_t dest;
+    uint16_t pt;
+    uint8_t cl;
+  } __attribute__((packed));
+
+  struct ExtribRecord {
+    uint32_t dest;
+    uint32_t parent_dest;
+    uint16_t pt;
+    uint16_t prt;
+    uint8_t flags;
+  } __attribute__((packed));
+
+  static constexpr uint32_t kClassShift = 29;
+  static constexpr uint32_t kLelOverflowBit = 1u << 28;
+  static constexpr uint32_t kHasExtribBit = 1u << 27;
+  static constexpr uint32_t kValueMask = (1u << 27) - 1;
+  static constexpr uint32_t kClassBig = 5;
+  static constexpr uint8_t kPtOverflowFlag = 0x80;
+  static constexpr uint8_t kClMask = 0x7f;
+
+  struct RibView {
+    Code cl;
+    NodeId dest;
+    uint32_t pt;
+  };
+  struct ExtribView {
+    NodeId dest;
+    uint32_t pt;
+    uint32_t prt;
+    NodeId parent_dest;
+  };
+  struct BigEntry {
+    uint32_t link_dest;
+    std::vector<PackedRib> ribs;
+  };
+
+  DiskSpine(const Alphabet& alphabet, PageFile file, const Options& options);
+
+  uint16_t EncodeLabel(uint32_t value, bool* overflow);
+  uint32_t RibPt(const PackedRib& rib) const;
+  void PushNode(NodeId dest, uint32_t lel);
+  bool FindRibAt(NodeId node, Code c, RibView* view) const;
+  void AddRib(NodeId node, Code c, NodeId dest, uint32_t pt);
+  void SetExtrib(NodeId node, NodeId dest, uint32_t pt, uint32_t prt,
+                 NodeId parent_dest);
+  std::optional<ExtribView> ExtribAt(NodeId node) const;
+
+  Alphabet alphabet_;
+  std::string meta_path_;
+  PageFile file_;
+  mutable BufferPool pool_;
+  PageAllocator allocator_;
+
+  PagedCodes codes_;
+  mutable PagedArray<LtRecord> lt_;
+  // RT class k entries as raw records of stride 4 + 7k.
+  std::array<std::unique_ptr<PagedRecordArray>, 4> rt_;
+  std::array<std::vector<uint32_t>, 4> rt_free_;
+  PagedArray<ExtribRecord> extrib_records_;
+
+  // In-memory metadata.
+  std::vector<uint32_t> root_rib_dest_;
+  std::unordered_map<uint32_t, uint32_t> extrib_slot_;  // node -> record idx
+  std::unordered_map<uint32_t, BigEntry> rt_big_;
+  std::vector<uint32_t> overflow_;
+};
+
+}  // namespace spine::storage
+
+#endif  // SPINE_STORAGE_DISK_SPINE_H_

@@ -1,0 +1,115 @@
+// DiskSuffixTree: Ukkonen suffix tree with the node array and text
+// resident in a page file behind a buffer pool — the paper's disk-based
+// ST comparator (Fig. 7, Table 7).
+//
+// Identical algorithm to suffix_tree/suffix_tree.h; every node touch is
+// a paged access. Suffix-tree construction hops between nodes created
+// far apart in time, so its page locality is poor — which is exactly
+// the effect the paper measures against SPINE's backbone locality.
+
+#ifndef SPINE_STORAGE_DISK_SUFFIX_TREE_H_
+#define SPINE_STORAGE_DISK_SUFFIX_TREE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "common/status.h"
+#include "core/spine_index.h"  // SearchStats
+#include "storage/disk_spine.h"  // PagedCodes
+#include "storage/paged_array.h"
+#include "storage/page_file.h"
+#include "suffix_tree/suffix_tree.h"  // Node layout + constants
+
+namespace spine::storage {
+
+class DiskSuffixTree {
+ public:
+  using Node = SuffixTree::Node;
+  static constexpr uint32_t kRoot = SuffixTree::kRoot;
+  static constexpr uint32_t kNoNode32 = SuffixTree::kNoNode32;
+  static constexpr uint32_t kOpenEnd = SuffixTree::kOpenEnd;
+
+  struct Options {
+    uint32_t pool_frames = 1024;
+    ReplacementPolicy policy = ReplacementPolicy::kLru;
+    PageFile::SyncMode sync_mode = PageFile::SyncMode::kNone;
+  };
+
+  static Result<std::unique_ptr<DiskSuffixTree>> Create(
+      const Alphabet& alphabet, const std::string& path,
+      const Options& options);
+
+  // Reopens a tree persisted with Checkpoint() (metadata sidecar at
+  // `path` + ".meta").
+  static Result<std::unique_ptr<DiskSuffixTree>> Open(const std::string& path,
+                                                      const Options& options);
+
+  // Flushes dirty pages and writes the metadata sidecar (page tables,
+  // Ukkonen state) so the tree can be reopened and extended.
+  Status Checkpoint();
+
+  DiskSuffixTree(const DiskSuffixTree&) = delete;
+  DiskSuffixTree& operator=(const DiskSuffixTree&) = delete;
+
+  Status Append(char c);
+  Status AppendString(std::string_view s);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  uint64_t size() const { return text_.size(); }
+  uint64_t node_count() const { return nodes_.size(); }
+  Code CodeAt(uint64_t i) const { return text_.Get(i); }
+
+  // Matcher interface (see st_matcher.h).
+  Node node(uint32_t id) const { return nodes_.Get(id); }
+  uint32_t EdgeEnd(uint32_t id) const {
+    Node n = nodes_.Get(id);
+    return n.end == kOpenEnd ? static_cast<uint32_t>(text_.size()) : n.end;
+  }
+  uint32_t EdgeLength(uint32_t id) const {
+    Node n = nodes_.Get(id);
+    uint32_t end =
+        n.end == kOpenEnd ? static_cast<uint32_t>(text_.size()) : n.end;
+    return end - n.start;
+  }
+  uint32_t FindChild(uint32_t parent, Code c, SearchStats* stats) const;
+
+  bool Contains(std::string_view pattern, SearchStats* stats = nullptr) const;
+  std::vector<uint32_t> FindAll(std::string_view pattern,
+                                SearchStats* stats = nullptr) const;
+
+  const IoStats& io_stats() const { return pool_.stats(); }
+  void ResetIoStats() { pool_.ResetStats(); }
+  Status Flush() { return pool_.FlushAll(); }
+  uint64_t PagesUsed() const { return allocator_.allocated(); }
+
+ private:
+  DiskSuffixTree(const Alphabet& alphabet, PageFile file,
+                 const Options& options);
+
+  uint32_t NewNode(uint32_t start, uint32_t end);
+  void AddChild(uint32_t parent, uint32_t child);
+  void ReplaceChild(uint32_t parent, uint32_t old_child, uint32_t new_child);
+  void ExtendWithCode(Code c);
+  void CollectLeaves(uint32_t id, std::vector<uint32_t>* out) const;
+
+  Alphabet alphabet_;
+  std::string meta_path_;
+  PageFile file_;
+  mutable BufferPool pool_;
+  PageAllocator allocator_;
+  PagedCodes text_;
+  mutable PagedArray<Node> nodes_;
+
+  uint32_t active_node_ = kRoot;
+  uint32_t active_edge_ = 0;
+  uint32_t active_length_ = 0;
+  uint32_t remainder_ = 0;
+  uint32_t need_suffix_link_ = kNoNode32;
+};
+
+}  // namespace spine::storage
+
+#endif  // SPINE_STORAGE_DISK_SUFFIX_TREE_H_

@@ -1,0 +1,102 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace spine::storage {
+
+Result<PageFile> PageFile::Create(const std::string& path, SyncMode mode) {
+  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  return PageFile(fd, mode);
+}
+
+Result<PageFile> PageFile::Open(const std::string& path, SyncMode mode) {
+  int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IoError("lseek(" + path + "): " + std::strerror(errno));
+  }
+  PageFile file(fd, mode);
+  file.page_count_ = (static_cast<uint64_t>(size) + kPageSize - 1) / kPageSize;
+  return file;
+}
+
+PageFile::~PageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+PageFile::PageFile(PageFile&& other) noexcept
+    : fd_(other.fd_),
+      mode_(other.mode_),
+      page_count_(other.page_count_),
+      pages_written_(other.pages_written_),
+      pages_read_(other.pages_read_) {
+  other.fd_ = -1;
+}
+
+PageFile& PageFile::operator=(PageFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    mode_ = other.mode_;
+    page_count_ = other.page_count_;
+    pages_written_ = other.pages_written_;
+    pages_read_ = other.pages_read_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status PageFile::ReadPage(uint64_t page_id, uint8_t* out) {
+  ++pages_read_;
+  if (page_id >= page_count_) {
+    // Never-written page: defined as zeros.
+    std::memset(out, 0, kPageSize);
+    return Status::OK();
+  }
+  ssize_t got = ::pread(fd_, out, kPageSize,
+                        static_cast<off_t>(page_id * kPageSize));
+  if (got < 0) {
+    return Status::IoError(std::string("pread: ") + std::strerror(errno));
+  }
+  if (got < static_cast<ssize_t>(kPageSize)) {
+    std::memset(out + got, 0, kPageSize - static_cast<size_t>(got));
+  }
+  return Status::OK();
+}
+
+Status PageFile::WritePage(uint64_t page_id, const uint8_t* data) {
+  ssize_t put = ::pwrite(fd_, data, kPageSize,
+                         static_cast<off_t>(page_id * kPageSize));
+  if (put != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+  }
+  ++pages_written_;
+  if (page_id >= page_count_) page_count_ = page_id + 1;
+  if (mode_ == SyncMode::kSyncEveryWrite) {
+    if (::fdatasync(fd_) != 0) {
+      return Status::IoError(std::string("fdatasync: ") +
+                             std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+Status PageFile::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::IoError(std::string("fdatasync: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace spine::storage

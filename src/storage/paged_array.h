@@ -1,0 +1,130 @@
+// PagedArray<Stride>: a growable array of fixed-size records stored in
+// pages fetched through a shared BufferPool. Several arrays share one
+// pool/file; each keeps its own page table (page ids allocated from the
+// shared allocator as the array grows), so the on-disk interleaving of
+// LT and RT pages mirrors a real single-file index build.
+
+#ifndef SPINE_STORAGE_PAGED_ARRAY_H_
+#define SPINE_STORAGE_PAGED_ARRAY_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/check.h"
+#include "storage/buffer_pool.h"
+
+namespace spine::storage {
+
+// Monotonic page-id allocator shared by all arrays of one index file.
+class PageAllocator {
+ public:
+  uint64_t Allocate() { return next_++; }
+  uint64_t allocated() const { return next_; }
+  // For reopening a persisted index.
+  void Restore(uint64_t next) { next_ = next; }
+
+ private:
+  uint64_t next_ = 0;
+};
+
+// Fixed-record-size array over a buffer pool. Records never straddle
+// pages (records_per_page = kPageSize / record_size).
+class PagedRecordArray {
+ public:
+  PagedRecordArray(BufferPool* pool, PageAllocator* allocator,
+                   uint32_t record_size)
+      : pool_(pool), allocator_(allocator), record_size_(record_size) {
+    SPINE_CHECK(record_size >= 1 && record_size <= kPageSize);
+    records_per_page_ = kPageSize / record_size;
+  }
+
+  uint64_t size() const { return size_; }
+
+  // Appends a record; returns its index.
+  uint64_t Append(const void* record) {
+    uint64_t index = size_++;
+    uint64_t page_slot = index / records_per_page_;
+    if (page_slot >= page_table_.size()) {
+      page_table_.push_back(allocator_->Allocate());
+    }
+    Write(index, record);
+    return index;
+  }
+
+  void Read(uint64_t index, void* out) const {
+    SPINE_DCHECK(index < size_);
+    const uint8_t* page = pool_->FetchPage(PageFor(index), false);
+    SPINE_CHECK_MSG(page != nullptr, "buffer pool I/O failure");
+    std::memcpy(out, page + Offset(index), record_size_);
+  }
+
+  void Write(uint64_t index, const void* record) {
+    SPINE_DCHECK(index < size_);
+    uint8_t* page = pool_->FetchPage(PageFor(index), true);
+    SPINE_CHECK_MSG(page != nullptr, "buffer pool I/O failure");
+    std::memcpy(page + Offset(index), record, record_size_);
+  }
+
+  // In-memory metadata footprint (the page table).
+  uint64_t MetadataBytes() const {
+    return page_table_.capacity() * sizeof(uint64_t);
+  }
+  uint64_t PagesUsed() const { return page_table_.size(); }
+
+  // Persistence support: the page table IS the array's metadata.
+  const std::vector<uint64_t>& page_table() const { return page_table_; }
+  void Restore(uint64_t size, std::vector<uint64_t> page_table) {
+    SPINE_CHECK(page_table.size() ==
+                (size + records_per_page_ - 1) / records_per_page_);
+    size_ = size;
+    page_table_ = std::move(page_table);
+  }
+
+ private:
+  uint64_t PageFor(uint64_t index) const {
+    return page_table_[index / records_per_page_];
+  }
+  uint32_t Offset(uint64_t index) const {
+    return static_cast<uint32_t>(index % records_per_page_) * record_size_;
+  }
+
+  BufferPool* pool_;
+  PageAllocator* allocator_;
+  uint32_t record_size_;
+  uint32_t records_per_page_;
+  uint64_t size_ = 0;
+  std::vector<uint64_t> page_table_;
+};
+
+// Typed convenience wrapper.
+template <typename T>
+class PagedArray {
+ public:
+  PagedArray(BufferPool* pool, PageAllocator* allocator)
+      : raw_(pool, allocator, sizeof(T)) {}
+
+  uint64_t size() const { return raw_.size(); }
+  uint64_t Append(const T& value) { return raw_.Append(&value); }
+  T Get(uint64_t index) const {
+    T out;
+    raw_.Read(index, &out);
+    return out;
+  }
+  void Set(uint64_t index, const T& value) { raw_.Write(index, &value); }
+  uint64_t MetadataBytes() const { return raw_.MetadataBytes(); }
+  uint64_t PagesUsed() const { return raw_.PagesUsed(); }
+  const std::vector<uint64_t>& page_table() const {
+    return raw_.page_table();
+  }
+  void Restore(uint64_t size, std::vector<uint64_t> page_table) {
+    raw_.Restore(size, std::move(page_table));
+  }
+
+ private:
+  PagedRecordArray raw_;
+};
+
+}  // namespace spine::storage
+
+#endif  // SPINE_STORAGE_PAGED_ARRAY_H_

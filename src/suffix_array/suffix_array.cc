@@ -1,0 +1,131 @@
+#include "suffix_array/suffix_array.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace spine {
+
+SuffixArray::SuffixArray(const Alphabet& alphabet, std::vector<Code> text)
+    : alphabet_(alphabet), text_(std::move(text)) {}
+
+Result<SuffixArray> SuffixArray::Build(const Alphabet& alphabet,
+                                       std::string_view text) {
+  std::vector<Code> codes;
+  codes.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    Code c = alphabet.Encode(text[i]);
+    if (c == kInvalidCode) {
+      return Status::InvalidArgument("character at offset " +
+                                     std::to_string(i) +
+                                     " is not in the alphabet");
+    }
+    codes.push_back(c);
+  }
+  SuffixArray result(alphabet, std::move(codes));
+  const uint32_t n = static_cast<uint32_t>(result.text_.size());
+  result.sa_.resize(n);
+  result.lcp_.assign(n, 0);
+  if (n == 0) return result;
+
+  // Prefix doubling: rank[i] = rank of suffix i by its first k codes.
+  std::vector<uint32_t>& sa = result.sa_;
+  std::iota(sa.begin(), sa.end(), 0u);
+  std::vector<uint32_t> rank(n), tmp(n);
+  for (uint32_t i = 0; i < n; ++i) rank[i] = result.text_[i];
+  for (uint32_t k = 1;; k *= 2) {
+    auto cmp = [&](uint32_t a, uint32_t b) {
+      if (rank[a] != rank[b]) return rank[a] < rank[b];
+      uint32_t ra = a + k < n ? rank[a + k] + 1 : 0;
+      uint32_t rb = b + k < n ? rank[b + k] + 1 : 0;
+      return ra < rb;
+    };
+    std::sort(sa.begin(), sa.end(), cmp);
+    tmp[sa[0]] = 0;
+    for (uint32_t i = 1; i < n; ++i) {
+      tmp[sa[i]] = tmp[sa[i - 1]] + (cmp(sa[i - 1], sa[i]) ? 1 : 0);
+    }
+    rank = tmp;
+    if (rank[sa[n - 1]] == n - 1) break;
+  }
+
+  // Kasai LCP over sa_.
+  std::vector<uint32_t> inv(n);
+  for (uint32_t i = 0; i < n; ++i) inv[sa[i]] = i;
+  uint32_t h = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    if (inv[i] == 0) {
+      h = 0;
+      continue;
+    }
+    uint32_t j = sa[inv[i] - 1];
+    while (i + h < n && j + h < n && result.text_[i + h] == result.text_[j + h])
+      ++h;
+    result.lcp_[inv[i]] = h;
+    if (h > 0) --h;
+  }
+  return result;
+}
+
+int SuffixArray::ComparePattern(const std::vector<Code>& pattern,
+                                uint32_t idx) const {
+  uint32_t start = sa_[idx];
+  uint32_t avail = static_cast<uint32_t>(text_.size()) - start;
+  uint32_t limit = std::min<uint32_t>(avail, pattern.size());
+  for (uint32_t k = 0; k < limit; ++k) {
+    if (pattern[k] != text_[start + k]) {
+      return pattern[k] < text_[start + k] ? -1 : 1;
+    }
+  }
+  // Pattern longer than the suffix: pattern sorts after.
+  return pattern.size() > avail ? 1 : 0;
+}
+
+bool SuffixArray::Contains(std::string_view pattern) const {
+  return !pattern.empty() && !FindAll(pattern).empty();
+}
+
+std::vector<uint32_t> SuffixArray::FindAll(std::string_view pattern) const {
+  std::vector<uint32_t> out;
+  if (pattern.empty() || pattern.size() > text_.size()) return out;
+  std::vector<Code> codes;
+  codes.reserve(pattern.size());
+  for (char ch : pattern) {
+    Code c = alphabet_.Encode(ch);
+    if (c == kInvalidCode) return out;
+    codes.push_back(c);
+  }
+  const uint32_t n = static_cast<uint32_t>(text_.size());
+  // Lower bound: first suffix >= pattern.
+  uint32_t lo = 0, hi = n;
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (ComparePattern(codes, mid) > 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  uint32_t first = lo;
+  // Upper bound: first suffix that does not start with pattern.
+  hi = n;
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    if (ComparePattern(codes, mid) >= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  for (uint32_t i = first; i < lo; ++i) out.push_back(sa_[i]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t SuffixArray::MemoryBytes() const {
+  return sa_.size() * sizeof(uint32_t) +
+         lcp_.size() * sizeof(uint32_t) + text_.size() * sizeof(Code);
+}
+
+}  // namespace spine

@@ -1,0 +1,57 @@
+// Suffix array baseline (Manber-Myers prefix doubling + Kasai LCP).
+//
+// Included for the related-work comparison of Section 7: suffix arrays
+// take ~6 bytes per indexed character (here: 4-byte SA entry + optional
+// 4-byte LCP entry + packed text) but give up linear-time construction
+// (prefix doubling is O(n log n)) and suffix links, so they cannot run
+// the streaming set-based matching SPINE and suffix trees support.
+
+#ifndef SPINE_SUFFIX_ARRAY_SUFFIX_ARRAY_H_
+#define SPINE_SUFFIX_ARRAY_SUFFIX_ARRAY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "common/status.h"
+
+namespace spine {
+
+class SuffixArray {
+ public:
+  // Builds the suffix array for `text` (not online: the whole string is
+  // required up front, unlike SPINE and the Ukkonen tree).
+  static Result<SuffixArray> Build(const Alphabet& alphabet,
+                                   std::string_view text);
+
+  uint64_t size() const { return text_.size(); }
+  const std::vector<uint32_t>& sa() const { return sa_; }
+
+  // LCP of lexicographically adjacent suffixes (Kasai); lcp()[i] is the
+  // common-prefix length of sa()[i-1] and sa()[i]; lcp()[0] == 0.
+  const std::vector<uint32_t>& lcp() const { return lcp_; }
+
+  bool Contains(std::string_view pattern) const;
+  // All start positions of `pattern`, ascending (binary search, then
+  // sort of the SA range).
+  std::vector<uint32_t> FindAll(std::string_view pattern) const;
+
+  uint64_t MemoryBytes() const;
+
+ private:
+  SuffixArray(const Alphabet& alphabet, std::vector<Code> text);
+
+  // Lexicographic comparison of pattern vs suffix sa_[idx].
+  int ComparePattern(const std::vector<Code>& pattern, uint32_t idx) const;
+
+  Alphabet alphabet_;
+  std::vector<Code> text_;
+  std::vector<uint32_t> sa_;
+  std::vector<uint32_t> lcp_;
+};
+
+}  // namespace spine
+
+#endif  // SPINE_SUFFIX_ARRAY_SUFFIX_ARRAY_H_

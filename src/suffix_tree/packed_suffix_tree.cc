@@ -1,0 +1,279 @@
+#include "suffix_tree/packed_suffix_tree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace spine {
+
+PackedSuffixTree::PackedSuffixTree(const Alphabet& alphabet)
+    : alphabet_(alphabet), text_(alphabet.bits_per_code()) {
+  internals_.push_back(Internal{0, 0, kNullRef, kNullRef, 0});  // root
+}
+
+PackedSuffixTree::Ref PackedSuffixTree::FindChild(uint32_t parent,
+                                                  Code c) const {
+  const uint32_t parent_depth = internals_[parent].depth;
+  Ref child = internals_[parent].first_child;
+  while (child != kNullRef) {
+    if (text_.Get(EdgeStart(child, parent_depth)) == c) return child;
+    child = IsLeaf(child) ? leaf_next_[LeafSuffix(child)]
+                          : internals_[child].next_sibling;
+  }
+  return kNullRef;
+}
+
+PackedSuffixTree::Ref& PackedSuffixTree::SiblingSlot(Ref child) {
+  return IsLeaf(child) ? leaf_next_[LeafSuffix(child)]
+                       : internals_[child].next_sibling;
+}
+
+void PackedSuffixTree::AddChild(uint32_t parent, Ref child) {
+  SiblingSlot(child) = internals_[parent].first_child;
+  internals_[parent].first_child = child;
+}
+
+void PackedSuffixTree::ReplaceChild(uint32_t parent, Ref old_child,
+                                    Ref new_child) {
+  Ref* slot = &internals_[parent].first_child;
+  while (*slot != old_child) {
+    SPINE_DCHECK(*slot != kNullRef);
+    slot = &SiblingSlot(*slot);
+  }
+  *slot = new_child;
+  SiblingSlot(new_child) = SiblingSlot(old_child);
+  SiblingSlot(old_child) = kNullRef;
+}
+
+Status PackedSuffixTree::Append(char ch) {
+  Code c = alphabet_.Encode(ch);
+  if (c == kInvalidCode) {
+    return Status::InvalidArgument(
+        std::string("character '") + ch + "' is not in the " +
+        alphabet_.name() + " alphabet");
+  }
+  ExtendWithCode(c);
+  return Status::OK();
+}
+
+Status PackedSuffixTree::AppendString(std::string_view s) {
+  for (char ch : s) {
+    SPINE_RETURN_IF_ERROR(Append(ch));
+  }
+  return Status::OK();
+}
+
+void PackedSuffixTree::ExtendWithCode(Code c) {
+  text_.Append(c);
+  leaf_next_.push_back(kNullRef);
+  const uint32_t pos = static_cast<uint32_t>(text_.size() - 1);
+  need_suffix_link_ = 0xffffffffu;
+  ++remainder_;
+
+  auto add_suffix_link = [&](uint32_t node) {
+    if (need_suffix_link_ != 0xffffffffu) {
+      internals_[need_suffix_link_].suffix_link = node;
+    }
+    need_suffix_link_ = node;
+  };
+
+  while (remainder_ > 0) {
+    if (active_length_ == 0) active_edge_ = pos;
+    Ref child = FindChild(active_node_, text_.Get(active_edge_));
+    if (child == kNullRef) {
+      // Rule 2: new leaf directly under the active node.
+      uint32_t suffix = pos + 1 - remainder_;
+      AddChild(active_node_, kLeafTag | suffix);
+      add_suffix_link(active_node_);
+    } else {
+      const uint32_t parent_depth = internals_[active_node_].depth;
+      uint32_t edge_start = EdgeStart(child, parent_depth);
+      uint32_t edge_len = EdgeEnd(child) - edge_start;
+      if (active_length_ >= edge_len) {
+        // Skip/count: the active point lies beyond this edge. Only
+        // internal children can be skipped into (the active point's
+        // depth is below remainder_, shorter than any leaf edge path).
+        SPINE_DCHECK(!IsLeaf(child));
+        active_edge_ += edge_len;
+        active_length_ -= edge_len;
+        active_node_ = child;
+        continue;
+      }
+      if (text_.Get(edge_start + active_length_) == c) {
+        // Rule 3: already present; the phase ends.
+        ++active_length_;
+        add_suffix_link(active_node_);
+        break;
+      }
+      // Rule 2 with an edge split. The split node inherits the head of
+      // the existing child (the first suffix through this subtree), so
+      // the child needs no update at all in the (head, depth) layout.
+      uint32_t child_head =
+          IsLeaf(child) ? LeafSuffix(child) : internals_[child].head;
+      internals_.push_back(Internal{child_head,
+                                    parent_depth + active_length_, kNullRef,
+                                    kNullRef, 0});
+      uint32_t split = static_cast<uint32_t>(internals_.size() - 1);
+      ReplaceChild(active_node_, child, split);
+      AddChild(split, child);
+      uint32_t suffix = pos + 1 - remainder_;
+      AddChild(split, kLeafTag | suffix);
+      add_suffix_link(split);
+    }
+    --remainder_;
+    if (active_node_ == kRootRef && active_length_ > 0) {
+      --active_length_;
+      active_edge_ = pos - remainder_ + 1;
+    } else if (active_node_ != kRootRef) {
+      active_node_ = internals_[active_node_].suffix_link;
+    }
+  }
+}
+
+uint64_t PackedSuffixTree::MemoryBytes() const {
+  return internals_.size() * sizeof(Internal) +
+         leaf_next_.size() * sizeof(Ref) + text_.MemoryBytes();
+}
+
+bool PackedSuffixTree::Contains(std::string_view pattern) const {
+  if (pattern.empty()) return true;
+  uint32_t node = kRootRef;
+  size_t i = 0;
+  while (i < pattern.size()) {
+    Code c = alphabet_.Encode(pattern[i]);
+    if (c == kInvalidCode) return false;
+    Ref child = FindChild(node, c);
+    if (child == kNullRef) return false;
+    uint32_t start = EdgeStart(child, internals_[node].depth);
+    uint32_t end = EdgeEnd(child);
+    for (uint32_t k = start; k < end && i < pattern.size(); ++k, ++i) {
+      Code pc = alphabet_.Encode(pattern[i]);
+      if (pc == kInvalidCode || text_.Get(k) != pc) return false;
+    }
+    if (i < pattern.size()) {
+      if (IsLeaf(child)) return false;  // leaf edge exhausted
+      node = child;
+    }
+  }
+  return true;
+}
+
+std::vector<uint32_t> PackedSuffixTree::FindAll(
+    std::string_view pattern) const {
+  std::vector<uint32_t> out;
+  if (pattern.empty() || pattern.size() > text_.size()) return out;
+  uint32_t node = kRootRef;
+  Ref located = kNullRef;
+  size_t i = 0;
+  while (i < pattern.size()) {
+    Code c = alphabet_.Encode(pattern[i]);
+    if (c == kInvalidCode) return out;
+    Ref child = FindChild(node, c);
+    if (child == kNullRef) return out;
+    uint32_t start = EdgeStart(child, internals_[node].depth);
+    uint32_t end = EdgeEnd(child);
+    bool mismatch = false;
+    for (uint32_t k = start; k < end && i < pattern.size(); ++k, ++i) {
+      Code pc = alphabet_.Encode(pattern[i]);
+      if (pc == kInvalidCode || text_.Get(k) != pc) {
+        mismatch = true;
+        break;
+      }
+    }
+    if (mismatch) return out;
+    located = child;
+    if (i < pattern.size()) {
+      if (IsLeaf(child)) return out;  // leaf edge exhausted
+      node = child;
+    }
+  }
+  CollectLeaves(located, &out);
+  // Suffixes still implicit (pending) have no leaves; check directly.
+  const uint32_t n = static_cast<uint32_t>(text_.size());
+  const uint32_t m = static_cast<uint32_t>(pattern.size());
+  for (uint32_t j = n - remainder_; j + m <= n; ++j) {
+    bool match = true;
+    for (uint32_t k = 0; k < m; ++k) {
+      if (text_.Get(j + k) != alphabet_.Encode(pattern[k])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(j);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void PackedSuffixTree::CollectLeaves(Ref ref,
+                                     std::vector<uint32_t>* out) const {
+  std::vector<Ref> stack = {ref};
+  while (!stack.empty()) {
+    Ref cur = stack.back();
+    stack.pop_back();
+    if (IsLeaf(cur)) {
+      out->push_back(LeafSuffix(cur));
+      continue;
+    }
+    for (Ref child = internals_[cur].first_child; child != kNullRef;
+         child = IsLeaf(child) ? leaf_next_[LeafSuffix(child)]
+                               : internals_[child].next_sibling) {
+      stack.push_back(child);
+    }
+  }
+}
+
+Status PackedSuffixTree::Validate() const {
+  const uint32_t n = static_cast<uint32_t>(text_.size());
+  // DFS over (ref, parent_depth) pairs.
+  std::vector<std::pair<Ref, uint32_t>> stack;
+  for (Ref child = internals_[kRootRef].first_child; child != kNullRef;
+       child = IsLeaf(child)
+                   ? leaf_next_[LeafSuffix(child)]
+                   : internals_[child].next_sibling) {
+    stack.push_back({child, 0});
+  }
+  uint64_t leaf_count = 0;
+  uint64_t visited_internal = 0;
+  while (!stack.empty()) {
+    auto [ref, parent_depth] = stack.back();
+    stack.pop_back();
+    uint32_t start = EdgeStart(ref, parent_depth);
+    uint32_t end = EdgeEnd(ref);
+    if (start >= end || end > n) {
+      return Status::Corruption("bad edge range");
+    }
+    if (IsLeaf(ref)) {
+      ++leaf_count;
+      if (LeafSuffix(ref) >= n) {
+        return Status::Corruption("leaf suffix out of range");
+      }
+      continue;
+    }
+    ++visited_internal;
+    const Internal& node = internals_[ref];
+    if (node.depth <= parent_depth) {
+      return Status::Corruption("depth not increasing");
+    }
+    if (node.head >= n) return Status::Corruption("head out of range");
+    if (node.suffix_link >= internals_.size()) {
+      return Status::Corruption("dangling suffix link");
+    }
+    for (Ref child = node.first_child; child != kNullRef;
+         child = IsLeaf(child)
+                     ? leaf_next_[LeafSuffix(child)]
+                     : internals_[child].next_sibling) {
+      stack.push_back({child, node.depth});
+    }
+  }
+  if (leaf_count + remainder_ != n) {
+    return Status::Corruption("leaf count + pending != text length");
+  }
+  if (visited_internal + 1 > internals_.size()) {
+    return Status::Corruption("internal node count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace spine

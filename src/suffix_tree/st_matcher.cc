@@ -1,0 +1,26 @@
+#include "suffix_tree/st_matcher.h"
+
+namespace spine {
+
+std::vector<StMatch> FindMaximalMatches(const SuffixTree& tree,
+                                        std::string_view query,
+                                        uint32_t min_len, SearchStats* stats) {
+  return GenericStFindMaximalMatches(tree, query, min_len, stats);
+}
+
+std::vector<StMatchOccurrences> CollectAllOccurrences(
+    const SuffixTree& tree, std::string_view query,
+    const std::vector<StMatch>& matches, SearchStats* stats) {
+  std::vector<StMatchOccurrences> out;
+  out.reserve(matches.size());
+  for (const StMatch& match : matches) {
+    StMatchOccurrences occ;
+    occ.match = match;
+    occ.data_positions =
+        tree.FindAll(query.substr(match.query_pos, match.length), stats);
+    out.push_back(std::move(occ));
+  }
+  return out;
+}
+
+}  // namespace spine

@@ -1,0 +1,198 @@
+// Streaming maximal-match finder over a suffix tree, the baseline for
+// the paper's search comparison (Sections 4.1, 6.1, Tables 5-7).
+//
+// This is the classical suffix-link walk (as used by MUMmer): on a
+// mismatch the matched suffix shrinks by ONE character per suffix-link
+// hop, re-descending edge remainders by skip/count. SPINE's link chain
+// shrinks by whole suffix *sets* per hop — the difference the paper
+// quantifies in Table 6 as "number of nodes checked".
+//
+// The implementation is a template over the tree type so the in-memory
+// SuffixTree and the disk-resident storage::DiskSuffixTree share it. A
+// Tree must provide: alphabet(), node(id) (by value or reference),
+// EdgeLength(id), CodeAt(i), FindChild(parent, code, stats), and the
+// kRoot / kNoNode32 constants of SuffixTree.
+
+#ifndef SPINE_SUFFIX_TREE_ST_MATCHER_H_
+#define SPINE_SUFFIX_TREE_ST_MATCHER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "suffix_tree/suffix_tree.h"
+
+namespace spine {
+
+struct StMatch {
+  uint32_t query_pos = 0;
+  uint32_t length = 0;
+  bool operator==(const StMatch&) const = default;
+};
+
+namespace st_internal {
+
+// Position in the tree: the implicit node reached after matching some
+// string. `node` is the deepest explicit node at or above the position;
+// when `edge_offset` > 0 the position lies `edge_offset` codes down the
+// edge to `child`. The position is never normalized onto a leaf (leaves
+// carry no valid suffix link).
+struct TreePos {
+  uint32_t node = SuffixTree::kRoot;
+  uint32_t child = SuffixTree::kNoNode32;
+  uint32_t edge_offset = 0;
+};
+
+template <typename Tree>
+bool IsLeaf(const Tree& tree, uint32_t id) {
+  return tree.node(id).first_child == SuffixTree::kNoNode32;
+}
+
+template <typename Tree>
+void Normalize(const Tree& tree, TreePos* pos) {
+  if (pos->edge_offset == 0) return;
+  if (pos->edge_offset == tree.EdgeLength(pos->child) &&
+      !IsLeaf(tree, pos->child)) {
+    pos->node = pos->child;
+    pos->child = SuffixTree::kNoNode32;
+    pos->edge_offset = 0;
+  }
+}
+
+// Skip/count descent of `codes` from `pos->node`, assuming the path
+// exists (used after suffix-link hops, where existence is guaranteed).
+template <typename Tree>
+void SkipCountDown(const Tree& tree, const Code* codes, uint32_t len,
+                   TreePos* pos, SearchStats* stats) {
+  uint32_t consumed = 0;
+  pos->child = SuffixTree::kNoNode32;
+  pos->edge_offset = 0;
+  while (consumed < len) {
+    uint32_t child = tree.FindChild(pos->node, codes[consumed], stats);
+    SPINE_DCHECK(child != SuffixTree::kNoNode32);
+    uint32_t edge_len = tree.EdgeLength(child);
+    uint32_t remaining = len - consumed;
+    if (remaining < edge_len || IsLeaf(tree, child)) {
+      SPINE_DCHECK(remaining <= edge_len);
+      pos->child = child;
+      pos->edge_offset = remaining;
+      return;
+    }
+    consumed += edge_len;
+    pos->node = child;
+    if (stats != nullptr) ++stats->link_traversals;
+  }
+}
+
+template <typename Tree>
+bool TryExtend(const Tree& tree, TreePos* pos, Code c, SearchStats* stats) {
+  if (pos->edge_offset == 0) {
+    uint32_t child = tree.FindChild(pos->node, c, stats);
+    if (child == SuffixTree::kNoNode32) return false;
+    pos->child = child;
+    pos->edge_offset = 1;
+    Normalize(tree, pos);
+    return true;
+  }
+  if (pos->edge_offset == tree.EdgeLength(pos->child)) {
+    return false;  // exhausted leaf edge: the data suffix ends here
+  }
+  const auto child = tree.node(pos->child);
+  if (stats != nullptr) ++stats->nodes_checked;
+  if (tree.CodeAt(child.start + pos->edge_offset) != c) return false;
+  ++pos->edge_offset;
+  Normalize(tree, pos);
+  return true;
+}
+
+}  // namespace st_internal
+
+template <typename Tree>
+std::vector<StMatch> GenericStFindMaximalMatches(const Tree& tree,
+                                                 std::string_view query,
+                                                 uint32_t min_len,
+                                                 SearchStats* stats) {
+  SPINE_CHECK(min_len >= 1);
+  std::vector<StMatch> out;
+  const Alphabet& alphabet = tree.alphabet();
+
+  // Encoded query (needed to re-descend after suffix-link hops).
+  std::vector<Code> query_codes;
+  query_codes.reserve(query.size());
+  for (char ch : query) query_codes.push_back(alphabet.Encode(ch));
+
+  st_internal::TreePos pos;
+  uint32_t pathlen = 0;
+
+  auto report = [&](uint32_t end_pos) {
+    if (pathlen >= min_len) out.push_back({end_pos - pathlen, pathlen});
+  };
+
+  for (uint32_t i = 0; i < query.size(); ++i) {
+    Code c = query_codes[i];
+    if (c == kInvalidCode) {
+      report(i);
+      pos = st_internal::TreePos{};
+      pathlen = 0;
+      continue;
+    }
+    bool reported = false;
+    while (true) {
+      if (st_internal::TryExtend(tree, &pos, c, stats)) {
+        ++pathlen;
+        break;
+      }
+      if (!reported) {
+        report(i);
+        reported = true;
+      }
+      if (pathlen == 0) break;  // character absent under the root
+      // Shrink by exactly one suffix: the suffix-link walk. Unlike
+      // SPINE's set-based links this drops a single character per hop.
+      --pathlen;
+      if (pos.node == SuffixTree::kRoot) {
+        pos = st_internal::TreePos{};
+        st_internal::SkipCountDown(tree, query_codes.data() + (i - pathlen),
+                                   pathlen, &pos, stats);
+      } else {
+        uint32_t above = pos.edge_offset;  // codes hanging below pos.node
+        pos.node = tree.node(pos.node).suffix_link;
+        if (stats != nullptr) ++stats->link_traversals;
+        pos.child = SuffixTree::kNoNode32;
+        pos.edge_offset = 0;
+        if (above > 0) {
+          st_internal::SkipCountDown(tree, query_codes.data() + (i - above),
+                                     above, &pos, stats);
+        }
+      }
+    }
+  }
+  if (pathlen >= min_len) {
+    out.push_back({static_cast<uint32_t>(query.size()) - pathlen, pathlen});
+  }
+  return out;
+}
+
+// All maximal matches of length >= min_len between the tree's string and
+// `query`; same match set as spine::FindMaximalMatches on a SpineIndex.
+std::vector<StMatch> FindMaximalMatches(const SuffixTree& tree,
+                                        std::string_view query,
+                                        uint32_t min_len,
+                                        SearchStats* stats = nullptr);
+
+struct StMatchOccurrences {
+  StMatch match;
+  std::vector<uint32_t> data_positions;  // ascending start offsets
+};
+
+// Expands matches to all occurrences the suffix-tree way: re-descend the
+// matched substring and enumerate the leaves below (the per-match
+// subtree walk SPINE's single backbone scan replaces).
+std::vector<StMatchOccurrences> CollectAllOccurrences(
+    const SuffixTree& tree, std::string_view query,
+    const std::vector<StMatch>& matches, SearchStats* stats = nullptr);
+
+}  // namespace spine
+
+#endif  // SPINE_SUFFIX_TREE_ST_MATCHER_H_

@@ -1,0 +1,252 @@
+#include "suffix_tree/suffix_tree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace spine {
+
+SuffixTree::SuffixTree(const Alphabet& alphabet) : alphabet_(alphabet) {
+  nodes_.push_back(Node{});  // root; its edge fields are unused
+}
+
+uint32_t SuffixTree::NewNode(uint32_t start, uint32_t end) {
+  nodes_.push_back(Node{start, end, kRoot, kNoNode32, kNoNode32, kNoNode32});
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void SuffixTree::AddChild(uint32_t parent, uint32_t child) {
+  nodes_[child].next_sibling = nodes_[parent].first_child;
+  nodes_[parent].first_child = child;
+}
+
+void SuffixTree::ReplaceChild(uint32_t parent, uint32_t old_child,
+                              uint32_t new_child) {
+  uint32_t* slot = &nodes_[parent].first_child;
+  while (*slot != old_child) {
+    SPINE_DCHECK(*slot != kNoNode32);
+    slot = &nodes_[*slot].next_sibling;
+  }
+  *slot = new_child;
+  nodes_[new_child].next_sibling = nodes_[old_child].next_sibling;
+  nodes_[old_child].next_sibling = kNoNode32;
+}
+
+uint32_t SuffixTree::FindChild(uint32_t parent, Code c,
+                               SearchStats* stats) const {
+  uint32_t child = nodes_[parent].first_child;
+  while (child != kNoNode32) {
+    if (stats != nullptr) ++stats->nodes_checked;
+    if (text_[nodes_[child].start] == c) return child;
+    child = nodes_[child].next_sibling;
+  }
+  return kNoNode32;
+}
+
+Status SuffixTree::Append(char ch) {
+  Code c = alphabet_.Encode(ch);
+  if (c == kInvalidCode) {
+    return Status::InvalidArgument(
+        std::string("character '") + ch + "' is not in the " +
+        alphabet_.name() + " alphabet");
+  }
+  ExtendWithCode(c);
+  return Status::OK();
+}
+
+Status SuffixTree::AppendString(std::string_view s) {
+  for (char ch : s) {
+    SPINE_RETURN_IF_ERROR(Append(ch));
+  }
+  return Status::OK();
+}
+
+void SuffixTree::ExtendWithCode(Code c) {
+  text_.push_back(c);
+  const uint32_t pos = static_cast<uint32_t>(text_.size() - 1);
+  need_suffix_link_ = kNoNode32;
+  ++remainder_;
+
+  auto add_suffix_link = [&](uint32_t node) {
+    if (need_suffix_link_ != kNoNode32) {
+      nodes_[need_suffix_link_].suffix_link = node;
+    }
+    need_suffix_link_ = node;
+  };
+
+  while (remainder_ > 0) {
+    if (active_length_ == 0) active_edge_ = pos;
+    uint32_t child = FindChild(active_node_, text_[active_edge_], nullptr);
+    if (child == kNoNode32) {
+      // Rule 2: new leaf directly under the active node.
+      uint32_t leaf = NewNode(pos, kOpenEnd);
+      nodes_[leaf].suffix_index = pos + 1 - remainder_;
+      AddChild(active_node_, leaf);
+      add_suffix_link(active_node_);
+    } else {
+      // Skip/count: descend if the active point lies beyond this edge.
+      uint32_t edge_len = EdgeLength(child);
+      if (active_length_ >= edge_len) {
+        active_edge_ += edge_len;
+        active_length_ -= edge_len;
+        active_node_ = child;
+        continue;
+      }
+      if (text_[nodes_[child].start + active_length_] == c) {
+        // Rule 3: the suffix is already present; the phase ends.
+        ++active_length_;
+        add_suffix_link(active_node_);
+        break;
+      }
+      // Rule 2 with an edge split.
+      uint32_t split = NewNode(nodes_[child].start,
+                               nodes_[child].start + active_length_);
+      ReplaceChild(active_node_, child, split);
+      nodes_[child].start += active_length_;
+      AddChild(split, child);
+      uint32_t leaf = NewNode(pos, kOpenEnd);
+      nodes_[leaf].suffix_index = pos + 1 - remainder_;
+      AddChild(split, leaf);
+      add_suffix_link(split);
+    }
+    --remainder_;
+    if (active_node_ == kRoot && active_length_ > 0) {
+      --active_length_;
+      active_edge_ = pos - remainder_ + 1;
+    } else if (active_node_ != kRoot) {
+      active_node_ = nodes_[active_node_].suffix_link;
+    }
+  }
+}
+
+uint64_t SuffixTree::MemoryBytes() const {
+  return nodes_.size() * sizeof(Node) + text_.size() * sizeof(Code);
+}
+
+bool SuffixTree::Contains(std::string_view pattern,
+                          SearchStats* stats) const {
+  if (pattern.empty()) return true;
+  uint32_t node = kRoot;
+  size_t i = 0;
+  while (i < pattern.size()) {
+    Code c = alphabet_.Encode(pattern[i]);
+    if (c == kInvalidCode) return false;
+    uint32_t child = FindChild(node, c, stats);
+    if (child == kNoNode32) return false;
+    uint32_t start = nodes_[child].start;
+    uint32_t end = EdgeEnd(child);
+    for (uint32_t k = start; k < end && i < pattern.size(); ++k, ++i) {
+      Code pc = alphabet_.Encode(pattern[i]);
+      if (pc == kInvalidCode || text_[k] != pc) return false;
+    }
+    node = child;
+  }
+  return true;
+}
+
+std::vector<uint32_t> SuffixTree::FindAll(std::string_view pattern,
+                                          SearchStats* stats) const {
+  std::vector<uint32_t> out;
+  if (pattern.empty() || pattern.size() > text_.size()) return out;
+  uint32_t node = kRoot;
+  size_t i = 0;
+  while (i < pattern.size()) {
+    Code c = alphabet_.Encode(pattern[i]);
+    if (c == kInvalidCode) return out;
+    uint32_t child = FindChild(node, c, stats);
+    if (child == kNoNode32) return out;
+    uint32_t start = nodes_[child].start;
+    uint32_t end = EdgeEnd(child);
+    for (uint32_t k = start; k < end && i < pattern.size(); ++k, ++i) {
+      Code pc = alphabet_.Encode(pattern[i]);
+      if (pc == kInvalidCode || text_[k] != pc) return out;
+    }
+    node = child;
+  }
+  CollectLeaves(node, &out);
+  // The tree is implicit (online construction): the last `remainder_`
+  // suffixes have no leaves yet. Occurrences that only those suffixes
+  // would report are checked against the text directly.
+  const uint32_t n = static_cast<uint32_t>(text_.size());
+  const uint32_t m = static_cast<uint32_t>(pattern.size());
+  uint32_t first_pending = n - remainder_;
+  for (uint32_t j = first_pending; j + m <= n; ++j) {
+    bool match = true;
+    for (uint32_t k = 0; k < m; ++k) {
+      if (text_[j + k] != alphabet_.Encode(pattern[k])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) out.push_back(j);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void SuffixTree::CollectLeaves(uint32_t id, std::vector<uint32_t>* out) const {
+  if (nodes_[id].first_child == kNoNode32) {
+    if (nodes_[id].suffix_index != kNoNode32) {
+      out->push_back(nodes_[id].suffix_index);
+    }
+    return;
+  }
+  // Iterative DFS: subtrees can be deep on repetitive strings.
+  std::vector<uint32_t> stack = {nodes_[id].first_child};
+  while (!stack.empty()) {
+    uint32_t cur = stack.back();
+    stack.pop_back();
+    for (uint32_t n = cur; n != kNoNode32; n = nodes_[n].next_sibling) {
+      if (nodes_[n].first_child == kNoNode32) {
+        if (nodes_[n].suffix_index != kNoNode32) {
+          out->push_back(nodes_[n].suffix_index);
+        }
+      } else {
+        stack.push_back(nodes_[n].first_child);
+      }
+    }
+  }
+}
+
+Status SuffixTree::Validate() const {
+  const uint32_t n = static_cast<uint32_t>(text_.size());
+  uint64_t leaf_count = 0;
+  for (uint32_t id = 1; id < nodes_.size(); ++id) {
+    const Node& node = nodes_[id];
+    uint32_t end = EdgeEnd(id);
+    if (node.start >= end || end > n) {
+      return Status::Corruption("bad edge range at node " +
+                                std::to_string(id));
+    }
+    if (node.first_child == kNoNode32) {
+      ++leaf_count;
+      if (node.suffix_index == kNoNode32 || node.suffix_index >= n) {
+        return Status::Corruption("leaf without valid suffix index at node " +
+                                  std::to_string(id));
+      }
+      if (node.end != kOpenEnd) {
+        return Status::Corruption("leaf with closed end at node " +
+                                  std::to_string(id));
+      }
+    } else {
+      if (node.suffix_link >= nodes_.size()) {
+        return Status::Corruption("dangling suffix link at node " +
+                                  std::to_string(id));
+      }
+    }
+  }
+  // Every suffix that is not a prefix of a longer pending suffix has a
+  // leaf; with remainder_ suffixes still implicit, leaves = n - remainder_.
+  if (leaf_count + remainder_ != n) {
+    return Status::Corruption("leaf count " + std::to_string(leaf_count) +
+                              " + pending " + std::to_string(remainder_) +
+                              " != text length " + std::to_string(n));
+  }
+  if (nodes_.size() > 2 * static_cast<uint64_t>(n) + 1) {
+    return Status::Corruption("node count exceeds 2n");
+  }
+  return Status::OK();
+}
+
+}  // namespace spine

@@ -1,0 +1,102 @@
+// SuffixTree: the vertical-compaction baseline SPINE is evaluated
+// against (the paper uses MUMmer's suffix tree; we implement the same
+// class of structure: an online Ukkonen suffix tree with suffix links).
+//
+// Children are kept as first-child/next-sibling lists, the standard
+// space-conscious textbook layout. Leaf edges use an open end that
+// implicitly tracks the current string length, so construction is
+// online like SPINE's.
+
+#ifndef SPINE_SUFFIX_TREE_SUFFIX_TREE_H_
+#define SPINE_SUFFIX_TREE_SUFFIX_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "common/status.h"
+#include "core/spine_index.h"  // SearchStats
+
+namespace spine {
+
+class SuffixTree {
+ public:
+  static constexpr uint32_t kNoNode32 = 0xffffffffu;
+
+  struct Node {
+    uint32_t start = 0;        // edge label: text_[start, end)
+    uint32_t end = 0;          // kOpenEnd on leaves
+    uint32_t suffix_link = 0;
+    uint32_t first_child = kNoNode32;
+    uint32_t next_sibling = kNoNode32;
+    uint32_t suffix_index = kNoNode32;  // for leaves: start of the suffix
+  };
+
+  explicit SuffixTree(const Alphabet& alphabet);
+
+  SuffixTree(const SuffixTree&) = delete;
+  SuffixTree& operator=(const SuffixTree&) = delete;
+  SuffixTree(SuffixTree&&) = default;
+  SuffixTree& operator=(SuffixTree&&) = default;
+
+  // Online extension by one character (Ukkonen's algorithm).
+  Status Append(char c);
+  Status AppendString(std::string_view s);
+
+  const Alphabet& alphabet() const { return alphabet_; }
+  uint64_t size() const { return text_.size(); }
+  uint64_t node_count() const { return nodes_.size(); }
+  uint64_t MemoryBytes() const;
+
+  Code CodeAt(uint64_t i) const { return text_[i]; }
+
+  bool Contains(std::string_view pattern, SearchStats* stats = nullptr) const;
+  // All start positions of `pattern`, ascending.
+  std::vector<uint32_t> FindAll(std::string_view pattern,
+                                SearchStats* stats = nullptr) const;
+
+  // Structural sanity checks (suffix link targets, edge ranges, leaf
+  // count equals string length).
+  Status Validate() const;
+
+  // --- Internals exposed for the streaming matcher -----------------------
+
+  static constexpr uint32_t kRoot = 0;
+  static constexpr uint32_t kOpenEnd = 0xffffffffu;
+
+  const Node& node(uint32_t id) const { return nodes_[id]; }
+  uint32_t EdgeEnd(uint32_t id) const {
+    return nodes_[id].end == kOpenEnd ? static_cast<uint32_t>(text_.size())
+                                      : nodes_[id].end;
+  }
+  uint32_t EdgeLength(uint32_t id) const {
+    return EdgeEnd(id) - nodes_[id].start;
+  }
+  // Child of `parent` whose edge starts with code `c`; kNoNode32 if none.
+  uint32_t FindChild(uint32_t parent, Code c, SearchStats* stats) const;
+  // Appends all leaf suffix indexes under `id` to `out`.
+  void CollectLeaves(uint32_t id, std::vector<uint32_t>* out) const;
+
+ private:
+  uint32_t NewNode(uint32_t start, uint32_t end);
+  void AddChild(uint32_t parent, uint32_t child);
+  void ReplaceChild(uint32_t parent, uint32_t old_child, uint32_t new_child);
+  void ExtendWithCode(Code c);
+
+  Alphabet alphabet_;
+  std::vector<Code> text_;
+  std::vector<Node> nodes_;
+
+  // Ukkonen state.
+  uint32_t active_node_ = kRoot;
+  uint32_t active_edge_ = 0;   // index into text_ of the edge's first code
+  uint32_t active_length_ = 0;
+  uint32_t remainder_ = 0;
+  uint32_t need_suffix_link_ = kNoNode32;
+};
+
+}  // namespace spine
+
+#endif  // SPINE_SUFFIX_TREE_SUFFIX_TREE_H_

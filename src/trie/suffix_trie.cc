@@ -1,0 +1,64 @@
+#include "trie/suffix_trie.h"
+
+namespace spine {
+
+SuffixTrie::SuffixTrie(const Alphabet& alphabet) : alphabet_(alphabet) {
+  children_.assign(alphabet.size(), kNoChild);
+  node_count_ = 1;
+}
+
+uint32_t SuffixTrie::ChildOrCreate(uint32_t node, Code c) {
+  uint32_t child = Child(node, c);
+  if (child != kNoChild) return child;
+  child = static_cast<uint32_t>(node_count_++);
+  children_.resize(node_count_ * alphabet_.size(), kNoChild);
+  children_[static_cast<uint64_t>(node) * alphabet_.size() + c] = child;
+  return child;
+}
+
+Result<SuffixTrie> SuffixTrie::Build(const Alphabet& alphabet,
+                                     std::string_view text) {
+  if (text.size() > kMaxLength) {
+    return Status::InvalidArgument(
+        "suffix trie is O(n^2); refusing strings beyond " +
+        std::to_string(kMaxLength) + " characters");
+  }
+  SuffixTrie trie(alphabet);
+  trie.text_length_ = text.size();
+  std::vector<Code> codes;
+  codes.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    Code c = alphabet.Encode(text[i]);
+    if (c == kInvalidCode) {
+      return Status::InvalidArgument("character at offset " +
+                                     std::to_string(i) +
+                                     " is not in the alphabet");
+    }
+    codes.push_back(c);
+  }
+  for (size_t start = 0; start < codes.size(); ++start) {
+    uint32_t node = 0;
+    for (size_t i = start; i < codes.size(); ++i) {
+      node = trie.ChildOrCreate(node, codes[i]);
+    }
+  }
+  return trie;
+}
+
+bool SuffixTrie::Contains(std::string_view pattern) const {
+  uint32_t node = 0;
+  for (char ch : pattern) {
+    Code c = alphabet_.Encode(ch);
+    if (c == kInvalidCode) return false;
+    uint32_t child = Child(node, c);
+    if (child == kNoChild) return false;
+    node = child;
+  }
+  return true;
+}
+
+uint64_t SuffixTrie::MemoryBytes() const {
+  return children_.size() * sizeof(uint32_t);
+}
+
+}  // namespace spine

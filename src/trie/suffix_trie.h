@@ -1,0 +1,63 @@
+// SuffixTrie: the uncompacted suffix trie — the paper's Figure 1
+// starting point. Every suffix of the string is inserted character by
+// character; no compaction of any kind.
+//
+// This structure exists for fidelity and pedagogy: it quantifies what
+// vertical compaction (suffix tree) and horizontal compaction (SPINE)
+// each save, and reproduces the paper's Figure 1-3 node/edge counts for
+// the example string. Size is O(n^2) in the worst case — use on short
+// strings only (construction refuses strings beyond kMaxLength).
+
+#ifndef SPINE_TRIE_SUFFIX_TRIE_H_
+#define SPINE_TRIE_SUFFIX_TRIE_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "common/status.h"
+
+namespace spine {
+
+class SuffixTrie {
+ public:
+  // Guard against accidental quadratic blowups (a trie over n
+  // characters can reach ~n^2/2 nodes).
+  static constexpr uint64_t kMaxLength = 1 << 13;
+
+  // Builds the trie of all suffixes of `text`.
+  static Result<SuffixTrie> Build(const Alphabet& alphabet,
+                                  std::string_view text);
+
+  uint64_t node_count() const { return node_count_; }
+  // Edges == nodes - 1 (it is a tree), provided for symmetry with the
+  // paper's Figure 1 discussion.
+  uint64_t edge_count() const { return node_count_ - 1; }
+  uint64_t text_length() const { return text_length_; }
+
+  bool Contains(std::string_view pattern) const;
+
+  // Bytes for the straightforward child-array representation.
+  uint64_t MemoryBytes() const;
+
+ private:
+  explicit SuffixTrie(const Alphabet& alphabet);
+
+  static constexpr uint32_t kNoChild = 0xffffffffu;
+
+  uint32_t ChildOrCreate(uint32_t node, Code c);
+  uint32_t Child(uint32_t node, Code c) const {
+    return children_[static_cast<uint64_t>(node) * alphabet_.size() + c];
+  }
+
+  Alphabet alphabet_;
+  // Flat child arena: slot node * sigma + code.
+  std::vector<uint32_t> children_;
+  uint64_t node_count_ = 0;
+  uint64_t text_length_ = 0;
+};
+
+}  // namespace spine
+
+#endif  // SPINE_TRIE_SUFFIX_TRIE_H_

@@ -1,0 +1,331 @@
+// Tests for the alignment module: edit distance, anchor chaining,
+// the SPINE-anchored aligner, and approximate matching.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "align/aligner.h"
+#include "align/approximate.h"
+#include "align/chainer.h"
+#include "align/edit_distance.h"
+#include "common/rng.h"
+#include "seq/generator.h"
+
+namespace spine::align {
+namespace {
+
+// ---------------------------------------------------------------------
+// Edit distance.
+// ---------------------------------------------------------------------
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("ACGT", "ACGT"), 0u);
+  EXPECT_EQ(EditDistance("ACGT", "AGT"), 1u);
+  EXPECT_EQ(EditDistance("ACGT", "TGCA"), 4u);
+}
+
+TEST(EditDistanceTest, BandedAgreesWithFullWithinBudget) {
+  Rng rng(42);
+  const char* letters = "ACGT";
+  for (int round = 0; round < 300; ++round) {
+    uint32_t la = static_cast<uint32_t>(rng.Below(30));
+    uint32_t lb = static_cast<uint32_t>(rng.Below(30));
+    std::string a, b;
+    for (uint32_t i = 0; i < la; ++i) a.push_back(letters[rng.Below(3)]);
+    for (uint32_t i = 0; i < lb; ++i) b.push_back(letters[rng.Below(3)]);
+    uint32_t truth = EditDistance(a, b);
+    for (uint32_t budget : {0u, 1u, 2u, 5u, 30u}) {
+      auto banded = BandedEditDistance(a, b, budget);
+      if (truth <= budget) {
+        ASSERT_TRUE(banded.has_value()) << a << " vs " << b << " @" << budget;
+        ASSERT_EQ(*banded, truth) << a << " vs " << b << " @" << budget;
+      } else {
+        ASSERT_FALSE(banded.has_value()) << a << " vs " << b << " @" << budget;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Chaining.
+// ---------------------------------------------------------------------
+
+TEST(ChainerTest, EmptyAndSingle) {
+  EXPECT_EQ(BestChain({}).score, 0u);
+  Chain single = BestChain({{5, 9, 7}});
+  EXPECT_EQ(single.score, 7u);
+  ASSERT_EQ(single.anchors.size(), 1u);
+  EXPECT_EQ(single.anchors[0], (Anchor{5, 9, 7}));
+}
+
+TEST(ChainerTest, PicksCollinearSubset) {
+  // Two collinear anchors plus one crossing anchor that would break
+  // monotonicity; the chain takes the collinear pair.
+  std::vector<Anchor> anchors = {
+      {0, 0, 10},    // collinear
+      {20, 20, 10},  // collinear
+      {12, 2, 11},   // crossing (data runs backwards relative to query)
+  };
+  Chain chain = BestChain(anchors);
+  EXPECT_EQ(chain.score, 20u);
+  ASSERT_EQ(chain.anchors.size(), 2u);
+  EXPECT_EQ(chain.anchors[0].query_pos, 0u);
+  EXPECT_EQ(chain.anchors[1].query_pos, 20u);
+}
+
+TEST(ChainerTest, RejectsOverlaps) {
+  // Overlapping anchors cannot both be used.
+  std::vector<Anchor> anchors = {{0, 0, 10}, {5, 5, 10}};
+  Chain chain = BestChain(anchors);
+  EXPECT_EQ(chain.score, 10u);
+  EXPECT_EQ(chain.anchors.size(), 1u);
+}
+
+// Brute-force best chain over all subsets (small k only).
+uint64_t BruteBestChain(const std::vector<Anchor>& anchors) {
+  const size_t k = anchors.size();
+  uint64_t best = 0;
+  for (uint32_t mask = 0; mask < (1u << k); ++mask) {
+    std::vector<Anchor> subset;
+    for (size_t i = 0; i < k; ++i) {
+      if (mask & (1u << i)) subset.push_back(anchors[i]);
+    }
+    std::sort(subset.begin(), subset.end(),
+              [](const Anchor& a, const Anchor& b) {
+                return a.query_pos < b.query_pos;
+              });
+    bool valid = true;
+    uint64_t score = 0;
+    for (size_t i = 0; i < subset.size(); ++i) {
+      score += subset[i].length;
+      if (i > 0) {
+        const Anchor& p = subset[i - 1];
+        const Anchor& c = subset[i];
+        if (p.query_pos + p.length > c.query_pos ||
+            p.data_pos + p.length > c.data_pos) {
+          valid = false;
+          break;
+        }
+      }
+    }
+    if (valid) best = std::max(best, score);
+  }
+  return best;
+}
+
+TEST(ChainerTest, BoundedOverlapChainsAndTrims) {
+  // Two long anchors overlapping by one character: strict chaining must
+  // pick one; with max_overlap they chain and the later one is trimmed.
+  std::vector<Anchor> anchors = {{0, 0, 101}, {300, 100, 100}};
+  Chain strict = BestChain(anchors);
+  EXPECT_EQ(strict.score, 101u);
+  Chain relaxed = BestChain(anchors, /*max_overlap=*/8);
+  ASSERT_EQ(relaxed.anchors.size(), 2u);
+  EXPECT_EQ(relaxed.raw_score, 201u);
+  EXPECT_EQ(relaxed.score, 200u);  // one base trimmed off the second
+  EXPECT_EQ(relaxed.anchors[1].data_pos, 101u);
+  EXPECT_EQ(relaxed.anchors[1].length, 99u);
+  // Trimmed chains are strictly non-overlapping.
+  EXPECT_LE(relaxed.anchors[0].data_pos + relaxed.anchors[0].length,
+            relaxed.anchors[1].data_pos);
+  // Overlap beyond the bound still refuses to chain.
+  std::vector<Anchor> heavy = {{0, 0, 120}, {300, 100, 100}};
+  Chain refused = BestChain(heavy, /*max_overlap=*/8);
+  EXPECT_EQ(refused.score, 120u);
+}
+
+TEST(ChainerTest, TrimDropsFullyConsumedAnchors) {
+  // A tiny anchor entirely inside the first one's span gets dropped.
+  std::vector<Anchor> anchors = {{0, 0, 50}, {100, 45, 5}, {200, 200, 40}};
+  Chain chain = BestChain(anchors, /*max_overlap=*/8);
+  // Whatever the DP picks, the emission is valid and covers the two
+  // big anchors' material.
+  EXPECT_GE(chain.score, 90u);
+  for (size_t i = 1; i < chain.anchors.size(); ++i) {
+    EXPECT_LE(chain.anchors[i - 1].data_pos + chain.anchors[i - 1].length,
+              chain.anchors[i].data_pos);
+  }
+}
+
+TEST(ChainerTest, OptimalAgainstBruteForce) {
+  Rng rng(17);
+  for (int round = 0; round < 200; ++round) {
+    uint32_t k = 1 + static_cast<uint32_t>(rng.Below(10));
+    std::vector<Anchor> anchors;
+    for (uint32_t i = 0; i < k; ++i) {
+      anchors.push_back({static_cast<uint32_t>(rng.Below(60)),
+                         static_cast<uint32_t>(rng.Below(60)),
+                         1 + static_cast<uint32_t>(rng.Below(12))});
+    }
+    Chain chain = BestChain(anchors);
+    ASSERT_EQ(chain.score, BruteBestChain(anchors)) << "round " << round;
+    // Score equals the sum of chosen lengths.
+    uint64_t total = 0;
+    for (const Anchor& a : chain.anchors) total += a.length;
+    ASSERT_EQ(total, chain.score);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Aligner.
+// ---------------------------------------------------------------------
+
+TEST(AlignerTest, PerfectCopyAlignsCompletely) {
+  seq::GeneratorOptions gen;
+  gen.length = 20000;
+  gen.seed = 9;
+  std::string genome = seq::GenerateSequence(Alphabet::Dna(), gen);
+  Result<AlignmentResult> result = AlignSequences(genome, genome);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->anchored_bases, genome.size());
+  EXPECT_EQ(result->gap_edits, 0u);
+  EXPECT_DOUBLE_EQ(result->Identity(), 1.0);
+  EXPECT_DOUBLE_EQ(result->QueryCoverage(genome.size()), 1.0);
+}
+
+TEST(AlignerTest, DivergentStrainAlignsWithHighIdentity) {
+  seq::GeneratorOptions gen;
+  gen.length = 40000;
+  gen.seed = 10;
+  std::string genome = seq::GenerateSequence(Alphabet::Dna(), gen);
+  seq::MutateOptions mut;
+  mut.seed = 11;
+  mut.substitution_rate = 0.01;
+  std::string strain = seq::MutateCopy(Alphabet::Dna(), genome, mut);
+
+  Result<AlignmentResult> result = AlignSequences(genome, strain);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->QueryCoverage(strain.size()), 0.9);
+  EXPECT_GT(result->Identity(), 0.90);
+  EXPECT_GT(result->chain.anchors.size(), 10u);
+}
+
+TEST(AlignerTest, UnrelatedSequencesBarelyAlign) {
+  seq::GeneratorOptions gen;
+  gen.length = 20000;
+  gen.seed = 12;
+  std::string a = seq::GenerateSequence(Alphabet::Dna(), gen);
+  gen.seed = 13;
+  std::string b = seq::GenerateSequence(Alphabet::Dna(), gen);
+  AlignOptions options;
+  options.min_anchor_len = 24;  // random 24-mers almost never collide
+  Result<AlignmentResult> result = AlignSequences(a, b, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->QueryCoverage(b.size()), 0.1);
+}
+
+TEST(AlignerTest, UniqueAnchorModeDropsRepeatedAnchors) {
+  const std::string data = "AAACCCGGGTTTAAACCC";
+  AlignOptions options;
+  options.min_anchor_len = 6;
+  options.unique_anchors_only = true;
+  // "AAACCC" occurs twice in the data: not a MUM, dropped.
+  Result<AlignmentResult> repeated = AlignSequences(data, "AAACCC", options);
+  ASSERT_TRUE(repeated.ok());
+  EXPECT_EQ(repeated->anchored_bases, 0u);
+  // "GGGTTT" occurs once: kept.
+  Result<AlignmentResult> unique = AlignSequences(data, "GGGTTT", options);
+  ASSERT_TRUE(unique.ok());
+  EXPECT_EQ(unique->anchored_bases, 6u);
+}
+
+// ---------------------------------------------------------------------
+// Approximate matching.
+// ---------------------------------------------------------------------
+
+std::vector<ApproximateHit> BruteApproximate(const std::string& text,
+                                             const std::string& pattern,
+                                             uint32_t max_edits) {
+  std::vector<ApproximateHit> hits;
+  const uint32_t m = static_cast<uint32_t>(pattern.size());
+  for (uint32_t s = 0; s < text.size(); ++s) {
+    uint32_t best_edits = max_edits + 1;
+    uint32_t best_len = 0;
+    uint32_t max_len =
+        std::min<uint32_t>(m + max_edits, static_cast<uint32_t>(text.size()) - s);
+    for (uint32_t len = 0; len <= max_len; ++len) {
+      uint32_t d = EditDistance(pattern, std::string_view(text).substr(s, len));
+      if (d < best_edits) {
+        best_edits = d;
+        best_len = len;
+      }
+    }
+    if (best_edits <= max_edits) hits.push_back({s, best_len, best_edits});
+  }
+  return hits;
+}
+
+TEST(ApproximateTest, ExactMatchesAreZeroEditHits) {
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString("ACGTACGTACGT").ok());
+  auto hits = FindApproximate(index, "GTAC", 0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (ApproximateHit{2, 4, 0}));
+  EXPECT_EQ(hits[1], (ApproximateHit{6, 4, 0}));
+}
+
+TEST(ApproximateTest, FindsSubstitutedOccurrences) {
+  //                 0123456789
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString("AAAATCGAAAA").ok());
+  // "TAGA" matches "TCGA" at position 4 with 1 substitution.
+  auto hits = FindApproximate(index, "TAGA", 1);
+  bool found = false;
+  for (const auto& hit : hits) {
+    if (hit.data_pos == 4 && hit.edits == 1) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(FindApproximate(index, "TAGA", 0).empty());
+}
+
+TEST(ApproximateTest, DegenerateInputs) {
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString("ACGT").ok());
+  EXPECT_TRUE(FindApproximate(index, "", 1).empty());
+  EXPECT_TRUE(FindApproximate(index, "AC", 2).empty());  // k >= |pattern|
+  CompactSpineIndex empty(Alphabet::Dna());
+  EXPECT_TRUE(FindApproximate(empty, "ACG", 1).empty());
+}
+
+TEST(ApproximateTest, MatchesBruteForceOracle) {
+  Rng rng(23);
+  const char* letters = "ACGT";
+  for (int round = 0; round < 40; ++round) {
+    uint32_t n = 30 + static_cast<uint32_t>(rng.Below(120));
+    std::string text;
+    for (uint32_t i = 0; i < n; ++i) text.push_back(letters[rng.Below(3)]);
+    CompactSpineIndex index(Alphabet::Dna());
+    ASSERT_TRUE(index.AppendString(text).ok());
+    for (int trial = 0; trial < 8; ++trial) {
+      uint32_t m = 5 + static_cast<uint32_t>(rng.Below(10));
+      std::string pattern;
+      if (trial % 2 == 0 && m < n) {
+        pattern = text.substr(rng.Below(n - m), m);
+      } else {
+        for (uint32_t i = 0; i < m; ++i) {
+          pattern.push_back(letters[rng.Below(3)]);
+        }
+      }
+      uint32_t k = static_cast<uint32_t>(rng.Below(3));
+      if (k >= pattern.size()) continue;
+      auto got = FindApproximate(index, pattern, k);
+      auto want = BruteApproximate(text, pattern, k);
+      ASSERT_EQ(got.size(), want.size())
+          << "text=" << text << " pattern=" << pattern << " k=" << k;
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got[i].data_pos, want[i].data_pos);
+        ASSERT_EQ(got[i].edits, want[i].edits);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spine::align

@@ -1,0 +1,55 @@
+// Tests for the benchmark-harness utilities.
+
+#include "bench_util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace spine::bench {
+namespace {
+
+TEST(FormatTest, Doubles) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(FormatPercent(0.315), "31.5%");
+  EXPECT_EQ(FormatPercent(1.0, 0), "100%");
+  EXPECT_EQ(FormatPercent(0.0), "0.0%");
+}
+
+TEST(FormatTest, Counts) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0 MiB");
+  EXPECT_EQ(FormatBytes(5ull << 30), "5.0 GiB");
+}
+
+TEST(FormatTest, Mega) {
+  EXPECT_EQ(FormatMega(3'500'000), "3.50 M");
+  EXPECT_EQ(FormatMega(350'000), "0.35 M");
+}
+
+TEST(TablePrinterTest, PrintsAlignedRows) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"alpha", "1"});
+  table.AddRow({"b", "22222"});
+  ::testing::internal::CaptureStdout();
+  table.Print();
+  std::string output = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(output.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(output.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(output.find("| b     | 22222 |"), std::string::npos);
+  EXPECT_NE(output.find("+-------+-------+"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spine::bench

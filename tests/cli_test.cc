@@ -1,0 +1,207 @@
+// Tests for the spine_tool CLI (via the cli library, no subprocesses).
+
+#include "tools/cli.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace spine::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunCli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  int code = Run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream file(path, std::ios::trunc);
+  file << contents;
+}
+
+TEST(CliTest, NoArgsPrintsUsage) {
+  CliResult result = RunCli({});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("usage:"), std::string::npos);
+}
+
+TEST(CliTest, HelpSucceeds) {
+  CliResult result = RunCli({"help"});
+  EXPECT_EQ(result.code, 0);
+  EXPECT_NE(result.out.find("build"), std::string::npos);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  CliResult result = RunCli({"frobnicate"});
+  EXPECT_EQ(result.code, 2);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, BuildQueryStatsRoundTrip) {
+  const std::string fasta = TempPath("cli_data.fa");
+  const std::string index = TempPath("cli_data.spine");
+  WriteFile(fasta, ">seq test\nACGTACGTAC\nGTACGT\n");
+
+  CliResult build = RunCli({"build", fasta, index});
+  ASSERT_EQ(build.code, 0) << build.err;
+  EXPECT_NE(build.out.find("indexed 16 characters"), std::string::npos);
+
+  CliResult query = RunCli({"query", index, "ACGT"});
+  ASSERT_EQ(query.code, 0) << query.err;
+  EXPECT_NE(query.out.find("4 occurrence(s) 0 4 8 12"), std::string::npos);
+
+  CliResult none = RunCli({"query", index, "TTTT"});
+  ASSERT_EQ(none.code, 0);
+  EXPECT_NE(none.out.find("0 occurrence(s)"), std::string::npos);
+
+  CliResult stats = RunCli({"stats", index});
+  ASSERT_EQ(stats.code, 0) << stats.err;
+  EXPECT_NE(stats.out.find("characters      : 16"), std::string::npos);
+  EXPECT_NE(stats.out.find("alphabet        : dna"), std::string::npos);
+}
+
+TEST(CliTest, BuildRejectsBadInputs) {
+  EXPECT_EQ(RunCli({"build", "/nonexistent.fa", TempPath("x.spine")}).code,
+            1);
+  const std::string fasta = TempPath("cli_bad.fa");
+  WriteFile(fasta, ">seq\nACGTX\n");
+  EXPECT_EQ(RunCli({"build", fasta, TempPath("x.spine")}).code, 1);
+  EXPECT_EQ(RunCli({"build", fasta, TempPath("x.spine"),
+                    "--alphabet=klingon"})
+                .code,
+            1);
+  EXPECT_EQ(RunCli({"build", fasta}).code, 2);  // missing positional
+  const std::string empty_fa = TempPath("cli_empty.fa");
+  WriteFile(empty_fa, "");
+  EXPECT_EQ(RunCli({"build", empty_fa, TempPath("x.spine")}).code, 1);
+}
+
+TEST(CliTest, ProteinAlphabetBuild) {
+  const std::string fasta = TempPath("cli_protein.fa");
+  const std::string index = TempPath("cli_protein.spine");
+  WriteFile(fasta, ">p\nMKVLAWGH\n");
+  CliResult build = RunCli({"build", fasta, index, "--alphabet=protein"});
+  ASSERT_EQ(build.code, 0) << build.err;
+  CliResult query = RunCli({"query", index, "VLAW"});
+  EXPECT_NE(query.out.find("1 occurrence(s) 2"), std::string::npos);
+}
+
+TEST(CliTest, SearchFindsMaximalMatches) {
+  const std::string data_fa = TempPath("cli_search_data.fa");
+  const std::string query_fa = TempPath("cli_search_query.fa");
+  const std::string index = TempPath("cli_search.spine");
+  WriteFile(data_fa, ">d\nACGTACGGTACTGACGTT\n");
+  WriteFile(query_fa, ">q\nGGTACTG\n");
+  ASSERT_EQ(RunCli({"build", data_fa, index}).code, 0);
+  CliResult search = RunCli({"search", index, query_fa, "--min-len=5"});
+  ASSERT_EQ(search.code, 0) << search.err;
+  EXPECT_NE(search.out.find("1 maximal match(es)"), std::string::npos);
+  EXPECT_NE(search.out.find("len 7"), std::string::npos);
+}
+
+TEST(CliTest, AlignReportsIdentity) {
+  const std::string ref_fa = TempPath("cli_align_ref.fa");
+  const std::string query_fa = TempPath("cli_align_query.fa");
+  // Identical sequences -> 100% coverage and identity.
+  WriteFile(ref_fa, ">r\nACGTACGGTACTGACGTTACGTACGGTACTGACGTT\n");
+  WriteFile(query_fa, ">q\nACGTACGGTACTGACGTTACGTACGGTACTGACGTT\n");
+  CliResult align =
+      RunCli({"align", ref_fa, query_fa, "--min-anchor=10"});
+  ASSERT_EQ(align.code, 0) << align.err;
+  EXPECT_NE(align.out.find("coverage  : 100%"), std::string::npos);
+  EXPECT_NE(align.out.find("identity  : 100%"), std::string::npos);
+  // MUM flag parses.
+  EXPECT_EQ(RunCli({"align", ref_fa, query_fa, "--mum"}).code, 0);
+}
+
+TEST(CliTest, GenerateWritesFasta) {
+  const std::string out_fa = TempPath("cli_gen.fa");
+  CliResult gen =
+      RunCli({"generate", out_fa, "--length=5000", "--seed=3"});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  // Round-trip: build an index from the generated file.
+  CliResult build = RunCli({"build", out_fa, TempPath("cli_gen.spine")});
+  EXPECT_EQ(build.code, 0) << build.err;
+  EXPECT_NE(build.out.find("indexed 5000 characters"), std::string::npos);
+  // Byte alphabet is rejected for generation.
+  EXPECT_EQ(RunCli({"generate", out_fa, "--alphabet=byte"}).code, 1);
+}
+
+TEST(CliTest, ApproxFindsNearMatches) {
+  const std::string fasta = TempPath("cli_approx.fa");
+  const std::string index = TempPath("cli_approx.spine");
+  WriteFile(fasta, ">d\nAAAATCGAAAA\n");
+  ASSERT_EQ(RunCli({"build", fasta, index}).code, 0);
+  // "TAGA" matches "TCGA" at position 4 with one substitution.
+  CliResult approx = RunCli({"approx", index, "TAGA", "--max-edits=1"});
+  ASSERT_EQ(approx.code, 0) << approx.err;
+  EXPECT_NE(approx.out.find("pos 4"), std::string::npos);
+  // Zero-edit search of an absent pattern finds nothing.
+  CliResult none = RunCli({"approx", index, "TAGA", "--max-edits=0"});
+  EXPECT_NE(none.out.find("0 hit(s)"), std::string::npos);
+  // max-edits >= pattern length is rejected.
+  EXPECT_EQ(RunCli({"approx", index, "TA", "--max-edits=2"}).code, 1);
+  EXPECT_EQ(RunCli({"approx", index}).code, 2);
+}
+
+TEST(CliTest, HammingAndLrsCommands) {
+  const std::string fasta = TempPath("cli_ham.fa");
+  const std::string index = TempPath("cli_ham.spine");
+  WriteFile(fasta, ">d\nACGTACGTTTTT\n");
+  ASSERT_EQ(RunCli({"build", fasta, index}).code, 0);
+
+  CliResult hamming =
+      RunCli({"hamming", index, "ACGA", "--max-mismatches=1"});
+  ASSERT_EQ(hamming.code, 0) << hamming.err;
+  // "ACGT" at 0 and 4 are within one mismatch of "ACGA".
+  EXPECT_NE(hamming.out.find("pos 0 mismatches 1"), std::string::npos);
+  EXPECT_NE(hamming.out.find("pos 4 mismatches 1"), std::string::npos);
+  EXPECT_EQ(RunCli({"hamming", index}).code, 2);
+
+  CliResult lrs = RunCli({"lrs", index});
+  ASSERT_EQ(lrs.code, 0) << lrs.err;
+  // Longest repeated substring of ACGTACGTTTTT is "ACGT" (length 4).
+  EXPECT_NE(lrs.out.find("length 4"), std::string::npos);
+  EXPECT_NE(lrs.out.find("\"ACGT\""), std::string::npos);
+  EXPECT_EQ(RunCli({"lrs"}).code, 2);
+}
+
+TEST(CliTest, GeneralizedBuildAndQuery) {
+  const std::string fasta = TempPath("cli_multi.fa");
+  const std::string index = TempPath("cli_multi.spineg");
+  WriteFile(fasta, ">chrA first\nACGTACGT\n>chrB second\nTTACGTT\n");
+  CliResult build = RunCli({"gbuild", fasta, index});
+  ASSERT_EQ(build.code, 0) << build.err;
+  EXPECT_NE(build.out.find("indexed 2 records"), std::string::npos);
+
+  CliResult query = RunCli({"gquery", index, "ACGT"});
+  ASSERT_EQ(query.code, 0) << query.err;
+  EXPECT_NE(query.out.find("3 occurrence(s)"), std::string::npos);
+  EXPECT_NE(query.out.find("chrA @ 0"), std::string::npos);
+  EXPECT_NE(query.out.find("chrB @ 2"), std::string::npos);
+
+  // A single-record index file is not a generalized index.
+  EXPECT_EQ(RunCli({"gquery", "/nonexistent.spineg", "A"}).code, 1);
+  EXPECT_EQ(RunCli({"gbuild", fasta}).code, 2);
+}
+
+TEST(CliTest, QueryOnMissingIndexFails) {
+  EXPECT_EQ(RunCli({"query", "/nonexistent.spine", "ACGT"}).code, 1);
+  EXPECT_EQ(RunCli({"stats", "/nonexistent.spine"}).code, 1);
+}
+
+}  // namespace
+}  // namespace spine::cli

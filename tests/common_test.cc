@@ -1,0 +1,111 @@
+// Tests for the common substrate: Status/Result, RNG, timer.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/timer.h"
+
+namespace spine {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfRange, StatusCode::kIoError, StatusCode::kCorruption,
+        StatusCode::kResourceExhausted, StatusCode::kFailedPrecondition}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+Status FailsAtSecondStep() {
+  SPINE_RETURN_IF_ERROR(Status::OK());
+  SPINE_RETURN_IF_ERROR(Status::IoError("boom"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  Status status = FailsAtSecondStep();
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok_result(42);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_EQ(*ok_result, 42);
+  EXPECT_TRUE(ok_result.status().ok());
+
+  Result<int> err_result(Status::OutOfRange("too big"));
+  ASSERT_FALSE(err_result.ok());
+  EXPECT_EQ(err_result.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(RngTest, DeterministicAndRoughlyUniform) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.Next(), b.Next());
+
+  Rng rng(7);
+  int buckets[10] = {0};
+  for (int i = 0; i < 100000; ++i) ++buckets[rng.Below(10)];
+  for (int bucket : buckets) {
+    EXPECT_GT(bucket, 8500);
+    EXPECT_LT(bucket, 11500);
+  }
+}
+
+TEST(RngTest, BetweenAndChance) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Between(5, 8);
+    ASSERT_GE(v, 5u);
+    ASSERT_LE(v, 8u);
+  }
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Chance(0.25) ? 1 : 0;
+  EXPECT_GT(heads, 2000);
+  EXPECT_LT(heads, 3000);
+  for (int i = 0; i < 100; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink += static_cast<uint64_t>(i);
+  ASSERT_GT(sink, 0u);  // keep the loop observable
+  double elapsed = timer.ElapsedSeconds();
+  EXPECT_GT(elapsed, 0.0);
+  EXPECT_EQ(timer.ElapsedMillis() > 0.0, true);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), elapsed + 1.0);
+}
+
+}  // namespace
+}  // namespace spine

@@ -1,0 +1,328 @@
+// Tests for the compact (Section 5) SPINE layout: node-by-node
+// equivalence with the reference implementation, search parity, label
+// overflow handling, fan-out migration across rib tables, space
+// accounting and the prefix-partitioning property.
+
+#include "compact/compact_spine.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compact/serializer.h"
+#include "core/spine_index.h"
+#include "naive/naive_index.h"
+#include "seq/generator.h"
+
+namespace spine {
+namespace {
+
+std::string RandomString(Rng& rng, uint32_t length, uint32_t sigma) {
+  static const char* kLetters = "ACGTDEFHIKLMNPQRSWY";
+  std::string s;
+  for (uint32_t i = 0; i < length; ++i) s.push_back(kLetters[rng.Below(sigma)]);
+  return s;
+}
+
+// Asserts that the compact index represents exactly the same logical
+// structure as the reference index.
+void ExpectEquivalent(const SpineIndex& ref, const CompactSpineIndex& compact) {
+  ASSERT_EQ(ref.size(), compact.size());
+  const NodeId n = static_cast<NodeId>(ref.size());
+  for (NodeId i = 1; i <= n; ++i) {
+    ASSERT_EQ(compact.LinkDest(i), ref.LinkDest(i)) << "node " << i;
+    ASSERT_EQ(compact.LinkLel(i), ref.LinkLel(i)) << "node " << i;
+  }
+  for (NodeId i = 0; i <= n; ++i) {
+    std::vector<CompactSpineIndex::RibView> got = compact.RibsAt(i);
+    std::sort(got.begin(), got.end(),
+              [](const auto& a, const auto& b) { return a.cl < b.cl; });
+    std::vector<CompactSpineIndex::RibView> want;
+    for (uint32_t c = 0; c < ref.alphabet().size(); ++c) {
+      const SpineIndex::Rib* rib = ref.FindRib(i, static_cast<Code>(c));
+      if (rib != nullptr) {
+        want.push_back({static_cast<Code>(c), rib->dest, rib->pt});
+      }
+    }
+    ASSERT_EQ(got.size(), want.size()) << "rib count at node " << i;
+    for (size_t k = 0; k < want.size(); ++k) {
+      EXPECT_EQ(got[k].cl, want[k].cl) << "node " << i;
+      EXPECT_EQ(got[k].dest, want[k].dest) << "node " << i;
+      EXPECT_EQ(got[k].pt, want[k].pt) << "node " << i;
+    }
+    const SpineIndex::Extrib* ext = ref.FindExtrib(i);
+    auto compact_ext = compact.ExtribAt(i);
+    ASSERT_EQ(compact_ext.has_value(), ext != nullptr) << "node " << i;
+    if (ext != nullptr) {
+      EXPECT_EQ(compact_ext->dest, ext->dest) << "node " << i;
+      EXPECT_EQ(compact_ext->pt, ext->pt) << "node " << i;
+      EXPECT_EQ(compact_ext->prt, ext->prt) << "node " << i;
+      EXPECT_EQ(compact_ext->parent_dest, ext->parent_dest) << "node " << i;
+    }
+  }
+}
+
+TEST(CompactSpineTest, EquivalentToReferenceOnPaperExample) {
+  SpineIndex ref(Alphabet::Dna());
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(ref.AppendString("aaccacaaca").ok());
+  ASSERT_TRUE(compact.AppendString("aaccacaaca").ok());
+  ASSERT_TRUE(compact.Validate().ok());
+  ExpectEquivalent(ref, compact);
+}
+
+struct EquivCase {
+  uint32_t sigma;
+  uint32_t length;
+  uint64_t seed;
+};
+
+class CompactEquivalenceTest : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(CompactEquivalenceTest, StructureAndSearchMatchReference) {
+  const EquivCase param = GetParam();
+  Rng rng(param.seed);
+  std::string s = RandomString(rng, param.length, param.sigma);
+  Alphabet alphabet =
+      param.sigma <= 4 ? Alphabet::Dna() : Alphabet::Protein();
+  SpineIndex ref(alphabet);
+  CompactSpineIndex compact(alphabet);
+  ASSERT_TRUE(ref.AppendString(s).ok());
+  ASSERT_TRUE(compact.AppendString(s).ok());
+  Status valid = compact.Validate();
+  ASSERT_TRUE(valid.ok()) << valid.ToString();
+  ExpectEquivalent(ref, compact);
+
+  for (int trial = 0; trial < 150; ++trial) {
+    std::string pattern;
+    if (trial % 2 == 0) {
+      uint32_t start = static_cast<uint32_t>(rng.Below(param.length));
+      uint32_t len = 1 + static_cast<uint32_t>(rng.Below(
+                             std::min<uint32_t>(16, param.length - start)));
+      pattern = s.substr(start, len);
+    } else {
+      pattern = RandomString(rng, 1 + rng.Below(8), param.sigma);
+    }
+    ASSERT_EQ(compact.FindAll(pattern), ref.FindAll(pattern))
+        << "string " << s << " pattern " << pattern;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStrings, CompactEquivalenceTest,
+    ::testing::Values(EquivCase{2, 40, 71}, EquivCase{2, 150, 72},
+                      EquivCase{2, 400, 73}, EquivCase{3, 200, 74},
+                      EquivCase{4, 300, 75}, EquivCase{4, 1000, 76},
+                      EquivCase{16, 400, 77}, EquivCase{19, 600, 78}),
+    [](const ::testing::TestParamInfo<EquivCase>& info) {
+      return "sigma" + std::to_string(info.param.sigma) + "_len" +
+             std::to_string(info.param.length) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(CompactSpineTest, ProteinHighFanoutSpillsToBigEntries) {
+  // A protein string engineered so one node accumulates many ribs: many
+  // distinct characters each following the prefix "AA".
+  std::string s;
+  const std::string residues = "CDEFGHIKLMNPQRSTVWY";
+  for (char r : residues) {
+    s += "AA";
+    s += r;
+  }
+  SpineIndex ref(Alphabet::Protein());
+  CompactSpineIndex compact(Alphabet::Protein());
+  ASSERT_TRUE(ref.AppendString(s).ok());
+  ASSERT_TRUE(compact.AppendString(s).ok());
+  ASSERT_TRUE(compact.Validate().ok());
+  ExpectEquivalent(ref, compact);
+  // Fan-out beyond 4 must exist (the node for prefix "AA"-context).
+  EXPECT_GT(compact.FanoutCounts()[4], 0u);
+}
+
+TEST(CompactSpineTest, LabelOverflowBeyond16Bits) {
+  // A run of 70,000 identical characters drives LEL up to 69,999, well
+  // past the 16-bit label range; then a 'C' plants ribs with large PTs
+  // along the whole link chain, and a repeat exercises their retrieval.
+  constexpr uint32_t kRun = 70'000;
+  std::string s(kRun, 'A');
+  s += 'C';
+  s += "AAAAAC";
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(compact.AppendString(s).ok());
+  ASSERT_TRUE(compact.Validate().ok());
+  EXPECT_GT(compact.max_lel(), 0xffffu);
+  EXPECT_GT(compact.max_pt(), 0xffffu);
+  // LEL values follow the run structure exactly.
+  EXPECT_EQ(compact.LinkLel(kRun), kRun - 1);
+  EXPECT_EQ(compact.LinkDest(kRun), kRun - 1);
+  // Searches crossing the overflowed labels still work.
+  EXPECT_TRUE(compact.Contains(std::string(kRun, 'A') + "C"));
+  EXPECT_TRUE(compact.Contains("AAAAAC"));
+  EXPECT_FALSE(compact.Contains(std::string(kRun + 1, 'A')));
+  EXPECT_FALSE(compact.Contains("CC"));
+  // The big-PT rib at the deep node is traversable at a deep pathlen.
+  std::string deep = std::string(66'000, 'A') + "C";
+  EXPECT_TRUE(compact.Contains(deep));
+}
+
+TEST(CompactSpineTest, FanoutMigrationAcrossRibTables) {
+  // DNA string where some node gains ribs one at a time (RT1 -> RT2 ->
+  // RT3), exercising entry migration and free-list recycling.
+  std::string s = "TTATTCTTGTTT";  // after "TT": A, C, G, T follow
+  SpineIndex ref(Alphabet::Dna());
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(ref.AppendString(s).ok());
+  ASSERT_TRUE(compact.AppendString(s).ok());
+  ASSERT_TRUE(compact.Validate().ok());
+  ExpectEquivalent(ref, compact);
+  auto counts = compact.FanoutCounts();
+  uint64_t with_edges = counts[0] + counts[1] + counts[2] + counts[3];
+  EXPECT_GT(with_edges, 0u);
+}
+
+TEST(CompactSpineTest, RejectsForeignCharacters) {
+  CompactSpineIndex compact(Alphabet::Dna());
+  EXPECT_FALSE(compact.Append('z').ok());
+  EXPECT_EQ(compact.size(), 0u);
+}
+
+TEST(CompactSpineTest, SpaceAccountingIsPlausible) {
+  seq::GeneratorOptions options;
+  options.length = 200'000;
+  options.seed = 5;
+  std::string s = seq::GenerateSequence(Alphabet::Dna(), options);
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(compact.AppendString(s).ok());
+  auto breakdown = compact.LogicalBytes();
+  double per_char = breakdown.BytesPerChar(compact.size());
+  // The paper's headline: < 12 bytes per indexed character. Leave a
+  // little slack for the synthetic data's repeat profile.
+  EXPECT_LT(per_char, 13.0) << per_char;
+  EXPECT_GT(per_char, 6.0) << per_char;  // LT alone is 6 B/char
+  // Logical size is a lower bound on the real allocation.
+  EXPECT_LE(breakdown.Total(), compact.MemoryBytes());
+}
+
+TEST(CompactSpineTest, PrefixPartitioning) {
+  // Section 2.7: the index of a prefix is the initial fragment of the
+  // index — nodes <= k keep their links, and their ribs/extribs
+  // restricted to destinations <= k are exactly the prefix's edges.
+  Rng rng(321);
+  std::string s = RandomString(rng, 300, 4);
+  CompactSpineIndex full(Alphabet::Dna());
+  ASSERT_TRUE(full.AppendString(s).ok());
+  for (uint32_t k : {37u, 120u, 299u}) {
+    CompactSpineIndex prefix(Alphabet::Dna());
+    ASSERT_TRUE(prefix.AppendString(std::string_view(s).substr(0, k)).ok());
+    for (NodeId i = 1; i <= k; ++i) {
+      ASSERT_EQ(prefix.LinkDest(i), full.LinkDest(i)) << i;
+      ASSERT_EQ(prefix.LinkLel(i), full.LinkLel(i)) << i;
+    }
+    for (NodeId i = 0; i <= k; ++i) {
+      auto full_ribs = full.RibsAt(i);
+      auto prefix_ribs = prefix.RibsAt(i);
+      // Drop full-index ribs that extend beyond the prefix.
+      full_ribs.erase(
+          std::remove_if(full_ribs.begin(), full_ribs.end(),
+                         [&](const auto& rib) { return rib.dest > k; }),
+          full_ribs.end());
+      auto by_cl = [](const auto& a, const auto& b) { return a.cl < b.cl; };
+      std::sort(full_ribs.begin(), full_ribs.end(), by_cl);
+      std::sort(prefix_ribs.begin(), prefix_ribs.end(), by_cl);
+      ASSERT_EQ(prefix_ribs.size(), full_ribs.size()) << "node " << i;
+      for (size_t r = 0; r < full_ribs.size(); ++r) {
+        EXPECT_EQ(prefix_ribs[r].cl, full_ribs[r].cl);
+        EXPECT_EQ(prefix_ribs[r].dest, full_ribs[r].dest);
+        EXPECT_EQ(prefix_ribs[r].pt, full_ribs[r].pt);
+      }
+    }
+  }
+}
+
+TEST(SerializerTest, RoundTrip) {
+  Rng rng(654);
+  std::string s = RandomString(rng, 2000, 4);
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(s).ok());
+
+  const std::string path = ::testing::TempDir() + "/spine_roundtrip.idx";
+  Status save = SaveCompactSpine(index, path);
+  ASSERT_TRUE(save.ok()) << save.ToString();
+
+  Result<CompactSpineIndex> loaded = LoadCompactSpine(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), index.size());
+  for (NodeId i = 1; i <= index.size(); ++i) {
+    ASSERT_EQ(loaded->LinkDest(i), index.LinkDest(i));
+    ASSERT_EQ(loaded->LinkLel(i), index.LinkLel(i));
+  }
+  // The index is self-contained: the string reconstructs from labels.
+  for (uint64_t i = 0; i < index.size(); ++i) {
+    ASSERT_EQ(loaded->CharAt(i), index.CharAt(i));
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    uint32_t start = static_cast<uint32_t>(rng.Below(s.size() - 8));
+    std::string pattern = s.substr(start, 1 + rng.Below(8));
+    ASSERT_EQ(loaded->FindAll(pattern), index.FindAll(pattern));
+  }
+}
+
+TEST(SerializerTest, RoundTripProteinWithBigEntries) {
+  std::string s;
+  const std::string residues = "CDEFGHIKLMNPQRSTVWY";
+  for (char r : residues) {
+    s += "AA";
+    s += r;
+  }
+  CompactSpineIndex index(Alphabet::Protein());
+  ASSERT_TRUE(index.AppendString(s).ok());
+  const std::string path = ::testing::TempDir() + "/spine_protein.idx";
+  ASSERT_TRUE(SaveCompactSpine(index, path).ok());
+  Result<CompactSpineIndex> loaded = LoadCompactSpine(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->Contains("AAC"));
+  EXPECT_TRUE(loaded->Contains("CAAD"));
+  EXPECT_FALSE(loaded->Contains("CC"));
+}
+
+TEST(SerializerTest, RejectsCorruptFiles) {
+  const std::string path = ::testing::TempDir() + "/spine_bad.idx";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "this is not an index";
+  }
+  Result<CompactSpineIndex> loaded = LoadCompactSpine(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  EXPECT_FALSE(LoadCompactSpine("/nonexistent/path.idx").ok());
+}
+
+TEST(SerializerTest, RejectsTruncatedFiles) {
+  std::string s = "ACGTACGTACGGTA";
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(s).ok());
+  const std::string path = ::testing::TempDir() + "/spine_trunc.idx";
+  ASSERT_TRUE(SaveCompactSpine(index, path).ok());
+  // Truncate the file to half.
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    contents = buf.str();
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_FALSE(LoadCompactSpine(path).ok());
+}
+
+}  // namespace
+}  // namespace spine

@@ -1,0 +1,113 @@
+// Tests for the DAWG / suffix automaton (the paper's Section 7
+// horizontal-compaction relative).
+
+#include "dawg/suffix_automaton.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compact/compact_spine.h"
+#include "naive/naive_index.h"
+#include "seq/generator.h"
+
+namespace spine {
+namespace {
+
+TEST(SuffixAutomatonTest, EmptyAndBasics) {
+  SuffixAutomaton dawg(Alphabet::Dna());
+  EXPECT_EQ(dawg.size(), 0u);
+  EXPECT_TRUE(dawg.Contains(""));
+  EXPECT_FALSE(dawg.Contains("A"));
+  EXPECT_FALSE(dawg.Append('?').ok());
+  ASSERT_TRUE(dawg.AppendString("ACCACAACA").ok());
+  EXPECT_TRUE(dawg.Contains("CCAC"));
+  EXPECT_TRUE(dawg.Contains("ACCACAACA"));
+  EXPECT_FALSE(dawg.Contains("ACCAA"));
+  EXPECT_TRUE(dawg.Validate().ok());
+}
+
+TEST(SuffixAutomatonTest, FindAllAndCounts) {
+  SuffixAutomaton dawg(Alphabet::Dna());
+  ASSERT_TRUE(dawg.AppendString("ACACACA").ok());
+  EXPECT_EQ(dawg.FindAll("ACA"), (std::vector<uint32_t>{0, 2, 4}));
+  EXPECT_EQ(dawg.CountOccurrences("ACA"), 3u);
+  EXPECT_EQ(dawg.CountOccurrences("CC"), 0u);
+}
+
+TEST(SuffixAutomatonTest, StateCountBounded) {
+  Rng rng(64);
+  const char* letters = "ACGT";
+  std::string s;
+  for (int i = 0; i < 3000; ++i) s.push_back(letters[rng.Below(4)]);
+  SuffixAutomaton dawg(Alphabet::Dna());
+  ASSERT_TRUE(dawg.AppendString(s).ok());
+  EXPECT_LE(dawg.state_count(), 2 * s.size() - 1);
+  EXPECT_LE(dawg.transition_count(), 3 * s.size() - 4);
+  EXPECT_TRUE(dawg.Validate().ok());
+}
+
+TEST(SuffixAutomatonTest, OracleSweep) {
+  Rng rng(4096);
+  const char* letters = "ACGT";
+  for (int round = 0; round < 60; ++round) {
+    uint32_t sigma = 2 + static_cast<uint32_t>(rng.Below(3));
+    uint32_t n = 4 + static_cast<uint32_t>(rng.Below(120));
+    std::string s;
+    for (uint32_t i = 0; i < n; ++i) s.push_back(letters[rng.Below(sigma)]);
+    SuffixAutomaton dawg(Alphabet::Dna());
+    ASSERT_TRUE(dawg.AppendString(s).ok());
+    ASSERT_TRUE(dawg.Validate().ok()) << s;
+    for (int trial = 0; trial < 40; ++trial) {
+      std::string pattern;
+      if (trial % 2 == 0) {
+        uint32_t start = static_cast<uint32_t>(rng.Below(n));
+        pattern = s.substr(start, 1 + rng.Below(10));
+      } else {
+        for (uint32_t i = 0; i < 1 + rng.Below(8); ++i) {
+          pattern.push_back(letters[rng.Below(sigma)]);
+        }
+      }
+      ASSERT_EQ(dawg.FindAll(pattern), naive::FindAllOccurrences(s, pattern))
+          << "s=" << s << " pattern=" << pattern;
+    }
+  }
+}
+
+TEST(SuffixAutomatonTest, AgreesWithSpineOnlineAtEveryPrefix) {
+  const std::string s = "ACCACAACAGGTTGCATCAACCACA";
+  SuffixAutomaton dawg(Alphabet::Dna());
+  CompactSpineIndex spine(Alphabet::Dna());
+  for (size_t i = 0; i < s.size(); ++i) {
+    ASSERT_TRUE(dawg.Append(s[i]).ok());
+    ASSERT_TRUE(spine.Append(s[i]).ok());
+    for (size_t start = 0; start <= i; start += 2) {
+      std::string pattern = s.substr(start, 3);
+      pattern.resize(std::min<size_t>(pattern.size(), i + 1 - start));
+      if (pattern.empty()) continue;
+      ASSERT_EQ(dawg.FindAll(pattern), spine.FindAll(pattern))
+          << "prefix " << i + 1 << " pattern " << pattern;
+    }
+  }
+}
+
+TEST(SuffixAutomatonTest, SpaceIsInTheThirtyBytesClass) {
+  seq::GeneratorOptions gen;
+  gen.length = 100'000;
+  gen.seed = 12;
+  gen.repeat_fraction = 0.05;
+  gen.mean_repeat_len = 500;
+  std::string s = seq::GenerateSequence(Alphabet::Dna(), gen);
+  SuffixAutomaton dawg(Alphabet::Dna());
+  ASSERT_TRUE(dawg.AppendString(s).ok());
+  double bpc =
+      static_cast<double>(dawg.MemoryBytes()) / static_cast<double>(s.size());
+  // The paper quotes ~34 B/char for DNA DAWGs ([9]'s accounting); our
+  // logical layout lands in the same class, well above SPINE's 12.
+  EXPECT_GT(bpc, 20.0) << bpc;
+  EXPECT_LT(bpc, 45.0) << bpc;
+}
+
+}  // namespace
+}  // namespace spine

@@ -1,0 +1,200 @@
+// Cross-module edge cases: boundary inputs, degenerate sizes, and
+// behaviours at the seams between components.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "align/aligner.h"
+#include "align/hamming.h"
+#include "common/rng.h"
+#include "compact/compact_spine.h"
+#include "core/matcher.h"
+#include "core/search.h"
+#include "core/spine_index.h"
+#include "seq/generator.h"
+#include "suffix_tree/suffix_tree.h"
+
+namespace spine {
+namespace {
+
+// --- Matcher boundaries -------------------------------------------------
+
+TEST(EdgeCases, MatcherEmptyQueryAndOversizedMinLen) {
+  SpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString("ACGTACGT").ok());
+  EXPECT_TRUE(FindMaximalMatches(index, "", 1).empty());
+  // min_len longer than any possible match.
+  EXPECT_TRUE(FindMaximalMatches(index, "ACG", 10).empty());
+  // Query longer than the data still works (matching statistics).
+  auto matches = FindMaximalMatches(index, "ACGTACGTACGTACGT", 4);
+  EXPECT_FALSE(matches.empty());
+}
+
+TEST(EdgeCases, MatcherAgainstEmptyIndex) {
+  SpineIndex index(Alphabet::Dna());
+  EXPECT_TRUE(FindMaximalMatches(index, "ACGT", 1).empty());
+  EXPECT_TRUE(GenericMatchingStatistics(index, "ACGT").empty() ||
+              GenericMatchingStatistics(index, "ACGT") ==
+                  std::vector<uint32_t>(4, 0));
+}
+
+TEST(EdgeCases, SingleCharacterEverything) {
+  SpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.Append('G').ok());
+  EXPECT_TRUE(index.Contains("G"));
+  EXPECT_EQ(index.FindAll("G"), (std::vector<uint32_t>{0}));
+  auto matches = FindMaximalMatches(index, "G", 1);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].length, 1u);
+  auto occurrences = CollectAllOccurrences(index, matches);
+  ASSERT_EQ(occurrences.size(), 1u);
+  EXPECT_EQ(occurrences[0].data_positions, (std::vector<uint32_t>{0}));
+  EXPECT_EQ(LongestRepeatedSubstring(index).length, 0u);
+}
+
+TEST(EdgeCases, CollectOccurrencesWithSharedFirstEnds) {
+  // Two reported matches that first-end at the same node but with
+  // different lengths — the watch map must keep both.
+  SpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString("ACGTACGTACGT").ok());
+  std::vector<MaximalMatch> matches = {
+      {0, 4, 4},  // "ACGT" first ends at node 4
+      {1, 3, 4},  // "CGT" also first ends at node 4
+  };
+  auto expanded = CollectAllOccurrences(index, matches);
+  ASSERT_EQ(expanded.size(), 2u);
+  EXPECT_EQ(expanded[0].data_positions, (std::vector<uint32_t>{0, 4, 8}));
+  EXPECT_EQ(expanded[1].data_positions, (std::vector<uint32_t>{1, 5, 9}));
+}
+
+// --- Aligner gap behaviour ----------------------------------------------
+
+TEST(EdgeCases, AlignerSkipsOversizedGaps) {
+  // Two anchored blocks separated by a large unrelated insert in the
+  // query; with a small max_gap the insert must be reported unaligned,
+  // not edit-aligned.
+  seq::GeneratorOptions gen;
+  gen.length = 4000;
+  gen.seed = 1;
+  std::string reference = seq::GenerateSequence(Alphabet::Dna(), gen);
+  gen.seed = 2;
+  std::string insert = seq::GenerateSequence(Alphabet::Dna(), gen);
+  std::string query = reference.substr(0, 2000) + insert +
+                      reference.substr(2000);
+
+  align::AlignOptions options;
+  options.min_anchor_len = 30;
+  options.max_gap = 100;
+  Result<align::AlignmentResult> result =
+      align::AlignSequences(reference, query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->unaligned_query, insert.size() * 9 / 10);
+  EXPECT_GT(result->anchored_bases, 3000u);
+}
+
+TEST(EdgeCases, AlignerEmptyInputs) {
+  Result<align::AlignmentResult> empty_query =
+      align::AlignSequences("ACGTACGT", "");
+  ASSERT_TRUE(empty_query.ok());
+  EXPECT_EQ(empty_query->anchored_bases, 0u);
+  Result<align::AlignmentResult> empty_data =
+      align::AlignSequences("", "ACGT");
+  ASSERT_TRUE(empty_data.ok());
+  EXPECT_EQ(empty_data->anchored_bases, 0u);
+  EXPECT_EQ(empty_data->unaligned_query, 4u);
+}
+
+TEST(EdgeCases, AlignerByteFallbackForNonGenomicData) {
+  // Data with characters outside DNA and printable ASCII routes through
+  // the reference (byte-alphabet) implementation.
+  std::string data = "hello\x01world\x02hello\x01world";
+  std::string query = "hello\x01world";
+  align::AlignOptions options;
+  options.min_anchor_len = 5;
+  Result<align::AlignmentResult> result =
+      align::AlignSequences(data, query, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->anchored_bases, query.size());
+}
+
+// --- Hamming DFS boundaries ----------------------------------------------
+
+TEST(EdgeCases, HammingProteinAndFullPatternBudget) {
+  CompactSpineIndex index(Alphabet::Protein());
+  ASSERT_TRUE(index.AppendString("MKVLAWGH").ok());
+  auto hits = align::FindHammingMatches(index, "MKVLA", 1);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].data_pos, 0u);
+  EXPECT_EQ(hits[0].mismatches, 0u);
+  // Pattern equal to the whole text, with mismatches allowed.
+  auto whole = align::FindHammingMatches(index, "MKVLAWGG", 1);
+  ASSERT_EQ(whole.size(), 1u);
+  EXPECT_EQ(whole[0].mismatches, 1u);
+}
+
+// --- Search templates on every implementation ----------------------------
+
+TEST(EdgeCases, GenericFindFirstEndEmptyPattern) {
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(compact.AppendString("ACGT").ok());
+  auto end = GenericFindFirstEnd(compact, "");
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(*end, kRootNode);
+  EXPECT_TRUE(GenericFindAll(compact, "").empty());
+}
+
+TEST(EdgeCases, PatternsAtTheTail) {
+  // Matches touching the very last character, across implementations.
+  const std::string s = "ACGTACGG";
+  SpineIndex reference(Alphabet::Dna());
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(reference.AppendString(s).ok());
+  ASSERT_TRUE(compact.AppendString(s).ok());
+  for (const char* pattern : {"G", "GG", "CGG", "ACGG", "TACGG"}) {
+    EXPECT_TRUE(reference.Contains(pattern)) << pattern;
+    EXPECT_TRUE(compact.Contains(pattern)) << pattern;
+    EXPECT_EQ(reference.FindAll(pattern).back() + strlen(pattern), s.size())
+        << pattern;
+  }
+}
+
+// --- Suffix tree interleaving --------------------------------------------
+
+TEST(EdgeCases, SuffixTreeQueriesBetweenAppends) {
+  SuffixTree tree(Alphabet::Dna());
+  std::string s;
+  Rng rng(77);
+  const char* letters = "ACGT";
+  for (int i = 0; i < 200; ++i) {
+    char c = letters[rng.Below(2)];
+    s.push_back(c);
+    ASSERT_TRUE(tree.Append(c).ok());
+    if (i % 11 == 7) {
+      std::string pattern = s.substr(rng.Below(s.size()), 3);
+      EXPECT_EQ(tree.Contains(pattern),
+                s.find(pattern) != std::string::npos)
+          << s << " / " << pattern;
+    }
+  }
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+// --- Status / misc --------------------------------------------------------
+
+TEST(EdgeCases, StatusWithoutMessage) {
+  Status status(StatusCode::kIoError, "");
+  EXPECT_EQ(status.ToString(), "IoError");
+}
+
+TEST(EdgeCases, ValidateOnEmptyIndexes) {
+  SpineIndex reference(Alphabet::Protein());
+  EXPECT_TRUE(reference.Validate().ok());
+  CompactSpineIndex compact(Alphabet::Protein());
+  EXPECT_TRUE(compact.Validate().ok());
+  EXPECT_EQ(compact.LogicalBytes().BytesPerChar(0), 0.0);
+}
+
+}  // namespace
+}  // namespace spine

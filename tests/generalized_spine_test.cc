@@ -1,0 +1,158 @@
+// Tests for the multi-string (generalized) SPINE index.
+
+#include "core/generalized_spine.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "naive/naive_index.h"
+
+namespace spine {
+namespace {
+
+using Hit = GeneralizedSpineIndex::Hit;
+
+TEST(GeneralizedSpineTest, EmptyIndex) {
+  GeneralizedSpineIndex index(Alphabet::Dna());
+  EXPECT_EQ(index.string_count(), 0u);
+  EXPECT_FALSE(index.Contains("A"));
+  EXPECT_TRUE(index.FindAll("A").empty());
+}
+
+TEST(GeneralizedSpineTest, HitsMapToStringAndOffset) {
+  GeneralizedSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AddString("ACGTACGT").ok());
+  ASSERT_TRUE(index.AddString("TTACGTT").ok());
+  ASSERT_TRUE(index.AddString("GGGG").ok());
+  ASSERT_EQ(index.string_count(), 3u);
+  EXPECT_EQ(index.StringLength(0), 8u);
+  EXPECT_EQ(index.StringLength(1), 7u);
+  EXPECT_EQ(index.StringLength(2), 4u);
+
+  EXPECT_EQ(index.FindAll("ACGT"),
+            (std::vector<Hit>{{0, 0}, {0, 4}, {1, 2}}));
+  EXPECT_EQ(index.FindAll("GGGG"), (std::vector<Hit>{{2, 0}}));
+  EXPECT_TRUE(index.Contains("TTA"));
+  EXPECT_FALSE(index.Contains("AAAA"));
+}
+
+TEST(GeneralizedSpineTest, MatchesNeverCrossStringBoundaries) {
+  GeneralizedSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AddString("AAAC").ok());
+  ASSERT_TRUE(index.AddString("CGGG").ok());
+  // "ACCG" spans the concatenation boundary but is not a real substring
+  // of either string.
+  EXPECT_FALSE(index.Contains("ACCG"));
+  EXPECT_FALSE(index.Contains("CCG"));
+  EXPECT_TRUE(index.Contains("AC"));   // inside string 0
+  EXPECT_TRUE(index.Contains("CG"));   // inside string 1
+}
+
+TEST(GeneralizedSpineTest, RejectsBadInput) {
+  GeneralizedSpineIndex index(Alphabet::Dna());
+  EXPECT_FALSE(index.AddString("ACGX").ok());
+  EXPECT_EQ(index.string_count(), 0u);
+  std::string with_sep = "AC";
+  with_sep.push_back(GeneralizedSpineIndex::kSeparator);
+  with_sep += "GT";
+  EXPECT_FALSE(index.AddString(with_sep).ok());
+  // Queries containing the separator match nothing.
+  ASSERT_TRUE(index.AddString("ACGT").ok());
+  EXPECT_FALSE(index.Contains(std::string(1, GeneralizedSpineIndex::kSeparator)));
+}
+
+TEST(GeneralizedSpineTest, DuplicateStringsGetDistinctIds) {
+  GeneralizedSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AddString("ACG").ok());
+  ASSERT_TRUE(index.AddString("ACG").ok());
+  EXPECT_EQ(index.FindAll("ACG"), (std::vector<Hit>{{0, 0}, {1, 0}}));
+}
+
+TEST(GeneralizedSpineTest, RandomizedAgainstPerStringOracle) {
+  Rng rng(555);
+  const char* letters = "ACGT";
+  for (int round = 0; round < 25; ++round) {
+    GeneralizedSpineIndex index(Alphabet::Dna());
+    std::vector<std::string> strings;
+    uint32_t count = 2 + static_cast<uint32_t>(rng.Below(5));
+    for (uint32_t k = 0; k < count; ++k) {
+      std::string s;
+      uint32_t len = 4 + static_cast<uint32_t>(rng.Below(60));
+      for (uint32_t i = 0; i < len; ++i) {
+        s.push_back(letters[rng.Below(4)]);
+      }
+      strings.push_back(s);
+      ASSERT_TRUE(index.AddString(s).ok());
+    }
+    for (int trial = 0; trial < 40; ++trial) {
+      std::string pattern;
+      for (uint32_t i = 0; i < 1 + rng.Below(6); ++i) {
+        pattern.push_back(letters[rng.Below(4)]);
+      }
+      std::vector<Hit> expected;
+      for (uint32_t id = 0; id < strings.size(); ++id) {
+        for (uint32_t pos : naive::FindAllOccurrences(strings[id], pattern)) {
+          expected.push_back({id, pos});
+        }
+      }
+      ASSERT_EQ(index.FindAll(pattern), expected) << "pattern " << pattern;
+    }
+  }
+}
+
+TEST(GeneralizedSpineTest, MatchAgainstCollection) {
+  GeneralizedSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AddString("ACGTACGTCC").ok());
+  ASSERT_TRUE(index.AddString("GGACGTGG").ok());
+  auto matches = index.MatchAgainst("TTACGTACGTT", 4);
+  ASSERT_FALSE(matches.empty());
+  // The dominant match "ACGTACG T..." — query[2..10) = "ACGTACGT"
+  // occurs in string 0 at 0; its sub-match "ACGT" occurs in both.
+  bool found_long = false;
+  for (const auto& match : matches) {
+    std::string sub = std::string("TTACGTACGTT")
+                          .substr(match.query_pos, match.length);
+    for (const auto& hit : match.hits) {
+      ASSERT_LT(hit.string_id, 2u);
+      // Verify the hit against the original strings.
+      const std::string strings[2] = {"ACGTACGTCC", "GGACGTGG"};
+      ASSERT_EQ(strings[hit.string_id].substr(hit.offset, match.length), sub);
+    }
+    if (match.length == 8) found_long = true;
+  }
+  EXPECT_TRUE(found_long);
+  // Separator-containing queries match nothing.
+  std::string bad = "AC";
+  bad.push_back(GeneralizedSpineIndex::kSeparator);
+  EXPECT_TRUE(index.MatchAgainst(bad, 1).empty());
+  EXPECT_TRUE(index.MatchAgainst("ACGT", 0).empty());
+}
+
+TEST(GeneralizedSpineTest, MatchAgainstNeverCrossesBoundaries) {
+  GeneralizedSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AddString("AAAA").ok());
+  ASSERT_TRUE(index.AddString("CCCC").ok());
+  // "AACC" spans the two strings in the concatenation; the separator
+  // must prevent any match longer than the in-string runs.
+  auto matches = index.MatchAgainst("AACC", 3);
+  for (const auto& match : matches) {
+    EXPECT_LE(match.length, 2u);
+  }
+  auto runs = index.MatchAgainst("AAACCC", 3);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].length, 3u);  // "AAA" in string 0
+  EXPECT_EQ(runs[1].length, 3u);  // "CCC" in string 1
+}
+
+TEST(GeneralizedSpineTest, ProteinAlphabet) {
+  GeneralizedSpineIndex index(Alphabet::Protein());
+  ASSERT_TRUE(index.AddString("MKVLA").ok());
+  ASSERT_TRUE(index.AddString("GGMKV").ok());
+  EXPECT_EQ(index.FindAll("MKV"), (std::vector<Hit>{{0, 0}, {1, 2}}));
+}
+
+}  // namespace
+}  // namespace spine

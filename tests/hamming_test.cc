@@ -1,0 +1,143 @@
+// Tests for the k-mismatch (Hamming) DFS search and the classical
+// substring utilities (longest repeated / longest common substring).
+
+#include "align/hamming.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compact/compact_spine.h"
+#include "core/spine_index.h"
+#include "seq/generator.h"
+
+namespace spine::align {
+namespace {
+
+std::vector<HammingHit> BruteHamming(const std::string& text,
+                                     const std::string& pattern,
+                                     uint32_t max_mismatches) {
+  std::vector<HammingHit> hits;
+  if (pattern.empty() || text.size() < pattern.size()) return hits;
+  for (uint32_t s = 0; s + pattern.size() <= text.size(); ++s) {
+    uint32_t mm = 0;
+    for (uint32_t k = 0; k < pattern.size() && mm <= max_mismatches; ++k) {
+      if (text[s + k] != pattern[k]) ++mm;
+    }
+    if (mm <= max_mismatches) hits.push_back({s, mm});
+  }
+  return hits;
+}
+
+TEST(HammingTest, ExactEqualsZeroMismatch) {
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString("ACGTACGTAC").ok());
+  auto hits = FindHammingMatches(index, "GTAC", 0);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], (HammingHit{2, 0}));
+  EXPECT_EQ(hits[1], (HammingHit{6, 0}));
+}
+
+TEST(HammingTest, OneMismatchFindsVariants) {
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString("AAAATCGAAAA").ok());
+  // "TGGA" vs the text: "TCGA" at 4 has 1 mismatch... actually 2
+  // (G!=C at offset 1 is one; G==G at 2; A==A) -> exactly 1.
+  auto hits = FindHammingMatches(index, "TGGA", 1);
+  bool found = false;
+  for (const auto& hit : hits) {
+    if (hit.data_pos == 4) {
+      found = true;
+      EXPECT_EQ(hit.mismatches, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HammingTest, DegenerateInputs) {
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString("ACG").ok());
+  EXPECT_TRUE(FindHammingMatches(index, "", 1).empty());
+  EXPECT_TRUE(FindHammingMatches(index, "ACGT", 1).empty());  // longer than n
+  CompactSpineIndex empty(Alphabet::Dna());
+  EXPECT_TRUE(FindHammingMatches(empty, "A", 0).empty());
+}
+
+TEST(HammingTest, MatchesBruteForceOracle) {
+  Rng rng(2718);
+  const char* letters = "ACGT";
+  for (int round = 0; round < 40; ++round) {
+    uint32_t n = 20 + static_cast<uint32_t>(rng.Below(200));
+    uint32_t sigma = 2 + static_cast<uint32_t>(rng.Below(3));
+    std::string text;
+    for (uint32_t i = 0; i < n; ++i) text.push_back(letters[rng.Below(sigma)]);
+    CompactSpineIndex index(Alphabet::Dna());
+    ASSERT_TRUE(index.AppendString(text).ok());
+    for (int trial = 0; trial < 6; ++trial) {
+      uint32_t m = 3 + static_cast<uint32_t>(rng.Below(8));
+      if (m > n) continue;
+      std::string pattern;
+      for (uint32_t i = 0; i < m; ++i) {
+        pattern.push_back(letters[rng.Below(sigma)]);
+      }
+      uint32_t k = static_cast<uint32_t>(rng.Below(3));
+      ASSERT_EQ(FindHammingMatches(index, pattern, k),
+                BruteHamming(text, pattern, k))
+          << "text=" << text << " pattern=" << pattern << " k=" << k;
+    }
+  }
+}
+
+TEST(UtilitiesTest, LongestRepeatedSubstring) {
+  // "BANANA"-style repeat over DNA: "ACGTACGT" -> "ACGT" repeats.
+  SpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString("ACGTACGTTT").ok());
+  RepeatedSubstring lrs = LongestRepeatedSubstring(index);
+  EXPECT_EQ(lrs.length, 4u);  // "ACGT"
+  EXPECT_EQ(lrs.first_end, 4u);
+  // No repeats at all.
+  SpineIndex unique(Alphabet::Dna());
+  ASSERT_TRUE(unique.AppendString("ACGT").ok());
+  EXPECT_EQ(LongestRepeatedSubstring(unique).length, 0u);
+}
+
+TEST(UtilitiesTest, LongestRepeatedSubstringOracle) {
+  Rng rng(31);
+  const char* letters = "ACGT";
+  for (int round = 0; round < 40; ++round) {
+    uint32_t n = 5 + static_cast<uint32_t>(rng.Below(80));
+    std::string s;
+    for (uint32_t i = 0; i < n; ++i) s.push_back(letters[rng.Below(2)]);
+    SpineIndex index(Alphabet::Dna());
+    ASSERT_TRUE(index.AppendString(s).ok());
+    // Brute force: longest substring with >= 2 occurrences.
+    uint32_t best = 0;
+    for (uint32_t start = 0; start < n; ++start) {
+      for (uint32_t len = best + 1; start + len <= n; ++len) {
+        if (s.find(s.substr(start, len), start + 1) != std::string::npos) {
+          best = std::max(best, len);
+        } else {
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(LongestRepeatedSubstring(index).length, best) << s;
+  }
+}
+
+TEST(UtilitiesTest, LongestCommonSubstring) {
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString("TTTACGTACCCC").ok());
+  MaximalMatch lcs = LongestCommonSubstring(index, "GGACGTAGG");
+  EXPECT_EQ(lcs.length, 5u);  // "ACGTA"
+  EXPECT_EQ(lcs.query_pos, 2u);
+  EXPECT_EQ(lcs.first_end, 8u);
+  // Disjoint alphabets share nothing.
+  MaximalMatch none = LongestCommonSubstring(index, "GGGGG");
+  EXPECT_LE(none.length, 1u);
+}
+
+}  // namespace
+}  // namespace spine::align

@@ -1,0 +1,259 @@
+// Tests for the streaming maximal-match finder and the deferred
+// all-occurrences backbone scan (Section 4 of the paper).
+
+#include "core/matcher.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "naive/naive_index.h"
+#include "seq/generator.h"
+
+namespace spine {
+namespace {
+
+SpineIndex Build(const Alphabet& alphabet, std::string_view s) {
+  SpineIndex index(alphabet);
+  Status status = index.AppendString(s);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return index;
+}
+
+std::vector<naive::NaiveMatch> AsNaive(const std::vector<MaximalMatch>& in) {
+  std::vector<naive::NaiveMatch> out;
+  out.reserve(in.size());
+  for (const MaximalMatch& m : in) out.push_back({m.query_pos, m.length});
+  return out;
+}
+
+TEST(MatcherTest, ExactCopyIsOneFullLengthMatch) {
+  std::string s = "ACGTACGGTACT";
+  SpineIndex index = Build(Alphabet::Dna(), s);
+  auto matches = FindMaximalMatches(index, s, 1);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].query_pos, 0u);
+  EXPECT_EQ(matches[0].length, s.size());
+  EXPECT_EQ(matches[0].first_end, s.size());
+}
+
+TEST(MatcherTest, NoCommonCharactersYieldsNothing) {
+  SpineIndex index = Build(Alphabet::Dna(), "AAAA");
+  EXPECT_TRUE(FindMaximalMatches(index, "CCCC", 1).empty());
+}
+
+TEST(MatcherTest, MinLenFilters) {
+  SpineIndex index = Build(Alphabet::Dna(), "ACGT");
+  // Query shares only single characters and pairs.
+  auto all = FindMaximalMatches(index, "ACTTGT", 1);
+  auto pairs = FindMaximalMatches(index, "ACTTGT", 2);
+  EXPECT_GT(all.size(), pairs.size());
+  for (const auto& m : pairs) EXPECT_GE(m.length, 2u);
+}
+
+TEST(MatcherTest, PaperSection4Example) {
+  // The example of Section 4: S1/S2 with threshold 6. The paper bolds
+  // the shared substrings; with threshold 6 the long shared regions
+  // around "gacgat...acgaga" must be reported.
+  std::string s1 = "acaccgacgatacgagattacgagacgagaatacaacag";
+  std::string s2 = "catagagagacgattacgagaaaacgggaaagacgatcc";
+  SpineIndex index = Build(Alphabet::Dna(), s1);
+  auto matches = FindMaximalMatches(index, s2, 6);
+  ASSERT_FALSE(matches.empty());
+  // Every reported substring really is common to both strings.
+  for (const auto& m : matches) {
+    std::string sub = s2.substr(m.query_pos, m.length);
+    EXPECT_NE(s1.find(sub), std::string::npos) << sub;
+    // Maximality to the right: extending by one query character must
+    // leave s1 (or hit the end of s2).
+    if (m.query_pos + m.length < s2.size()) {
+      std::string extended = s2.substr(m.query_pos, m.length + 1);
+      EXPECT_EQ(s1.find(extended), std::string::npos) << extended;
+    }
+  }
+  // The dominant shared block "ttacgaga" / "gacgat" region: the query
+  // substring "attacgagaa"... at least one match of length >= 8 exists
+  // ("ttacgaga" occurs in both).
+  uint32_t longest = 0;
+  for (const auto& m : matches) longest = std::max(longest, m.length);
+  EXPECT_GE(longest, 8u);
+}
+
+TEST(MatcherTest, ForeignQueryCharactersActAsMismatches) {
+  SpineIndex index = Build(Alphabet::Dna(), "ACGTACGT");
+  auto matches = FindMaximalMatches(index, "ACG?ACGT", 3);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].query_pos, 0u);
+  EXPECT_EQ(matches[0].length, 3u);
+  EXPECT_EQ(matches[1].query_pos, 4u);
+  EXPECT_EQ(matches[1].length, 4u);
+}
+
+TEST(MatcherTest, StatsAreCounted) {
+  SpineIndex index = Build(Alphabet::Dna(), "ACGTACGGTACTGACT");
+  SearchStats stats;
+  FindMaximalMatches(index, "TACGATCGGT", 2, &stats);
+  EXPECT_GT(stats.nodes_checked, 0u);
+}
+
+TEST(MatcherTest, CollectAllOccurrencesFindsEveryOccurrence) {
+  std::string s = "ACACACGTACACACGT";
+  SpineIndex index = Build(Alphabet::Dna(), s);
+  auto matches = FindMaximalMatches(index, "CACGTA", 4);
+  ASSERT_FALSE(matches.empty());
+  auto expanded = CollectAllOccurrences(index, matches);
+  ASSERT_EQ(expanded.size(), matches.size());
+  for (const auto& occ : expanded) {
+    std::string sub = s.substr(occ.match.first_end - occ.match.length,
+                               occ.match.length);
+    EXPECT_EQ(occ.data_positions, naive::FindAllOccurrences(s, sub)) << sub;
+  }
+}
+
+TEST(MatcherTest, CollectAllOccurrencesOnEmptyMatchList) {
+  SpineIndex index = Build(Alphabet::Dna(), "ACGT");
+  EXPECT_TRUE(CollectAllOccurrences(index, {}).empty());
+}
+
+// ---------------------------------------------------------------------
+// Property tests: streaming matcher == brute-force matching statistics.
+// ---------------------------------------------------------------------
+
+struct MatchCase {
+  uint32_t sigma;
+  uint32_t data_len;
+  uint32_t query_len;
+  uint32_t min_len;
+  uint64_t seed;
+};
+
+class MatcherOracleTest : public ::testing::TestWithParam<MatchCase> {};
+
+TEST_P(MatcherOracleTest, MatchesEqualBruteForce) {
+  const MatchCase param = GetParam();
+  Rng rng(param.seed);
+  const char* letters = "ACGT";
+  auto random_string = [&](uint32_t len) {
+    std::string s;
+    for (uint32_t i = 0; i < len; ++i) {
+      s.push_back(letters[rng.Below(param.sigma)]);
+    }
+    return s;
+  };
+  std::string data = random_string(param.data_len);
+  std::string query = random_string(param.query_len);
+  SpineIndex index = Build(Alphabet::Dna(), data);
+
+  auto got = AsNaive(FindMaximalMatches(index, query, param.min_len));
+  auto want = naive::MaximalMatches(data, query, param.min_len);
+  ASSERT_EQ(got, want) << "data=" << data << " query=" << query;
+
+  // And the first-occurrence nodes are correct.
+  for (const MaximalMatch& m :
+       FindMaximalMatches(index, query, param.min_len)) {
+    std::string sub = query.substr(m.query_pos, m.length);
+    ASSERT_EQ(static_cast<int64_t>(m.first_end),
+              naive::FirstOccurrenceEnd(data, sub))
+        << sub;
+  }
+}
+
+TEST_P(MatcherOracleTest, RelatedSequencesShareLongMatches) {
+  const MatchCase param = GetParam();
+  seq::GeneratorOptions gen;
+  gen.length = param.data_len;
+  gen.seed = param.seed;
+  std::string data = seq::GenerateSequence(Alphabet::Dna(), gen);
+  seq::MutateOptions mut;
+  mut.seed = param.seed + 1;
+  std::string query = seq::MutateCopy(Alphabet::Dna(), data, mut);
+
+  SpineIndex index = Build(Alphabet::Dna(), data);
+  auto got = AsNaive(FindMaximalMatches(index, query, param.min_len));
+  auto want = naive::MaximalMatches(data, query, param.min_len);
+  ASSERT_EQ(got, want);
+  EXPECT_FALSE(got.empty());  // divergent copies still share substrings
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPairs, MatcherOracleTest,
+    ::testing::Values(MatchCase{2, 60, 40, 1, 51}, MatchCase{2, 80, 80, 2, 52},
+                      MatchCase{2, 120, 60, 3, 53},
+                      MatchCase{3, 100, 100, 2, 54},
+                      MatchCase{4, 150, 120, 1, 55},
+                      MatchCase{4, 200, 200, 4, 56},
+                      MatchCase{4, 300, 100, 6, 57}),
+    [](const ::testing::TestParamInfo<MatchCase>& info) {
+      return "case_seed" + std::to_string(info.param.seed);
+    });
+
+// Brute-force matching statistic for the oracle comparison.
+uint32_t NaiveMs(std::string_view data, std::string_view query, uint32_t q) {
+  uint32_t best = 0;
+  for (size_t d = 0; d < data.size(); ++d) {
+    uint32_t len = 0;
+    while (q + len < query.size() && d + len < data.size() &&
+           query[q + len] == data[d + len]) {
+      ++len;
+    }
+    best = std::max(best, len);
+  }
+  return best;
+}
+
+TEST(MatcherTest, MatchingStatisticsAgainstBruteForce) {
+  Rng rng(9090);
+  const char* letters = "ACGT";
+  for (int round = 0; round < 60; ++round) {
+    uint32_t sigma = 2 + static_cast<uint32_t>(rng.Below(3));
+    uint32_t dlen = 6 + static_cast<uint32_t>(rng.Below(100));
+    uint32_t qlen = 1 + static_cast<uint32_t>(rng.Below(80));
+    std::string data, query;
+    for (uint32_t i = 0; i < dlen; ++i)
+      data.push_back(letters[rng.Below(sigma)]);
+    for (uint32_t i = 0; i < qlen; ++i)
+      query.push_back(letters[rng.Below(sigma)]);
+    SpineIndex index = Build(Alphabet::Dna(), data);
+    std::vector<uint32_t> ms = GenericMatchingStatistics(index, query);
+    ASSERT_EQ(ms.size(), query.size());
+    for (uint32_t q = 0; q < qlen; ++q) {
+      ASSERT_EQ(ms[q], NaiveMs(data, query, q))
+          << "data=" << data << " query=" << query << " q=" << q;
+    }
+  }
+}
+
+TEST(MatcherTest, MatchingStatisticsOnExactCopy) {
+  std::string s = "ACGGTACGT";
+  SpineIndex index = Build(Alphabet::Dna(), s);
+  std::vector<uint32_t> ms = GenericMatchingStatistics(index, s);
+  for (uint32_t q = 0; q < s.size(); ++q) {
+    EXPECT_EQ(ms[q], s.size() - q);  // every suffix occurs in full
+  }
+}
+
+TEST(MatcherStress, ManyRandomPairs) {
+  Rng rng(777);
+  const char* letters = "ACGT";
+  for (int round = 0; round < 200; ++round) {
+    uint32_t sigma = 2 + static_cast<uint32_t>(rng.Below(3));
+    uint32_t dlen = 4 + static_cast<uint32_t>(rng.Below(80));
+    uint32_t qlen = 1 + static_cast<uint32_t>(rng.Below(80));
+    uint32_t min_len = 1 + static_cast<uint32_t>(rng.Below(4));
+    std::string data, query;
+    for (uint32_t i = 0; i < dlen; ++i)
+      data.push_back(letters[rng.Below(sigma)]);
+    for (uint32_t i = 0; i < qlen; ++i)
+      query.push_back(letters[rng.Below(sigma)]);
+    SpineIndex index = Build(Alphabet::Dna(), data);
+    ASSERT_EQ(AsNaive(FindMaximalMatches(index, query, min_len)),
+              naive::MaximalMatches(data, query, min_len))
+        << "data=" << data << " query=" << query << " min=" << min_len;
+  }
+}
+
+}  // namespace
+}  // namespace spine

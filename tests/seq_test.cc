@@ -1,0 +1,168 @@
+// Tests for the sequence substrate: FASTA I/O, the synthetic generator
+// and the dataset presets.
+
+#include <fstream>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "seq/datasets.h"
+#include "seq/fasta.h"
+#include "seq/generator.h"
+
+namespace spine::seq {
+namespace {
+
+TEST(FastaTest, ParsesMultiRecordInput) {
+  const std::string text =
+      ">chr1 first test record\n"
+      "ACGTACGT\n"
+      "ACGT\n"
+      ";an old-style comment\n"
+      ">chr2\n"
+      "TTTT\r\n"
+      "GG GG\n";
+  Result<std::vector<FastaRecord>> records = ParseFasta(text);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].id, "chr1");
+  EXPECT_EQ((*records)[0].comment, "first test record");
+  EXPECT_EQ((*records)[0].sequence, "ACGTACGTACGT");
+  EXPECT_EQ((*records)[1].id, "chr2");
+  EXPECT_EQ((*records)[1].comment, "");
+  EXPECT_EQ((*records)[1].sequence, "TTTTGGGG");
+}
+
+TEST(FastaTest, RejectsSequenceBeforeHeader) {
+  Result<std::vector<FastaRecord>> records = ParseFasta("ACGT\n>x\nA\n");
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FastaTest, EmptyInputYieldsNoRecords) {
+  Result<std::vector<FastaRecord>> records = ParseFasta("");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(FastaTest, WriteReadRoundTrip) {
+  std::vector<FastaRecord> records = {
+      {"id1", "a comment", std::string(200, 'A')},
+      {"id2", "", "ACGTACGT"},
+  };
+  const std::string path = ::testing::TempDir() + "/fasta_rt.fa";
+  ASSERT_TRUE(WriteFasta(path, records, 60).ok());
+  Result<std::vector<FastaRecord>> loaded = ReadFasta(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].id, records[0].id);
+  EXPECT_EQ((*loaded)[0].comment, records[0].comment);
+  EXPECT_EQ((*loaded)[0].sequence, records[0].sequence);
+  EXPECT_EQ((*loaded)[1].sequence, records[1].sequence);
+}
+
+TEST(FastaTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadFasta("/nonexistent/nope.fa").ok());
+  EXPECT_FALSE(WriteFasta("/nonexistent/dir/nope.fa", {}).ok());
+  EXPECT_FALSE(WriteFasta(::testing::TempDir() + "/w.fa", {}, 0).ok());
+}
+
+TEST(GeneratorTest, ProducesRequestedLengthAndAlphabet) {
+  GeneratorOptions options;
+  options.length = 50000;
+  options.seed = 1;
+  std::string s = GenerateSequence(Alphabet::Dna(), options);
+  EXPECT_EQ(s.size(), options.length);
+  for (char c : s) {
+    ASSERT_NE(Alphabet::Dna().Encode(c), kInvalidCode) << c;
+  }
+  // All four characters appear.
+  std::set<char> seen(s.begin(), s.end());
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  GeneratorOptions options;
+  options.length = 20000;
+  options.seed = 7;
+  std::string a = GenerateSequence(Alphabet::Dna(), options);
+  std::string b = GenerateSequence(Alphabet::Dna(), options);
+  EXPECT_EQ(a, b);
+  options.seed = 8;
+  EXPECT_NE(a, GenerateSequence(Alphabet::Dna(), options));
+}
+
+TEST(GeneratorTest, RepeatFractionIncreasesRepetitiveness) {
+  // Measure repetitiveness as the number of distinct 12-mers: more
+  // repeats -> fewer distinct k-mers.
+  auto distinct_kmers = [](const std::string& s) {
+    std::set<std::string> kmers;
+    for (size_t i = 0; i + 12 <= s.size(); ++i) kmers.insert(s.substr(i, 12));
+    return kmers.size();
+  };
+  GeneratorOptions sparse;
+  sparse.length = 60000;
+  sparse.seed = 5;
+  sparse.repeat_fraction = 0.0;
+  GeneratorOptions dense = sparse;
+  dense.repeat_fraction = 1.0;
+  EXPECT_GT(distinct_kmers(GenerateSequence(Alphabet::Dna(), sparse)),
+            distinct_kmers(GenerateSequence(Alphabet::Dna(), dense)));
+}
+
+TEST(GeneratorTest, MutateCopySharesLongSubstrings) {
+  GeneratorOptions options;
+  options.length = 30000;
+  options.seed = 3;
+  std::string source = GenerateSequence(Alphabet::Dna(), options);
+  MutateOptions mutate;
+  mutate.seed = 4;
+  std::string copy = MutateCopy(Alphabet::Dna(), source, mutate);
+  EXPECT_NE(copy, source);
+  EXPECT_GT(copy.size(), source.size() / 2);
+  // The copy shares at least one long exact block with the source.
+  bool shares = false;
+  for (size_t i = 0; i + 40 <= copy.size() && !shares; i += 200) {
+    shares = source.find(copy.substr(i, 40)) != std::string::npos;
+  }
+  EXPECT_TRUE(shares);
+}
+
+TEST(DatasetsTest, PresetsMatchThePaper) {
+  const auto& all = AllDatasets();
+  ASSERT_EQ(all.size(), 7u);
+  EXPECT_EQ(DatasetByName("ECO").paper_length, 3'500'000u);
+  EXPECT_EQ(DatasetByName("CEL").paper_length, 15'500'000u);
+  EXPECT_EQ(DatasetByName("HC21").paper_length, 28'500'000u);
+  EXPECT_EQ(DatasetByName("HC19").paper_length, 57'500'000u);
+  EXPECT_TRUE(DatasetByName("YST-R").is_protein);
+  EXPECT_FALSE(DatasetByName("ECO").is_protein);
+}
+
+TEST(DatasetsTest, ScalingAndAlphabets) {
+  const DatasetSpec& eco = DatasetByName("ECO");
+  std::string tiny = MakeDataset(eco, 0.001);
+  EXPECT_EQ(tiny.size(), 3500u);
+  EXPECT_EQ(DatasetAlphabet(eco).kind(), Alphabet::Kind::kDna);
+  EXPECT_EQ(DatasetAlphabet(DatasetByName("DRO-R")).kind(),
+            Alphabet::Kind::kProtein);
+  // Protein presets produce valid residues.
+  std::string protein = MakeDataset(DatasetByName("ECO-R"), 0.001);
+  for (char c : protein) {
+    ASSERT_NE(Alphabet::Protein().Encode(c), kInvalidCode);
+  }
+}
+
+TEST(DatasetsTest, BenchScaleFromEnv) {
+  ::unsetenv("SPINE_BENCH_SCALE");
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(0.25), 0.25);
+  ::setenv("SPINE_BENCH_SCALE", "0.5", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(0.25), 0.5);
+  ::setenv("SPINE_BENCH_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(BenchScaleFromEnv(0.25), 0.25);
+  ::unsetenv("SPINE_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace spine::seq

@@ -1,0 +1,322 @@
+// Unit and property tests for the reference SPINE index: construction
+// labels (validated against the paper's worked example, Figure 3),
+// search semantics (validated against the brute-force oracle) and
+// structural invariants.
+
+#include "core/spine_index.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "naive/naive_index.h"
+
+namespace spine {
+namespace {
+
+SpineIndex BuildDna(std::string_view s) {
+  SpineIndex index(Alphabet::Dna());
+  Status status = index.AppendString(s);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return index;
+}
+
+// ---------------------------------------------------------------------
+// The paper's worked example: Figure 3 for the string "aaccacaaca"
+// (rendered here over the DNA alphabet as lowercase a/c).
+// ---------------------------------------------------------------------
+
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  PaperExampleTest() : index_(BuildDna("aaccacaaca")) {}
+  SpineIndex index_;
+};
+
+TEST_F(PaperExampleTest, BackboneHasOneNodePerCharacter) {
+  EXPECT_EQ(index_.size(), 10u);
+  EXPECT_EQ(index_.ReconstructString(), "AACCACAACA");
+}
+
+TEST_F(PaperExampleTest, RibFromNode3HasPathlengthThreshold1) {
+  // "the rib from Node 3 has a PT of 1" (Section 2.1).
+  const SpineIndex::Rib* rib =
+      index_.FindRib(3, index_.alphabet().Encode('a'));
+  ASSERT_NE(rib, nullptr);
+  EXPECT_EQ(rib->pt, 1u);
+  EXPECT_EQ(rib->dest, 5u);
+}
+
+TEST_F(PaperExampleTest, ExtribFromNode5ToNode7HasPt2Prt1) {
+  // "the extrib from Node 5 to Node 7 has a PRT of 1 and PT of 2".
+  const SpineIndex::Extrib* e = index_.FindExtrib(5);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->dest, 7u);
+  EXPECT_EQ(e->pt, 2u);
+  EXPECT_EQ(e->prt, 1u);
+}
+
+TEST_F(PaperExampleTest, LinkFromNode8ToNode2HasLel2) {
+  // "the link from Node 8 to Node 2 has an LEL of 2".
+  EXPECT_EQ(index_.LinkDest(8), 2u);
+  EXPECT_EQ(index_.LinkLel(8), 2u);
+}
+
+TEST_F(PaperExampleTest, SecondExtribChainsFromNode7) {
+  // Appending the final 'a' extends the same rib again: the chain
+  // grows from the first extrib's destination (Section 2.6).
+  const SpineIndex::Extrib* e = index_.FindExtrib(7);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->dest, 10u);
+  EXPECT_EQ(e->pt, 3u);
+  EXPECT_EQ(e->prt, 1u);
+}
+
+TEST_F(PaperExampleTest, AccaaIsRejectedByThresholds) {
+  // Section 2.1/4: "accaa" looks like a path but the PT labels forbid it.
+  EXPECT_TRUE(index_.Contains("acca"));
+  EXPECT_FALSE(index_.Contains("accaa"));
+}
+
+TEST_F(PaperExampleTest, SearchExampleForAc) {
+  // Section 4: query "ac" -> occurrences end at nodes 3, 6, 9.
+  auto first = index_.FindFirstEnd("ac");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(*first, 3u);
+  EXPECT_EQ(index_.FindAll("ac"), (std::vector<uint32_t>{1, 4, 7}));
+}
+
+TEST_F(PaperExampleTest, ValidatePasses) {
+  Status status = index_.Validate();
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+// ---------------------------------------------------------------------
+// Basic API behaviour.
+// ---------------------------------------------------------------------
+
+TEST(SpineIndexTest, EmptyIndex) {
+  SpineIndex index(Alphabet::Dna());
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_FALSE(index.Contains("a"));
+  EXPECT_TRUE(index.FindAll("a").empty());
+  EXPECT_TRUE(index.Validate().ok());
+  // The empty pattern terminates at the root.
+  auto end = index.FindFirstEnd("");
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(*end, kRootNode);
+}
+
+TEST(SpineIndexTest, RejectsForeignCharacters) {
+  SpineIndex index(Alphabet::Dna());
+  Status status = index.Append('x');
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(index.size(), 0u);  // index unchanged
+  ASSERT_TRUE(index.Append('a').ok());
+  EXPECT_FALSE(index.AppendString("ag!t").ok());
+}
+
+TEST(SpineIndexTest, CaseInsensitiveDna) {
+  SpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString("AcGt").ok());
+  EXPECT_TRUE(index.Contains("acgt"));
+  EXPECT_TRUE(index.Contains("ACGT"));
+}
+
+TEST(SpineIndexTest, SingleCharacterString) {
+  SpineIndex index = BuildDna("a");
+  EXPECT_EQ(index.LinkDest(1), kRootNode);
+  EXPECT_EQ(index.LinkLel(1), 0u);
+  EXPECT_TRUE(index.Contains("a"));
+  EXPECT_FALSE(index.Contains("c"));
+  EXPECT_FALSE(index.Contains("aa"));
+}
+
+TEST(SpineIndexTest, RunOfIdenticalCharacters) {
+  SpineIndex index = BuildDna(std::string(32, 'a'));
+  for (uint32_t len = 1; len <= 32; ++len) {
+    EXPECT_TRUE(index.Contains(std::string(len, 'a')));
+  }
+  EXPECT_FALSE(index.Contains(std::string(33, 'a')));
+  // Node i's longest earlier suffix is everything but one character.
+  for (NodeId i = 2; i <= 32; ++i) {
+    EXPECT_EQ(index.LinkLel(i), i - 1);
+    EXPECT_EQ(index.LinkDest(i), i - 1);
+  }
+  EXPECT_EQ(index.FindAll("aaa").size(), 30u);
+}
+
+TEST(SpineIndexTest, PatternLongerThanStringNotFound) {
+  SpineIndex index = BuildDna("acgt");
+  EXPECT_FALSE(index.Contains("acgta"));
+}
+
+TEST(SpineIndexTest, QueryWithForeignCharacterNotFound) {
+  SpineIndex index = BuildDna("acgt");
+  EXPECT_FALSE(index.Contains("a?g"));
+  EXPECT_TRUE(index.FindAll("a?g").empty());
+}
+
+TEST(SpineIndexTest, ProteinAlphabet) {
+  SpineIndex index(Alphabet::Protein());
+  ASSERT_TRUE(index.AppendString("MKVLAMKVLA").ok());
+  // 'M' maps through the protein alphabet; B/J/O/U/X/Z are not residues.
+  EXPECT_TRUE(index.Contains("KVL"));
+  EXPECT_EQ(index.FindAll("MKVLA"), (std::vector<uint32_t>{0, 5}));
+  EXPECT_FALSE(index.Append('B').ok());
+}
+
+TEST(SpineIndexTest, ByteAlphabetIndexesArbitraryText) {
+  SpineIndex index(Alphabet::Byte());
+  ASSERT_TRUE(index.AppendString("the quick brown fox the quick").ok());
+  EXPECT_EQ(index.FindAll("the quick"), (std::vector<uint32_t>{0, 20}));
+  EXPECT_TRUE(index.Contains(" fox "));
+  EXPECT_FALSE(index.Contains("lazy"));
+}
+
+// ---------------------------------------------------------------------
+// Property tests against the brute-force oracle.
+// ---------------------------------------------------------------------
+
+std::string RandomString(Rng& rng, uint32_t length, uint32_t sigma) {
+  static const char* kLetters = "ACGTDEFHIKLMNPQRSWY";
+  std::string s;
+  s.reserve(length);
+  for (uint32_t i = 0; i < length; ++i) {
+    s.push_back(kLetters[rng.Below(sigma)]);
+  }
+  return s;
+}
+
+struct PropertyCase {
+  uint32_t sigma;
+  uint32_t length;
+  uint64_t seed;
+};
+
+class SpineOracleTest : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(SpineOracleTest, LelMatchesBruteForce) {
+  const PropertyCase param = GetParam();
+  Rng rng(param.seed);
+  std::string s = RandomString(rng, param.length, param.sigma);
+  SpineIndex index(param.sigma <= 4 ? Alphabet::Dna() : Alphabet::Protein());
+  ASSERT_TRUE(index.AppendString(s).ok());
+  ASSERT_TRUE(index.Validate().ok());
+  for (uint32_t i = 1; i <= param.length; ++i) {
+    uint32_t expected = naive::LongestEarlierSuffix(s, i);
+    ASSERT_EQ(index.LinkLel(i), expected)
+        << "LEL mismatch at node " << i << " of \"" << s << "\"";
+    // The link destination is the first-occurrence end of that suffix.
+    std::string_view suffix =
+        std::string_view(s).substr(i - expected, expected);
+    ASSERT_EQ(index.LinkDest(i),
+              static_cast<NodeId>(naive::FirstOccurrenceEnd(s, suffix)))
+        << "link destination mismatch at node " << i << " of \"" << s << '"';
+  }
+}
+
+TEST_P(SpineOracleTest, ContainsMatchesBruteForceForAllSubstrings) {
+  const PropertyCase param = GetParam();
+  Rng rng(param.seed + 1);
+  std::string s = RandomString(rng, param.length, param.sigma);
+  SpineIndex index(param.sigma <= 4 ? Alphabet::Dna() : Alphabet::Protein());
+  ASSERT_TRUE(index.AppendString(s).ok());
+
+  // Every true substring must be found, ending at its first occurrence.
+  for (uint32_t start = 0; start < param.length; ++start) {
+    for (uint32_t len = 1; start + len <= param.length; ++len) {
+      std::string_view pattern = std::string_view(s).substr(start, len);
+      auto end = index.FindFirstEnd(pattern);
+      ASSERT_TRUE(end.has_value())
+          << "false negative for \"" << pattern << "\" in \"" << s << '"';
+      ASSERT_EQ(*end, naive::FirstOccurrenceEnd(s, pattern))
+          << "wrong first occurrence for \"" << pattern << "\" in \"" << s
+          << '"';
+    }
+  }
+
+  // Random non-substrings must be rejected (no false positives).
+  for (int trial = 0; trial < 300; ++trial) {
+    uint32_t len = 1 + static_cast<uint32_t>(rng.Below(12));
+    std::string pattern = RandomString(rng, len, param.sigma);
+    bool expected = s.find(pattern) != std::string::npos;
+    ASSERT_EQ(index.Contains(pattern), expected)
+        << (expected ? "false negative" : "false positive") << " for \""
+        << pattern << "\" in \"" << s << '"';
+  }
+}
+
+TEST_P(SpineOracleTest, FindAllMatchesBruteForce) {
+  const PropertyCase param = GetParam();
+  Rng rng(param.seed + 2);
+  std::string s = RandomString(rng, param.length, param.sigma);
+  SpineIndex index(param.sigma <= 4 ? Alphabet::Dna() : Alphabet::Protein());
+  ASSERT_TRUE(index.AppendString(s).ok());
+
+  for (int trial = 0; trial < 200; ++trial) {
+    // Mix true substrings and random patterns.
+    std::string pattern;
+    if (trial % 2 == 0) {
+      uint32_t start = static_cast<uint32_t>(rng.Below(param.length));
+      uint32_t len = 1 + static_cast<uint32_t>(
+                             rng.Below(std::min<uint32_t>(
+                                 20, param.length - start)));
+      pattern = s.substr(start, len);
+    } else {
+      pattern = RandomString(rng, 1 + rng.Below(8), param.sigma);
+    }
+    ASSERT_EQ(index.FindAll(pattern),
+              naive::FindAllOccurrences(s, pattern))
+        << "occurrence set mismatch for \"" << pattern << "\" in \"" << s
+        << '"';
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStrings, SpineOracleTest,
+    ::testing::Values(
+        // Binary-like alphabets maximize repeats, stressing extrib chains.
+        PropertyCase{2, 16, 11}, PropertyCase{2, 32, 12},
+        PropertyCase{2, 64, 13}, PropertyCase{2, 100, 14},
+        PropertyCase{2, 150, 15},
+        PropertyCase{3, 48, 21}, PropertyCase{3, 96, 22},
+        PropertyCase{4, 64, 31}, PropertyCase{4, 128, 32},
+        PropertyCase{4, 200, 33},
+        // Larger alphabets: sparse repeats.
+        PropertyCase{16, 128, 41}, PropertyCase{19, 160, 42}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return "sigma" + std::to_string(info.param.sigma) + "_len" +
+             std::to_string(info.param.length) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+// Many short binary strings: exhaustive-ish stress over the regime where
+// extrib chains and PRT sharing are densest.
+TEST(SpineOracleStress, ManyShortBinaryStrings) {
+  Rng rng(99);
+  for (int round = 0; round < 400; ++round) {
+    uint32_t length = 2 + static_cast<uint32_t>(rng.Below(40));
+    std::string s = RandomString(rng, length, 2);
+    SpineIndex index(Alphabet::Dna());
+    ASSERT_TRUE(index.AppendString(s).ok());
+    ASSERT_TRUE(index.Validate().ok()) << s;
+    for (uint32_t i = 1; i <= length; ++i) {
+      ASSERT_EQ(index.LinkLel(i), naive::LongestEarlierSuffix(s, i))
+          << "string " << s << " node " << i;
+    }
+    for (uint32_t start = 0; start < length; ++start) {
+      for (uint32_t len = 1; start + len <= length; ++len) {
+        std::string_view pattern = std::string_view(s).substr(start, len);
+        ASSERT_EQ(index.FindAll(pattern),
+                  naive::FindAllOccurrences(s, pattern))
+            << "string " << s << " pattern " << pattern;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spine

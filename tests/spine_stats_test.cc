@@ -1,0 +1,119 @@
+// Tests for the statistics collectors behind Tables 3-4 and Figure 8.
+
+#include "core/spine_stats.h"
+
+#include <numeric>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "compact/compact_spine.h"
+#include "seq/generator.h"
+
+namespace spine {
+namespace {
+
+SpineIndex Build(std::string_view s) {
+  SpineIndex index(Alphabet::Dna());
+  EXPECT_TRUE(index.AppendString(s).ok());
+  return index;
+}
+
+TEST(SpineStatsTest, LabelMaximaOnPaperExample) {
+  SpineIndex index = Build("aaccacaaca");
+  LabelMaxima maxima = ComputeLabelMaxima(index);
+  // From the worked example: LEL up to 3 (node 9/10), PT up to 3
+  // (the extrib 7 -> 10), PRT 1.
+  EXPECT_EQ(maxima.max_lel, 3u);
+  EXPECT_EQ(maxima.max_pt, 3u);
+  EXPECT_EQ(maxima.max_prt, 1u);
+}
+
+TEST(SpineStatsTest, LabelMaximaMatchCompactTracking) {
+  seq::GeneratorOptions options;
+  options.length = 30000;
+  options.seed = 77;
+  std::string s = seq::GenerateSequence(Alphabet::Dna(), options);
+  SpineIndex reference(Alphabet::Dna());
+  ASSERT_TRUE(reference.AppendString(s).ok());
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(compact.AppendString(s).ok());
+
+  LabelMaxima maxima = ComputeLabelMaxima(reference);
+  EXPECT_EQ(maxima.max_lel, compact.max_lel());
+  EXPECT_EQ(maxima.max_pt, compact.max_pt());
+  EXPECT_EQ(maxima.max_prt, compact.max_prt());
+}
+
+TEST(SpineStatsTest, RibDistributionCountsEdges) {
+  SpineIndex index = Build("aaccacaaca");
+  RibDistribution dist = ComputeRibDistribution(index);
+  EXPECT_EQ(dist.total_nodes, 11u);
+  uint64_t total_edges = 0;
+  for (size_t k = 0; k < dist.nodes_with_fanout.size(); ++k) {
+    total_edges += dist.nodes_with_fanout[k] * (k + 1);
+  }
+  EXPECT_EQ(total_edges, index.rib_count() + index.extrib_count());
+  EXPECT_GT(dist.FractionWithEdges(), 0.0);
+  EXPECT_LT(dist.FractionWithEdges(), 1.0);
+  EXPECT_EQ(dist.FractionWithFanout(0), 0.0);       // k = 0 is invalid
+  EXPECT_EQ(dist.FractionWithFanout(100), 0.0);     // beyond max fanout
+}
+
+TEST(SpineStatsTest, RibDistributionAgreesWithCompactFanouts) {
+  seq::GeneratorOptions options;
+  options.length = 20000;
+  options.seed = 13;
+  std::string s = seq::GenerateSequence(Alphabet::Dna(), options);
+  SpineIndex reference(Alphabet::Dna());
+  ASSERT_TRUE(reference.AppendString(s).ok());
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(compact.AppendString(s).ok());
+
+  RibDistribution dist = ComputeRibDistribution(reference);
+  auto counts = compact.FanoutCountsWithExtribs();
+  for (uint32_t k = 1; k <= 4; ++k) {
+    uint64_t reference_count = k <= dist.nodes_with_fanout.size()
+                                   ? dist.nodes_with_fanout[k - 1]
+                                   : 0;
+    EXPECT_EQ(reference_count, counts[k - 1]) << "fanout " << k;
+  }
+}
+
+TEST(SpineStatsTest, LinkHistogramSumsToHundred) {
+  seq::GeneratorOptions options;
+  options.length = 50000;
+  options.seed = 21;
+  std::string s = seq::GenerateSequence(Alphabet::Dna(), options);
+  SpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(s).ok());
+  std::vector<double> histogram = ComputeLinkDestinationHistogram(index, 10);
+  ASSERT_EQ(histogram.size(), 10u);
+  double total = std::accumulate(histogram.begin(), histogram.end(), 0.0);
+  EXPECT_NEAR(total, 100.0, 0.01);
+  // The Figure 8 claim: the top of the backbone receives the most links.
+  EXPECT_GT(histogram[0], histogram[9]);
+}
+
+TEST(SpineStatsTest, HistogramTemplateMatchesReferenceVersion) {
+  std::string s = "ACCACAACAGGTTACCACA";
+  SpineIndex reference(Alphabet::Dna());
+  ASSERT_TRUE(reference.AppendString(s).ok());
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(compact.AppendString(s).ok());
+  EXPECT_EQ(ComputeLinkDestinationHistogram(reference, 5),
+            ComputeLinkDestinationHistogramT(compact, 5));
+}
+
+TEST(SpineStatsTest, EmptyIndexEdgeCases) {
+  SpineIndex index(Alphabet::Dna());
+  LabelMaxima maxima = ComputeLabelMaxima(index);
+  EXPECT_EQ(maxima.max_lel, 0u);
+  RibDistribution dist = ComputeRibDistribution(index);
+  EXPECT_EQ(dist.FractionWithEdges(), 0.0);
+  std::vector<double> histogram = ComputeLinkDestinationHistogram(index, 4);
+  for (double pct : histogram) EXPECT_EQ(pct, 0.0);
+}
+
+}  // namespace
+}  // namespace spine

@@ -1,0 +1,455 @@
+// Tests for the storage substrate: page file, buffer pool policies,
+// paged arrays, and the disk-resident SPINE / suffix tree.
+
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compact/compact_spine.h"
+#include "core/matcher.h"
+#include "naive/naive_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_model.h"
+#include "storage/disk_spine.h"
+#include "storage/disk_suffix_tree.h"
+#include "storage/paged_array.h"
+#include "storage/page_file.h"
+#include "suffix_tree/st_matcher.h"
+#include "suffix_tree/suffix_tree.h"
+
+namespace spine::storage {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(PageFileTest, WriteReadRoundTrip) {
+  Result<PageFile> file =
+      PageFile::Create(TempPath("pf1.dat"), PageFile::SyncMode::kNone);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  uint8_t page[kPageSize];
+  std::memset(page, 0xab, sizeof(page));
+  ASSERT_TRUE(file->WritePage(3, page).ok());
+  uint8_t back[kPageSize];
+  ASSERT_TRUE(file->ReadPage(3, back).ok());
+  EXPECT_EQ(std::memcmp(page, back, kPageSize), 0);
+  // Unwritten pages read as zeros.
+  ASSERT_TRUE(file->ReadPage(100, back).ok());
+  for (uint32_t i = 0; i < kPageSize; ++i) ASSERT_EQ(back[i], 0);
+  EXPECT_EQ(file->pages_written(), 1u);
+}
+
+TEST(PageFileTest, SyncEveryWriteMode) {
+  Result<PageFile> file = PageFile::Create(TempPath("pf2.dat"),
+                                           PageFile::SyncMode::kSyncEveryWrite);
+  ASSERT_TRUE(file.ok());
+  uint8_t page[kPageSize] = {1, 2, 3};
+  ASSERT_TRUE(file->WritePage(0, page).ok());
+  ASSERT_TRUE(file->Sync().ok());
+}
+
+class BufferPoolPolicyTest
+    : public ::testing::TestWithParam<ReplacementPolicy> {};
+
+TEST_P(BufferPoolPolicyTest, DataSurvivesEvictionPressure) {
+  Result<PageFile> file = PageFile::Create(
+      TempPath(std::string("bp_") + PolicyName(GetParam()) + ".dat"),
+      PageFile::SyncMode::kNone);
+  ASSERT_TRUE(file.ok());
+  BufferPool pool(&*file, 4, GetParam());
+
+  // Write a recognizable stamp into 64 pages through a 4-frame pool.
+  for (uint64_t p = 0; p < 64; ++p) {
+    uint8_t* page = pool.FetchPage(p, true);
+    ASSERT_NE(page, nullptr);
+    std::memset(page, static_cast<int>(p + 1), kPageSize);
+  }
+  // Read everything back (faults evicted pages back in).
+  for (uint64_t p = 0; p < 64; ++p) {
+    uint8_t* page = pool.FetchPage(p, false);
+    ASSERT_NE(page, nullptr);
+    for (uint32_t i = 0; i < kPageSize; i += 512) {
+      ASSERT_EQ(page[i], static_cast<uint8_t>(p + 1)) << "page " << p;
+    }
+  }
+  EXPECT_GT(pool.stats().evictions, 0u);
+  EXPECT_GT(pool.stats().dirty_writebacks, 0u);
+  ASSERT_TRUE(pool.FlushAll().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, BufferPoolPolicyTest,
+                         ::testing::Values(ReplacementPolicy::kLru,
+                                           ReplacementPolicy::kClock,
+                                           ReplacementPolicy::kPinTop),
+                         [](const auto& info) {
+                           std::string name = PolicyName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(BufferPoolTest, HitAndMissAccounting) {
+  Result<PageFile> file =
+      PageFile::Create(TempPath("bp_stats.dat"), PageFile::SyncMode::kNone);
+  ASSERT_TRUE(file.ok());
+  BufferPool pool(&*file, 8, ReplacementPolicy::kLru);
+  pool.FetchPage(0, false);
+  pool.FetchPage(0, false);
+  pool.FetchPage(1, false);
+  EXPECT_EQ(pool.stats().misses, 2u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_DOUBLE_EQ(pool.stats().HitRate(), 1.0 / 3.0);
+}
+
+TEST(BufferPoolTest, PinTopKeepsLowPagesResident) {
+  Result<PageFile> file =
+      PageFile::Create(TempPath("bp_pintop.dat"), PageFile::SyncMode::kNone);
+  ASSERT_TRUE(file.ok());
+  // 16 frames -> the lowest 4 page ids are protected.
+  BufferPool pin_pool(&*file, 16, ReplacementPolicy::kPinTop);
+  for (uint64_t p = 0; p < 100; ++p) pin_pool.FetchPage(p, false);
+  pin_pool.ResetStats();
+  for (uint64_t p = 0; p < 4; ++p) pin_pool.FetchPage(p, false);
+  EXPECT_EQ(pin_pool.stats().hits, 4u);
+  EXPECT_EQ(pin_pool.stats().misses, 0u);
+
+  // Plain LRU would have evicted the top pages during the long scan.
+  Result<PageFile> file2 =
+      PageFile::Create(TempPath("bp_lru2.dat"), PageFile::SyncMode::kNone);
+  ASSERT_TRUE(file2.ok());
+  BufferPool lru_pool(&*file2, 16, ReplacementPolicy::kLru);
+  for (uint64_t p = 0; p < 100; ++p) lru_pool.FetchPage(p, false);
+  lru_pool.ResetStats();
+  for (uint64_t p = 0; p < 4; ++p) lru_pool.FetchPage(p, false);
+  EXPECT_EQ(lru_pool.stats().misses, 4u);
+}
+
+TEST(PagedArrayTest, AppendGetSetAcrossPages) {
+  Result<PageFile> file =
+      PageFile::Create(TempPath("pa.dat"), PageFile::SyncMode::kNone);
+  ASSERT_TRUE(file.ok());
+  BufferPool pool(&*file, 3, ReplacementPolicy::kLru);
+  PageAllocator allocator;
+  PagedArray<uint64_t> array(&pool, &allocator);
+  for (uint64_t i = 0; i < 5000; ++i) array.Append(i * 7);
+  for (uint64_t i = 0; i < 5000; ++i) ASSERT_EQ(array.Get(i), i * 7);
+  array.Set(4242, 99);
+  EXPECT_EQ(array.Get(4242), 99u);
+  EXPECT_GT(array.PagesUsed(), 5u);
+}
+
+TEST(PagedCodesTest, RoundTripAllWidths) {
+  for (uint32_t bits : {2u, 5u, 8u}) {
+    Result<PageFile> file = PageFile::Create(
+        TempPath("pc" + std::to_string(bits) + ".dat"),
+        PageFile::SyncMode::kNone);
+    ASSERT_TRUE(file.ok());
+    BufferPool pool(&*file, 2, ReplacementPolicy::kLru);
+    PageAllocator allocator;
+    PagedCodes codes(&pool, &allocator, bits);
+    Rng rng(bits);
+    std::vector<Code> expected;
+    for (int i = 0; i < 40000; ++i) {
+      Code c = static_cast<Code>(rng.Below(1u << bits));
+      expected.push_back(c);
+      codes.Append(c);
+    }
+    for (int i = 0; i < 40000; ++i) {
+      ASSERT_EQ(codes.Get(i), expected[i]) << "bits " << bits << " idx " << i;
+    }
+  }
+}
+
+TEST(DiskModelTest, ModeledTimeScalesWithMisses) {
+  DiskCostModel model;
+  IoStats cheap{1000, 10, 0, 0};
+  IoStats costly{1000, 1000, 900, 500};
+  EXPECT_LT(model.ModeledSeconds(cheap), model.ModeledSeconds(costly));
+  EXPECT_GT(model.PageIoMs(), 8.0);
+}
+
+// ---------------------------------------------------------------------
+// Disk-resident SPINE: equivalence with the in-memory compact index
+// under heavy eviction pressure.
+// ---------------------------------------------------------------------
+
+TEST(DiskSpineTest, MatchesCompactIndexUnderTinyPool) {
+  Rng rng(2024);
+  const char* letters = "ACGT";
+  std::string s;
+  for (int i = 0; i < 20000; ++i) s.push_back(letters[rng.Below(4)]);
+
+  DiskSpine::Options options;
+  options.pool_frames = 8;  // brutal pressure
+  Result<std::unique_ptr<DiskSpine>> disk =
+      DiskSpine::Create(Alphabet::Dna(), TempPath("ds1.idx"), options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  ASSERT_TRUE((*disk)->AppendString(s).ok());
+
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(compact.AppendString(s).ok());
+
+  ASSERT_EQ((*disk)->size(), compact.size());
+  for (NodeId i = 1; i <= compact.size(); i += 97) {
+    ASSERT_EQ((*disk)->LinkDest(i), compact.LinkDest(i)) << i;
+    ASSERT_EQ((*disk)->LinkLel(i), compact.LinkLel(i)) << i;
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    uint32_t start = static_cast<uint32_t>(rng.Below(s.size() - 12));
+    std::string pattern = s.substr(start, 3 + rng.Below(9));
+    ASSERT_EQ((*disk)->FindAll(pattern), compact.FindAll(pattern)) << pattern;
+  }
+  EXPECT_GT((*disk)->io_stats().evictions, 0u);
+  EXPECT_GT((*disk)->PagesUsed(), 8u);
+  ASSERT_TRUE((*disk)->Flush().ok());
+}
+
+TEST(DiskSpineTest, MaximalMatchesViaGenericMatcher) {
+  std::string data = "ACCACAACAGGTTACCACAACA";
+  std::string query = "TTACCACA";
+  DiskSpine::Options options;
+  options.pool_frames = 4;
+  Result<std::unique_ptr<DiskSpine>> disk =
+      DiskSpine::Create(Alphabet::Dna(), TempPath("ds2.idx"), options);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->AppendString(data).ok());
+  auto matches = GenericFindMaximalMatches(**disk, query, 3);
+  auto expected = naive::MaximalMatches(data, query, 3);
+  ASSERT_EQ(matches.size(), expected.size());
+  for (size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(matches[k].query_pos, expected[k].query_pos);
+    EXPECT_EQ(matches[k].length, expected[k].length);
+  }
+}
+
+TEST(DiskSpineTest, SyncModeWorks) {
+  DiskSpine::Options options;
+  options.pool_frames = 4;
+  options.sync_mode = PageFile::SyncMode::kSyncEveryWrite;
+  Result<std::unique_ptr<DiskSpine>> disk =
+      DiskSpine::Create(Alphabet::Dna(), TempPath("ds3.idx"), options);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->AppendString("ACGTACGTACGT").ok());
+  EXPECT_TRUE((*disk)->Contains("GTAC"));
+}
+
+TEST(DiskSpinePersistenceTest, CheckpointAndReopen) {
+  Rng rng(808);
+  const char* letters = "ACGT";
+  std::string s;
+  for (int i = 0; i < 12000; ++i) s.push_back(letters[rng.Below(4)]);
+  const std::string path = TempPath("persist.idx");
+
+  {
+    DiskSpine::Options options;
+    options.pool_frames = 16;
+    auto index = DiskSpine::Create(Alphabet::Dna(), path, options);
+    ASSERT_TRUE(index.ok());
+    ASSERT_TRUE((*index)->AppendString(s).ok());
+    Status checkpoint = (*index)->Checkpoint();
+    ASSERT_TRUE(checkpoint.ok()) << checkpoint.ToString();
+  }  // index destroyed: only the file + sidecar survive
+
+  DiskSpine::Options options;
+  options.pool_frames = 16;
+  auto reopened = DiskSpine::Open(path, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ((*reopened)->size(), s.size());
+  CompactSpineIndex expected(Alphabet::Dna());
+  ASSERT_TRUE(expected.AppendString(s).ok());
+  for (NodeId i = 1; i <= s.size(); i += 53) {
+    ASSERT_EQ((*reopened)->LinkDest(i), expected.LinkDest(i)) << i;
+    ASSERT_EQ((*reopened)->LinkLel(i), expected.LinkLel(i)) << i;
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    uint32_t start = static_cast<uint32_t>(rng.Below(s.size() - 10));
+    std::string pattern = s.substr(start, 2 + rng.Below(8));
+    ASSERT_EQ((*reopened)->FindAll(pattern), expected.FindAll(pattern));
+  }
+
+  // The reopened index remains appendable: extend and verify.
+  std::string extension;
+  for (int i = 0; i < 500; ++i) extension.push_back(letters[rng.Below(4)]);
+  ASSERT_TRUE((*reopened)->AppendString(extension).ok());
+  ASSERT_TRUE(expected.AppendString(extension).ok());
+  for (int trial = 0; trial < 15; ++trial) {
+    uint32_t start =
+        static_cast<uint32_t>(s.size() - 20 + rng.Below(500));
+    std::string pattern = (s + extension).substr(start, 6);
+    ASSERT_EQ((*reopened)->FindAll(pattern), expected.FindAll(pattern));
+  }
+}
+
+TEST(DiskSpineTest, ProteinHighFanoutSpillsOnDisk) {
+  // The engineered protein string from the compact tests: one node
+  // accumulates > 4 ribs, exercising the disk index's big-entry spill.
+  std::string s;
+  const std::string residues = "CDEFGHIKLMNPQRSTVWY";
+  for (char r : residues) {
+    s += "AA";
+    s += r;
+  }
+  DiskSpine::Options options;
+  options.pool_frames = 4;
+  auto disk = DiskSpine::Create(Alphabet::Protein(),
+                                TempPath("ds_protein.idx"), options);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->AppendString(s).ok());
+  CompactSpineIndex expected(Alphabet::Protein());
+  ASSERT_TRUE(expected.AppendString(s).ok());
+  for (NodeId i = 1; i <= s.size(); ++i) {
+    ASSERT_EQ((*disk)->LinkDest(i), expected.LinkDest(i)) << i;
+    ASSERT_EQ((*disk)->LinkLel(i), expected.LinkLel(i)) << i;
+  }
+  EXPECT_TRUE((*disk)->Contains("AAC"));
+  EXPECT_TRUE((*disk)->Contains("CAAD"));
+  EXPECT_FALSE((*disk)->Contains("CC"));
+
+  // Persistence round-trips the big entries too.
+  ASSERT_TRUE((*disk)->Checkpoint().ok());
+  auto reopened = DiskSpine::Open(TempPath("ds_protein.idx"), options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE((*reopened)->Contains("AAW"));
+  EXPECT_FALSE((*reopened)->Contains("WW"));
+}
+
+TEST(DiskSpinePersistenceTest, OpenFailures) {
+  DiskSpine::Options options;
+  EXPECT_FALSE(DiskSpine::Open("/nonexistent/nope.idx", options).ok());
+  // A garbage sidecar is rejected.
+  const std::string path = TempPath("persist_bad.idx");
+  {
+    std::ofstream data(path);
+    data << "data";
+    std::ofstream meta(path + ".meta");
+    meta << "not metadata";
+  }
+  Result<std::unique_ptr<DiskSpine>> opened = DiskSpine::Open(path, options);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------
+// Disk-resident suffix tree.
+// ---------------------------------------------------------------------
+
+TEST(DiskSuffixTreeTest, MatchesInMemoryTreeUnderTinyPool) {
+  Rng rng(31337);
+  const char* letters = "ACGT";
+  std::string s;
+  for (int i = 0; i < 8000; ++i) s.push_back(letters[rng.Below(4)]);
+
+  DiskSuffixTree::Options options;
+  options.pool_frames = 8;
+  Result<std::unique_ptr<DiskSuffixTree>> disk =
+      DiskSuffixTree::Create(Alphabet::Dna(), TempPath("dst1.idx"), options);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->AppendString(s).ok());
+
+  SuffixTree tree(Alphabet::Dna());
+  ASSERT_TRUE(tree.AppendString(s).ok());
+  ASSERT_EQ((*disk)->node_count(), tree.node_count());
+
+  for (int trial = 0; trial < 30; ++trial) {
+    uint32_t start = static_cast<uint32_t>(rng.Below(s.size() - 10));
+    std::string pattern = s.substr(start, 2 + rng.Below(8));
+    ASSERT_EQ((*disk)->FindAll(pattern), tree.FindAll(pattern)) << pattern;
+  }
+  EXPECT_GT((*disk)->io_stats().evictions, 0u);
+}
+
+TEST(DiskSuffixTreeTest, GenericMatcherParity) {
+  std::string data = "ACCACAACAGGTTACCACAACAGT";
+  std::string query = "CCACAAGTTTACCA";
+  DiskSuffixTree::Options options;
+  options.pool_frames = 4;
+  Result<std::unique_ptr<DiskSuffixTree>> disk =
+      DiskSuffixTree::Create(Alphabet::Dna(), TempPath("dst2.idx"), options);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->AppendString(data).ok());
+  auto got = GenericStFindMaximalMatches(**disk, query, 2, nullptr);
+  auto want = naive::MaximalMatches(data, query, 2);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t k = 0; k < want.size(); ++k) {
+    EXPECT_EQ(got[k].query_pos, want[k].query_pos);
+    EXPECT_EQ(got[k].length, want[k].length);
+  }
+}
+
+TEST(DiskSuffixTreePersistenceTest, CheckpointAndReopen) {
+  Rng rng(909);
+  const char* letters = "ACGT";
+  std::string s;
+  for (int i = 0; i < 6000; ++i) s.push_back(letters[rng.Below(4)]);
+  const std::string path = TempPath("persist_tree.idx");
+  {
+    DiskSuffixTree::Options options;
+    options.pool_frames = 16;
+    auto tree = DiskSuffixTree::Create(Alphabet::Dna(), path, options);
+    ASSERT_TRUE(tree.ok());
+    ASSERT_TRUE((*tree)->AppendString(s).ok());
+    ASSERT_TRUE((*tree)->Checkpoint().ok());
+  }
+  DiskSuffixTree::Options options;
+  options.pool_frames = 16;
+  auto reopened = DiskSuffixTree::Open(path, options);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ASSERT_EQ((*reopened)->size(), s.size());
+
+  SuffixTree expected(Alphabet::Dna());
+  ASSERT_TRUE(expected.AppendString(s).ok());
+  ASSERT_EQ((*reopened)->node_count(), expected.node_count());
+  for (int trial = 0; trial < 25; ++trial) {
+    uint32_t start = static_cast<uint32_t>(rng.Below(s.size() - 10));
+    std::string pattern = s.substr(start, 2 + rng.Below(8));
+    ASSERT_EQ((*reopened)->FindAll(pattern), expected.FindAll(pattern))
+        << pattern;
+  }
+  // Still appendable after reopen (the Ukkonen state was persisted).
+  std::string extension;
+  for (int i = 0; i < 400; ++i) extension.push_back(letters[rng.Below(4)]);
+  ASSERT_TRUE((*reopened)->AppendString(extension).ok());
+  ASSERT_TRUE(expected.AppendString(extension).ok());
+  for (int trial = 0; trial < 15; ++trial) {
+    uint32_t start =
+        static_cast<uint32_t>(s.size() - 20 + rng.Below(400));
+    std::string pattern = (s + extension).substr(start, 6);
+    ASSERT_EQ((*reopened)->FindAll(pattern), expected.FindAll(pattern));
+  }
+  EXPECT_FALSE(DiskSuffixTree::Open("/nonexistent.idx", options).ok());
+}
+
+// SPINE's disk construction exhibits better locality than the suffix
+// tree's: with the same pool budget it needs fewer page faults per
+// appended character (the Fig. 7 effect).
+TEST(DiskLocalityTest, SpineFaultsLessThanSuffixTree) {
+  Rng rng(9);
+  const char* letters = "ACGT";
+  std::string s;
+  for (int i = 0; i < 30000; ++i) s.push_back(letters[rng.Below(4)]);
+
+  DiskSpine::Options so;
+  so.pool_frames = 32;
+  auto disk_spine = DiskSpine::Create(Alphabet::Dna(), TempPath("loc1.idx"), so);
+  ASSERT_TRUE(disk_spine.ok());
+  ASSERT_TRUE((*disk_spine)->AppendString(s).ok());
+
+  DiskSuffixTree::Options to;
+  to.pool_frames = 32;
+  auto disk_tree =
+      DiskSuffixTree::Create(Alphabet::Dna(), TempPath("loc2.idx"), to);
+  ASSERT_TRUE(disk_tree.ok());
+  ASSERT_TRUE((*disk_tree)->AppendString(s).ok());
+
+  EXPECT_LT((*disk_spine)->io_stats().misses,
+            (*disk_tree)->io_stats().misses);
+}
+
+}  // namespace
+}  // namespace spine::storage

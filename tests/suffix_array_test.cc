@@ -1,0 +1,82 @@
+// Tests for the suffix-array baseline.
+
+#include "suffix_array/suffix_array.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "naive/naive_index.h"
+
+namespace spine {
+namespace {
+
+TEST(SuffixArrayTest, EmptyString) {
+  Result<SuffixArray> sa = SuffixArray::Build(Alphabet::Dna(), "");
+  ASSERT_TRUE(sa.ok());
+  EXPECT_EQ(sa->size(), 0u);
+  EXPECT_FALSE(sa->Contains("a"));
+}
+
+TEST(SuffixArrayTest, RejectsForeignCharacters) {
+  EXPECT_FALSE(SuffixArray::Build(Alphabet::Dna(), "ACGX").ok());
+}
+
+TEST(SuffixArrayTest, SortedOrder) {
+  Result<SuffixArray> sa = SuffixArray::Build(Alphabet::Dna(), "ACGTACGT");
+  ASSERT_TRUE(sa.ok());
+  // Adjacent suffixes must be lexicographically non-decreasing; verify
+  // via LCP consistency: lcp[i] characters agree, the next differs.
+  const auto& order = sa->sa();
+  for (size_t i = 1; i < order.size(); ++i) {
+    std::string a = std::string("ACGTACGT").substr(order[i - 1]);
+    std::string b = std::string("ACGTACGT").substr(order[i]);
+    EXPECT_LE(a, b);
+    size_t common = 0;
+    while (common < a.size() && common < b.size() && a[common] == b[common])
+      ++common;
+    EXPECT_EQ(sa->lcp()[i], common);
+  }
+}
+
+TEST(SuffixArrayTest, FindAllMatchesBruteForce) {
+  Rng rng(12345);
+  const char* letters = "ACGT";
+  for (int round = 0; round < 60; ++round) {
+    uint32_t sigma = 2 + static_cast<uint32_t>(rng.Below(3));
+    uint32_t len = 4 + static_cast<uint32_t>(rng.Below(150));
+    std::string s;
+    for (uint32_t i = 0; i < len; ++i) s.push_back(letters[rng.Below(sigma)]);
+    Result<SuffixArray> sa = SuffixArray::Build(Alphabet::Dna(), s);
+    ASSERT_TRUE(sa.ok());
+    for (int trial = 0; trial < 60; ++trial) {
+      std::string pattern;
+      if (trial % 2 == 0) {
+        uint32_t start = static_cast<uint32_t>(rng.Below(len));
+        pattern = s.substr(start, 1 + rng.Below(10));
+      } else {
+        for (uint32_t i = 0; i < 1 + rng.Below(6); ++i) {
+          pattern.push_back(letters[rng.Below(sigma)]);
+        }
+      }
+      ASSERT_EQ(sa->FindAll(pattern), naive::FindAllOccurrences(s, pattern))
+          << "string " << s << " pattern " << pattern;
+    }
+  }
+}
+
+TEST(SuffixArrayTest, MemoryIsAboutEightBytesPerCharPlusText) {
+  std::string s(10000, 'A');
+  for (size_t i = 0; i < s.size(); i += 3) s[i] = 'C';
+  Result<SuffixArray> sa = SuffixArray::Build(Alphabet::Dna(), s);
+  ASSERT_TRUE(sa.ok());
+  double per_char =
+      static_cast<double>(sa->MemoryBytes()) / static_cast<double>(s.size());
+  // 4 (SA) + 4 (LCP) + 1 (text byte codes) = 9, modulo vector slack.
+  EXPECT_GE(per_char, 8.0);
+  EXPECT_LE(per_char, 12.0);
+}
+
+}  // namespace
+}  // namespace spine

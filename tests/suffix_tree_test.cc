@@ -1,0 +1,186 @@
+// Tests for the Ukkonen suffix-tree baseline: construction invariants,
+// search vs the brute-force oracle, and matcher parity with SPINE.
+
+#include "suffix_tree/suffix_tree.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/matcher.h"
+#include "naive/naive_index.h"
+#include "suffix_tree/st_matcher.h"
+
+namespace spine {
+namespace {
+
+SuffixTree Build(std::string_view s) {
+  SuffixTree tree(Alphabet::Dna());
+  Status status = tree.AppendString(s);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return tree;
+}
+
+TEST(SuffixTreeTest, EmptyTree) {
+  SuffixTree tree(Alphabet::Dna());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Contains(""));
+  EXPECT_FALSE(tree.Contains("a"));
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(SuffixTreeTest, RejectsForeignCharacters) {
+  SuffixTree tree(Alphabet::Dna());
+  EXPECT_FALSE(tree.Append('x').ok());
+  EXPECT_EQ(tree.size(), 0u);
+}
+
+TEST(SuffixTreeTest, BasicContains) {
+  SuffixTree tree = Build("ACCACAACA");
+  EXPECT_TRUE(tree.Contains("CCAC"));
+  EXPECT_TRUE(tree.Contains("ACCACAACA"));
+  EXPECT_TRUE(tree.Contains("A"));
+  EXPECT_FALSE(tree.Contains("ACCAA"));
+  EXPECT_FALSE(tree.Contains("G"));
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(SuffixTreeTest, FindAllOnRepeats) {
+  SuffixTree tree = Build("ACACACA");
+  EXPECT_EQ(tree.FindAll("ACA"), (std::vector<uint32_t>{0, 2, 4}));
+  EXPECT_EQ(tree.FindAll("ACACACA"), (std::vector<uint32_t>{0}));
+  EXPECT_TRUE(tree.FindAll("CC").empty());
+}
+
+TEST(SuffixTreeTest, NodeCountBounded) {
+  SuffixTree tree = Build("ACGTACGTACGGTTACA");
+  EXPECT_LE(tree.node_count(), 2 * tree.size() + 1);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(SuffixTreeTest, OnlineConstructionMatchesOracleAtEveryPrefix) {
+  const std::string s = "ACCACAACAGTTGCATCAACCACA";
+  SuffixTree tree(Alphabet::Dna());
+  for (size_t i = 0; i < s.size(); ++i) {
+    ASSERT_TRUE(tree.Append(s[i]).ok());
+    std::string_view prefix(s.data(), i + 1);
+    ASSERT_TRUE(tree.Validate().ok()) << "prefix " << prefix;
+    // Spot-check a few patterns at each step.
+    for (size_t start = 0; start <= i; start += 3) {
+      std::string_view pattern = prefix.substr(start, 4);
+      ASSERT_EQ(tree.FindAll(pattern),
+                naive::FindAllOccurrences(prefix, pattern))
+          << "prefix " << prefix << " pattern " << pattern;
+    }
+  }
+}
+
+struct StCase {
+  uint32_t sigma;
+  uint32_t length;
+  uint64_t seed;
+};
+
+class SuffixTreeOracleTest : public ::testing::TestWithParam<StCase> {};
+
+TEST_P(SuffixTreeOracleTest, FindAllMatchesBruteForce) {
+  const StCase param = GetParam();
+  Rng rng(param.seed);
+  const char* letters = "ACGT";
+  std::string s;
+  for (uint32_t i = 0; i < param.length; ++i) {
+    s.push_back(letters[rng.Below(param.sigma)]);
+  }
+  SuffixTree tree = Build(s);
+  ASSERT_TRUE(tree.Validate().ok());
+  for (uint32_t start = 0; start < param.length; ++start) {
+    for (uint32_t len = 1; start + len <= param.length; ++len) {
+      std::string_view pattern = std::string_view(s).substr(start, len);
+      ASSERT_EQ(tree.FindAll(pattern), naive::FindAllOccurrences(s, pattern))
+          << "string " << s << " pattern " << pattern;
+    }
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string pattern;
+    for (uint32_t i = 0; i < 1 + rng.Below(10); ++i) {
+      pattern.push_back(letters[rng.Below(param.sigma)]);
+    }
+    ASSERT_EQ(tree.Contains(pattern), s.find(pattern) != std::string::npos)
+        << "string " << s << " pattern " << pattern;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStrings, SuffixTreeOracleTest,
+    ::testing::Values(StCase{2, 24, 61}, StCase{2, 64, 62}, StCase{2, 120, 63},
+                      StCase{3, 80, 64}, StCase{4, 100, 65},
+                      StCase{4, 180, 66}),
+    [](const ::testing::TestParamInfo<StCase>& info) {
+      return "sigma" + std::to_string(info.param.sigma) + "_len" +
+             std::to_string(info.param.length) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------------------
+// Matcher parity: suffix-tree streaming matcher == SPINE matcher ==
+// brute force, and ST checks more nodes than SPINE (Table 6's claim).
+// ---------------------------------------------------------------------
+
+TEST(StMatcherTest, MatchesEqualNaiveAndSpine) {
+  Rng rng(88);
+  const char* letters = "ACGT";
+  for (int round = 0; round < 150; ++round) {
+    uint32_t sigma = 2 + static_cast<uint32_t>(rng.Below(3));
+    uint32_t dlen = 8 + static_cast<uint32_t>(rng.Below(120));
+    uint32_t qlen = 4 + static_cast<uint32_t>(rng.Below(100));
+    uint32_t min_len = 1 + static_cast<uint32_t>(rng.Below(4));
+    std::string data, query;
+    for (uint32_t i = 0; i < dlen; ++i)
+      data.push_back(letters[rng.Below(sigma)]);
+    for (uint32_t i = 0; i < qlen; ++i)
+      query.push_back(letters[rng.Below(sigma)]);
+
+    SuffixTree tree = Build(data);
+    SpineIndex index(Alphabet::Dna());
+    ASSERT_TRUE(index.AppendString(data).ok());
+
+    auto st_matches = FindMaximalMatches(tree, query, min_len);
+    auto spine_matches = FindMaximalMatches(index, query, min_len);
+    auto expected = naive::MaximalMatches(data, query, min_len);
+
+    ASSERT_EQ(st_matches.size(), expected.size())
+        << "data=" << data << " query=" << query;
+    for (size_t k = 0; k < expected.size(); ++k) {
+      EXPECT_EQ(st_matches[k].query_pos, expected[k].query_pos);
+      EXPECT_EQ(st_matches[k].length, expected[k].length);
+      EXPECT_EQ(spine_matches[k].query_pos, expected[k].query_pos);
+      EXPECT_EQ(spine_matches[k].length, expected[k].length);
+    }
+  }
+}
+
+TEST(StMatcherTest, OccurrenceExpansionMatchesOracle) {
+  std::string data = "ACACACGTACACACGTAC";
+  std::string query = "CACACGTT";
+  SuffixTree tree = Build(data);
+  auto matches = FindMaximalMatches(tree, query, 3);
+  auto expanded = CollectAllOccurrences(tree, query, matches);
+  ASSERT_EQ(expanded.size(), matches.size());
+  for (const auto& occ : expanded) {
+    std::string sub(query.substr(occ.match.query_pos, occ.match.length));
+    EXPECT_EQ(occ.data_positions, naive::FindAllOccurrences(data, sub)) << sub;
+  }
+}
+
+TEST(StMatcherTest, ForeignQueryCharacters) {
+  SuffixTree tree = Build("ACGTACGT");
+  auto matches = FindMaximalMatches(tree, "ACG?ACGT", 3);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].length, 3u);
+  EXPECT_EQ(matches[1].length, 4u);
+}
+
+}  // namespace
+}  // namespace spine

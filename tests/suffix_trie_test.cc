@@ -1,0 +1,111 @@
+// Tests for the uncompacted suffix trie, including the paper's
+// Figure 1-3 node/edge counts for the running example — a structural
+// fidelity check of the whole compaction story.
+
+#include "trie/suffix_trie.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compact/compact_spine.h"
+#include "core/spine_index.h"
+#include "suffix_tree/suffix_tree.h"
+
+namespace spine {
+namespace {
+
+TEST(SuffixTrieTest, PaperFigure1To3Counts) {
+  const std::string s = "aaccacaaca";
+  Result<SuffixTrie> trie = SuffixTrie::Build(Alphabet::Dna(), s);
+  ASSERT_TRUE(trie.ok());
+
+  // Figure 1: the trie for "aaccacaaca" (counting its nodes by hand
+  // from the suffix set) — 34 non-root nodes = 34 distinct substrings.
+  // Verify against the number of distinct substrings.
+  std::set<std::string> substrings;
+  for (size_t start = 0; start < s.size(); ++start) {
+    for (size_t len = 1; start + len <= s.size(); ++len) {
+      substrings.insert(s.substr(start, len));
+    }
+  }
+  EXPECT_EQ(trie->node_count(), substrings.size() + 1);  // + root
+  EXPECT_EQ(trie->edge_count(), substrings.size());
+
+  // Section 1.1: "the suffix tree has 13 nodes and 16 edges" — our
+  // online tree is implicit (no terminator), so implicit suffixes that
+  // are prefixes of others have no leaf: the explicit node count is
+  // bounded by the paper's 13.
+  SuffixTree tree(Alphabet::Dna());
+  ASSERT_TRUE(tree.AppendString(s).ok());
+  EXPECT_LE(tree.node_count(), 13u);
+
+  // "a SPINE index ... has 11 nodes" (root + one per character).
+  SpineIndex spine(Alphabet::Dna());
+  ASSERT_TRUE(spine.AppendString(s).ok());
+  EXPECT_EQ(spine.size() + 1, 11u);
+
+  // And 26 edges: 10 vertebras + 10 links + ribs + extribs.
+  uint64_t spine_edges =
+      10 + 10 + spine.rib_count() + spine.extrib_count();
+  EXPECT_EQ(spine_edges, 26u);
+}
+
+TEST(SuffixTrieTest, ContainsMatchesDefinition) {
+  Rng rng(4);
+  const char* letters = "ACGT";
+  for (int round = 0; round < 50; ++round) {
+    uint32_t len = 2 + static_cast<uint32_t>(rng.Below(60));
+    std::string s;
+    for (uint32_t i = 0; i < len; ++i) s.push_back(letters[rng.Below(4)]);
+    Result<SuffixTrie> trie = SuffixTrie::Build(Alphabet::Dna(), s);
+    ASSERT_TRUE(trie.ok());
+    for (int trial = 0; trial < 60; ++trial) {
+      std::string pattern;
+      for (uint32_t i = 0; i < 1 + rng.Below(8); ++i) {
+        pattern.push_back(letters[rng.Below(4)]);
+      }
+      ASSERT_EQ(trie->Contains(pattern),
+                s.find(pattern) != std::string::npos)
+          << "s=" << s << " pattern=" << pattern;
+    }
+  }
+}
+
+TEST(SuffixTrieTest, CompactionRatiosOrdering) {
+  // trie nodes >= suffix tree nodes >= SPINE nodes, on any string.
+  Rng rng(6);
+  const char* letters = "ACGT";
+  for (int round = 0; round < 20; ++round) {
+    uint32_t len = 10 + static_cast<uint32_t>(rng.Below(200));
+    std::string s;
+    for (uint32_t i = 0; i < len; ++i) s.push_back(letters[rng.Below(3)]);
+    Result<SuffixTrie> trie = SuffixTrie::Build(Alphabet::Dna(), s);
+    ASSERT_TRUE(trie.ok());
+    SuffixTree tree(Alphabet::Dna());
+    ASSERT_TRUE(tree.AppendString(s).ok());
+    CompactSpineIndex spine(Alphabet::Dna());
+    ASSERT_TRUE(spine.AppendString(s).ok());
+    EXPECT_GE(trie->node_count(), tree.node_count());
+    EXPECT_GE(tree.node_count(), spine.size());  // ST can reach 2n
+    EXPECT_EQ(spine.size(), len);                // SPINE: exactly n
+  }
+}
+
+TEST(SuffixTrieTest, RejectsBadInput) {
+  EXPECT_FALSE(SuffixTrie::Build(Alphabet::Dna(), "ACGX").ok());
+  std::string huge(SuffixTrie::kMaxLength + 1, 'A');
+  EXPECT_FALSE(SuffixTrie::Build(Alphabet::Dna(), huge).ok());
+}
+
+TEST(SuffixTrieTest, EmptyString) {
+  Result<SuffixTrie> trie = SuffixTrie::Build(Alphabet::Dna(), "");
+  ASSERT_TRUE(trie.ok());
+  EXPECT_EQ(trie->node_count(), 1u);
+  EXPECT_TRUE(trie->Contains(""));
+  EXPECT_FALSE(trie->Contains("A"));
+}
+
+}  // namespace
+}  // namespace spine

@@ -1,0 +1,407 @@
+#include "tools/cli.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "align/aligner.h"
+#include "align/approximate.h"
+#include "align/hamming.h"
+#include "common/timer.h"
+#include "compact/compact_spine.h"
+#include "compact/generalized_compact.h"
+#include "compact/serializer.h"
+#include "core/matcher.h"
+#include "seq/fasta.h"
+#include "seq/generator.h"
+
+namespace spine::cli {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: spine_tool <command> [args]\n"
+    "commands:\n"
+    "  build <input.fa> <index.spine> [--alphabet=dna|protein|ascii]\n"
+    "  gbuild <input.fa> <index.spineg> [--alphabet=dna|protein|ascii]\n"
+    "      index EVERY record of a multi-FASTA file together\n"
+    "  gquery <index.spineg> <pattern>\n"
+        "  query <index.spine> <pattern>\n"
+    "  approx <index.spine> <pattern> [--max-edits=K]\n"
+    "  hamming <index.spine> <pattern> [--max-mismatches=K]\n"
+    "  lrs <index.spine>\n"
+    "  stats <index.spine>\n"
+    "  search <index.spine> <query.fa> [--min-len=N]\n"
+    "  align <reference.fa> <query.fa> [--min-anchor=N] [--mum]\n"
+    "  generate <output.fa> [--length=N] [--seed=S] "
+    "[--alphabet=dna|protein]\n";
+
+// Splits args into positionals and --key=value / --flag options.
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+};
+
+ParsedArgs Parse(const std::vector<std::string>& args, size_t skip) {
+  ParsedArgs parsed;
+  for (size_t i = skip; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) == 0) {
+      size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        parsed.options[arg.substr(2)] = "true";
+      } else {
+        parsed.options[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      parsed.positional.push_back(arg);
+    }
+  }
+  return parsed;
+}
+
+std::optional<uint64_t> OptionU64(const ParsedArgs& args,
+                                  const std::string& key) {
+  auto it = args.options.find(key);
+  if (it == args.options.end()) return std::nullopt;
+  char* end = nullptr;
+  uint64_t value = std::strtoull(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str()) return std::nullopt;
+  return value;
+}
+
+Result<Alphabet> AlphabetFromName(const std::string& name) {
+  if (name == "dna") return Alphabet::Dna();
+  if (name == "protein") return Alphabet::Protein();
+  if (name == "ascii") return Alphabet::Ascii();
+  return Status::InvalidArgument("unknown alphabet '" + name +
+                                 "' (use dna, protein or ascii)");
+}
+
+Result<std::string> LoadFirstSequence(const std::string& path,
+                                      std::ostream& out) {
+  Result<std::vector<seq::FastaRecord>> records = seq::ReadFasta(path);
+  if (!records.ok()) return records.status();
+  if (records->empty()) {
+    return Status::InvalidArgument(path + " contains no FASTA records");
+  }
+  if (records->size() > 1) {
+    out << "note: " << path << " has " << records->size()
+        << " records; using the first (" << (*records)[0].id << ")\n";
+  }
+  return std::move((*records)[0].sequence);
+}
+
+int Fail(std::ostream& err, const Status& status) {
+  err << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int CmdBuild(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "build requires <input.fa> <index.spine>\n";
+    return 2;
+  }
+  std::string alphabet_name = "dna";
+  if (auto it = args.options.find("alphabet"); it != args.options.end()) {
+    alphabet_name = it->second;
+  }
+  Result<Alphabet> alphabet = AlphabetFromName(alphabet_name);
+  if (!alphabet.ok()) return Fail(err, alphabet.status());
+  Result<std::string> sequence = LoadFirstSequence(args.positional[0], out);
+  if (!sequence.ok()) return Fail(err, sequence.status());
+
+  WallTimer timer;
+  CompactSpineIndex index(*alphabet);
+  Status status = index.AppendString(*sequence);
+  if (!status.ok()) return Fail(err, status);
+  status = SaveCompactSpine(index, args.positional[1]);
+  if (!status.ok()) return Fail(err, status);
+  out << "indexed " << index.size() << " characters in "
+      << timer.ElapsedSeconds() << " s ("
+      << index.LogicalBytes().BytesPerChar(index.size())
+      << " bytes/char) -> " << args.positional[1] << "\n";
+  return 0;
+}
+
+int CmdGBuild(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "gbuild requires <input.fa> <index.spineg>\n";
+    return 2;
+  }
+  std::string alphabet_name = "dna";
+  if (auto it = args.options.find("alphabet"); it != args.options.end()) {
+    alphabet_name = it->second;
+  }
+  Result<Alphabet> alphabet = AlphabetFromName(alphabet_name);
+  if (!alphabet.ok()) return Fail(err, alphabet.status());
+  Result<std::vector<seq::FastaRecord>> records =
+      seq::ReadFasta(args.positional[0]);
+  if (!records.ok()) return Fail(err, records.status());
+  if (records->empty()) {
+    return Fail(err, Status::InvalidArgument(args.positional[0] +
+                                             " contains no FASTA records"));
+  }
+  WallTimer timer;
+  GeneralizedCompactSpine index(*alphabet);
+  for (seq::FastaRecord& record : *records) {
+    Status status = index.AddString(record.sequence, record.id);
+    if (!status.ok()) {
+      return Fail(err, Status::InvalidArgument("record " + record.id + ": " +
+                                               status.ToString()));
+    }
+  }
+  Status status = index.Save(args.positional[1]);
+  if (!status.ok()) return Fail(err, status);
+  out << "indexed " << index.string_count() << " records ("
+      << index.total_characters() << " characters incl. separators) in "
+      << timer.ElapsedSeconds() << " s -> " << args.positional[1] << "\n";
+  return 0;
+}
+
+int CmdGQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "gquery requires <index.spineg> <pattern>\n";
+    return 2;
+  }
+  Result<GeneralizedCompactSpine> index =
+      GeneralizedCompactSpine::Load(args.positional[0]);
+  if (!index.ok()) return Fail(err, index.status());
+  auto hits = index->FindAll(args.positional[1]);
+  out << hits.size() << " occurrence(s)\n";
+  for (const auto& hit : hits) {
+    out << "  " << index->StringName(hit.string_id) << " @ " << hit.offset
+        << "\n";
+  }
+  return 0;
+}
+
+int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "query requires <index.spine> <pattern>\n";
+    return 2;
+  }
+  Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
+  if (!index.ok()) return Fail(err, index.status());
+  std::vector<uint32_t> positions = index->FindAll(args.positional[1]);
+  out << positions.size() << " occurrence(s)";
+  for (uint32_t pos : positions) out << " " << pos;
+  out << "\n";
+  return 0;
+}
+
+int CmdApprox(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "approx requires <index.spine> <pattern>\n";
+    return 2;
+  }
+  Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
+  if (!index.ok()) return Fail(err, index.status());
+  const std::string& pattern = args.positional[1];
+  uint32_t max_edits =
+      static_cast<uint32_t>(OptionU64(args, "max-edits").value_or(1));
+  if (max_edits >= pattern.size()) {
+    return Fail(err, Status::InvalidArgument(
+                         "max-edits must be smaller than the pattern"));
+  }
+  auto hits = align::FindApproximate(*index, pattern, max_edits);
+  out << hits.size() << " hit(s) within " << max_edits << " edit(s)\n";
+  for (const auto& hit : hits) {
+    out << "  pos " << hit.data_pos << " len " << hit.length << " edits "
+        << hit.edits << "\n";
+  }
+  return 0;
+}
+
+int CmdHamming(const ParsedArgs& args, std::ostream& out,
+               std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "hamming requires <index.spine> <pattern>\n";
+    return 2;
+  }
+  Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
+  if (!index.ok()) return Fail(err, index.status());
+  const std::string& pattern = args.positional[1];
+  uint32_t max_mm =
+      static_cast<uint32_t>(OptionU64(args, "max-mismatches").value_or(1));
+  auto hits = align::FindHammingMatches(*index, pattern, max_mm);
+  out << hits.size() << " hit(s) within " << max_mm << " mismatch(es)\n";
+  for (const auto& hit : hits) {
+    out << "  pos " << hit.data_pos << " mismatches " << hit.mismatches
+        << "\n";
+  }
+  return 0;
+}
+
+int CmdLrs(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "lrs requires <index.spine>\n";
+    return 2;
+  }
+  Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
+  if (!index.ok()) return Fail(err, index.status());
+  RepeatedSubstring lrs = LongestRepeatedSubstring(*index);
+  out << "longest repeated substring: length " << lrs.length;
+  if (lrs.length > 0) {
+    std::string repeated;
+    for (uint32_t i = lrs.first_end - lrs.length; i < lrs.first_end; ++i) {
+      repeated.push_back(index->CharAt(i));
+    }
+    out << " \"" << (repeated.size() <= 60 ? repeated
+                                            : repeated.substr(0, 60) + "...")
+        << "\" first ending at " << lrs.first_end;
+  }
+  out << "\n";
+  return 0;
+}
+
+int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "stats requires <index.spine>\n";
+    return 2;
+  }
+  Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
+  if (!index.ok()) return Fail(err, index.status());
+  auto breakdown = index->LogicalBytes();
+  auto fanouts = index->FanoutCountsWithExtribs();
+  out << "alphabet        : " << index->alphabet().name() << "\n"
+      << "characters      : " << index->size() << "\n"
+      << "max LEL/PT/PRT  : " << index->max_lel() << " / " << index->max_pt()
+      << " / " << index->max_prt() << "\n"
+      << "extribs         : " << index->extrib_count() << "\n"
+      << "bytes per char  : " << breakdown.BytesPerChar(index->size()) << "\n"
+      << "fan-out 1..4+   :";
+  for (int k = 0; k < 6; ++k) out << " " << fanouts[k];
+  out << "\n";
+  return 0;
+}
+
+int CmdSearch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "search requires <index.spine> <query.fa>\n";
+    return 2;
+  }
+  Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
+  if (!index.ok()) return Fail(err, index.status());
+  Result<std::string> query = LoadFirstSequence(args.positional[1], out);
+  if (!query.ok()) return Fail(err, query.status());
+  uint32_t min_len =
+      static_cast<uint32_t>(OptionU64(args, "min-len").value_or(20));
+  if (min_len == 0) min_len = 1;
+
+  WallTimer timer;
+  SearchStats stats;
+  auto matches = GenericFindMaximalMatches(*index, *query, min_len, &stats);
+  auto expanded = GenericCollectAllOccurrences(*index, matches);
+  out << matches.size() << " maximal match(es) >= " << min_len
+      << " chars in " << timer.ElapsedSeconds() << " s ("
+      << stats.nodes_checked << " nodes checked)\n";
+  for (const auto& occ : expanded) {
+    out << "query[" << occ.match.query_pos << ".."
+        << occ.match.query_pos + occ.match.length << ") len "
+        << occ.match.length << " at";
+    for (size_t i = 0; i < occ.data_positions.size() && i < 16; ++i) {
+      out << " " << occ.data_positions[i];
+    }
+    if (occ.data_positions.size() > 16) {
+      out << " (+" << occ.data_positions.size() - 16 << " more)";
+    }
+    out << "\n";
+  }
+  return 0;
+}
+
+int CmdAlign(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "align requires <reference.fa> <query.fa>\n";
+    return 2;
+  }
+  Result<std::string> reference = LoadFirstSequence(args.positional[0], out);
+  if (!reference.ok()) return Fail(err, reference.status());
+  Result<std::string> query = LoadFirstSequence(args.positional[1], out);
+  if (!query.ok()) return Fail(err, query.status());
+
+  align::AlignOptions options;
+  options.min_anchor_len =
+      static_cast<uint32_t>(OptionU64(args, "min-anchor").value_or(20));
+  options.unique_anchors_only = args.options.count("mum") > 0;
+
+  WallTimer timer;
+  Result<align::AlignmentResult> result =
+      align::AlignSequences(*reference, *query, options);
+  if (!result.ok()) return Fail(err, result.status());
+  out << "aligned in " << timer.ElapsedSeconds() << " s\n"
+      << "anchors   : " << result->chain.anchors.size() << "\n"
+      << "anchored  : " << result->anchored_bases << " bases\n"
+      << "gap edits : " << result->gap_edits << "\n"
+      << "coverage  : " << result->QueryCoverage(query->size()) * 100.0
+      << "%\n"
+      << "identity  : " << result->Identity() * 100.0 << "%\n";
+  return 0;
+}
+
+int CmdGenerate(const ParsedArgs& args, std::ostream& out,
+                std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "generate requires <output.fa>\n";
+    return 2;
+  }
+  std::string alphabet_name = "dna";
+  if (auto it = args.options.find("alphabet"); it != args.options.end()) {
+    alphabet_name = it->second;
+  }
+  Result<Alphabet> alphabet = AlphabetFromName(alphabet_name);
+  if (!alphabet.ok()) return Fail(err, alphabet.status());
+  if (alphabet->kind() != Alphabet::Kind::kDna &&
+      alphabet->kind() != Alphabet::Kind::kProtein) {
+    return Fail(err, Status::InvalidArgument(
+                         "generate supports dna or protein alphabets"));
+  }
+  seq::GeneratorOptions options;
+  options.length = OptionU64(args, "length").value_or(1'000'000);
+  options.seed = OptionU64(args, "seed").value_or(1);
+  std::string sequence = seq::GenerateSequence(*alphabet, options);
+  seq::FastaRecord record;
+  record.id = "synthetic";
+  record.comment = "spine_tool generate length=" +
+                   std::to_string(options.length) +
+                   " seed=" + std::to_string(options.seed);
+  record.sequence = std::move(sequence);
+  Status status = seq::WriteFasta(args.positional[0], {record});
+  if (!status.ok()) return Fail(err, status);
+  out << "wrote " << options.length << " " << alphabet->name()
+      << " characters to " << args.positional[0] << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int Run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty()) {
+    err << kUsage;
+    return 2;
+  }
+  const std::string& command = args[0];
+  ParsedArgs parsed = Parse(args, 1);
+  if (command == "build") return CmdBuild(parsed, out, err);
+  if (command == "gbuild") return CmdGBuild(parsed, out, err);
+  if (command == "gquery") return CmdGQuery(parsed, out, err);
+  if (command == "query") return CmdQuery(parsed, out, err);
+  if (command == "approx") return CmdApprox(parsed, out, err);
+  if (command == "hamming") return CmdHamming(parsed, out, err);
+  if (command == "lrs") return CmdLrs(parsed, out, err);
+  if (command == "stats") return CmdStats(parsed, out, err);
+  if (command == "search") return CmdSearch(parsed, out, err);
+  if (command == "align") return CmdAlign(parsed, out, err);
+  if (command == "generate") return CmdGenerate(parsed, out, err);
+  if (command == "help" || command == "--help") {
+    out << kUsage;
+    return 0;
+  }
+  err << "unknown command '" << command << "'\n" << kUsage;
+  return 2;
+}
+
+}  // namespace spine::cli

@@ -1,0 +1,45 @@
+// spine_tool command-line interface, factored into a library so the
+// command implementations are unit-testable without spawning processes.
+//
+// Subcommands:
+//   build <input.fa> <index.spine> [--alphabet=dna|protein|ascii]
+//       Build a compact SPINE index from the first FASTA record.
+//   gbuild <input.fa> <index.spineg> [--alphabet=...]
+//       Index every record of a multi-FASTA file into one generalized
+//       index (hits report record id + offset).
+//   query <index.spine> <pattern>
+//       Print all start positions of an exact pattern.
+//   gquery <index.spineg> <pattern>
+//       Like query, over a generalized index.
+//   approx <index.spine> <pattern> [--max-edits=K]
+//       Approximate (edit-distance) search via seed-and-extend.
+//   hamming <index.spine> <pattern> [--max-mismatches=K]
+//       k-mismatch search via threshold-checked DFS on the index.
+//   lrs <index.spine>
+//       Longest repeated substring (max LEL over the backbone).
+//   stats <index.spine>
+//       Structure statistics: size, label maxima, fan-outs, bytes/char.
+//   search <index.spine> <query.fa> [--min-len=N]
+//       All maximal matching substrings of the query vs the index.
+//   align <reference.fa> <query.fa> [--min-anchor=N] [--mum]
+//       Anchor-chain alignment; prints coverage/identity.
+//   generate <output.fa> [--length=N] [--seed=S] [--alphabet=dna|protein]
+//       Write a synthetic repeat-rich sequence.
+
+#ifndef SPINE_TOOLS_CLI_H_
+#define SPINE_TOOLS_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spine::cli {
+
+// Runs one invocation; `args` excludes the program name. Returns the
+// process exit code (0 on success). All output goes to the streams.
+int Run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace spine::cli
+
+#endif  // SPINE_TOOLS_CLI_H_

@@ -1,0 +1,132 @@
+// spine_fuzz: time-bounded randomized cross-validation harness.
+//
+// Repeatedly generates random strings (biased toward small alphabets,
+// which maximize rib/extrib density), builds the reference and compact
+// SPINE indexes plus the suffix-tree and DAWG baselines, and checks
+// LEL values, all-occurrence sets and maximal matches against the
+// brute-force oracle. Exits non-zero on the first divergence, printing
+// a reproducer.
+//
+//   $ ./tools/spine_fuzz [seconds] [seed]
+//
+// This is the harness that found the paper's extrib PRT ambiguity
+// (DESIGN.md §5); it runs for 2 seconds in CI.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "compact/compact_spine.h"
+#include "core/matcher.h"
+#include "core/spine_index.h"
+#include "dawg/suffix_automaton.h"
+#include "naive/naive_index.h"
+#include "suffix_tree/st_matcher.h"
+#include "suffix_tree/suffix_tree.h"
+
+namespace {
+
+int Fail(const std::string& what, const std::string& s,
+         const std::string& pattern) {
+  std::fprintf(stderr, "FUZZ FAILURE: %s\n  string : %s\n  pattern: %s\n",
+               what.c_str(), s.c_str(), pattern.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace spine;
+  double budget_seconds = argc > 1 ? std::atof(argv[1]) : 2.0;
+  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20260706;
+  if (budget_seconds <= 0) budget_seconds = 2.0;
+
+  Rng rng(seed);
+  const char* letters = "ACGT";
+  WallTimer timer;
+  uint64_t rounds = 0, checks = 0;
+
+  while (timer.ElapsedSeconds() < budget_seconds) {
+    ++rounds;
+    uint32_t sigma = 2 + static_cast<uint32_t>(rng.Below(3));
+    uint32_t length = 2 + static_cast<uint32_t>(rng.Below(160));
+    std::string s;
+    for (uint32_t i = 0; i < length; ++i) {
+      s.push_back(letters[rng.Below(sigma)]);
+    }
+
+    SpineIndex reference(Alphabet::Dna());
+    CompactSpineIndex compact(Alphabet::Dna());
+    SuffixTree tree(Alphabet::Dna());
+    SuffixAutomaton dawg(Alphabet::Dna());
+    if (!reference.AppendString(s).ok() || !compact.AppendString(s).ok() ||
+        !tree.AppendString(s).ok() || !dawg.AppendString(s).ok()) {
+      return Fail("append failed", s, "");
+    }
+    if (!reference.Validate().ok() || !compact.Validate().ok() ||
+        !tree.Validate().ok() || !dawg.Validate().ok()) {
+      return Fail("validation failed", s, "");
+    }
+
+    // LEL oracle.
+    for (uint32_t i = 1; i <= length; ++i) {
+      ++checks;
+      uint32_t expected = naive::LongestEarlierSuffix(s, i);
+      if (reference.LinkLel(i) != expected || compact.LinkLel(i) != expected) {
+        return Fail("LEL mismatch at node " + std::to_string(i), s, "");
+      }
+    }
+
+    // Occurrence sets across implementations.
+    for (int trial = 0; trial < 30; ++trial) {
+      ++checks;
+      std::string pattern;
+      if (trial % 2 == 0) {
+        uint32_t start = static_cast<uint32_t>(rng.Below(length));
+        pattern = s.substr(start, 1 + rng.Below(10));
+      } else {
+        for (uint32_t i = 0; i < 1 + rng.Below(8); ++i) {
+          pattern.push_back(letters[rng.Below(sigma)]);
+        }
+      }
+      auto expected = naive::FindAllOccurrences(s, pattern);
+      if (reference.FindAll(pattern) != expected ||
+          compact.FindAll(pattern) != expected ||
+          tree.FindAll(pattern) != expected ||
+          dawg.FindAll(pattern) != expected) {
+        return Fail("occurrence mismatch", s, pattern);
+      }
+    }
+
+    // Maximal matches: SPINE vs suffix tree vs oracle.
+    std::string query;
+    uint32_t query_len = 1 + static_cast<uint32_t>(rng.Below(100));
+    for (uint32_t i = 0; i < query_len; ++i) {
+      query.push_back(letters[rng.Below(sigma)]);
+    }
+    ++checks;
+    auto expected = naive::MaximalMatches(s, query, 2);
+    auto spine_matches = GenericFindMaximalMatches(compact, query, 2);
+    auto st_matches = GenericStFindMaximalMatches(tree, query, 2, nullptr);
+    if (spine_matches.size() != expected.size() ||
+        st_matches.size() != expected.size()) {
+      return Fail("maximal match count mismatch", s, query);
+    }
+    for (size_t k = 0; k < expected.size(); ++k) {
+      if (spine_matches[k].query_pos != expected[k].query_pos ||
+          spine_matches[k].length != expected[k].length ||
+          st_matches[k].query_pos != expected[k].query_pos ||
+          st_matches[k].length != expected[k].length) {
+        return Fail("maximal match content mismatch", s, query);
+      }
+    }
+  }
+
+  std::printf("fuzz OK: %llu rounds, %llu checks in %.1f s (seed %llu)\n",
+              static_cast<unsigned long long>(rounds),
+              static_cast<unsigned long long>(checks),
+              timer.ElapsedSeconds(), static_cast<unsigned long long>(seed));
+  return 0;
+}

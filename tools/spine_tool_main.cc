@@ -1,0 +1,12 @@
+// spine_tool: command-line front end for the SPINE library.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return spine::cli::Run(args, std::cout, std::cerr);
+}
