@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "core/search.h"
 
 namespace spine {
 
@@ -348,37 +349,12 @@ bool CompactSpineIndex::Contains(std::string_view pattern) const {
 
 std::optional<NodeId> CompactSpineIndex::FindFirstEnd(
     std::string_view pattern, SearchStats* stats) const {
-  NodeId node = kRootNode;
-  uint32_t pathlen = 0;
-  for (char ch : pattern) {
-    Code c = alphabet_.Encode(ch);
-    if (c == kInvalidCode) return std::nullopt;
-    StepResult step = Step(node, c, pathlen, stats);
-    if (!step.ok) return std::nullopt;
-    node = step.dest;
-    ++pathlen;
-  }
-  return node;
+  return GenericFindFirstEnd(*this, pattern, stats);
 }
 
 std::vector<uint32_t> CompactSpineIndex::FindAll(std::string_view pattern,
                                                  SearchStats* stats) const {
-  std::vector<uint32_t> starts;
-  if (pattern.empty()) return starts;
-  std::optional<NodeId> first = FindFirstEnd(pattern, stats);
-  if (!first.has_value()) return starts;
-  const uint32_t m = static_cast<uint32_t>(pattern.size());
-  std::vector<NodeId> buffer = {*first};
-  const NodeId n = static_cast<NodeId>(size());
-  for (NodeId j = *first + 1; j <= n; ++j) {
-    if (LinkLel(j) < m) continue;
-    if (std::binary_search(buffer.begin(), buffer.end(), LinkDest(j))) {
-      buffer.push_back(j);
-    }
-  }
-  starts.reserve(buffer.size());
-  for (NodeId end : buffer) starts.push_back(end - m);
-  return starts;
+  return GenericFindAll(*this, pattern, stats);
 }
 
 uint64_t CompactSpineIndex::MemoryBreakdown::Total() const {

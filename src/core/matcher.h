@@ -117,19 +117,21 @@ template <typename Index>
 std::vector<uint32_t> GenericMatchingStatistics(const Index& index,
                                                 std::string_view query,
                                                 SearchStats* stats = nullptr) {
-  // Derived from the maximal matches: between reported match ends the
-  // statistic decays by one per step, because ms[q] >= ms[q-1] - 1 and
-  // any strict improvement would itself end a maximal match.
+  // Derived from the maximal matches via the O(n) decay rule. Each
+  // maximal match is uniquely identified by its query start (two
+  // right-maximal matches sharing a start would make the shorter one
+  // extendable), so seeding ms[start] = length and sweeping
+  // ms[q] = max(ms[q], ms[q-1] - 1) left-to-right computes
+  // max over covering matches of (match_end - q) in one pass — the
+  // per-match inner loop this replaces was quadratic on highly
+  // repetitive queries where long matches overlap densely.
   std::vector<uint32_t> ms(query.size(), 0);
-  auto matches = GenericFindMaximalMatches(index, query, 1, stats);
-  for (const MaximalMatch& match : matches) {
-    // match covers query[match.query_pos .. +length); every suffix
-    // start inside it sees at least the remaining length.
-    for (uint32_t q = match.query_pos;
-         q < match.query_pos + match.length; ++q) {
-      uint32_t remaining = match.query_pos + match.length - q;
-      if (remaining > ms[q]) ms[q] = remaining;
-    }
+  for (const MaximalMatch& match :
+       GenericFindMaximalMatches(index, query, 1, stats)) {
+    ms[match.query_pos] = match.length;
+  }
+  for (size_t q = 1; q < ms.size(); ++q) {
+    if (ms[q - 1] > 1 && ms[q - 1] - 1 > ms[q]) ms[q] = ms[q - 1] - 1;
   }
   return ms;
 }

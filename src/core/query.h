@@ -1,0 +1,153 @@
+// The unified, backend-agnostic query API.
+//
+// Every search entry point in the system — the batch QueryEngine, the
+// CLI subcommands, benches — speaks these three value types instead of
+// per-algorithm ad-hoc shapes (std::vector<uint32_t> position lists,
+// MatchOccurrences, raw matching-statistics vectors):
+//
+//   Query        what to ask: a kind, a pattern, and kind parameters;
+//   Hit          one occurrence: (data position, length, query offset);
+//   QueryResult  the answer: hits / matching statistics + work counters.
+//
+// ExecuteQuery dispatches a Query against any backend satisfying the
+// Index concept of core/search.h (reference SpineIndex,
+// CompactSpineIndex, storage::DiskSpine, ...), so there is exactly one
+// implementation of each search algorithm across all backends.
+
+#ifndef SPINE_CORE_QUERY_H_
+#define SPINE_CORE_QUERY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/matcher.h"
+#include "core/search.h"
+
+namespace spine {
+
+enum class QueryKind : uint8_t {
+  kContains = 0,        // does the pattern occur at all?
+  kFindAll = 1,         // all start positions of an exact pattern
+  kMaximalMatches = 2,  // maximal matching substrings >= min_len
+  kMatchingStats = 3,   // Chang-Lawler matching statistics
+};
+
+constexpr std::string_view QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kContains: return "contains";
+    case QueryKind::kFindAll: return "findall";
+    case QueryKind::kMaximalMatches: return "match";
+    case QueryKind::kMatchingStats: return "ms";
+  }
+  return "unknown";
+}
+
+struct Query {
+  QueryKind kind = QueryKind::kFindAll;
+  std::string pattern;
+  // kMaximalMatches: minimum reported match length (>= 1).
+  uint32_t min_len = 1;
+  // kMaximalMatches: report every data-string occurrence of every match
+  // (the paper's deferred backbone scan) instead of first occurrences.
+  bool expand_occurrences = false;
+
+  static Query Contains(std::string pattern) {
+    return {QueryKind::kContains, std::move(pattern), 1, false};
+  }
+  static Query FindAll(std::string pattern) {
+    return {QueryKind::kFindAll, std::move(pattern), 1, false};
+  }
+  static Query MaximalMatches(std::string pattern, uint32_t min_len,
+                              bool expand_occurrences = false) {
+    return {QueryKind::kMaximalMatches, std::move(pattern),
+            std::max<uint32_t>(min_len, 1), expand_occurrences};
+  }
+  static Query MatchingStats(std::string pattern) {
+    return {QueryKind::kMatchingStats, std::move(pattern), 1, false};
+  }
+
+  bool operator==(const Query&) const = default;
+};
+
+// One occurrence of a pattern (or maximal match) in the data string.
+struct Hit {
+  uint32_t pos = 0;        // start offset in the data string
+  uint32_t length = 0;     // matched length
+  uint32_t query_pos = 0;  // start offset in the query (maximal matches)
+
+  bool operator==(const Hit&) const = default;
+};
+
+struct QueryResult {
+  bool found = false;
+  std::vector<Hit> hits;                 // kFindAll / kMaximalMatches
+  std::vector<uint32_t> matching_stats;  // kMatchingStats
+  SearchStats stats;                     // work done answering this query
+
+  // Payload equality, ignoring the work counters (which legitimately
+  // differ between backends and between cached and executed answers).
+  bool SameAnswer(const QueryResult& o) const {
+    return found == o.found && hits == o.hits &&
+           matching_stats == o.matching_stats;
+  }
+};
+
+// Answers one query against any backend satisfying the Index concept.
+// Deterministic: the same (index contents, query) pair always produces
+// the same QueryResult payload, on any thread.
+template <typename Index>
+QueryResult ExecuteQuery(const Index& index, const Query& query) {
+  QueryResult result;
+  switch (query.kind) {
+    case QueryKind::kContains:
+      result.found =
+          GenericFindFirstEnd(index, query.pattern, &result.stats).has_value();
+      break;
+    case QueryKind::kFindAll: {
+      std::vector<uint32_t> starts =
+          GenericFindAll(index, query.pattern, &result.stats);
+      const uint32_t m = static_cast<uint32_t>(query.pattern.size());
+      result.hits.reserve(starts.size());
+      for (uint32_t pos : starts) result.hits.push_back({pos, m, 0});
+      result.found = !result.hits.empty();
+      break;
+    }
+    case QueryKind::kMaximalMatches: {
+      const uint32_t min_len = std::max<uint32_t>(query.min_len, 1);
+      std::vector<MaximalMatch> matches = GenericFindMaximalMatches(
+          index, query.pattern, min_len, &result.stats);
+      if (query.expand_occurrences) {
+        for (const MatchOccurrences& occ :
+             GenericCollectAllOccurrences(index, matches)) {
+          for (uint32_t pos : occ.data_positions) {
+            result.hits.push_back({pos, occ.match.length, occ.match.query_pos});
+          }
+        }
+      } else {
+        result.hits.reserve(matches.size());
+        for (const MaximalMatch& match : matches) {
+          result.hits.push_back(
+              {match.first_end - match.length, match.length, match.query_pos});
+        }
+      }
+      result.found = !result.hits.empty();
+      break;
+    }
+    case QueryKind::kMatchingStats: {
+      result.matching_stats =
+          GenericMatchingStatistics(index, query.pattern, &result.stats);
+      result.found = std::any_of(result.matching_stats.begin(),
+                                 result.matching_stats.end(),
+                                 [](uint32_t v) { return v > 0; });
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace spine
+
+#endif  // SPINE_CORE_QUERY_H_

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "core/search.h"
 
 namespace spine {
 
@@ -190,40 +191,12 @@ bool SpineIndex::Contains(std::string_view pattern) const {
 
 std::optional<NodeId> SpineIndex::FindFirstEnd(std::string_view pattern,
                                                SearchStats* stats) const {
-  NodeId node = kRootNode;
-  uint32_t pathlen = 0;
-  for (char ch : pattern) {
-    Code c = alphabet_.Encode(ch);
-    if (c == kInvalidCode) return std::nullopt;
-    StepResult step = Step(node, c, pathlen, stats);
-    if (!step.ok) return std::nullopt;
-    node = step.dest;
-    ++pathlen;
-  }
-  return node;
+  return GenericFindFirstEnd(*this, pattern, stats);
 }
 
 std::vector<uint32_t> SpineIndex::FindAll(std::string_view pattern,
                                           SearchStats* stats) const {
-  std::vector<uint32_t> starts;
-  if (pattern.empty()) return starts;
-  std::optional<NodeId> first = FindFirstEnd(pattern, stats);
-  if (!first.has_value()) return starts;
-  const uint32_t m = static_cast<uint32_t>(pattern.size());
-
-  // Target node buffer scan (Section 4): node j ends another occurrence
-  // iff its link points at a known occurrence end with LEL >= m.
-  std::vector<NodeId> buffer = {*first};
-  const NodeId n = static_cast<NodeId>(size());
-  for (NodeId j = *first + 1; j <= n; ++j) {
-    if (link_lel_[j] < m) continue;
-    if (std::binary_search(buffer.begin(), buffer.end(), link_dest_[j])) {
-      buffer.push_back(j);  // node ids arrive in increasing order
-    }
-  }
-  starts.reserve(buffer.size());
-  for (NodeId end : buffer) starts.push_back(end - m);
-  return starts;
+  return GenericFindAll(*this, pattern, stats);
 }
 
 Status SpineIndex::Validate() const {

@@ -1,0 +1,96 @@
+#include "engine/query_cache.h"
+
+#include <utility>
+
+namespace spine::engine {
+
+QueryCache::QueryCache(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+std::string QueryCache::Key(uint64_t backend_id, const Query& query) {
+  std::string key;
+  key.reserve(query.pattern.size() + 24);
+  key += std::to_string(backend_id);
+  key += '|';
+  key += std::to_string(static_cast<unsigned>(query.kind));
+  key += '|';
+  key += std::to_string(query.min_len);
+  key += '|';
+  key += query.expand_occurrences ? '1' : '0';
+  key += '|';
+  key += query.pattern;  // last field, so embedded '|' is unambiguous
+  return key;
+}
+
+uint64_t QueryCache::EntryBytes(const std::string& key,
+                                const QueryResult& r) {
+  // Payload plus a flat estimate of node/map bookkeeping.
+  constexpr uint64_t kOverhead = 96;
+  return kOverhead + key.size() + r.hits.size() * sizeof(Hit) +
+         r.matching_stats.size() * sizeof(uint32_t);
+}
+
+std::optional<QueryResult> QueryCache::Get(const std::string& key) {
+  if (!enabled()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++counters_.hits;
+  return it->second->result;
+}
+
+void QueryCache::Put(const std::string& key, const QueryResult& result) {
+  if (!enabled()) return;
+  const uint64_t bytes = EntryBytes(key, result);
+  if (bytes > capacity_) return;  // would evict everything for one entry
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Another thread answered the same query first; refresh the entry
+    // (answers are deterministic, so the payloads match).
+    size_ -= it->second->bytes;
+    it->second->result = result;
+    it->second->bytes = bytes;
+    size_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, result, bytes});
+    index_[key] = lru_.begin();
+    size_ += bytes;
+    ++counters_.insertions;
+  }
+  while (size_ > capacity_) {
+    Entry& victim = lru_.back();
+    size_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+void QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  size_ = 0;
+}
+
+QueryCache::Counters QueryCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+uint64_t QueryCache::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+uint64_t QueryCache::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace spine::engine

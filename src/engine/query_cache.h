@@ -1,0 +1,76 @@
+// Thread-safe LRU cache of QueryResults, keyed on
+// (backend id, query kind, kind parameters, pattern).
+//
+// The engine consults it before touching a backend: skewed query
+// workloads (hot patterns, retried requests) short-circuit to a stored
+// answer. Capacity is a byte budget; insertion evicts from the
+// least-recently-used end until the budget holds. A capacity of zero
+// disables the cache entirely (Get always misses, Put is a no-op).
+//
+// Stored answers carry the SearchStats of the execution that produced
+// them; batch-level work accounting only counts executed (missed)
+// queries, so cached stats are informational.
+
+#ifndef SPINE_ENGINE_QUERY_CACHE_H_
+#define SPINE_ENGINE_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/query.h"
+
+namespace spine::engine {
+
+class QueryCache {
+ public:
+  explicit QueryCache(uint64_t capacity_bytes);
+
+  // Canonical cache key. backend_id namespaces entries per logical
+  // index; callers must use distinct ids for indexes with different
+  // contents sharing one cache.
+  static std::string Key(uint64_t backend_id, const Query& query);
+
+  bool enabled() const { return capacity_ > 0; }
+
+  // Returns a copy of the stored answer and refreshes its recency.
+  std::optional<QueryResult> Get(const std::string& key);
+  void Put(const std::string& key, const QueryResult& result);
+  void Clear();
+
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+  Counters counters() const;
+
+  uint64_t capacity_bytes() const { return capacity_; }
+  uint64_t size_bytes() const;
+  uint64_t entry_count() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    QueryResult result;
+    uint64_t bytes = 0;
+  };
+
+  static uint64_t EntryBytes(const std::string& key, const QueryResult& r);
+
+  const uint64_t capacity_;
+  mutable std::mutex mu_;
+  // Front = most recently used. The map indexes into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  uint64_t size_ = 0;
+  Counters counters_;
+};
+
+}  // namespace spine::engine
+
+#endif  // SPINE_ENGINE_QUERY_CACHE_H_

@@ -1,0 +1,10 @@
+#include "engine/query_engine.h"
+
+namespace spine::engine {
+
+QueryEngine::QueryEngine() : QueryEngine(Options{}) {}
+
+QueryEngine::QueryEngine(const Options& options)
+    : pool_(options.threads), cache_(options.cache_bytes) {}
+
+}  // namespace spine::engine

@@ -1,0 +1,174 @@
+// Concurrent batch query engine over any SPINE backend.
+//
+// A batch of heterogeneous Queries (core/query.h) is sharded across the
+// work-stealing pool; results come back in input order, byte-identical
+// to sequential execution at any thread count (every algorithm in
+// core/search.h / core/matcher.h is deterministic, and each query writes
+// only its own result slot). SearchStats are aggregated per worker
+// thread without locks and merged at the end.
+//
+// Backends whose const reads are NOT safe to run concurrently — only
+// storage::DiskSpine today, because its reads go through a shared buffer
+// pool — are serialized through one mutex, selected at compile time via
+// the kConcurrentSafeReads trait. The batch still benefits from cache
+// hits and from overlapping with other backends.
+//
+// The optional LRU result cache (engine/query_cache.h) is keyed per
+// (backend_id, query); callers hand each logical index a distinct id.
+
+#ifndef SPINE_ENGINE_QUERY_ENGINE_H_
+#define SPINE_ENGINE_QUERY_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "engine/query_cache.h"
+#include "engine/thread_pool.h"
+
+namespace spine::storage {
+class DiskSpine;
+}  // namespace spine::storage
+
+namespace spine::engine {
+
+// True when the backend's const search methods may run on many threads
+// at once (see "Thread safety" notes in each backend header).
+template <typename Index>
+inline constexpr bool kConcurrentSafeReads = true;
+template <>
+inline constexpr bool kConcurrentSafeReads<storage::DiskSpine> = false;
+
+struct BatchStats {
+  uint64_t queries = 0;
+  uint64_t executed = 0;    // answered by the backend (cache misses)
+  uint64_t cache_hits = 0;  // answered from the result cache
+  SearchStats search;       // total backend work, summed over workers
+  std::vector<SearchStats> per_thread;  // one slot per pool worker
+};
+
+class QueryEngine {
+ public:
+  struct Options {
+    uint32_t threads = 0;      // 0 → hardware concurrency
+    uint64_t cache_bytes = 0;  // 0 → result cache disabled
+  };
+
+  QueryEngine();  // default Options
+  explicit QueryEngine(const Options& options);
+
+  uint32_t thread_count() const { return pool_.thread_count(); }
+  QueryCache& cache() { return cache_; }
+  const QueryCache& cache() const { return cache_; }
+  ThreadPool& pool() { return pool_; }
+
+  // Executes every query in `queries` against `index` and returns the
+  // answers in input order. Thread-safe: concurrent batches (against the
+  // same or different backends) share the pool and cache.
+  template <typename Index>
+  std::vector<QueryResult> ExecuteBatch(const Index& index,
+                                        const std::vector<Query>& queries,
+                                        uint64_t backend_id = 0,
+                                        BatchStats* stats = nullptr);
+
+ private:
+  template <typename Index>
+  QueryResult AnswerOne(const Index& index, const Query& query,
+                        uint64_t backend_id, std::mutex* backend_mu,
+                        bool* cache_hit);
+
+  ThreadPool pool_;
+  QueryCache cache_;
+};
+
+template <typename Index>
+QueryResult QueryEngine::AnswerOne(const Index& index, const Query& query,
+                                   uint64_t backend_id,
+                                   std::mutex* backend_mu, bool* cache_hit) {
+  *cache_hit = false;
+  std::string key;
+  if (cache_.enabled()) {
+    key = QueryCache::Key(backend_id, query);
+    if (std::optional<QueryResult> cached = cache_.Get(key)) {
+      *cache_hit = true;
+      return *std::move(cached);
+    }
+  }
+  QueryResult result;
+  if (backend_mu != nullptr) {
+    std::lock_guard<std::mutex> lock(*backend_mu);
+    result = ExecuteQuery(index, query);
+  } else {
+    result = ExecuteQuery(index, query);
+  }
+  if (cache_.enabled()) cache_.Put(key, result);
+  return result;
+}
+
+template <typename Index>
+std::vector<QueryResult> QueryEngine::ExecuteBatch(
+    const Index& index, const std::vector<Query>& queries,
+    uint64_t backend_id, BatchStats* stats) {
+  const size_t n = queries.size();
+  const uint32_t thread_count = pool_.thread_count();
+  std::vector<QueryResult> results(n);
+  std::vector<SearchStats> per_thread(thread_count);
+  std::atomic<uint64_t> cache_hits{0};
+  // Serialization lock for backends without concurrent-safe reads.
+  std::mutex backend_mu;
+  std::mutex* serialize =
+      kConcurrentSafeReads<Index> ? nullptr : &backend_mu;
+
+  if (n > 0) {
+    // Oversubscribe chunks so stealing can rebalance uneven query costs.
+    const size_t chunk =
+        std::max<size_t>(1, n / (static_cast<size_t>(thread_count) * 8));
+    const size_t tasks = (n + chunk - 1) / chunk;
+    std::atomic<size_t> remaining{tasks};
+    std::promise<void> all_done;
+    std::future<void> done = all_done.get_future();
+    for (size_t t = 0; t < tasks; ++t) {
+      const size_t begin = t * chunk;
+      const size_t end = std::min(n, begin + chunk);
+      pool_.Submit([&, begin, end] {
+        SearchStats local;
+        uint64_t local_hits = 0;
+        for (size_t i = begin; i < end; ++i) {
+          bool hit = false;
+          results[i] =
+              AnswerOne(index, queries[i], backend_id, serialize, &hit);
+          if (hit) {
+            ++local_hits;
+          } else {
+            local.Add(results[i].stats);
+          }
+        }
+        per_thread[static_cast<size_t>(ThreadPool::worker_index())].Add(
+            local);
+        cache_hits.fetch_add(local_hits, std::memory_order_relaxed);
+        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          all_done.set_value();
+        }
+      });
+    }
+    done.wait();
+  }
+
+  if (stats != nullptr) {
+    stats->queries = n;
+    stats->cache_hits = cache_hits.load(std::memory_order_relaxed);
+    stats->executed = n - stats->cache_hits;
+    stats->search = SearchStats{};
+    for (const SearchStats& s : per_thread) stats->search.Add(s);
+    stats->per_thread = std::move(per_thread);
+  }
+  return results;
+}
+
+}  // namespace spine::engine
+
+#endif  // SPINE_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,110 @@
+#include "engine/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace spine::engine {
+
+namespace {
+thread_local int tl_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(uint32_t threads) {
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(threads);
+  for (uint32_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(threads);
+  for (uint32_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  uint32_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++queued_;
+    ++pending_;
+    target = static_cast<uint32_t>(submit_cursor_++ % queues_.size());
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+uint64_t ThreadPool::steal_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return steals_;
+}
+
+int ThreadPool::worker_index() { return tl_worker_index; }
+
+bool ThreadPool::PopOwn(uint32_t self, std::function<void()>* task) {
+  Worker& w = *queues_[self];
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (w.tasks.empty()) return false;
+  *task = std::move(w.tasks.back());
+  w.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::Steal(uint32_t self, std::function<void()>* task) {
+  const uint32_t n = static_cast<uint32_t>(queues_.size());
+  for (uint32_t d = 1; d < n; ++d) {
+    Worker& victim = *queues_[(self + d) % n];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.tasks.empty()) continue;
+    *task = std::move(victim.tasks.front());
+    victim.tasks.pop_front();
+    {
+      std::lock_guard<std::mutex> stats_lock(mu_);
+      ++steals_;
+    }
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(uint32_t self) {
+  tl_worker_index = static_cast<int>(self);
+  while (true) {
+    std::function<void()> task;
+    if (!PopOwn(self, &task) && !Steal(self, &task)) {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (stop_ && queued_ == 0) return;
+      continue;  // re-probe the deques under no lock
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --queued_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace spine::engine

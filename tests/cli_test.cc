@@ -198,6 +198,58 @@ TEST(CliTest, GeneralizedBuildAndQuery) {
   EXPECT_EQ(RunCli({"gbuild", fasta}).code, 2);
 }
 
+TEST(CliTest, BatchRunsHeterogeneousQueries) {
+  const std::string fasta = TempPath("cli_batch.fa");
+  const std::string index = TempPath("cli_batch.spine");
+  const std::string patterns = TempPath("cli_batch.txt");
+  WriteFile(fasta, ">seq\nACGTACGTACGTACGT\n");
+  ASSERT_EQ(RunCli({"build", fasta, index}).code, 0);
+  WriteFile(patterns,
+            "# comment line\n"
+            "ACGT\n"
+            "contains TTTT\n"
+            "findall GTAC\n"
+            "match ACGTACGT\n"
+            "ms ACGTTT\n"
+            "\n");
+
+  CliResult batch =
+      RunCli({"batch", index, patterns, "--threads=2", "--min-len=4"});
+  ASSERT_EQ(batch.code, 0) << batch.err;
+  EXPECT_NE(batch.out.find("[0] findall ACGT: 4 occurrence(s) 0 4 8 12"),
+            std::string::npos);
+  EXPECT_NE(batch.out.find("[1] contains TTTT: no"), std::string::npos);
+  EXPECT_NE(batch.out.find("[2] findall GTAC: 3 occurrence(s) 2 6 10"),
+            std::string::npos);
+  EXPECT_NE(batch.out.find("[3] match ACGTACGT: 1 match(es) "
+                           "query[0..8)@0"),
+            std::string::npos);
+  EXPECT_NE(batch.out.find("[4] ms ACGTTT: n=6 max=4"), std::string::npos);
+  EXPECT_NE(batch.out.find("5 quer(ies) on 2 thread(s)"), std::string::npos);
+
+  // Identical batches at different thread counts produce identical
+  // per-query output lines.
+  CliResult batch8 = RunCli({"batch", index, patterns, "--threads=8",
+                             "--min-len=4", "--cache-mb=1"});
+  ASSERT_EQ(batch8.code, 0) << batch8.err;
+  for (int i = 0; i < 5; ++i) {
+    const std::string tag = "[" + std::to_string(i) + "]";
+    size_t a = batch.out.find(tag);
+    size_t b = batch8.out.find(tag);
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(b, std::string::npos);
+    EXPECT_EQ(batch.out.substr(a, batch.out.find('\n', a) - a),
+              batch8.out.substr(b, batch8.out.find('\n', b) - b));
+  }
+
+  // Bad invocations.
+  EXPECT_EQ(RunCli({"batch", index}).code, 2);
+  EXPECT_EQ(RunCli({"batch", index, "/nonexistent.txt"}).code, 1);
+  const std::string empty_patterns = TempPath("cli_batch_empty.txt");
+  WriteFile(empty_patterns, "# nothing\n");
+  EXPECT_EQ(RunCli({"batch", index, empty_patterns}).code, 1);
+}
+
 TEST(CliTest, QueryOnMissingIndexFails) {
   EXPECT_EQ(RunCli({"query", "/nonexistent.spine", "ACGT"}).code, 1);
   EXPECT_EQ(RunCli({"stats", "/nonexistent.spine"}).code, 1);

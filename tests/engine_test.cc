@@ -1,0 +1,312 @@
+// Tests for the concurrent batch query engine: the work-stealing pool,
+// the LRU result cache, determinism across thread counts, and agreement
+// across all three backends (reference, compact, disk).
+
+#include "engine/query_engine.h"
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compact/compact_spine.h"
+#include "core/query.h"
+#include "core/spine_index.h"
+#include "engine/query_cache.h"
+#include "engine/thread_pool.h"
+#include "seq/generator.h"
+#include "storage/disk_spine.h"
+
+namespace spine::engine {
+namespace {
+
+std::string TestCorpus(uint64_t length) {
+  seq::GeneratorOptions options;
+  options.length = length;
+  options.seed = 42;
+  return seq::GenerateSequence(Alphabet::Dna(), options);
+}
+
+// A mixed batch of every query kind: patterns sliced from the corpus
+// (hits), shuffled slices (mostly misses), and longer match queries.
+std::vector<Query> MixedBatch(const std::string& corpus, size_t count) {
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t len = 8 + (i * 7) % 24;
+    const size_t offset = (i * 131) % (corpus.size() - 256);
+    std::string pattern = corpus.substr(offset, len);
+    switch (i % 5) {
+      case 0:
+        queries.push_back(Query::FindAll(pattern));
+        break;
+      case 1:
+        queries.push_back(Query::Contains(pattern));
+        break;
+      case 2:
+        // Perturb to exercise the miss paths.
+        pattern[len / 2] = pattern[len / 2] == 'A' ? 'C' : 'A';
+        queries.push_back(Query::FindAll(pattern));
+        break;
+      case 3:
+        queries.push_back(
+            Query::MaximalMatches(corpus.substr(offset, 96), 12));
+        break;
+      default:
+        queries.push_back(Query::MatchingStats(corpus.substr(offset, 64)));
+        break;
+    }
+  }
+  return queries;
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WorkerIndexIsStableInsideTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> bad{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&bad] {
+      int w = ThreadPool::worker_index();
+      if (w < 0 || w >= 3) bad.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(ThreadPool::worker_index(), -1);  // not a pool thread
+}
+
+TEST(ThreadPoolTest, StealsFromABusyWorkersDeque) {
+  ThreadPool pool(2);
+  // Park both workers inside gate tasks, then queue work: the shorts
+  // round-robin onto both deques. Releasing only one gate leaves one
+  // worker parked, so the free worker can finish the batch only by
+  // stealing from the parked worker's deque.
+  std::promise<void> release_a, release_b;
+  std::shared_future<void> gate_a = release_a.get_future().share();
+  std::shared_future<void> gate_b = release_b.get_future().share();
+  std::atomic<int> parked{0};
+  pool.Submit([&] {
+    parked.fetch_add(1);
+    gate_a.wait();
+  });
+  pool.Submit([&] {
+    parked.fetch_add(1);
+    gate_b.wait();
+  });
+  while (parked.load() < 2) std::this_thread::yield();
+
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  release_a.set_value();
+  while (done.load() < 100) std::this_thread::yield();
+  EXPECT_GT(pool.steal_count(), 0u);
+  release_b.set_value();
+  pool.Wait();
+}
+
+TEST(QueryCacheTest, HitReturnsStoredAnswer) {
+  QueryCache cache(1 << 20);
+  Query q = Query::FindAll("ACGT");
+  std::string key = QueryCache::Key(7, q);
+  EXPECT_FALSE(cache.Get(key).has_value());
+  QueryResult r;
+  r.found = true;
+  r.hits = {{3, 4, 0}, {9, 4, 0}};
+  cache.Put(key, r);
+  std::optional<QueryResult> got = cache.Get(key);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->SameAnswer(r));
+  QueryCache::Counters c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+}
+
+TEST(QueryCacheTest, KeySeparatesBackendsAndKinds) {
+  Query findall = Query::FindAll("ACGT");
+  Query contains = Query::Contains("ACGT");
+  EXPECT_NE(QueryCache::Key(1, findall), QueryCache::Key(2, findall));
+  EXPECT_NE(QueryCache::Key(1, findall), QueryCache::Key(1, contains));
+  EXPECT_NE(QueryCache::Key(1, Query::MaximalMatches("ACGT", 5)),
+            QueryCache::Key(1, Query::MaximalMatches("ACGT", 6)));
+}
+
+TEST(QueryCacheTest, EvictsLeastRecentlyUsedAndStaysCorrect) {
+  QueryResult small;
+  small.found = true;
+  small.hits = {{1, 2, 0}};
+  const std::string a = QueryCache::Key(1, Query::FindAll("AAAA"));
+  const std::string b = QueryCache::Key(1, Query::FindAll("BBBB"));
+  const std::string c = QueryCache::Key(1, Query::FindAll("CCCC"));
+  const uint64_t entry_bytes = 96 + a.size() + sizeof(Hit);
+  // Room for exactly two entries.
+  QueryCache cache(2 * entry_bytes);
+
+  cache.Put(a, small);
+  cache.Put(b, small);
+  EXPECT_EQ(cache.entry_count(), 2u);
+  // Touch a so b becomes the eviction victim.
+  EXPECT_TRUE(cache.Get(a).has_value());
+  cache.Put(c, small);
+  EXPECT_EQ(cache.entry_count(), 2u);
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_FALSE(cache.Get(b).has_value());  // evicted
+  std::optional<QueryResult> got_a = cache.Get(a);
+  std::optional<QueryResult> got_c = cache.Get(c);
+  ASSERT_TRUE(got_a.has_value());
+  ASSERT_TRUE(got_c.has_value());
+  EXPECT_TRUE(got_a->SameAnswer(small));
+  EXPECT_TRUE(got_c->SameAnswer(small));
+}
+
+TEST(QueryCacheTest, ZeroCapacityDisables) {
+  QueryCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  QueryResult r;
+  cache.Put("k", r);
+  EXPECT_FALSE(cache.Get("k").has_value());
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+TEST(QueryEngineTest, MatchesSequentialExecutionAtAnyThreadCount) {
+  const std::string corpus = TestCorpus(30'000);
+  SpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(corpus).ok());
+  const std::vector<Query> queries = MixedBatch(corpus, 200);
+
+  std::vector<QueryResult> reference;
+  reference.reserve(queries.size());
+  for (const Query& q : queries) reference.push_back(ExecuteQuery(index, q));
+
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    QueryEngine engine({.threads = threads, .cache_bytes = 0});
+    BatchStats stats;
+    std::vector<QueryResult> results =
+        engine.ExecuteBatch(index, queries, 0, &stats);
+    ASSERT_EQ(results.size(), reference.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_TRUE(results[i].SameAnswer(reference[i]))
+          << "thread count " << threads << ", query " << i;
+    }
+    EXPECT_EQ(stats.queries, queries.size());
+    EXPECT_EQ(stats.executed, queries.size());
+    EXPECT_EQ(stats.cache_hits, 0u);
+    EXPECT_EQ(stats.per_thread.size(), threads);
+    // Per-thread counters must add up to the batch total.
+    SearchStats sum;
+    for (const SearchStats& s : stats.per_thread) sum.Add(s);
+    EXPECT_EQ(sum.nodes_checked, stats.search.nodes_checked);
+  }
+}
+
+TEST(QueryEngineTest, SecondIdenticalBatchHitsTheCache) {
+  const std::string corpus = TestCorpus(10'000);
+  SpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(corpus).ok());
+  const std::vector<Query> queries = MixedBatch(corpus, 100);
+
+  QueryEngine engine({.threads = 4, .cache_bytes = 8 << 20});
+  BatchStats first_stats, second_stats;
+  std::vector<QueryResult> first =
+      engine.ExecuteBatch(index, queries, 1, &first_stats);
+  std::vector<QueryResult> second =
+      engine.ExecuteBatch(index, queries, 1, &second_stats);
+  EXPECT_EQ(second_stats.cache_hits, queries.size());
+  EXPECT_EQ(second_stats.executed, 0u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(first[i].SameAnswer(second[i])) << "query " << i;
+  }
+  // A different backend id must not see the cached answers.
+  BatchStats other_stats;
+  engine.ExecuteBatch(index, queries, 2, &other_stats);
+  EXPECT_EQ(other_stats.cache_hits, 0u);
+}
+
+TEST(QueryEngineTest, CacheCorrectAfterEvictionPressure) {
+  const std::string corpus = TestCorpus(10'000);
+  SpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(corpus).ok());
+  const std::vector<Query> queries = MixedBatch(corpus, 300);
+
+  std::vector<QueryResult> reference;
+  for (const Query& q : queries) reference.push_back(ExecuteQuery(index, q));
+
+  // A cache far too small for the batch: constant eviction churn.
+  QueryEngine engine({.threads = 4, .cache_bytes = 4096});
+  for (int round = 0; round < 3; ++round) {
+    std::vector<QueryResult> results = engine.ExecuteBatch(index, queries);
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_TRUE(results[i].SameAnswer(reference[i]))
+          << "round " << round << ", query " << i;
+    }
+  }
+  EXPECT_GT(engine.cache().counters().evictions, 0u);
+}
+
+TEST(QueryEngineTest, AllThreeBackendsAgreeOnTheSameCorpus) {
+  const std::string corpus = TestCorpus(20'000);
+  const std::vector<Query> queries = MixedBatch(corpus, 150);
+
+  SpineIndex reference(Alphabet::Dna());
+  ASSERT_TRUE(reference.AppendString(corpus).ok());
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(compact.AppendString(corpus).ok());
+  const std::string disk_path = ::testing::TempDir() + "/engine_disk.spine";
+  Result<std::unique_ptr<storage::DiskSpine>> disk = storage::DiskSpine::Create(
+      Alphabet::Dna(), disk_path, storage::DiskSpine::Options{});
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  ASSERT_TRUE((*disk)->AppendString(corpus).ok());
+
+  QueryEngine engine({.threads = 4, .cache_bytes = 0});
+  std::vector<QueryResult> from_reference =
+      engine.ExecuteBatch(reference, queries, 1);
+  std::vector<QueryResult> from_compact =
+      engine.ExecuteBatch(compact, queries, 2);
+  // DiskSpine reads mutate the shared buffer pool; the engine must
+  // serialize them (compile-time trait) and still return the same
+  // answers.
+  static_assert(!kConcurrentSafeReads<storage::DiskSpine>);
+  static_assert(kConcurrentSafeReads<CompactSpineIndex>);
+  std::vector<QueryResult> from_disk = engine.ExecuteBatch(**disk, queries, 3);
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(from_reference[i].SameAnswer(from_compact[i]))
+        << "compact disagrees on query " << i;
+    EXPECT_TRUE(from_reference[i].SameAnswer(from_disk[i]))
+        << "disk disagrees on query " << i;
+  }
+}
+
+TEST(QueryEngineTest, EmptyBatchAndEmptyPatterns) {
+  SpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString("ACGTACGT").ok());
+  QueryEngine engine({.threads = 2, .cache_bytes = 1 << 16});
+  BatchStats stats;
+  EXPECT_TRUE(engine.ExecuteBatch(index, {}, 0, &stats).empty());
+  EXPECT_EQ(stats.queries, 0u);
+
+  std::vector<Query> edge = {Query::FindAll(""), Query::Contains(""),
+                             Query::MatchingStats("")};
+  std::vector<QueryResult> results = engine.ExecuteBatch(index, edge);
+  EXPECT_FALSE(results[0].found);       // empty pattern: no occurrences
+  EXPECT_TRUE(results[1].found);        // empty pattern is contained
+  EXPECT_TRUE(results[2].matching_stats.empty());
+}
+
+}  // namespace
+}  // namespace spine::engine

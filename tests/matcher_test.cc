@@ -235,6 +235,47 @@ TEST(MatcherTest, MatchingStatisticsOnExactCopy) {
   }
 }
 
+// Regression for the O(n) decay-rule implementation of
+// GenericMatchingStatistics: the naive definition applies every maximal
+// match to every position it covers (quadratic when long matches overlap
+// densely, as on repetitive queries). Both must agree exactly.
+std::vector<uint32_t> PerMatchInnerLoopMs(const SpineIndex& index,
+                                          std::string_view query) {
+  std::vector<uint32_t> ms(query.size(), 0);
+  for (const MaximalMatch& match :
+       GenericFindMaximalMatches(index, query, 1)) {
+    for (uint32_t q = match.query_pos; q < match.query_pos + match.length;
+         ++q) {
+      uint32_t remaining = match.query_pos + match.length - q;
+      if (remaining > ms[q]) ms[q] = remaining;
+    }
+  }
+  return ms;
+}
+
+TEST(MatcherTest, MatchingStatisticsDecayRuleOnRepetitiveQueries) {
+  // Highly repetitive inputs: long runs and short-period repeats, where
+  // maximal matches are long and overlap at almost every position.
+  const std::string data =
+      std::string(400, 'A') + "C" + std::string(200, 'A') + "GTGTGTGT";
+  SpineIndex index = Build(Alphabet::Dna(), data);
+  const std::vector<std::string> queries = {
+      std::string(1500, 'A'),
+      std::string(300, 'A') + "C" + std::string(300, 'A'),
+      [] {
+        std::string q;
+        for (int i = 0; i < 400; ++i) q += "GT";
+        return q;
+      }(),
+      "T" + std::string(250, 'A') + "CGT",
+  };
+  for (const std::string& query : queries) {
+    EXPECT_EQ(GenericMatchingStatistics(index, query),
+              PerMatchInnerLoopMs(index, query))
+        << "query of length " << query.size();
+  }
+}
+
 TEST(MatcherStress, ManyRandomPairs) {
   Rng rng(777);
   const char* letters = "ACGT";

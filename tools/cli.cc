@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <optional>
+#include <sstream>
+#include <thread>
 
 #include "align/aligner.h"
 #include "align/approximate.h"
@@ -13,6 +16,8 @@
 #include "compact/generalized_compact.h"
 #include "compact/serializer.h"
 #include "core/matcher.h"
+#include "core/query.h"
+#include "engine/query_engine.h"
 #include "seq/fasta.h"
 #include "seq/generator.h"
 
@@ -27,7 +32,12 @@ constexpr const char* kUsage =
     "  gbuild <input.fa> <index.spineg> [--alphabet=dna|protein|ascii]\n"
     "      index EVERY record of a multi-FASTA file together\n"
     "  gquery <index.spineg> <pattern>\n"
-        "  query <index.spine> <pattern>\n"
+    "  query <index.spine> <pattern>\n"
+    "  batch <index.spine> <patterns.txt> [--threads=N] [--cache-mb=M] "
+    "[--min-len=N]\n"
+    "      run a batch of queries concurrently; each line of patterns.txt\n"
+    "      is 'PATTERN' or 'KIND PATTERN' with KIND one of findall,\n"
+    "      contains, match, ms\n"
     "  approx <index.spine> <pattern> [--max-edits=K]\n"
     "  hamming <index.spine> <pattern> [--max-mismatches=K]\n"
     "  lrs <index.spine>\n"
@@ -184,10 +194,132 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
   Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
   if (!index.ok()) return Fail(err, index.status());
-  std::vector<uint32_t> positions = index->FindAll(args.positional[1]);
-  out << positions.size() << " occurrence(s)";
-  for (uint32_t pos : positions) out << " " << pos;
+  QueryResult result =
+      ExecuteQuery(*index, Query::FindAll(args.positional[1]));
+  out << result.hits.size() << " occurrence(s)";
+  for (const Hit& hit : result.hits) out << " " << hit.pos;
   out << "\n";
+  return 0;
+}
+
+// One line of a batch patterns file: 'PATTERN' (findall) or
+// 'KIND PATTERN' with KIND in {findall, contains, match, ms}. Blank
+// lines and '#' comments are skipped.
+std::optional<Query> ParseBatchLine(const std::string& line,
+                                    uint32_t min_len) {
+  size_t begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string::npos || line[begin] == '#') return std::nullopt;
+  size_t end = line.find_last_not_of(" \t\r");
+  std::string body = line.substr(begin, end - begin + 1);
+  size_t space = body.find_first_of(" \t");
+  if (space != std::string::npos) {
+    std::string kind = body.substr(0, space);
+    std::string pattern = body.substr(body.find_first_not_of(" \t", space));
+    if (kind == "findall") return Query::FindAll(std::move(pattern));
+    if (kind == "contains") return Query::Contains(std::move(pattern));
+    if (kind == "match") {
+      return Query::MaximalMatches(std::move(pattern), min_len);
+    }
+    if (kind == "ms") return Query::MatchingStats(std::move(pattern));
+  }
+  return Query::FindAll(std::move(body));
+}
+
+void PrintBatchResult(std::ostream& out, size_t idx, const Query& query,
+                      const QueryResult& result) {
+  constexpr size_t kMaxListed = 16;
+  out << "[" << idx << "] " << QueryKindName(query.kind) << " "
+      << query.pattern << ": ";
+  switch (query.kind) {
+    case QueryKind::kContains:
+      out << (result.found ? "yes" : "no");
+      break;
+    case QueryKind::kFindAll:
+      out << result.hits.size() << " occurrence(s)";
+      for (size_t i = 0; i < result.hits.size() && i < kMaxListed; ++i) {
+        out << " " << result.hits[i].pos;
+      }
+      if (result.hits.size() > kMaxListed) {
+        out << " (+" << result.hits.size() - kMaxListed << " more)";
+      }
+      break;
+    case QueryKind::kMaximalMatches:
+      out << result.hits.size() << " match(es)";
+      for (size_t i = 0; i < result.hits.size() && i < kMaxListed; ++i) {
+        const Hit& hit = result.hits[i];
+        out << " query[" << hit.query_pos << ".."
+            << hit.query_pos + hit.length << ")@" << hit.pos;
+      }
+      if (result.hits.size() > kMaxListed) {
+        out << " (+" << result.hits.size() - kMaxListed << " more)";
+      }
+      break;
+    case QueryKind::kMatchingStats: {
+      uint32_t max_ms = 0;
+      uint64_t total = 0;
+      for (uint32_t v : result.matching_stats) {
+        max_ms = std::max(max_ms, v);
+        total += v;
+      }
+      out << "n=" << result.matching_stats.size() << " max=" << max_ms
+          << " mean="
+          << (result.matching_stats.empty()
+                  ? 0.0
+                  : static_cast<double>(total) / result.matching_stats.size());
+      break;
+    }
+  }
+  out << "\n";
+}
+
+int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "batch requires <index.spine> <patterns.txt>\n";
+    return 2;
+  }
+  Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
+  if (!index.ok()) return Fail(err, index.status());
+
+  std::ifstream file(args.positional[1]);
+  if (!file) {
+    return Fail(err, Status::IoError("cannot open " + args.positional[1]));
+  }
+  const uint32_t min_len =
+      std::max<uint32_t>(1, static_cast<uint32_t>(
+                                OptionU64(args, "min-len").value_or(10)));
+  std::vector<Query> queries;
+  std::string line;
+  while (std::getline(file, line)) {
+    if (std::optional<Query> query = ParseBatchLine(line, min_len)) {
+      queries.push_back(*std::move(query));
+    }
+  }
+  if (queries.empty()) {
+    return Fail(err, Status::InvalidArgument(args.positional[1] +
+                                             " contains no queries"));
+  }
+
+  const uint32_t threads = static_cast<uint32_t>(
+      OptionU64(args, "threads")
+          .value_or(std::max(1u, std::thread::hardware_concurrency())));
+  const uint64_t cache_mb = OptionU64(args, "cache-mb").value_or(16);
+  engine::QueryEngine query_engine(
+      {.threads = threads, .cache_bytes = cache_mb << 20});
+
+  WallTimer timer;
+  engine::BatchStats stats;
+  std::vector<QueryResult> results =
+      query_engine.ExecuteBatch(*index, queries, /*backend_id=*/1, &stats);
+  const double secs = timer.ElapsedSeconds();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    PrintBatchResult(out, i, queries[i], results[i]);
+  }
+  out << queries.size() << " quer(ies) on " << query_engine.thread_count()
+      << " thread(s) in " << secs << " s ("
+      << static_cast<uint64_t>(queries.size() / std::max(secs, 1e-9))
+      << " q/s), cache hits " << stats.cache_hits << "/" << stats.queries
+      << ", " << stats.search.nodes_checked << " nodes checked\n";
   return 0;
 }
 
@@ -291,21 +423,35 @@ int CmdSearch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (min_len == 0) min_len = 1;
 
   WallTimer timer;
-  SearchStats stats;
-  auto matches = GenericFindMaximalMatches(*index, *query, min_len, &stats);
-  auto expanded = GenericCollectAllOccurrences(*index, matches);
-  out << matches.size() << " maximal match(es) >= " << min_len
-      << " chars in " << timer.ElapsedSeconds() << " s ("
-      << stats.nodes_checked << " nodes checked)\n";
-  for (const auto& occ : expanded) {
-    out << "query[" << occ.match.query_pos << ".."
-        << occ.match.query_pos + occ.match.length << ") len "
-        << occ.match.length << " at";
-    for (size_t i = 0; i < occ.data_positions.size() && i < 16; ++i) {
-      out << " " << occ.data_positions[i];
+  QueryResult result = ExecuteQuery(
+      *index,
+      Query::MaximalMatches(*query, min_len, /*expand_occurrences=*/true));
+  // Hits arrive grouped: all occurrences of one maximal match are
+  // consecutive and share (query_pos, length).
+  std::vector<std::pair<size_t, size_t>> groups;  // [begin, end) into hits
+  for (size_t i = 0; i < result.hits.size();) {
+    size_t j = i;
+    while (j < result.hits.size() &&
+           result.hits[j].query_pos == result.hits[i].query_pos &&
+           result.hits[j].length == result.hits[i].length) {
+      ++j;
     }
-    if (occ.data_positions.size() > 16) {
-      out << " (+" << occ.data_positions.size() - 16 << " more)";
+    groups.emplace_back(i, j);
+    i = j;
+  }
+  out << groups.size() << " maximal match(es) >= " << min_len
+      << " chars in " << timer.ElapsedSeconds() << " s ("
+      << result.stats.nodes_checked << " nodes checked)\n";
+  for (const auto& [begin, end] : groups) {
+    const Hit& first = result.hits[begin];
+    out << "query[" << first.query_pos << ".."
+        << first.query_pos + first.length << ") len " << first.length
+        << " at";
+    for (size_t i = begin; i < end && i < begin + 16; ++i) {
+      out << " " << result.hits[i].pos;
+    }
+    if (end - begin > 16) {
+      out << " (+" << end - begin - 16 << " more)";
     }
     out << "\n";
   }
@@ -389,6 +535,7 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
   if (command == "gbuild") return CmdGBuild(parsed, out, err);
   if (command == "gquery") return CmdGQuery(parsed, out, err);
   if (command == "query") return CmdQuery(parsed, out, err);
+  if (command == "batch") return CmdBatch(parsed, out, err);
   if (command == "approx") return CmdApprox(parsed, out, err);
   if (command == "hamming") return CmdHamming(parsed, out, err);
   if (command == "lrs") return CmdLrs(parsed, out, err);

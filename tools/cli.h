@@ -9,6 +9,11 @@
 //       index (hits report record id + offset).
 //   query <index.spine> <pattern>
 //       Print all start positions of an exact pattern.
+//   batch <index.spine> <patterns.txt> [--threads=N] [--cache-mb=M]
+//         [--min-len=N]
+//       Execute a file of heterogeneous queries (findall / contains /
+//       match / ms, one per line) concurrently through the batch
+//       QueryEngine; results print in input order.
 //   gquery <index.spineg> <pattern>
 //       Like query, over a generalized index.
 //   approx <index.spine> <pattern> [--max-edits=K]
