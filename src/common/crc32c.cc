@@ -1,0 +1,41 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace spine {
+
+namespace {
+
+// Table for the reflected Castagnoli polynomial, built once at startup.
+struct Crc32cTable {
+  std::array<uint32_t, 256> entries;
+
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82f63b78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+const Crc32cTable& Table() {
+  static const Crc32cTable table;
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t state, const void* data, size_t n) {
+  const auto& table = Table().entries;
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    state = table[(state ^ bytes[i]) & 0xff] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace spine

@@ -1,0 +1,35 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78):
+// the checksum guarding every storage-layer artifact — page payloads,
+// the page-file superblock, serialized index images and metadata
+// sidecars. CRC32C detects all single-bit and all 2-bit errors within
+// a page, which is exactly the failure class the fault-injection
+// harness exercises (torn pages, silent flips).
+//
+// Software slicing-by-1 table implementation: portable, no intrinsics,
+// ~1 GB/s — the storage paths it guards are I/O bound.
+
+#ifndef SPINE_COMMON_CRC32C_H_
+#define SPINE_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace spine {
+
+// Extends a running CRC32C over `n` more bytes. Start from
+// kCrc32cInit, finish with Crc32cFinish (the usual xor-out pattern so
+// partial checksums can be chained).
+inline constexpr uint32_t kCrc32cInit = 0xffffffffu;
+
+uint32_t Crc32cExtend(uint32_t state, const void* data, size_t n);
+
+inline uint32_t Crc32cFinish(uint32_t state) { return state ^ 0xffffffffu; }
+
+// One-shot convenience: checksum of a single buffer.
+inline uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cFinish(Crc32cExtend(kCrc32cInit, data, n));
+}
+
+}  // namespace spine
+
+#endif  // SPINE_COMMON_CRC32C_H_

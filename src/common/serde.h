@@ -1,5 +1,14 @@
 // Minimal POD/vector stream serialization shared by the index
-// serializers (compact/serializer.cc, storage/disk_spine.cc metadata).
+// serializers (compact/serializer.cc, storage/*.cc metadata sidecars).
+//
+// Robustness properties (PR 2):
+//   - Writer and Reader both accumulate a running CRC32C over every
+//     byte written/consumed; WriteCrcFooter / VerifyCrcFooter turn it
+//     into a whole-image integrity check that catches any single-bit
+//     corruption the structural checks miss.
+//   - Reader::Vec bounds every element count against the bytes
+//     actually remaining in the stream, so a corrupted length field
+//     fails cleanly instead of attempting a multi-GiB allocation.
 
 #ifndef SPINE_COMMON_SERDE_H_
 #define SPINE_COMMON_SERDE_H_
@@ -8,6 +17,8 @@
 #include <istream>
 #include <ostream>
 #include <vector>
+
+#include "common/crc32c.h"
 
 namespace spine::serde {
 
@@ -18,32 +29,60 @@ class Writer {
   template <typename T>
   void Pod(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
+    Raw(&value, sizeof(T));
   }
 
   template <typename T>
   void Vec(const std::vector<T>& vec) {
     static_assert(std::is_trivially_copyable_v<T>);
     Pod<uint64_t>(vec.size());
-    if (!vec.empty()) {
-      out_.write(reinterpret_cast<const char*>(vec.data()),
-                 static_cast<std::streamsize>(vec.size() * sizeof(T)));
-    }
+    if (!vec.empty()) Raw(vec.data(), vec.size() * sizeof(T));
+  }
+
+  // CRC32C of everything written so far.
+  uint32_t crc() const { return Crc32cFinish(crc_state_); }
+
+  // Appends the running CRC as a trailer. The footer itself is not
+  // folded into the CRC; pair with Reader::VerifyCrcFooter.
+  void WriteCrcFooter() {
+    uint32_t footer = crc();
+    out_.write(reinterpret_cast<const char*>(&footer), sizeof(footer));
   }
 
  private:
+  void Raw(const void* data, size_t n) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+    crc_state_ = Crc32cExtend(crc_state_, data, n);
+  }
+
   std::ostream& out_;
+  uint32_t crc_state_ = kCrc32cInit;
 };
 
 class Reader {
  public:
-  explicit Reader(std::istream& in) : in_(in) {}
+  explicit Reader(std::istream& in) : in_(in) {
+    // Snapshot how many bytes remain so corrupt vector lengths can be
+    // rejected before allocation. Non-seekable streams fall back to a
+    // coarse cap.
+    std::streampos cur = in_.tellg();
+    if (cur != std::streampos(-1)) {
+      in_.seekg(0, std::ios::end);
+      std::streampos end = in_.tellg();
+      in_.seekg(cur);
+      if (end != std::streampos(-1) && end >= cur) {
+        remaining_ = static_cast<uint64_t>(end - cur);
+        bounded_ = true;
+      }
+    }
+    in_.clear();
+  }
 
   template <typename T>
   [[nodiscard]] bool Pod(T* value) {
     static_assert(std::is_trivially_copyable_v<T>);
-    in_.read(reinterpret_cast<char*>(value), sizeof(T));
-    return in_.good();
+    return Raw(value, sizeof(T));
   }
 
   template <typename T>
@@ -51,18 +90,47 @@ class Reader {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t count = 0;
     if (!Pod(&count)) return false;
-    // Guard against absurd sizes from corrupt files.
-    if (count > (1ull << 34) / sizeof(T)) return false;
-    vec->resize(count);
-    if (count > 0) {
-      in_.read(reinterpret_cast<char*>(vec->data()),
-               static_cast<std::streamsize>(count * sizeof(T)));
+    if (bounded_) {
+      if (count > remaining_ / sizeof(T)) return false;
+    } else if (count > (1ull << 34) / sizeof(T)) {
+      // Guard against absurd sizes from corrupt files.
+      return false;
     }
-    return in_.good() || count == 0;
+    vec->resize(count);
+    if (count > 0 && !Raw(vec->data(), count * sizeof(T))) return false;
+    return true;
+  }
+
+  // CRC32C of everything consumed so far.
+  uint32_t crc() const { return Crc32cFinish(crc_state_); }
+
+  // Reads a trailing CRC written by Writer::WriteCrcFooter and checks
+  // it against the bytes consumed up to this point.
+  [[nodiscard]] bool VerifyCrcFooter() {
+    uint32_t want = crc();
+    uint32_t stored = 0;
+    in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in_.good() && !in_.eof()) return false;
+    if (in_.gcount() != sizeof(stored)) return false;
+    if (bounded_ && remaining_ >= sizeof(stored)) {
+      remaining_ -= sizeof(stored);
+    }
+    return stored == want;
   }
 
  private:
+  [[nodiscard]] bool Raw(void* data, size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (static_cast<size_t>(in_.gcount()) != n) return false;
+    crc_state_ = Crc32cExtend(crc_state_, data, n);
+    if (bounded_) remaining_ = remaining_ >= n ? remaining_ - n : 0;
+    return true;
+  }
+
   std::istream& in_;
+  uint32_t crc_state_ = kCrc32cInit;
+  uint64_t remaining_ = 0;
+  bool bounded_ = false;
 };
 
 }  // namespace spine::serde

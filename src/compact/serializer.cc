@@ -1,73 +1,27 @@
 #include "compact/serializer.h"
 
+#include <cerrno>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <vector>
+
+#include "common/serde.h"
 
 namespace spine {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x53504e45;  // "SPNE"
-constexpr uint32_t kVersion = 2;
-
-class Writer {
- public:
-  explicit Writer(std::ostream& out) : out_(out) {}
-
-  template <typename T>
-  void Pod(const T& value) {
-    out_.write(reinterpret_cast<const char*>(&value), sizeof(T));
-  }
-
-  template <typename T>
-  void Vec(const std::vector<T>& vec) {
-    Pod<uint64_t>(vec.size());
-    if (!vec.empty()) {
-      out_.write(reinterpret_cast<const char*>(vec.data()),
-                 static_cast<std::streamsize>(vec.size() * sizeof(T)));
-    }
-  }
-
- private:
-  std::ostream& out_;
-};
-
-class Reader {
- public:
-  explicit Reader(std::istream& in) : in_(in) {}
-
-  template <typename T>
-  bool Pod(T* value) {
-    in_.read(reinterpret_cast<char*>(value), sizeof(T));
-    return in_.good();
-  }
-
-  template <typename T>
-  bool Vec(std::vector<T>* vec) {
-    uint64_t count = 0;
-    if (!Pod(&count)) return false;
-    // Guard against absurd sizes from corrupt files.
-    if (count > (1ull << 34) / sizeof(T)) return false;
-    vec->resize(count);
-    if (count > 0) {
-      in_.read(reinterpret_cast<char*>(vec->data()),
-               static_cast<std::streamsize>(count * sizeof(T)));
-    }
-    return in_.good() || count == 0;
-  }
-
- private:
-  std::istream& in_;
-};
+// v3: whole-image CRC32C footer after the trailer.
+constexpr uint32_t kVersion = 3;
 
 }  // namespace
 
 class CompactSpineSerializer {
  public:
   static Status Save(const CompactSpineIndex& index, std::ostream& out) {
-    Writer w(out);
+    serde::Writer w(out);
     w.Pod(kMagic);
     w.Pod(kVersion);
     w.Pod(static_cast<uint32_t>(index.alphabet_.kind()));
@@ -93,6 +47,7 @@ class CompactSpineSerializer {
     w.Pod(index.max_lel_);
     w.Pod(index.max_pt_);
     w.Pod(index.max_prt_);
+    w.WriteCrcFooter();
     out.flush();
     if (!out) return Status::IoError("stream write failure");
     return Status::OK();
@@ -100,7 +55,7 @@ class CompactSpineSerializer {
 
   static Result<CompactSpineIndex> Load(std::istream& in,
                                         const std::string& path) {
-    Reader r(in);
+    serde::Reader r(in);
     uint32_t magic = 0, version = 0, kind = 0;
     uint64_t n = 0;
     if (!r.Pod(&magic) || magic != kMagic) {
@@ -186,6 +141,11 @@ class CompactSpineSerializer {
         !r.Pod(&index.max_prt_)) {
       return Status::Corruption("truncated trailer in " + path);
     }
+    // Whole-image checksum before any structural verdict: a payload
+    // flip that happens to parse is still rejected here.
+    if (!r.VerifyCrcFooter()) {
+      return Status::Corruption("image checksum mismatch in " + path);
+    }
     Status valid = index.Validate();
     if (!valid.ok()) return valid;
     return index;
@@ -195,13 +155,19 @@ class CompactSpineSerializer {
 Status SaveCompactSpine(const CompactSpineIndex& index,
                         const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  if (!out) {
+    return Status::IoError("cannot open " + path +
+                           " for writing: " + std::strerror(errno));
+  }
   return CompactSpineSerializer::Save(index, out);
 }
 
 Result<CompactSpineIndex> LoadCompactSpine(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
+  if (!in) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
   return CompactSpineSerializer::Load(in, path);
 }
 

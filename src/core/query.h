@@ -18,11 +18,13 @@
 #define SPINE_CORE_QUERY_H_
 
 #include <algorithm>
+#include <concepts>
 #include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "core/matcher.h"
 #include "core/search.h"
 
@@ -87,19 +89,48 @@ struct QueryResult {
   std::vector<uint32_t> matching_stats;  // kMatchingStats
   SearchStats stats;                     // work done answering this query
 
+  // Per-query error verdict (PR 2): kOk means the payload is a correct
+  // answer; anything else means the backend hit an I/O error or
+  // detected corruption and the payload must not be trusted. A failed
+  // query never crashes the batch — see engine/query_engine.h.
+  StatusCode status_code = StatusCode::kOk;
+  std::string error;  // human-readable detail when status_code != kOk
+
+  bool ok() const { return status_code == StatusCode::kOk; }
+  Status status() const {
+    return ok() ? Status::OK() : Status(status_code, error);
+  }
+
   // Payload equality, ignoring the work counters (which legitimately
   // differ between backends and between cached and executed answers).
   bool SameAnswer(const QueryResult& o) const {
-    return found == o.found && hits == o.hits &&
-           matching_stats == o.matching_stats;
+    return status_code == o.status_code && found == o.found &&
+           hits == o.hits && matching_stats == o.matching_stats;
   }
+};
+
+// Backends whose I/O layer latches errors instead of throwing/aborting
+// (storage::DiskSpine). ExecuteQuery drains the latch after running the
+// search and converts it into a per-query error result.
+template <typename Index>
+concept IoLatchedIndex = requires(const Index& index) {
+  { index.ConsumeError() } -> std::same_as<Status>;
 };
 
 // Answers one query against any backend satisfying the Index concept.
 // Deterministic: the same (index contents, query) pair always produces
 // the same QueryResult payload, on any thread.
+//
+// For IoLatchedIndex backends the result is only reported as kOk when
+// the whole traversal completed without the pool latching an error;
+// otherwise the payload is discarded and status_code/error carry the
+// failure, so a fault can never surface as a silently wrong answer.
 template <typename Index>
 QueryResult ExecuteQuery(const Index& index, const Query& query) {
+  if constexpr (IoLatchedIndex<Index>) {
+    // Drop any stale latch so this query's verdict is its own.
+    (void)index.ConsumeError();
+  }
   QueryResult result;
   switch (query.kind) {
     case QueryKind::kContains:
@@ -143,6 +174,16 @@ QueryResult ExecuteQuery(const Index& index, const Query& query) {
                                  result.matching_stats.end(),
                                  [](uint32_t v) { return v > 0; });
       break;
+    }
+  }
+  if constexpr (IoLatchedIndex<Index>) {
+    Status status = index.ConsumeError();
+    if (!status.ok()) {
+      QueryResult failed;
+      failed.stats = result.stats;  // work done before the fault counts
+      failed.status_code = status.code();
+      failed.error = std::string(status.message());
+      return failed;
     }
   }
   return result;

@@ -5,6 +5,6 @@ namespace spine::engine {
 QueryEngine::QueryEngine() : QueryEngine(Options{}) {}
 
 QueryEngine::QueryEngine(const Options& options)
-    : pool_(options.threads), cache_(options.cache_bytes) {}
+    : pool_(options.threads), cache_(options.cache_bytes), options_(options) {}
 
 }  // namespace spine::engine

@@ -15,15 +15,24 @@
 //
 // The optional LRU result cache (engine/query_cache.h) is keyed per
 // (backend_id, query); callers hand each logical index a distinct id.
+//
+// Fault tolerance (PR 2): a query whose backend hits an I/O error or
+// detects corruption yields a per-query error QueryResult (status_code
+// != kOk) while the rest of the batch completes normally. Transient
+// kIoError failures are retried with exponential backoff
+// (Options::max_retries); kCorruption is never retried (the medium is
+// wrong, not the moment). Error results are never cached.
 
 #ifndef SPINE_ENGINE_QUERY_ENGINE_H_
 #define SPINE_ENGINE_QUERY_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/query.h"
@@ -47,6 +56,8 @@ struct BatchStats {
   uint64_t queries = 0;
   uint64_t executed = 0;    // answered by the backend (cache misses)
   uint64_t cache_hits = 0;  // answered from the result cache
+  uint64_t failed = 0;      // queries that returned an error result
+  uint64_t retries = 0;     // transient-fault re-executions
   SearchStats search;       // total backend work, summed over workers
   std::vector<SearchStats> per_thread;  // one slot per pool worker
 };
@@ -56,6 +67,11 @@ class QueryEngine {
   struct Options {
     uint32_t threads = 0;      // 0 → hardware concurrency
     uint64_t cache_bytes = 0;  // 0 → result cache disabled
+    // Transient-fault handling: a query failing with kIoError is
+    // re-executed up to max_retries times, sleeping retry_backoff_us,
+    // 2x, 4x, ... between attempts. Corruption is never retried.
+    uint32_t max_retries = 2;
+    uint32_t retry_backoff_us = 500;
   };
 
   QueryEngine();  // default Options
@@ -79,16 +95,18 @@ class QueryEngine {
   template <typename Index>
   QueryResult AnswerOne(const Index& index, const Query& query,
                         uint64_t backend_id, std::mutex* backend_mu,
-                        bool* cache_hit);
+                        bool* cache_hit, uint64_t* retries);
 
   ThreadPool pool_;
   QueryCache cache_;
+  Options options_;
 };
 
 template <typename Index>
 QueryResult QueryEngine::AnswerOne(const Index& index, const Query& query,
                                    uint64_t backend_id,
-                                   std::mutex* backend_mu, bool* cache_hit) {
+                                   std::mutex* backend_mu, bool* cache_hit,
+                                   uint64_t* retries) {
   *cache_hit = false;
   std::string key;
   if (cache_.enabled()) {
@@ -99,13 +117,28 @@ QueryResult QueryEngine::AnswerOne(const Index& index, const Query& query,
     }
   }
   QueryResult result;
-  if (backend_mu != nullptr) {
-    std::lock_guard<std::mutex> lock(*backend_mu);
-    result = ExecuteQuery(index, query);
-  } else {
-    result = ExecuteQuery(index, query);
+  uint32_t backoff_us = options_.retry_backoff_us;
+  for (uint32_t attempt = 0;; ++attempt) {
+    if (backend_mu != nullptr) {
+      std::lock_guard<std::mutex> lock(*backend_mu);
+      result = ExecuteQuery(index, query);
+    } else {
+      result = ExecuteQuery(index, query);
+    }
+    // Only kIoError is presumed transient; corruption and everything
+    // else is a property of the data, not the attempt.
+    if (result.status_code != StatusCode::kIoError ||
+        attempt >= options_.max_retries) {
+      break;
+    }
+    ++*retries;
+    if (backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us *= 2;
+    }
   }
-  if (cache_.enabled()) cache_.Put(key, result);
+  // Error results are never cached: the next ask deserves a fresh try.
+  if (cache_.enabled() && result.ok()) cache_.Put(key, result);
   return result;
 }
 
@@ -118,6 +151,8 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
   std::vector<QueryResult> results(n);
   std::vector<SearchStats> per_thread(thread_count);
   std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> retries{0};
   // Serialization lock for backends without concurrent-safe reads.
   std::mutex backend_mu;
   std::mutex* serialize =
@@ -137,19 +172,24 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
       pool_.Submit([&, begin, end] {
         SearchStats local;
         uint64_t local_hits = 0;
+        uint64_t local_failed = 0;
+        uint64_t local_retries = 0;
         for (size_t i = begin; i < end; ++i) {
           bool hit = false;
-          results[i] =
-              AnswerOne(index, queries[i], backend_id, serialize, &hit);
+          results[i] = AnswerOne(index, queries[i], backend_id, serialize,
+                                 &hit, &local_retries);
           if (hit) {
             ++local_hits;
           } else {
             local.Add(results[i].stats);
           }
+          if (!results[i].ok()) ++local_failed;
         }
         per_thread[static_cast<size_t>(ThreadPool::worker_index())].Add(
             local);
         cache_hits.fetch_add(local_hits, std::memory_order_relaxed);
+        failed.fetch_add(local_failed, std::memory_order_relaxed);
+        retries.fetch_add(local_retries, std::memory_order_relaxed);
         if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
           all_done.set_value();
         }
@@ -162,6 +202,8 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
     stats->queries = n;
     stats->cache_hits = cache_hits.load(std::memory_order_relaxed);
     stats->executed = n - stats->cache_hits;
+    stats->failed = failed.load(std::memory_order_relaxed);
+    stats->retries = retries.load(std::memory_order_relaxed);
     stats->search = SearchStats{};
     for (const SearchStats& s : per_thread) stats->search.Add(s);
     stats->per_thread = std::move(per_thread);

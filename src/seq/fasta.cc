@@ -1,43 +1,81 @@
 #include "seq/fasta.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 namespace spine::seq {
 
+namespace {
+
+// Splits `text` into lines on '\n', "\r\n" or bare '\r' (classic-Mac
+// exports); std::getline-based parsing silently glues a CR-only file
+// into one line.
+std::vector<std::string_view> SplitLines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\n' || c == '\r') {
+      lines.push_back(text.substr(start, i - start));
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      start = i + 1;
+    }
+  }
+  if (start < text.size()) lines.push_back(text.substr(start));
+  return lines;
+}
+
+}  // namespace
+
 Result<std::vector<FastaRecord>> ParseFasta(const std::string& text) {
   std::vector<FastaRecord> records;
-  std::istringstream in(text);
-  std::string line;
   FastaRecord* current = nullptr;
   size_t line_no = 0;
-  while (std::getline(in, line)) {
+  for (std::string_view line : SplitLines(text)) {
     ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (line[0] == '>') {
       records.emplace_back();
       current = &records.back();
       size_t space = line.find_first_of(" \t");
       if (space == std::string::npos) {
-        current->id = line.substr(1);
+        current->id = std::string(line.substr(1));
       } else {
-        current->id = line.substr(1, space - 1);
+        current->id = std::string(line.substr(1, space - 1));
         size_t rest = line.find_first_not_of(" \t", space);
-        if (rest != std::string::npos) current->comment = line.substr(rest);
+        if (rest != std::string::npos) {
+          current->comment = std::string(line.substr(rest));
+        }
+      }
+      if (current->id.empty()) {
+        return Status::Corruption("empty record id in '>' header at line " +
+                                  std::to_string(line_no));
       }
     } else if (line[0] == ';') {
       continue;  // old-style comment line
     } else {
       if (current == nullptr) {
-        return Status::Corruption("sequence data before any '>' header at line " +
-                                  std::to_string(line_no));
+        return Status::Corruption(
+            "sequence data before any '>' header at line " +
+            std::to_string(line_no));
       }
       for (char c : line) {
-        if (!std::isspace(static_cast<unsigned char>(c))) {
-          current->sequence.push_back(c);
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        // Residue lines must be printable; control bytes and NULs mean
+        // a truncated download or a binary file fed in by mistake.
+        if (!std::isprint(static_cast<unsigned char>(c))) {
+          const char* hex = "0123456789abcdef";
+          unsigned char b = static_cast<unsigned char>(c);
+          return Status::Corruption(
+              std::string("non-printable byte 0x") + hex[b >> 4] +
+              hex[b & 0xf] + " in sequence data at line " +
+              std::to_string(line_no));
         }
+        current->sequence.push_back(c);
       }
     }
   }
@@ -46,7 +84,10 @@ Result<std::vector<FastaRecord>> ParseFasta(const std::string& text) {
 
 Result<std::vector<FastaRecord>> ReadFasta(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
+  if (!in) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (in.bad()) return Status::IoError("read failure on " + path);
@@ -59,7 +100,10 @@ Status WriteFasta(const std::string& path,
     return Status::InvalidArgument("line_width must be positive");
   }
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  if (!out) {
+    return Status::IoError("cannot open " + path +
+                           " for writing: " + std::strerror(errno));
+  }
   for (const FastaRecord& rec : records) {
     out << '>' << rec.id;
     if (!rec.comment.empty()) out << ' ' << rec.comment;

@@ -50,7 +50,7 @@ uint32_t BufferPool::PickVictim() {
         Frame& frame = frames_[clock_hand_];
         uint32_t candidate = clock_hand_;
         clock_hand_ = (clock_hand_ + 1) % frames_.size();
-        if (frame.referenced) {
+        if (frame.valid && frame.referenced) {
           frame.referenced = false;
         } else {
           return candidate;
@@ -59,9 +59,11 @@ uint32_t BufferPool::PickVictim() {
     }
     case ReplacementPolicy::kPinTop: {
       // LRU among the unprotected frames; protected (top-of-backbone)
-      // pages are skipped unless nothing else is available.
+      // pages are skipped unless nothing else is available. Frames
+      // invalidated by a failed read are always fair game.
       for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
-        if (!Protected(frames_[*it].page_id)) return *it;
+        const Frame& frame = frames_[*it];
+        if (!frame.valid || !Protected(frame.page_id)) return *it;
       }
       return lru_.back();
     }
@@ -69,14 +71,31 @@ uint32_t BufferPool::PickVictim() {
   return 0;
 }
 
+Status BufferPool::WriteBack(uint32_t frame) {
+  SealPageChecksum(frames_[frame].page_id, FrameData(frame));
+  return file_->WritePage(frames_[frame].page_id, FrameData(frame));
+}
+
+Status BufferPool::ReadAndVerify(uint64_t page_id, uint8_t* raw) {
+  SPINE_RETURN_IF_ERROR(file_->ReadPage(page_id, raw));
+  Status verify = VerifyPageChecksum(page_id, raw);
+  if (verify.ok()) return verify;
+  // One immediate re-read: a transient fault (bus glitch, injected bit
+  // flip) heals; corruption that is actually on the medium persists.
+  SPINE_RETURN_IF_ERROR(file_->ReadPage(page_id, raw));
+  return VerifyPageChecksum(page_id, raw);
+}
+
 uint8_t* BufferPool::FetchPage(uint64_t page_id, bool mark_dirty) {
+  if (!last_error_.ok()) return nullptr;  // fail fast while latched
+
   auto it = page_to_frame_.find(page_id);
   if (it != page_to_frame_.end()) {
     ++stats_.hits;
     uint32_t frame = it->second;
     if (mark_dirty) frames_[frame].dirty = true;
     Touch(frame);
-    return FrameData(frame);
+    return FrameData(frame) + kPageHeaderSize;
   }
   ++stats_.misses;
 
@@ -93,19 +112,21 @@ uint8_t* BufferPool::FetchPage(uint64_t page_id, bool mark_dirty) {
     frame = PickVictim();
     Frame& victim = frames_[frame];
     ++stats_.evictions;
-    if (victim.dirty) {
+    if (victim.valid && victim.dirty) {
       ++stats_.dirty_writebacks;
-      Status status = file_->WritePage(victim.page_id, FrameData(frame));
+      Status status = WriteBack(frame);
       if (!status.ok()) {
         last_error_ = status;
         return nullptr;
       }
     }
-    page_to_frame_.erase(victim.page_id);
+    if (victim.valid) page_to_frame_.erase(victim.page_id);
   }
 
-  Status status = file_->ReadPage(page_id, FrameData(frame));
+  Status status = ReadAndVerify(page_id, FrameData(frame));
   if (!status.ok()) {
+    // Invalidate the frame so eviction never writes stale bytes back.
+    frames_[frame] = Frame{};
     last_error_ = status;
     return nullptr;
   }
@@ -113,14 +134,14 @@ uint8_t* BufferPool::FetchPage(uint64_t page_id, bool mark_dirty) {
                          /*referenced=*/true};
   page_to_frame_[page_id] = frame;
   if (uses_lru_list) Touch(frame);
-  return FrameData(frame);
+  return FrameData(frame) + kPageHeaderSize;
 }
 
 Status BufferPool::FlushAll() {
   for (uint32_t frame = 0; frame < frames_.size(); ++frame) {
     Frame& f = frames_[frame];
     if (f.valid && f.dirty) {
-      SPINE_RETURN_IF_ERROR(file_->WritePage(f.page_id, FrameData(frame)));
+      SPINE_RETURN_IF_ERROR(WriteBack(frame));
       f.dirty = false;
     }
   }

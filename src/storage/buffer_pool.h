@@ -13,6 +13,19 @@
 //              evict-the-deepest-page turns sequential scans into
 //              thrashing, so the protected set is capped.
 //
+// Integrity (PR 2): every page carries an 8-byte header — CRC32C over
+// the rest of the page plus the low 32 bits of the logical page id
+// (see page_file.h). The pool verifies the header on every miss (with
+// one immediate re-read to heal transient bus/bit-flip errors) and
+// seals it on every writeback. FetchPage hands out the payload region
+// only; callers address kPagePayloadSize bytes per page.
+//
+// Error latch: FetchPage returns nullptr on I/O error or checksum
+// mismatch and latches a sticky Status (à la ostream/sqlite) readable
+// via has_error()/ConsumeError(). While latched, further fetches fail
+// fast; callers that consumed a record from a failed fetch observe
+// zeroed data, which the traversal layers treat as "bail out now".
+//
 // Single-threaded by design (the paper's experiments are single
 // threaded); a fetched pointer stays valid until the next Fetch call on
 // the same pool.
@@ -22,7 +35,6 @@
 
 #include <cstdint>
 #include <list>
-#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -58,9 +70,12 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  // Returns the frame data for `page_id`, faulting it in if necessary.
-  // With mark_dirty the page is written back on eviction/flush.
-  // Returns nullptr only on I/O error (see last_error()).
+  // Returns the payload region (kPagePayloadSize bytes) for `page_id`,
+  // faulting the page in and verifying its checksum if necessary. With
+  // mark_dirty the page is written back (resealed) on eviction/flush.
+  // Returns nullptr on I/O error or corruption; the error latches (see
+  // has_error()/ConsumeError()) and further fetches fail fast until it
+  // is consumed.
   uint8_t* FetchPage(uint64_t page_id, bool mark_dirty);
 
   Status FlushAll();
@@ -69,7 +84,15 @@ class BufferPool {
   void ResetStats() { stats_ = IoStats{}; }
   uint32_t frame_count() const { return static_cast<uint32_t>(frames_.size()); }
   uint64_t MemoryBytes() const { return arena_.size(); }
+
+  bool has_error() const { return !last_error_.ok(); }
   const Status& last_error() const { return last_error_; }
+  // Returns the latched error (or OK) and clears the latch.
+  Status ConsumeError() {
+    Status status = std::move(last_error_);
+    last_error_ = Status::OK();
+    return status;
+  }
 
  private:
   struct Frame {
@@ -82,9 +105,14 @@ class BufferPool {
   uint8_t* FrameData(uint32_t frame) {
     return arena_.data() + static_cast<uint64_t>(frame) * kPageSize;
   }
-  // Chooses a victim frame according to the policy (all frames valid).
+  // Chooses a victim frame according to the policy.
   uint32_t PickVictim();
   void Touch(uint32_t frame);
+  // Writes a frame back with a freshly sealed checksum header.
+  Status WriteBack(uint32_t frame);
+  // Reads and checksum-verifies a page into a frame, retrying the read
+  // once on mismatch (a transient fault heals; real corruption stays).
+  Status ReadAndVerify(uint64_t page_id, uint8_t* raw);
 
   PageFile* file_;
   ReplacementPolicy policy_;

@@ -13,6 +13,12 @@
 // so pinning the top of the LT beats LRU under memory pressure — can be
 // reproduced (bench_ablation_buffering).
 //
+// Error handling (PR 2): I/O failures and checksum mismatches latch on
+// the buffer pool instead of aborting. Append() polls the latch and
+// returns the error; const searches run to completion on zeroed
+// fallback records and the caller retrieves the verdict afterwards via
+// ConsumeError() (core/query.h ExecuteQuery does this automatically).
+//
 // Thread safety: NONE — even const searches mutate the shared buffer
 // pool. One DiskSpine per thread (or external locking).
 
@@ -32,6 +38,7 @@
 #include "core/spine_index.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
+#include "storage/io_backend.h"
 #include "storage/paged_array.h"
 #include "storage/page_file.h"
 
@@ -49,10 +56,8 @@ class PagedCodes {
     return page_table_.capacity() * sizeof(uint64_t);
   }
   const std::vector<uint64_t>& page_table() const { return page_table_; }
-  void Restore(uint64_t size, std::vector<uint64_t> page_table) {
-    size_ = size;
-    page_table_ = std::move(page_table);
-  }
+  [[nodiscard]] Status Restore(uint64_t size,
+                               std::vector<uint64_t> page_table);
 
  private:
   BufferPool* pool_;
@@ -69,6 +74,7 @@ class DiskSpine {
     uint32_t pool_frames = 1024;  // memory budget in 4 KiB pages
     ReplacementPolicy policy = ReplacementPolicy::kLru;
     PageFile::SyncMode sync_mode = PageFile::SyncMode::kNone;
+    IoBackend* backend = nullptr;  // null selects the POSIX backend
   };
 
   // Creates a disk-resident index backed by a fresh file at `path`.
@@ -108,6 +114,22 @@ class DiskSpine {
                                      SearchStats* stats = nullptr) const;
   std::vector<uint32_t> FindAll(std::string_view pattern,
                                 SearchStats* stats = nullptr) const;
+
+  // --- Error latch ---------------------------------------------------------
+
+  // True when an I/O error or corruption was hit since the last
+  // ConsumeError(); results produced while latched are unreliable.
+  bool has_io_error() const {
+    return pool_.has_error() || !struct_error_.ok();
+  }
+  // Returns the latched error (or OK) and clears the latch.
+  Status ConsumeError() const;
+
+  // Full structural scan: every link points upstream, LELs are bounded
+  // by their destination depth, rib/extrib slots and overflow indexes
+  // are in range, and extrib chains advance strictly in PT. Used by
+  // `spine verify`; reads every page (so it also exercises checksums).
+  Status VerifyStructure() const;
 
   // --- I/O accounting ------------------------------------------------------
 
@@ -174,6 +196,13 @@ class DiskSpine {
   void SetExtrib(NodeId node, NodeId dest, uint32_t pt, uint32_t prt,
                  NodeId parent_dest);
   std::optional<ExtribView> ExtribAt(NodeId node) const;
+  // Latches a structural-consistency error (in-memory directory out of
+  // step with paged data; should be unreachable given checksums).
+  void LatchCorruption(const std::string& message) const;
+  // OK, or the latched error if one fired during the current operation.
+  Status PoolStatus() const {
+    return has_io_error() ? ConsumeError() : Status::OK();
+  }
 
   Alphabet alphabet_;
   std::string meta_path_;
@@ -193,6 +222,7 @@ class DiskSpine {
   std::unordered_map<uint32_t, uint32_t> extrib_slot_;  // node -> record idx
   std::unordered_map<uint32_t, BigEntry> rt_big_;
   std::vector<uint32_t> overflow_;
+  mutable Status struct_error_;
 };
 
 }  // namespace spine::storage

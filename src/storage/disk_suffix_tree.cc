@@ -1,6 +1,8 @@
 #include "storage/disk_suffix_tree.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 
 #include "common/check.h"
@@ -10,7 +12,7 @@ namespace spine::storage {
 
 namespace {
 constexpr uint32_t kTreeMetaMagic = 0x53544d44;  // "STMD"
-constexpr uint32_t kTreeMetaVersion = 1;
+constexpr uint32_t kTreeMetaVersion = 2;         // v2: CRC32C footer
 }  // namespace
 
 DiskSuffixTree::DiskSuffixTree(const Alphabet& alphabet, PageFile file,
@@ -24,12 +26,14 @@ DiskSuffixTree::DiskSuffixTree(const Alphabet& alphabet, PageFile file,
 Result<std::unique_ptr<DiskSuffixTree>> DiskSuffixTree::Create(
     const Alphabet& alphabet, const std::string& path,
     const Options& options) {
-  Result<PageFile> file = PageFile::Create(path, options.sync_mode);
+  Result<PageFile> file =
+      PageFile::Create(path, options.sync_mode, options.backend);
   if (!file.ok()) return file.status();
   std::unique_ptr<DiskSuffixTree> tree(
       new DiskSuffixTree(alphabet, std::move(file).value(), options));
   tree->meta_path_ = path + ".meta";
   tree->nodes_.Append(Node{});  // root
+  if (tree->pool_.has_error()) return tree->pool_.ConsumeError();
   return tree;
 }
 
@@ -37,7 +41,10 @@ Status DiskSuffixTree::Checkpoint() {
   SPINE_RETURN_IF_ERROR(pool_.FlushAll());
   SPINE_RETURN_IF_ERROR(file_.Sync());
   std::ofstream out(meta_path_, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open " + meta_path_);
+  if (!out) {
+    return Status::IoError("cannot open " + meta_path_ + ": " +
+                           std::strerror(errno));
+  }
   serde::Writer w(out);
   w.Pod(kTreeMetaMagic);
   w.Pod(kTreeMetaVersion);
@@ -52,15 +59,22 @@ Status DiskSuffixTree::Checkpoint() {
   w.Pod(active_length_);
   w.Pod(remainder_);
   w.Pod(need_suffix_link_);
+  w.WriteCrcFooter();
   out.flush();
-  if (!out) return Status::IoError("write failure on " + meta_path_);
+  if (!out) {
+    return Status::IoError("write failure on " + meta_path_ + ": " +
+                           std::strerror(errno));
+  }
   return Status::OK();
 }
 
 Result<std::unique_ptr<DiskSuffixTree>> DiskSuffixTree::Open(
     const std::string& path, const Options& options) {
   std::ifstream in(path + ".meta", std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path + ".meta");
+  if (!in) {
+    return Status::IoError("cannot open " + path + ".meta: " +
+                           std::strerror(errno));
+  }
   serde::Reader r(in);
   uint32_t magic = 0, version = 0, kind = 0;
   if (!r.Pod(&magic) || magic != kTreeMetaMagic) {
@@ -79,7 +93,8 @@ Result<std::unique_ptr<DiskSuffixTree>> DiskSuffixTree::Open(
   } else if (kind == static_cast<uint32_t>(Alphabet::Kind::kAscii)) {
     alphabet = Alphabet::Ascii();
   }
-  Result<PageFile> file = PageFile::Open(path, options.sync_mode);
+  Result<PageFile> file =
+      PageFile::Open(path, options.sync_mode, options.backend);
   if (!file.ok()) return file.status();
   std::unique_ptr<DiskSuffixTree> tree(
       new DiskSuffixTree(alphabet, std::move(file).value(), options));
@@ -94,16 +109,27 @@ Result<std::unique_ptr<DiskSuffixTree>> DiskSuffixTree::Open(
   if (!r.Pod(&allocated)) return corrupt("allocator");
   tree->allocator_.Restore(allocated);
   if (!r.Pod(&size) || !r.Vec(&table)) return corrupt("text");
-  tree->text_.Restore(size, std::move(table));
+  SPINE_RETURN_IF_ERROR(tree->text_.Restore(size, std::move(table)));
   if (!r.Pod(&size) || !r.Vec(&table)) return corrupt("nodes");
-  tree->nodes_.Restore(size, std::move(table));
+  SPINE_RETURN_IF_ERROR(tree->nodes_.Restore(size, std::move(table)));
   if (!r.Pod(&tree->active_node_) || !r.Pod(&tree->active_edge_) ||
       !r.Pod(&tree->active_length_) || !r.Pod(&tree->remainder_) ||
       !r.Pod(&tree->need_suffix_link_)) {
     return corrupt("construction state");
   }
+  if (!r.VerifyCrcFooter()) {
+    return Status::Corruption("metadata checksum mismatch in " + path +
+                              ".meta");
+  }
   if (tree->active_node_ >= tree->nodes_.size()) {
     return Status::Corruption("active node out of range");
+  }
+  if (tree->allocator_.allocated() != tree->file_.page_count()) {
+    return Status::Corruption(
+        path + ": metadata names " +
+        std::to_string(tree->allocator_.allocated()) +
+        " pages but the page file holds " +
+        std::to_string(tree->file_.page_count()));
   }
   return tree;
 }
@@ -132,6 +158,7 @@ void DiskSuffixTree::ReplaceChild(uint32_t parent, uint32_t old_child,
   } else {
     uint32_t cur = p.first_child;
     while (true) {
+      if (pool_.has_error()) return;  // zeroed reads would loop forever
       Node n = nodes_.Get(cur);
       if (n.next_sibling == old_child) {
         n.next_sibling = new_child;
@@ -153,9 +180,10 @@ uint32_t DiskSuffixTree::FindChild(uint32_t parent, Code c,
                                    SearchStats* stats) const {
   uint32_t child = nodes_.Get(parent).first_child;
   while (child != kNoNode32) {
+    if (pool_.has_error()) return kNoNode32;  // zeroed links would cycle
     if (stats != nullptr) ++stats->nodes_checked;
     Node n = nodes_.Get(child);
-    if (text_.Get(n.start) == c) return child;
+    if (text_.Get(n.start) == c && !pool_.has_error()) return child;
     child = n.next_sibling;
   }
   return kNoNode32;
@@ -169,6 +197,7 @@ Status DiskSuffixTree::Append(char ch) {
         alphabet_.name() + " alphabet");
   }
   ExtendWithCode(c);
+  if (pool_.has_error()) return pool_.ConsumeError();
   return Status::OK();
 }
 
@@ -195,6 +224,7 @@ void DiskSuffixTree::ExtendWithCode(Code c) {
   };
 
   while (remainder_ > 0) {
+    if (pool_.has_error()) return;  // bail; Append surfaces the latch
     if (active_length_ == 0) active_edge_ = pos;
     uint32_t child = FindChild(active_node_, text_.Get(active_edge_), nullptr);
     if (child == kNoNode32) {
@@ -247,6 +277,7 @@ bool DiskSuffixTree::Contains(std::string_view pattern,
   uint32_t node = kRoot;
   size_t i = 0;
   while (i < pattern.size()) {
+    if (pool_.has_error()) return false;  // caller consumes the latch
     Code c = alphabet_.Encode(pattern[i]);
     if (c == kInvalidCode) return false;
     uint32_t child = FindChild(node, c, stats);
@@ -271,6 +302,7 @@ std::vector<uint32_t> DiskSuffixTree::FindAll(std::string_view pattern,
   uint32_t node = kRoot;
   size_t i = 0;
   while (i < pattern.size()) {
+    if (pool_.has_error()) return out;  // caller consumes the latch
     Code c = alphabet_.Encode(pattern[i]);
     if (c == kInvalidCode) return out;
     uint32_t child = FindChild(node, c, stats);
@@ -290,7 +322,7 @@ std::vector<uint32_t> DiskSuffixTree::FindAll(std::string_view pattern,
   // in-memory SuffixTree::FindAll).
   const uint32_t n = static_cast<uint32_t>(text_.size());
   const uint32_t m = static_cast<uint32_t>(pattern.size());
-  for (uint32_t j = n - remainder_; j + m <= n; ++j) {
+  for (uint32_t j = n - remainder_; j + m <= n && !pool_.has_error(); ++j) {
     bool match = true;
     for (uint32_t k = 0; k < m; ++k) {
       if (text_.Get(j + k) != alphabet_.Encode(pattern[k])) {
@@ -314,9 +346,10 @@ void DiskSuffixTree::CollectLeaves(uint32_t id,
   }
   std::vector<uint32_t> stack = {root.first_child};
   while (!stack.empty()) {
+    if (pool_.has_error()) return;  // zeroed links would cycle
     uint32_t cur = stack.back();
     stack.pop_back();
-    for (uint32_t id2 = cur; id2 != kNoNode32;) {
+    for (uint32_t id2 = cur; id2 != kNoNode32 && !pool_.has_error();) {
       Node n = nodes_.Get(id2);
       if (n.first_child == kNoNode32) {
         if (n.suffix_index != kNoNode32) out->push_back(n.suffix_index);

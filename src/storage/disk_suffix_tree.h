@@ -36,6 +36,7 @@ class DiskSuffixTree {
     uint32_t pool_frames = 1024;
     ReplacementPolicy policy = ReplacementPolicy::kLru;
     PageFile::SyncMode sync_mode = PageFile::SyncMode::kNone;
+    IoBackend* backend = nullptr;  // null selects the POSIX backend
   };
 
   static Result<std::unique_ptr<DiskSuffixTree>> Create(
@@ -84,6 +85,11 @@ class DiskSuffixTree {
   void ResetIoStats() { pool_.ResetStats(); }
   Status Flush() { return pool_.FlushAll(); }
   uint64_t PagesUsed() const { return allocator_.allocated(); }
+
+  // Error latch (see disk_spine.h): searches run to completion on
+  // zeroed fallback records; check here whether the result is trusted.
+  bool has_io_error() const { return pool_.has_error(); }
+  Status ConsumeError() const { return pool_.ConsumeError(); }
 
  private:
   DiskSuffixTree(const Alphabet& alphabet, PageFile file,

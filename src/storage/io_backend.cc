@@ -1,0 +1,212 @@
+#include "storage/io_backend.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace spine::storage {
+
+namespace {
+
+class PosixBackend : public IoBackend {
+ public:
+  Result<int> Open(const std::string& path, bool create) override {
+    int flags = create ? (O_CREAT | O_TRUNC | O_RDWR) : O_RDWR;
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      return Status::IoError("open(" + path + "): " + std::strerror(errno));
+    }
+    return fd;
+  }
+
+  void Close(int handle) override {
+    if (handle >= 0) ::close(handle);
+  }
+
+  Result<uint64_t> Size(int handle) override {
+    off_t size = ::lseek(handle, 0, SEEK_END);
+    if (size < 0) {
+      return Status::IoError(std::string("lseek: ") + std::strerror(errno));
+    }
+    return static_cast<uint64_t>(size);
+  }
+
+  Status Read(int handle, uint64_t offset, void* buf, size_t n,
+              size_t* bytes_read) override {
+    size_t done = 0;
+    uint8_t* out = static_cast<uint8_t*>(buf);
+    while (done < n) {
+      ssize_t got = ::pread(handle, out + done, n - done,
+                            static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(std::string("pread: ") + std::strerror(errno));
+      }
+      if (got == 0) break;  // EOF
+      done += static_cast<size_t>(got);
+    }
+    *bytes_read = done;
+    return Status::OK();
+  }
+
+  Status Write(int handle, uint64_t offset, const void* buf,
+               size_t n) override {
+    size_t done = 0;
+    const uint8_t* in = static_cast<const uint8_t*>(buf);
+    while (done < n) {
+      ssize_t put = ::pwrite(handle, in + done, n - done,
+                             static_cast<off_t>(offset + done));
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+      }
+      done += static_cast<size_t>(put);
+    }
+    return Status::OK();
+  }
+
+  Status Sync(int handle) override {
+    if (::fdatasync(handle) != 0) {
+      return Status::IoError(std::string("fdatasync: ") +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+IoBackend* PosixIoBackend() {
+  static PosixBackend* backend = new PosixBackend;
+  return backend;
+}
+
+// --- FaultInjectingBackend ------------------------------------------------
+
+void FaultInjectingBackend::ScheduleReadFault(FaultKind kind, uint64_t nth) {
+  read_faults_.push_back({reads_ + nth, kind});
+}
+
+void FaultInjectingBackend::ScheduleWriteFault(FaultKind kind, uint64_t nth) {
+  write_faults_.push_back({writes_ + nth, kind});
+}
+
+void FaultInjectingBackend::ScheduleSyncFault(uint64_t nth) {
+  sync_faults_.push_back({syncs_ + nth, FaultKind::kSyncError});
+}
+
+void FaultInjectingBackend::EnableRandomFaults(uint64_t seed, double rate) {
+  random_rng_ = Rng(seed);
+  random_rate_ = rate;
+}
+
+void FaultInjectingBackend::ClearScheduledFaults() {
+  read_faults_.clear();
+  write_faults_.clear();
+  sync_faults_.clear();
+}
+
+bool FaultInjectingBackend::NextFault(std::deque<Scheduled>* scheduled,
+                                      uint64_t op_counter, bool is_read,
+                                      bool is_sync, FaultKind* kind) {
+  for (auto it = scheduled->begin(); it != scheduled->end(); ++it) {
+    if (it->at_op == op_counter) {
+      *kind = it->kind;
+      scheduled->erase(it);
+      return true;
+    }
+  }
+  if (random_rate_ > 0.0 && random_rng_.Chance(random_rate_)) {
+    if (is_sync) {
+      *kind = FaultKind::kSyncError;
+    } else if (is_read) {
+      *kind = random_rng_.Chance(0.5) ? FaultKind::kReadError
+                                      : FaultKind::kBitFlip;
+    } else {
+      uint64_t pick = random_rng_.Below(3);
+      *kind = pick == 0   ? FaultKind::kWriteError
+              : pick == 1 ? FaultKind::kShortWrite
+                          : FaultKind::kTornPage;
+    }
+    return true;
+  }
+  return false;
+}
+
+Result<int> FaultInjectingBackend::Open(const std::string& path,
+                                        bool create) {
+  return delegate_->Open(path, create);
+}
+
+void FaultInjectingBackend::Close(int handle) { delegate_->Close(handle); }
+
+Result<uint64_t> FaultInjectingBackend::Size(int handle) {
+  return delegate_->Size(handle);
+}
+
+Status FaultInjectingBackend::Read(int handle, uint64_t offset, void* buf,
+                                   size_t n, size_t* bytes_read) {
+  ++reads_;
+  FaultKind kind;
+  if (NextFault(&read_faults_, reads_, /*is_read=*/true, /*is_sync=*/false,
+                &kind)) {
+    ++faults_injected_;
+    if (kind == FaultKind::kReadError) {
+      return Status::IoError("injected EIO on read (op " +
+                             std::to_string(reads_) + ")");
+    }
+    // kBitFlip: perform the read, then silently corrupt one bit.
+    Status status = delegate_->Read(handle, offset, buf, n, bytes_read);
+    if (!status.ok()) return status;
+    if (*bytes_read > 0) {
+      uint64_t bit = random_rng_.Below(*bytes_read * 8);
+      static_cast<uint8_t*>(buf)[bit / 8] ^=
+          static_cast<uint8_t>(1u << (bit % 8));
+    }
+    return Status::OK();
+  }
+  return delegate_->Read(handle, offset, buf, n, bytes_read);
+}
+
+Status FaultInjectingBackend::Write(int handle, uint64_t offset,
+                                    const void* buf, size_t n) {
+  ++writes_;
+  FaultKind kind;
+  if (NextFault(&write_faults_, writes_, /*is_read=*/false,
+                /*is_sync=*/false, &kind)) {
+    ++faults_injected_;
+    if (kind == FaultKind::kWriteError) {
+      return Status::IoError("injected EIO on write (op " +
+                             std::to_string(writes_) + ")");
+    }
+    // Short write and torn page both persist only a prefix; a short
+    // write reports the failure, a torn page lies and reports success.
+    size_t prefix = std::min(n, std::max<size_t>(1, n / 2));
+    Status status = delegate_->Write(handle, offset, buf, prefix);
+    if (!status.ok()) return status;
+    if (kind == FaultKind::kShortWrite) {
+      return Status::IoError("injected short write (" +
+                             std::to_string(prefix) + "/" +
+                             std::to_string(n) + " bytes)");
+    }
+    return Status::OK();  // torn page
+  }
+  return delegate_->Write(handle, offset, buf, n);
+}
+
+Status FaultInjectingBackend::Sync(int handle) {
+  ++syncs_;
+  FaultKind kind;
+  if (NextFault(&sync_faults_, syncs_, /*is_read=*/false, /*is_sync=*/true,
+                &kind)) {
+    ++faults_injected_;
+    return Status::IoError("injected EIO on sync (op " +
+                           std::to_string(syncs_) + ")");
+  }
+  return delegate_->Sync(handle);
+}
+
+}  // namespace spine::storage

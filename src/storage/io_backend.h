@@ -1,0 +1,120 @@
+// IoBackend: the pluggable raw-I/O seam underneath PageFile.
+//
+// Production code runs on PosixIoBackend (pread/pwrite/fdatasync).
+// Tests run the same storage stack over FaultInjectingBackend, which
+// wraps another backend and injects media failures — EIO on
+// read/write/sync, short writes, torn pages (only a prefix persisted,
+// success reported), and silent bit flips — either scripted ("fail the
+// 3rd write from now") or randomized from a deterministic seed. This is
+// how the system-wide robustness contract is enforced: under any fault
+// schedule, every query returns a correct answer or a clean Status —
+// never a crash, never a silently wrong answer.
+//
+// Backends are stateless with respect to files (handles carry the
+// state), so one backend instance may serve many PageFiles. Fault
+// scheduling on FaultInjectingBackend is not thread-safe; drive it from
+// one thread (the storage stack above it is single-threaded anyway).
+
+#ifndef SPINE_STORAGE_IO_BACKEND_H_
+#define SPINE_STORAGE_IO_BACKEND_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace spine::storage {
+
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  // Opens (or creates+truncates) the file; returns an opaque handle.
+  virtual Result<int> Open(const std::string& path, bool create) = 0;
+  virtual void Close(int handle) = 0;
+  virtual Result<uint64_t> Size(int handle) = 0;
+
+  // Reads up to `n` bytes at `offset`; *bytes_read < n only at EOF.
+  virtual Status Read(int handle, uint64_t offset, void* buf, size_t n,
+                      size_t* bytes_read) = 0;
+  // Writes exactly `n` bytes at `offset` or returns an error.
+  virtual Status Write(int handle, uint64_t offset, const void* buf,
+                       size_t n) = 0;
+  virtual Status Sync(int handle) = 0;
+};
+
+// The process-wide POSIX backend (singleton; never deleted).
+IoBackend* PosixIoBackend();
+
+// Deterministic fault-injecting wrapper around another backend.
+class FaultInjectingBackend : public IoBackend {
+ public:
+  enum class FaultKind : uint8_t {
+    kReadError,   // read fails with an injected-EIO Status
+    kWriteError,  // write fails, nothing persisted
+    kSyncError,   // sync fails
+    kShortWrite,  // a prefix is persisted, then the write fails
+    kTornPage,    // a prefix is persisted, success is reported
+    kBitFlip,     // read succeeds but one bit of the buffer is flipped
+  };
+
+  explicit FaultInjectingBackend(IoBackend* delegate = PosixIoBackend())
+      : delegate_(delegate) {}
+
+  // --- Scripted faults: arm a one-shot fault on the nth upcoming op
+  // of its class (nth = 1 means the very next one). Multiple scheduled
+  // faults on the same class stack independently.
+  void ScheduleReadFault(FaultKind kind, uint64_t nth = 1);   // EIO/bit flip
+  void ScheduleWriteFault(FaultKind kind, uint64_t nth = 1);  // EIO/short/torn
+  void ScheduleSyncFault(uint64_t nth = 1);
+
+  // --- Randomized faults: every op independently draws from a
+  // deterministic seeded stream and fails with probability `rate`
+  // (fault kind drawn uniformly among the kinds valid for the op).
+  void EnableRandomFaults(uint64_t seed, double rate);
+  void DisableRandomFaults() { random_rate_ = 0.0; }
+
+  void ClearScheduledFaults();
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t syncs() const { return syncs_; }
+  uint64_t faults_injected() const { return faults_injected_; }
+
+  // IoBackend implementation (delegates unless a fault fires).
+  Result<int> Open(const std::string& path, bool create) override;
+  void Close(int handle) override;
+  Result<uint64_t> Size(int handle) override;
+  Status Read(int handle, uint64_t offset, void* buf, size_t n,
+              size_t* bytes_read) override;
+  Status Write(int handle, uint64_t offset, const void* buf,
+               size_t n) override;
+  Status Sync(int handle) override;
+
+ private:
+  struct Scheduled {
+    uint64_t at_op;  // absolute op counter value that triggers it
+    FaultKind kind;
+  };
+
+  // Returns the fault to inject for the current op, if any.
+  bool NextFault(std::deque<Scheduled>* scheduled, uint64_t op_counter,
+                 bool is_read, bool is_sync, FaultKind* kind);
+
+  IoBackend* delegate_;
+  std::deque<Scheduled> read_faults_;
+  std::deque<Scheduled> write_faults_;
+  std::deque<Scheduled> sync_faults_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t faults_injected_ = 0;
+  Rng random_rng_{0};
+  double random_rate_ = 0.0;
+};
+
+}  // namespace spine::storage
+
+#endif  // SPINE_STORAGE_IO_BACKEND_H_

@@ -1,102 +1,206 @@
 #include "storage/page_file.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
+#include <cstddef>
 #include <cstring>
+#include <vector>
+
+#include "common/crc32c.h"
 
 namespace spine::storage {
 
-Result<PageFile> PageFile::Create(const std::string& path, SyncMode mode) {
-  int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_RDWR, 0644);
-  if (fd < 0) {
-    return Status::IoError("open(" + path + "): " + std::strerror(errno));
-  }
-  return PageFile(fd, mode);
+namespace {
+
+constexpr uint32_t kSuperblockMagic = 0x53504746;  // "SPGF"
+constexpr uint32_t kSuperblockVersion = 1;
+
+// Fixed-layout superblock occupying physical page 0. The CRC covers
+// the fields before it; the rest of the page is zero padding.
+struct Superblock {
+  uint32_t magic;
+  uint32_t version;
+  uint32_t page_size;
+  uint32_t flags;
+  uint64_t logical_pages;
+  uint32_t crc;
+};
+
+uint32_t SuperblockCrc(const Superblock& sb) {
+  return Crc32c(&sb, offsetof(Superblock, crc));
 }
 
-Result<PageFile> PageFile::Open(const std::string& path, SyncMode mode) {
-  int fd = ::open(path.c_str(), O_RDWR);
-  if (fd < 0) {
-    return Status::IoError("open(" + path + "): " + std::strerror(errno));
+bool IsAllZero(const uint8_t* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (data[i] != 0) return false;
   }
-  off_t size = ::lseek(fd, 0, SEEK_END);
-  if (size < 0) {
-    ::close(fd);
-    return Status::IoError("lseek(" + path + "): " + std::strerror(errno));
+  return true;
+}
+
+uint64_t PhysicalOffset(uint64_t page_id) { return (page_id + 1) * kPageSize; }
+
+}  // namespace
+
+Status VerifyPageChecksum(uint64_t page_id, const uint8_t* page) {
+  // A never-written page reads back as zeros; that is a valid empty page.
+  if (IsAllZero(page, kPageSize)) return Status::OK();
+  uint32_t stored_crc;
+  uint32_t stored_id;
+  std::memcpy(&stored_crc, page, sizeof(stored_crc));
+  std::memcpy(&stored_id, page + sizeof(stored_crc), sizeof(stored_id));
+  if (stored_id != static_cast<uint32_t>(page_id)) {
+    return Status::Corruption("page " + std::to_string(page_id) +
+                              ": header names page " +
+                              std::to_string(stored_id) +
+                              " (misdirected read or write)");
   }
-  PageFile file(fd, mode);
-  file.page_count_ = (static_cast<uint64_t>(size) + kPageSize - 1) / kPageSize;
+  uint32_t want =
+      Crc32c(page + sizeof(stored_crc), kPageSize - sizeof(stored_crc));
+  if (stored_crc != want) {
+    return Status::Corruption("page " + std::to_string(page_id) +
+                              ": checksum mismatch");
+  }
+  return Status::OK();
+}
+
+void SealPageChecksum(uint64_t page_id, uint8_t* page) {
+  uint32_t id_lo = static_cast<uint32_t>(page_id);
+  std::memcpy(page + sizeof(uint32_t), &id_lo, sizeof(id_lo));
+  uint32_t crc = Crc32c(page + sizeof(uint32_t), kPageSize - sizeof(uint32_t));
+  std::memcpy(page, &crc, sizeof(crc));
+}
+
+Result<PageFile> PageFile::Create(const std::string& path, SyncMode mode,
+                                  IoBackend* backend) {
+  if (backend == nullptr) backend = PosixIoBackend();
+  auto handle = backend->Open(path, /*create=*/true);
+  if (!handle.ok()) return handle.status();
+  PageFile file(backend, *handle, mode);
+  Status status = file.WriteSuperblock();
+  if (!status.ok()) return status;
+  return file;
+}
+
+Result<PageFile> PageFile::Open(const std::string& path, SyncMode mode,
+                                IoBackend* backend) {
+  if (backend == nullptr) backend = PosixIoBackend();
+  auto handle = backend->Open(path, /*create=*/false);
+  if (!handle.ok()) return handle.status();
+  PageFile file(backend, *handle, mode);
+
+  auto size = backend->Size(*handle);
+  if (!size.ok()) return size.status();
+  if (*size < kPageSize) {
+    return Status::Corruption(path + ": missing superblock (file is " +
+                              std::to_string(*size) + " bytes)");
+  }
+
+  std::vector<uint8_t> raw(kPageSize);
+  size_t got = 0;
+  Status status = backend->Read(*handle, 0, raw.data(), kPageSize, &got);
+  if (!status.ok()) return status;
+  if (got != kPageSize) {
+    return Status::Corruption(path + ": short superblock read");
+  }
+  Superblock sb;
+  std::memcpy(&sb, raw.data(), sizeof(sb));
+  if (sb.magic != kSuperblockMagic) {
+    return Status::Corruption(path + ": bad superblock magic");
+  }
+  if (sb.version != kSuperblockVersion) {
+    return Status::Corruption(path + ": unsupported superblock version " +
+                              std::to_string(sb.version));
+  }
+  if (sb.page_size != kPageSize) {
+    return Status::Corruption(
+        path + ": page size " + std::to_string(sb.page_size) +
+        " does not match build (" + std::to_string(kPageSize) + ")");
+  }
+  if (sb.crc != SuperblockCrc(sb)) {
+    return Status::Corruption(path + ": superblock checksum mismatch");
+  }
+  uint64_t data_pages = *size / kPageSize - 1;
+  if (sb.logical_pages > data_pages) {
+    return Status::Corruption(path + ": superblock claims " +
+                              std::to_string(sb.logical_pages) +
+                              " pages but file holds " +
+                              std::to_string(data_pages));
+  }
+  file.page_count_ = sb.logical_pages;
   return file;
 }
 
 PageFile::~PageFile() {
-  if (fd_ >= 0) ::close(fd_);
+  if (handle_ >= 0 && backend_ != nullptr) backend_->Close(handle_);
 }
 
 PageFile::PageFile(PageFile&& other) noexcept
-    : fd_(other.fd_),
+    : backend_(other.backend_),
+      handle_(other.handle_),
       mode_(other.mode_),
       page_count_(other.page_count_),
       pages_written_(other.pages_written_),
       pages_read_(other.pages_read_) {
-  other.fd_ = -1;
+  other.handle_ = -1;
 }
 
 PageFile& PageFile::operator=(PageFile&& other) noexcept {
   if (this != &other) {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = other.fd_;
+    if (handle_ >= 0 && backend_ != nullptr) backend_->Close(handle_);
+    backend_ = other.backend_;
+    handle_ = other.handle_;
     mode_ = other.mode_;
     page_count_ = other.page_count_;
     pages_written_ = other.pages_written_;
     pages_read_ = other.pages_read_;
-    other.fd_ = -1;
+    other.handle_ = -1;
   }
   return *this;
+}
+
+Status PageFile::WriteSuperblock() {
+  Superblock sb{};
+  sb.magic = kSuperblockMagic;
+  sb.version = kSuperblockVersion;
+  sb.page_size = kPageSize;
+  sb.flags = 0;
+  sb.logical_pages = page_count_;
+  sb.crc = SuperblockCrc(sb);
+  std::vector<uint8_t> raw(kPageSize, 0);
+  std::memcpy(raw.data(), &sb, sizeof(sb));
+  return backend_->Write(handle_, 0, raw.data(), kPageSize);
 }
 
 Status PageFile::ReadPage(uint64_t page_id, uint8_t* out) {
   ++pages_read_;
   if (page_id >= page_count_) {
-    // Never-written page: defined as zeros.
+    // Never-written page: defined as zeros. No backend round trip.
     std::memset(out, 0, kPageSize);
     return Status::OK();
   }
-  ssize_t got = ::pread(fd_, out, kPageSize,
-                        static_cast<off_t>(page_id * kPageSize));
-  if (got < 0) {
-    return Status::IoError(std::string("pread: ") + std::strerror(errno));
-  }
-  if (got < static_cast<ssize_t>(kPageSize)) {
-    std::memset(out + got, 0, kPageSize - static_cast<size_t>(got));
-  }
+  size_t got = 0;
+  Status status =
+      backend_->Read(handle_, PhysicalOffset(page_id), out, kPageSize, &got);
+  if (!status.ok()) return status;
+  // Pages past the end of file also read back as zeros.
+  if (got < kPageSize) std::memset(out + got, 0, kPageSize - got);
   return Status::OK();
 }
 
 Status PageFile::WritePage(uint64_t page_id, const uint8_t* data) {
-  ssize_t put = ::pwrite(fd_, data, kPageSize,
-                         static_cast<off_t>(page_id * kPageSize));
-  if (put != static_cast<ssize_t>(kPageSize)) {
-    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
-  }
   ++pages_written_;
+  Status status =
+      backend_->Write(handle_, PhysicalOffset(page_id), data, kPageSize);
+  if (!status.ok()) return status;
   if (page_id >= page_count_) page_count_ = page_id + 1;
   if (mode_ == SyncMode::kSyncEveryWrite) {
-    if (::fdatasync(fd_) != 0) {
-      return Status::IoError(std::string("fdatasync: ") +
-                             std::strerror(errno));
-    }
+    return backend_->Sync(handle_);
   }
   return Status::OK();
 }
 
 Status PageFile::Sync() {
-  if (::fdatasync(fd_) != 0) {
-    return Status::IoError(std::string("fdatasync: ") + std::strerror(errno));
-  }
-  return Status::OK();
+  Status status = WriteSuperblock();
+  if (!status.ok()) return status;
+  return backend_->Sync(handle_);
 }
 
 }  // namespace spine::storage

@@ -2,6 +2,13 @@
 // (Section 6.2). Supports a synchronous-write mode mirroring the
 // paper's O_SYNC setup ("indexes were constructed using synchronous I/O
 // for writes to minimize the modulation of the locality behavior").
+//
+// Layout (PR 2): physical page 0 is a versioned, checksummed
+// superblock; logical page i lives at physical page i + 1. Every raw
+// operation goes through a pluggable IoBackend so the fault-injection
+// harness can exercise the whole storage stack. Data-page payloads are
+// checksummed one level up, by the BufferPool (see buffer_pool.h for
+// the page header format).
 
 #ifndef SPINE_STORAGE_PAGE_FILE_H_
 #define SPINE_STORAGE_PAGE_FILE_H_
@@ -10,10 +17,25 @@
 #include <string>
 
 #include "common/status.h"
+#include "storage/io_backend.h"
 
 namespace spine::storage {
 
 inline constexpr uint32_t kPageSize = 4096;
+
+// Per-page header maintained by the BufferPool: CRC32C over the rest
+// of the page, plus the low 32 bits of the logical page id (catches
+// misdirected reads/writes). An all-zero page is a never-written page
+// and is exempt from verification.
+inline constexpr uint32_t kPageHeaderSize = 8;
+inline constexpr uint32_t kPagePayloadSize = kPageSize - kPageHeaderSize;
+
+// Verifies the checksum header of a raw page image (kPageSize bytes)
+// as read from logical page `page_id`. Used by the BufferPool on every
+// miss and by `spine verify` when scanning a whole file.
+Status VerifyPageChecksum(uint64_t page_id, const uint8_t* page);
+// Fills in the checksum header prior to writing the page out.
+void SealPageChecksum(uint64_t page_id, uint8_t* page);
 
 class PageFile {
  public:
@@ -22,10 +44,14 @@ class PageFile {
     kSyncEveryWrite,  // fdatasync after every page write (paper's O_SYNC)
   };
 
-  // Creates (truncating) a page file at `path`.
-  static Result<PageFile> Create(const std::string& path, SyncMode mode);
-  // Opens an existing page file for read/write.
-  static Result<PageFile> Open(const std::string& path, SyncMode mode);
+  // Creates (truncating) a page file at `path` and writes a fresh
+  // superblock. A null backend selects the POSIX backend.
+  static Result<PageFile> Create(const std::string& path, SyncMode mode,
+                                 IoBackend* backend = nullptr);
+  // Opens an existing page file for read/write, validating the
+  // superblock (magic, version, page size, checksum).
+  static Result<PageFile> Open(const std::string& path, SyncMode mode,
+                               IoBackend* backend = nullptr);
 
   ~PageFile();
   PageFile(PageFile&& other) noexcept;
@@ -33,10 +59,11 @@ class PageFile {
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
 
-  // Reads page `page_id` into `out` (kPageSize bytes). Pages never
-  // written read back as zeros (the file is grown on write).
+  // Reads logical page `page_id` into `out` (kPageSize bytes). Pages
+  // never written read back as zeros (the file is grown on write).
   Status ReadPage(uint64_t page_id, uint8_t* out);
   Status WritePage(uint64_t page_id, const uint8_t* data);
+  // Persists the superblock (with the current page count) and syncs.
   Status Sync();
 
   uint64_t pages_written() const { return pages_written_; }
@@ -44,9 +71,13 @@ class PageFile {
   uint64_t page_count() const { return page_count_; }
 
  private:
-  PageFile(int fd, SyncMode mode) : fd_(fd), mode_(mode) {}
+  PageFile(IoBackend* backend, int handle, SyncMode mode)
+      : backend_(backend), handle_(handle), mode_(mode) {}
 
-  int fd_ = -1;
+  Status WriteSuperblock();
+
+  IoBackend* backend_ = nullptr;
+  int handle_ = -1;
   SyncMode mode_ = SyncMode::kNone;
   uint64_t page_count_ = 0;
   uint64_t pages_written_ = 0;

@@ -3,6 +3,12 @@
 // pool/file; each keeps its own page table (page ids allocated from the
 // shared allocator as the array grows), so the on-disk interleaving of
 // LT and RT pages mirrors a real single-file index build.
+//
+// I/O failures do not abort: a failed fetch latches an error on the
+// pool and Read yields a zeroed record (Write becomes a no-op). Callers
+// are expected to poll pool->has_error() at loop boundaries and
+// propagate pool->ConsumeError() — zeroed records keep any traversal
+// that runs a few more steps inside safe index ranges.
 
 #ifndef SPINE_STORAGE_PAGED_ARRAY_H_
 #define SPINE_STORAGE_PAGED_ARRAY_H_
@@ -29,14 +35,14 @@ class PageAllocator {
 };
 
 // Fixed-record-size array over a buffer pool. Records never straddle
-// pages (records_per_page = kPageSize / record_size).
+// pages (records_per_page = kPagePayloadSize / record_size).
 class PagedRecordArray {
  public:
   PagedRecordArray(BufferPool* pool, PageAllocator* allocator,
                    uint32_t record_size)
       : pool_(pool), allocator_(allocator), record_size_(record_size) {
-    SPINE_CHECK(record_size >= 1 && record_size <= kPageSize);
-    records_per_page_ = kPageSize / record_size;
+    SPINE_CHECK(record_size >= 1 && record_size <= kPagePayloadSize);
+    records_per_page_ = kPagePayloadSize / record_size;
   }
 
   uint64_t size() const { return size_; }
@@ -55,14 +61,18 @@ class PagedRecordArray {
   void Read(uint64_t index, void* out) const {
     SPINE_DCHECK(index < size_);
     const uint8_t* page = pool_->FetchPage(PageFor(index), false);
-    SPINE_CHECK_MSG(page != nullptr, "buffer pool I/O failure");
+    if (page == nullptr) {
+      // Error latched on the pool; zeroed record keeps callers in range.
+      std::memset(out, 0, record_size_);
+      return;
+    }
     std::memcpy(out, page + Offset(index), record_size_);
   }
 
   void Write(uint64_t index, const void* record) {
     SPINE_DCHECK(index < size_);
     uint8_t* page = pool_->FetchPage(PageFor(index), true);
-    SPINE_CHECK_MSG(page != nullptr, "buffer pool I/O failure");
+    if (page == nullptr) return;  // error latched on the pool
     std::memcpy(page + Offset(index), record, record_size_);
   }
 
@@ -74,11 +84,18 @@ class PagedRecordArray {
 
   // Persistence support: the page table IS the array's metadata.
   const std::vector<uint64_t>& page_table() const { return page_table_; }
-  void Restore(uint64_t size, std::vector<uint64_t> page_table) {
-    SPINE_CHECK(page_table.size() ==
-                (size + records_per_page_ - 1) / records_per_page_);
+  [[nodiscard]] Status Restore(uint64_t size,
+                               std::vector<uint64_t> page_table) {
+    uint64_t want = (size + records_per_page_ - 1) / records_per_page_;
+    if (page_table.size() != want) {
+      return Status::Corruption(
+          "paged array metadata: " + std::to_string(page_table.size()) +
+          " pages listed, " + std::to_string(want) + " required for " +
+          std::to_string(size) + " records");
+    }
     size_ = size;
     page_table_ = std::move(page_table);
+    return Status::OK();
   }
 
  private:
@@ -117,8 +134,9 @@ class PagedArray {
   const std::vector<uint64_t>& page_table() const {
     return raw_.page_table();
   }
-  void Restore(uint64_t size, std::vector<uint64_t> page_table) {
-    raw_.Restore(size, std::move(page_table));
+  [[nodiscard]] Status Restore(uint64_t size,
+                               std::vector<uint64_t> page_table) {
+    return raw_.Restore(size, std::move(page_table));
   }
 
  private:

@@ -74,19 +74,25 @@ TEST(CliTest, BuildQueryStatsRoundTrip) {
 }
 
 TEST(CliTest, BuildRejectsBadInputs) {
+  // Exit codes follow the documented mapping: 1 I/O, 2 usage,
+  // 3 corruption, 4 invalid argument.
   EXPECT_EQ(RunCli({"build", "/nonexistent.fa", TempPath("x.spine")}).code,
             1);
   const std::string fasta = TempPath("cli_bad.fa");
   WriteFile(fasta, ">seq\nACGTX\n");
-  EXPECT_EQ(RunCli({"build", fasta, TempPath("x.spine")}).code, 1);
+  EXPECT_EQ(RunCli({"build", fasta, TempPath("x.spine")}).code, 4);
   EXPECT_EQ(RunCli({"build", fasta, TempPath("x.spine"),
                     "--alphabet=klingon"})
                 .code,
-            1);
+            4);
   EXPECT_EQ(RunCli({"build", fasta}).code, 2);  // missing positional
   const std::string empty_fa = TempPath("cli_empty.fa");
   WriteFile(empty_fa, "");
-  EXPECT_EQ(RunCli({"build", empty_fa, TempPath("x.spine")}).code, 1);
+  EXPECT_EQ(RunCli({"build", empty_fa, TempPath("x.spine")}).code, 4);
+  // A malformed FASTA (header with no id) is corruption: exit 3.
+  const std::string bad_header = TempPath("cli_noid.fa");
+  WriteFile(bad_header, ">\nACGT\n");
+  EXPECT_EQ(RunCli({"build", bad_header, TempPath("x.spine")}).code, 3);
 }
 
 TEST(CliTest, ProteinAlphabetBuild) {
@@ -137,7 +143,7 @@ TEST(CliTest, GenerateWritesFasta) {
   EXPECT_EQ(build.code, 0) << build.err;
   EXPECT_NE(build.out.find("indexed 5000 characters"), std::string::npos);
   // Byte alphabet is rejected for generation.
-  EXPECT_EQ(RunCli({"generate", out_fa, "--alphabet=byte"}).code, 1);
+  EXPECT_EQ(RunCli({"generate", out_fa, "--alphabet=byte"}).code, 4);
 }
 
 TEST(CliTest, ApproxFindsNearMatches) {
@@ -153,7 +159,7 @@ TEST(CliTest, ApproxFindsNearMatches) {
   CliResult none = RunCli({"approx", index, "TAGA", "--max-edits=0"});
   EXPECT_NE(none.out.find("0 hit(s)"), std::string::npos);
   // max-edits >= pattern length is rejected.
-  EXPECT_EQ(RunCli({"approx", index, "TA", "--max-edits=2"}).code, 1);
+  EXPECT_EQ(RunCli({"approx", index, "TA", "--max-edits=2"}).code, 4);
   EXPECT_EQ(RunCli({"approx", index}).code, 2);
 }
 
@@ -247,12 +253,55 @@ TEST(CliTest, BatchRunsHeterogeneousQueries) {
   EXPECT_EQ(RunCli({"batch", index, "/nonexistent.txt"}).code, 1);
   const std::string empty_patterns = TempPath("cli_batch_empty.txt");
   WriteFile(empty_patterns, "# nothing\n");
-  EXPECT_EQ(RunCli({"batch", index, empty_patterns}).code, 1);
+  EXPECT_EQ(RunCli({"batch", index, empty_patterns}).code, 4);
 }
 
 TEST(CliTest, QueryOnMissingIndexFails) {
   EXPECT_EQ(RunCli({"query", "/nonexistent.spine", "ACGT"}).code, 1);
   EXPECT_EQ(RunCli({"stats", "/nonexistent.spine"}).code, 1);
+}
+
+TEST(CliTest, VerifyAcceptsHealthyImage) {
+  const std::string fasta = TempPath("cli_verify.fa");
+  const std::string index = TempPath("cli_verify.spine");
+  WriteFile(fasta, ">seq\nACGTACGGTACGTTACGATTACGT\n");
+  ASSERT_EQ(RunCli({"build", fasta, index}).code, 0);
+  CliResult verify = RunCli({"verify", index});
+  EXPECT_EQ(verify.code, 0) << verify.err;
+  EXPECT_NE(verify.out.find("compact image OK"), std::string::npos);
+  // Usage errors.
+  EXPECT_EQ(RunCli({"verify"}).code, 2);
+  // Missing file is an I/O error, not corruption.
+  EXPECT_EQ(RunCli({"verify", "/nonexistent.spine"}).code, 1);
+}
+
+TEST(CliTest, VerifyDetectsBitFlippedImageWithExitCode3) {
+  const std::string fasta = TempPath("cli_verify_bad.fa");
+  const std::string index = TempPath("cli_verify_bad.spine");
+  WriteFile(fasta, ">seq\nACGTACGGTACGTTACGATTACGT\n");
+  ASSERT_EQ(RunCli({"build", fasta, index}).code, 0);
+  // Flip one payload bit somewhere past the header.
+  std::string image;
+  {
+    std::ifstream in(index, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    image = buf.str();
+  }
+  ASSERT_GT(image.size(), 40u);
+  image[image.size() / 2] = static_cast<char>(image[image.size() / 2] ^ 0x02);
+  {
+    std::ofstream out(index, std::ios::binary | std::ios::trunc);
+    out << image;
+  }
+  CliResult verify = RunCli({"verify", index});
+  EXPECT_EQ(verify.code, 3) << verify.out << verify.err;
+  EXPECT_NE(verify.err.find("error:"), std::string::npos);
+
+  // A file that is no known artifact at all is also corruption.
+  const std::string garbage = TempPath("cli_verify_garbage.bin");
+  WriteFile(garbage, "definitely not an index");
+  EXPECT_EQ(RunCli({"verify", garbage}).code, 3);
 }
 
 }  // namespace

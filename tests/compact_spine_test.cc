@@ -321,7 +321,61 @@ TEST(SerializerTest, RejectsTruncatedFiles) {
     out.write(contents.data(),
               static_cast<std::streamsize>(contents.size() / 2));
   }
-  EXPECT_FALSE(LoadCompactSpine(path).ok());
+  Result<CompactSpineIndex> loaded = LoadCompactSpine(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+// Every corruption class returns kCorruption through a clean Status —
+// the loader must never abort or throw (PR 2 satellite).
+class SerializerCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CompactSpineIndex index(Alphabet::Dna());
+    ASSERT_TRUE(index.AppendString("ACGTACGGTACGTTACGATT").ok());
+    std::ostringstream out;
+    ASSERT_TRUE(SaveCompactSpineToStream(index, out).ok());
+    image_ = out.str();
+  }
+
+  StatusCode LoadCodeFor(const std::string& bytes) {
+    std::istringstream in(bytes);
+    Result<CompactSpineIndex> loaded = LoadCompactSpineFromStream(in);
+    return loaded.ok() ? StatusCode::kOk : loaded.status().code();
+  }
+
+  std::string image_;
+};
+
+TEST_F(SerializerCorruptionTest, BadMagic) {
+  std::string bad = image_;
+  bad[0] = static_cast<char>(bad[0] ^ 0xff);
+  EXPECT_EQ(LoadCodeFor(bad), StatusCode::kCorruption);
+}
+
+TEST_F(SerializerCorruptionTest, WrongVersion) {
+  std::string bad = image_;
+  bad[4] = static_cast<char>(bad[4] + 1);  // version field follows magic
+  EXPECT_EQ(LoadCodeFor(bad), StatusCode::kCorruption);
+}
+
+TEST_F(SerializerCorruptionTest, TruncatedAtEveryPrefix) {
+  // Every truncation point fails cleanly, including the empty file.
+  for (size_t len = 0; len < image_.size(); len += 7) {
+    EXPECT_EQ(LoadCodeFor(image_.substr(0, len)), StatusCode::kCorruption)
+        << "truncated to " << len << " of " << image_.size();
+  }
+}
+
+TEST_F(SerializerCorruptionTest, SingleBitPayloadFlipCaughtByChecksum) {
+  // Flip one bit in every byte position past the header; the image
+  // CRC32C footer guarantees any single-bit error is rejected.
+  for (size_t pos = 8; pos < image_.size(); pos += 11) {
+    std::string bad = image_;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x08);
+    EXPECT_EQ(LoadCodeFor(bad), StatusCode::kCorruption)
+        << "bit flip at byte " << pos << " was not rejected";
+  }
 }
 
 }  // namespace

@@ -1,0 +1,423 @@
+// System-wide robustness contract under injected storage faults:
+// whatever the fault schedule, every query either returns an answer
+// identical to the in-memory oracle's or a clean per-query error —
+// never a crash, never a silently wrong answer.
+//
+// The faults come from storage::FaultInjectingBackend (io_backend.h),
+// slotted under PageFile via DiskSpine::Options::backend, so the whole
+// real stack (page checksums, buffer-pool error latch, ExecuteQuery
+// latch drain, engine retry) is exercised end to end.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/rng.h"
+#include "compact/compact_spine.h"
+#include "core/query.h"
+#include "engine/query_engine.h"
+#include "storage/disk_spine.h"
+#include "storage/io_backend.h"
+#include "storage/page_file.h"
+
+namespace spine::storage {
+namespace {
+
+using FaultKind = FaultInjectingBackend::FaultKind;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string RandomDna(Rng& rng, uint32_t length) {
+  const char* letters = "ACGT";
+  std::string s;
+  s.reserve(length);
+  for (uint32_t i = 0; i < length; ++i) s.push_back(letters[rng.Below(4)]);
+  return s;
+}
+
+// A mixed bag of queries touching every kind.
+std::vector<Query> MakeQueries(Rng& rng, const std::string& s, int count) {
+  std::vector<Query> queries;
+  for (int i = 0; i < count; ++i) {
+    uint32_t start = static_cast<uint32_t>(rng.Below(s.size() - 12));
+    std::string present = s.substr(start, 3 + rng.Below(9));
+    switch (i % 4) {
+      case 0:
+        queries.push_back(Query::FindAll(present));
+        break;
+      case 1:
+        queries.push_back(Query::Contains(present));
+        break;
+      case 2:
+        queries.push_back(Query::MaximalMatches(RandomDna(rng, 40), 6));
+        break;
+      default:
+        queries.push_back(Query::MatchingStats(RandomDna(rng, 24)));
+        break;
+    }
+  }
+  return queries;
+}
+
+// The contract every result must satisfy: oracle-identical or a clean
+// I/O / corruption error.
+::testing::AssertionResult CorrectOrCleanError(const QueryResult& got,
+                                               const QueryResult& expected) {
+  if (got.ok()) {
+    if (got.SameAnswer(expected)) return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "query reported success with a wrong answer";
+  }
+  if (got.status_code == StatusCode::kIoError ||
+      got.status_code == StatusCode::kCorruption) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << "unexpected error class: " << got.status().ToString();
+}
+
+// (a) >= 100 seeded randomized read-fault schedules over the query
+// path. The index is built and flushed cleanly first, so the random
+// faults (EIO, bit flips) land only on query-time page reads.
+TEST(FaultInjectionTest, HundredRandomReadSchedulesNeverWrongNeverCrash) {
+  Rng rng(4242);
+  const std::string s = RandomDna(rng, 6000);
+  CompactSpineIndex oracle(Alphabet::Dna());
+  ASSERT_TRUE(oracle.AppendString(s).ok());
+
+  FaultInjectingBackend backend;
+  DiskSpine::Options options;
+  options.pool_frames = 4;  // tiny pool: every query faults pages in
+  options.backend = &backend;
+  auto disk = DiskSpine::Create(Alphabet::Dna(), TempPath("fi_rand.idx"),
+                                options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  ASSERT_TRUE((*disk)->AppendString(s).ok());
+  ASSERT_TRUE((*disk)->Flush().ok());
+
+  uint64_t clean_errors = 0, correct = 0;
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    backend.EnableRandomFaults(seed, /*rate=*/0.05);
+    Rng qrng(seed * 977);
+    for (const Query& query : MakeQueries(qrng, s, 4)) {
+      QueryResult expected = ExecuteQuery(oracle, query);
+      QueryResult got = ExecuteQuery(**disk, query);
+      ASSERT_TRUE(CorrectOrCleanError(got, expected))
+          << "seed " << seed << " pattern " << query.pattern;
+      got.ok() ? ++correct : ++clean_errors;
+    }
+    backend.DisableRandomFaults();
+  }
+  // The harness actually fired, and the stack survived at least some
+  // of the schedules (one-shot bit flips heal via the pool's re-read).
+  EXPECT_GT(backend.faults_injected(), 0u);
+  EXPECT_GT(clean_errors, 0u);
+  EXPECT_GT(correct, 0u);
+}
+
+// (b) Randomized faults during *construction*: Append/Create either
+// succeed or fail with a clean Status. When construction survives, the
+// index must still answer correctly (or latch corruption cleanly if a
+// torn write made it to the medium).
+TEST(FaultInjectionTest, BuildUnderRandomFaultsFailsCleanly) {
+  Rng rng(777);
+  const std::string s = RandomDna(rng, 3000);
+  CompactSpineIndex oracle(Alphabet::Dna());
+  ASSERT_TRUE(oracle.AppendString(s).ok());
+
+  uint64_t clean_failures = 0, survived = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    FaultInjectingBackend backend;
+    // Grade the rate with the seed: a build issues hundreds of backend
+    // ops, so a flat rate makes every build die. The low-rate seeds
+    // mostly survive, the high-rate ones mostly fail — both arms of the
+    // contract get exercised.
+    backend.EnableRandomFaults(seed, /*rate=*/0.0002 * static_cast<double>(seed));
+    DiskSpine::Options options;
+    options.pool_frames = 8;  // eviction pressure -> writes during build
+    options.backend = &backend;
+    auto disk = DiskSpine::Create(
+        Alphabet::Dna(), TempPath("fi_build" + std::to_string(seed) + ".idx"),
+        options);
+    if (!disk.ok()) {  // clean refusal at create time is a pass
+      ++clean_failures;
+      continue;
+    }
+    Status status = (*disk)->AppendString(s);
+    if (!status.ok()) {
+      EXPECT_TRUE(status.code() == StatusCode::kIoError ||
+                  status.code() == StatusCode::kCorruption)
+          << status.ToString();
+      ++clean_failures;
+      continue;
+    }
+    ++survived;
+    // Quiesce the fault stream and spot-check answers.
+    backend.DisableRandomFaults();
+    Rng qrng(seed);
+    for (const Query& query : MakeQueries(qrng, s, 4)) {
+      QueryResult expected = ExecuteQuery(oracle, query);
+      QueryResult got = ExecuteQuery(**disk, query);
+      ASSERT_TRUE(CorrectOrCleanError(got, expected)) << "seed " << seed;
+    }
+  }
+  EXPECT_GT(clean_failures, 0u);
+  EXPECT_GT(survived, 0u);
+}
+
+// (c) A transient read EIO is healed by the engine's bounded retry:
+// the batch reports success and counts the retry.
+TEST(FaultInjectionTest, EngineRetryHealsTransientReadError) {
+  Rng rng(11);
+  const std::string s = RandomDna(rng, 4000);
+  const std::string path = TempPath("fi_retry.idx");
+  CompactSpineIndex oracle(Alphabet::Dna());
+  ASSERT_TRUE(oracle.AppendString(s).ok());
+  {
+    DiskSpine::Options options;
+    options.pool_frames = 64;
+    auto disk = DiskSpine::Create(Alphabet::Dna(), path, options);
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AppendString(s).ok());
+    ASSERT_TRUE((*disk)->Checkpoint().ok());
+  }
+
+  FaultInjectingBackend backend;
+  DiskSpine::Options options;
+  options.pool_frames = 16;
+  options.backend = &backend;
+  auto disk = DiskSpine::Open(path, options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+
+  // Fail the very next backend read with EIO; the retry re-reads fine.
+  backend.ScheduleReadFault(FaultKind::kReadError, 1);
+
+  engine::QueryEngine engine({.threads = 2,
+                              .cache_bytes = 0,
+                              .max_retries = 2,
+                              .retry_backoff_us = 0});
+  std::string pattern = s.substr(100, 8);
+  std::vector<Query> queries = {Query::FindAll(pattern)};
+  engine::BatchStats stats;
+  std::vector<QueryResult> results =
+      engine.ExecuteBatch(**disk, queries, /*backend_id=*/1, &stats);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].ok()) << results[0].status().ToString();
+  EXPECT_TRUE(results[0].SameAnswer(ExecuteQuery(oracle, queries[0])));
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_GE(backend.faults_injected(), 1u);
+}
+
+// (d) Persistent on-disk corruption: every data page gets a bit flip,
+// so each query that touches storage fails with kCorruption — but the
+// batch itself completes, results arrive for every query, and the
+// engine never retries corruption.
+TEST(FaultInjectionTest, PersistentCorruptionFailsPerQueryNotPerBatch) {
+  Rng rng(23);
+  const std::string s = RandomDna(rng, 4000);
+  const std::string path = TempPath("fi_corrupt.idx");
+  uint64_t pages = 0;
+  {
+    DiskSpine::Options options;
+    options.pool_frames = 64;
+    auto disk = DiskSpine::Create(Alphabet::Dna(), path, options);
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AppendString(s).ok());
+    ASSERT_TRUE((*disk)->Checkpoint().ok());
+    pages = (*disk)->PagesUsed();
+  }
+  ASSERT_GT(pages, 0u);
+  {
+    // Flip one payload bit in every logical page (physical page p + 1).
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    for (uint64_t p = 0; p < pages; ++p) {
+      const std::streamoff off =
+          static_cast<std::streamoff>((p + 1) * kPageSize + kPageHeaderSize +
+                                      17);
+      f.seekg(off);
+      char c = 0;
+      f.read(&c, 1);
+      c = static_cast<char>(c ^ 0x10);
+      f.seekp(off);
+      f.write(&c, 1);
+    }
+  }
+
+  DiskSpine::Options options;
+  options.pool_frames = 16;
+  auto disk = DiskSpine::Open(path, options);
+  // Open only parses the sidecar + superblock, so it still succeeds;
+  // the rot is discovered by checksums on first page access.
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+
+  Rng qrng(34);
+  std::vector<Query> queries = MakeQueries(qrng, s, 8);
+  engine::QueryEngine engine({.threads = 2,
+                              .cache_bytes = 0,
+                              .max_retries = 2,
+                              .retry_backoff_us = 0});
+  engine::BatchStats stats;
+  std::vector<QueryResult> results =
+      engine.ExecuteBatch(**disk, queries, /*backend_id=*/2, &stats);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_FALSE(results[i].ok()) << "query " << i;
+    EXPECT_EQ(results[i].status_code, StatusCode::kCorruption) << "query " << i;
+    EXPECT_FALSE(results[i].error.empty());
+  }
+  EXPECT_EQ(stats.failed, queries.size());
+  EXPECT_EQ(stats.retries, 0u);  // corruption is never retried
+}
+
+// (e) A torn page write (prefix persisted, success reported) is caught
+// by the page checksum on the next read of that page.
+TEST(FaultInjectionTest, TornPageDetectedAfterReopen) {
+  const std::string path = TempPath("fi_torn.dat");
+  FaultInjectingBackend backend;
+  {
+    Result<PageFile> file =
+        PageFile::Create(path, PageFile::SyncMode::kNone, &backend);
+    ASSERT_TRUE(file.ok());
+    uint8_t page[kPageSize];
+    for (uint32_t i = 0; i < kPageSize; ++i) {
+      page[i] = static_cast<uint8_t>(i * 7 + 1);  // dense, no zero tail
+    }
+    SealPageChecksum(0, page);
+    backend.ScheduleWriteFault(FaultKind::kTornPage, 1);
+    // The torn write reports success, so the writer cannot see it.
+    ASSERT_TRUE(file->WritePage(0, page).ok());
+    ASSERT_GE(backend.faults_injected(), 1u);
+    // A later page lands intact, extending the file past the torn one —
+    // the tear is invisible to the open-time size cross-check and only
+    // the per-page checksum can catch it.
+    SealPageChecksum(1, page);
+    ASSERT_TRUE(file->WritePage(1, page).ok());
+    // Persist the superblock so the reopen sees both pages.
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  Result<PageFile> reopened = PageFile::Open(path, PageFile::SyncMode::kNone);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  uint8_t raw[kPageSize];
+  ASSERT_TRUE(reopened->ReadPage(0, raw).ok());
+  Status verify = VerifyPageChecksum(0, raw);
+  ASSERT_FALSE(verify.ok());
+  EXPECT_EQ(verify.code(), StatusCode::kCorruption);
+  // The neighbouring intact page still verifies.
+  ASSERT_TRUE(reopened->ReadPage(1, raw).ok());
+  EXPECT_TRUE(VerifyPageChecksum(1, raw).ok());
+  // And the pool refuses to serve the page (re-read does not help:
+  // the torn bytes are really on the medium).
+  BufferPool pool(&*reopened, 4, ReplacementPolicy::kLru);
+  EXPECT_EQ(pool.FetchPage(0, false), nullptr);
+  EXPECT_EQ(pool.ConsumeError().code(), StatusCode::kCorruption);
+}
+
+// (f) Short writes and sync failures surface as kIoError from
+// Checkpoint instead of aborting.
+TEST(FaultInjectionTest, ShortWriteAndSyncFaultSurfaceIoError) {
+  Rng rng(5);
+  const std::string s = RandomDna(rng, 1500);
+
+  {
+    FaultInjectingBackend backend;
+    DiskSpine::Options options;
+    options.pool_frames = 4096;  // no writes until Checkpoint
+    options.backend = &backend;
+    auto disk = DiskSpine::Create(Alphabet::Dna(),
+                                  TempPath("fi_short.idx"), options);
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AppendString(s).ok());
+    backend.ScheduleWriteFault(FaultKind::kShortWrite, 1);
+    Status status = (*disk)->Checkpoint();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kIoError);
+    // The latch (if any) drains and a clean retry succeeds.
+    (void)(*disk)->ConsumeError();
+    EXPECT_TRUE((*disk)->Checkpoint().ok());
+  }
+  {
+    FaultInjectingBackend backend;
+    DiskSpine::Options options;
+    options.pool_frames = 4096;
+    options.backend = &backend;
+    auto disk = DiskSpine::Create(Alphabet::Dna(),
+                                  TempPath("fi_sync.idx"), options);
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AppendString(s).ok());
+    backend.ScheduleSyncFault(1);
+    Status status = (*disk)->Checkpoint();
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kIoError);
+    (void)(*disk)->ConsumeError();
+    EXPECT_TRUE((*disk)->Checkpoint().ok());
+  }
+}
+
+// A write EIO under eviction pressure surfaces from Append itself.
+TEST(FaultInjectionTest, WriteErrorDuringBuildSurfacesFromAppend) {
+  Rng rng(6);
+  const std::string s = RandomDna(rng, 20000);
+  FaultInjectingBackend backend;
+  DiskSpine::Options options;
+  options.pool_frames = 4;  // constant dirty writebacks
+  options.backend = &backend;
+  auto disk = DiskSpine::Create(Alphabet::Dna(),
+                                TempPath("fi_weio.idx"), options);
+  ASSERT_TRUE(disk.ok());
+  backend.ScheduleWriteFault(FaultKind::kWriteError, 1);
+  Status status = (*disk)->AppendString(s);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(backend.faults_injected(), 1u);
+}
+
+// VerifyStructure passes on a healthy index and reports corruption on
+// a bit-flipped one (the `spine verify` building block).
+TEST(FaultInjectionTest, VerifyStructureHealthyAndCorrupt) {
+  Rng rng(88);
+  const std::string s = RandomDna(rng, 3000);
+  const std::string path = TempPath("fi_verify.idx");
+  uint64_t pages = 0;
+  {
+    DiskSpine::Options options;
+    options.pool_frames = 64;
+    auto disk = DiskSpine::Create(Alphabet::Dna(), path, options);
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AppendString(s).ok());
+    ASSERT_TRUE((*disk)->Checkpoint().ok());
+    pages = (*disk)->PagesUsed();
+    Status healthy = (*disk)->VerifyStructure();
+    EXPECT_TRUE(healthy.ok()) << healthy.ToString();
+  }
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    const std::streamoff off =
+        static_cast<std::streamoff>((pages / 2 + 1) * kPageSize +
+                                    kPageHeaderSize + 5);
+    f.seekg(off);
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x20);
+    f.seekp(off);
+    f.write(&c, 1);
+  }
+  DiskSpine::Options options;
+  options.pool_frames = 16;
+  auto disk = DiskSpine::Open(path, options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  Status verdict = (*disk)->VerifyStructure();
+  if (verdict.ok()) verdict = (*disk)->ConsumeError();
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace spine::storage

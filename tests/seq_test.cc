@@ -68,6 +68,60 @@ TEST(FastaTest, ReadMissingFileFails) {
   EXPECT_FALSE(WriteFasta(::testing::TempDir() + "/w.fa", {}, 0).ok());
 }
 
+TEST(FastaTest, HandlesCrOnlyLineEndings) {
+  // Classic-Mac exports separate lines with bare '\r'; getline-style
+  // parsing would glue the whole file into one header line.
+  Result<std::vector<FastaRecord>> records =
+      ParseFasta(">chr1 old mac\rACGT\rACGT\r>chr2\rTT\r");
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].id, "chr1");
+  EXPECT_EQ((*records)[0].sequence, "ACGTACGT");
+  EXPECT_EQ((*records)[1].id, "chr2");
+  EXPECT_EQ((*records)[1].sequence, "TT");
+}
+
+TEST(FastaTest, HeaderOnlyRecordParsesEmpty) {
+  Result<std::vector<FastaRecord>> records =
+      ParseFasta(">empty nothing follows\n>real\nACGT\n");
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].id, "empty");
+  EXPECT_TRUE((*records)[0].sequence.empty());
+  EXPECT_EQ((*records)[1].sequence, "ACGT");
+}
+
+TEST(FastaTest, RejectsEmptyHeaderId) {
+  Result<std::vector<FastaRecord>> records = ParseFasta(">\nACGT\n");
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kCorruption);
+  // An id made of only whitespace is also empty.
+  records = ParseFasta(">   trailing comment\nACGT\n");
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kCorruption);
+}
+
+TEST(FastaTest, RejectsNonPrintableSequenceBytes) {
+  // A NUL byte in the residues means a truncated or binary file.
+  std::string text = ">id\nAC";
+  text.push_back('\0');
+  text += "GT\n";
+  Result<std::vector<FastaRecord>> records = ParseFasta(text);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(records.status().message().find("0x00"), std::string::npos)
+      << records.status().ToString();
+
+  // Control bytes (e.g. a stray 0x01) are rejected too; tabs and
+  // spaces inside sequence lines remain fine.
+  records = ParseFasta(">id\nAC\x01GT\n");
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kCorruption);
+  records = ParseFasta(">id\nAC GT\tAC\n");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ((*records)[0].sequence, "ACGTAC");
+}
+
 TEST(GeneratorTest, ProducesRequestedLengthAndAlphabet) {
   GeneratorOptions options;
   options.length = 50000;

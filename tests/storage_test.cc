@@ -64,16 +64,17 @@ TEST_P(BufferPoolPolicyTest, DataSurvivesEvictionPressure) {
   BufferPool pool(&*file, 4, GetParam());
 
   // Write a recognizable stamp into 64 pages through a 4-frame pool.
+  // FetchPage returns the checksummed page's payload region.
   for (uint64_t p = 0; p < 64; ++p) {
     uint8_t* page = pool.FetchPage(p, true);
     ASSERT_NE(page, nullptr);
-    std::memset(page, static_cast<int>(p + 1), kPageSize);
+    std::memset(page, static_cast<int>(p + 1), kPagePayloadSize);
   }
   // Read everything back (faults evicted pages back in).
   for (uint64_t p = 0; p < 64; ++p) {
     uint8_t* page = pool.FetchPage(p, false);
     ASSERT_NE(page, nullptr);
-    for (uint32_t i = 0; i < kPageSize; i += 512) {
+    for (uint32_t i = 0; i < kPagePayloadSize; i += 512) {
       ASSERT_EQ(page[i], static_cast<uint8_t>(p + 1)) << "page " << p;
     }
   }
@@ -423,6 +424,89 @@ TEST(DiskSuffixTreePersistenceTest, CheckpointAndReopen) {
     ASSERT_EQ((*reopened)->FindAll(pattern), expected.FindAll(pattern));
   }
   EXPECT_FALSE(DiskSuffixTree::Open("/nonexistent.idx", options).ok());
+}
+
+// ---------------------------------------------------------------------
+// Checksums, superblock and the buffer-pool error latch (PR 2).
+// ---------------------------------------------------------------------
+
+TEST(PageChecksumTest, SealVerifyAndMisdirection) {
+  uint8_t page[kPageSize] = {};
+  // A never-written (all-zero) page verifies trivially.
+  EXPECT_TRUE(VerifyPageChecksum(7, page).ok());
+  page[kPageHeaderSize + 10] = 0x42;
+  SealPageChecksum(7, page);
+  EXPECT_TRUE(VerifyPageChecksum(7, page).ok());
+  // Same bytes presented as a different page id: misdirected read.
+  Status misdirected = VerifyPageChecksum(8, page);
+  ASSERT_FALSE(misdirected.ok());
+  EXPECT_EQ(misdirected.code(), StatusCode::kCorruption);
+  // A payload bit flip breaks the CRC.
+  page[kPageHeaderSize + 10] ^= 0x01;
+  Status flipped = VerifyPageChecksum(7, page);
+  ASSERT_FALSE(flipped.ok());
+  EXPECT_EQ(flipped.code(), StatusCode::kCorruption);
+}
+
+TEST(PageFileTest, SuperblockRejectsCorruption) {
+  const std::string path = TempPath("sb_bad.dat");
+  {
+    Result<PageFile> file = PageFile::Create(path, PageFile::SyncMode::kNone);
+    ASSERT_TRUE(file.ok());
+    uint8_t page[kPageSize] = {1};
+    ASSERT_TRUE(file->WritePage(0, page).ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  ASSERT_TRUE(PageFile::Open(path, PageFile::SyncMode::kNone).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekp(1);  // inside the superblock magic
+    char c = 0x7f;
+    f.write(&c, 1);
+  }
+  Result<PageFile> reopened = PageFile::Open(path, PageFile::SyncMode::kNone);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kCorruption);
+}
+
+TEST(BufferPoolTest, LatchesOnPersistentBitFlipAndConsumeResets) {
+  const std::string path = TempPath("crc_flip.dat");
+  {
+    Result<PageFile> file = PageFile::Create(path, PageFile::SyncMode::kNone);
+    ASSERT_TRUE(file.ok());
+    BufferPool pool(&*file, 4, ReplacementPolicy::kLru);
+    uint8_t* page = pool.FetchPage(0, true);
+    ASSERT_NE(page, nullptr);
+    std::memset(page, 0x5a, kPagePayloadSize);
+    ASSERT_TRUE(pool.FlushAll().ok());
+    ASSERT_TRUE(file->Sync().ok());
+  }
+  {
+    // Flip one payload bit of logical page 0 (physical page 1) on disk.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(kPageSize + kPageHeaderSize + 100);
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x04);
+    f.seekp(kPageSize + kPageHeaderSize + 100);
+    f.write(&c, 1);
+  }
+  Result<PageFile> file = PageFile::Open(path, PageFile::SyncMode::kNone);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  BufferPool pool(&*file, 4, ReplacementPolicy::kLru);
+  // Persistent corruption: the pool's single re-read hits the same
+  // bytes, so the fetch fails and the error latches.
+  EXPECT_EQ(pool.FetchPage(0, false), nullptr);
+  ASSERT_TRUE(pool.has_error());
+  // Latched: every subsequent fetch fails fast.
+  EXPECT_EQ(pool.FetchPage(1, false), nullptr);
+  Status latched = pool.ConsumeError();
+  EXPECT_EQ(latched.code(), StatusCode::kCorruption);
+  // Consuming clears the latch; clean pages are reachable again.
+  EXPECT_FALSE(pool.has_error());
+  EXPECT_NE(pool.FetchPage(1, false), nullptr);
 }
 
 // SPINE's disk construction exhibits better locality than the suffix

@@ -1,7 +1,9 @@
 #include "tools/cli.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <optional>
@@ -20,6 +22,9 @@
 #include "engine/query_engine.h"
 #include "seq/fasta.h"
 #include "seq/generator.h"
+#include "storage/disk_spine.h"
+#include "storage/disk_suffix_tree.h"
+#include "storage/page_file.h"
 
 namespace spine::cli {
 
@@ -45,7 +50,36 @@ constexpr const char* kUsage =
     "  search <index.spine> <query.fa> [--min-len=N]\n"
     "  align <reference.fa> <query.fa> [--min-anchor=N] [--mum]\n"
     "  generate <output.fa> [--length=N] [--seed=S] "
-    "[--alphabet=dna|protein]\n";
+    "[--alphabet=dna|protein]\n"
+    "  verify <image>\n"
+    "      check integrity of a compact image (.spine) or a disk index\n"
+    "      page file: magic/version, checksums, structural invariants\n"
+    "exit codes: 0 ok, 1 I/O error, 2 usage error, 3 corruption detected,\n"
+    "            4 invalid argument, 5 not found, 6 resource exhausted,\n"
+    "            7 precondition/range error\n";
+
+// Maps a Status to the CLI's documented exit codes (see kUsage). Usage
+// errors (malformed command lines) return 2 directly, bypassing this.
+int ExitCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kIoError:
+      return 1;
+    case StatusCode::kCorruption:
+      return 3;
+    case StatusCode::kInvalidArgument:
+      return 4;
+    case StatusCode::kNotFound:
+      return 5;
+    case StatusCode::kResourceExhausted:
+      return 6;
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+      return 7;
+  }
+  return 1;
+}
 
 // Splits args into positionals and --key=value / --flag options.
 struct ParsedArgs {
@@ -105,7 +139,7 @@ Result<std::string> LoadFirstSequence(const std::string& path,
 
 int Fail(std::ostream& err, const Status& status) {
   err << "error: " << status.ToString() << "\n";
-  return 1;
+  return ExitCodeFor(status.code());
 }
 
 int CmdBuild(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
@@ -230,6 +264,10 @@ void PrintBatchResult(std::ostream& out, size_t idx, const Query& query,
   constexpr size_t kMaxListed = 16;
   out << "[" << idx << "] " << QueryKindName(query.kind) << " "
       << query.pattern << ": ";
+  if (!result.ok()) {
+    out << "ERROR: " << result.error << "\n";
+    return;
+  }
   switch (query.kind) {
     case QueryKind::kContains:
       out << (result.found ? "yes" : "no");
@@ -319,7 +357,9 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       << " thread(s) in " << secs << " s ("
       << static_cast<uint64_t>(queries.size() / std::max(secs, 1e-9))
       << " q/s), cache hits " << stats.cache_hits << "/" << stats.queries
-      << ", " << stats.search.nodes_checked << " nodes checked\n";
+      << ", " << stats.search.nodes_checked << " nodes checked";
+  if (stats.failed > 0) out << ", " << stats.failed << " FAILED";
+  out << "\n";
   return 0;
 }
 
@@ -521,6 +561,100 @@ int CmdGenerate(const ParsedArgs& args, std::ostream& out,
   return 0;
 }
 
+// `spine verify`: integrity check without modifying anything. Sniffs
+// the leading magic to pick the artifact kind:
+//   "SPNE" — compact image: whole-image checksum + structural Validate
+//            (both run inside LoadCompactSpine)
+//   "SPGF" — page file: superblock, then a full page-checksum scan;
+//            when a metadata sidecar is present the disk index is also
+//            opened and (for DiskSpine) structurally verified.
+// Exit codes follow the table in kUsage: 3 means corruption detected.
+int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "verify requires <image>\n";
+    return 2;
+  }
+  const std::string& path = args.positional[0];
+  uint32_t magic = 0;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) {
+      return Fail(err, Status::IoError("cannot open " + path + ": " +
+                                       std::strerror(errno)));
+    }
+    probe.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    if (!probe) {
+      return Fail(err,
+                  Status::Corruption(path + " is too short to hold an index"));
+    }
+  }
+
+  if (magic == 0x53504e45) {  // "SPNE": compact image
+    Result<CompactSpineIndex> index = LoadCompactSpine(path);
+    if (!index.ok()) return Fail(err, index.status());
+    out << "compact image OK: " << index->size() << " characters, alphabet "
+        << index->alphabet().name() << ", checksum and structure verified\n";
+    return 0;
+  }
+  if (magic != 0x53504746) {  // "SPGF": page-file superblock
+    return Fail(err,
+                Status::Corruption(path +
+                                   ": unrecognized magic (expected a compact "
+                                   "image or a page file)"));
+  }
+
+  uint64_t pages = 0;
+  {
+    Result<storage::PageFile> file =
+        storage::PageFile::Open(path, storage::PageFile::SyncMode::kNone);
+    if (!file.ok()) return Fail(err, file.status());
+    pages = file->page_count();
+    std::vector<uint8_t> page(storage::kPageSize);
+    for (uint64_t p = 0; p < pages; ++p) {
+      Status status = file->ReadPage(p, page.data());
+      if (status.ok()) status = storage::VerifyPageChecksum(p, page.data());
+      // VerifyPageChecksum already names the page in its message.
+      if (!status.ok()) return Fail(err, status);
+    }
+  }
+  out << "superblock OK, " << pages << " page checksum(s) OK\n";
+
+  // A disk index leaves a metadata sidecar next to the page file; use
+  // its magic to pick the right reopen + structural check.
+  uint32_t meta_magic = 0;
+  {
+    std::ifstream meta(path + ".meta", std::ios::binary);
+    if (!meta) {
+      out << "no metadata sidecar (" << path
+          << ".meta); page-level checks only\n";
+      return 0;
+    }
+    meta.read(reinterpret_cast<char*>(&meta_magic), sizeof(meta_magic));
+    if (!meta) {
+      return Fail(err, Status::Corruption(path + ".meta is truncated"));
+    }
+  }
+  if (meta_magic == 0x5350444d) {  // "SPDM": DiskSpine sidecar
+    auto index = storage::DiskSpine::Open(path, {});
+    if (!index.ok()) return Fail(err, index.status());
+    Status status = (*index)->VerifyStructure();
+    if (status.ok()) status = (*index)->ConsumeError();
+    if (!status.ok()) return Fail(err, status);
+    out << "disk spine OK: " << (*index)->size()
+        << " characters, structure verified\n";
+    return 0;
+  }
+  if (meta_magic == 0x53544d44) {  // "STMD": DiskSuffixTree sidecar
+    auto tree = storage::DiskSuffixTree::Open(path, {});
+    if (!tree.ok()) return Fail(err, tree.status());
+    out << "disk suffix tree OK: " << (*tree)->size() << " characters, "
+        << (*tree)->node_count() << " node(s)\n";
+    return 0;
+  }
+  return Fail(err, Status::Corruption("unrecognized metadata magic in " +
+                                      path + ".meta"));
+}
+
 }  // namespace
 
 int Run(const std::vector<std::string>& args, std::ostream& out,
@@ -543,6 +677,7 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
   if (command == "search") return CmdSearch(parsed, out, err);
   if (command == "align") return CmdAlign(parsed, out, err);
   if (command == "generate") return CmdGenerate(parsed, out, err);
+  if (command == "verify") return CmdVerify(parsed, out, err);
   if (command == "help" || command == "--help") {
     out << kUsage;
     return 0;

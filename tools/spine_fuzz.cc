@@ -12,13 +12,16 @@
 // This is the harness that found the paper's extrib PRT ambiguity
 // (DESIGN.md §5); it runs for 2 seconds in CI.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 
 #include "common/rng.h"
 #include "common/timer.h"
 #include "compact/compact_spine.h"
+#include "compact/serializer.h"
 #include "core/matcher.h"
 #include "core/spine_index.h"
 #include "dawg/suffix_automaton.h"
@@ -33,6 +36,52 @@ int Fail(const std::string& what, const std::string& s,
   std::fprintf(stderr, "FUZZ FAILURE: %s\n  string : %s\n  pattern: %s\n",
                what.c_str(), s.c_str(), pattern.c_str());
   return 1;
+}
+
+// Image-robustness phase: serialize the index, corrupt the bytes, and
+// demand that LoadCompactSpine either rejects the image with a clean
+// Status or yields an index that still answers correctly — it must
+// never crash and never silently return a broken index.
+int FuzzSerializedImage(spine::Rng& rng, const spine::CompactSpineIndex& index,
+                        const std::string& s, uint64_t* checks) {
+  using namespace spine;
+  std::ostringstream saved;
+  if (!SaveCompactSpineToStream(index, saved).ok()) {
+    return Fail("image save failed", s, "");
+  }
+  const std::string image = saved.str();
+  for (int trial = 0; trial < 6; ++trial) {
+    ++*checks;
+    std::string mutated = image;
+    switch (rng.Below(3)) {
+      case 0:  // truncation (including an empty file)
+        mutated.resize(rng.Below(mutated.size() + 1));
+        break;
+      case 1:  // single bit flip
+        if (!mutated.empty()) {
+          size_t pos = rng.Below(mutated.size());
+          mutated[pos] = static_cast<char>(
+              static_cast<unsigned char>(mutated[pos]) ^ (1u << rng.Below(8)));
+        }
+        break;
+      default:  // random byte overwrite
+        if (!mutated.empty()) {
+          mutated[rng.Below(mutated.size())] =
+              static_cast<char>(rng.Below(256));
+        }
+        break;
+    }
+    std::istringstream in(mutated);
+    Result<CompactSpineIndex> loaded = LoadCompactSpineFromStream(in);
+    if (!loaded.ok()) continue;  // clean rejection is a pass
+    // The mutation survived loading (e.g. it restored the original
+    // bytes); whatever came back must still answer correctly.
+    std::string pattern = s.substr(0, std::min<size_t>(s.size(), 4));
+    if (loaded->FindAll(pattern) != naive::FindAllOccurrences(s, pattern)) {
+      return Fail("mutated image loaded but answers wrong", s, pattern);
+    }
+  }
+  return 0;
 }
 
 }  // namespace
@@ -98,6 +147,11 @@ int main(int argc, char** argv) {
           dawg.FindAll(pattern) != expected) {
         return Fail("occurrence mismatch", s, pattern);
       }
+    }
+
+    // Serialized-image robustness (PR 2).
+    if (int rc = FuzzSerializedImage(rng, compact, s, &checks); rc != 0) {
+      return rc;
     }
 
     // Maximal matches: SPINE vs suffix tree vs oracle.
