@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util/json_report.h"
 #include "bench_util/table.h"
 #include "common/check.h"
 #include "compact/compact_spine.h"
@@ -23,6 +24,7 @@ void Run() {
   PrintBanner("Figures 1-3", "trie vs suffix tree vs SPINE compaction",
               /*scale=*/1.0);
 
+  BenchReport report("compaction_ratio", /*scale=*/1.0);
   TablePrinter table({"String", "Length", "Trie nodes", "ST nodes",
                       "SPINE nodes", "SPINE edges", "Trie/SPINE"});
 
@@ -43,6 +45,10 @@ void Run() {
                   FormatDouble(static_cast<double>(trie->node_count()) /
                                static_cast<double>(spine_nodes)) +
                       "x"});
+    const std::string key = std::to_string(s.size());
+    report.AddMetric("trie_nodes_" + key, trie->node_count());
+    report.AddMetric("st_nodes_" + key, tree.node_count());
+    report.AddMetric("spine_nodes_" + key, spine_nodes);
   };
 
   add_row("paper example", "aaccacaaca");
@@ -55,6 +61,7 @@ void Run() {
             seq::GenerateSequence(Alphabet::Dna(), options));
   }
   table.Print();
+  SPINE_CHECK(report.Write().ok());
   std::printf("\npaper (for \"aaccacaaca\"): SPINE has 11 nodes and 26 edges "
               "while the suffix tree\nhas 13 nodes and 16 edges; SPINE's "
               "node count always equals string length + 1,\nwhile tries grow "

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util/json_report.h"
 #include "bench_util/table.h"
 #include "common/check.h"
 #include "common/timer.h"
@@ -80,6 +81,11 @@ void Run() {
   }
   const double seq_secs = seq_timer.ElapsedSeconds();
 
+  BenchReport report("engine_throughput", scale);
+  report.AddMetric("corpus_chars", static_cast<uint64_t>(corpus.size()));
+  report.AddMetric("queries", static_cast<uint64_t>(queries.size()));
+  report.AddMetric("seq_qps", queries.size() / seq_secs);
+
   TablePrinter table(
       {"threads", "secs", "queries/sec", "speedup", "identical"});
   table.AddRow({"seq", FormatDouble(seq_secs, 3),
@@ -104,6 +110,8 @@ void Run() {
                   FormatCount(static_cast<uint64_t>(queries.size() / secs)),
                   FormatDouble(one_thread_secs / secs, 2),
                   identical ? "yes" : "NO"});
+    report.AddMetric("qps_t" + std::to_string(threads),
+                     queries.size() / secs);
   }
   table.Print();
 
@@ -130,6 +138,12 @@ void Run() {
   std::printf(
       "\ntarget: >= 3x queries/sec at 8 threads vs 1 thread, identical "
       "answers.\n");
+
+  report.AddMetric("skewed_cold_secs", cold_secs);
+  report.AddMetric("skewed_warm_secs", warm_secs);
+  report.AddMetric("skewed_cold_cache_hits", cold.cache_hits);
+  report.AddMetric("skewed_warm_cache_hits", warm.cache_hits);
+  SPINE_CHECK(report.Write().ok());
 }
 
 }  // namespace

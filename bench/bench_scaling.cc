@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util/json_report.h"
 #include "bench_util/table.h"
 #include "common/check.h"
 #include "common/timer.h"
@@ -23,6 +24,7 @@ void Run() {
   double scale = seq::BenchScaleFromEnv(1.0);
   PrintBanner("Scaling", "construction time vs string length", scale);
 
+  BenchReport report("scaling", scale);
   TablePrinter table({"Length", "SPINE secs", "SPINE s/Mchar", "ST secs",
                       "ST s/Mchar", "SA secs", "SA s/Mchar"});
   for (uint64_t base : {500'000ull, 1'000'000ull, 2'000'000ull,
@@ -58,8 +60,13 @@ void Run() {
                   FormatDouble(st_secs, 3), FormatDouble(st_secs / mchars, 3),
                   FormatDouble(sa_secs, 3),
                   FormatDouble(sa_secs / mchars, 3)});
+    const std::string key = std::to_string(base);
+    report.AddMetric("spine_s_per_mchar_" + key, spine_secs / mchars);
+    report.AddMetric("st_s_per_mchar_" + key, st_secs / mchars);
+    report.AddMetric("sa_s_per_mchar_" + key, sa_secs / mchars);
   }
   table.Print();
+  SPINE_CHECK(report.Write().ok());
   std::printf("\npaper: SPINE/ST construction is online and linear — their "
               "s/Mchar columns stay\nflat as lengths double (modulo cache "
               "effects), while the suffix array's\nsupra-linear construction "

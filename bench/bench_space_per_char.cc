@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util/json_report.h"
 #include "bench_util/table.h"
 #include "common/check.h"
 #include "compact/compact_spine.h"
@@ -27,6 +28,7 @@ void Run() {
   PrintBanner("Space", "bytes per indexed character (Sections 5.1, 7)",
               scale);
 
+  BenchReport report("space_per_char", scale);
   TablePrinter table({"Genome", "Length", "SPINE compact", "SPINE (LT/RT/ET)",
                       "ST packed", "ST textbook", "Suffix array", "DAWG", "CDAWG",
                       "SPINE reference impl"});
@@ -73,8 +75,17 @@ void Run() {
              " B/ch",
          FormatDouble(static_cast<double>(reference.MemoryBytes()) / n) +
              " B/ch"});
+    const std::string key(name);
+    report.AddMetric("spine_bpc_" + key, breakdown.BytesPerChar(n));
+    report.AddMetric("st_packed_bpc_" + key,
+                     static_cast<double>(packed_tree.MemoryBytes()) / n);
+    report.AddMetric("sa_bpc_" + key,
+                     static_cast<double>(sa->MemoryBytes()) / n);
+    report.AddMetric("cdawg_bpc_" + key,
+                     static_cast<double>(cdawg->MemoryBytes()) / n);
   }
   table.Print();
+  SPINE_CHECK(report.Write().ok());
   std::printf(
       "\npaper reference points (DNA): SPINE < 12 B/char; standard suffix "
       "trees ~17\n(Kurtz 12.5, lazy 8.5); suffix arrays ~6; DAWG ~34; "

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util/json_report.h"
 #include "bench_util/table.h"
 #include "common/check.h"
 #include "compact/compact_spine.h"
@@ -33,6 +34,7 @@ void Run() {
 
   const Pair pairs[] = {{"CEL", "ECO"}, {"HC21", "ECO"}, {"HC21", "CEL"}};
 
+  BenchReport report("table6_nodes_checked", scale);
   TablePrinter table({"Data Seq", "Query Seq", "ST (1000s)", "SPINE (1000s)",
                       "SPINE/ST"});
   for (const Pair& pair : pairs) {
@@ -59,8 +61,13 @@ void Run() {
                   FormatCount(spine_checked / 1000),
                   FormatDouble(static_cast<double>(spine_checked) /
                                static_cast<double>(st_checked))});
+    const std::string key =
+        std::string(pair.data) + "_" + pair.query;
+    report.AddMetric("st_checked_" + key, st_checked);
+    report.AddMetric("spine_checked_" + key, spine_checked);
   }
   table.Print();
+  SPINE_CHECK(report.Write().ok());
   std::printf("\npaper (full scale, 1000s of nodes): CEL/ECO 3,515 vs 2,119; "
               "HC21/ECO 3,514 vs 2,163;\nHC21/CEL 15,077 vs 8,701 — SPINE "
               "checks ~40%% fewer nodes.\ncounting: every edge lookup, "

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util/json_report.h"
 #include "bench_util/table.h"
 #include "common/check.h"
 #include "common/timer.h"
@@ -36,6 +37,7 @@ void Run() {
 
   const Pair pairs[] = {{"CEL", "ECO"}, {"HC21", "ECO"}, {"HC21", "CEL"}};
 
+  BenchReport report("table7_search_disk", scale);
   TablePrinter table({"Data Seq", "Query Seq", "ST misses", "SPINE misses",
                       "ST modeled s", "SPINE modeled s", "Speedup"});
   for (const Pair& pair : pairs) {
@@ -70,8 +72,13 @@ void Run() {
     table.AddRow({pair.data, pair.query, FormatCount(st_io.misses),
                   FormatCount(spine_io.misses), FormatDouble(st_secs),
                   FormatDouble(spine_secs), FormatPercent(speedup)});
+    const std::string key = std::string(pair.data) + "_" + pair.query;
+    report.AddMetric("st_misses_" + key, st_io.misses);
+    report.AddMetric("spine_misses_" + key, spine_io.misses);
+    report.AddMetric("speedup_" + key, speedup);
   }
   table.Print();
+  SPINE_CHECK(report.Write().ok());
   std::printf("\npaper (full scale, hours): CEL/ECO 0.98 vs 0.47 (52%%); "
               "HC21/ECO 0.97 vs 0.48 (50%%);\nHC21/CEL 4.30 vs 2.02 (53%%); "
               "HC19/HC21 7.92 vs 3.87 (51%%) — SPINE ~2x faster.\n");

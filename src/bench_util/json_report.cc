@@ -1,0 +1,68 @@
+#include "bench_util/json_report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace spine::bench {
+
+BenchReport::BenchReport(std::string name, double scale)
+    : name_(std::move(name)), scale_(scale) {}
+
+void BenchReport::AddMetric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+void BenchReport::AddMetric(const std::string& key, uint64_t value) {
+  metrics_.emplace_back(key, static_cast<double>(value));
+}
+
+void BenchReport::AddInfo(const std::string& key, std::string value) {
+  info_.emplace_back(key, std::move(value));
+}
+
+std::string BenchReport::ToJson() const {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("schema_version");
+  json.Value(obs::kStatsSchemaVersion);
+  json.Key("bench");
+  json.Value(name_);
+  json.Key("scale");
+  json.Value(scale_);
+  json.Key("metrics");
+  json.BeginObject();
+  for (const auto& [key, value] : metrics_) {
+    json.Key(key);
+    json.Value(value);
+  }
+  json.EndObject();
+  json.Key("info");
+  json.BeginObject();
+  for (const auto& [key, value] : info_) {
+    json.Key(key);
+    json.Value(value);
+  }
+  json.EndObject();
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+Status BenchReport::Write() const {
+  const char* dir = std::getenv("SPINE_BENCH_JSON_DIR");
+  const std::string directory =
+      (dir == nullptr || *dir == '\0') ? std::string(".") : std::string(dir);
+  if (directory == "off") return Status::OK();
+  const std::string path = directory + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << ToJson() << "\n";
+  if (!out.good()) return Status::IoError("failed writing " + path);
+  std::printf("\nwrote %s\n", path.c_str());
+  return Status::OK();
+}
+
+}  // namespace spine::bench

@@ -1,0 +1,59 @@
+// Machine-readable benchmark output: every bench binary, in addition
+// to its human tables, writes one BENCH_<name>.json so the perf
+// trajectory of the repo can be recorded and diffed across commits.
+//
+// Output schema (obs::kStatsSchemaVersion):
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "scale": <SPINE_BENCH_SCALE in effect>,
+//     "metrics": {"<key>": <number>, ...},
+//     "info": {"<key>": "<string>", ...}
+//   }
+//
+// The output directory comes from $SPINE_BENCH_JSON_DIR (default: the
+// current working directory); setting it to "off" suppresses writing
+// entirely (for ad-hoc local runs that should not litter the tree).
+
+#ifndef SPINE_BENCH_UTIL_JSON_REPORT_H_
+#define SPINE_BENCH_UTIL_JSON_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spine::bench {
+
+class BenchReport {
+ public:
+  // `name` is the bench identifier without the BENCH_ prefix or
+  // extension, e.g. "engine_throughput". `scale` is the dataset scale
+  // the run used (echoed so consumers can refuse cross-scale diffs).
+  BenchReport(std::string name, double scale);
+
+  // Metrics preserve insertion order in the emitted JSON.
+  void AddMetric(const std::string& key, double value);
+  void AddMetric(const std::string& key, uint64_t value);
+  void AddInfo(const std::string& key, std::string value);
+
+  // Serializes the report (without writing it anywhere).
+  std::string ToJson() const;
+
+  // Writes BENCH_<name>.json into the configured directory and prints
+  // the path to stdout; no-op returning OK when suppressed via
+  // SPINE_BENCH_JSON_DIR=off.
+  Status Write() const;
+
+ private:
+  std::string name_;
+  double scale_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> info_;
+};
+
+}  // namespace spine::bench
+
+#endif  // SPINE_BENCH_UTIL_JSON_REPORT_H_

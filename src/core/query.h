@@ -27,6 +27,8 @@
 #include "common/status.h"
 #include "core/matcher.h"
 #include "core/search.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace spine {
 
@@ -125,8 +127,17 @@ concept IoLatchedIndex = requires(const Index& index) {
 // the whole traversal completed without the pool latching an error;
 // otherwise the payload is discarded and status_code/error carry the
 // failure, so a fault can never surface as a silently wrong answer.
+//
+// `trace`, when non-null, receives an "exec_us" span plus the work
+// counters as notes. Tracing is strictly observational: the returned
+// QueryResult is byte-identical with trace == nullptr.
 template <typename Index>
-QueryResult ExecuteQuery(const Index& index, const Query& query) {
+QueryResult ExecuteQuery(const Index& index, const Query& query,
+                         obs::TraceContext* trace = nullptr) {
+#if defined(SPINE_OBS_DISABLED)
+  trace = nullptr;  // capture sites compile out in disabled builds
+#endif
+  obs::SpanTimer exec_timer(trace, "exec_us");
   if constexpr (IoLatchedIndex<Index>) {
     // Drop any stale latch so this query's verdict is its own.
     (void)index.ConsumeError();
@@ -176,6 +187,30 @@ QueryResult ExecuteQuery(const Index& index, const Query& query) {
       break;
     }
   }
+#if !defined(SPINE_OBS_DISABLED)
+  {
+    // The paper's Table 6 work counters, accumulated across all queries
+    // and all backends; work done before a latched fault still counts.
+    // The per-kind counter cannot go through SPINE_OBS_COUNT (the name
+    // is dynamic), so it resolves all four once per instantiation.
+    static obs::Counter* const kind_counters[] = {
+        &obs::Registry::Default().GetCounter("core.queries.contains"),
+        &obs::Registry::Default().GetCounter("core.queries.findall"),
+        &obs::Registry::Default().GetCounter("core.queries.match"),
+        &obs::Registry::Default().GetCounter("core.queries.ms"),
+    };
+    kind_counters[static_cast<size_t>(query.kind)]->Add(1);
+    SPINE_OBS_COUNT("core.vertebra_steps", result.stats.nodes_checked);
+    SPINE_OBS_COUNT("core.link_traversals", result.stats.link_traversals);
+    SPINE_OBS_COUNT("core.chain_hops", result.stats.chain_hops);
+    if (trace != nullptr) {
+      trace->Note("nodes_checked", result.stats.nodes_checked);
+      trace->Note("link_traversals", result.stats.link_traversals);
+      trace->Note("chain_hops", result.stats.chain_hops);
+      trace->Note("found", result.found ? 1 : 0);
+    }
+  }
+#endif
   if constexpr (IoLatchedIndex<Index>) {
     Status status = index.ConsumeError();
     if (!status.ok()) {

@@ -38,6 +38,8 @@
 #include "core/query.h"
 #include "engine/query_cache.h"
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace spine::storage {
 class DiskSpine;
@@ -60,6 +62,10 @@ struct BatchStats {
   uint64_t retries = 0;     // transient-fault re-executions
   SearchStats search;       // total backend work, summed over workers
   std::vector<SearchStats> per_thread;  // one slot per pool worker
+  // One trace per query, in input order, when Options::tracing is on
+  // (and the build has observability compiled in); empty otherwise.
+  // Traces are observational: results are identical either way.
+  std::vector<obs::TraceContext> traces;
 };
 
 class QueryEngine {
@@ -72,6 +78,10 @@ class QueryEngine {
     // 2x, 4x, ... between attempts. Corruption is never retried.
     uint32_t max_retries = 2;
     uint32_t retry_backoff_us = 500;
+    // Collect a per-query TraceContext (spans + notes) into
+    // BatchStats::traces. No effect on results or on builds compiled
+    // with SPINE_OBS_DISABLED.
+    bool tracing = false;
   };
 
   QueryEngine();  // default Options
@@ -95,7 +105,8 @@ class QueryEngine {
   template <typename Index>
   QueryResult AnswerOne(const Index& index, const Query& query,
                         uint64_t backend_id, std::mutex* backend_mu,
-                        bool* cache_hit, uint64_t* retries);
+                        bool* cache_hit, uint64_t* retries,
+                        obs::TraceContext* trace);
 
   ThreadPool pool_;
   QueryCache cache_;
@@ -106,37 +117,54 @@ template <typename Index>
 QueryResult QueryEngine::AnswerOne(const Index& index, const Query& query,
                                    uint64_t backend_id,
                                    std::mutex* backend_mu, bool* cache_hit,
-                                   uint64_t* retries) {
+                                   uint64_t* retries,
+                                   obs::TraceContext* trace) {
   *cache_hit = false;
   std::string key;
   if (cache_.enabled()) {
     key = QueryCache::Key(backend_id, query);
     if (std::optional<QueryResult> cached = cache_.Get(key)) {
       *cache_hit = true;
+#if !defined(SPINE_OBS_DISABLED)
+      if (trace != nullptr) trace->Note("cache_hit", 1);
+#endif
       return *std::move(cached);
     }
   }
   QueryResult result;
+  uint64_t attempts_used = 0;
   uint32_t backoff_us = options_.retry_backoff_us;
-  for (uint32_t attempt = 0;; ++attempt) {
-    if (backend_mu != nullptr) {
-      std::lock_guard<std::mutex> lock(*backend_mu);
-      result = ExecuteQuery(index, query);
-    } else {
-      result = ExecuteQuery(index, query);
-    }
-    // Only kIoError is presumed transient; corruption and everything
-    // else is a property of the data, not the attempt.
-    if (result.status_code != StatusCode::kIoError ||
-        attempt >= options_.max_retries) {
-      break;
-    }
-    ++*retries;
-    if (backoff_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
-      backoff_us *= 2;
+  {
+    SPINE_OBS_SCOPED_TIMER_US("engine.exec_us");
+    for (uint32_t attempt = 0;; ++attempt) {
+      if (backend_mu != nullptr) {
+        std::lock_guard<std::mutex> lock(*backend_mu);
+        result = ExecuteQuery(index, query, trace);
+      } else {
+        result = ExecuteQuery(index, query, trace);
+      }
+      // Only kIoError is presumed transient; corruption and everything
+      // else is a property of the data, not the attempt.
+      if (result.status_code != StatusCode::kIoError ||
+          attempt >= options_.max_retries) {
+        break;
+      }
+      ++*retries;
+      ++attempts_used;
+      if (backoff_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        backoff_us *= 2;
+      }
     }
   }
+#if !defined(SPINE_OBS_DISABLED)
+  if (trace != nullptr) {
+    trace->Note("cache_hit", 0);
+    trace->Note("retries", attempts_used);
+  }
+#else
+  (void)attempts_used;
+#endif
   // Error results are never cached: the next ask deserves a fresh try.
   if (cache_.enabled() && result.ok()) cache_.Put(key, result);
   return result;
@@ -153,6 +181,13 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> failed{0};
   std::atomic<uint64_t> retries{0};
+  // Per-query traces, in input order; each task writes only its own
+  // queries' slots, so no synchronization is needed.
+  std::vector<obs::TraceContext> traces;
+#if !defined(SPINE_OBS_DISABLED)
+  if (options_.tracing && stats != nullptr) traces.resize(n);
+#endif
+  obs::TraceContext* const trace_slots = traces.empty() ? nullptr : traces.data();
   // Serialization lock for backends without concurrent-safe reads.
   std::mutex backend_mu;
   std::mutex* serialize =
@@ -169,15 +204,35 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
     for (size_t t = 0; t < tasks; ++t) {
       const size_t begin = t * chunk;
       const size_t end = std::min(n, begin + chunk);
-      pool_.Submit([&, begin, end] {
+      typename obs::TraceContext::Clock::time_point submitted{};
+#if !defined(SPINE_OBS_DISABLED)
+      submitted = obs::TraceContext::Clock::now();
+#endif
+      pool_.Submit([&, begin, end, submitted] {
+#if !defined(SPINE_OBS_DISABLED)
+        const double queue_wait_us =
+            std::chrono::duration<double, std::micro>(
+                obs::TraceContext::Clock::now() - submitted)
+                .count();
+        SPINE_OBS_OBSERVE_US("engine.queue_wait_us", queue_wait_us);
+        if (trace_slots != nullptr) {
+          for (size_t i = begin; i < end; ++i) {
+            trace_slots[i].RecordSpan("queue_wait_us", queue_wait_us);
+          }
+        }
+#else
+        (void)submitted;
+#endif
         SearchStats local;
         uint64_t local_hits = 0;
         uint64_t local_failed = 0;
         uint64_t local_retries = 0;
         for (size_t i = begin; i < end; ++i) {
           bool hit = false;
-          results[i] = AnswerOne(index, queries[i], backend_id, serialize,
-                                 &hit, &local_retries);
+          results[i] =
+              AnswerOne(index, queries[i], backend_id, serialize, &hit,
+                        &local_retries,
+                        trace_slots == nullptr ? nullptr : &trace_slots[i]);
           if (hit) {
             ++local_hits;
           } else {
@@ -198,15 +253,25 @@ std::vector<QueryResult> QueryEngine::ExecuteBatch(
     done.wait();
   }
 
+  const uint64_t total_hits = cache_hits.load(std::memory_order_relaxed);
+  const uint64_t total_failed = failed.load(std::memory_order_relaxed);
+  const uint64_t total_retries = retries.load(std::memory_order_relaxed);
+  SPINE_OBS_COUNT("engine.queries", n);
+  SPINE_OBS_COUNT("engine.cache_hits", total_hits);
+  SPINE_OBS_COUNT("engine.executed", n - total_hits);
+  SPINE_OBS_COUNT("engine.failed", total_failed);
+  SPINE_OBS_COUNT("engine.retries", total_retries);
+
   if (stats != nullptr) {
     stats->queries = n;
-    stats->cache_hits = cache_hits.load(std::memory_order_relaxed);
-    stats->executed = n - stats->cache_hits;
-    stats->failed = failed.load(std::memory_order_relaxed);
-    stats->retries = retries.load(std::memory_order_relaxed);
+    stats->cache_hits = total_hits;
+    stats->executed = n - total_hits;
+    stats->failed = total_failed;
+    stats->retries = total_retries;
     stats->search = SearchStats{};
     for (const SearchStats& s : per_thread) stats->search.Add(s);
     stats->per_thread = std::move(per_thread);
+    stats->traces = std::move(traces);
   }
   return results;
 }

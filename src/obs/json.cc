@@ -1,0 +1,348 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace spine::obs {
+
+// --- JsonWriter ------------------------------------------------------------
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value follows its key; no comma
+  }
+  if (needs_comma_.back()) out_.push_back(',');
+  needs_comma_.back() = true;
+}
+
+void JsonWriter::Raw(std::string_view text) { out_.append(text); }
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_.push_back('{');
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  SPINE_CHECK(needs_comma_.size() > 1);
+  needs_comma_.pop_back();
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_.push_back('[');
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  SPINE_CHECK(needs_comma_.size() > 1);
+  needs_comma_.pop_back();
+  out_.push_back(']');
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Separate();
+  Raw(JsonEscape(key));
+  out_.push_back(':');
+  after_key_ = true;
+}
+
+void JsonWriter::Value(std::string_view value) {
+  Separate();
+  Raw(JsonEscape(value));
+}
+
+void JsonWriter::Value(double value) {
+  Separate();
+  if (!std::isfinite(value)) {
+    // JSON has no inf/nan; clamp to null (consumers treat as missing).
+    Raw("null");
+    return;
+  }
+  char buf[40];
+  // %.17g round-trips any double but litters short values with digits;
+  // try the short form first and keep it when it parses back exactly.
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  if (std::strtod(buf, nullptr) != value) {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  Raw(buf);
+}
+
+void JsonWriter::Value(uint64_t value) {
+  Separate();
+  Raw(std::to_string(value));
+}
+
+void JsonWriter::Value(int64_t value) {
+  Separate();
+  Raw(std::to_string(value));
+}
+
+void JsonWriter::Value(bool value) {
+  Separate();
+  Raw(value ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  Separate();
+  Raw("null");
+}
+
+void JsonWriter::RawValue(std::string_view json) {
+  Separate();
+  Raw(json);
+}
+
+std::string JsonWriter::Finish() && {
+  SPINE_CHECK(needs_comma_.size() == 1 && !after_key_);
+  return std::move(out_);
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+// --- ParseJson -------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue value;
+    SPINE_RETURN_IF_ERROR(ParseValue(&value));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) {
+    return Status::InvalidArgument("JSON parse error at byte " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) {
+      return Error(std::string("expected '") + c + "'");
+    }
+    return Status::OK();
+  }
+
+  Status ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"': {
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      }
+      case 't':
+      case 'f': return ParseLiteral(out);
+      case 'n': return ParseLiteral(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    SPINE_RETURN_IF_ERROR(Expect('{'));
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      SPINE_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      SPINE_RETURN_IF_ERROR(Expect(':'));
+      JsonValue value;
+      SPINE_RETURN_IF_ERROR(ParseValue(&value));
+      out->object[std::move(key)] = std::move(value);
+      SkipWhitespace();
+      if (Consume('}')) return Status::OK();
+      SPINE_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    SPINE_RETURN_IF_ERROR(Expect('['));
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      JsonValue value;
+      SPINE_RETURN_IF_ERROR(ParseValue(&value));
+      out->array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return Status::OK();
+      SPINE_RETURN_IF_ERROR(Expect(','));
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    SPINE_RETURN_IF_ERROR(Expect('"'));
+    out->clear();
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape digit");
+          }
+          // The emitter only writes \u00xx; decode BMP code points as
+          // UTF-8 so round trips are lossless for everything we emit.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default: return Error("unknown escape");
+      }
+    }
+  }
+
+  Status ParseLiteral(JsonValue* out) {
+    auto match = [&](std::string_view word) {
+      if (text_.substr(pos_, word.size()) == word) {
+        pos_ += word.size();
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return Status::OK();
+    }
+    if (match("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return Status::OK();
+    }
+    if (match("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return Status::OK();
+    }
+    return Error("unknown literal");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Error("malformed number '" + token + "'");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = value;
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace spine::obs

@@ -1,0 +1,92 @@
+// Minimal JSON emit/parse support for the observability surface.
+//
+// JsonWriter is a streaming writer with correct string escaping and
+// number formatting (round-trippable doubles, integers emitted without
+// an exponent). It is deliberately not a DOM: the stats snapshots and
+// bench reports are written in one pass.
+//
+// JsonValue/ParseJson is the inverse: a small recursive-descent parser
+// used by tests and `spine verify`-style tooling to check that every
+// JSON artifact the system emits actually parses, with helpers for
+// drilling into objects. It accepts strict JSON only (no comments, no
+// trailing commas).
+
+#ifndef SPINE_OBS_JSON_H_
+#define SPINE_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spine::obs {
+
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  // Object key; must be followed by exactly one value or container.
+  void Key(std::string_view key);
+  void Value(std::string_view value);
+  void Value(const char* value) { Value(std::string_view(value)); }
+  void Value(double value);
+  void Value(uint64_t value);
+  void Value(int64_t value);
+  void Value(uint32_t value) { Value(static_cast<uint64_t>(value)); }
+  void Value(int value) { Value(static_cast<int64_t>(value)); }
+  void Value(bool value);
+  void Null();
+  // Splices an already-serialized JSON value (e.g. a nested document
+  // from Registry::ToJson) as the next value. The caller vouches that
+  // `json` is well-formed.
+  void RawValue(std::string_view json);
+
+  // Returns the finished document; the writer is spent afterwards.
+  std::string Finish() &&;
+
+ private:
+  void Separate();
+  void Raw(std::string_view text);
+
+  std::string out_;
+  // True when the next emission at this nesting level needs a comma.
+  std::vector<bool> needs_comma_ = {false};
+  bool after_key_ = false;
+};
+
+// Escapes `text` as a JSON string literal including the quotes.
+std::string JsonEscape(std::string_view text);
+
+// Parsed JSON document node.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // Member lookup on an object; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Parses a complete JSON document (one value with only whitespace
+// around it). Returns kInvalidArgument with a position on any error.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace spine::obs
+
+#endif  // SPINE_OBS_JSON_H_

@@ -1,0 +1,159 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace spine::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  SPINE_CHECK(!bounds_.empty());
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    SPINE_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(double value) {
+  // First bound >= value, i.e. the smallest bucket with value <= bound;
+  // past-the-end selects the overflow bucket.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 uint32_t count) {
+  SPINE_CHECK(start > 0.0 && factor > 1.0 && count >= 1);
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (uint32_t i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LatencyBoundsUs() {
+  // 1us .. ~1s in x4 steps: 11 buckets + overflow.
+  return Histogram::ExponentialBounds(1.0, 4.0, 11);
+}
+
+Registry& Registry::Default() {
+  static Registry* registry = new Registry;
+  return *registry;
+}
+
+Counter& Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramValue value;
+    value.bounds = histogram->bounds();
+    value.buckets.reserve(value.bounds.size() + 1);
+    for (size_t i = 0; i <= value.bounds.size(); ++i) {
+      value.buckets.push_back(histogram->bucket_count(i));
+    }
+    value.count = histogram->count();
+    value.sum = histogram->sum();
+    snapshot.histograms[name] = std::move(value);
+  }
+  return snapshot;
+}
+
+size_t Registry::metric_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+std::string Registry::ToJson(const MetricsSnapshot& snapshot) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("counters");
+  json.BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    json.Key(name);
+    json.Value(value);
+  }
+  json.EndObject();
+  json.Key("gauges");
+  json.BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    json.Key(name);
+    json.Value(value);
+  }
+  json.EndObject();
+  json.Key("histograms");
+  json.BeginObject();
+  for (const auto& [name, value] : snapshot.histograms) {
+    json.Key(name);
+    json.BeginObject();
+    json.Key("count");
+    json.Value(value.count);
+    json.Key("sum");
+    json.Value(value.sum);
+    json.Key("buckets");
+    json.BeginArray();
+    for (size_t i = 0; i < value.buckets.size(); ++i) {
+      json.BeginObject();
+      json.Key("le");
+      if (i < value.bounds.size()) {
+        json.Value(value.bounds[i]);
+      } else {
+        json.Value("+inf");
+      }
+      json.Key("count");
+      json.Value(value.buckets[i]);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndObject();
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+}  // namespace spine::obs

@@ -1,0 +1,229 @@
+// Low-overhead runtime metrics for the SPINE stack.
+//
+// A process-wide Registry holds named Counters (monotonic), Gauges
+// (signed, settable) and fixed-bucket Histograms. Updates are relaxed
+// atomics — safe to fire from any thread, including the query engine's
+// worker pool — and a Snapshot() can be taken concurrently with
+// updates (it observes each metric atomically, not the set of metrics
+// as one instant).
+//
+// Instrumentation sites never touch the registry directly; they go
+// through the SPINE_OBS_* macros below. Each macro resolves its metric
+// once (function-local static) and then costs one relaxed atomic RMW.
+// Compiling with -DSPINE_OBS_DISABLED (CMake option -DSPINE_OBS=OFF)
+// expands every macro to nothing, so the instrumented hot paths carry
+// zero overhead — no lookup, no atomic, no clock read. The registry
+// type itself stays available either way (an empty snapshot is still a
+// valid snapshot), which keeps the JSON surface stable across flavors.
+//
+// Metric naming: dotted lowercase paths, "<layer>.<component>.<what>",
+// e.g. "storage.pool.checksum_failures". docs/OBSERVABILITY.md holds
+// the full catalogue.
+
+#ifndef SPINE_OBS_METRICS_H_
+#define SPINE_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spine::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// A value that can move both ways (pool occupancy, bytes resident).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram: bucket i counts observations <= bounds[i];
+// one implicit overflow bucket counts the rest. Bounds are fixed at
+// registration so Observe() is a branch-free scan plus one relaxed RMW.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  // `count` exponentially spaced bounds starting at `start`: the
+  // default shape for microsecond latencies.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               uint32_t count);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Count of observations in bucket i (i == bounds().size() is the
+  // overflow bucket).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;  // strictly increasing upper bounds
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// Point-in-time copy of every registered metric, safe to serialize or
+// diff while the system keeps running.
+struct MetricsSnapshot {
+  struct HistogramValue {
+    std::vector<double> bounds;
+    std::vector<uint64_t> buckets;  // bounds.size() + 1 (overflow last)
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramValue> histograms;
+
+  // Value of a counter, 0 when absent (absent == never fired).
+  uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+};
+
+// Version of the machine-readable stats/bench JSON schema. Bump when a
+// field is renamed or its meaning changes; adding metrics is not a
+// schema change (consumers must tolerate unknown metric names).
+inline constexpr uint32_t kStatsSchemaVersion = 1;
+
+// Named metric store. GetX registers on first use and returns a
+// reference that stays valid for the registry's lifetime. One global
+// Default() instance serves the whole process; tests build private
+// registries to isolate their deltas.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& Default();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  // Registering an existing histogram under different bounds keeps the
+  // original bounds (first registration wins).
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  MetricsSnapshot Snapshot() const;
+  size_t metric_count() const;
+  // Removes every metric. Only for test isolation: references returned
+  // by GetX before a Reset dangle, so production code must never call
+  // this (the macros cache references in function-local statics).
+  void Reset();
+
+  // Snapshot serialized as a JSON object:
+  //   {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  static std::string ToJson(const MetricsSnapshot& snapshot);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Default bucket bounds for microsecond latency histograms: 1us .. ~1s.
+std::vector<double> LatencyBoundsUs();
+
+// Wall-clock scope timer feeding a histogram in microseconds.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram& histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimerUs() {
+    histogram_.Observe(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  Histogram& histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace spine::obs
+
+// --- Instrumentation macros ------------------------------------------------
+//
+// `name` must be a string literal (it keys a function-local static
+// lookup). All expand to nothing under SPINE_OBS_DISABLED.
+
+#if defined(SPINE_OBS_DISABLED)
+
+#define SPINE_OBS_COUNT(name, delta) ((void)0)
+#define SPINE_OBS_GAUGE_SET(name, value) ((void)0)
+#define SPINE_OBS_OBSERVE_US(name, value) ((void)0)
+#define SPINE_OBS_SCOPED_TIMER_US(name)
+
+#else
+
+#define SPINE_OBS_COUNT(name, delta)                               \
+  do {                                                             \
+    static ::spine::obs::Counter& spine_obs_counter_ =             \
+        ::spine::obs::Registry::Default().GetCounter(name);        \
+    spine_obs_counter_.Add(delta);                                 \
+  } while (false)
+
+#define SPINE_OBS_GAUGE_SET(name, value)                           \
+  do {                                                             \
+    static ::spine::obs::Gauge& spine_obs_gauge_ =                 \
+        ::spine::obs::Registry::Default().GetGauge(name);          \
+    spine_obs_gauge_.Set(value);                                   \
+  } while (false)
+
+#define SPINE_OBS_OBSERVE_US(name, value)                          \
+  do {                                                             \
+    static ::spine::obs::Histogram& spine_obs_histogram_ =         \
+        ::spine::obs::Registry::Default().GetHistogram(            \
+            name, ::spine::obs::LatencyBoundsUs());                \
+    spine_obs_histogram_.Observe(value);                           \
+  } while (false)
+
+#define SPINE_OBS_SCOPED_TIMER_US_CONCAT2(a, b) a##b
+#define SPINE_OBS_SCOPED_TIMER_US_CONCAT(a, b) \
+  SPINE_OBS_SCOPED_TIMER_US_CONCAT2(a, b)
+#define SPINE_OBS_SCOPED_TIMER_US(name)                                     \
+  static ::spine::obs::Histogram&                                           \
+      SPINE_OBS_SCOPED_TIMER_US_CONCAT(spine_obs_timer_hist_, __LINE__) =   \
+          ::spine::obs::Registry::Default().GetHistogram(                   \
+              name, ::spine::obs::LatencyBoundsUs());                       \
+  ::spine::obs::ScopedTimerUs SPINE_OBS_SCOPED_TIMER_US_CONCAT(             \
+      spine_obs_timer_, __LINE__)(                                          \
+      SPINE_OBS_SCOPED_TIMER_US_CONCAT(spine_obs_timer_hist_, __LINE__))
+
+#endif  // SPINE_OBS_DISABLED
+
+#endif  // SPINE_OBS_METRICS_H_

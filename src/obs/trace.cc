@@ -1,0 +1,44 @@
+#include "obs/trace.h"
+
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace spine::obs {
+
+double TraceContext::SpanMicros(const char* name) const {
+  for (const Span& span : spans_) {
+    if (std::strcmp(span.name, name) == 0) return span.micros;
+  }
+  return -1.0;
+}
+
+uint64_t TraceContext::NoteValue(const char* key, uint64_t fallback) const {
+  for (const auto& [name, value] : notes_) {
+    if (std::strcmp(name, key) == 0) return value;
+  }
+  return fallback;
+}
+
+std::string TraceContext::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("spans");
+  json.BeginObject();
+  for (const Span& span : spans_) {
+    json.Key(span.name);
+    json.Value(span.micros);
+  }
+  json.EndObject();
+  json.Key("notes");
+  json.BeginObject();
+  for (const auto& [key, value] : notes_) {
+    json.Key(key);
+    json.Value(value);
+  }
+  json.EndObject();
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+}  // namespace spine::obs

@@ -1,0 +1,85 @@
+// Per-query tracing: a TraceContext rides along one query through the
+// engine and records named spans (wall-clock durations) and notes
+// (small integer facts: retries, cache hit, nodes checked). Traces are
+// strictly observational — they never influence the answer, so a batch
+// run with tracing on is byte-identical to one with tracing off.
+//
+// Capture sites are compiled out under SPINE_OBS_DISABLED; the type
+// itself stays so signatures (ExecuteQuery's optional trace parameter,
+// BatchStats::traces) do not change between build flavors.
+
+#ifndef SPINE_OBS_TRACE_H_
+#define SPINE_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace spine::obs {
+
+class TraceContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Span {
+    const char* name;  // string literal at the capture site
+    double micros;
+  };
+
+  void RecordSpan(const char* name, double micros) {
+    spans_.push_back({name, micros});
+  }
+  void Note(const char* key, uint64_t value) {
+    notes_.emplace_back(key, value);
+  }
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const std::vector<std::pair<const char*, uint64_t>>& notes() const {
+    return notes_;
+  }
+
+  // Micros of the span named `name`, or -1 when absent.
+  double SpanMicros(const char* name) const;
+  // Value of the note named `key`, or `fallback` when absent.
+  uint64_t NoteValue(const char* key, uint64_t fallback = 0) const;
+
+  // {"spans": {"exec_us": 12.3, ...}, "notes": {"retries": 0, ...}}
+  std::string ToJson() const;
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<std::pair<const char*, uint64_t>> notes_;
+};
+
+// Times one span and records it on destruction. A null context makes
+// the timer inert (no clock reads).
+class SpanTimer {
+ public:
+  SpanTimer(TraceContext* trace, const char* name) : trace_(trace) {
+    if (trace_ != nullptr) {
+      name_ = name;
+      start_ = TraceContext::Clock::now();
+    }
+  }
+  ~SpanTimer() {
+    if (trace_ != nullptr) {
+      trace_->RecordSpan(
+          name_, std::chrono::duration<double, std::micro>(
+                     TraceContext::Clock::now() - start_)
+                     .count());
+    }
+  }
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+ private:
+  TraceContext* trace_;
+  const char* name_ = nullptr;
+  TraceContext::Clock::time_point start_;
+};
+
+}  // namespace spine::obs
+
+#endif  // SPINE_OBS_TRACE_H_

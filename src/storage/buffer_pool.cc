@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace spine::storage {
 
@@ -80,10 +81,17 @@ Status BufferPool::ReadAndVerify(uint64_t page_id, uint8_t* raw) {
   SPINE_RETURN_IF_ERROR(file_->ReadPage(page_id, raw));
   Status verify = VerifyPageChecksum(page_id, raw);
   if (verify.ok()) return verify;
+  ++stats_.checksum_failures;
+  SPINE_OBS_COUNT("storage.pool.checksum_failures", 1);
   // One immediate re-read: a transient fault (bus glitch, injected bit
   // flip) heals; corruption that is actually on the medium persists.
   SPINE_RETURN_IF_ERROR(file_->ReadPage(page_id, raw));
-  return VerifyPageChecksum(page_id, raw);
+  verify = VerifyPageChecksum(page_id, raw);
+  if (verify.ok()) {
+    ++stats_.healed_rereads;
+    SPINE_OBS_COUNT("storage.pool.checksum_healed", 1);
+  }
+  return verify;
 }
 
 uint8_t* BufferPool::FetchPage(uint64_t page_id, bool mark_dirty) {
@@ -92,12 +100,14 @@ uint8_t* BufferPool::FetchPage(uint64_t page_id, bool mark_dirty) {
   auto it = page_to_frame_.find(page_id);
   if (it != page_to_frame_.end()) {
     ++stats_.hits;
+    SPINE_OBS_COUNT("storage.pool.hits", 1);
     uint32_t frame = it->second;
     if (mark_dirty) frames_[frame].dirty = true;
     Touch(frame);
     return FrameData(frame) + kPageHeaderSize;
   }
   ++stats_.misses;
+  SPINE_OBS_COUNT("storage.pool.misses", 1);
 
   const bool uses_lru_list = policy_ == ReplacementPolicy::kLru ||
                              policy_ == ReplacementPolicy::kPinTop;
@@ -112,10 +122,13 @@ uint8_t* BufferPool::FetchPage(uint64_t page_id, bool mark_dirty) {
     frame = PickVictim();
     Frame& victim = frames_[frame];
     ++stats_.evictions;
+    SPINE_OBS_COUNT("storage.pool.evictions", 1);
     if (victim.valid && victim.dirty) {
       ++stats_.dirty_writebacks;
+      SPINE_OBS_COUNT("storage.pool.dirty_writebacks", 1);
       Status status = WriteBack(frame);
       if (!status.ok()) {
+        SPINE_OBS_COUNT("storage.pool.io_errors", 1);
         last_error_ = status;
         return nullptr;
       }
@@ -125,6 +138,7 @@ uint8_t* BufferPool::FetchPage(uint64_t page_id, bool mark_dirty) {
 
   Status status = ReadAndVerify(page_id, FrameData(frame));
   if (!status.ok()) {
+    SPINE_OBS_COUNT("storage.pool.io_errors", 1);
     // Invalidate the frame so eviction never writes stale bytes back.
     frames_[frame] = Frame{};
     last_error_ = status;

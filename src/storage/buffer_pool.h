@@ -52,6 +52,11 @@ struct IoStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t dirty_writebacks = 0;
+  // Checksum mismatches observed on fault-in, and how many of those a
+  // single immediate re-read healed. failures == healed when every
+  // fault was transient; the difference is real on-medium corruption.
+  uint64_t checksum_failures = 0;
+  uint64_t healed_rereads = 0;
 
   uint64_t accesses() const { return hits + misses; }
   double HitRate() const {

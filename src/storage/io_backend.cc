@@ -7,6 +7,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace spine::storage {
 
 namespace {
@@ -154,6 +156,7 @@ Status FaultInjectingBackend::Read(int handle, uint64_t offset, void* buf,
   if (NextFault(&read_faults_, reads_, /*is_read=*/true, /*is_sync=*/false,
                 &kind)) {
     ++faults_injected_;
+    SPINE_OBS_COUNT("storage.faults.injected", 1);
     if (kind == FaultKind::kReadError) {
       return Status::IoError("injected EIO on read (op " +
                              std::to_string(reads_) + ")");
@@ -178,6 +181,7 @@ Status FaultInjectingBackend::Write(int handle, uint64_t offset,
   if (NextFault(&write_faults_, writes_, /*is_read=*/false,
                 /*is_sync=*/false, &kind)) {
     ++faults_injected_;
+    SPINE_OBS_COUNT("storage.faults.injected", 1);
     if (kind == FaultKind::kWriteError) {
       return Status::IoError("injected EIO on write (op " +
                              std::to_string(writes_) + ")");
@@ -203,6 +207,7 @@ Status FaultInjectingBackend::Sync(int handle) {
   if (NextFault(&sync_faults_, syncs_, /*is_read=*/false, /*is_sync=*/true,
                 &kind)) {
     ++faults_injected_;
+    SPINE_OBS_COUNT("storage.faults.injected", 1);
     return Status::IoError("injected EIO on sync (op " +
                            std::to_string(syncs_) + ")");
   }

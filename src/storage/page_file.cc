@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/crc32c.h"
+#include "obs/metrics.h"
 
 namespace spine::storage {
 
@@ -171,11 +172,14 @@ Status PageFile::WriteSuperblock() {
 
 Status PageFile::ReadPage(uint64_t page_id, uint8_t* out) {
   ++pages_read_;
+  SPINE_OBS_COUNT("storage.file.pages_read", 1);
   if (page_id >= page_count_) {
     // Never-written page: defined as zeros. No backend round trip.
     std::memset(out, 0, kPageSize);
     return Status::OK();
   }
+  SPINE_OBS_COUNT("storage.file.read_bytes", kPageSize);
+  SPINE_OBS_SCOPED_TIMER_US("storage.file.read_us");
   size_t got = 0;
   Status status =
       backend_->Read(handle_, PhysicalOffset(page_id), out, kPageSize, &got);
@@ -187,6 +191,9 @@ Status PageFile::ReadPage(uint64_t page_id, uint8_t* out) {
 
 Status PageFile::WritePage(uint64_t page_id, const uint8_t* data) {
   ++pages_written_;
+  SPINE_OBS_COUNT("storage.file.pages_written", 1);
+  SPINE_OBS_COUNT("storage.file.write_bytes", kPageSize);
+  SPINE_OBS_SCOPED_TIMER_US("storage.file.write_us");
   Status status =
       backend_->Write(handle_, PhysicalOffset(page_id), data, kPageSize);
   if (!status.ok()) return status;
@@ -198,6 +205,8 @@ Status PageFile::WritePage(uint64_t page_id, const uint8_t* data) {
 }
 
 Status PageFile::Sync() {
+  SPINE_OBS_COUNT("storage.file.syncs", 1);
+  SPINE_OBS_SCOPED_TIMER_US("storage.file.sync_us");
   Status status = WriteSuperblock();
   if (!status.ok()) return status;
   return backend_->Sync(handle_);

@@ -8,6 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "test_util.h"
+
 namespace spine::cli {
 namespace {
 
@@ -23,14 +27,8 @@ CliResult RunCli(const std::vector<std::string>& args) {
   return {code, out.str(), err.str()};
 }
 
-std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
-}
-
-void WriteFile(const std::string& path, const std::string& contents) {
-  std::ofstream file(path, std::ios::trunc);
-  file << contents;
-}
+using spine::test::TempPath;
+using spine::test::WriteFile;
 
 TEST(CliTest, NoArgsPrintsUsage) {
   CliResult result = RunCli({});
@@ -254,6 +252,137 @@ TEST(CliTest, BatchRunsHeterogeneousQueries) {
   const std::string empty_patterns = TempPath("cli_batch_empty.txt");
   WriteFile(empty_patterns, "# nothing\n");
   EXPECT_EQ(RunCli({"batch", index, empty_patterns}).code, 4);
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Parses the JSON document embedded in CLI output (the snapshot is the
+// first '{' through the end of the stream).
+Result<obs::JsonValue> ParseTrailingJson(const std::string& out) {
+  const size_t brace = out.find('{');
+  if (brace == std::string::npos) {
+    return Status::InvalidArgument("no JSON object in output");
+  }
+  return obs::ParseJson(std::string_view(out).substr(brace));
+}
+
+TEST(CliTest, StatsJsonEmitsVersionedSnapshot) {
+  const std::string fasta = TempPath("cli_sj.fa");
+  const std::string index = TempPath("cli_sj.spine");
+  WriteFile(fasta, ">seq\nACGTACGTACGTACGT\n");
+  ASSERT_EQ(RunCli({"build", fasta, index}).code, 0);
+
+  CliResult stats = RunCli({"stats", index, "--json"});
+  ASSERT_EQ(stats.code, 0) << stats.err;
+  Result<obs::JsonValue> doc = obs::ParseJson(
+      stats.out.substr(0, stats.out.find_last_not_of('\n') + 1));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << "\n" << stats.out;
+  EXPECT_DOUBLE_EQ(doc->Find("schema_version")->number,
+                   static_cast<double>(obs::kStatsSchemaVersion));
+  EXPECT_EQ(doc->Find("command")->string_value, "stats");
+  // The metrics section always carries the three maps, populated or not.
+  const obs::JsonValue* metrics = doc->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_TRUE(metrics->Find("counters")->is_object());
+  EXPECT_TRUE(metrics->Find("gauges")->is_object());
+  EXPECT_TRUE(metrics->Find("histograms")->is_object());
+  const obs::JsonValue* section = doc->Find("index");
+  ASSERT_NE(section, nullptr);
+  EXPECT_DOUBLE_EQ(section->Find("characters")->number, 16.0);
+  EXPECT_EQ(section->Find("alphabet")->string_value, "dna");
+  EXPECT_EQ(section->Find("fanout")->array.size(), 6u);
+}
+
+TEST(CliTest, StatsJsonFlagWritesFileOnBuildAndStdoutOnQuery) {
+  const std::string fasta = TempPath("cli_sjf.fa");
+  const std::string index = TempPath("cli_sjf.spine");
+  const std::string json_file = TempPath("cli_sjf_build.json");
+  WriteFile(fasta, ">seq\nACGTACGTACGTACGT\n");
+
+  CliResult build =
+      RunCli({"build", fasta, index, "--stats-json=" + json_file});
+  ASSERT_EQ(build.code, 0) << build.err;
+  // The human-readable line still prints; the snapshot goes to the file.
+  EXPECT_NE(build.out.find("indexed 16 characters"), std::string::npos);
+  Result<obs::JsonValue> doc = ParseTrailingJson(Slurp(json_file));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("command")->string_value, "build");
+  EXPECT_DOUBLE_EQ(doc->Find("build")->Find("characters")->number, 16.0);
+  EXPECT_GE(doc->Find("build")->Find("seconds")->number, 0.0);
+
+  // Bare --stats-json appends the snapshot to stdout after the text.
+  CliResult query = RunCli({"query", index, "ACGT", "--stats-json"});
+  ASSERT_EQ(query.code, 0) << query.err;
+  EXPECT_NE(query.out.find("4 occurrence(s)"), std::string::npos);
+  Result<obs::JsonValue> qdoc = ParseTrailingJson(query.out);
+  ASSERT_TRUE(qdoc.ok()) << qdoc.status().ToString() << "\n" << query.out;
+  EXPECT_EQ(qdoc->Find("command")->string_value, "query");
+  EXPECT_DOUBLE_EQ(qdoc->Find("query")->Find("occurrences")->number, 4.0);
+#if !defined(SPINE_OBS_DISABLED)
+  // The process-wide registry saw the core matcher counters.
+  const obs::JsonValue* counters = qdoc->Find("metrics")->Find("counters");
+  ASSERT_NE(counters->Find("core.vertebra_steps"), nullptr);
+  EXPECT_GT(counters->Find("core.vertebra_steps")->number, 0.0);
+#endif
+
+  // An unwritable destination is an I/O error (exit 1), and failing
+  // commands keep their exit codes (no snapshot written).
+  EXPECT_EQ(RunCli({"query", index, "ACGT",
+                    "--stats-json=/nonexistent-dir/x.json"})
+                .code,
+            1);
+  const std::string bad_fa = TempPath("cli_sjf_bad.fa");
+  WriteFile(bad_fa, ">seq\nACGTX\n");
+  const std::string never = TempPath("cli_sjf_never.json");
+  EXPECT_EQ(RunCli({"build", bad_fa, index, "--stats-json=" + never}).code,
+            4);
+  EXPECT_TRUE(Slurp(never).empty());
+}
+
+TEST(CliTest, BatchTraceEmitsPerQueryTraces) {
+  const std::string fasta = TempPath("cli_trace.fa");
+  const std::string index = TempPath("cli_trace.spine");
+  const std::string patterns = TempPath("cli_trace.txt");
+  WriteFile(fasta, ">seq\nACGTACGTACGTACGT\n");
+  ASSERT_EQ(RunCli({"build", fasta, index}).code, 0);
+  WriteFile(patterns, "ACGT\ncontains TTTT\nms ACGTTT\n");
+
+  CliResult batch = RunCli({"batch", index, patterns, "--threads=2",
+                            "--trace", "--stats-json"});
+  ASSERT_EQ(batch.code, 0) << batch.err;
+  Result<obs::JsonValue> doc = ParseTrailingJson(batch.out);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << "\n" << batch.out;
+  const obs::JsonValue* section = doc->Find("batch");
+  ASSERT_NE(section, nullptr);
+  EXPECT_DOUBLE_EQ(section->Find("queries")->number, 3.0);
+#if defined(SPINE_OBS_DISABLED)
+  // Capture sites compiled out: tracing yields nothing.
+  EXPECT_EQ(section->Find("traces"), nullptr);
+#else
+  const obs::JsonValue* traces = section->Find("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_TRUE(traces->is_array());
+  ASSERT_EQ(traces->array.size(), 3u);
+  for (const obs::JsonValue& trace : traces->array) {
+    // Every query got an exec span, a queue-wait span and work notes.
+    EXPECT_GE(trace.Find("spans")->Find("exec_us")->number, 0.0);
+    EXPECT_GE(trace.Find("spans")->Find("queue_wait_us")->number, 0.0);
+    ASSERT_NE(trace.Find("notes")->Find("cache_hit"), nullptr);
+    ASSERT_NE(trace.Find("notes")->Find("nodes_checked"), nullptr);
+  }
+#endif
+  // Without --trace the traces key stays absent.
+  CliResult plain =
+      RunCli({"batch", index, patterns, "--threads=2", "--stats-json"});
+  ASSERT_EQ(plain.code, 0) << plain.err;
+  Result<obs::JsonValue> pdoc = ParseTrailingJson(plain.out);
+  ASSERT_TRUE(pdoc.ok());
+  EXPECT_EQ(pdoc->Find("batch")->Find("traces"), nullptr);
 }
 
 TEST(CliTest, QueryOnMissingIndexFails) {

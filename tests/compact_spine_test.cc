@@ -18,16 +18,12 @@
 #include "core/spine_index.h"
 #include "naive/naive_index.h"
 #include "seq/generator.h"
+#include "test_util.h"
 
 namespace spine {
 namespace {
 
-std::string RandomString(Rng& rng, uint32_t length, uint32_t sigma) {
-  static const char* kLetters = "ACGTDEFHIKLMNPQRSWY";
-  std::string s;
-  for (uint32_t i = 0; i < length; ++i) s.push_back(kLetters[rng.Below(sigma)]);
-  return s;
-}
+using spine::test::RandomString;
 
 // Asserts that the compact index represents exactly the same logical
 // structure as the reference index.

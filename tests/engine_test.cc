@@ -20,16 +20,12 @@
 #include "engine/thread_pool.h"
 #include "seq/generator.h"
 #include "storage/disk_spine.h"
+#include "test_util.h"
 
 namespace spine::engine {
 namespace {
 
-std::string TestCorpus(uint64_t length) {
-  seq::GeneratorOptions options;
-  options.length = length;
-  options.seed = 42;
-  return seq::GenerateSequence(Alphabet::Dna(), options);
-}
+using spine::test::TestCorpus;
 
 // A mixed batch of every query kind: patterns sliced from the corpus
 // (hits), shuffled slices (mostly misses), and longer match queries.
@@ -266,7 +262,7 @@ TEST(QueryEngineTest, AllThreeBackendsAgreeOnTheSameCorpus) {
   ASSERT_TRUE(reference.AppendString(corpus).ok());
   CompactSpineIndex compact(Alphabet::Dna());
   ASSERT_TRUE(compact.AppendString(corpus).ok());
-  const std::string disk_path = ::testing::TempDir() + "/engine_disk.spine";
+  const std::string disk_path = spine::test::TempPath("engine_disk.spine");
   Result<std::unique_ptr<storage::DiskSpine>> disk = storage::DiskSpine::Create(
       Alphabet::Dna(), disk_path, storage::DiskSpine::Options{});
   ASSERT_TRUE(disk.ok()) << disk.status().ToString();
@@ -290,6 +286,80 @@ TEST(QueryEngineTest, AllThreeBackendsAgreeOnTheSameCorpus) {
     EXPECT_TRUE(from_reference[i].SameAnswer(from_disk[i]))
         << "disk disagrees on query " << i;
   }
+}
+
+// Tracing is strictly observational: the same batch with tracing on
+// and off returns exactly equal results (payload AND work counters),
+// and the traces themselves carry the per-query spans/notes.
+TEST(QueryEngineTest, TracingDoesNotChangeResults) {
+  const std::string corpus = TestCorpus(15'000);
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(corpus).ok());
+  const std::vector<Query> queries = MixedBatch(corpus, 120);
+
+  QueryEngine plain({.threads = 4, .cache_bytes = 0, .tracing = false});
+  QueryEngine traced({.threads = 4, .cache_bytes = 0, .tracing = true});
+  BatchStats plain_stats, traced_stats;
+  std::vector<QueryResult> off =
+      plain.ExecuteBatch(index, queries, 1, &plain_stats);
+  std::vector<QueryResult> on =
+      traced.ExecuteBatch(index, queries, 1, &traced_stats);
+
+  ASSERT_EQ(off.size(), on.size());
+  for (size_t i = 0; i < off.size(); ++i) {
+    EXPECT_TRUE(off[i].SameAnswer(on[i])) << "query " << i;
+    // Exact equality including the work counters: tracing observed the
+    // same execution, it did not alter it.
+    EXPECT_EQ(off[i].stats.nodes_checked, on[i].stats.nodes_checked);
+    EXPECT_EQ(off[i].stats.link_traversals, on[i].stats.link_traversals);
+    EXPECT_EQ(off[i].stats.chain_hops, on[i].stats.chain_hops);
+  }
+  EXPECT_EQ(plain_stats.search.nodes_checked,
+            traced_stats.search.nodes_checked);
+
+  EXPECT_TRUE(plain_stats.traces.empty());
+#if defined(SPINE_OBS_DISABLED)
+  // Capture sites compiled out: tracing silently collects nothing.
+  EXPECT_TRUE(traced_stats.traces.empty());
+#else
+  ASSERT_EQ(traced_stats.traces.size(), queries.size());
+  for (size_t i = 0; i < traced_stats.traces.size(); ++i) {
+    const obs::TraceContext& trace = traced_stats.traces[i];
+    EXPECT_GE(trace.SpanMicros("exec_us"), 0.0) << "query " << i;
+    EXPECT_GE(trace.SpanMicros("queue_wait_us"), 0.0) << "query " << i;
+    EXPECT_EQ(trace.NoteValue("cache_hit", 99), 0u);
+    // The trace's work notes equal the result's own counters.
+    EXPECT_EQ(trace.NoteValue("nodes_checked"), on[i].stats.nodes_checked);
+    EXPECT_EQ(trace.NoteValue("found", 99), on[i].found ? 1u : 0u);
+  }
+#endif
+}
+
+// Tracing composes with the result cache: a cached answer's trace notes
+// the hit instead of carrying an exec span's work notes.
+TEST(QueryEngineTest, TracedCacheHitsAreMarked) {
+  const std::string corpus = TestCorpus(8'000);
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(corpus).ok());
+  const std::vector<Query> queries = MixedBatch(corpus, 40);
+
+  QueryEngine engine(
+      {.threads = 2, .cache_bytes = 8 << 20, .tracing = true});
+  BatchStats first_stats, second_stats;
+  std::vector<QueryResult> first =
+      engine.ExecuteBatch(index, queries, 1, &first_stats);
+  std::vector<QueryResult> second =
+      engine.ExecuteBatch(index, queries, 1, &second_stats);
+  ASSERT_EQ(second_stats.cache_hits, queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_TRUE(first[i].SameAnswer(second[i])) << "query " << i;
+  }
+#if !defined(SPINE_OBS_DISABLED)
+  ASSERT_EQ(second_stats.traces.size(), queries.size());
+  for (const obs::TraceContext& trace : second_stats.traces) {
+    EXPECT_EQ(trace.NoteValue("cache_hit", 99), 1u);
+  }
+#endif
 }
 
 TEST(QueryEngineTest, EmptyBatchAndEmptyPatterns) {

@@ -23,23 +23,14 @@
 #include "storage/disk_spine.h"
 #include "storage/io_backend.h"
 #include "storage/page_file.h"
+#include "test_util.h"
 
 namespace spine::storage {
 namespace {
 
 using FaultKind = FaultInjectingBackend::FaultKind;
-
-std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
-}
-
-std::string RandomDna(Rng& rng, uint32_t length) {
-  const char* letters = "ACGT";
-  std::string s;
-  s.reserve(length);
-  for (uint32_t i = 0; i < length; ++i) s.push_back(letters[rng.Below(4)]);
-  return s;
-}
+using spine::test::RandomDna;
+using spine::test::TempPath;
 
 // A mixed bag of queries touching every kind.
 std::vector<Query> MakeQueries(Rng& rng, const std::string& s, int count) {

@@ -1,0 +1,292 @@
+// Differential/invariant tests tying the metrics registry to ground
+// truth the components already expose: the registry is only useful if
+// its counters agree exactly with the per-instance stats structs and
+// with independently recomputed work. Every test measures registry
+// *deltas* (after minus before) because the default registry is shared
+// process-wide.
+//
+// In the SPINE_OBS_DISABLED build flavor the capture sites compile out,
+// so the registry legitimately stays flat; those assertions skip.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compact/compact_spine.h"
+#include "core/query.h"
+#include "engine/query_engine.h"
+#include "obs/metrics.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_spine.h"
+#include "storage/io_backend.h"
+#include "storage/page_file.h"
+#include "test_util.h"
+
+namespace spine {
+namespace {
+
+using storage::BufferPool;
+using storage::FaultInjectingBackend;
+using storage::PageFile;
+using storage::ReplacementPolicy;
+using FaultKind = FaultInjectingBackend::FaultKind;
+using spine::test::RandomDna;
+using spine::test::TempPath;
+
+#if defined(SPINE_OBS_DISABLED)
+#define SPINE_SKIP_IF_OBS_DISABLED() \
+  GTEST_SKIP() << "capture sites compiled out (SPINE_OBS=OFF)"
+#else
+#define SPINE_SKIP_IF_OBS_DISABLED() \
+  do {                               \
+  } while (false)
+#endif
+
+// Counter deltas against a baseline snapshot of the default registry.
+class RegistryDelta {
+ public:
+  RegistryDelta() : before_(obs::Registry::Default().Snapshot()) {}
+
+  uint64_t Counter(const std::string& name) const {
+    return obs::Registry::Default().Snapshot().counter(name) -
+           before_.counter(name);
+  }
+
+ private:
+  obs::MetricsSnapshot before_;
+};
+
+// Writes `pages` dense checksummed pages into a fresh PageFile.
+Result<PageFile> MakePageFile(const std::string& path, uint64_t pages,
+                              storage::IoBackend* backend) {
+  Result<PageFile> file =
+      PageFile::Create(path, PageFile::SyncMode::kNone, backend);
+  if (!file.ok()) return file;
+  std::vector<uint8_t> page(storage::kPageSize);
+  for (uint64_t p = 0; p < pages; ++p) {
+    for (uint32_t i = 0; i < storage::kPageSize; ++i) {
+      page[i] = static_cast<uint8_t>(i * 13 + p + 1);
+    }
+    storage::SealPageChecksum(p, page.data());
+    Status status = file->WritePage(p, page.data());
+    if (!status.ok()) return status;
+  }
+  return file;
+}
+
+// (1) Pool registry counters agree exactly with the pool's own IoStats
+// over a randomized access pattern: hits + misses == FetchPage calls,
+// and each named counter delta equals its struct field.
+TEST(MetricsInvariantTest, PoolCountersMatchIoStats) {
+  SPINE_SKIP_IF_OBS_DISABLED();
+  Rng rng(2024);
+  constexpr uint64_t kPages = 32;
+  Result<PageFile> file = MakePageFile(TempPath("mi_pool.dat"), kPages,
+                                       storage::PosixIoBackend());
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+
+  RegistryDelta delta;
+  BufferPool pool(&*file, /*frames=*/8, ReplacementPolicy::kLru);
+  uint64_t fetches = 0;
+  for (int i = 0; i < 500; ++i) {
+    // Skewed pattern so both hits and misses (and evictions) occur.
+    const uint64_t page_id =
+        rng.Below(4) != 0 ? rng.Below(8) : rng.Below(kPages);
+    ASSERT_NE(pool.FetchPage(page_id, false), nullptr);
+    ++fetches;
+  }
+
+  const storage::IoStats& stats = pool.stats();
+  EXPECT_EQ(stats.accesses(), fetches);
+  EXPECT_EQ(delta.Counter("storage.pool.hits"), stats.hits);
+  EXPECT_EQ(delta.Counter("storage.pool.misses"), stats.misses);
+  EXPECT_EQ(delta.Counter("storage.pool.hits") +
+                delta.Counter("storage.pool.misses"),
+            fetches);
+  EXPECT_EQ(delta.Counter("storage.pool.evictions"), stats.evictions);
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+  // Clean reads: no checksum traffic.
+  EXPECT_EQ(delta.Counter("storage.pool.checksum_failures"), 0u);
+  EXPECT_EQ(delta.Counter("storage.pool.checksum_healed"), 0u);
+}
+
+// (2) PageFile byte counters follow page reads/writes exactly
+// (read_bytes == pages_read * kPageSize for real backend reads).
+TEST(MetricsInvariantTest, PageFileByteCountersFollowPageOps) {
+  SPINE_SKIP_IF_OBS_DISABLED();
+  RegistryDelta delta;
+  constexpr uint64_t kPages = 16;
+  Result<PageFile> file = MakePageFile(TempPath("mi_file.dat"), kPages,
+                                       storage::PosixIoBackend());
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  std::vector<uint8_t> raw(storage::kPageSize);
+  for (uint64_t p = 0; p < kPages; ++p) {
+    ASSERT_TRUE(file->ReadPage(p, raw.data()).ok());
+  }
+  EXPECT_EQ(delta.Counter("storage.file.pages_written"), kPages);
+  EXPECT_EQ(delta.Counter("storage.file.write_bytes"),
+            kPages * storage::kPageSize);
+  EXPECT_EQ(delta.Counter("storage.file.pages_read"), kPages);
+  EXPECT_EQ(delta.Counter("storage.file.read_bytes"),
+            kPages * storage::kPageSize);
+}
+
+// (3) A scheduled transient bit flip produces *exactly* one checksum
+// failure, one heal, and one injected-fault count; a persistent flip
+// (both the read and the heal re-read corrupted) produces one failure,
+// zero heals, two injected faults.
+TEST(MetricsInvariantTest, BitFlipSchedulesProduceExactIncrements) {
+  SPINE_SKIP_IF_OBS_DISABLED();
+  FaultInjectingBackend backend;
+  Result<PageFile> file =
+      MakePageFile(TempPath("mi_flip.dat"), /*pages=*/4, &backend);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+
+  {  // Transient: only the first read is flipped; the re-read heals.
+    RegistryDelta delta;
+    const uint64_t faults_before = backend.faults_injected();
+    BufferPool pool(&*file, 2, ReplacementPolicy::kLru);
+    backend.ScheduleReadFault(FaultKind::kBitFlip, 1);
+    EXPECT_NE(pool.FetchPage(0, false), nullptr);
+    EXPECT_EQ(pool.stats().checksum_failures, 1u);
+    EXPECT_EQ(pool.stats().healed_rereads, 1u);
+    EXPECT_EQ(delta.Counter("storage.pool.checksum_failures"), 1u);
+    EXPECT_EQ(delta.Counter("storage.pool.checksum_healed"), 1u);
+    EXPECT_EQ(delta.Counter("storage.faults.injected"),
+              backend.faults_injected() - faults_before);
+    EXPECT_EQ(backend.faults_injected() - faults_before, 1u);
+  }
+  {  // Persistent: flip the initial read AND the heal re-read.
+    RegistryDelta delta;
+    const uint64_t faults_before = backend.faults_injected();
+    BufferPool pool(&*file, 2, ReplacementPolicy::kLru);
+    backend.ScheduleReadFault(FaultKind::kBitFlip, 1);
+    backend.ScheduleReadFault(FaultKind::kBitFlip, 2);
+    EXPECT_EQ(pool.FetchPage(1, false), nullptr);
+    EXPECT_EQ(pool.ConsumeError().code(), StatusCode::kCorruption);
+    EXPECT_EQ(pool.stats().checksum_failures, 1u);
+    EXPECT_EQ(pool.stats().healed_rereads, 0u);
+    EXPECT_EQ(delta.Counter("storage.pool.checksum_failures"), 1u);
+    EXPECT_EQ(delta.Counter("storage.pool.checksum_healed"), 0u);
+    EXPECT_EQ(backend.faults_injected() - faults_before, 2u);
+    EXPECT_EQ(delta.Counter("storage.faults.injected"), 2u);
+  }
+}
+
+// (4) The engine's retry counter agrees between BatchStats and the
+// registry when a scheduled read EIO forces a retry.
+TEST(MetricsInvariantTest, EngineRetriesMatchBatchStats) {
+  SPINE_SKIP_IF_OBS_DISABLED();
+  Rng rng(31);
+  const std::string s = RandomDna(rng, 4000);
+  const std::string path = TempPath("mi_retry.idx");
+  {
+    storage::DiskSpine::Options options;
+    options.pool_frames = 64;
+    auto disk = storage::DiskSpine::Create(Alphabet::Dna(), path, options);
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AppendString(s).ok());
+    ASSERT_TRUE((*disk)->Checkpoint().ok());
+  }
+  FaultInjectingBackend backend;
+  storage::DiskSpine::Options options;
+  options.pool_frames = 16;
+  options.backend = &backend;
+  auto disk = storage::DiskSpine::Open(path, options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  backend.ScheduleReadFault(FaultKind::kReadError, 1);
+
+  RegistryDelta delta;
+  engine::QueryEngine engine({.threads = 2,
+                              .cache_bytes = 0,
+                              .max_retries = 2,
+                              .retry_backoff_us = 0});
+  std::vector<Query> queries = {Query::FindAll(s.substr(50, 8)),
+                                Query::Contains(s.substr(500, 6))};
+  engine::BatchStats stats;
+  std::vector<QueryResult> results =
+      engine.ExecuteBatch(**disk, queries, /*backend_id=*/7, &stats);
+  ASSERT_EQ(results.size(), queries.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_EQ(delta.Counter("engine.retries"), stats.retries);
+  EXPECT_EQ(delta.Counter("engine.queries"), queries.size());
+  EXPECT_EQ(delta.Counter("engine.failed"), 0u);
+}
+
+// (5) The Table 6 work counters accumulated by the registry equal the
+// SearchStats the queries themselves report, summed independently, and
+// the per-kind query counters equal the kind mix, over randomized
+// patterns against a real index.
+TEST(MetricsInvariantTest, MatcherCountersMatchSearchStats) {
+  SPINE_SKIP_IF_OBS_DISABLED();
+  Rng rng(907);
+  const std::string s = RandomDna(rng, 8000);
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(s).ok());
+
+  RegistryDelta delta;
+  SearchStats expected;
+  uint64_t per_kind[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 200; ++i) {
+    const uint32_t start = static_cast<uint32_t>(rng.Below(s.size() - 40));
+    Query query;
+    switch (i % 4) {
+      case 0: query = Query::Contains(s.substr(start, 4 + rng.Below(10))); break;
+      case 1: query = Query::FindAll(s.substr(start, 3 + rng.Below(8))); break;
+      case 2: query = Query::MaximalMatches(RandomDna(rng, 32), 5); break;
+      default: query = Query::MatchingStats(RandomDna(rng, 20)); break;
+    }
+    QueryResult result = ExecuteQuery(index, query);
+    ASSERT_TRUE(result.ok());
+    expected.Add(result.stats);
+    ++per_kind[static_cast<size_t>(query.kind)];
+  }
+
+  EXPECT_EQ(delta.Counter("core.vertebra_steps"), expected.nodes_checked);
+  EXPECT_EQ(delta.Counter("core.link_traversals"), expected.link_traversals);
+  EXPECT_EQ(delta.Counter("core.chain_hops"), expected.chain_hops);
+  EXPECT_EQ(delta.Counter("core.queries.contains"), per_kind[0]);
+  EXPECT_EQ(delta.Counter("core.queries.findall"), per_kind[1]);
+  EXPECT_EQ(delta.Counter("core.queries.match"), per_kind[2]);
+  EXPECT_EQ(delta.Counter("core.queries.ms"), per_kind[3]);
+  EXPECT_GT(expected.nodes_checked, 0u);
+}
+
+// (6) Matcher registry counters also increment on the *disk* backend,
+// and agree with what the same queries report on the in-memory index
+// (the Generic* algorithms are shared, so per-query SearchStats line up
+// when both backends answer from the same structure).
+TEST(MetricsInvariantTest, DiskBackendCountsSameCoreWork) {
+  SPINE_SKIP_IF_OBS_DISABLED();
+  Rng rng(55);
+  const std::string s = RandomDna(rng, 3000);
+  storage::DiskSpine::Options options;
+  options.pool_frames = 256;
+  auto disk = storage::DiskSpine::Create(Alphabet::Dna(),
+                                         TempPath("mi_disk.idx"), options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  ASSERT_TRUE((*disk)->AppendString(s).ok());
+
+  RegistryDelta delta;
+  SearchStats expected;
+  for (int i = 0; i < 50; ++i) {
+    const uint32_t start = static_cast<uint32_t>(rng.Below(s.size() - 20));
+    QueryResult result =
+        ExecuteQuery(**disk, Query::FindAll(s.substr(start, 4 + i % 8)));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    expected.Add(result.stats);
+  }
+  EXPECT_EQ(delta.Counter("core.vertebra_steps"), expected.nodes_checked);
+  EXPECT_EQ(delta.Counter("core.link_traversals"), expected.link_traversals);
+  EXPECT_EQ(delta.Counter("core.chain_hops"), expected.chain_hops);
+  EXPECT_EQ(delta.Counter("core.queries.findall"), 50u);
+}
+
+}  // namespace
+}  // namespace spine

@@ -1,0 +1,31 @@
+// Compiled with SPINE_OBS_DISABLED defined for this translation unit
+// only (see tests/CMakeLists.txt), while the rest of obs_test is built
+// with instrumentation enabled. Proves the compile-out contract: every
+// SPINE_OBS_* macro expands to nothing, so firing them registers no
+// metrics and performs no work. Macro expansion is per-TU, so this
+// coexists with enabled TUs in one binary without ODR issues (the
+// registry types themselves are identical in both flavors).
+
+#undef SPINE_OBS_DISABLED
+#define SPINE_OBS_DISABLED 1
+
+#include "obs_disabled_guard.h"
+
+#include "obs/metrics.h"
+
+namespace spine::obs_test {
+
+size_t FireDisabledMacros(obs::Registry& registry) {
+  const size_t before = registry.metric_count();
+  // These names must not collide with any metric the enabled TUs use;
+  // if the macros were live they would register into the default
+  // registry and the caller's count check would catch it.
+  SPINE_OBS_COUNT("disabled_guard.counter", 1);
+  SPINE_OBS_GAUGE_SET("disabled_guard.gauge", 42);
+  SPINE_OBS_OBSERVE_US("disabled_guard.histogram", 3.5);
+  { SPINE_OBS_SCOPED_TIMER_US("disabled_guard.timer"); }
+  // The registry passed in must also be untouched.
+  return registry.metric_count() - before;
+}
+
+}  // namespace spine::obs_test

@@ -1,0 +1,19 @@
+#ifndef SPINE_TESTS_OBS_DISABLED_GUARD_H_
+#define SPINE_TESTS_OBS_DISABLED_GUARD_H_
+
+#include <cstddef>
+
+namespace spine::obs {
+class Registry;
+}  // namespace spine::obs
+
+namespace spine::obs_test {
+
+// Fires every SPINE_OBS_* macro from a TU compiled with
+// SPINE_OBS_DISABLED and returns how many metrics that added to
+// `registry` (must be 0). Implemented in obs_disabled_guard.cc.
+size_t FireDisabledMacros(obs::Registry& registry);
+
+}  // namespace spine::obs_test
+
+#endif  // SPINE_TESTS_OBS_DISABLED_GUARD_H_

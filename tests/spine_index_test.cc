@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "naive/naive_index.h"
+#include "test_util.h"
 
 namespace spine {
 namespace {
@@ -180,15 +181,7 @@ TEST(SpineIndexTest, ByteAlphabetIndexesArbitraryText) {
 // Property tests against the brute-force oracle.
 // ---------------------------------------------------------------------
 
-std::string RandomString(Rng& rng, uint32_t length, uint32_t sigma) {
-  static const char* kLetters = "ACGTDEFHIKLMNPQRSWY";
-  std::string s;
-  s.reserve(length);
-  for (uint32_t i = 0; i < length; ++i) {
-    s.push_back(kLetters[rng.Below(sigma)]);
-  }
-  return s;
-}
+using spine::test::RandomString;
 
 struct PropertyCase {
   uint32_t sigma;

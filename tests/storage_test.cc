@@ -20,13 +20,12 @@
 #include "storage/page_file.h"
 #include "suffix_tree/st_matcher.h"
 #include "suffix_tree/suffix_tree.h"
+#include "test_util.h"
 
 namespace spine::storage {
 namespace {
 
-std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
-}
+using spine::test::TempPath;
 
 TEST(PageFileTest, WriteReadRoundTrip) {
   Result<PageFile> file =

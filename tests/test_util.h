@@ -1,0 +1,112 @@
+// Shared helpers for the test suite: temp paths, random-corpus
+// generators and the brute-force search oracle. Individual test files
+// keep only the helpers that are genuinely specific to them.
+
+#ifndef SPINE_TESTS_TEST_UTIL_H_
+#define SPINE_TESTS_TEST_UTIL_H_
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "seq/generator.h"
+
+namespace spine::test {
+
+// Path under gtest's per-run temp directory. Callers pick distinct
+// names per test; the directory is shared across the binary.
+inline std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Creates (and truncates) `path` with `content`; fails the current
+// test on I/O error.
+inline void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  ASSERT_TRUE(out.good()) << "cannot open " << path;
+  out << content;
+  ASSERT_TRUE(out.good()) << "failed writing " << path;
+}
+
+// RAII temp directory: a unique subdirectory of gtest's temp dir,
+// removed (recursively) on destruction.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& prefix = "spine_test") {
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string tag = info == nullptr
+                          ? "global"
+                          : std::string(info->test_suite_name()) + "_" +
+                                info->name();
+    for (char& c : tag) {
+      if (c == '/' || c == '\\') c = '_';
+    }
+    path_ = std::filesystem::path(::testing::TempDir()) / (prefix + "_" + tag);
+    std::filesystem::create_directories(path_);
+  }
+  ~ScopedTempDir() {
+    std::error_code ec;  // best effort; never throw from a destructor
+    std::filesystem::remove_all(path_, ec);
+  }
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+  std::string File(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  std::filesystem::path path_;
+};
+
+// Uniform random string over the first `sigma` letters of a mixed
+// DNA/protein alphabet (sigma <= 19).
+inline std::string RandomString(Rng& rng, uint32_t length, uint32_t sigma) {
+  static const char* kLetters = "ACGTDEFHIKLMNPQRSWY";
+  std::string s;
+  s.reserve(length);
+  for (uint32_t i = 0; i < length; ++i) {
+    s.push_back(kLetters[rng.Below(sigma)]);
+  }
+  return s;
+}
+
+inline std::string RandomDna(Rng& rng, uint32_t length) {
+  return RandomString(rng, length, 4);
+}
+
+inline std::string RandomProtein(Rng& rng, uint32_t length) {
+  return RandomString(rng, length, 19);
+}
+
+// Synthetic DNA corpus from the shared sequence generator (repeats
+// included), deterministic in (length, seed).
+inline std::string TestCorpus(uint64_t length, uint64_t seed = 42) {
+  seq::GeneratorOptions options;
+  options.length = length;
+  options.seed = seed;
+  return seq::GenerateSequence(Alphabet::Dna(), options);
+}
+
+// Brute-force oracle: every start position of `pattern` in `text`
+// (overlapping occurrences included), in increasing order.
+inline std::vector<uint32_t> OracleFindAll(const std::string& text,
+                                           const std::string& pattern) {
+  std::vector<uint32_t> positions;
+  if (pattern.empty() || pattern.size() > text.size()) return positions;
+  for (size_t pos = text.find(pattern); pos != std::string::npos;
+       pos = text.find(pattern, pos + 1)) {
+    positions.push_back(static_cast<uint32_t>(pos));
+  }
+  return positions;
+}
+
+}  // namespace spine::test
+
+#endif  // SPINE_TESTS_TEST_UTIL_H_

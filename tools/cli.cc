@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -20,6 +21,8 @@
 #include "core/matcher.h"
 #include "core/query.h"
 #include "engine/query_engine.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
 #include "seq/fasta.h"
 #include "seq/generator.h"
 #include "storage/disk_spine.h"
@@ -39,14 +42,15 @@ constexpr const char* kUsage =
     "  gquery <index.spineg> <pattern>\n"
     "  query <index.spine> <pattern>\n"
     "  batch <index.spine> <patterns.txt> [--threads=N] [--cache-mb=M] "
-    "[--min-len=N]\n"
+    "[--min-len=N] [--trace]\n"
     "      run a batch of queries concurrently; each line of patterns.txt\n"
     "      is 'PATTERN' or 'KIND PATTERN' with KIND one of findall,\n"
     "      contains, match, ms\n"
     "  approx <index.spine> <pattern> [--max-edits=K]\n"
     "  hamming <index.spine> <pattern> [--max-mismatches=K]\n"
     "  lrs <index.spine>\n"
-    "  stats <index.spine>\n"
+    "  stats <index.spine> [--json]\n"
+    "      index statistics; --json emits the versioned stats snapshot\n"
     "  search <index.spine> <query.fa> [--min-len=N]\n"
     "  align <reference.fa> <query.fa> [--min-anchor=N] [--mum]\n"
     "  generate <output.fa> [--length=N] [--seed=S] "
@@ -54,6 +58,9 @@ constexpr const char* kUsage =
     "  verify <image>\n"
     "      check integrity of a compact image (.spine) or a disk index\n"
     "      page file: magic/version, checksums, structural invariants\n"
+    "build, query and batch accept --stats-json[=FILE]: after the\n"
+    "command finishes, dump a versioned JSON snapshot of all runtime\n"
+    "metrics (plus a command-specific section) to stdout or FILE\n"
     "exit codes: 0 ok, 1 I/O error, 2 usage error, 3 corruption detected,\n"
     "            4 invalid argument, 5 not found, 6 resource exhausted,\n"
     "            7 precondition/range error\n";
@@ -142,6 +149,53 @@ int Fail(std::ostream& err, const Status& status) {
   return ExitCodeFor(status.code());
 }
 
+// The versioned stats snapshot emitted by `stats --json` and by the
+// --stats-json flag on build/query/batch (schema documented in
+// docs/OBSERVABILITY.md):
+//   {"schema_version": N, "command": "...",
+//    "metrics": {"counters": ..., "gauges": ..., "histograms": ...},
+//    "<command>": {...command-specific section...}}
+std::string StatsSnapshotJson(
+    std::string_view command,
+    const std::function<void(obs::JsonWriter&)>& extra) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("schema_version");
+  json.Value(obs::kStatsSchemaVersion);
+  json.Key("command");
+  json.Value(command);
+  json.Key("metrics");
+  json.RawValue(obs::Registry::ToJson(obs::Registry::Default().Snapshot()));
+  if (extra) extra(json);
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+// Honors --stats-json[=FILE] if present: bare flag dumps to stdout,
+// FILE writes the snapshot there. Returns 0, or an exit code when the
+// file cannot be written.
+int EmitStatsJson(const ParsedArgs& args, std::ostream& out,
+                  std::ostream& err, std::string_view command,
+                  const std::function<void(obs::JsonWriter&)>& extra) {
+  auto it = args.options.find("stats-json");
+  if (it == args.options.end()) return 0;
+  const std::string doc = StatsSnapshotJson(command, extra);
+  if (it->second == "true") {  // bare --stats-json
+    out << doc << "\n";
+    return 0;
+  }
+  std::ofstream file(it->second, std::ios::trunc);
+  if (!file) {
+    return Fail(err, Status::IoError("cannot open " + it->second +
+                                     " for writing"));
+  }
+  file << doc << "\n";
+  if (!file.good()) {
+    return Fail(err, Status::IoError("failed writing " + it->second));
+  }
+  return 0;
+}
+
 int CmdBuild(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
     err << "build requires <input.fa> <index.spine>\n";
@@ -162,11 +216,23 @@ int CmdBuild(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (!status.ok()) return Fail(err, status);
   status = SaveCompactSpine(index, args.positional[1]);
   if (!status.ok()) return Fail(err, status);
-  out << "indexed " << index.size() << " characters in "
-      << timer.ElapsedSeconds() << " s ("
+  const double secs = timer.ElapsedSeconds();
+  out << "indexed " << index.size() << " characters in " << secs << " s ("
       << index.LogicalBytes().BytesPerChar(index.size())
       << " bytes/char) -> " << args.positional[1] << "\n";
-  return 0;
+  return EmitStatsJson(args, out, err, "build", [&](obs::JsonWriter& json) {
+    json.Key("build");
+    json.BeginObject();
+    json.Key("characters");
+    json.Value(static_cast<uint64_t>(index.size()));
+    json.Key("seconds");
+    json.Value(secs);
+    json.Key("bytes_per_char");
+    json.Value(index.LogicalBytes().BytesPerChar(index.size()));
+    json.Key("output");
+    json.Value(args.positional[1]);
+    json.EndObject();
+  });
 }
 
 int CmdGBuild(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
@@ -233,7 +299,21 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   out << result.hits.size() << " occurrence(s)";
   for (const Hit& hit : result.hits) out << " " << hit.pos;
   out << "\n";
-  return 0;
+  return EmitStatsJson(args, out, err, "query", [&](obs::JsonWriter& json) {
+    json.Key("query");
+    json.BeginObject();
+    json.Key("pattern");
+    json.Value(args.positional[1]);
+    json.Key("occurrences");
+    json.Value(static_cast<uint64_t>(result.hits.size()));
+    json.Key("nodes_checked");
+    json.Value(result.stats.nodes_checked);
+    json.Key("link_traversals");
+    json.Value(result.stats.link_traversals);
+    json.Key("chain_hops");
+    json.Value(result.stats.chain_hops);
+    json.EndObject();
+  });
 }
 
 // One line of a batch patterns file: 'PATTERN' (findall) or
@@ -341,8 +421,10 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       OptionU64(args, "threads")
           .value_or(std::max(1u, std::thread::hardware_concurrency())));
   const uint64_t cache_mb = OptionU64(args, "cache-mb").value_or(16);
-  engine::QueryEngine query_engine(
-      {.threads = threads, .cache_bytes = cache_mb << 20});
+  engine::QueryEngine query_engine({.threads = threads,
+                                    .cache_bytes = cache_mb << 20,
+                                    .tracing =
+                                        args.options.count("trace") > 0});
 
   WallTimer timer;
   engine::BatchStats stats;
@@ -360,7 +442,39 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       << ", " << stats.search.nodes_checked << " nodes checked";
   if (stats.failed > 0) out << ", " << stats.failed << " FAILED";
   out << "\n";
-  return 0;
+  return EmitStatsJson(args, out, err, "batch", [&](obs::JsonWriter& json) {
+    json.Key("batch");
+    json.BeginObject();
+    json.Key("queries");
+    json.Value(stats.queries);
+    json.Key("executed");
+    json.Value(stats.executed);
+    json.Key("cache_hits");
+    json.Value(stats.cache_hits);
+    json.Key("failed");
+    json.Value(stats.failed);
+    json.Key("retries");
+    json.Value(stats.retries);
+    json.Key("seconds");
+    json.Value(secs);
+    json.Key("threads");
+    json.Value(query_engine.thread_count());
+    json.Key("nodes_checked");
+    json.Value(stats.search.nodes_checked);
+    json.Key("link_traversals");
+    json.Value(stats.search.link_traversals);
+    json.Key("chain_hops");
+    json.Value(stats.search.chain_hops);
+    if (!stats.traces.empty()) {
+      json.Key("traces");
+      json.BeginArray();
+      for (const obs::TraceContext& trace : stats.traces) {
+        json.RawValue(trace.ToJson());
+      }
+      json.EndArray();
+    }
+    json.EndObject();
+  });
 }
 
 int CmdApprox(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
@@ -437,6 +551,34 @@ int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (!index.ok()) return Fail(err, index.status());
   auto breakdown = index->LogicalBytes();
   auto fanouts = index->FanoutCountsWithExtribs();
+  if (args.options.count("json") > 0) {
+    out << StatsSnapshotJson("stats", [&](obs::JsonWriter& json) {
+      json.Key("index");
+      json.BeginObject();
+      json.Key("alphabet");
+      json.Value(index->alphabet().name());
+      json.Key("characters");
+      json.Value(static_cast<uint64_t>(index->size()));
+      json.Key("max_lel");
+      json.Value(static_cast<uint64_t>(index->max_lel()));
+      json.Key("max_pt");
+      json.Value(static_cast<uint64_t>(index->max_pt()));
+      json.Key("max_prt");
+      json.Value(static_cast<uint64_t>(index->max_prt()));
+      json.Key("extribs");
+      json.Value(static_cast<uint64_t>(index->extrib_count()));
+      json.Key("bytes_per_char");
+      json.Value(breakdown.BytesPerChar(index->size()));
+      json.Key("fanout");
+      json.BeginArray();
+      for (int k = 0; k < 6; ++k) {
+        json.Value(static_cast<uint64_t>(fanouts[k]));
+      }
+      json.EndArray();
+      json.EndObject();
+    }) << "\n";
+    return 0;
+  }
   out << "alphabet        : " << index->alphabet().name() << "\n"
       << "characters      : " << index->size() << "\n"
       << "max LEL/PT/PRT  : " << index->max_lel() << " / " << index->max_pt()
