@@ -14,6 +14,7 @@
 #include "common/check.h"
 #include "common/timer.h"
 #include "compact/compact_spine.h"
+#include "core/adapters.h"
 #include "core/query.h"
 #include "engine/query_engine.h"
 #include "seq/datasets.h"
@@ -69,6 +70,7 @@ void Run() {
   const std::string corpus = seq::GenerateSequence(Alphabet::Dna(), gen);
   CompactSpineIndex index(Alphabet::Dna());
   SPINE_CHECK(index.AppendString(corpus).ok());
+  core::CompactSpineAdapter adapter(index);
 
   const std::vector<Query> queries = MakeWorkload(corpus);
 
@@ -97,7 +99,7 @@ void Run() {
     engine::BatchStats stats;
     WallTimer timer;
     std::vector<QueryResult> results =
-        engine.ExecuteBatch(index, queries, 1, &stats);
+        engine.ExecuteBatch(adapter, queries, &stats);
     const double secs = timer.ElapsedSeconds();
     if (threads == 1) one_thread_secs = secs;
 
@@ -124,10 +126,10 @@ void Run() {
   engine::QueryEngine cached({.threads = 8, .cache_bytes = 64 << 20});
   engine::BatchStats cold, warm;
   WallTimer cold_timer;
-  cached.ExecuteBatch(index, skewed, 1, &cold);
+  cached.ExecuteBatch(adapter, skewed, &cold);
   const double cold_secs = cold_timer.ElapsedSeconds();
   WallTimer warm_timer;
-  cached.ExecuteBatch(index, skewed, 1, &warm);
+  cached.ExecuteBatch(adapter, skewed, &warm);
   const double warm_secs = warm_timer.ElapsedSeconds();
   std::printf(
       "\nskewed workload, 8 threads + 64 MiB cache: cold %.3f s "

@@ -1,0 +1,137 @@
+// Sharded-family scaling: parallel build time and query throughput of
+// shard::ShardedIndex at K = 1/2/4/8 shards over the synthetic DNA
+// corpus, against the monolithic compact index as the correctness
+// reference. Every sharded answer must be byte-identical to the
+// monolithic one; the table reports build speedup from the parallel
+// per-shard construction and the query-side cost of fan-out + merge.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/json_report.h"
+#include "bench_util/table.h"
+#include "common/check.h"
+#include "common/timer.h"
+#include "compact/compact_spine.h"
+#include "core/query.h"
+#include "seq/datasets.h"
+#include "seq/generator.h"
+#include "shard/sharded_index.h"
+
+namespace spine::bench {
+namespace {
+
+constexpr uint64_t kCorpusLen = 2'000'000;
+constexpr size_t kQueries = 2'000;
+
+std::vector<Query> MakeWorkload(const std::string& corpus) {
+  std::vector<Query> queries;
+  queries.reserve(kQueries);
+  for (size_t i = 0; i < kQueries; ++i) {
+    const size_t offset = (i * 786'433) % (corpus.size() - 1024);
+    switch (i % 8) {
+      case 0:
+      case 1:
+      case 2:
+        queries.push_back(Query::FindAll(corpus.substr(offset, 16 + i % 24)));
+        break;
+      case 3:
+      case 4: {
+        std::string pattern = corpus.substr(offset, 24);
+        pattern[12] = pattern[12] == 'A' ? 'C' : 'A';
+        queries.push_back(Query::Contains(pattern));
+        break;
+      }
+      case 5:
+      case 6:
+        queries.push_back(
+            Query::MaximalMatches(corpus.substr(offset, 400), 16));
+        break;
+      default:
+        queries.push_back(Query::MatchingStats(corpus.substr(offset, 256)));
+        break;
+    }
+  }
+  return queries;
+}
+
+void Run() {
+  double scale = seq::BenchScaleFromEnv();
+  PrintBanner("Shard", "family build + query scaling vs shard count", scale);
+
+  seq::GeneratorOptions gen;
+  gen.length = static_cast<uint64_t>(kCorpusLen * scale);
+  gen.seed = 13;
+  const std::string corpus = seq::GenerateSequence(Alphabet::Dna(), gen);
+
+  WallTimer mono_timer;
+  CompactSpineIndex mono(Alphabet::Dna());
+  SPINE_CHECK(mono.AppendString(corpus).ok());
+  const double mono_build_secs = mono_timer.ElapsedSeconds();
+
+  const std::vector<Query> queries = MakeWorkload(corpus);
+  std::vector<QueryResult> reference;
+  reference.reserve(queries.size());
+  WallTimer ref_timer;
+  for (const Query& q : queries) {
+    reference.push_back(ExecuteQuery(mono, q));
+  }
+  const double mono_query_secs = ref_timer.ElapsedSeconds();
+
+  BenchReport report("shard_scaling", scale);
+  report.AddMetric("corpus_chars", static_cast<uint64_t>(corpus.size()));
+  report.AddMetric("queries", static_cast<uint64_t>(queries.size()));
+  report.AddMetric("mono_build_secs", mono_build_secs);
+  report.AddMetric("mono_qps", queries.size() / mono_query_secs);
+
+  TablePrinter table({"shards", "build secs", "build speedup", "queries/sec",
+                      "vs mono", "identical"});
+  table.AddRow({"mono", FormatDouble(mono_build_secs, 3), "-",
+                FormatCount(
+                    static_cast<uint64_t>(queries.size() / mono_query_secs)),
+                "1.00", "-"});
+  double k1_build_secs = mono_build_secs;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    WallTimer build_timer;
+    auto family = shard::ShardedIndex::Build(
+        Alphabet::Dna(), corpus,
+        {.shards = shards, .max_pattern = shard::kDefaultMaxPattern});
+    SPINE_CHECK(family.ok());
+    const double build_secs = build_timer.ElapsedSeconds();
+    if (shards == 1) k1_build_secs = build_secs;
+
+    WallTimer query_timer;
+    bool identical = true;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      identical =
+          identical && (*family)->Execute(queries[i]).SameAnswer(reference[i]);
+    }
+    const double query_secs = query_timer.ElapsedSeconds();
+    SPINE_CHECK(identical);
+
+    table.AddRow(
+        {std::to_string(shards), FormatDouble(build_secs, 3),
+         FormatDouble(k1_build_secs / build_secs, 2),
+         FormatCount(static_cast<uint64_t>(queries.size() / query_secs)),
+         FormatDouble(mono_query_secs / query_secs, 2),
+         identical ? "yes" : "NO"});
+    report.AddMetric("build_secs_k" + std::to_string(shards), build_secs);
+    report.AddMetric("qps_k" + std::to_string(shards),
+                     queries.size() / query_secs);
+  }
+  table.Print();
+
+  std::printf(
+      "\ntarget: parallel build speedup grows with K; per-query fan-out "
+      "overhead stays within ~K of monolithic; answers identical.\n");
+  SPINE_CHECK(report.Write().ok());
+}
+
+}  // namespace
+}  // namespace spine::bench
+
+int main() {
+  spine::bench::Run();
+  return 0;
+}

@@ -72,6 +72,10 @@ class GeneralizedCompactSpine {
     return index_.LogicalBytes();
   }
 
+  // The concatenated compact index (ASCII alphabet, separators
+  // included) — what the core::Index adapter executes queries against.
+  const CompactSpineIndex& underlying() const { return index_; }
+
   // --- Persistence ---------------------------------------------------------
 
   Status Save(const std::string& path) const;

@@ -1,0 +1,265 @@
+#include "core/adapters.h"
+
+#include <algorithm>
+#include <string_view>
+
+#include "naive/naive_index.h"
+#include "obs/metrics.h"
+#include "suffix_tree/st_matcher.h"
+
+namespace spine::core {
+
+QueryResult UnsupportedKindResult(std::string_view backend, QueryKind kind) {
+  QueryResult result;
+  result.status_code = StatusCode::kInvalidArgument;
+  result.error = "backend '" + std::string(backend) +
+                 "' does not support query kind '" +
+                 std::string(QueryKindName(kind)) + "'";
+  return result;
+}
+
+namespace {
+
+// The same left-to-right decay GenericMatchingStatistics uses to turn
+// seeded maximal-match lengths into full matching statistics.
+void DecayMatchingStats(std::vector<uint32_t>* ms) {
+  for (size_t q = 1; q < ms->size(); ++q) {
+    if ((*ms)[q - 1] > 1 && (*ms)[q - 1] - 1 > (*ms)[q]) {
+      (*ms)[q] = (*ms)[q - 1] - 1;
+    }
+  }
+}
+
+bool AnyPositive(const std::vector<uint32_t>& ms) {
+  return std::any_of(ms.begin(), ms.end(),
+                     [](uint32_t v) { return v > 0; });
+}
+
+// Mirrors the observability block of core/query.h ExecuteQuery for the
+// adapter paths that do not go through it (suffix trees, CDAWG, naive):
+// per-kind query counters, Table 6 work counters, and trace notes.
+void RecordQueryObs(const Query& query, const QueryResult& result,
+                    obs::TraceContext* trace) {
+#if !defined(SPINE_OBS_DISABLED)
+  static obs::Counter* const kind_counters[] = {
+      &obs::Registry::Default().GetCounter("core.queries.contains"),
+      &obs::Registry::Default().GetCounter("core.queries.findall"),
+      &obs::Registry::Default().GetCounter("core.queries.match"),
+      &obs::Registry::Default().GetCounter("core.queries.ms"),
+  };
+  kind_counters[static_cast<size_t>(query.kind)]->Add(1);
+  SPINE_OBS_COUNT("core.vertebra_steps", result.stats.nodes_checked);
+  SPINE_OBS_COUNT("core.link_traversals", result.stats.link_traversals);
+  SPINE_OBS_COUNT("core.chain_hops", result.stats.chain_hops);
+  if (trace != nullptr) {
+    trace->Note("nodes_checked", result.stats.nodes_checked);
+    trace->Note("link_traversals", result.stats.link_traversals);
+    trace->Note("chain_hops", result.stats.chain_hops);
+    trace->Note("found", result.found ? 1 : 0);
+  }
+#else
+  (void)query;
+  (void)result;
+  (void)trace;
+#endif
+}
+
+// One Execute implementation for both suffix-tree backends (in-memory
+// SuffixTree and paged storage::DiskSuffixTree). Matches the SPINE
+// adapters' payloads exactly: maximal matches come from the
+// suffix-link matcher, occurrences from per-match FindAll (ascending,
+// so front() is the first occurrence — the position SPINE reports),
+// and matching statistics from seeded matches plus the decay sweep.
+template <typename Tree>
+QueryResult StExecute(const Tree& tree, std::string_view name,
+                      const Query& query, obs::TraceContext* trace) {
+#if defined(SPINE_OBS_DISABLED)
+  trace = nullptr;
+#endif
+  obs::SpanTimer exec_timer(trace, "exec_us");
+  if constexpr (IoLatchedIndex<Tree>) {
+    (void)tree.ConsumeError();  // stale latch must not taint this query
+  }
+  (void)name;
+  QueryResult result;
+  switch (query.kind) {
+    case QueryKind::kContains:
+      result.found =
+          query.pattern.empty() || tree.Contains(query.pattern, &result.stats);
+      break;
+    case QueryKind::kFindAll: {
+      if (!query.pattern.empty()) {
+        const uint32_t m = static_cast<uint32_t>(query.pattern.size());
+        for (uint32_t pos : tree.FindAll(query.pattern, &result.stats)) {
+          result.hits.push_back({pos, m, 0});
+        }
+      }
+      result.found = !result.hits.empty();
+      break;
+    }
+    case QueryKind::kMaximalMatches: {
+      const uint32_t min_len = std::max<uint32_t>(query.min_len, 1);
+      for (const StMatch& match : GenericStFindMaximalMatches(
+               tree, query.pattern, min_len, &result.stats)) {
+        const std::string_view sub = std::string_view(query.pattern)
+                                         .substr(match.query_pos, match.length);
+        std::vector<uint32_t> positions = tree.FindAll(sub, &result.stats);
+        if (positions.empty()) continue;  // only reachable via latched fault
+        if (query.expand_occurrences) {
+          for (uint32_t pos : positions) {
+            result.hits.push_back({pos, match.length, match.query_pos});
+          }
+        } else {
+          result.hits.push_back(
+              {positions.front(), match.length, match.query_pos});
+        }
+      }
+      result.found = !result.hits.empty();
+      break;
+    }
+    case QueryKind::kMatchingStats: {
+      result.matching_stats.assign(query.pattern.size(), 0);
+      for (const StMatch& match : GenericStFindMaximalMatches(
+               tree, query.pattern, 1, &result.stats)) {
+        result.matching_stats[match.query_pos] = match.length;
+      }
+      DecayMatchingStats(&result.matching_stats);
+      result.found = AnyPositive(result.matching_stats);
+      break;
+    }
+  }
+  RecordQueryObs(query, result, trace);
+  if constexpr (IoLatchedIndex<Tree>) {
+    Status status = tree.ConsumeError();
+    if (!status.ok()) {
+      QueryResult failed;
+      failed.stats = result.stats;  // work done before the fault counts
+      failed.status_code = status.code();
+      failed.error = std::string(status.message());
+      return failed;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+QueryResult SuffixTreeAdapter::Execute(const Query& query,
+                                       obs::TraceContext* trace) const {
+  return StExecute(*tree_, Name(), query, trace);
+}
+
+QueryResult DiskSuffixTreeAdapter::Execute(const Query& query,
+                                           obs::TraceContext* trace) const {
+  return StExecute(*tree_, Name(), query, trace);
+}
+
+Status DiskSuffixTreeAdapter::VerifyStructure() const {
+  (void)tree_->ConsumeError();  // start from a clean latch
+  const uint64_t n = tree_->size();
+  const uint64_t nodes = tree_->node_count();
+  // Touch every text code so each page passes its checksum.
+  for (uint64_t i = 0; i < n; ++i) (void)tree_->CodeAt(i);
+  for (uint64_t id = 0; id < nodes; ++id) {
+    const SuffixTree::Node node = tree_->node(static_cast<uint32_t>(id));
+    if (node.start > n) {
+      return Status::Corruption("node " + std::to_string(id) +
+                                ": edge start beyond text");
+    }
+    if (node.end != SuffixTree::kOpenEnd &&
+        (node.end > n || node.end < node.start)) {
+      return Status::Corruption("node " + std::to_string(id) +
+                                ": invalid edge range");
+    }
+    const uint32_t kNone = SuffixTree::kNoNode32;
+    if ((node.first_child != kNone && node.first_child >= nodes) ||
+        (node.next_sibling != kNone && node.next_sibling >= nodes) ||
+        (node.suffix_link != kNone && node.suffix_link >= nodes)) {
+      return Status::Corruption("node " + std::to_string(id) +
+                                ": out-of-range node reference");
+    }
+    if (node.suffix_index != kNone && node.suffix_index >= n) {
+      return Status::Corruption("node " + std::to_string(id) +
+                                ": suffix index beyond text");
+    }
+  }
+  return tree_->ConsumeError();
+}
+
+const Alphabet& CompactDawgAdapter::alphabet() const {
+  return dawg_->alphabet();
+}
+
+QueryResult CompactDawgAdapter::Execute(const Query& query,
+                                        obs::TraceContext* trace) const {
+#if defined(SPINE_OBS_DISABLED)
+  trace = nullptr;
+#endif
+  if (query.kind != QueryKind::kContains) {
+    return UnsupportedKindResult(Name(), query.kind);
+  }
+  obs::SpanTimer exec_timer(trace, "exec_us");
+  QueryResult result;
+  result.found = query.pattern.empty() || dawg_->Contains(query.pattern);
+  RecordQueryObs(query, result, trace);
+  return result;
+}
+
+QueryResult NaiveTextAdapter::Execute(const Query& query,
+                                      obs::TraceContext* trace) const {
+#if defined(SPINE_OBS_DISABLED)
+  trace = nullptr;
+#endif
+  obs::SpanTimer exec_timer(trace, "exec_us");
+  QueryResult result;
+  switch (query.kind) {
+    case QueryKind::kContains:
+      result.found = query.pattern.empty() ||
+                     naive::FirstOccurrenceEnd(text_, query.pattern) >= 0;
+      break;
+    case QueryKind::kFindAll: {
+      if (!query.pattern.empty()) {
+        const uint32_t m = static_cast<uint32_t>(query.pattern.size());
+        for (uint32_t pos : naive::FindAllOccurrences(text_, query.pattern)) {
+          result.hits.push_back({pos, m, 0});
+        }
+      }
+      result.found = !result.hits.empty();
+      break;
+    }
+    case QueryKind::kMaximalMatches: {
+      const uint32_t min_len = std::max<uint32_t>(query.min_len, 1);
+      for (const naive::NaiveMatch& match :
+           naive::MaximalMatches(text_, query.pattern, min_len)) {
+        const std::string_view sub = std::string_view(query.pattern)
+                                         .substr(match.query_pos, match.length);
+        if (query.expand_occurrences) {
+          for (uint32_t pos : naive::FindAllOccurrences(text_, sub)) {
+            result.hits.push_back({pos, match.length, match.query_pos});
+          }
+        } else {
+          const int64_t first_end = naive::FirstOccurrenceEnd(text_, sub);
+          result.hits.push_back(
+              {static_cast<uint32_t>(first_end) - match.length, match.length,
+               match.query_pos});
+        }
+      }
+      result.found = !result.hits.empty();
+      break;
+    }
+    case QueryKind::kMatchingStats: {
+      result.matching_stats.assign(query.pattern.size(), 0);
+      for (const naive::NaiveMatch& match :
+           naive::MaximalMatches(text_, query.pattern, 1)) {
+        result.matching_stats[match.query_pos] = match.length;
+      }
+      DecayMatchingStats(&result.matching_stats);
+      result.found = AnyPositive(result.matching_stats);
+      break;
+    }
+  }
+  RecordQueryObs(query, result, trace);
+  return result;
+}
+
+}  // namespace spine::core

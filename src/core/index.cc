@@ -1,0 +1,19 @@
+#include "core/index.h"
+
+#include <atomic>
+
+namespace spine::core {
+
+namespace {
+// Ids start at 1 so 0 can never collide with a live index (it was the
+// old "default backend" magic value callers passed by hand).
+std::atomic<uint64_t> g_next_cache_id{1};
+}  // namespace
+
+uint64_t NextIndexCacheId() {
+  return g_next_cache_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+Index::Index() : cache_id_(NextIndexCacheId()) {}
+
+}  // namespace spine::core

@@ -1,0 +1,155 @@
+// The runtime-polymorphic index interface every consumer speaks.
+//
+// PR 1-3 unified the *query* vocabulary (core/query.h) but left every
+// consumer welded to a concrete backend type: the batch engine was a
+// template with a per-backend concurrency trait, and the CLI sniffed
+// file magic in three separate places. `core::Index` is the missing
+// seam — one abstract interface that every backend (reference SPINE,
+// compact SPINE, generalized collections, paged disk structures, the
+// suffix-tree and CDAWG baselines, the naive oracle, and sharded
+// families) plugs into via thin adapters (core/adapters.h), opened
+// uniformly through the BackendRegistry (core/registry.h).
+//
+// Capabilities replace compile-time traits: instead of specializing
+// kConcurrentSafeReads<T>, a backend *reports* whether its const reads
+// are thread-safe, whether its I/O layer latches errors, and which
+// query kinds it can answer. Consumers branch on data, not on types.
+//
+// Cache identity: every Index instance is assigned a process-unique
+// cache_id() at construction. The engine's result cache keys on it, so
+// two distinct indexes can never cross-serve cached answers — the
+// caller-managed backend_id footgun of PR 1 is gone by construction.
+
+#ifndef SPINE_CORE_INDEX_H_
+#define SPINE_CORE_INDEX_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "alphabet/alphabet.h"
+#include "common/status.h"
+#include "core/query.h"
+#include "obs/trace.h"
+
+namespace spine::core {
+
+// Which concrete structure sits behind the interface. Extend-only:
+// values are stable identifiers used in tests and diagnostics.
+enum class IndexKind : uint8_t {
+  kSpine = 0,              // reference SpineIndex (core/spine_index.h)
+  kCompactSpine = 1,       // Section 5 layout (compact/compact_spine.h)
+  kGeneralizedSpine = 2,   // multi-string reference (core/generalized_spine.h)
+  kGeneralizedCompact = 3, // multi-string compact (compact/generalized_compact.h)
+  kDiskSpine = 4,          // paged SPINE (storage/disk_spine.h)
+  kDiskSuffixTree = 5,     // paged ST baseline (storage/disk_suffix_tree.h)
+  kSuffixTree = 6,         // in-memory Ukkonen baseline
+  kCompactDawg = 7,        // CDAWG baseline (dawg/compact_dawg.h)
+  kNaive = 8,              // brute-force oracle (naive/naive_index.h)
+  kSharded = 9,            // K-way sharded family (shard/sharded_index.h)
+};
+
+constexpr std::string_view IndexKindName(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kSpine: return "spine";
+    case IndexKind::kCompactSpine: return "compact";
+    case IndexKind::kGeneralizedSpine: return "generalized";
+    case IndexKind::kGeneralizedCompact: return "generalized-compact";
+    case IndexKind::kDiskSpine: return "disk";
+    case IndexKind::kDiskSuffixTree: return "disk-st";
+    case IndexKind::kSuffixTree: return "suffix-tree";
+    case IndexKind::kCompactDawg: return "cdawg";
+    case IndexKind::kNaive: return "naive";
+    case IndexKind::kSharded: return "sharded";
+  }
+  return "unknown";
+}
+
+constexpr uint8_t QueryKindBit(QueryKind kind) {
+  return static_cast<uint8_t>(1u << static_cast<uint8_t>(kind));
+}
+
+// All four kinds of core/query.h.
+inline constexpr uint8_t kAllQueryKinds =
+    QueryKindBit(QueryKind::kContains) | QueryKindBit(QueryKind::kFindAll) |
+    QueryKindBit(QueryKind::kMaximalMatches) |
+    QueryKindBit(QueryKind::kMatchingStats);
+
+// What a backend can do, reported at runtime. This is the data-driven
+// replacement for the engine's old kConcurrentSafeReads<T> template
+// trait (and the seam future capabilities — snapshots, online rebuild —
+// will extend).
+struct Capabilities {
+  // Const Execute() calls are safe from many threads at once. False for
+  // the paged backends, whose reads mutate a shared buffer pool; the
+  // engine serializes those through a per-index mutex.
+  bool concurrent_reads = true;
+  // The backend's I/O layer latches errors (ConsumeError) instead of
+  // aborting; Execute() can return kIoError / kCorruption verdicts that
+  // describe the medium, not the query.
+  bool statusful_io = false;
+  // Approximate-search kernels (edit / Hamming distance) are available
+  // on the underlying structure (CLI `approx` / `hamming`).
+  bool supports_approx = false;
+  // The structure round-trips through an on-disk artifact the registry
+  // can reopen (compact images, paged files, shard manifests).
+  bool persistent = false;
+  // Bitmask of answerable QueryKinds (QueryKindBit). Execute() returns
+  // a kInvalidArgument result — never a silently empty answer — for
+  // kinds outside the mask.
+  uint8_t query_kinds = kAllQueryKinds;
+
+  bool Supports(QueryKind kind) const {
+    return (query_kinds & QueryKindBit(kind)) != 0;
+  }
+};
+
+// The abstract index. Implementations are the adapter wrappers in
+// core/adapters.h plus shard::ShardedIndex; all are immutable once
+// constructed (the interface exposes no mutation).
+class Index {
+ public:
+  Index();
+  virtual ~Index() = default;
+
+  // Identity is per-instance (cache_id); copying would forge it.
+  Index(const Index&) = delete;
+  Index& operator=(const Index&) = delete;
+
+  virtual IndexKind kind() const = 0;
+  virtual Capabilities capabilities() const = 0;
+  virtual const Alphabet& alphabet() const = 0;
+  // Number of indexed characters (for multi-string backends: the total
+  // over the concatenation, separators included).
+  virtual uint64_t size() const = 0;
+
+  // Answers one query. Statusful: a backend fault surfaces as a
+  // QueryResult with status_code != kOk (payload untrusted), never as a
+  // crash or a silently wrong answer. Unsupported kinds (see
+  // Capabilities::query_kinds) yield kInvalidArgument.
+  virtual QueryResult Execute(const Query& query,
+                              obs::TraceContext* trace = nullptr) const = 0;
+
+  // Full structural self-check (invariants + checksums where the
+  // backend has them). Used by `spine verify`.
+  virtual Status VerifyStructure() const = 0;
+
+  virtual uint64_t MemoryBytes() const = 0;
+
+  // Short human name, IndexKindName(kind()) by default.
+  virtual std::string_view Name() const { return IndexKindName(kind()); }
+
+  // Process-unique id for result-cache keying, assigned at
+  // construction from a monotone counter (never 0, never reused).
+  uint64_t cache_id() const { return cache_id_; }
+
+ private:
+  const uint64_t cache_id_;
+};
+
+// Issues the next process-unique cache id (what the Index constructor
+// calls; exposed so the registry can report id discipline in tests).
+uint64_t NextIndexCacheId();
+
+}  // namespace spine::core
+
+#endif  // SPINE_CORE_INDEX_H_

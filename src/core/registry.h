@@ -1,0 +1,90 @@
+// BackendRegistry: the one place that knows how to turn an on-disk
+// artifact (or a --backend= name) into a live core::Index.
+//
+// Before this existed the CLI sniffed file magic in three separate
+// command handlers and each invented its own backend_id for the result
+// cache. The registry centralizes both: Open() dispatches on the
+// artifact's leading magic (and, for page files, the metadata sidecar
+// magic), and cache identity comes from the Index base class itself
+// (core/index.h NextIndexCacheId), so ids can never collide.
+//
+// Artifact dispatch table:
+//   "SPNE"            compact SPINE image        -> CompactSpineAdapter
+//   "SPNG"            generalized compact image  -> GeneralizedCompactAdapter
+//   "SPGF" + "SPDM"   page file + spine sidecar  -> DiskSpineAdapter
+//   "SPGF" + "STMD"   page file + tree sidecar   -> DiskSuffixTreeAdapter
+//   "SPFM"            sharded family manifest    -> shard::ShardedIndex
+
+#ifndef SPINE_CORE_REGISTRY_H_
+#define SPINE_CORE_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/index.h"
+
+namespace spine::core {
+
+// Leading magic of the shared page-file container ("SPGF"). Exposed so
+// `spine verify` can run its page-checksum pre-pass before opening the
+// artifact through the registry.
+inline constexpr uint32_t kPageFileMagic = 0x53504746;
+
+struct BackendInfo {
+  IndexKind kind;
+  // Stable --backend= name; equals IndexKindName(kind).
+  std::string_view name;
+  // Leading u32 of the artifact file; 0 when the backend has no
+  // on-disk artifact of its own.
+  uint32_t file_magic = 0;
+  // For page-file artifacts (file_magic "SPGF"): the magic of the
+  // `.meta` sidecar that selects this backend; 0 otherwise.
+  uint32_t meta_magic = 0;
+  // One-line artifact description (used by `spine verify`).
+  std::string_view artifact;
+  // Opens the artifact at `path`; null for backends that are built in
+  // memory rather than reopened from disk.
+  Result<std::unique_ptr<Index>> (*open)(const std::string& path) = nullptr;
+};
+
+class BackendRegistry {
+ public:
+  // The process-wide registry with every built-in backend.
+  static const BackendRegistry& Default();
+
+  const std::vector<BackendInfo>& backends() const { return backends_; }
+
+  // Entry for `name` (an IndexKindName), or null.
+  const BackendInfo* FindByName(std::string_view name) const;
+
+  // Entry for `kind`, or null.
+  const BackendInfo* FindByKind(IndexKind kind) const;
+
+  // Reads the leading u32 of `path`: kIoError when the file cannot be
+  // opened, kCorruption when it is shorter than four bytes. The one
+  // magic-sniff implementation every consumer shares.
+  static Result<uint32_t> SniffMagic(const std::string& path);
+
+  // Opens the artifact at `path`, choosing the backend by sniffing the
+  // leading magic (and the sidecar magic for page files). Unrecognized
+  // or truncated magic is kCorruption; a missing file is kIoError.
+  Result<std::unique_ptr<Index>> Open(const std::string& path) const;
+
+  // Opens `path` as the named backend, bypassing the sniff (the
+  // --backend= escape hatch). Unknown names and backends without an
+  // open function are kInvalidArgument.
+  Result<std::unique_ptr<Index>> OpenAs(std::string_view name,
+                                        const std::string& path) const;
+
+ private:
+  BackendRegistry();
+  std::vector<BackendInfo> backends_;
+};
+
+}  // namespace spine::core
+
+#endif  // SPINE_CORE_REGISTRY_H_

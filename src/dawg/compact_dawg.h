@@ -31,6 +31,7 @@ class CompactDawg {
   static Result<CompactDawg> Build(const Alphabet& alphabet,
                                    std::string_view text);
 
+  const Alphabet& alphabet() const { return alphabet_; }
   uint64_t size() const { return text_.size(); }
   uint64_t node_count() const { return first_edge_.size() - 1; }
   uint64_t edge_count() const { return edges_.size(); }

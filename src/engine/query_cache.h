@@ -30,8 +30,11 @@ class QueryCache {
   explicit QueryCache(uint64_t capacity_bytes);
 
   // Canonical cache key. backend_id namespaces entries per logical
-  // index; callers must use distinct ids for indexes with different
-  // contents sharing one cache.
+  // index. The engine always passes core::Index::cache_id(), which is
+  // issued by an atomic counter at Index construction — two live
+  // indexes can never share an id, so a cached answer can never be
+  // served for the wrong index (the caller-managed-id footgun PR 1
+  // shipped with). Manual ids remain possible for direct cache users.
   static std::string Key(uint64_t backend_id, const Query& query);
 
   bool enabled() const { return capacity_ > 0; }

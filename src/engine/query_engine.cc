@@ -1,10 +1,216 @@
 #include "engine/query_engine.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+
 namespace spine::engine {
 
 QueryEngine::QueryEngine() : QueryEngine(Options{}) {}
 
 QueryEngine::QueryEngine(const Options& options)
     : pool_(options.threads), cache_(options.cache_bytes), options_(options) {}
+
+QueryResult QueryEngine::AnswerOne(const core::Index& index,
+                                   const Query& query, std::mutex* backend_mu,
+                                   bool* cache_hit, uint64_t* retries,
+                                   obs::TraceContext* trace) {
+  *cache_hit = false;
+  std::string key;
+  if (cache_.enabled()) {
+    key = QueryCache::Key(index.cache_id(), query);
+    if (std::optional<QueryResult> cached = cache_.Get(key)) {
+      *cache_hit = true;
+#if !defined(SPINE_OBS_DISABLED)
+      if (trace != nullptr) trace->Note("cache_hit", 1);
+#endif
+      return *std::move(cached);
+    }
+  }
+  QueryResult result;
+  uint64_t attempts_used = 0;
+  uint32_t backoff_us = options_.retry_backoff_us;
+  {
+    SPINE_OBS_SCOPED_TIMER_US("engine.exec_us");
+    for (uint32_t attempt = 0;; ++attempt) {
+      if (backend_mu != nullptr) {
+        std::lock_guard<std::mutex> lock(*backend_mu);
+        result = index.Execute(query, trace);
+      } else {
+        result = index.Execute(query, trace);
+      }
+      // Only kIoError is presumed transient; corruption and everything
+      // else is a property of the data, not the attempt.
+      if (result.status_code != StatusCode::kIoError ||
+          attempt >= options_.max_retries) {
+        break;
+      }
+      ++*retries;
+      ++attempts_used;
+      if (backoff_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        backoff_us *= 2;
+      }
+    }
+  }
+#if !defined(SPINE_OBS_DISABLED)
+  if (trace != nullptr) {
+    trace->Note("cache_hit", 0);
+    trace->Note("retries", attempts_used);
+  }
+#else
+  (void)attempts_used;
+#endif
+  // Error results are never cached: the next ask deserves a fresh try.
+  if (cache_.enabled() && result.ok()) cache_.Put(key, result);
+  return result;
+}
+
+std::vector<QueryResult> QueryEngine::ExecuteBatch(
+    const core::Index& index, const std::vector<Query>& queries,
+    BatchStats* stats) {
+  std::vector<BatchStats> multi_stats;
+  std::vector<std::vector<QueryResult>> results =
+      ExecuteBatch(std::vector<const core::Index*>{&index}, queries,
+                   stats != nullptr ? &multi_stats : nullptr);
+  if (stats != nullptr) *stats = std::move(multi_stats.front());
+  return std::move(results.front());
+}
+
+std::vector<std::vector<QueryResult>> QueryEngine::ExecuteBatch(
+    const std::vector<const core::Index*>& indexes,
+    const std::vector<Query>& queries, std::vector<BatchStats>* stats) {
+  const size_t m = indexes.size();
+  const size_t n = queries.size();
+  const uint32_t thread_count = pool_.thread_count();
+
+  std::vector<std::vector<QueryResult>> results(m);
+  std::vector<std::vector<SearchStats>> per_thread(
+      m, std::vector<SearchStats>(thread_count));
+  // Per-query traces, in input order; each task writes only its own
+  // queries' slots, so no synchronization is needed.
+  std::vector<std::vector<obs::TraceContext>> traces(m);
+  struct BatchCounters {
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> failed{0};
+    std::atomic<uint64_t> retries{0};
+  };
+  std::vector<BatchCounters> counters(m);
+  // Serialization locks for backends without concurrent-safe reads.
+  std::vector<std::mutex> backend_mus(m);
+  std::vector<std::mutex*> serialize(m, nullptr);
+  for (size_t j = 0; j < m; ++j) {
+    results[j].resize(n);
+#if !defined(SPINE_OBS_DISABLED)
+    if (options_.tracing && stats != nullptr) traces[j].resize(n);
+#endif
+    if (!indexes[j]->capabilities().concurrent_reads) {
+      serialize[j] = &backend_mus[j];
+    }
+  }
+
+  if (m > 0 && n > 0) {
+    // Oversubscribe chunks so stealing can rebalance uneven query
+    // costs; every (index, chunk) pair is one pool task, so slow
+    // backends overlap with fast ones instead of running after them.
+    const size_t chunk =
+        std::max<size_t>(1, n / (static_cast<size_t>(thread_count) * 8));
+    const size_t tasks_per_index = (n + chunk - 1) / chunk;
+    std::atomic<size_t> remaining{m * tasks_per_index};
+    std::promise<void> all_done;
+    std::future<void> done = all_done.get_future();
+    for (size_t j = 0; j < m; ++j) {
+      obs::TraceContext* const trace_slots =
+          traces[j].empty() ? nullptr : traces[j].data();
+      for (size_t t = 0; t < tasks_per_index; ++t) {
+        const size_t begin = t * chunk;
+        const size_t end = std::min(n, begin + chunk);
+        typename obs::TraceContext::Clock::time_point submitted{};
+#if !defined(SPINE_OBS_DISABLED)
+        submitted = obs::TraceContext::Clock::now();
+#endif
+        pool_.Submit([&, j, begin, end, trace_slots, submitted] {
+#if !defined(SPINE_OBS_DISABLED)
+          const double queue_wait_us =
+              std::chrono::duration<double, std::micro>(
+                  obs::TraceContext::Clock::now() - submitted)
+                  .count();
+          SPINE_OBS_OBSERVE_US("engine.queue_wait_us", queue_wait_us);
+          if (trace_slots != nullptr) {
+            for (size_t i = begin; i < end; ++i) {
+              trace_slots[i].RecordSpan("queue_wait_us", queue_wait_us);
+            }
+          }
+#else
+          (void)submitted;
+#endif
+          SearchStats local;
+          uint64_t local_hits = 0;
+          uint64_t local_failed = 0;
+          uint64_t local_retries = 0;
+          for (size_t i = begin; i < end; ++i) {
+            bool hit = false;
+            results[j][i] =
+                AnswerOne(*indexes[j], queries[i], serialize[j], &hit,
+                          &local_retries,
+                          trace_slots == nullptr ? nullptr : &trace_slots[i]);
+            if (hit) {
+              ++local_hits;
+            } else {
+              local.Add(results[j][i].stats);
+            }
+            if (!results[j][i].ok()) ++local_failed;
+          }
+          per_thread[j][static_cast<size_t>(ThreadPool::worker_index())].Add(
+              local);
+          counters[j].cache_hits.fetch_add(local_hits,
+                                           std::memory_order_relaxed);
+          counters[j].failed.fetch_add(local_failed,
+                                       std::memory_order_relaxed);
+          counters[j].retries.fetch_add(local_retries,
+                                        std::memory_order_relaxed);
+          if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            all_done.set_value();
+          }
+        });
+      }
+    }
+    done.wait();
+  }
+
+  if (stats != nullptr) stats->assign(m, BatchStats{});
+  for (size_t j = 0; j < m; ++j) {
+    const uint64_t total_hits =
+        counters[j].cache_hits.load(std::memory_order_relaxed);
+    const uint64_t total_failed =
+        counters[j].failed.load(std::memory_order_relaxed);
+    const uint64_t total_retries =
+        counters[j].retries.load(std::memory_order_relaxed);
+    SPINE_OBS_COUNT("engine.queries", n);
+    SPINE_OBS_COUNT("engine.cache_hits", total_hits);
+    SPINE_OBS_COUNT("engine.executed", n - total_hits);
+    SPINE_OBS_COUNT("engine.failed", total_failed);
+    SPINE_OBS_COUNT("engine.retries", total_retries);
+    if (stats != nullptr) {
+      BatchStats& out = (*stats)[j];
+      out.queries = n;
+      out.cache_hits = total_hits;
+      out.executed = n - total_hits;
+      out.failed = total_failed;
+      out.retries = total_retries;
+      for (const SearchStats& s : per_thread[j]) out.search.Add(s);
+      out.per_thread = std::move(per_thread[j]);
+      out.traces = std::move(traces[j]);
+    }
+  }
+  return results;
+}
 
 }  // namespace spine::engine

@@ -1,20 +1,21 @@
-// Concurrent batch query engine over any SPINE backend.
+// Concurrent batch query engine over any core::Index backend.
 //
 // A batch of heterogeneous Queries (core/query.h) is sharded across the
 // work-stealing pool; results come back in input order, byte-identical
-// to sequential execution at any thread count (every algorithm in
-// core/search.h / core/matcher.h is deterministic, and each query writes
-// only its own result slot). SearchStats are aggregated per worker
-// thread without locks and merged at the end.
+// to sequential execution at any thread count (every backend's Execute
+// is deterministic, and each query writes only its own result slot).
+// SearchStats are aggregated per worker thread without locks and merged
+// at the end.
 //
-// Backends whose const reads are NOT safe to run concurrently — only
-// storage::DiskSpine today, because its reads go through a shared buffer
-// pool — are serialized through one mutex, selected at compile time via
-// the kConcurrentSafeReads trait. The batch still benefits from cache
-// hits and from overlapping with other backends.
+// Backends whose const reads are NOT safe to run concurrently — the
+// disk backends, whose reads share a buffer pool — declare so via
+// Capabilities::concurrent_reads, and the engine serializes them
+// through one per-index mutex. The batch still benefits from cache hits
+// and from overlapping with other indexes.
 //
 // The optional LRU result cache (engine/query_cache.h) is keyed per
-// (backend_id, query); callers hand each logical index a distinct id.
+// (Index::cache_id(), query); ids are issued at Index construction, so
+// two live indexes can never collide.
 //
 // Fault tolerance (PR 2): a query whose backend hits an I/O error or
 // detects corruption yields a per-query error QueryResult (status_code
@@ -22,37 +23,26 @@
 // kIoError failures are retried with exponential backoff
 // (Options::max_retries); kCorruption is never retried (the medium is
 // wrong, not the moment). Error results are never cached.
+//
+// The multi-index overload fans one batch across several indexes at
+// once: every (index, chunk) pair becomes a pool task, so a slow
+// backend (disk) overlaps with fast ones (in-memory) instead of
+// running after them.
 
 #ifndef SPINE_ENGINE_QUERY_ENGINE_H_
 #define SPINE_ENGINE_QUERY_ENGINE_H_
 
-#include <atomic>
-#include <chrono>
 #include <cstdint>
-#include <future>
 #include <mutex>
-#include <string>
-#include <thread>
 #include <vector>
 
+#include "core/index.h"
 #include "core/query.h"
 #include "engine/query_cache.h"
 #include "engine/thread_pool.h"
-#include "obs/metrics.h"
 #include "obs/trace.h"
 
-namespace spine::storage {
-class DiskSpine;
-}  // namespace spine::storage
-
 namespace spine::engine {
-
-// True when the backend's const search methods may run on many threads
-// at once (see "Thread safety" notes in each backend header).
-template <typename Index>
-inline constexpr bool kConcurrentSafeReads = true;
-template <>
-inline constexpr bool kConcurrentSafeReads<storage::DiskSpine> = false;
 
 struct BatchStats {
   uint64_t queries = 0;
@@ -95,186 +85,27 @@ class QueryEngine {
   // Executes every query in `queries` against `index` and returns the
   // answers in input order. Thread-safe: concurrent batches (against the
   // same or different backends) share the pool and cache.
-  template <typename Index>
-  std::vector<QueryResult> ExecuteBatch(const Index& index,
+  std::vector<QueryResult> ExecuteBatch(const core::Index& index,
                                         const std::vector<Query>& queries,
-                                        uint64_t backend_id = 0,
                                         BatchStats* stats = nullptr);
 
+  // Fans the batch across every index at once; result[j][i] answers
+  // queries[i] on *indexes[j]. When `stats` is non-null it is resized
+  // to one BatchStats per index. Null index pointers are not allowed.
+  std::vector<std::vector<QueryResult>> ExecuteBatch(
+      const std::vector<const core::Index*>& indexes,
+      const std::vector<Query>& queries,
+      std::vector<BatchStats>* stats = nullptr);
+
  private:
-  template <typename Index>
-  QueryResult AnswerOne(const Index& index, const Query& query,
-                        uint64_t backend_id, std::mutex* backend_mu,
-                        bool* cache_hit, uint64_t* retries,
-                        obs::TraceContext* trace);
+  QueryResult AnswerOne(const core::Index& index, const Query& query,
+                        std::mutex* backend_mu, bool* cache_hit,
+                        uint64_t* retries, obs::TraceContext* trace);
 
   ThreadPool pool_;
   QueryCache cache_;
   Options options_;
 };
-
-template <typename Index>
-QueryResult QueryEngine::AnswerOne(const Index& index, const Query& query,
-                                   uint64_t backend_id,
-                                   std::mutex* backend_mu, bool* cache_hit,
-                                   uint64_t* retries,
-                                   obs::TraceContext* trace) {
-  *cache_hit = false;
-  std::string key;
-  if (cache_.enabled()) {
-    key = QueryCache::Key(backend_id, query);
-    if (std::optional<QueryResult> cached = cache_.Get(key)) {
-      *cache_hit = true;
-#if !defined(SPINE_OBS_DISABLED)
-      if (trace != nullptr) trace->Note("cache_hit", 1);
-#endif
-      return *std::move(cached);
-    }
-  }
-  QueryResult result;
-  uint64_t attempts_used = 0;
-  uint32_t backoff_us = options_.retry_backoff_us;
-  {
-    SPINE_OBS_SCOPED_TIMER_US("engine.exec_us");
-    for (uint32_t attempt = 0;; ++attempt) {
-      if (backend_mu != nullptr) {
-        std::lock_guard<std::mutex> lock(*backend_mu);
-        result = ExecuteQuery(index, query, trace);
-      } else {
-        result = ExecuteQuery(index, query, trace);
-      }
-      // Only kIoError is presumed transient; corruption and everything
-      // else is a property of the data, not the attempt.
-      if (result.status_code != StatusCode::kIoError ||
-          attempt >= options_.max_retries) {
-        break;
-      }
-      ++*retries;
-      ++attempts_used;
-      if (backoff_us > 0) {
-        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
-        backoff_us *= 2;
-      }
-    }
-  }
-#if !defined(SPINE_OBS_DISABLED)
-  if (trace != nullptr) {
-    trace->Note("cache_hit", 0);
-    trace->Note("retries", attempts_used);
-  }
-#else
-  (void)attempts_used;
-#endif
-  // Error results are never cached: the next ask deserves a fresh try.
-  if (cache_.enabled() && result.ok()) cache_.Put(key, result);
-  return result;
-}
-
-template <typename Index>
-std::vector<QueryResult> QueryEngine::ExecuteBatch(
-    const Index& index, const std::vector<Query>& queries,
-    uint64_t backend_id, BatchStats* stats) {
-  const size_t n = queries.size();
-  const uint32_t thread_count = pool_.thread_count();
-  std::vector<QueryResult> results(n);
-  std::vector<SearchStats> per_thread(thread_count);
-  std::atomic<uint64_t> cache_hits{0};
-  std::atomic<uint64_t> failed{0};
-  std::atomic<uint64_t> retries{0};
-  // Per-query traces, in input order; each task writes only its own
-  // queries' slots, so no synchronization is needed.
-  std::vector<obs::TraceContext> traces;
-#if !defined(SPINE_OBS_DISABLED)
-  if (options_.tracing && stats != nullptr) traces.resize(n);
-#endif
-  obs::TraceContext* const trace_slots = traces.empty() ? nullptr : traces.data();
-  // Serialization lock for backends without concurrent-safe reads.
-  std::mutex backend_mu;
-  std::mutex* serialize =
-      kConcurrentSafeReads<Index> ? nullptr : &backend_mu;
-
-  if (n > 0) {
-    // Oversubscribe chunks so stealing can rebalance uneven query costs.
-    const size_t chunk =
-        std::max<size_t>(1, n / (static_cast<size_t>(thread_count) * 8));
-    const size_t tasks = (n + chunk - 1) / chunk;
-    std::atomic<size_t> remaining{tasks};
-    std::promise<void> all_done;
-    std::future<void> done = all_done.get_future();
-    for (size_t t = 0; t < tasks; ++t) {
-      const size_t begin = t * chunk;
-      const size_t end = std::min(n, begin + chunk);
-      typename obs::TraceContext::Clock::time_point submitted{};
-#if !defined(SPINE_OBS_DISABLED)
-      submitted = obs::TraceContext::Clock::now();
-#endif
-      pool_.Submit([&, begin, end, submitted] {
-#if !defined(SPINE_OBS_DISABLED)
-        const double queue_wait_us =
-            std::chrono::duration<double, std::micro>(
-                obs::TraceContext::Clock::now() - submitted)
-                .count();
-        SPINE_OBS_OBSERVE_US("engine.queue_wait_us", queue_wait_us);
-        if (trace_slots != nullptr) {
-          for (size_t i = begin; i < end; ++i) {
-            trace_slots[i].RecordSpan("queue_wait_us", queue_wait_us);
-          }
-        }
-#else
-        (void)submitted;
-#endif
-        SearchStats local;
-        uint64_t local_hits = 0;
-        uint64_t local_failed = 0;
-        uint64_t local_retries = 0;
-        for (size_t i = begin; i < end; ++i) {
-          bool hit = false;
-          results[i] =
-              AnswerOne(index, queries[i], backend_id, serialize, &hit,
-                        &local_retries,
-                        trace_slots == nullptr ? nullptr : &trace_slots[i]);
-          if (hit) {
-            ++local_hits;
-          } else {
-            local.Add(results[i].stats);
-          }
-          if (!results[i].ok()) ++local_failed;
-        }
-        per_thread[static_cast<size_t>(ThreadPool::worker_index())].Add(
-            local);
-        cache_hits.fetch_add(local_hits, std::memory_order_relaxed);
-        failed.fetch_add(local_failed, std::memory_order_relaxed);
-        retries.fetch_add(local_retries, std::memory_order_relaxed);
-        if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          all_done.set_value();
-        }
-      });
-    }
-    done.wait();
-  }
-
-  const uint64_t total_hits = cache_hits.load(std::memory_order_relaxed);
-  const uint64_t total_failed = failed.load(std::memory_order_relaxed);
-  const uint64_t total_retries = retries.load(std::memory_order_relaxed);
-  SPINE_OBS_COUNT("engine.queries", n);
-  SPINE_OBS_COUNT("engine.cache_hits", total_hits);
-  SPINE_OBS_COUNT("engine.executed", n - total_hits);
-  SPINE_OBS_COUNT("engine.failed", total_failed);
-  SPINE_OBS_COUNT("engine.retries", total_retries);
-
-  if (stats != nullptr) {
-    stats->queries = n;
-    stats->cache_hits = total_hits;
-    stats->executed = n - total_hits;
-    stats->failed = total_failed;
-    stats->retries = total_retries;
-    stats->search = SearchStats{};
-    for (const SearchStats& s : per_thread) stats->search.Add(s);
-    stats->per_thread = std::move(per_thread);
-    stats->traces = std::move(traces);
-  }
-  return results;
-}
 
 }  // namespace spine::engine
 

@@ -1,0 +1,503 @@
+#include "shard/sharded_index.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/serde.h"
+#include "compact/serializer.h"
+#include "core/matcher.h"
+#include "core/search.h"
+#include "engine/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace spine::shard {
+
+namespace {
+
+// Backstop against corrupt manifests claiming absurd shard counts.
+constexpr uint32_t kMaxShards = 1u << 20;
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string BaseName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("failed reading " + path);
+  return std::move(buffer).str();
+}
+
+Result<Alphabet> AlphabetFromKindCode(uint32_t code) {
+  switch (static_cast<Alphabet::Kind>(code)) {
+    case Alphabet::Kind::kDna: return Alphabet::Dna();
+    case Alphabet::Kind::kProtein: return Alphabet::Protein();
+    case Alphabet::Kind::kByte: return Alphabet::Byte();
+    case Alphabet::Kind::kAscii: return Alphabet::Ascii();
+  }
+  return Status::Corruption("unknown alphabet kind " + std::to_string(code));
+}
+
+// Mirrors the observability block of core/query.h ExecuteQuery: the
+// family answers a query with direct generic-algorithm calls (never
+// per-shard ExecuteQuery, which would count one logical query K
+// times), so it reports the per-kind counter and aggregated work
+// counters itself.
+void RecordFamilyObs(const Query& query, const QueryResult& result,
+                     obs::TraceContext* trace) {
+#if !defined(SPINE_OBS_DISABLED)
+  static obs::Counter* const kind_counters[] = {
+      &obs::Registry::Default().GetCounter("core.queries.contains"),
+      &obs::Registry::Default().GetCounter("core.queries.findall"),
+      &obs::Registry::Default().GetCounter("core.queries.match"),
+      &obs::Registry::Default().GetCounter("core.queries.ms"),
+  };
+  kind_counters[static_cast<size_t>(query.kind)]->Add(1);
+  SPINE_OBS_COUNT("core.vertebra_steps", result.stats.nodes_checked);
+  SPINE_OBS_COUNT("core.link_traversals", result.stats.link_traversals);
+  SPINE_OBS_COUNT("core.chain_hops", result.stats.chain_hops);
+  if (trace != nullptr) {
+    trace->Note("nodes_checked", result.stats.nodes_checked);
+    trace->Note("link_traversals", result.stats.link_traversals);
+    trace->Note("chain_hops", result.stats.chain_hops);
+    trace->Note("found", result.found ? 1 : 0);
+  }
+#else
+  (void)query;
+  (void)result;
+  (void)trace;
+#endif
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardedIndex>> ShardedIndex::Build(
+    const Alphabet& alphabet, std::string_view text, const Options& options) {
+  if (options.shards == 0) {
+    return Status::InvalidArgument("shard count must be >= 1");
+  }
+  if (options.max_pattern == 0) {
+    return Status::InvalidArgument(
+        "shard overlap margin (max_pattern) must be >= 1");
+  }
+  const uint64_t n = text.size();
+  // More shards than characters would only add empty slices.
+  const uint32_t shards = static_cast<uint32_t>(
+      std::min<uint64_t>(options.shards, std::max<uint64_t>(n, 1)));
+
+  std::unique_ptr<ShardedIndex> family(
+      new ShardedIndex(alphabet, n, options.max_pattern));
+  family->infos_.reserve(shards);
+  family->shards_.reserve(shards);
+  const uint64_t base = n / shards;
+  const uint64_t rem = n % shards;
+  uint64_t start = 0;
+  for (uint32_t i = 0; i < shards; ++i) {
+    const uint64_t len = base + (i < rem ? 1 : 0);
+    family->infos_.push_back(
+        {start, start + len,
+         std::min<uint64_t>(n, start + len + options.max_pattern)});
+    family->shards_.emplace_back(alphabet);
+    start += len;
+  }
+
+  // Per-shard construction is independent (each shard appends only to
+  // its own index), so it fans out across the pool. shards_ and infos_
+  // are fully sized before any task starts and never resized after.
+  std::vector<Status> statuses(shards, Status::OK());
+  {
+    engine::ThreadPool pool(options.build_threads);
+    for (uint32_t i = 0; i < shards; ++i) {
+      pool.Submit([raw = family.get(), &statuses, text, i] {
+        const ShardInfo& info = raw->infos_[i];
+        statuses[i] = raw->shards_[i].AppendString(
+            text.substr(info.core_start, info.slice_end - info.core_start));
+      });
+    }
+    pool.Wait();
+  }
+  for (uint32_t i = 0; i < shards; ++i) {
+    if (!statuses[i].ok()) {
+      return Status(statuses[i].code(), "shard " + std::to_string(i) + ": " +
+                                            std::string(statuses[i].message()));
+    }
+  }
+  return family;
+}
+
+QueryResult ShardedIndex::Execute(const Query& query,
+                                  obs::TraceContext* trace) const {
+#if defined(SPINE_OBS_DISABLED)
+  trace = nullptr;
+#endif
+  obs::SpanTimer exec_timer(trace, "exec_us");
+  // Admission: a longer pattern could straddle a shard boundary without
+  // any shard seeing it whole, for every query kind (matching
+  // statistics are only exact while no match can exceed the margin).
+  if (query.pattern.size() > max_pattern_) {
+    QueryResult rejected;
+    rejected.status_code = StatusCode::kInvalidArgument;
+    rejected.error = "pattern length " + std::to_string(query.pattern.size()) +
+                     " exceeds the shard overlap margin (max_pattern=" +
+                     std::to_string(max_pattern_) +
+                     "); rebuild with a larger --max-pattern";
+    return rejected;
+  }
+  SPINE_OBS_COUNT("shard.queries", shard_count());
+#if !defined(SPINE_OBS_DISABLED)
+  {
+    static obs::Histogram& fanout = obs::Registry::Default().GetHistogram(
+        "shard.fanout", obs::Histogram::ExponentialBounds(1, 2, 8));
+    fanout.Observe(shard_count());
+  }
+  if (trace != nullptr) trace->Note("shard_fanout", shard_count());
+#endif
+  QueryResult result;
+  switch (query.kind) {
+    case QueryKind::kContains:
+      result = ExecuteContains(query);
+      break;
+    case QueryKind::kFindAll:
+      result = ExecuteFindAll(query);
+      break;
+    case QueryKind::kMaximalMatches:
+      result = ExecuteMaximalMatches(query);
+      break;
+    case QueryKind::kMatchingStats:
+      result = ExecuteMatchingStats(query);
+      break;
+  }
+  RecordFamilyObs(query, result, trace);
+  return result;
+}
+
+QueryResult ShardedIndex::ExecuteContains(const Query& query) const {
+  QueryResult result;
+  for (const CompactSpineIndex& shard : shards_) {
+    if (GenericFindFirstEnd(shard, query.pattern, &result.stats).has_value()) {
+      result.found = true;
+      break;
+    }
+  }
+  return result;
+}
+
+QueryResult ShardedIndex::ExecuteFindAll(const Query& query) const {
+  QueryResult result;
+  if (!query.pattern.empty()) {
+    const uint32_t m = static_cast<uint32_t>(query.pattern.size());
+    std::vector<std::vector<uint32_t>> local(shards_.size());
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      local[i] = GenericFindAll(shards_[i], query.pattern, &result.stats);
+    }
+    SPINE_OBS_SCOPED_TIMER_US("shard.merge_us");
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      for (uint32_t pos : local[i]) {
+        // Keep an occurrence only in the shard whose core range owns
+        // its start; overlap copies are the next shard's problem.
+        const uint64_t global = infos_[i].core_start + pos;
+        if (global < infos_[i].core_end) {
+          result.hits.push_back({static_cast<uint32_t>(global), m, 0});
+        }
+      }
+    }
+  }
+  result.found = !result.hits.empty();
+  return result;
+}
+
+std::vector<uint32_t> ShardedIndex::MergedMatchingStats(
+    std::string_view pattern, SearchStats* stats) const {
+  std::vector<uint32_t> merged(pattern.size(), 0);
+  for (const CompactSpineIndex& shard : shards_) {
+    const std::vector<uint32_t> local =
+        GenericMatchingStatistics(shard, pattern, stats);
+    for (size_t q = 0; q < merged.size(); ++q) {
+      merged[q] = std::max(merged[q], local[q]);
+    }
+  }
+  return merged;
+}
+
+QueryResult ShardedIndex::ExecuteMatchingStats(const Query& query) const {
+  QueryResult result;
+  result.matching_stats = MergedMatchingStats(query.pattern, &result.stats);
+  {
+    SPINE_OBS_SCOPED_TIMER_US("shard.merge_us");
+    result.found = std::any_of(result.matching_stats.begin(),
+                               result.matching_stats.end(),
+                               [](uint32_t v) { return v > 0; });
+  }
+  return result;
+}
+
+QueryResult ShardedIndex::ExecuteMaximalMatches(const Query& query) const {
+  const uint32_t min_len = std::max<uint32_t>(query.min_len, 1);
+  const std::string_view pattern = query.pattern;
+  QueryResult result;
+  // Since no match can exceed the admitted pattern length (<= margin),
+  // the merged statistics equal the monolithic ones, and the maximal
+  // matches are exactly the positions where ms[q] >= min_len and
+  // ms[q-1] <= ms[q] (see core/matcher.h).
+  const std::vector<uint32_t> ms = MergedMatchingStats(pattern, &result.stats);
+  SPINE_OBS_SCOPED_TIMER_US("shard.merge_us");
+  for (uint32_t q = 0; q < ms.size(); ++q) {
+    const uint32_t len = ms[q];
+    if (len < min_len) continue;
+    if (q > 0 && ms[q - 1] > len) continue;  // inside an earlier match
+    const std::string_view sub = pattern.substr(q, len);
+    if (query.expand_occurrences) {
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        for (uint32_t pos : GenericFindAll(shards_[i], sub, &result.stats)) {
+          const uint64_t global = infos_[i].core_start + pos;
+          if (global < infos_[i].core_end) {
+            result.hits.push_back({static_cast<uint32_t>(global), len, q});
+          }
+        }
+      }
+    } else {
+      uint32_t first = std::numeric_limits<uint32_t>::max();
+      for (size_t i = 0; i < shards_.size(); ++i) {
+        const std::optional<NodeId> end =
+            GenericFindFirstEnd(shards_[i], sub, &result.stats);
+        if (end.has_value()) {
+          first = std::min(
+              first, static_cast<uint32_t>(infos_[i].core_start + *end - len));
+        }
+      }
+      if (first == std::numeric_limits<uint32_t>::max()) continue;
+      result.hits.push_back({first, len, q});
+    }
+  }
+  result.found = !result.hits.empty();
+  return result;
+}
+
+Status ShardedIndex::VerifyStructure() const {
+  if (shards_.empty()) {
+    return Status::Corruption("sharded family has no shards");
+  }
+  uint64_t expect_start = 0;
+  for (uint32_t i = 0; i < shard_count(); ++i) {
+    const ShardInfo& info = infos_[i];
+    const std::string tag = "shard " + std::to_string(i);
+    if (info.core_start != expect_start || info.core_end < info.core_start) {
+      return Status::Corruption(tag +
+                                ": core ranges do not partition the string");
+    }
+    if (info.slice_end !=
+        std::min<uint64_t>(n_, info.core_end + max_pattern_)) {
+      return Status::Corruption(tag +
+                                ": slice end disagrees with the overlap "
+                                "margin");
+    }
+    if (shards_[i].size() != info.slice_end - info.core_start) {
+      return Status::Corruption(tag +
+                                ": index size disagrees with the manifest "
+                                "slice");
+    }
+    Status status = shards_[i].Validate();
+    if (!status.ok()) {
+      return Status(status.code(),
+                    tag + ": " + std::string(status.message()));
+    }
+    expect_start = info.core_end;
+  }
+  if (expect_start != n_) {
+    return Status::Corruption("core ranges do not cover the string");
+  }
+  // Neighbouring shards must agree on every overlap character, or the
+  // dedup-by-core-range merge would silently drop/duplicate hits.
+  for (uint32_t i = 0; i + 1 < shard_count(); ++i) {
+    for (uint64_t pos = infos_[i].core_end; pos < infos_[i].slice_end; ++pos) {
+      if (shards_[i].CharAt(pos - infos_[i].core_start) !=
+          shards_[i + 1].CharAt(pos - infos_[i + 1].core_start)) {
+        return Status::Corruption(
+            "shards " + std::to_string(i) + " and " + std::to_string(i + 1) +
+            " disagree on overlap character at position " +
+            std::to_string(pos));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t ShardedIndex::MemoryBytes() const {
+  uint64_t total = infos_.capacity() * sizeof(ShardInfo);
+  for (const CompactSpineIndex& shard : shards_) {
+    total += shard.MemoryBytes();
+  }
+  return total;
+}
+
+Status ShardedIndex::Save(const std::string& path) const {
+  const std::string base = BaseName(path);
+  std::vector<std::string> names(shard_count());
+  std::vector<uint64_t> sizes(shard_count());
+  std::vector<uint32_t> crcs(shard_count());
+  for (uint32_t i = 0; i < shard_count(); ++i) {
+    names[i] = base + ".shard" + std::to_string(i);
+    const std::string shard_path = path + ".shard" + std::to_string(i);
+    Status status = SaveCompactSpine(shards_[i], shard_path);
+    if (!status.ok()) return status;
+    // Re-read what actually hit the disk so the manifest pins the
+    // written bytes, not what we meant to write.
+    Result<std::string> bytes = ReadFileBytes(shard_path);
+    if (!bytes.ok()) return bytes.status();
+    sizes[i] = bytes->size();
+    crcs[i] = Crc32c(bytes->data(), bytes->size());
+  }
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot create " + path + ": " +
+                           std::strerror(errno));
+  }
+  serde::Writer writer(out);
+  writer.Pod(kShardManifestMagic);
+  writer.Pod(kShardManifestVersion);
+  writer.Pod(static_cast<uint32_t>(alphabet_.kind()));
+  writer.Pod(n_);
+  writer.Pod(shard_count());
+  writer.Pod(max_pattern_);
+  for (uint32_t i = 0; i < shard_count(); ++i) {
+    writer.Pod(infos_[i].core_start);
+    writer.Pod(infos_[i].core_end);
+    writer.Pod(infos_[i].slice_end);
+    const std::vector<char> name(names[i].begin(), names[i].end());
+    writer.Vec(name);
+    writer.Pod(sizes[i]);
+    writer.Pod(crcs[i]);
+  }
+  writer.WriteCrcFooter();
+  out.flush();
+  if (!out) return Status::IoError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ShardedIndex>> ShardedIndex::Load(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  serde::Reader reader(in);
+  const auto corrupt = [&path](const std::string& what) {
+    return Status::Corruption(path + ": " + what);
+  };
+
+  uint32_t magic = 0;
+  if (!reader.Pod(&magic)) return corrupt("truncated manifest");
+  if (magic != kShardManifestMagic) {
+    return corrupt("not a shard manifest (bad magic)");
+  }
+  uint32_t version = 0;
+  if (!reader.Pod(&version)) return corrupt("truncated manifest");
+  if (version != kShardManifestVersion) {
+    return corrupt("unsupported manifest version " + std::to_string(version));
+  }
+  uint32_t alphabet_code = 0;
+  uint64_t n = 0;
+  uint32_t shards = 0;
+  uint32_t max_pattern = 0;
+  if (!reader.Pod(&alphabet_code) || !reader.Pod(&n) ||
+      !reader.Pod(&shards) || !reader.Pod(&max_pattern)) {
+    return corrupt("truncated manifest");
+  }
+  Result<Alphabet> alphabet = AlphabetFromKindCode(alphabet_code);
+  if (!alphabet.ok()) return corrupt(std::string(alphabet.status().message()));
+  if (shards == 0 || shards > kMaxShards) {
+    return corrupt("implausible shard count " + std::to_string(shards));
+  }
+  if (max_pattern == 0) return corrupt("zero overlap margin");
+
+  std::vector<ShardInfo> infos(shards);
+  std::vector<std::string> names(shards);
+  std::vector<uint64_t> sizes(shards);
+  std::vector<uint32_t> crcs(shards);
+  uint64_t expect_start = 0;
+  for (uint32_t i = 0; i < shards; ++i) {
+    ShardInfo& info = infos[i];
+    std::vector<char> name;
+    if (!reader.Pod(&info.core_start) || !reader.Pod(&info.core_end) ||
+        !reader.Pod(&info.slice_end) || !reader.Vec(&name) ||
+        !reader.Pod(&sizes[i]) || !reader.Pod(&crcs[i])) {
+      return corrupt("truncated manifest");
+    }
+    const std::string tag = "shard " + std::to_string(i);
+    if (info.core_start != expect_start || info.core_end < info.core_start ||
+        info.slice_end !=
+            std::min<uint64_t>(n, info.core_end + max_pattern)) {
+      return corrupt(tag + ": invalid split geometry");
+    }
+    names[i].assign(name.begin(), name.end());
+    // Manifest filenames are plain siblings of the manifest; anything
+    // else (corruption or tampering) must not escape its directory.
+    if (names[i].empty() ||
+        names[i].find_first_of("/\\") != std::string::npos ||
+        names[i].find("..") != std::string::npos) {
+      return corrupt(tag + ": invalid shard filename");
+    }
+    expect_start = info.core_end;
+  }
+  if (expect_start != n) {
+    return corrupt("core ranges do not cover the string");
+  }
+  if (!reader.VerifyCrcFooter()) return corrupt("manifest checksum mismatch");
+
+  std::unique_ptr<ShardedIndex> family(
+      new ShardedIndex(*alphabet, n, max_pattern));
+  family->infos_ = std::move(infos);
+  family->shards_.reserve(shards);
+  const std::string dir = DirName(path);
+  for (uint32_t i = 0; i < shards; ++i) {
+    const std::string shard_path =
+        dir.empty() ? names[i] : dir + "/" + names[i];
+    Result<std::string> bytes = ReadFileBytes(shard_path);
+    if (!bytes.ok()) return bytes.status();
+    if (bytes->size() != sizes[i]) {
+      return Status::Corruption(
+          shard_path + ": size mismatch (manifest says " +
+          std::to_string(sizes[i]) + " bytes, file has " +
+          std::to_string(bytes->size()) + ")");
+    }
+    if (Crc32c(bytes->data(), bytes->size()) != crcs[i]) {
+      return Status::Corruption(shard_path + ": shard file checksum mismatch");
+    }
+    std::istringstream stream(*bytes);
+    Result<CompactSpineIndex> index = LoadCompactSpineFromStream(stream);
+    if (!index.ok()) {
+      return Status(index.status().code(),
+                    shard_path + ": " +
+                        std::string(index.status().message()));
+    }
+    const ShardInfo& info = family->infos_[i];
+    if (index->size() != info.slice_end - info.core_start ||
+        index->alphabet().kind() != alphabet->kind()) {
+      return Status::Corruption(shard_path +
+                                ": shard image disagrees with the manifest");
+    }
+    family->shards_.push_back(std::move(*index));
+  }
+  return family;
+}
+
+}  // namespace spine::shard

@@ -1,6 +1,6 @@
 // Tests for the concurrent batch query engine: the work-stealing pool,
 // the LRU result cache, determinism across thread counts, and agreement
-// across all three backends (reference, compact, disk).
+// across backends consumed through the core::Index interface.
 
 #include "engine/query_engine.h"
 
@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "compact/compact_spine.h"
+#include "core/adapters.h"
 #include "core/query.h"
 #include "core/spine_index.h"
 #include "engine/query_cache.h"
@@ -183,6 +184,7 @@ TEST(QueryEngineTest, MatchesSequentialExecutionAtAnyThreadCount) {
   const std::string corpus = TestCorpus(30'000);
   SpineIndex index(Alphabet::Dna());
   ASSERT_TRUE(index.AppendString(corpus).ok());
+  core::SpineIndexAdapter adapter(index);
   const std::vector<Query> queries = MixedBatch(corpus, 200);
 
   std::vector<QueryResult> reference;
@@ -193,7 +195,7 @@ TEST(QueryEngineTest, MatchesSequentialExecutionAtAnyThreadCount) {
     QueryEngine engine({.threads = threads, .cache_bytes = 0});
     BatchStats stats;
     std::vector<QueryResult> results =
-        engine.ExecuteBatch(index, queries, 0, &stats);
+        engine.ExecuteBatch(adapter, queries, &stats);
     ASSERT_EQ(results.size(), reference.size());
     for (size_t i = 0; i < results.size(); ++i) {
       EXPECT_TRUE(results[i].SameAnswer(reference[i]))
@@ -214,22 +216,26 @@ TEST(QueryEngineTest, SecondIdenticalBatchHitsTheCache) {
   const std::string corpus = TestCorpus(10'000);
   SpineIndex index(Alphabet::Dna());
   ASSERT_TRUE(index.AppendString(corpus).ok());
+  core::SpineIndexAdapter adapter(index);
   const std::vector<Query> queries = MixedBatch(corpus, 100);
 
   QueryEngine engine({.threads = 4, .cache_bytes = 8 << 20});
   BatchStats first_stats, second_stats;
   std::vector<QueryResult> first =
-      engine.ExecuteBatch(index, queries, 1, &first_stats);
+      engine.ExecuteBatch(adapter, queries, &first_stats);
   std::vector<QueryResult> second =
-      engine.ExecuteBatch(index, queries, 1, &second_stats);
+      engine.ExecuteBatch(adapter, queries, &second_stats);
   EXPECT_EQ(second_stats.cache_hits, queries.size());
   EXPECT_EQ(second_stats.executed, 0u);
   for (size_t i = 0; i < queries.size(); ++i) {
     EXPECT_TRUE(first[i].SameAnswer(second[i])) << "query " << i;
   }
-  // A different backend id must not see the cached answers.
+  // A second adapter over the same backend is a distinct Index with its
+  // own cache id: it must not see the first adapter's cached answers.
+  core::SpineIndexAdapter other(index);
+  EXPECT_NE(other.cache_id(), adapter.cache_id());
   BatchStats other_stats;
-  engine.ExecuteBatch(index, queries, 2, &other_stats);
+  engine.ExecuteBatch(other, queries, &other_stats);
   EXPECT_EQ(other_stats.cache_hits, 0u);
 }
 
@@ -243,9 +249,10 @@ TEST(QueryEngineTest, CacheCorrectAfterEvictionPressure) {
   for (const Query& q : queries) reference.push_back(ExecuteQuery(index, q));
 
   // A cache far too small for the batch: constant eviction churn.
+  core::SpineIndexAdapter adapter(index);
   QueryEngine engine({.threads = 4, .cache_bytes = 4096});
   for (int round = 0; round < 3; ++round) {
-    std::vector<QueryResult> results = engine.ExecuteBatch(index, queries);
+    std::vector<QueryResult> results = engine.ExecuteBatch(adapter, queries);
     for (size_t i = 0; i < results.size(); ++i) {
       EXPECT_TRUE(results[i].SameAnswer(reference[i]))
           << "round " << round << ", query " << i;
@@ -268,17 +275,23 @@ TEST(QueryEngineTest, AllThreeBackendsAgreeOnTheSameCorpus) {
   ASSERT_TRUE(disk.ok()) << disk.status().ToString();
   ASSERT_TRUE((*disk)->AppendString(corpus).ok());
 
+  core::SpineIndexAdapter reference_adapter(reference);
+  core::CompactSpineAdapter compact_adapter(compact);
+  core::DiskSpineAdapter disk_adapter(**disk);
+  // DiskSpine reads mutate the shared buffer pool; its adapter reports
+  // concurrent_reads = false (the runtime replacement for the old
+  // kConcurrentSafeReads trait), the engine serializes it, and the
+  // answers still agree.
+  EXPECT_FALSE(disk_adapter.capabilities().concurrent_reads);
+  EXPECT_TRUE(compact_adapter.capabilities().concurrent_reads);
+
   QueryEngine engine({.threads = 4, .cache_bytes = 0});
   std::vector<QueryResult> from_reference =
-      engine.ExecuteBatch(reference, queries, 1);
+      engine.ExecuteBatch(reference_adapter, queries);
   std::vector<QueryResult> from_compact =
-      engine.ExecuteBatch(compact, queries, 2);
-  // DiskSpine reads mutate the shared buffer pool; the engine must
-  // serialize them (compile-time trait) and still return the same
-  // answers.
-  static_assert(!kConcurrentSafeReads<storage::DiskSpine>);
-  static_assert(kConcurrentSafeReads<CompactSpineIndex>);
-  std::vector<QueryResult> from_disk = engine.ExecuteBatch(**disk, queries, 3);
+      engine.ExecuteBatch(compact_adapter, queries);
+  std::vector<QueryResult> from_disk =
+      engine.ExecuteBatch(disk_adapter, queries);
 
   for (size_t i = 0; i < queries.size(); ++i) {
     EXPECT_TRUE(from_reference[i].SameAnswer(from_compact[i]))
@@ -297,13 +310,14 @@ TEST(QueryEngineTest, TracingDoesNotChangeResults) {
   ASSERT_TRUE(index.AppendString(corpus).ok());
   const std::vector<Query> queries = MixedBatch(corpus, 120);
 
+  core::CompactSpineAdapter adapter(index);
   QueryEngine plain({.threads = 4, .cache_bytes = 0, .tracing = false});
   QueryEngine traced({.threads = 4, .cache_bytes = 0, .tracing = true});
   BatchStats plain_stats, traced_stats;
   std::vector<QueryResult> off =
-      plain.ExecuteBatch(index, queries, 1, &plain_stats);
+      plain.ExecuteBatch(adapter, queries, &plain_stats);
   std::vector<QueryResult> on =
-      traced.ExecuteBatch(index, queries, 1, &traced_stats);
+      traced.ExecuteBatch(adapter, queries, &traced_stats);
 
   ASSERT_EQ(off.size(), on.size());
   for (size_t i = 0; i < off.size(); ++i) {
@@ -343,13 +357,14 @@ TEST(QueryEngineTest, TracedCacheHitsAreMarked) {
   ASSERT_TRUE(index.AppendString(corpus).ok());
   const std::vector<Query> queries = MixedBatch(corpus, 40);
 
+  core::CompactSpineAdapter adapter(index);
   QueryEngine engine(
       {.threads = 2, .cache_bytes = 8 << 20, .tracing = true});
   BatchStats first_stats, second_stats;
   std::vector<QueryResult> first =
-      engine.ExecuteBatch(index, queries, 1, &first_stats);
+      engine.ExecuteBatch(adapter, queries, &first_stats);
   std::vector<QueryResult> second =
-      engine.ExecuteBatch(index, queries, 1, &second_stats);
+      engine.ExecuteBatch(adapter, queries, &second_stats);
   ASSERT_EQ(second_stats.cache_hits, queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     EXPECT_TRUE(first[i].SameAnswer(second[i])) << "query " << i;
@@ -365,17 +380,49 @@ TEST(QueryEngineTest, TracedCacheHitsAreMarked) {
 TEST(QueryEngineTest, EmptyBatchAndEmptyPatterns) {
   SpineIndex index(Alphabet::Dna());
   ASSERT_TRUE(index.AppendString("ACGTACGT").ok());
+  core::SpineIndexAdapter adapter(index);
   QueryEngine engine({.threads = 2, .cache_bytes = 1 << 16});
   BatchStats stats;
-  EXPECT_TRUE(engine.ExecuteBatch(index, {}, 0, &stats).empty());
+  EXPECT_TRUE(engine.ExecuteBatch(adapter, {}, &stats).empty());
   EXPECT_EQ(stats.queries, 0u);
 
   std::vector<Query> edge = {Query::FindAll(""), Query::Contains(""),
                              Query::MatchingStats("")};
-  std::vector<QueryResult> results = engine.ExecuteBatch(index, edge);
+  std::vector<QueryResult> results = engine.ExecuteBatch(adapter, edge);
   EXPECT_FALSE(results[0].found);       // empty pattern: no occurrences
   EXPECT_TRUE(results[1].found);        // empty pattern is contained
   EXPECT_TRUE(results[2].matching_stats.empty());
+}
+
+// The multi-index overload fans one batch across several indexes at
+// once: per-index result rows in input order, per-index stats, and
+// answers identical to running each index alone.
+TEST(QueryEngineTest, MultiIndexOverloadAnswersEveryIndex) {
+  const std::string corpus = TestCorpus(12'000);
+  SpineIndex reference(Alphabet::Dna());
+  ASSERT_TRUE(reference.AppendString(corpus).ok());
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(compact.AppendString(corpus).ok());
+  const std::vector<Query> queries = MixedBatch(corpus, 80);
+
+  core::SpineIndexAdapter reference_adapter(reference);
+  core::CompactSpineAdapter compact_adapter(compact);
+  QueryEngine engine({.threads = 4, .cache_bytes = 0});
+  std::vector<BatchStats> stats;
+  std::vector<std::vector<QueryResult>> results = engine.ExecuteBatch(
+      {&reference_adapter, &compact_adapter}, queries, &stats);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_EQ(stats.size(), 2u);
+  std::vector<QueryResult> solo = engine.ExecuteBatch(compact_adapter, queries);
+  for (size_t j = 0; j < results.size(); ++j) {
+    ASSERT_EQ(results[j].size(), queries.size()) << "index " << j;
+    EXPECT_EQ(stats[j].queries, queries.size()) << "index " << j;
+    EXPECT_EQ(stats[j].failed, 0u) << "index " << j;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_TRUE(results[j][i].SameAnswer(solo[i]))
+          << "index " << j << ", query " << i;
+    }
+  }
 }
 
 }  // namespace

@@ -18,6 +18,7 @@
 
 #include "common/rng.h"
 #include "compact/compact_spine.h"
+#include "core/adapters.h"
 #include "core/query.h"
 #include "engine/query_engine.h"
 #include "storage/disk_spine.h"
@@ -195,9 +196,10 @@ TEST(FaultInjectionTest, EngineRetryHealsTransientReadError) {
                               .retry_backoff_us = 0});
   std::string pattern = s.substr(100, 8);
   std::vector<Query> queries = {Query::FindAll(pattern)};
+  core::DiskSpineAdapter adapter(**disk);
   engine::BatchStats stats;
   std::vector<QueryResult> results =
-      engine.ExecuteBatch(**disk, queries, /*backend_id=*/1, &stats);
+      engine.ExecuteBatch(adapter, queries, &stats);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results[0].ok()) << results[0].status().ToString();
   EXPECT_TRUE(results[0].SameAnswer(ExecuteQuery(oracle, queries[0])));
@@ -255,9 +257,10 @@ TEST(FaultInjectionTest, PersistentCorruptionFailsPerQueryNotPerBatch) {
                               .cache_bytes = 0,
                               .max_retries = 2,
                               .retry_backoff_us = 0});
+  core::DiskSpineAdapter adapter(**disk);
   engine::BatchStats stats;
   std::vector<QueryResult> results =
-      engine.ExecuteBatch(**disk, queries, /*backend_id=*/2, &stats);
+      engine.ExecuteBatch(adapter, queries, &stats);
   ASSERT_EQ(results.size(), queries.size());
   for (size_t i = 0; i < results.size(); ++i) {
     EXPECT_FALSE(results[i].ok()) << "query " << i;

@@ -1,0 +1,322 @@
+// core::Index interface tests: cache-id discipline, honest capability
+// reporting, registry name/magic dispatch over every persistent
+// artifact, N-backend agreement through the QueryEngine (generalized
+// and CDAWG backends included), and loud unsupported-kind errors.
+
+#include "core/index.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compact/compact_spine.h"
+#include "compact/generalized_compact.h"
+#include "compact/serializer.h"
+#include "core/adapters.h"
+#include "core/generalized_spine.h"
+#include "core/query.h"
+#include "core/registry.h"
+#include "core/spine_index.h"
+#include "dawg/compact_dawg.h"
+#include "engine/query_engine.h"
+#include "shard/sharded_index.h"
+#include "storage/disk_spine.h"
+#include "storage/disk_suffix_tree.h"
+#include "suffix_tree/suffix_tree.h"
+#include "test_util.h"
+
+namespace spine::core {
+namespace {
+
+using spine::test::ScopedTempDir;
+using spine::test::TestCorpus;
+
+// A mixed batch over all four query kinds, sliced from the corpus plus
+// perturbed misses.
+std::vector<Query> MixedQueries(const std::string& corpus, size_t count) {
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t len = 4 + (i * 5) % 20;
+    const size_t offset = (i * 137) % (corpus.size() - 128);
+    std::string pattern = corpus.substr(offset, len);
+    switch (i % 5) {
+      case 0:
+        queries.push_back(Query::FindAll(pattern));
+        break;
+      case 1:
+        queries.push_back(Query::Contains(pattern));
+        break;
+      case 2:
+        pattern[len / 2] = pattern[len / 2] == 'A' ? 'C' : 'A';
+        queries.push_back(Query::FindAll(pattern));
+        break;
+      case 3:
+        queries.push_back(Query::MaximalMatches(corpus.substr(offset, 64), 8));
+        break;
+      default:
+        queries.push_back(Query::MatchingStats(corpus.substr(offset, 48)));
+        break;
+    }
+  }
+  return queries;
+}
+
+TEST(IndexInterfaceTest, CacheIdsAreUniqueAndNonZero) {
+  const std::string text = "ACGTACGTAC";
+  CompactSpineIndex backend(Alphabet::Dna());
+  ASSERT_TRUE(backend.AppendString(text).ok());
+
+  CompactSpineAdapter a(backend);
+  CompactSpineAdapter b(backend);
+  NaiveTextAdapter c(Alphabet::Dna(), text);
+  EXPECT_NE(a.cache_id(), 0u);
+  EXPECT_NE(a.cache_id(), b.cache_id());
+  EXPECT_NE(b.cache_id(), c.cache_id());
+  EXPECT_NE(a.cache_id(), c.cache_id());
+}
+
+TEST(IndexInterfaceTest, CapabilitiesReportHonestly) {
+  const std::string text = TestCorpus(2'000);
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(compact.AppendString(text).ok());
+  CompactSpineAdapter compact_adapter(compact);
+  EXPECT_TRUE(compact_adapter.capabilities().concurrent_reads);
+  EXPECT_TRUE(compact_adapter.capabilities().persistent);
+  EXPECT_TRUE(compact_adapter.capabilities().supports_approx);
+  for (QueryKind kind :
+       {QueryKind::kContains, QueryKind::kFindAll, QueryKind::kMaximalMatches,
+        QueryKind::kMatchingStats}) {
+    EXPECT_TRUE(compact_adapter.capabilities().Supports(kind));
+  }
+
+  Result<CompactDawg> dawg = CompactDawg::Build(Alphabet::Dna(), text);
+  ASSERT_TRUE(dawg.ok()) << dawg.status().ToString();
+  CompactDawgAdapter dawg_adapter(*dawg);
+  EXPECT_TRUE(dawg_adapter.capabilities().Supports(QueryKind::kContains));
+  EXPECT_FALSE(dawg_adapter.capabilities().Supports(QueryKind::kFindAll));
+  EXPECT_FALSE(
+      dawg_adapter.capabilities().Supports(QueryKind::kMaximalMatches));
+  EXPECT_FALSE(
+      dawg_adapter.capabilities().Supports(QueryKind::kMatchingStats));
+}
+
+TEST(IndexInterfaceTest, RegistryNamesAndKindsRoundTrip) {
+  const BackendRegistry& registry = BackendRegistry::Default();
+  EXPECT_FALSE(registry.backends().empty());
+  for (const BackendInfo& info : registry.backends()) {
+    EXPECT_EQ(info.name, IndexKindName(info.kind));
+    EXPECT_EQ(registry.FindByName(info.name), &info);
+    EXPECT_EQ(registry.FindByKind(info.kind), &info);
+  }
+  EXPECT_EQ(registry.FindByName("no-such-backend"), nullptr);
+
+  const std::string path = spine::test::TempPath("iface_no_artifact.bin");
+  Result<std::unique_ptr<Index>> opened = registry.OpenAs("naive", path);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+  opened = registry.OpenAs("bogus", path);
+  EXPECT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Every persistent artifact kind reopens through the registry's magic
+// sniff, comes back as the right IndexKind, and answers a findall
+// exactly like the in-memory index it was saved from.
+TEST(IndexInterfaceTest, RegistryOpensEveryPersistentArtifact) {
+  ScopedTempDir dir("iface_registry");
+  const std::string corpus = TestCorpus(3'000);
+  const Query probe = Query::FindAll(corpus.substr(100, 10));
+
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(compact.AppendString(corpus).ok());
+  const QueryResult expected = ExecuteQuery(compact, probe);
+  ASSERT_TRUE(expected.found);
+
+  const std::string compact_path = dir.File("a.spine");
+  ASSERT_TRUE(SaveCompactSpine(compact, compact_path).ok());
+
+  GeneralizedCompactSpine gen(Alphabet::Dna());
+  ASSERT_TRUE(gen.AddString(corpus, "chr1").ok());
+  const std::string gen_path = dir.File("a.spineg");
+  ASSERT_TRUE(gen.Save(gen_path).ok());
+
+  const std::string disk_path = dir.File("a.disk");
+  {
+    auto disk =
+        storage::DiskSpine::Create(Alphabet::Dna(), disk_path, {});
+    ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+    ASSERT_TRUE((*disk)->AppendString(corpus).ok());
+    ASSERT_TRUE((*disk)->Checkpoint().ok());
+  }
+  const std::string tree_path = dir.File("a.st");
+  {
+    auto tree =
+        storage::DiskSuffixTree::Create(Alphabet::Dna(), tree_path, {});
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    ASSERT_TRUE((*tree)->AppendString(corpus).ok());
+    ASSERT_TRUE((*tree)->Checkpoint().ok());
+  }
+  const std::string fam_path = dir.File("a.spinefam");
+  {
+    auto family = shard::ShardedIndex::Build(Alphabet::Dna(), corpus,
+                                             {.shards = 3, .max_pattern = 64});
+    ASSERT_TRUE(family.ok()) << family.status().ToString();
+    ASSERT_TRUE((*family)->Save(fam_path).ok());
+  }
+
+  const struct {
+    std::string path;
+    IndexKind kind;
+  } artifacts[] = {
+      {compact_path, IndexKind::kCompactSpine},
+      {gen_path, IndexKind::kGeneralizedCompact},
+      {disk_path, IndexKind::kDiskSpine},
+      {tree_path, IndexKind::kDiskSuffixTree},
+      {fam_path, IndexKind::kSharded},
+  };
+  for (const auto& artifact : artifacts) {
+    Result<std::unique_ptr<Index>> index =
+        BackendRegistry::Default().Open(artifact.path);
+    ASSERT_TRUE(index.ok())
+        << artifact.path << ": " << index.status().ToString();
+    EXPECT_EQ((*index)->kind(), artifact.kind) << artifact.path;
+    EXPECT_TRUE((*index)->capabilities().persistent) << artifact.path;
+    EXPECT_TRUE((*index)->VerifyStructure().ok()) << artifact.path;
+    QueryResult got = (*index)->Execute(probe);
+    ASSERT_TRUE(got.ok()) << artifact.path << ": " << got.error;
+    EXPECT_TRUE(got.SameAnswer(expected)) << artifact.path;
+  }
+
+  // Garbage magic is corruption, not a crash or a misparse.
+  const std::string garbage = dir.File("garbage.bin");
+  spine::test::WriteFile(garbage, "this is not an index artifact");
+  Result<std::unique_ptr<Index>> bad = BackendRegistry::Default().Open(garbage);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
+}
+
+// Six backends, one engine, one batch: every answer byte-identical to
+// the brute-force oracle for every kind the backend supports.
+TEST(IndexInterfaceTest, AllBackendsAgreeThroughTheEngine) {
+  const std::string corpus = TestCorpus(6'000);
+  const std::vector<Query> queries = MixedQueries(corpus, 100);
+
+  SpineIndex reference(Alphabet::Dna());
+  ASSERT_TRUE(reference.AppendString(corpus).ok());
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(compact.AppendString(corpus).ok());
+  GeneralizedSpineIndex generalized(Alphabet::Dna());
+  ASSERT_TRUE(generalized.AddString(corpus).ok());
+  SuffixTree tree(Alphabet::Dna());
+  ASSERT_TRUE(tree.AppendString(corpus).ok());
+  auto family = shard::ShardedIndex::Build(Alphabet::Dna(), corpus,
+                                           {.shards = 4, .max_pattern = 128});
+  ASSERT_TRUE(family.ok()) << family.status().ToString();
+
+  SpineIndexAdapter reference_adapter(reference);
+  CompactSpineAdapter compact_adapter(compact);
+  GeneralizedSpineAdapter generalized_adapter(generalized);
+  SuffixTreeAdapter tree_adapter(tree);
+  NaiveTextAdapter naive(Alphabet::Dna(), corpus);
+  const std::vector<const Index*> indexes = {
+      &naive,        &reference_adapter, &compact_adapter,
+      &generalized_adapter, &tree_adapter, family->get()};
+
+  engine::QueryEngine engine({.threads = 4, .cache_bytes = 0});
+  std::vector<engine::BatchStats> stats;
+  std::vector<std::vector<QueryResult>> results =
+      engine.ExecuteBatch(indexes, queries, &stats);
+  ASSERT_EQ(results.size(), indexes.size());
+  for (size_t j = 1; j < indexes.size(); ++j) {
+    EXPECT_EQ(stats[j].failed, 0u) << IndexKindName(indexes[j]->kind());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_TRUE(results[j][i].SameAnswer(results[0][i]))
+          << IndexKindName(indexes[j]->kind()) << " disagrees with the "
+          << "oracle on query " << i;
+    }
+  }
+}
+
+// The CDAWG answers kContains; everything else is a loud
+// kInvalidArgument result, both directly and through the engine.
+TEST(IndexInterfaceTest, UnsupportedKindsFailLoudly) {
+  const std::string corpus = TestCorpus(2'000);
+  Result<CompactDawg> dawg = CompactDawg::Build(Alphabet::Dna(), corpus);
+  ASSERT_TRUE(dawg.ok()) << dawg.status().ToString();
+  CompactDawgAdapter adapter(*dawg);
+
+  QueryResult yes = adapter.Execute(Query::Contains(corpus.substr(10, 12)));
+  ASSERT_TRUE(yes.ok()) << yes.error;
+  EXPECT_TRUE(yes.found);
+
+  QueryResult bad = adapter.Execute(Query::FindAll(corpus.substr(10, 12)));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status_code, StatusCode::kInvalidArgument);
+  EXPECT_FALSE(bad.error.empty());
+  EXPECT_TRUE(bad.hits.empty());
+
+  const std::vector<Query> queries = {
+      Query::Contains(corpus.substr(0, 8)),
+      Query::FindAll(corpus.substr(0, 8)),
+      Query::MatchingStats(corpus.substr(0, 8)),
+  };
+  engine::QueryEngine engine({.threads = 2, .cache_bytes = 0});
+  engine::BatchStats stats;
+  std::vector<QueryResult> results =
+      engine.ExecuteBatch(adapter, queries, &stats);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_FALSE(results[2].ok());
+  EXPECT_EQ(stats.failed, 2u);
+}
+
+// Regression for the PR 1 footgun: two live indexes can never serve
+// each other's cached answers, because ids are issued per instance at
+// construction instead of picked by the caller.
+TEST(IndexInterfaceTest, CacheNeverCrossServesDistinctIndexes) {
+  const std::string corpus_a = TestCorpus(4'000, /*seed=*/1);
+  const std::string corpus_b = TestCorpus(4'000, /*seed=*/2);
+  CompactSpineIndex index_a(Alphabet::Dna());
+  ASSERT_TRUE(index_a.AppendString(corpus_a).ok());
+  CompactSpineIndex index_b(Alphabet::Dna());
+  ASSERT_TRUE(index_b.AppendString(corpus_b).ok());
+  CompactSpineAdapter a(index_a);
+  CompactSpineAdapter b(index_b);
+
+  std::vector<Query> queries;
+  for (size_t i = 0; i < 40; ++i) {
+    queries.push_back(
+        Query::FindAll(corpus_a.substr((i * 97) % 3'000, 6 + i % 6)));
+  }
+  std::vector<QueryResult> expect_a, expect_b;
+  for (const Query& q : queries) {
+    expect_a.push_back(ExecuteQuery(index_a, q));
+    expect_b.push_back(ExecuteQuery(index_b, q));
+  }
+
+  // One shared engine + warm cache, both indexes queried twice
+  // interleaved: round two is all cache hits, yet every answer still
+  // belongs to its own index.
+  engine::QueryEngine engine({.threads = 2, .cache_bytes = 8 << 20});
+  for (int round = 0; round < 2; ++round) {
+    engine::BatchStats stats_a, stats_b;
+    std::vector<QueryResult> got_a = engine.ExecuteBatch(a, queries, &stats_a);
+    std::vector<QueryResult> got_b = engine.ExecuteBatch(b, queries, &stats_b);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_TRUE(got_a[i].SameAnswer(expect_a[i]))
+          << "round " << round << ", query " << i;
+      EXPECT_TRUE(got_b[i].SameAnswer(expect_b[i]))
+          << "round " << round << ", query " << i;
+    }
+    if (round == 1) {
+      EXPECT_EQ(stats_a.cache_hits, queries.size());
+      EXPECT_EQ(stats_b.cache_hits, queries.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace spine::core

@@ -17,6 +17,7 @@
 
 #include "common/rng.h"
 #include "compact/compact_spine.h"
+#include "core/adapters.h"
 #include "core/query.h"
 #include "engine/query_engine.h"
 #include "obs/metrics.h"
@@ -208,9 +209,10 @@ TEST(MetricsInvariantTest, EngineRetriesMatchBatchStats) {
                               .retry_backoff_us = 0});
   std::vector<Query> queries = {Query::FindAll(s.substr(50, 8)),
                                 Query::Contains(s.substr(500, 6))};
+  core::DiskSpineAdapter adapter(**disk);
   engine::BatchStats stats;
   std::vector<QueryResult> results =
-      engine.ExecuteBatch(**disk, queries, /*backend_id=*/7, &stats);
+      engine.ExecuteBatch(adapter, queries, &stats);
   ASSERT_EQ(results.size(), queries.size());
   EXPECT_EQ(stats.failed, 0u);
   EXPECT_GE(stats.retries, 1u);

@@ -18,15 +18,17 @@
 #include "compact/compact_spine.h"
 #include "compact/generalized_compact.h"
 #include "compact/serializer.h"
+#include "core/adapters.h"
+#include "core/index.h"
 #include "core/matcher.h"
 #include "core/query.h"
+#include "core/registry.h"
 #include "engine/query_engine.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "seq/fasta.h"
 #include "seq/generator.h"
-#include "storage/disk_spine.h"
-#include "storage/disk_suffix_tree.h"
+#include "shard/sharded_index.h"
 #include "storage/page_file.h"
 
 namespace spine::cli {
@@ -37,11 +39,15 @@ constexpr const char* kUsage =
     "usage: spine_tool <command> [args]\n"
     "commands:\n"
     "  build <input.fa> <index.spine> [--alphabet=dna|protein|ascii]\n"
+    "        [--shards=K] [--max-pattern=M]\n"
+    "      --shards=K builds a sharded family instead: a .spinefam\n"
+    "      manifest plus K per-shard compact images built in parallel;\n"
+    "      --max-pattern (default 1024) bounds queryable pattern length\n"
     "  gbuild <input.fa> <index.spineg> [--alphabet=dna|protein|ascii]\n"
     "      index EVERY record of a multi-FASTA file together\n"
     "  gquery <index.spineg> <pattern>\n"
-    "  query <index.spine> <pattern>\n"
-    "  batch <index.spine> <patterns.txt> [--threads=N] [--cache-mb=M] "
+    "  query <index> <pattern>\n"
+    "  batch <index> <patterns.txt> [--threads=N] [--cache-mb=M] "
     "[--min-len=N] [--trace]\n"
     "      run a batch of queries concurrently; each line of patterns.txt\n"
     "      is 'PATTERN' or 'KIND PATTERN' with KIND one of findall,\n"
@@ -49,15 +55,18 @@ constexpr const char* kUsage =
     "  approx <index.spine> <pattern> [--max-edits=K]\n"
     "  hamming <index.spine> <pattern> [--max-mismatches=K]\n"
     "  lrs <index.spine>\n"
-    "  stats <index.spine> [--json]\n"
+    "  stats <index> [--json]\n"
     "      index statistics; --json emits the versioned stats snapshot\n"
     "  search <index.spine> <query.fa> [--min-len=N]\n"
     "  align <reference.fa> <query.fa> [--min-anchor=N] [--mum]\n"
     "  generate <output.fa> [--length=N] [--seed=S] "
     "[--alphabet=dna|protein]\n"
-    "  verify <image>\n"
-    "      check integrity of a compact image (.spine) or a disk index\n"
-    "      page file: magic/version, checksums, structural invariants\n"
+    "  verify <artifact>\n"
+    "      check integrity of any index artifact: magic/version,\n"
+    "      checksums, structural invariants\n"
+    "query, batch, stats and verify open any artifact kind (compact or\n"
+    "generalized image, disk index page file, .spinefam shard family) by\n"
+    "sniffing its magic; --backend=NAME overrides the sniff\n"
     "build, query and batch accept --stats-json[=FILE]: after the\n"
     "command finishes, dump a versioned JSON snapshot of all runtime\n"
     "metrics (plus a command-specific section) to stdout or FILE\n"
@@ -149,6 +158,26 @@ int Fail(std::ostream& err, const Status& status) {
   return ExitCodeFor(status.code());
 }
 
+// Exit path for commands whose answer is a statusful QueryResult (a
+// sharded index rejecting an overlong pattern, a disk backend hitting
+// a fault): the per-query error maps onto the same exit-code table.
+int FailResult(std::ostream& err, const QueryResult& result) {
+  err << "error: " << result.error << "\n";
+  return ExitCodeFor(result.status_code);
+}
+
+// The one place the CLI turns a path into a live index: the backend
+// registry sniffs the artifact's magic, or --backend=NAME forces a
+// specific opener. Every reading command (query, batch, stats, verify)
+// goes through here, so they all accept every artifact kind.
+Result<std::unique_ptr<core::Index>> OpenIndex(const ParsedArgs& args,
+                                               const std::string& path) {
+  if (auto it = args.options.find("backend"); it != args.options.end()) {
+    return core::BackendRegistry::Default().OpenAs(it->second, path);
+  }
+  return core::BackendRegistry::Default().Open(path);
+}
+
 // The versioned stats snapshot emitted by `stats --json` and by the
 // --stats-json flag on build/query/batch (schema documented in
 // docs/OBSERVABILITY.md):
@@ -209,6 +238,44 @@ int CmdBuild(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (!alphabet.ok()) return Fail(err, alphabet.status());
   Result<std::string> sequence = LoadFirstSequence(args.positional[0], out);
   if (!sequence.ok()) return Fail(err, sequence.status());
+
+  // --shards=K: build a sharded family (K per-shard compact images +
+  // a .spinefam manifest) instead of one monolithic image.
+  if (std::optional<uint64_t> shards = OptionU64(args, "shards")) {
+    shard::ShardedIndex::Options options;
+    options.shards = static_cast<uint32_t>(*shards);
+    options.max_pattern = static_cast<uint32_t>(
+        OptionU64(args, "max-pattern").value_or(shard::kDefaultMaxPattern));
+    WallTimer timer;
+    Result<std::unique_ptr<shard::ShardedIndex>> family =
+        shard::ShardedIndex::Build(*alphabet, *sequence, options);
+    if (!family.ok()) return Fail(err, family.status());
+    Status status = (*family)->Save(args.positional[1]);
+    if (!status.ok()) return Fail(err, status);
+    const double secs = timer.ElapsedSeconds();
+    out << "indexed " << (*family)->size() << " characters in " << secs
+        << " s across " << (*family)->shard_count()
+        << " shard(s) (max pattern " << (*family)->max_pattern() << ") -> "
+        << args.positional[1] << "\n";
+    return EmitStatsJson(args, out, err, "build",
+                         [&](obs::JsonWriter& json) {
+                           json.Key("build");
+                           json.BeginObject();
+                           json.Key("characters");
+                           json.Value((*family)->size());
+                           json.Key("seconds");
+                           json.Value(secs);
+                           json.Key("shards");
+                           json.Value(
+                               static_cast<uint64_t>((*family)->shard_count()));
+                           json.Key("max_pattern");
+                           json.Value(
+                               static_cast<uint64_t>((*family)->max_pattern()));
+                           json.Key("output");
+                           json.Value(args.positional[1]);
+                           json.EndObject();
+                         });
+  }
 
   WallTimer timer;
   CompactSpineIndex index(*alphabet);
@@ -289,19 +356,22 @@ int CmdGQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 
 int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
-    err << "query requires <index.spine> <pattern>\n";
+    err << "query requires <index> <pattern>\n";
     return 2;
   }
-  Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
+  Result<std::unique_ptr<core::Index>> index =
+      OpenIndex(args, args.positional[0]);
   if (!index.ok()) return Fail(err, index.status());
-  QueryResult result =
-      ExecuteQuery(*index, Query::FindAll(args.positional[1]));
+  QueryResult result = (*index)->Execute(Query::FindAll(args.positional[1]));
+  if (!result.ok()) return FailResult(err, result);
   out << result.hits.size() << " occurrence(s)";
   for (const Hit& hit : result.hits) out << " " << hit.pos;
   out << "\n";
   return EmitStatsJson(args, out, err, "query", [&](obs::JsonWriter& json) {
     json.Key("query");
     json.BeginObject();
+    json.Key("backend");
+    json.Value((*index)->Name());
     json.Key("pattern");
     json.Value(args.positional[1]);
     json.Key("occurrences");
@@ -392,10 +462,11 @@ void PrintBatchResult(std::ostream& out, size_t idx, const Query& query,
 
 int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
-    err << "batch requires <index.spine> <patterns.txt>\n";
+    err << "batch requires <index> <patterns.txt>\n";
     return 2;
   }
-  Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
+  Result<std::unique_ptr<core::Index>> index =
+      OpenIndex(args, args.positional[0]);
   if (!index.ok()) return Fail(err, index.status());
 
   std::ifstream file(args.positional[1]);
@@ -429,7 +500,7 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   WallTimer timer;
   engine::BatchStats stats;
   std::vector<QueryResult> results =
-      query_engine.ExecuteBatch(*index, queries, /*backend_id=*/1, &stats);
+      query_engine.ExecuteBatch(**index, queries, &stats);
   const double secs = timer.ElapsedSeconds();
 
   for (size_t i = 0; i < queries.size(); ++i) {
@@ -445,6 +516,8 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   return EmitStatsJson(args, out, err, "batch", [&](obs::JsonWriter& json) {
     json.Key("batch");
     json.BeginObject();
+    json.Key("backend");
+    json.Value((*index)->Name());
     json.Key("queries");
     json.Value(stats.queries);
     json.Key("executed");
@@ -544,50 +617,96 @@ int CmdLrs(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 
 int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 1) {
-    err << "stats requires <index.spine>\n";
+    err << "stats requires <index>\n";
     return 2;
   }
-  Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
-  if (!index.ok()) return Fail(err, index.status());
-  auto breakdown = index->LogicalBytes();
-  auto fanouts = index->FanoutCountsWithExtribs();
-  if (args.options.count("json") > 0) {
+  Result<std::unique_ptr<core::Index>> opened =
+      OpenIndex(args, args.positional[0]);
+  if (!opened.ok()) return Fail(err, opened.status());
+  const core::Index& index = **opened;
+  const bool want_json = args.options.count("json") > 0;
+
+  // The compact image keeps its detailed layout breakdown; other
+  // backends report the generic interface view.
+  if (const auto* adapter =
+          dynamic_cast<const core::CompactSpineAdapter*>(&index)) {
+    const CompactSpineIndex& compact = adapter->backend();
+    auto breakdown = compact.LogicalBytes();
+    auto fanouts = compact.FanoutCountsWithExtribs();
+    if (want_json) {
+      out << StatsSnapshotJson("stats", [&](obs::JsonWriter& json) {
+        json.Key("index");
+        json.BeginObject();
+        json.Key("backend");
+        json.Value(index.Name());
+        json.Key("alphabet");
+        json.Value(compact.alphabet().name());
+        json.Key("characters");
+        json.Value(static_cast<uint64_t>(compact.size()));
+        json.Key("max_lel");
+        json.Value(static_cast<uint64_t>(compact.max_lel()));
+        json.Key("max_pt");
+        json.Value(static_cast<uint64_t>(compact.max_pt()));
+        json.Key("max_prt");
+        json.Value(static_cast<uint64_t>(compact.max_prt()));
+        json.Key("extribs");
+        json.Value(static_cast<uint64_t>(compact.extrib_count()));
+        json.Key("bytes_per_char");
+        json.Value(breakdown.BytesPerChar(compact.size()));
+        json.Key("fanout");
+        json.BeginArray();
+        for (int k = 0; k < 6; ++k) {
+          json.Value(static_cast<uint64_t>(fanouts[k]));
+        }
+        json.EndArray();
+        json.EndObject();
+      }) << "\n";
+      return 0;
+    }
+    out << "alphabet        : " << compact.alphabet().name() << "\n"
+        << "characters      : " << compact.size() << "\n"
+        << "max LEL/PT/PRT  : " << compact.max_lel() << " / "
+        << compact.max_pt() << " / " << compact.max_prt() << "\n"
+        << "extribs         : " << compact.extrib_count() << "\n"
+        << "bytes per char  : " << breakdown.BytesPerChar(compact.size())
+        << "\n"
+        << "fan-out 1..4+   :";
+    for (int k = 0; k < 6; ++k) out << " " << fanouts[k];
+    out << "\n";
+    return 0;
+  }
+
+  const auto* family = dynamic_cast<const shard::ShardedIndex*>(&index);
+  if (want_json) {
     out << StatsSnapshotJson("stats", [&](obs::JsonWriter& json) {
       json.Key("index");
       json.BeginObject();
+      json.Key("backend");
+      json.Value(index.Name());
       json.Key("alphabet");
-      json.Value(index->alphabet().name());
+      json.Value(index.alphabet().name());
       json.Key("characters");
-      json.Value(static_cast<uint64_t>(index->size()));
-      json.Key("max_lel");
-      json.Value(static_cast<uint64_t>(index->max_lel()));
-      json.Key("max_pt");
-      json.Value(static_cast<uint64_t>(index->max_pt()));
-      json.Key("max_prt");
-      json.Value(static_cast<uint64_t>(index->max_prt()));
-      json.Key("extribs");
-      json.Value(static_cast<uint64_t>(index->extrib_count()));
-      json.Key("bytes_per_char");
-      json.Value(breakdown.BytesPerChar(index->size()));
-      json.Key("fanout");
-      json.BeginArray();
-      for (int k = 0; k < 6; ++k) {
-        json.Value(static_cast<uint64_t>(fanouts[k]));
+      json.Value(index.size());
+      if (family != nullptr) {
+        json.Key("shards");
+        json.Value(static_cast<uint64_t>(family->shard_count()));
+        json.Key("max_pattern");
+        json.Value(static_cast<uint64_t>(family->max_pattern()));
       }
-      json.EndArray();
+      json.Key("memory_bytes");
+      json.Value(index.MemoryBytes());
       json.EndObject();
     }) << "\n";
     return 0;
   }
-  out << "alphabet        : " << index->alphabet().name() << "\n"
-      << "characters      : " << index->size() << "\n"
-      << "max LEL/PT/PRT  : " << index->max_lel() << " / " << index->max_pt()
-      << " / " << index->max_prt() << "\n"
-      << "extribs         : " << index->extrib_count() << "\n"
-      << "bytes per char  : " << breakdown.BytesPerChar(index->size()) << "\n"
-      << "fan-out 1..4+   :";
-  for (int k = 0; k < 6; ++k) out << " " << fanouts[k];
-  out << "\n";
+  out << "backend         : " << index.Name() << "\n"
+      << "alphabet        : " << index.alphabet().name() << "\n"
+      << "characters      : " << index.size() << "\n";
+  if (family != nullptr) {
+    out << "shards          : " << family->shard_count() << "\n"
+        << "max pattern     : " << family->max_pattern() << "\n";
+  }
+  out << "memory bytes    : " << index.MemoryBytes() << "\n";
   return 0;
 }
 
@@ -703,98 +822,95 @@ int CmdGenerate(const ParsedArgs& args, std::ostream& out,
   return 0;
 }
 
-// `spine verify`: integrity check without modifying anything. Sniffs
-// the leading magic to pick the artifact kind:
-//   "SPNE" — compact image: whole-image checksum + structural Validate
-//            (both run inside LoadCompactSpine)
-//   "SPGF" — page file: superblock, then a full page-checksum scan;
-//            when a metadata sidecar is present the disk index is also
-//            opened and (for DiskSpine) structurally verified.
+// `spine verify`: integrity check without modifying anything. Artifact
+// dispatch is the registry's (core/registry.h) — the same magic sniff
+// every other command uses — with one extra page-file pre-pass:
+//   compact / generalized images — whole-image checksum + structural
+//       Validate (both run inside the registry open)
+//   page files — superblock, then a full page-checksum scan BEFORE the
+//       registry open, so a sidecar-less file still gets page-level
+//       checks; with a sidecar the disk index is opened and
+//       structurally verified
+//   .spinefam — manifest + per-shard-file checksums (inside Load) plus
+//       the family's structural self-check
 // Exit codes follow the table in kUsage: 3 means corruption detected.
 int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 1) {
-    err << "verify requires <image>\n";
+    err << "verify requires <artifact>\n";
     return 2;
   }
   const std::string& path = args.positional[0];
-  uint32_t magic = 0;
-  {
-    std::ifstream probe(path, std::ios::binary);
-    if (!probe) {
-      return Fail(err, Status::IoError("cannot open " + path + ": " +
-                                       std::strerror(errno)));
-    }
-    probe.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-    if (!probe) {
-      return Fail(err,
-                  Status::Corruption(path + " is too short to hold an index"));
-    }
-  }
+  Result<uint32_t> magic = core::BackendRegistry::SniffMagic(path);
+  if (!magic.ok()) return Fail(err, magic.status());
 
-  if (magic == 0x53504e45) {  // "SPNE": compact image
-    Result<CompactSpineIndex> index = LoadCompactSpine(path);
-    if (!index.ok()) return Fail(err, index.status());
-    out << "compact image OK: " << index->size() << " characters, alphabet "
-        << index->alphabet().name() << ", checksum and structure verified\n";
-    return 0;
-  }
-  if (magic != 0x53504746) {  // "SPGF": page-file superblock
-    return Fail(err,
-                Status::Corruption(path +
-                                   ": unrecognized magic (expected a compact "
-                                   "image or a page file)"));
-  }
-
-  uint64_t pages = 0;
-  {
-    Result<storage::PageFile> file =
-        storage::PageFile::Open(path, storage::PageFile::SyncMode::kNone);
-    if (!file.ok()) return Fail(err, file.status());
-    pages = file->page_count();
-    std::vector<uint8_t> page(storage::kPageSize);
-    for (uint64_t p = 0; p < pages; ++p) {
-      Status status = file->ReadPage(p, page.data());
-      if (status.ok()) status = storage::VerifyPageChecksum(p, page.data());
-      // VerifyPageChecksum already names the page in its message.
-      if (!status.ok()) return Fail(err, status);
+  if (*magic == core::kPageFileMagic) {
+    uint64_t pages = 0;
+    {
+      Result<storage::PageFile> file =
+          storage::PageFile::Open(path, storage::PageFile::SyncMode::kNone);
+      if (!file.ok()) return Fail(err, file.status());
+      pages = file->page_count();
+      std::vector<uint8_t> page(storage::kPageSize);
+      for (uint64_t p = 0; p < pages; ++p) {
+        Status status = file->ReadPage(p, page.data());
+        if (status.ok()) status = storage::VerifyPageChecksum(p, page.data());
+        // VerifyPageChecksum already names the page in its message.
+        if (!status.ok()) return Fail(err, status);
+      }
     }
-  }
-  out << "superblock OK, " << pages << " page checksum(s) OK\n";
+    out << "superblock OK, " << pages << " page checksum(s) OK\n";
 
-  // A disk index leaves a metadata sidecar next to the page file; use
-  // its magic to pick the right reopen + structural check.
-  uint32_t meta_magic = 0;
-  {
-    std::ifstream meta(path + ".meta", std::ios::binary);
-    if (!meta) {
-      out << "no metadata sidecar (" << path
-          << ".meta); page-level checks only\n";
-      return 0;
-    }
-    meta.read(reinterpret_cast<char*>(&meta_magic), sizeof(meta_magic));
-    if (!meta) {
+    // A disk index leaves a metadata sidecar next to the page file;
+    // without one there is no index to reopen, and the page-level
+    // verdict above is all there is.
+    Result<uint32_t> meta =
+        core::BackendRegistry::SniffMagic(path + ".meta");
+    if (!meta.ok()) {
+      if (meta.status().code() == StatusCode::kIoError) {
+        out << "no metadata sidecar (" << path
+            << ".meta); page-level checks only\n";
+        return 0;
+      }
       return Fail(err, Status::Corruption(path + ".meta is truncated"));
     }
   }
-  if (meta_magic == 0x5350444d) {  // "SPDM": DiskSpine sidecar
-    auto index = storage::DiskSpine::Open(path, {});
-    if (!index.ok()) return Fail(err, index.status());
-    Status status = (*index)->VerifyStructure();
-    if (status.ok()) status = (*index)->ConsumeError();
-    if (!status.ok()) return Fail(err, status);
-    out << "disk spine OK: " << (*index)->size()
-        << " characters, structure verified\n";
-    return 0;
+
+  Result<std::unique_ptr<core::Index>> opened = OpenIndex(args, path);
+  if (!opened.ok()) return Fail(err, opened.status());
+  const core::Index& index = **opened;
+  Status status = index.VerifyStructure();
+  if (!status.ok()) return Fail(err, status);
+
+  const core::BackendInfo* info =
+      core::BackendRegistry::Default().FindByKind(index.kind());
+  out << (info != nullptr ? info->artifact : index.Name()) << " OK: "
+      << index.size() << " characters";
+  switch (index.kind()) {
+    case core::IndexKind::kCompactSpine:
+    case core::IndexKind::kGeneralizedCompact:
+      out << ", alphabet " << index.alphabet().name()
+          << ", checksum and structure verified";
+      break;
+    case core::IndexKind::kDiskSpine:
+      out << ", structure verified";
+      break;
+    case core::IndexKind::kDiskSuffixTree: {
+      const auto& tree =
+          static_cast<const core::DiskSuffixTreeAdapter&>(index);
+      out << ", " << tree.backend().node_count() << " node(s)";
+      break;
+    }
+    case core::IndexKind::kSharded: {
+      const auto& family = static_cast<const shard::ShardedIndex&>(index);
+      out << ", " << family.shard_count()
+          << " shard(s), manifest and shard checksums verified";
+      break;
+    }
+    default:
+      break;
   }
-  if (meta_magic == 0x53544d44) {  // "STMD": DiskSuffixTree sidecar
-    auto tree = storage::DiskSuffixTree::Open(path, {});
-    if (!tree.ok()) return Fail(err, tree.status());
-    out << "disk suffix tree OK: " << (*tree)->size() << " characters, "
-        << (*tree)->node_count() << " node(s)\n";
-    return 0;
-  }
-  return Fail(err, Status::Corruption("unrecognized metadata magic in " +
-                                      path + ".meta"));
+  out << "\n";
+  return 0;
 }
 
 }  // namespace

@@ -8,6 +8,13 @@
 // a reproducer.
 //
 //   $ ./tools/spine_fuzz [seconds] [seed]
+//   $ ./tools/spine_fuzz manifest [seconds] [seed]
+//
+// The default mode interleaves every phase; `manifest` mode spends the
+// whole budget corrupting .spinefam families (truncations, bit flips,
+// byte overwrites in the manifest and in shard files) and demands that
+// ShardedIndex::Load rejects each with kCorruption — never a crash,
+// never a silently wrong index.
 //
 // This is the harness that found the paper's extrib PRT ambiguity
 // (DESIGN.md §5); it runs for 2 seconds in CI.
@@ -15,8 +22,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/timer.h"
@@ -26,6 +38,7 @@
 #include "core/spine_index.h"
 #include "dawg/suffix_automaton.h"
 #include "naive/naive_index.h"
+#include "shard/sharded_index.h"
 #include "suffix_tree/st_matcher.h"
 #include "suffix_tree/suffix_tree.h"
 
@@ -84,13 +97,105 @@ int FuzzSerializedImage(spine::Rng& rng, const spine::CompactSpineIndex& index,
   return 0;
 }
 
+// Applies one random truncation / bit flip / byte overwrite to `bytes`.
+void MutateBytes(spine::Rng& rng, std::string* bytes) {
+  switch (rng.Below(3)) {
+    case 0:  // truncation (including an empty file)
+      bytes->resize(rng.Below(bytes->size() + 1));
+      break;
+    case 1:  // single bit flip
+      if (!bytes->empty()) {
+        size_t pos = rng.Below(bytes->size());
+        (*bytes)[pos] = static_cast<char>(
+            static_cast<unsigned char>((*bytes)[pos]) ^ (1u << rng.Below(8)));
+      }
+      break;
+    default:  // random byte overwrite
+      if (!bytes->empty()) {
+        (*bytes)[rng.Below(bytes->size())] =
+            static_cast<char>(rng.Below(256));
+      }
+      break;
+  }
+}
+
+// Manifest-robustness phase: save a sharded family, corrupt the
+// manifest or one shard file on disk, and demand that
+// ShardedIndex::Load rejects the family with kCorruption. Loading an
+// untouched family (a mutation that happened to be the identity) must
+// still succeed.
+int FuzzShardManifest(spine::Rng& rng, const std::string& s,
+                      const std::filesystem::path& dir, uint64_t* checks) {
+  using namespace spine;
+  auto family = shard::ShardedIndex::Build(
+      Alphabet::Dna(), s,
+      {.shards = 1 + static_cast<uint32_t>(rng.Below(4)),
+       .max_pattern = 4 + static_cast<uint32_t>(rng.Below(60))});
+  if (!family.ok()) return Fail("shard build failed", s, "");
+  const std::string path = (dir / "family.spinefam").string();
+  if (!(*family)->Save(path).ok()) return Fail("shard save failed", s, "");
+
+  std::vector<std::string> files = {path};
+  for (uint32_t i = 0; i < (*family)->shard_count(); ++i) {
+    files.push_back(path + ".shard" + std::to_string(i));
+  }
+  const auto read_all = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto write_all = [](const std::string& p, const std::string& bytes) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  };
+  for (int trial = 0; trial < 6; ++trial) {
+    ++*checks;
+    const std::string& victim = files[rng.Below(files.size())];
+    const std::string original = read_all(victim);
+    std::string mutated = original;
+    MutateBytes(rng, &mutated);
+    write_all(victim, mutated);
+    auto loaded = shard::ShardedIndex::Load(path);
+    write_all(victim, original);
+    if (mutated == original) {
+      if (!loaded.ok()) return Fail("pristine family rejected", s, "");
+      continue;
+    }
+    if (loaded.ok()) {
+      return Fail("corrupt family (" + victim + ") loaded silently", s, "");
+    }
+    if (loaded.status().code() != StatusCode::kCorruption) {
+      return Fail("corrupt family yielded '" + loaded.status().ToString() +
+                      "' instead of kCorruption",
+                  s, "");
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace spine;
-  double budget_seconds = argc > 1 ? std::atof(argv[1]) : 2.0;
-  uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 20260706;
+  const bool manifest_mode =
+      argc > 1 && std::strcmp(argv[1], "manifest") == 0;
+  const int arg0 = manifest_mode ? 2 : 1;
+  double budget_seconds = argc > arg0 ? std::atof(argv[arg0]) : 2.0;
+  uint64_t seed =
+      argc > arg0 + 1 ? std::strtoull(argv[arg0 + 1], nullptr, 10) : 20260706;
   if (budget_seconds <= 0) budget_seconds = 2.0;
+
+  const std::filesystem::path fuzz_dir =
+      std::filesystem::temp_directory_path() /
+      ("spine_fuzz_" + std::to_string(seed));
+  std::filesystem::create_directories(fuzz_dir);
+  struct DirCleanup {
+    std::filesystem::path path;
+    ~DirCleanup() {
+      std::error_code ec;
+      std::filesystem::remove_all(path, ec);
+    }
+  } cleanup{fuzz_dir};
 
   Rng rng(seed);
   const char* letters = "ACGT";
@@ -104,6 +209,13 @@ int main(int argc, char** argv) {
     std::string s;
     for (uint32_t i = 0; i < length; ++i) {
       s.push_back(letters[rng.Below(sigma)]);
+    }
+
+    if (manifest_mode) {
+      if (int rc = FuzzShardManifest(rng, s, fuzz_dir, &checks); rc != 0) {
+        return rc;
+      }
+      continue;
     }
 
     SpineIndex reference(Alphabet::Dna());
@@ -152,6 +264,14 @@ int main(int argc, char** argv) {
     // Serialized-image robustness (PR 2).
     if (int rc = FuzzSerializedImage(rng, compact, s, &checks); rc != 0) {
       return rc;
+    }
+
+    // Sharded-family manifest robustness (PR 4); cheaper than the
+    // other phases, so a third of the rounds is plenty.
+    if (rounds % 3 == 0) {
+      if (int rc = FuzzShardManifest(rng, s, fuzz_dir, &checks); rc != 0) {
+        return rc;
+      }
     }
 
     // Maximal matches: SPINE vs suffix tree vs oracle.
