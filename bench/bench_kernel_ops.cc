@@ -1,0 +1,149 @@
+// Comparison-kernel throughput: bytes/sec of MatchRun per dispatch
+// level per pattern-length bucket, for the raw byte path and the
+// 2-bit-packed DNA path (32 bases per 64-bit word). The table is the
+// evidence behind the kernel dispatch default: the widest supported
+// level should win by >= 2x over forced scalar on runs of 32 bytes and
+// up, while short runs show where the fixed dispatch overhead sits.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "alphabet/packed_string.h"
+#include "bench_util/json_report.h"
+#include "bench_util/table.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "kernel/kernel.h"
+#include "seq/datasets.h"
+
+namespace spine::bench {
+namespace {
+
+constexpr uint64_t kBytesPerBucket = 512ull << 20;  // per cell, pre-scale
+constexpr size_t kByteBuckets[] = {16, 32, 256, 4096, 65536};
+constexpr size_t kCodeBuckets[] = {64, 1024, 32768};  // 2-bit codes
+
+// Full-match compares from a rotating start so the compiler cannot
+// hoist the comparison out of the timing loop.
+double ByteRunThroughput(const kernel::Ops& ops, size_t len, uint64_t budget) {
+  Rng rng(1);
+  std::vector<uint8_t> a(len + 8), b(len + 8);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<uint8_t>(rng.Below(4));
+  }
+  b = a;
+  const uint64_t reps = budget / len > 0 ? budget / len : 1;
+  size_t sink = 0;
+  WallTimer timer;
+  for (uint64_t r = 0; r < reps; ++r) {
+    const size_t off = r % 8;
+    sink += ops.match_run(a.data() + off, b.data() + off, len);
+  }
+  const double secs = timer.ElapsedSeconds();
+  SPINE_CHECK(sink == reps * len);
+  return static_cast<double>(reps) * static_cast<double>(len) / secs;
+}
+
+// Packed compares at 2 bits/code; throughput counted in code bytes
+// (n/4) to stay comparable with the byte path.
+double PackedRunThroughput(const kernel::Ops& ops, size_t codes,
+                           uint64_t budget) {
+  Rng rng(2);
+  PackedString a(2), b(2);
+  for (size_t i = 0; i < codes + 32; ++i) {
+    const Code c = static_cast<Code>(rng.Below(4));
+    a.Append(c);
+    b.Append(c);
+  }
+  const uint64_t code_bytes = codes / 4;
+  const uint64_t reps = budget / code_bytes > 0 ? budget / code_bytes : 1;
+  size_t sink = 0;
+  WallTimer timer;
+  for (uint64_t r = 0; r < reps; ++r) {
+    const uint64_t off = (r % 8) * 2;
+    sink += ops.match_run_packed(a.words().data(), a.words().size(), off,
+                                 b.words().data(), b.words().size(), off,
+                                 codes, 2);
+  }
+  const double secs = timer.ElapsedSeconds();
+  SPINE_CHECK(sink == reps * codes);
+  return static_cast<double>(reps) * static_cast<double>(code_bytes) / secs;
+}
+
+std::string FormatBps(double bps) {
+  return FormatDouble(bps / (1024.0 * 1024.0 * 1024.0), 2) + " GiB/s";
+}
+
+void Run() {
+  const double scale = seq::BenchScaleFromEnv();
+  PrintBanner("Kernels", "MatchRun bytes/sec per dispatch level", scale);
+  const uint64_t budget =
+      static_cast<uint64_t>(static_cast<double>(kBytesPerBucket) * scale);
+
+  const std::vector<kernel::Kind> kinds = kernel::SupportedKinds();
+  BenchReport report("kernel_ops", scale);
+  report.AddInfo("auto_kernel", kernel::KindName(kernel::ActiveKind()));
+
+  std::vector<std::string> header = {"len (bytes)"};
+  for (const kernel::Kind kind : kinds) {
+    header.push_back(kernel::KindName(kind));
+  }
+  header.push_back("best/scalar");
+
+  TablePrinter bytes_table(header);
+  for (const size_t len : kByteBuckets) {
+    std::vector<std::string> row = {std::to_string(len)};
+    double scalar_bps = 0, best_bps = 0;
+    for (const kernel::Kind kind : kinds) {
+      const double bps = ByteRunThroughput(kernel::Get(kind), len, budget);
+      if (kind == kernel::Kind::kScalar) scalar_bps = bps;
+      if (bps > best_bps) best_bps = bps;
+      row.push_back(FormatBps(bps));
+      report.AddMetric(std::string("bytes_") + kernel::KindName(kind) + "_" +
+                           std::to_string(len),
+                       bps);
+    }
+    row.push_back(FormatDouble(best_bps / scalar_bps, 2) + "x");
+    bytes_table.AddRow(std::move(row));
+  }
+  std::printf("byte path (raw labels):\n");
+  bytes_table.Print();
+
+  std::vector<std::string> packed_header = {"codes (2-bit)"};
+  for (const kernel::Kind kind : kinds) {
+    packed_header.push_back(kernel::KindName(kind));
+  }
+  packed_header.push_back("best/scalar");
+
+  TablePrinter packed_table(packed_header);
+  for (const size_t codes : kCodeBuckets) {
+    std::vector<std::string> row = {std::to_string(codes)};
+    double scalar_bps = 0, best_bps = 0;
+    for (const kernel::Kind kind : kinds) {
+      const double bps = PackedRunThroughput(kernel::Get(kind), codes, budget);
+      if (kind == kernel::Kind::kScalar) scalar_bps = bps;
+      if (bps > best_bps) best_bps = bps;
+      row.push_back(FormatBps(bps));
+      report.AddMetric(std::string("packed_") + kernel::KindName(kind) + "_" +
+                           std::to_string(codes),
+                       bps);
+    }
+    row.push_back(FormatDouble(best_bps / scalar_bps, 2) + "x");
+    packed_table.AddRow(std::move(row));
+  }
+  std::printf("\npacked path (DNA backbone labels, 32 bases/word):\n");
+  packed_table.Print();
+
+  const Status status = report.Write();
+  SPINE_CHECK(status.ok());
+}
+
+}  // namespace
+}  // namespace spine::bench
+
+int main() {
+  spine::bench::Run();
+  return 0;
+}

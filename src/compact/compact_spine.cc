@@ -304,6 +304,20 @@ Status CompactSpineIndex::AppendString(std::string_view s) {
   return Status::OK();
 }
 
+uint32_t CompactSpineIndex::MatchVertebraRun(
+    NodeId node, const kernel::EncodedPattern& pattern,
+    size_t pattern_pos) const {
+  const uint64_t limit = std::min<uint64_t>(
+      pattern.ValidRunLength(pattern_pos), size() - node);
+  if (limit == 0) return 0;
+  const uint32_t bits = codes_.bits_per_code();
+  return static_cast<uint32_t>(kernel::MatchRunPacked(
+      codes_.words().data(), codes_.words().size(),
+      static_cast<uint64_t>(node) * bits, pattern.packed().words().data(),
+      pattern.packed().words().size(),
+      static_cast<uint64_t>(pattern_pos) * bits, limit, bits));
+}
+
 StepResult CompactSpineIndex::Step(NodeId node, Code c, uint32_t pathlen,
                                    SearchStats* stats) const {
   StepResult result;

@@ -98,6 +98,23 @@ class CompactSpineIndex {
 
   StepResult Step(NodeId node, Code c, uint32_t pathlen,
                   SearchStats* stats = nullptr) const;
+
+  // Number of consecutive vertebra edges matched starting at `node`
+  // against pattern codes [pattern_pos, ...): a word-parallel compare
+  // of the bit-packed CL array against the pre-packed pattern (32
+  // bases per 64-bit word for DNA) via the active kernel. Counted like
+  // that many successful Step calls.
+  uint32_t MatchVertebraRun(NodeId node, const kernel::EncodedPattern& pattern,
+                            size_t pattern_pos) const;
+
+  // Hints the hardware prefetcher at this node's Link Table entry,
+  // issued by the matcher right before a link/rib chain hop lands
+  // there.
+  void PrefetchNode(NodeId node) const {
+    __builtin_prefetch(lt_word_.data() + node);
+    __builtin_prefetch(lt_lel_.data() + node);
+  }
+
   bool Contains(std::string_view pattern) const;
   std::optional<NodeId> FindFirstEnd(std::string_view pattern,
                                      SearchStats* stats = nullptr) const;

@@ -18,10 +18,12 @@
 #define SPINE_CORE_MATCHER_H_
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "core/search.h"
 #include "core/spine_index.h"
 
 namespace spine {
@@ -70,7 +72,24 @@ std::vector<MaximalMatch> GenericFindMaximalMatches(
   auto report = [&](uint32_t end_pos) {
     if (pathlen >= min_len) out.push_back({end_pos - pathlen, pathlen, node});
   };
+  // Word-parallel fast path: runs of matching vertebras are consumed in
+  // bulk by the active comparison kernel (kernel/kernel.h); the
+  // per-step loop below only resolves run boundaries (mismatch, rib
+  // thresholds, link shrinking). Answers and SearchStats are identical
+  // to the per-step walk.
+  [[maybe_unused]] std::optional<kernel::EncodedPattern> encoded;
+  if constexpr (KernelAccelerated<Index>) encoded.emplace(alphabet, query);
   for (uint32_t i = 0; i < query.size(); ++i) {
+    if constexpr (KernelAccelerated<Index>) {
+      const uint32_t run = index.MatchVertebraRun(node, *encoded, i);
+      if (run > 0) {
+        if (stats != nullptr) stats->nodes_checked += run;
+        node += run;
+        pathlen += run;
+        i += run;
+        if (i >= query.size()) break;
+      }
+    }
     Code c = alphabet.Encode(query[i]);
     if (c == kInvalidCode) {
       report(i);
@@ -93,11 +112,13 @@ std::vector<MaximalMatch> GenericFindMaximalMatches(
       if (step.has_edge) {
         node = step.fallback_dest;
         pathlen = step.fallback_pt + 1;
+        if constexpr (NodePrefetchable<Index>) index.PrefetchNode(node);
         break;
       }
       if (node == kRootNode) break;
       pathlen = index.LinkLel(node);
       node = index.LinkDest(node);
+      if constexpr (NodePrefetchable<Index>) index.PrefetchNode(node);
       if (stats != nullptr) ++stats->link_traversals;
     }
   }

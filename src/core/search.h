@@ -6,18 +6,45 @@
 //   uint64_t size() const;
 //   NodeId LinkDest(NodeId) const;   uint32_t LinkLel(NodeId) const;
 //   StepResult Step(NodeId, Code, uint32_t pathlen, SearchStats*) const;
+//
+// Two optional capabilities accelerate the walk without changing any
+// answer or any SearchStats count (see the concepts below):
+//   uint32_t MatchVertebraRun(NodeId, const kernel::EncodedPattern&, size_t)
+//       — word-parallel bulk comparison of consecutive vertebra labels
+//         via the runtime-dispatched kernels of kernel/kernel.h;
+//   void PrefetchNode(NodeId) — prefetch hint ahead of a link/rib hop.
 
 #ifndef SPINE_CORE_SEARCH_H_
 #define SPINE_CORE_SEARCH_H_
 
 #include <algorithm>
+#include <concepts>
 #include <optional>
 #include <string_view>
 #include <vector>
 
 #include "core/spine_index.h"
+#include "kernel/kernel.h"
 
 namespace spine {
+
+// Indexes whose backbone (vertebra) labels can be compared in bulk by
+// the active comparison kernel. In-memory backbones (SpineIndex,
+// CompactSpineIndex) qualify; paged backends keep the per-step walk so
+// their buffer-pool accounting and fault latching stay exact.
+template <typename Index>
+concept KernelAccelerated =
+    requires(const Index& index, const kernel::EncodedPattern& pattern) {
+      {
+        index.MatchVertebraRun(NodeId{0}, pattern, size_t{0})
+      } -> std::convertible_to<uint32_t>;
+    };
+
+// Indexes that can warm caches for a node about to be visited.
+template <typename Index>
+concept NodePrefetchable = requires(const Index& index) {
+  index.PrefetchNode(NodeId{0});
+};
 
 // End node (== end position) of the first occurrence of `pattern`.
 template <typename Index>
@@ -26,15 +53,42 @@ std::optional<NodeId> GenericFindFirstEnd(const Index& index,
                                           SearchStats* stats = nullptr) {
   NodeId node = kRootNode;
   uint32_t pathlen = 0;
-  for (char ch : pattern) {
-    Code c = index.alphabet().Encode(ch);
-    if (c == kInvalidCode) return std::nullopt;
-    StepResult step = index.Step(node, c, pathlen, stats);
-    if (!step.ok) return std::nullopt;
-    node = step.dest;
-    ++pathlen;
+  if constexpr (KernelAccelerated<Index>) {
+    // Runs of matching vertebras are consumed word-parallel; Step()
+    // only resolves the boundary character (rib lookup / mismatch).
+    // A run of k matches counts k nodes checked, exactly like k
+    // successful Step calls would.
+    const kernel::EncodedPattern encoded(index.alphabet(), pattern);
+    size_t i = 0;
+    while (i < pattern.size()) {
+      const uint32_t run = index.MatchVertebraRun(node, encoded, i);
+      if (run > 0) {
+        if (stats != nullptr) stats->nodes_checked += run;
+        node += run;
+        pathlen += run;
+        i += run;
+        if (i == pattern.size()) break;
+      }
+      const Code c = encoded.code(i);
+      if (c == kInvalidCode) return std::nullopt;
+      const StepResult step = index.Step(node, c, pathlen, stats);
+      if (!step.ok) return std::nullopt;
+      node = step.dest;
+      ++pathlen;
+      ++i;
+    }
+    return node;
+  } else {
+    for (char ch : pattern) {
+      Code c = index.alphabet().Encode(ch);
+      if (c == kInvalidCode) return std::nullopt;
+      StepResult step = index.Step(node, c, pathlen, stats);
+      if (!step.ok) return std::nullopt;
+      node = step.dest;
+      ++pathlen;
+    }
+    return node;
   }
-  return node;
 }
 
 // All start positions via the paper's target-node-buffer backbone scan.

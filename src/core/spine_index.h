@@ -46,6 +46,7 @@
 #include "alphabet/alphabet.h"
 #include "alphabet/packed_string.h"
 #include "common/status.h"
+#include "kernel/kernel.h"
 
 namespace spine {
 
@@ -161,6 +162,21 @@ class SpineIndex {
   // `pathlen` on code `c`, applying the PT threshold rules.
   StepResult Step(NodeId node, Code c, uint32_t pathlen,
                   SearchStats* stats = nullptr) const;
+
+  // Number of consecutive vertebra edges matched starting at `node`
+  // against pattern codes [pattern_pos, ...), compared word-parallel by
+  // the active kernel (kernel/kernel.h). Bounded by the pattern's
+  // valid-code run and the backbone end; 0 on an immediate mismatch.
+  // Equivalent to (and counted like) that many successful Step calls.
+  uint32_t MatchVertebraRun(NodeId node, const kernel::EncodedPattern& pattern,
+                            size_t pattern_pos) const;
+
+  // Hints the hardware prefetcher at this node's link entry, issued by
+  // the matcher right before a link/rib chain hop lands there.
+  void PrefetchNode(NodeId node) const {
+    __builtin_prefetch(link_dest_.data() + node);
+    __builtin_prefetch(link_lel_.data() + node);
+  }
 
   // True iff `pattern` is a substring of the indexed string.
   bool Contains(std::string_view pattern) const;

@@ -22,8 +22,19 @@
 #include <unordered_map>
 
 #include "core/query.h"
+#include "kernel/kernel.h"
 
 namespace spine::engine {
+
+// Key equality for the cache map, routed through the active comparison
+// kernel. Cache keys embed the full query pattern, so on hit-heavy
+// workloads this equality check is the engine's hottest byte compare;
+// same-bucket collisions resolve at SIMD width instead of bytewise.
+struct KernelKeyEq {
+  bool operator()(const std::string& a, const std::string& b) const {
+    return kernel::VerifyEq(a, b);
+  }
+};
 
 class QueryCache {
  public:
@@ -69,7 +80,9 @@ class QueryCache {
   mutable std::mutex mu_;
   // Front = most recently used. The map indexes into the list.
   std::list<Entry> lru_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::unordered_map<std::string, std::list<Entry>::iterator,
+                     std::hash<std::string>, KernelKeyEq>
+      index_;
   uint64_t size_ = 0;
   Counters counters_;
 };

@@ -1,0 +1,347 @@
+#include "kernel/kernel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernel/kernel_detail.h"
+#include "obs/metrics.h"
+
+namespace spine::kernel {
+namespace detail {
+
+size_t MatchRunScalar(const uint8_t* a, const uint8_t* b, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return len;
+}
+
+bool VerifyEqScalar(const uint8_t* a, const uint8_t* b, size_t len) {
+  return MatchRunScalar(a, b, len) == len;
+}
+
+namespace {
+
+inline uint64_t LoadWord(const uint8_t* p) {
+  uint64_t word;
+  std::memcpy(&word, p, sizeof(word));
+  return word;
+}
+
+// Byte index of the lowest differing byte in a nonzero XOR word.
+inline size_t FirstDiffByte(uint64_t x) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return static_cast<size_t>(std::countr_zero(x)) / 8;
+  } else {
+    return static_cast<size_t>(std::countl_zero(x)) / 8;
+  }
+}
+
+}  // namespace
+
+size_t MatchRunSwar(const uint8_t* a, const uint8_t* b, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    const uint64_t x = LoadWord(a + i) ^ LoadWord(b + i);
+    if (x != 0) return i + FirstDiffByte(x);
+  }
+  for (; i < len; ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return len;
+}
+
+bool VerifyEqSwar(const uint8_t* a, const uint8_t* b, size_t len) {
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    if (LoadWord(a + i) != LoadWord(b + i)) return false;
+  }
+  for (; i < len; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Up to 64 bits starting at absolute bit offset `bit`, zero-extended.
+// Never dereferences words[nwords] — the packed tail of an
+// exactly-sized buffer stays in bounds (ASan-clean by construction).
+inline uint64_t LoadBits(const uint64_t* words, size_t nwords, uint64_t bit,
+                         uint32_t nbits) {
+  const size_t w = static_cast<size_t>(bit / 64);
+  const uint32_t off = static_cast<uint32_t>(bit % 64);
+  uint64_t value = words[w] >> off;
+  if (off != 0 && off + nbits > 64 && w + 1 < nwords) {
+    value |= words[w + 1] << (64 - off);
+  }
+  if (nbits < 64) value &= (uint64_t{1} << nbits) - 1;
+  return value;
+}
+
+}  // namespace
+
+size_t MatchRunPackedScalar(const uint64_t* a_words, size_t a_nwords,
+                            uint64_t a_bit, const uint64_t* b_words,
+                            size_t b_nwords, uint64_t b_bit, size_t n,
+                            uint32_t bits_per_code) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t a_code =
+        LoadBits(a_words, a_nwords, a_bit + i * bits_per_code, bits_per_code);
+    const uint64_t b_code =
+        LoadBits(b_words, b_nwords, b_bit + i * bits_per_code, bits_per_code);
+    if (a_code != b_code) return i;
+  }
+  return n;
+}
+
+size_t MatchRunPackedWords(const uint64_t* a_words, size_t a_nwords,
+                           uint64_t a_bit, const uint64_t* b_words,
+                           size_t b_nwords, uint64_t b_bit, size_t n,
+                           uint32_t bits_per_code) {
+  const uint64_t total_bits = static_cast<uint64_t>(n) * bits_per_code;
+  uint64_t done = 0;
+  while (done < total_bits) {
+    const uint32_t take =
+        static_cast<uint32_t>(std::min<uint64_t>(64, total_bits - done));
+    const uint64_t xored = LoadBits(a_words, a_nwords, a_bit + done, take) ^
+                           LoadBits(b_words, b_nwords, b_bit + done, take);
+    if (xored != 0) {
+      // The first differing bit pins the first differing code, even
+      // when that code straddles the window boundary (its low bits,
+      // compared in the previous window, were equal).
+      return static_cast<size_t>((done + std::countr_zero(xored)) /
+                                 bits_per_code);
+    }
+    done += take;
+  }
+  return n;
+}
+
+}  // namespace detail
+
+namespace {
+
+// Metric accounting: bytes submitted to each level's comparators.
+void RecordBytes(Kind kind, uint64_t bytes) {
+#if !defined(SPINE_OBS_DISABLED)
+  static obs::Counter* const counters[kNumKinds] = {
+      &obs::Registry::Default().GetCounter("kernel.scalar.bytes_compared"),
+      &obs::Registry::Default().GetCounter("kernel.swar.bytes_compared"),
+      &obs::Registry::Default().GetCounter("kernel.sse2.bytes_compared"),
+      &obs::Registry::Default().GetCounter("kernel.avx2.bytes_compared"),
+  };
+  counters[static_cast<size_t>(kind)]->Add(bytes);
+#else
+  (void)kind;
+  (void)bytes;
+#endif
+}
+
+constexpr Ops kScalarOps = {Kind::kScalar, detail::MatchRunScalar,
+                            detail::VerifyEqScalar,
+                            detail::MatchRunPackedScalar};
+constexpr Ops kSwarOps = {Kind::kSwar, detail::MatchRunSwar,
+                          detail::VerifyEqSwar, detail::MatchRunPackedWords};
+#if defined(SPINE_KERNEL_X86)
+constexpr Ops kSse2Ops = {Kind::kSse2, detail::MatchRunSse2,
+                          detail::VerifyEqSse2, detail::MatchRunPackedWords};
+constexpr Ops kAvx2Ops = {Kind::kAvx2, detail::MatchRunAvx2,
+                          detail::VerifyEqAvx2, detail::MatchRunPackedWords};
+#else
+// Non-x86 build: the tables exist (so callers can enumerate them) but
+// Supported() reports false, keeping them unreachable via dispatch.
+constexpr Ops kSse2Ops = {Kind::kSse2, detail::MatchRunSwar,
+                          detail::VerifyEqSwar, detail::MatchRunPackedWords};
+constexpr Ops kAvx2Ops = {Kind::kAvx2, detail::MatchRunSwar,
+                          detail::VerifyEqSwar, detail::MatchRunPackedWords};
+#endif
+
+const Ops* const kTables[kNumKinds] = {&kScalarOps, &kSwarOps, &kSse2Ops,
+                                       &kAvx2Ops};
+
+const Ops* BestSupported() {
+  if (Supported(Kind::kAvx2)) return &kAvx2Ops;
+  if (Supported(Kind::kSse2)) return &kSse2Ops;
+  return &kSwarOps;
+}
+
+std::atomic<const Ops*> g_active{nullptr};
+
+void PublishDispatchGauge(Kind kind) {
+  SPINE_OBS_GAUGE_SET("kernel.dispatch", static_cast<int64_t>(kind));
+#if defined(SPINE_OBS_DISABLED)
+  (void)kind;
+#endif
+}
+
+// Startup choice: $SPINE_KERNEL if usable, else the widest level the
+// CPU supports. A bad value warns once on stderr instead of failing:
+// the environment is advisory, unlike the CLI flag.
+const Ops* SelectAtStartup() {
+  const char* env = std::getenv("SPINE_KERNEL");
+  if (env != nullptr && env[0] != '\0' &&
+      std::string_view(env) != "auto") {
+    const std::optional<Kind> kind = ParseKind(env);
+    if (kind.has_value() && Supported(*kind)) return kTables[static_cast<size_t>(*kind)];
+    std::fprintf(stderr,
+                 "spine: ignoring SPINE_KERNEL='%s' (%s); selecting "
+                 "automatically\n",
+                 env,
+                 kind.has_value() ? "not supported by this CPU"
+                                  : "unknown kernel name");
+  }
+  return BestSupported();
+}
+
+}  // namespace
+
+const char* KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kScalar:
+      return "scalar";
+    case Kind::kSwar:
+      return "swar";
+    case Kind::kSse2:
+      return "sse2";
+    case Kind::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+std::optional<Kind> ParseKind(std::string_view name) {
+  if (name == "scalar") return Kind::kScalar;
+  if (name == "swar") return Kind::kSwar;
+  if (name == "sse2") return Kind::kSse2;
+  if (name == "avx2") return Kind::kAvx2;
+  return std::nullopt;
+}
+
+const Ops& Get(Kind kind) { return *kTables[static_cast<size_t>(kind)]; }
+
+bool Supported(Kind kind) {
+  switch (kind) {
+    case Kind::kScalar:
+    case Kind::kSwar:
+      return true;
+#if defined(SPINE_KERNEL_X86)
+    case Kind::kSse2:
+      return __builtin_cpu_supports("sse2") != 0;
+    case Kind::kAvx2:
+      return detail::Avx2Compiled() && __builtin_cpu_supports("avx2") != 0;
+#else
+    case Kind::kSse2:
+    case Kind::kAvx2:
+      return false;
+#endif
+  }
+  return false;
+}
+
+std::vector<Kind> SupportedKinds() {
+  std::vector<Kind> kinds;
+  for (size_t i = 0; i < kNumKinds; ++i) {
+    const Kind kind = static_cast<Kind>(i);
+    if (Supported(kind)) kinds.push_back(kind);
+  }
+  return kinds;
+}
+
+const Ops& Active() {
+  const Ops* ops = g_active.load(std::memory_order_acquire);
+  if (ops == nullptr) {
+    const Ops* selected = SelectAtStartup();
+    const Ops* expected = nullptr;
+    if (g_active.compare_exchange_strong(expected, selected,
+                                         std::memory_order_acq_rel)) {
+      PublishDispatchGauge(selected->kind);
+      ops = selected;
+    } else {
+      ops = expected;  // another thread won the race
+    }
+  }
+  return *ops;
+}
+
+Kind ActiveKind() { return Active().kind; }
+
+Status Force(Kind kind) {
+  if (!Supported(kind)) {
+    return Status::InvalidArgument(std::string("kernel '") + KindName(kind) +
+                                   "' is not supported by this CPU");
+  }
+  g_active.store(kTables[static_cast<size_t>(kind)],
+                 std::memory_order_release);
+  PublishDispatchGauge(kind);
+  return Status::OK();
+}
+
+Status ForceByName(std::string_view name) {
+  if (name == "auto") {
+    const Ops* best = BestSupported();
+    g_active.store(best, std::memory_order_release);
+    PublishDispatchGauge(best->kind);
+    return Status::OK();
+  }
+  const std::optional<Kind> kind = ParseKind(name);
+  if (!kind.has_value()) {
+    return Status::InvalidArgument("unknown kernel '" + std::string(name) +
+                                   "' (use scalar, swar, sse2, avx2 or auto)");
+  }
+  return Force(*kind);
+}
+
+size_t MatchRun(const uint8_t* a, const uint8_t* b, size_t len) {
+  const Ops& ops = Active();
+  RecordBytes(ops.kind, len);
+  return ops.match_run(a, b, len);
+}
+
+bool VerifyEq(const uint8_t* a, const uint8_t* b, size_t len) {
+  const Ops& ops = Active();
+  RecordBytes(ops.kind, len);
+  return ops.verify_eq(a, b, len);
+}
+
+size_t MatchRunPacked(const uint64_t* a_words, size_t a_nwords, uint64_t a_bit,
+                      const uint64_t* b_words, size_t b_nwords, uint64_t b_bit,
+                      size_t n, uint32_t bits_per_code) {
+  const Ops& ops = Active();
+  RecordBytes(ops.kind,
+              (static_cast<uint64_t>(n) * bits_per_code + 7) / 8);
+  return ops.match_run_packed(a_words, a_nwords, a_bit, b_words, b_nwords,
+                              b_bit, n, bits_per_code);
+}
+
+EncodedPattern::EncodedPattern(const Alphabet& alphabet,
+                               std::string_view pattern)
+    : packed_(alphabet.bits_per_code()) {
+  codes_.reserve(pattern.size());
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    const Code code = alphabet.Encode(pattern[i]);
+    if (code == kInvalidCode) {
+      codes_.push_back(static_cast<char>(kInvalidCode));
+      packed_.Append(0);  // placeholder; ValidRunLength fences it off
+      invalid_pos_.push_back(static_cast<uint32_t>(i));
+    } else {
+      codes_.push_back(static_cast<char>(code));
+      packed_.Append(code);
+    }
+  }
+}
+
+size_t EncodedPattern::ValidRunLength(size_t i) const {
+  if (i >= codes_.size()) return 0;
+  const auto next = std::lower_bound(invalid_pos_.begin(), invalid_pos_.end(),
+                                     static_cast<uint32_t>(i));
+  const size_t fence =
+      next == invalid_pos_.end() ? codes_.size() : static_cast<size_t>(*next);
+  return fence - i;
+}
+
+}  // namespace spine::kernel

@@ -1,0 +1,149 @@
+// Word-parallel comparison kernels for the search hot paths.
+//
+// Every SPINE search ultimately spends its time comparing a run of
+// pattern characters against a run of backbone (vertebra) labels. This
+// library provides that comparison at the widest granularity the
+// hardware offers, selected once at runtime:
+//
+//   scalar  one byte / one code per step (the reference; always built)
+//   swar    8 bytes per step on plain uint64 (any 64-bit target)
+//   sse2    16 bytes per step (x86, baseline on x86-64)
+//   avx2    32 bytes per step (x86 with AVX2, checked via cpuid)
+//
+// Packed-code comparison works directly on the alphabet/packed_string
+// word layout: with 2-bit DNA codes one 64-bit word compares 32 bases
+// at once, without ever unpacking the text.
+//
+// Dispatch: the best supported level is chosen on first use via
+// __builtin_cpu_supports. The SPINE_KERNEL environment variable
+// (scalar|swar|sse2|avx2|auto) overrides the choice at startup, and
+// Force() overrides it programmatically (the CLI's --kernel= flag and
+// the differential tests use this). Forcing a level the CPU lacks is a
+// loud kInvalidArgument, never a silent fallback.
+//
+// Observability: the selected level is exported as the gauge
+// "kernel.dispatch" (value == static_cast<int>(Kind)) and every
+// comparison adds its examined bytes to the per-level counter
+// "kernel.<name>.bytes_compared". See docs/PERF.md.
+//
+// Thread safety: selection is an atomic pointer swap; the kernel
+// functions themselves are pure. Force() is safe to call concurrently
+// with searches (in-flight comparisons finish on the old level).
+
+#ifndef SPINE_KERNEL_KERNEL_H_
+#define SPINE_KERNEL_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "alphabet/alphabet.h"
+#include "alphabet/packed_string.h"
+#include "common/status.h"
+
+namespace spine::kernel {
+
+enum class Kind : uint8_t { kScalar = 0, kSwar = 1, kSse2 = 2, kAvx2 = 3 };
+inline constexpr size_t kNumKinds = 4;
+
+const char* KindName(Kind kind);
+std::optional<Kind> ParseKind(std::string_view name);
+
+// One dispatch level's function table.
+struct Ops {
+  Kind kind = Kind::kScalar;
+
+  // Index of the first mismatching byte in [0, len); len when equal.
+  size_t (*match_run)(const uint8_t* a, const uint8_t* b, size_t len);
+
+  // True iff a[0..len) == b[0..len).
+  bool (*verify_eq)(const uint8_t* a, const uint8_t* b, size_t len);
+
+  // Packed-code comparison on the alphabet/packed_string word layout:
+  // index of the first mismatching code among `n` codes, n when equal.
+  // Stream a starts at absolute bit offset a_bit inside a_words (which
+  // holds a_nwords words); b likewise. Implementations never read
+  // beyond words[nwords - 1], so exactly-sized buffers are safe under
+  // ASan even at unaligned tails.
+  size_t (*match_run_packed)(const uint64_t* a_words, size_t a_nwords,
+                             uint64_t a_bit, const uint64_t* b_words,
+                             size_t b_nwords, uint64_t b_bit, size_t n,
+                             uint32_t bits_per_code);
+};
+
+// The table for one dispatch level. Tables for every Kind exist on
+// every build (so tests can enumerate them); whether the CPU can run
+// one is a separate question — see Supported().
+const Ops& Get(Kind kind);
+
+// True when the running CPU can execute this level.
+bool Supported(Kind kind);
+
+// All supported levels, in increasing width order (always starts with
+// kScalar, kSwar).
+std::vector<Kind> SupportedKinds();
+
+// The active level: SPINE_KERNEL if set and usable, else the widest
+// supported one. First call performs the selection.
+const Ops& Active();
+Kind ActiveKind();
+
+// Forces the active level (tests, CLI --kernel=). Fails with
+// kInvalidArgument when the CPU lacks the level or the name is
+// unknown; the active level is unchanged in that case.
+Status Force(Kind kind);
+Status ForceByName(std::string_view name);  // also accepts "auto"
+
+// --- Metered convenience wrappers over Active() ------------------------
+//
+// These are what the hot paths call: they dispatch through the active
+// table and account the examined bytes to kernel.<name>.bytes_compared.
+
+size_t MatchRun(const uint8_t* a, const uint8_t* b, size_t len);
+bool VerifyEq(const uint8_t* a, const uint8_t* b, size_t len);
+inline size_t MatchRun(std::string_view a, std::string_view b) {
+  const size_t len = a.size() < b.size() ? a.size() : b.size();
+  return MatchRun(reinterpret_cast<const uint8_t*>(a.data()),
+                  reinterpret_cast<const uint8_t*>(b.data()), len);
+}
+inline bool VerifyEq(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         VerifyEq(reinterpret_cast<const uint8_t*>(a.data()),
+                  reinterpret_cast<const uint8_t*>(b.data()), a.size());
+}
+size_t MatchRunPacked(const uint64_t* a_words, size_t a_nwords, uint64_t a_bit,
+                      const uint64_t* b_words, size_t b_nwords, uint64_t b_bit,
+                      size_t n, uint32_t bits_per_code);
+
+// --- Pattern pre-encoding ----------------------------------------------
+//
+// A query pattern encoded once so every vertebra-run comparison against
+// it is a packed word compare instead of a per-character Encode+Get.
+// Out-of-alphabet characters keep their positions (they act as
+// universal mismatches in the search algorithms) but bound the runs a
+// packed compare may cover.
+class EncodedPattern {
+ public:
+  EncodedPattern(const Alphabet& alphabet, std::string_view pattern);
+
+  size_t size() const { return codes_.size(); }
+  // kInvalidCode for out-of-alphabet characters.
+  Code code(size_t i) const { return static_cast<Code>(codes_[i]); }
+  // Codes bit-packed exactly like an index's backbone labels (invalid
+  // positions hold 0 — never compare across them; see ValidRunLength).
+  const PackedString& packed() const { return packed_; }
+  // Number of consecutive in-alphabet codes starting at `i`: the
+  // longest stretch a packed comparison may legally cover.
+  size_t ValidRunLength(size_t i) const;
+
+ private:
+  std::string codes_;
+  PackedString packed_;
+  std::vector<uint32_t> invalid_pos_;  // sorted, typically empty
+};
+
+}  // namespace spine::kernel
+
+#endif  // SPINE_KERNEL_KERNEL_H_

@@ -1,0 +1,73 @@
+// AVX2 comparison level: 32 bytes per step. This translation unit is
+// compiled with -mavx2 (when the compiler supports it; otherwise
+// kernel.cc reports the level unsupported) and is reachable only after
+// the cpuid check in kernel.cc confirms AVX2. Loads never touch bytes
+// past a+len / b+len: full 32-byte blocks only, with the tail delegated
+// to the narrower levels — the kernel-matrix ASan CI job runs with
+// SPINE_KERNEL=avx2 to enforce exactly this.
+
+#include "kernel/kernel_detail.h"
+
+#if defined(SPINE_KERNEL_X86) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <bit>
+
+namespace spine::kernel::detail {
+
+size_t MatchRunAvx2(const uint8_t* a, const uint8_t* b, size_t len) {
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const uint32_t eq = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (eq != 0xffffffffu) {
+      return i + static_cast<size_t>(std::countr_zero(~eq));
+    }
+  }
+  return i + MatchRunSse2(a + i, b + i, len - i);
+}
+
+bool VerifyEqAvx2(const uint8_t* a, const uint8_t* b, size_t len) {
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    if (static_cast<uint32_t>(_mm256_movemask_epi8(
+            _mm256_cmpeq_epi8(va, vb))) != 0xffffffffu) {
+      return false;
+    }
+  }
+  return VerifyEqSse2(a + i, b + i, len - i);
+}
+
+bool Avx2Compiled() { return true; }
+
+}  // namespace spine::kernel::detail
+
+#elif defined(SPINE_KERNEL_X86)
+
+// Compiler without AVX2 support for this TU: keep the symbols defined
+// so kernel.cc links; Avx2Compiled() == false makes Supported(kAvx2)
+// report false, so these stubs are unreachable through dispatch.
+namespace spine::kernel::detail {
+
+size_t MatchRunAvx2(const uint8_t* a, const uint8_t* b, size_t len) {
+  return MatchRunSse2(a, b, len);
+}
+
+bool VerifyEqAvx2(const uint8_t* a, const uint8_t* b, size_t len) {
+  return VerifyEqSse2(a, b, len);
+}
+
+bool Avx2Compiled() { return false; }
+
+}  // namespace spine::kernel::detail
+
+#endif  // SPINE_KERNEL_X86 && __AVX2__

@@ -1,0 +1,50 @@
+// Internal entry points of the individual dispatch levels. The SSE2 and
+// AVX2 implementations live in their own translation units so they can
+// be compiled with the matching -m flags while the rest of the library
+// stays at the baseline ISA; nothing outside src/kernel may include
+// this header.
+
+#ifndef SPINE_KERNEL_KERNEL_DETAIL_H_
+#define SPINE_KERNEL_KERNEL_DETAIL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define SPINE_KERNEL_X86 1
+#endif
+
+namespace spine::kernel::detail {
+
+size_t MatchRunScalar(const uint8_t* a, const uint8_t* b, size_t len);
+bool VerifyEqScalar(const uint8_t* a, const uint8_t* b, size_t len);
+
+size_t MatchRunSwar(const uint8_t* a, const uint8_t* b, size_t len);
+bool VerifyEqSwar(const uint8_t* a, const uint8_t* b, size_t len);
+
+// Per-code packed reference (the scalar level's packed comparator).
+size_t MatchRunPackedScalar(const uint64_t* a_words, size_t a_nwords,
+                            uint64_t a_bit, const uint64_t* b_words,
+                            size_t b_nwords, uint64_t b_bit, size_t n,
+                            uint32_t bits_per_code);
+
+// 64-bit-window packed comparator (32 DNA bases per step), shared by
+// every word-parallel level.
+size_t MatchRunPackedWords(const uint64_t* a_words, size_t a_nwords,
+                           uint64_t a_bit, const uint64_t* b_words,
+                           size_t b_nwords, uint64_t b_bit, size_t n,
+                           uint32_t bits_per_code);
+
+#if defined(SPINE_KERNEL_X86)
+size_t MatchRunSse2(const uint8_t* a, const uint8_t* b, size_t len);
+bool VerifyEqSse2(const uint8_t* a, const uint8_t* b, size_t len);
+size_t MatchRunAvx2(const uint8_t* a, const uint8_t* b, size_t len);
+bool VerifyEqAvx2(const uint8_t* a, const uint8_t* b, size_t len);
+// True when kernel_avx2.cc was actually compiled with AVX2 codegen;
+// Supported(kAvx2) requires this in addition to the cpuid check.
+bool Avx2Compiled();
+#endif
+
+}  // namespace spine::kernel::detail
+
+#endif  // SPINE_KERNEL_KERNEL_DETAIL_H_

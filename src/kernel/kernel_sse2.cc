@@ -1,0 +1,41 @@
+// SSE2 comparison level: 16 bytes per step. Compiled with -msse2 (a
+// no-op on x86-64 where SSE2 is baseline); reachable only after the
+// cpuid check in kernel.cc says the CPU has SSE2.
+
+#include "kernel/kernel_detail.h"
+
+#if defined(SPINE_KERNEL_X86)
+
+#include <emmintrin.h>
+
+#include <bit>
+
+namespace spine::kernel::detail {
+
+size_t MatchRunSse2(const uint8_t* a, const uint8_t* b, size_t len) {
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const unsigned eq =
+        static_cast<unsigned>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (eq != 0xffffu) {
+      return i + static_cast<size_t>(std::countr_zero(~eq & 0xffffu));
+    }
+  }
+  return i + MatchRunSwar(a + i, b + i, len - i);
+}
+
+bool VerifyEqSse2(const uint8_t* a, const uint8_t* b, size_t len) {
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    if (_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)) != 0xffff) return false;
+  }
+  return VerifyEqSwar(a + i, b + i, len - i);
+}
+
+}  // namespace spine::kernel::detail
+
+#endif  // SPINE_KERNEL_X86

@@ -190,8 +190,12 @@ QueryResult ShardedIndex::Execute(const Query& query,
 
 QueryResult ShardedIndex::ExecuteContains(const Query& query) const {
   QueryResult result;
-  for (const CompactSpineIndex& shard : shards_) {
-    if (GenericFindFirstEnd(shard, query.pattern, &result.stats).has_value()) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // Warm the next shard's root Link Table line while this shard
+    // walks; shards are probed strictly in order on the miss path.
+    if (i + 1 < shards_.size()) shards_[i + 1].PrefetchNode(kRootNode);
+    if (GenericFindFirstEnd(shards_[i], query.pattern, &result.stats)
+            .has_value()) {
       result.found = true;
       break;
     }

@@ -1,0 +1,173 @@
+// Shared N-backend agreement harness: builds one instance of every
+// queryable backend over a corpus and checks that a query batch run
+// through the engine produces byte-identical answers on all of them.
+// Used by index_interface_test.cc (single run) and
+// differential_kernel_test.cc (one run per forced comparison kernel).
+
+#ifndef SPINE_TESTS_BACKEND_AGREEMENT_H_
+#define SPINE_TESTS_BACKEND_AGREEMENT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compact/compact_spine.h"
+#include "compact/generalized_compact.h"
+#include "core/adapters.h"
+#include "core/generalized_spine.h"
+#include "core/index.h"
+#include "core/query.h"
+#include "core/spine_index.h"
+#include "engine/query_engine.h"
+#include "shard/sharded_index.h"
+#include "storage/disk_spine.h"
+#include "storage/disk_suffix_tree.h"
+#include "suffix_tree/suffix_tree.h"
+#include "test_util.h"
+
+namespace spine::test {
+
+// A mixed batch over all four query kinds, sliced from the corpus plus
+// perturbed misses.
+inline std::vector<Query> MixedQueries(const std::string& corpus,
+                                       size_t count) {
+  std::vector<Query> queries;
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t len = 4 + (i * 5) % 20;
+    const size_t offset = (i * 137) % (corpus.size() - 128);
+    std::string pattern = corpus.substr(offset, len);
+    switch (i % 5) {
+      case 0:
+        queries.push_back(Query::FindAll(pattern));
+        break;
+      case 1:
+        queries.push_back(Query::Contains(pattern));
+        break;
+      case 2:
+        pattern[len / 2] = pattern[len / 2] == 'A' ? 'C' : 'A';
+        queries.push_back(Query::FindAll(pattern));
+        break;
+      case 3:
+        queries.push_back(Query::MaximalMatches(corpus.substr(offset, 64), 8));
+        break;
+      default:
+        queries.push_back(Query::MatchingStats(corpus.substr(offset, 48)));
+        break;
+    }
+  }
+  return queries;
+}
+
+// Every queryable backend built over one corpus. Slot 0 of indexes()
+// is the brute-force NaiveTextAdapter oracle; the rest are the real
+// implementations (reference spine, compact, both generalized forms,
+// suffix tree, both paged backends, shard family). Check ok() before
+// using — construction reports backend build failures there rather
+// than asserting from the constructor.
+class BackendFleet {
+ public:
+  BackendFleet(const Alphabet& alphabet, const std::string& corpus)
+      : dir_("backend_fleet"),
+        reference_(alphabet),
+        compact_(alphabet),
+        generalized_(alphabet),
+        generalized_compact_(alphabet),
+        tree_(alphabet) {
+    ok_ = Build(alphabet, corpus);
+  }
+
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  const std::vector<const core::Index*>& indexes() const { return indexes_; }
+
+ private:
+  bool Build(const Alphabet& alphabet, const std::string& corpus) {
+    for (Status status : {reference_.AppendString(corpus),
+                          compact_.AppendString(corpus),
+                          generalized_.AddString(corpus),
+                          generalized_compact_.AddString(corpus, "seq0"),
+                          tree_.AppendString(corpus)}) {
+      if (!status.ok()) {
+        error_ = status.ToString();
+        return false;
+      }
+    }
+    auto disk =
+        storage::DiskSpine::Create(alphabet, dir_.File("fleet.disk"), {});
+    if (!disk.ok() || !(*disk)->AppendString(corpus).ok()) {
+      error_ = disk.status().ToString();
+      return false;
+    }
+    auto disk_tree =
+        storage::DiskSuffixTree::Create(alphabet, dir_.File("fleet.st"), {});
+    if (!disk_tree.ok() || !(*disk_tree)->AppendString(corpus).ok()) {
+      error_ = disk_tree.status().ToString();
+      return false;
+    }
+    auto family = shard::ShardedIndex::Build(alphabet, corpus,
+                                             {.shards = 3, .max_pattern = 128});
+    if (!family.ok()) {
+      error_ = family.status().ToString();
+      return false;
+    }
+    owned_.push_back(
+        std::make_unique<core::NaiveTextAdapter>(alphabet, corpus));
+    owned_.push_back(std::make_unique<core::SpineIndexAdapter>(reference_));
+    owned_.push_back(std::make_unique<core::CompactSpineAdapter>(compact_));
+    owned_.push_back(
+        std::make_unique<core::GeneralizedSpineAdapter>(generalized_));
+    owned_.push_back(
+        std::make_unique<core::GeneralizedCompactAdapter>(generalized_compact_));
+    owned_.push_back(std::make_unique<core::SuffixTreeAdapter>(tree_));
+    owned_.push_back(
+        std::make_unique<core::DiskSpineAdapter>(std::move(*disk)));
+    owned_.push_back(
+        std::make_unique<core::DiskSuffixTreeAdapter>(std::move(*disk_tree)));
+    owned_.push_back(std::move(*family));
+    indexes_.reserve(owned_.size());
+    for (const auto& index : owned_) indexes_.push_back(index.get());
+    return true;
+  }
+
+  ScopedTempDir dir_;
+  SpineIndex reference_;
+  CompactSpineIndex compact_;
+  GeneralizedSpineIndex generalized_;
+  GeneralizedCompactSpine generalized_compact_;
+  SuffixTree tree_;
+  std::vector<std::unique_ptr<core::Index>> owned_;
+  std::vector<const core::Index*> indexes_;
+  bool ok_ = false;
+  std::string error_;
+};
+
+// Runs the batch through the engine on every index and checks each
+// backend's answers byte-identical to slot 0 (the oracle) for every
+// kind it supports. `tag` annotates failures (e.g. the forced kernel).
+inline void ExpectAllBackendsAgree(
+    const std::vector<const core::Index*>& indexes,
+    const std::vector<Query>& queries, const std::string& tag) {
+  engine::QueryEngine engine({.threads = 4, .cache_bytes = 0});
+  std::vector<engine::BatchStats> stats;
+  std::vector<std::vector<QueryResult>> results =
+      engine.ExecuteBatch(indexes, queries, &stats);
+  ASSERT_EQ(results.size(), indexes.size()) << tag;
+  for (size_t j = 1; j < indexes.size(); ++j) {
+    const std::string_view backend = core::IndexKindName(indexes[j]->kind());
+    EXPECT_EQ(stats[j].failed, 0u) << tag << ": " << backend;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (!indexes[j]->capabilities().Supports(queries[i].kind)) continue;
+      EXPECT_TRUE(results[j][i].SameAnswer(results[0][i]))
+          << tag << ": " << backend << " disagrees with the oracle on query "
+          << i << " (pattern \"" << queries[i].pattern << "\")";
+    }
+  }
+}
+
+}  // namespace spine::test
+
+#endif  // SPINE_TESTS_BACKEND_AGREEMENT_H_

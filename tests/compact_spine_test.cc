@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "compact/serializer.h"
+#include "kernel/kernel.h"
 #include "core/spine_index.h"
 #include "naive/naive_index.h"
 #include "seq/generator.h"
@@ -238,6 +239,52 @@ TEST(CompactSpineTest, PrefixPartitioning) {
       }
     }
   }
+}
+
+// Long patterns through the packed-label bulk comparison: >one-page
+// (4 KiB) runs whose 2-bit DNA codes span many 64-bit words, and 5-bit
+// protein codes that straddle word boundaries (64/5 is not integral, so
+// every word boundary splits a code). Results must match the reference
+// index and the text oracle under every dispatch level.
+TEST(CompactSpineTest, LongPatternsStraddleWordBoundariesUnderEveryKernel) {
+  struct Case {
+    const Alphabet& alphabet;
+    std::string text;
+  };
+  Rng rng(246);
+  const Case cases[] = {
+      {Alphabet::Dna(), spine::test::TestCorpus(12'000, /*seed=*/9)},
+      {Alphabet::Protein(), RandomString(rng, 12'000, 19)},
+  };
+  for (const Case& c : cases) {
+    CompactSpineIndex compact(c.alphabet);
+    ASSERT_TRUE(compact.AppendString(c.text).ok());
+    SpineIndex reference(c.alphabet);
+    ASSERT_TRUE(reference.AppendString(c.text).ok());
+
+    // Hit: spans the 4 KiB mark. Near miss: same, with the final
+    // character flipped so the mismatch sits at the very tail of the
+    // last comparison block.
+    const std::string hit = c.text.substr(3'000, 4'097);
+    std::string near_miss = hit;
+    near_miss.back() = near_miss.back() == 'A' ? 'C' : 'A';
+    const bool near_miss_present = c.text.find(near_miss) != std::string::npos;
+
+    for (const kernel::Kind kind : kernel::SupportedKinds()) {
+      ASSERT_TRUE(kernel::Force(kind).ok());
+      const std::string tag =
+          std::string(c.alphabet.name()) + "/" + kernel::KindName(kind);
+      EXPECT_EQ(compact.FindFirstEnd(hit), reference.FindFirstEnd(hit)) << tag;
+      EXPECT_EQ(compact.FindAll(hit), spine::test::OracleFindAll(c.text, hit))
+          << tag;
+      EXPECT_TRUE(compact.Contains(hit)) << tag;
+      EXPECT_EQ(compact.Contains(near_miss), near_miss_present) << tag;
+      EXPECT_EQ(compact.FindAll(near_miss),
+                spine::test::OracleFindAll(c.text, near_miss))
+          << tag;
+    }
+  }
+  (void)kernel::ForceByName("auto");
 }
 
 TEST(SerializerTest, RoundTrip) {

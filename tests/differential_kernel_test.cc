@@ -1,0 +1,143 @@
+// Differential suite for the comparison kernels: the same
+// seed-reproducible query batches run through every backend under every
+// supported dispatch level, and every answer must be byte-identical to
+// the forced-scalar run (and to the brute-force oracle). This is the
+// guarantee that picking a wider kernel can never change a result.
+//
+// The backend fleet and the engine agreement loop are shared with
+// index_interface_test.cc via backend_agreement.h.
+
+#include "kernel/kernel.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compact/compact_spine.h"
+#include "core/matcher.h"
+#include "core/query.h"
+#include "core/spine_index.h"
+
+#include "backend_agreement.h"
+#include "test_util.h"
+
+namespace spine {
+namespace {
+
+using test::BackendFleet;
+using test::ExpectAllBackendsAgree;
+using test::MixedQueries;
+using test::RandomDna;
+using test::RandomProtein;
+using test::TestCorpus;
+
+// Restores auto-selection however a test exits, so a forced level
+// never leaks into other tests in the binary.
+struct KernelRestore {
+  ~KernelRestore() { (void)kernel::ForceByName("auto"); }
+};
+
+// MixedQueries plus the cases that stress kernel-specific plumbing:
+// patterns with out-of-alphabet bytes at the head / middle / tail
+// (EncodedPattern must fence bulk compares at them) and patterns whose
+// length sits on 8/16/32-byte comparison block boundaries.
+std::vector<Query> KernelQueries(const std::string& corpus, Rng& rng) {
+  std::vector<Query> queries = MixedQueries(corpus, 120);
+  for (const size_t len : {8, 16, 31, 32, 33, 64, 127}) {
+    const size_t offset = rng.Below(corpus.size() - 128);
+    queries.push_back(Query::FindAll(corpus.substr(offset, len)));
+  }
+  for (const size_t bad_at : {size_t{0}, size_t{13}, size_t{39}}) {
+    std::string pattern = corpus.substr(rng.Below(corpus.size() - 128), 40);
+    pattern[bad_at] = '#';
+    queries.push_back(Query::Contains(pattern));
+    queries.push_back(Query::FindAll(pattern));
+    queries.push_back(Query::MaximalMatches(pattern, 4));
+    queries.push_back(Query::MatchingStats(pattern));
+  }
+  queries.push_back(Query::Contains(""));
+  queries.push_back(Query::FindAll(""));
+  return queries;
+}
+
+void RunDifferential(const Alphabet& alphabet, const std::string& corpus,
+                     const std::vector<Query>& queries) {
+  KernelRestore restore;
+  BackendFleet fleet(alphabet, corpus);
+  ASSERT_TRUE(fleet.ok()) << fleet.error();
+  for (const kernel::Kind kind : kernel::SupportedKinds()) {
+    ASSERT_TRUE(kernel::Force(kind).ok());
+    ASSERT_EQ(kernel::ActiveKind(), kind);
+    ExpectAllBackendsAgree(fleet.indexes(), queries,
+                           std::string("kernel=") + kernel::KindName(kind));
+  }
+}
+
+TEST(DifferentialKernelTest, AllBackendsAgreeUnderEveryKernelDna) {
+  Rng rng(20240806);
+  const std::string corpus = TestCorpus(8'000, /*seed=*/11);
+  RunDifferential(Alphabet::Dna(), corpus, KernelQueries(corpus, rng));
+}
+
+TEST(DifferentialKernelTest, AllBackendsAgreeUnderEveryKernelRandomDna) {
+  Rng rng(77);
+  const std::string corpus = RandomDna(rng, 8'000);
+  RunDifferential(Alphabet::Dna(), corpus, KernelQueries(corpus, rng));
+}
+
+TEST(DifferentialKernelTest, AllBackendsAgreeUnderEveryKernelProtein) {
+  Rng rng(4242);
+  const std::string corpus = RandomProtein(rng, 6'000);
+  RunDifferential(Alphabet::Protein(), corpus, KernelQueries(corpus, rng));
+}
+
+// The bulk path must be invisible in SearchStats too: a run of k
+// matched vertebras counts exactly k nodes_checked, and the link/chain
+// walks at run boundaries are untouched. Each kernel's counters must
+// equal the forced-scalar counters for the identical workload.
+TEST(DifferentialKernelTest, SearchStatsIdenticalAcrossKernels) {
+  KernelRestore restore;
+  Rng rng(99);
+  const std::string corpus = TestCorpus(10'000, /*seed=*/3);
+  SpineIndex reference(Alphabet::Dna());
+  ASSERT_TRUE(reference.AppendString(corpus).ok());
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(compact.AppendString(corpus).ok());
+
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 60; ++i) {
+    std::string p =
+        corpus.substr(rng.Below(corpus.size() - 300), 1 + rng.Below(260));
+    if (i % 3 == 0) p[p.size() / 2] = '#';
+    if (i % 3 == 1) p.back() = 'A';  // likely mid-walk mismatch
+    patterns.push_back(std::move(p));
+  }
+
+  auto collect = [&](kernel::Kind kind) {
+    EXPECT_TRUE(kernel::Force(kind).ok());
+    SearchStats stats;
+    for (const std::string& p : patterns) {
+      reference.FindFirstEnd(p, &stats);
+      compact.FindFirstEnd(p, &stats);
+      GenericFindMaximalMatches(reference, p, 4, &stats);
+      GenericFindMaximalMatches(compact, p, 4, &stats);
+    }
+    return stats;
+  };
+
+  const SearchStats scalar = collect(kernel::Kind::kScalar);
+  EXPECT_GT(scalar.nodes_checked, 0u);
+  for (const kernel::Kind kind : kernel::SupportedKinds()) {
+    const SearchStats got = collect(kind);
+    EXPECT_EQ(got.nodes_checked, scalar.nodes_checked)
+        << kernel::KindName(kind);
+    EXPECT_EQ(got.link_traversals, scalar.link_traversals)
+        << kernel::KindName(kind);
+    EXPECT_EQ(got.chain_hops, scalar.chain_hops) << kernel::KindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace spine

@@ -25,44 +25,18 @@
 #include "storage/disk_spine.h"
 #include "storage/disk_suffix_tree.h"
 #include "suffix_tree/suffix_tree.h"
+
+#include "backend_agreement.h"
 #include "test_util.h"
 
 namespace spine::core {
 namespace {
 
+using spine::test::BackendFleet;
+using spine::test::ExpectAllBackendsAgree;
+using spine::test::MixedQueries;
 using spine::test::ScopedTempDir;
 using spine::test::TestCorpus;
-
-// A mixed batch over all four query kinds, sliced from the corpus plus
-// perturbed misses.
-std::vector<Query> MixedQueries(const std::string& corpus, size_t count) {
-  std::vector<Query> queries;
-  queries.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    const size_t len = 4 + (i * 5) % 20;
-    const size_t offset = (i * 137) % (corpus.size() - 128);
-    std::string pattern = corpus.substr(offset, len);
-    switch (i % 5) {
-      case 0:
-        queries.push_back(Query::FindAll(pattern));
-        break;
-      case 1:
-        queries.push_back(Query::Contains(pattern));
-        break;
-      case 2:
-        pattern[len / 2] = pattern[len / 2] == 'A' ? 'C' : 'A';
-        queries.push_back(Query::FindAll(pattern));
-        break;
-      case 3:
-        queries.push_back(Query::MaximalMatches(corpus.substr(offset, 64), 8));
-        break;
-      default:
-        queries.push_back(Query::MatchingStats(corpus.substr(offset, 48)));
-        break;
-    }
-  }
-  return queries;
-}
 
 TEST(IndexInterfaceTest, CacheIdsAreUniqueAndNonZero) {
   const std::string text = "ACGTACGTAC";
@@ -198,46 +172,16 @@ TEST(IndexInterfaceTest, RegistryOpensEveryPersistentArtifact) {
   EXPECT_EQ(bad.status().code(), StatusCode::kCorruption);
 }
 
-// Six backends, one engine, one batch: every answer byte-identical to
-// the brute-force oracle for every kind the backend supports.
+// Every backend, one engine, one batch: every answer byte-identical to
+// the brute-force oracle for every kind the backend supports. The
+// fleet and the agreement loop live in backend_agreement.h, shared
+// with the per-kernel differential suite.
 TEST(IndexInterfaceTest, AllBackendsAgreeThroughTheEngine) {
   const std::string corpus = TestCorpus(6'000);
   const std::vector<Query> queries = MixedQueries(corpus, 100);
-
-  SpineIndex reference(Alphabet::Dna());
-  ASSERT_TRUE(reference.AppendString(corpus).ok());
-  CompactSpineIndex compact(Alphabet::Dna());
-  ASSERT_TRUE(compact.AppendString(corpus).ok());
-  GeneralizedSpineIndex generalized(Alphabet::Dna());
-  ASSERT_TRUE(generalized.AddString(corpus).ok());
-  SuffixTree tree(Alphabet::Dna());
-  ASSERT_TRUE(tree.AppendString(corpus).ok());
-  auto family = shard::ShardedIndex::Build(Alphabet::Dna(), corpus,
-                                           {.shards = 4, .max_pattern = 128});
-  ASSERT_TRUE(family.ok()) << family.status().ToString();
-
-  SpineIndexAdapter reference_adapter(reference);
-  CompactSpineAdapter compact_adapter(compact);
-  GeneralizedSpineAdapter generalized_adapter(generalized);
-  SuffixTreeAdapter tree_adapter(tree);
-  NaiveTextAdapter naive(Alphabet::Dna(), corpus);
-  const std::vector<const Index*> indexes = {
-      &naive,        &reference_adapter, &compact_adapter,
-      &generalized_adapter, &tree_adapter, family->get()};
-
-  engine::QueryEngine engine({.threads = 4, .cache_bytes = 0});
-  std::vector<engine::BatchStats> stats;
-  std::vector<std::vector<QueryResult>> results =
-      engine.ExecuteBatch(indexes, queries, &stats);
-  ASSERT_EQ(results.size(), indexes.size());
-  for (size_t j = 1; j < indexes.size(); ++j) {
-    EXPECT_EQ(stats[j].failed, 0u) << IndexKindName(indexes[j]->kind());
-    for (size_t i = 0; i < queries.size(); ++i) {
-      EXPECT_TRUE(results[j][i].SameAnswer(results[0][i]))
-          << IndexKindName(indexes[j]->kind()) << " disagrees with the "
-          << "oracle on query " << i;
-    }
-  }
+  BackendFleet fleet(Alphabet::Dna(), corpus);
+  ASSERT_TRUE(fleet.ok()) << fleet.error();
+  ExpectAllBackendsAgree(fleet.indexes(), queries, "dna");
 }
 
 // The CDAWG answers kContains; everything else is a loud

@@ -1,0 +1,298 @@
+// Golden corpus for the comparison kernels: every dispatch level must
+// be byte-identical to an independent naive reference on lengths that
+// straddle every comparison block size (8-byte SWAR words, 16-byte SSE2
+// lanes, 32-byte AVX2 lanes, the 4 KiB page), at every mismatch offset,
+// from unaligned starts. Buffers are exactly sized so any over-read
+// past the tail trips ASan redzones in the sanitizer CI job.
+
+#include "kernel/kernel.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alphabet/alphabet.h"
+#include "alphabet/packed_string.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+
+namespace spine::kernel {
+namespace {
+
+// Independent references, deliberately the dumbest possible code.
+size_t NaiveMatchRun(const uint8_t* a, const uint8_t* b, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return i;
+  }
+  return n;
+}
+
+size_t NaiveMatchRunCodes(const std::vector<uint8_t>& a, size_t a_start,
+                          const std::vector<uint8_t>& b, size_t b_start,
+                          size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (a[a_start + i] != b[b_start + i]) return i;
+  }
+  return n;
+}
+
+std::vector<Kind> AllKinds() {
+  return {Kind::kScalar, Kind::kSwar, Kind::kSse2, Kind::kAvx2};
+}
+
+// Lengths straddling every block size a kernel uses internally.
+const size_t kLengths[] = {0, 1, 7, 8, 15, 16, 31, 32, 33, 4095, 4096, 4097};
+
+// All offsets for short runs; head, tail and a prime stride for long
+// ones (every block position is still hit, cost stays bounded).
+std::vector<size_t> MismatchOffsets(size_t len) {
+  std::vector<size_t> offsets;
+  if (len <= 64) {
+    for (size_t i = 0; i < len; ++i) offsets.push_back(i);
+    return offsets;
+  }
+  for (size_t i : {size_t{0}, size_t{1}, len / 2, len - 2, len - 1}) {
+    offsets.push_back(i);
+  }
+  for (size_t i = 3; i < len; i += 509) offsets.push_back(i);
+  return offsets;
+}
+
+TEST(KernelTest, NamesAndParsingRoundTrip) {
+  for (Kind kind : AllKinds()) {
+    EXPECT_EQ(ParseKind(KindName(kind)), kind);
+  }
+  EXPECT_FALSE(ParseKind("bogus").has_value());
+  EXPECT_FALSE(ParseKind("").has_value());
+}
+
+TEST(KernelTest, ScalarAndSwarAlwaysSupported) {
+  EXPECT_TRUE(Supported(Kind::kScalar));
+  EXPECT_TRUE(Supported(Kind::kSwar));
+  const std::vector<Kind> kinds = SupportedKinds();
+  EXPECT_GE(kinds.size(), 2u);
+  for (Kind kind : kinds) EXPECT_TRUE(Supported(kind));
+}
+
+TEST(KernelTest, UnsupportedKindsRefuseToForce) {
+  for (Kind kind : AllKinds()) {
+    if (Supported(kind)) continue;
+    EXPECT_FALSE(Force(kind).ok()) << KindName(kind);
+  }
+  EXPECT_FALSE(ForceByName("no-such-kernel").ok());
+}
+
+// Byte-path golden corpus: every kind x unaligned start x length x
+// mismatch offset, exact-sized heap buffers.
+TEST(KernelTest, MatchRunGoldenCorpus) {
+  Rng rng(1234);
+  for (Kind kind : AllKinds()) {
+    if (!Supported(kind)) {
+      GTEST_LOG_(INFO) << "skipping unsupported " << KindName(kind);
+      continue;
+    }
+    const Ops& ops = Get(kind);
+    ASSERT_EQ(ops.kind, kind);
+    for (size_t start = 0; start <= 8; ++start) {
+      for (size_t len : kLengths) {
+        std::vector<uint8_t> a_buf(start + len), b_buf(start + len);
+        for (size_t i = 0; i < a_buf.size(); ++i) {
+          a_buf[i] = static_cast<uint8_t>(rng.Below(256));
+        }
+        b_buf = a_buf;
+        const uint8_t* a = a_buf.data() + start;
+        uint8_t* b = b_buf.data() + start;
+        EXPECT_EQ(ops.match_run(a, b, len), len)
+            << KindName(kind) << " start=" << start << " len=" << len;
+        EXPECT_TRUE(ops.verify_eq(a, b, len));
+        for (size_t off : MismatchOffsets(len)) {
+          const uint8_t saved = b[off];
+          b[off] = static_cast<uint8_t>(saved ^ 0x5a);
+          EXPECT_EQ(ops.match_run(a, b, len), off)
+              << KindName(kind) << " start=" << start << " len=" << len
+              << " off=" << off;
+          EXPECT_EQ(ops.match_run(a, b, len), NaiveMatchRun(a, b, len));
+          EXPECT_FALSE(ops.verify_eq(a, b, len));
+          b[off] = saved;
+        }
+      }
+    }
+  }
+}
+
+// Packed-path golden corpus: 2-bit DNA, 5-bit protein and 8-bit codes,
+// at every combination of text/pattern leading-code offsets (the two
+// windows straddle word boundaries differently), against the per-code
+// reference.
+TEST(KernelTest, MatchRunPackedGoldenCorpus) {
+  Rng rng(987);
+  const size_t kPackedLengths[] = {0, 1, 12, 31, 32, 33, 63, 64, 65, 1000};
+  for (Kind kind : AllKinds()) {
+    if (!Supported(kind)) continue;
+    const Ops& ops = Get(kind);
+    for (uint32_t bpc : {2u, 5u, 8u}) {
+      const uint8_t mask = static_cast<uint8_t>((1u << bpc) - 1);
+      for (size_t lead_a : {0u, 1u, 3u, 31u, 32u, 33u}) {
+        for (size_t lead_b : {0u, 7u, 32u}) {
+          for (size_t len : kPackedLengths) {
+            std::vector<uint8_t> codes(len);
+            for (auto& c : codes) c = static_cast<uint8_t>(rng.Below(256)) & mask;
+            PackedString a(bpc), b(bpc);
+            for (size_t i = 0; i < lead_a; ++i) {
+              a.Append(static_cast<Code>(rng.Below(256) & mask));
+            }
+            for (size_t i = 0; i < lead_b; ++i) {
+              b.Append(static_cast<Code>(rng.Below(256) & mask));
+            }
+            for (uint8_t c : codes) {
+              a.Append(c);
+              b.Append(c);
+            }
+            const uint64_t a_bit = static_cast<uint64_t>(lead_a) * bpc;
+            const uint64_t b_bit = static_cast<uint64_t>(lead_b) * bpc;
+            EXPECT_EQ(ops.match_run_packed(a.words().data(), a.words().size(),
+                                           a_bit, b.words().data(),
+                                           b.words().size(), b_bit, len, bpc),
+                      len)
+                << KindName(kind) << " bpc=" << bpc << " lead_a=" << lead_a
+                << " lead_b=" << lead_b << " len=" << len;
+            for (size_t off : MismatchOffsets(len)) {
+              // Rebuild b with a flipped code at `off`.
+              PackedString mutated(bpc);
+              for (size_t i = 0; i < lead_b; ++i) {
+                mutated.Append(b.Get(i));
+              }
+              for (size_t i = 0; i < len; ++i) {
+                uint8_t c = codes[i];
+                if (i == off) c = static_cast<uint8_t>(c ^ 1) & mask;
+                mutated.Append(c);
+              }
+              EXPECT_EQ(
+                  ops.match_run_packed(a.words().data(), a.words().size(),
+                                       a_bit, mutated.words().data(),
+                                       mutated.words().size(), b_bit, len, bpc),
+                  off)
+                  << KindName(kind) << " bpc=" << bpc << " lead_a=" << lead_a
+                  << " lead_b=" << lead_b << " len=" << len << " off=" << off;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// Every wider kernel must agree with scalar on identical inputs — the
+// dispatch levels are interchangeable by construction.
+TEST(KernelTest, AllKindsByteIdenticalToScalar) {
+  Rng rng(555);
+  const Ops& scalar = Get(Kind::kScalar);
+  for (size_t trial = 0; trial < 200; ++trial) {
+    const size_t len = rng.Below(600);
+    const size_t start = rng.Below(9);
+    std::vector<uint8_t> a_buf(start + len), b_buf(start + len);
+    for (size_t i = 0; i < a_buf.size(); ++i) {
+      a_buf[i] = static_cast<uint8_t>(rng.Below(4));
+      b_buf[i] = static_cast<uint8_t>(rng.Below(4));
+    }
+    const uint8_t* a = a_buf.data() + start;
+    const uint8_t* b = b_buf.data() + start;
+    const size_t expected = scalar.match_run(a, b, len);
+    EXPECT_EQ(expected, NaiveMatchRun(a, b, len));
+    for (Kind kind : SupportedKinds()) {
+      const Ops& ops = Get(kind);
+      EXPECT_EQ(ops.match_run(a, b, len), expected) << KindName(kind);
+      EXPECT_EQ(ops.verify_eq(a, b, len), expected == len) << KindName(kind);
+    }
+  }
+}
+
+TEST(KernelTest, PackedRandomAgreesWithCodeReference) {
+  Rng rng(31337);
+  for (size_t trial = 0; trial < 150; ++trial) {
+    const uint32_t bpc = trial % 2 == 0 ? 2 : 5;
+    const uint8_t mask = static_cast<uint8_t>((1u << bpc) - 1);
+    const size_t a_total = 1 + rng.Below(700);
+    const size_t b_total = 1 + rng.Below(700);
+    std::vector<uint8_t> a_codes(a_total), b_codes(b_total);
+    PackedString a(bpc), b(bpc);
+    for (auto& c : a_codes) {
+      c = static_cast<uint8_t>(rng.Below(256)) & mask;
+      a.Append(c);
+    }
+    for (auto& c : b_codes) {
+      c = static_cast<uint8_t>(rng.Below(256)) & mask;
+      b.Append(c);
+    }
+    const size_t a_start = rng.Below(a_total);
+    const size_t b_start = rng.Below(b_total);
+    const size_t n =
+        std::min(a_total - a_start, b_total - b_start) == 0
+            ? 0
+            : rng.Below(std::min(a_total - a_start, b_total - b_start) + 1);
+    const size_t expected = NaiveMatchRunCodes(a_codes, a_start, b_codes,
+                                               b_start, n);
+    for (Kind kind : SupportedKinds()) {
+      EXPECT_EQ(Get(kind).match_run_packed(
+                    a.words().data(), a.words().size(),
+                    static_cast<uint64_t>(a_start) * bpc, b.words().data(),
+                    b.words().size(), static_cast<uint64_t>(b_start) * bpc, n,
+                    bpc),
+                expected)
+          << KindName(kind) << " trial=" << trial;
+    }
+  }
+}
+
+TEST(KernelTest, EncodedPatternFencesInvalidCharacters) {
+  const Alphabet& dna = Alphabet::Dna();
+  EncodedPattern p(dna, "ACGT#ACG#T");
+  ASSERT_EQ(p.size(), 10u);
+  EXPECT_EQ(p.ValidRunLength(0), 4u);  // up to the first '#'
+  EXPECT_EQ(p.ValidRunLength(3), 1u);
+  EXPECT_EQ(p.ValidRunLength(4), 0u);  // sitting on the '#'
+  EXPECT_EQ(p.ValidRunLength(5), 3u);
+  EXPECT_EQ(p.ValidRunLength(8), 0u);
+  EXPECT_EQ(p.ValidRunLength(9), 1u);
+  EXPECT_EQ(p.code(4), kInvalidCode);
+  EXPECT_NE(p.code(0), kInvalidCode);
+
+  EncodedPattern clean(dna, "ACGTACGT");
+  EXPECT_EQ(clean.ValidRunLength(0), 8u);
+  EXPECT_EQ(clean.ValidRunLength(7), 1u);
+  EXPECT_EQ(clean.ValidRunLength(8), 0u);  // past the end
+
+  EncodedPattern empty(dna, "");
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.ValidRunLength(0), 0u);
+}
+
+// The metered wrappers feed the per-kernel byte counters and the
+// dispatch gauge reflects whatever was last forced. Compiled out with
+// the rest of the obs layer under SPINE_OBS_DISABLED.
+#if !defined(SPINE_OBS_DISABLED)
+TEST(KernelTest, ObservabilityCountersAndGauge) {
+  const std::string a(1024, 'x');
+  const std::string b(1024, 'x');
+  for (Kind kind : SupportedKinds()) {
+    ASSERT_TRUE(Force(kind).ok());
+    EXPECT_EQ(ActiveKind(), kind);
+    EXPECT_EQ(obs::Registry::Default()
+                  .GetGauge("kernel.dispatch")
+                  .value(),
+              static_cast<int64_t>(kind));
+    obs::Counter& bytes = obs::Registry::Default().GetCounter(
+        std::string("kernel.") + KindName(kind) + ".bytes_compared");
+    const uint64_t before = bytes.value();
+    EXPECT_TRUE(VerifyEq(a, b));
+    EXPECT_EQ(MatchRun(a, b), a.size());
+    EXPECT_GE(bytes.value(), before + 2 * a.size());
+  }
+  (void)ForceByName("auto");
+}
+#endif  // !SPINE_OBS_DISABLED
+
+}  // namespace
+}  // namespace spine::kernel

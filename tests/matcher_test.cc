@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "kernel/kernel.h"
 #include "naive/naive_index.h"
 #include "seq/generator.h"
+#include "test_util.h"
 
 namespace spine {
 namespace {
@@ -274,6 +276,53 @@ TEST(MatcherTest, MatchingStatisticsDecayRuleOnRepetitiveQueries) {
               PerMatchInnerLoopMs(index, query))
         << "query of length " << query.size();
   }
+}
+
+// Long-pattern coverage for the bulk comparison path: queries longer
+// than one 4 KiB page whose matched runs straddle the packed-word and
+// page boundaries. The planted splice matches must be found, and the
+// full result list must be identical under every dispatch level.
+TEST(MatcherTest, LongPatternsStraddlePagesUnderEveryKernel) {
+  const std::string text = spine::test::TestCorpus(20'000, /*seed=*/5);
+  SpineIndex index = Build(Alphabet::Dna(), text);
+
+  // Two far-apart slices, fused with an out-of-alphabet byte: the
+  // matcher must report one >4096-char match on each side of it.
+  const std::string query =
+      text.substr(1'000, 5'000) + "#" + text.substr(9'000, 4'097);
+  auto has_match = [](const std::vector<MaximalMatch>& matches,
+                      uint32_t query_pos, uint32_t length) {
+    for (const MaximalMatch& m : matches) {
+      if (m.query_pos == query_pos && m.length >= length) return true;
+    }
+    return false;
+  };
+
+  std::vector<MaximalMatch> scalar_matches;
+  for (const kernel::Kind kind : kernel::SupportedKinds()) {
+    ASSERT_TRUE(kernel::Force(kind).ok());
+    SearchStats stats;
+    std::vector<MaximalMatch> matches =
+        FindMaximalMatches(index, query, 64, &stats);
+    EXPECT_TRUE(has_match(matches, 0, 5'000)) << kernel::KindName(kind);
+    EXPECT_TRUE(has_match(matches, 5'001, 4'097)) << kernel::KindName(kind);
+    EXPECT_GE(stats.nodes_checked, query.size() - 1);
+    if (kind == kernel::Kind::kScalar) {
+      scalar_matches = std::move(matches);
+    } else {
+      EXPECT_EQ(matches, scalar_matches) << kernel::KindName(kind);
+    }
+  }
+
+  // A >one-page pattern searched directly: all occurrences agree with
+  // the brute-force text scan under every kernel.
+  const std::string pattern = text.substr(5'000, 4'097);
+  for (const kernel::Kind kind : kernel::SupportedKinds()) {
+    ASSERT_TRUE(kernel::Force(kind).ok());
+    EXPECT_EQ(index.FindAll(pattern), spine::test::OracleFindAll(text, pattern))
+        << kernel::KindName(kind);
+  }
+  (void)kernel::ForceByName("auto");
 }
 
 TEST(MatcherStress, ManyRandomPairs) {

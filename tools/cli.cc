@@ -24,6 +24,7 @@
 #include "core/query.h"
 #include "core/registry.h"
 #include "engine/query_engine.h"
+#include "kernel/kernel.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "seq/fasta.h"
@@ -70,6 +71,9 @@ constexpr const char* kUsage =
     "build, query and batch accept --stats-json[=FILE]: after the\n"
     "command finishes, dump a versioned JSON snapshot of all runtime\n"
     "metrics (plus a command-specific section) to stdout or FILE\n"
+    "every command accepts --kernel=scalar|swar|sse2|avx2|auto to force\n"
+    "the string-comparison kernel (default: best supported by the CPU;\n"
+    "the SPINE_KERNEL env var sets the same override, flag wins)\n"
     "exit codes: 0 ok, 1 I/O error, 2 usage error, 3 corruption detected,\n"
     "            4 invalid argument, 5 not found, 6 resource exhausted,\n"
     "            7 precondition/range error\n";
@@ -193,6 +197,8 @@ std::string StatsSnapshotJson(
   json.Value(obs::kStatsSchemaVersion);
   json.Key("command");
   json.Value(command);
+  json.Key("kernel");
+  json.Value(kernel::KindName(kernel::ActiveKind()));
   json.Key("metrics");
   json.RawValue(obs::Registry::ToJson(obs::Registry::Default().Snapshot()));
   if (extra) extra(json);
@@ -923,6 +929,13 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
   }
   const std::string& command = args[0];
   ParsedArgs parsed = Parse(args, 1);
+  if (auto it = parsed.options.find("kernel"); it != parsed.options.end()) {
+    Status forced = kernel::ForceByName(it->second);
+    if (!forced.ok()) {
+      err << "--kernel: " << forced.message() << "\n";
+      return ExitCodeFor(forced.code());
+    }
+  }
   if (command == "build") return CmdBuild(parsed, out, err);
   if (command == "gbuild") return CmdGBuild(parsed, out, err);
   if (command == "gquery") return CmdGQuery(parsed, out, err);
