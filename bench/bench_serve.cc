@@ -1,0 +1,322 @@
+// Serving latency under open-loop load: an in-process serve::Server
+// over the synthetic DNA corpus (or, with --host/--port, any external
+// `spine serve` instance) is driven at a sweep of target QPS points by
+// an open-loop generator — requests are sent on a fixed schedule
+// regardless of how fast responses come back, so queueing delay shows
+// up in the numbers instead of being coordinated away. Reports
+// p50/p99/p999 latency, achieved throughput and shed counts per point,
+// and writes BENCH_serve.json.
+//
+//   $ ./bench/bench_serve [--duration=S] [--qps=A,B,C] [--conns=N]
+//                         [--host=ADDR --port=N]
+//
+// Latency is measured from each request's *scheduled* send time to the
+// receipt of its response (docs/SERVING.md describes the protocol).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util/json_report.h"
+#include "bench_util/table.h"
+#include "common/check.h"
+#include "compact/compact_spine.h"
+#include "core/adapters.h"
+#include "core/query.h"
+#include "core/wire.h"
+#include "seq/datasets.h"
+#include "seq/generator.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace spine::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr uint64_t kCorpusLen = 2'000'000;
+
+struct Args {
+  double duration = 2.0;                     // seconds per QPS point
+  std::vector<double> qps = {500, 2000, 8000};
+  uint32_t conns = 4;
+  std::string host = "127.0.0.1";
+  std::optional<uint16_t> port;              // set → external server
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&](std::string_view prefix) {
+      return std::string(arg.substr(prefix.size()));
+    };
+    if (arg.starts_with("--duration=")) {
+      args.duration = std::atof(value("--duration=").c_str());
+    } else if (arg.starts_with("--conns=")) {
+      args.conns = static_cast<uint32_t>(
+          std::strtoul(value("--conns=").c_str(), nullptr, 10));
+    } else if (arg.starts_with("--host=")) {
+      args.host = value("--host=");
+    } else if (arg.starts_with("--port=")) {
+      args.port = static_cast<uint16_t>(
+          std::strtoul(value("--port=").c_str(), nullptr, 10));
+    } else if (arg.starts_with("--qps=")) {
+      args.qps.clear();
+      std::string list = value("--qps=");
+      for (size_t pos = 0; pos < list.size();) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        args.qps.push_back(std::atof(list.substr(pos, comma - pos).c_str()));
+        pos = comma + 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", std::string(arg).c_str());
+      std::exit(2);
+    }
+  }
+  SPINE_CHECK(args.duration > 0 && args.conns > 0 && !args.qps.empty());
+  for (double q : args.qps) SPINE_CHECK(q > 0);
+  return args;
+}
+
+// The request mix mirrors bench_engine_throughput: mostly short exact
+// lookups with some maximal-match and matching-stats work mixed in.
+std::vector<core::wire::QueryRequest> MakeWorkload(const std::string& corpus,
+                                                   size_t count) {
+  std::vector<core::wire::QueryRequest> requests;
+  requests.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t offset = (i * 786'433) % (corpus.size() - 512);
+    Query query;
+    switch (i % 8) {
+      case 0: case 1: case 2: case 3: case 4:
+        query = Query::FindAll(corpus.substr(offset, 12 + i % 16));
+        break;
+      case 5: {
+        std::string pattern = corpus.substr(offset, 20);
+        pattern[10] = pattern[10] == 'A' ? 'C' : 'A';
+        query = Query::Contains(pattern);
+        break;
+      }
+      case 6:
+        query = Query::MaximalMatches(corpus.substr(offset, 120), 16);
+        break;
+      default:
+        query = Query::MatchingStats(corpus.substr(offset, 96));
+        break;
+    }
+    requests.push_back({static_cast<uint64_t>(i), std::move(query)});
+  }
+  return requests;
+}
+
+struct PointResult {
+  double target_qps = 0;
+  double achieved_qps = 0;
+  uint64_t sent = 0;
+  uint64_t answered = 0;
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t errors = 0;  // transport-level failures (should be zero)
+  double p50_us = 0, p99_us = 0, p999_us = 0;
+};
+
+double Percentile(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0;
+  const size_t idx = std::min(
+      sorted_us.size() - 1, static_cast<size_t>(q * sorted_us.size()));
+  return sorted_us[idx];
+}
+
+// One open-loop point: `total` requests spread evenly over the
+// duration across `conns` pipelined connections (request i goes to
+// connection i % conns, so each connection's sub-stream is also evenly
+// spaced). Senders never wait for responses; receivers stamp each
+// response against the request's scheduled send time.
+PointResult RunPoint(const Args& args, uint16_t port, double qps,
+                     const std::vector<core::wire::QueryRequest>& workload) {
+  PointResult point;
+  point.target_qps = qps;
+  const uint64_t total =
+      std::max<uint64_t>(1, static_cast<uint64_t>(qps * args.duration));
+  const std::chrono::duration<double> period(1.0 / qps);
+
+  struct Lane {
+    serve::Client client;
+    std::vector<uint64_t> ids;
+    std::vector<double> latencies_us;
+    uint64_t ok = 0, shed = 0, errors = 0;
+  };
+  std::vector<std::unique_ptr<Lane>> lanes;
+  for (uint32_t c = 0; c < args.conns; ++c) {
+    auto client = serve::Client::Connect(args.host, port);
+    SPINE_CHECK(client.ok());
+    lanes.push_back(std::make_unique<Lane>(Lane{std::move(*client), {}, {}}));
+  }
+  for (uint64_t i = 0; i < total; ++i) {
+    lanes[i % args.conns]->ids.push_back(i);
+  }
+
+  const Clock::time_point t0 = Clock::now() + std::chrono::milliseconds(20);
+  const auto scheduled = [&](uint64_t i) {
+    return t0 + std::chrono::duration_cast<Clock::duration>(
+                    period * static_cast<double>(i));
+  };
+
+  std::vector<std::thread> threads;
+  for (auto& lane_ptr : lanes) {
+    Lane* lane = lane_ptr.get();
+    // Sender: fire each request at its scheduled instant, come what may.
+    threads.emplace_back([&, lane] {
+      for (uint64_t i : lane->ids) {
+        std::this_thread::sleep_until(scheduled(i));
+        if (!lane->client.Send(workload[i % workload.size()]).ok()) return;
+      }
+    });
+    // Receiver: responses arrive in send order on this connection.
+    threads.emplace_back([&, lane] {
+      lane->latencies_us.reserve(lane->ids.size());
+      for (uint64_t i : lane->ids) {
+        auto response = lane->client.ReceiveResponse();
+        if (!response.ok()) {
+          ++lane->errors;
+          return;  // transport failure: the rest of the lane is lost
+        }
+        const std::chrono::duration<double, std::micro> latency =
+            Clock::now() - scheduled(i);
+        lane->latencies_us.push_back(latency.count());
+        if (response->result.status_code == StatusCode::kOverloaded) {
+          ++lane->shed;
+        } else if (response->result.ok()) {
+          ++lane->ok;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::chrono::duration<double> elapsed = Clock::now() - t0;
+
+  std::vector<double> all_us;
+  for (auto& lane : lanes) {
+    point.sent += lane->ids.size();
+    point.answered += lane->latencies_us.size();
+    point.ok += lane->ok;
+    point.shed += lane->shed;
+    point.errors += lane->errors;
+    all_us.insert(all_us.end(), lane->latencies_us.begin(),
+                  lane->latencies_us.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+  point.p50_us = Percentile(all_us, 0.50);
+  point.p99_us = Percentile(all_us, 0.99);
+  point.p999_us = Percentile(all_us, 0.999);
+  point.achieved_qps = point.answered / elapsed.count();
+  return point;
+}
+
+void Run(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+  const double scale = seq::BenchScaleFromEnv();
+  PrintBanner("Serve", "open-loop serving latency vs offered QPS", scale);
+
+  seq::GeneratorOptions gen;
+  gen.length = static_cast<uint64_t>(kCorpusLen * scale);
+  gen.seed = 17;
+  const std::string corpus = seq::GenerateSequence(Alphabet::Dna(), gen);
+  const std::vector<core::wire::QueryRequest> workload =
+      MakeWorkload(corpus, 4096);
+
+  // Default: an in-process server over the synthetic corpus. With
+  // --port the sweep targets an external `spine serve` instead (the CI
+  // smoke job does this) and the local index is only a pattern source.
+  std::unique_ptr<CompactSpineIndex> index;
+  std::unique_ptr<core::CompactSpineAdapter> adapter;
+  std::unique_ptr<serve::Server> server;
+  uint16_t port = 0;
+  if (args.port) {
+    port = *args.port;
+    std::printf("target: external server at %s:%u\n\n", args.host.c_str(),
+                static_cast<unsigned>(port));
+  } else {
+    index = std::make_unique<CompactSpineIndex>(Alphabet::Dna());
+    SPINE_CHECK(index->AppendString(corpus).ok());
+    adapter = std::make_unique<core::CompactSpineAdapter>(*index);
+    serve::Options options;
+    options.host = args.host;
+    server = std::make_unique<serve::Server>(*adapter, options);
+    SPINE_CHECK(server->Start().ok());
+    port = server->port();
+    std::printf("target: in-process server, %zu-char corpus, port %u\n\n",
+                corpus.size(), static_cast<unsigned>(port));
+  }
+
+  BenchReport report("serve", scale);
+  report.AddMetric("corpus_chars", static_cast<uint64_t>(corpus.size()));
+  report.AddMetric("conns", static_cast<uint64_t>(args.conns));
+  report.AddMetric("duration_secs", args.duration);
+  report.AddMetric("qps_points", static_cast<uint64_t>(args.qps.size()));
+  report.AddInfo("mode", args.port ? "external" : "in-process");
+
+  TablePrinter table({"target qps", "achieved", "sent", "ok", "shed",
+                      "p50 us", "p99 us", "p999 us"});
+  bool clean = true;
+  for (size_t i = 0; i < args.qps.size(); ++i) {
+    const PointResult point = RunPoint(args, port, args.qps[i], workload);
+    table.AddRow({FormatCount(static_cast<uint64_t>(point.target_qps)),
+                  FormatCount(static_cast<uint64_t>(point.achieved_qps)),
+                  FormatCount(point.sent), FormatCount(point.ok),
+                  FormatCount(point.shed), FormatDouble(point.p50_us, 1),
+                  FormatDouble(point.p99_us, 1),
+                  FormatDouble(point.p999_us, 1)});
+    const std::string key = "q" + std::to_string(i);
+    report.AddMetric(key + "_target_qps", point.target_qps);
+    report.AddMetric(key + "_achieved_qps", point.achieved_qps);
+    report.AddMetric(key + "_sent", point.sent);
+    report.AddMetric(key + "_ok", point.ok);
+    report.AddMetric(key + "_shed", point.shed);
+    report.AddMetric(key + "_p50_us", point.p50_us);
+    report.AddMetric(key + "_p99_us", point.p99_us);
+    report.AddMetric(key + "_p999_us", point.p999_us);
+    clean = clean && point.errors == 0 && point.answered == point.sent;
+    if (point.errors != 0 || point.answered != point.sent) {
+      std::printf("  WARNING: point %zu lost responses (%llu answered of "
+                  "%llu sent, %llu transport errors)\n",
+                  i, static_cast<unsigned long long>(point.answered),
+                  static_cast<unsigned long long>(point.sent),
+                  static_cast<unsigned long long>(point.errors));
+    }
+  }
+  table.Print();
+
+  if (server) {
+    server->Stop();
+    const serve::ServerStats stats = server->stats();
+    std::printf("\nserver totals: %llu queries, %llu shed, %llu bytes in, "
+                "%llu bytes out\n",
+                static_cast<unsigned long long>(stats.queries),
+                static_cast<unsigned long long>(stats.shed),
+                static_cast<unsigned long long>(stats.bytes_in),
+                static_cast<unsigned long long>(stats.bytes_out));
+  }
+  std::printf("\ntarget: every request answered; shed only via "
+              "kOverloaded under deliberate overload.\n");
+  SPINE_CHECK(clean);
+  SPINE_CHECK(report.Write().ok());
+}
+
+}  // namespace
+}  // namespace spine::bench
+
+int main(int argc, char** argv) {
+  spine::bench::Run(argc, argv);
+  return 0;
+}

@@ -20,6 +20,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kProtocolError:
+      return "ProtocolError";
   }
   return "Unknown";
 }

@@ -14,15 +14,24 @@
 
 namespace spine {
 
+// Extend-only: the numeric values travel on the serving wire
+// (core/wire.h) and map onto the CLI exit-code table (tools/cli.h), so
+// existing entries must never be renumbered.
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,
-  kNotFound,
-  kOutOfRange,
-  kIoError,
-  kCorruption,
-  kResourceExhausted,
-  kFailedPrecondition,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kIoError = 4,
+  kCorruption = 5,
+  kResourceExhausted = 6,
+  kFailedPrecondition = 7,
+  // The server's admission control rejected the query: the system is
+  // saturated, not broken. Clients should back off and retry.
+  kOverloaded = 8,
+  // The peer sent bytes that do not form a valid wire frame (bad
+  // magic/version, truncated or oversized frame, malformed payload).
+  kProtocolError = 9,
 };
 
 // Human-readable name for a status code ("OK", "InvalidArgument", ...).
@@ -57,6 +66,12 @@ class Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status ProtocolError(std::string msg) {
+    return Status(StatusCode::kProtocolError, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,561 @@
+#include "core/wire.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "obs/json.h"
+
+namespace spine::core::wire {
+
+namespace {
+
+// All integers travel little-endian, byte-assembled so the encoding is
+// identical on any host.
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// Bounds-checked cursor over one frame payload. Every getter fails
+// cleanly (sets bad) instead of reading past the end, and counts are
+// validated against the bytes actually remaining before any allocation
+// — the same discipline as serde::Reader.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool bad() const { return bad_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return !bad_ && pos_ == data_.size(); }
+
+  uint8_t U8() {
+    if (remaining() < 1) return Fail();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+  uint32_t U32() {
+    if (remaining() < 4) return static_cast<uint32_t>(Fail());
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  uint64_t U64() {
+    if (remaining() < 8) return Fail();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  // Length-prefixed byte string; the count is checked against the
+  // remaining payload before anything is copied.
+  std::string Bytes() {
+    uint32_t n = U32();
+    if (bad_ || n > remaining()) {
+      Fail();
+      return {};
+    }
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  uint64_t Fail() {
+    bad_ = true;
+    return 0;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool bad_ = false;
+};
+
+Status ProtocolError(std::string what) {
+  return Status::ProtocolError(std::move(what));
+}
+
+// Frame scaffolding: every Append* builds payload bytes then wraps them
+// as  u32 length | u8 version | u8 type | payload.
+void AppendFrame(FrameType type, std::string_view payload,
+                 std::string* out) {
+  PutU32(static_cast<uint32_t>(payload.size() + 2), out);
+  PutU8(kWireVersion, out);
+  PutU8(static_cast<uint8_t>(type), out);
+  out->append(payload);
+}
+
+bool ValidStatusCode(uint8_t code) {
+  return code <= static_cast<uint8_t>(StatusCode::kProtocolError);
+}
+
+bool ValidQueryKind(uint8_t kind) {
+  return kind <= static_cast<uint8_t>(QueryKind::kMatchingStats);
+}
+
+std::optional<QueryKind> KindFromName(std::string_view name) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(QueryKind::kMatchingStats);
+       ++k) {
+    if (QueryKindName(static_cast<QueryKind>(k)) == name) {
+      return static_cast<QueryKind>(k);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
+  for (uint8_t c = 0; c <= static_cast<uint8_t>(StatusCode::kProtocolError);
+       ++c) {
+    if (StatusCodeToString(static_cast<StatusCode>(c)) == name) {
+      return static_cast<StatusCode>(c);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void AppendRequestFrame(const QueryRequest& request, std::string* out) {
+  std::string payload;
+  PutU64(request.id, &payload);
+  PutU8(static_cast<uint8_t>(request.query.kind), &payload);
+  PutU32(request.query.min_len, &payload);
+  PutU8(request.query.expand_occurrences ? 1 : 0, &payload);
+  PutU32(static_cast<uint32_t>(request.query.pattern.size()), &payload);
+  payload.append(request.query.pattern);
+  AppendFrame(FrameType::kQuery, payload, out);
+}
+
+void AppendResponseFrame(const QueryResponse& response, std::string* out) {
+  const QueryResult& r = response.result;
+  std::string payload;
+  PutU64(response.id, &payload);
+  PutU8(static_cast<uint8_t>(r.status_code), &payload);
+  PutU8(r.found ? 1 : 0, &payload);
+  PutU32(static_cast<uint32_t>(r.error.size()), &payload);
+  payload.append(r.error);
+  PutU32(static_cast<uint32_t>(r.hits.size()), &payload);
+  for (const Hit& hit : r.hits) {
+    PutU32(hit.pos, &payload);
+    PutU32(hit.length, &payload);
+    PutU32(hit.query_pos, &payload);
+  }
+  PutU32(static_cast<uint32_t>(r.matching_stats.size()), &payload);
+  for (uint32_t v : r.matching_stats) PutU32(v, &payload);
+  PutU64(r.stats.nodes_checked, &payload);
+  PutU64(r.stats.link_traversals, &payload);
+  PutU64(r.stats.chain_hops, &payload);
+  AppendFrame(FrameType::kResponse, payload, out);
+}
+
+void AppendStatsRequestFrame(std::string* out) {
+  AppendFrame(FrameType::kStats, {}, out);
+}
+
+void AppendStatsResponseFrame(std::string_view stats_json,
+                              std::string* out) {
+  AppendFrame(FrameType::kStatsResponse, stats_json, out);
+}
+
+void AppendErrorFrame(const WireError& error, std::string* out) {
+  std::string payload;
+  PutU64(error.id, &payload);
+  PutU8(static_cast<uint8_t>(error.code), &payload);
+  PutU32(static_cast<uint32_t>(error.message.size()), &payload);
+  payload.append(error.message);
+  AppendFrame(FrameType::kError, payload, out);
+}
+
+Status ExtractFrame(std::string_view buffer, Frame* frame,
+                    size_t* consumed) {
+  *consumed = 0;
+  if (buffer.size() < 4) return Status::OK();  // need the length prefix
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(static_cast<uint8_t>(buffer[i]))
+              << (8 * i);
+  }
+  if (length < 2) return ProtocolError("frame shorter than its header");
+  if (length > kMaxFramePayload) {
+    return ProtocolError("frame length " + std::to_string(length) +
+                         " exceeds the " +
+                         std::to_string(kMaxFramePayload) + "-byte cap");
+  }
+  if (buffer.size() < 4 + static_cast<size_t>(length)) {
+    return Status::OK();  // partial frame: read more
+  }
+  const uint8_t version = static_cast<uint8_t>(buffer[4]);
+  const uint8_t type = static_cast<uint8_t>(buffer[5]);
+  if (version != kWireVersion) {
+    return ProtocolError("unsupported wire version " +
+                         std::to_string(version) + " (this side speaks " +
+                         std::to_string(kWireVersion) + ")");
+  }
+  if (type < static_cast<uint8_t>(FrameType::kQuery) ||
+      type > static_cast<uint8_t>(FrameType::kError)) {
+    return ProtocolError("unknown frame type " + std::to_string(type));
+  }
+  frame->version = version;
+  frame->type = static_cast<FrameType>(type);
+  frame->payload = buffer.substr(6, length - 2);
+  *consumed = 4 + static_cast<size_t>(length);
+  return Status::OK();
+}
+
+Result<QueryRequest> DecodeRequest(std::string_view payload) {
+  Cursor cursor(payload);
+  QueryRequest request;
+  request.id = cursor.U64();
+  const uint8_t kind = cursor.U8();
+  request.query.min_len = cursor.U32();
+  request.query.expand_occurrences = cursor.U8() != 0;
+  request.query.pattern = cursor.Bytes();
+  if (cursor.bad() || !cursor.AtEnd()) {
+    return ProtocolError("malformed query request payload");
+  }
+  if (!ValidQueryKind(kind)) {
+    return ProtocolError("unknown query kind " + std::to_string(kind));
+  }
+  request.query.kind = static_cast<QueryKind>(kind);
+  return request;
+}
+
+Result<QueryResponse> DecodeResponse(std::string_view payload) {
+  Cursor cursor(payload);
+  QueryResponse response;
+  response.id = cursor.U64();
+  const uint8_t code = cursor.U8();
+  response.result.found = cursor.U8() != 0;
+  response.result.error = cursor.Bytes();
+  const uint32_t hit_count = cursor.U32();
+  if (cursor.bad() ||
+      static_cast<uint64_t>(hit_count) * 12 > cursor.remaining()) {
+    return ProtocolError("malformed query response payload");
+  }
+  response.result.hits.reserve(hit_count);
+  for (uint32_t i = 0; i < hit_count; ++i) {
+    Hit hit;
+    hit.pos = cursor.U32();
+    hit.length = cursor.U32();
+    hit.query_pos = cursor.U32();
+    response.result.hits.push_back(hit);
+  }
+  const uint32_t ms_count = cursor.U32();
+  if (cursor.bad() ||
+      static_cast<uint64_t>(ms_count) * 4 > cursor.remaining()) {
+    return ProtocolError("malformed query response payload");
+  }
+  response.result.matching_stats.reserve(ms_count);
+  for (uint32_t i = 0; i < ms_count; ++i) {
+    response.result.matching_stats.push_back(cursor.U32());
+  }
+  response.result.stats.nodes_checked = cursor.U64();
+  response.result.stats.link_traversals = cursor.U64();
+  response.result.stats.chain_hops = cursor.U64();
+  if (cursor.bad() || !cursor.AtEnd()) {
+    return ProtocolError("malformed query response payload");
+  }
+  if (!ValidStatusCode(code)) {
+    return ProtocolError("unknown status code " + std::to_string(code));
+  }
+  response.result.status_code = static_cast<StatusCode>(code);
+  return response;
+}
+
+Result<std::string> DecodeStatsResponse(std::string_view payload) {
+  return std::string(payload);
+}
+
+Result<WireError> DecodeError(std::string_view payload) {
+  Cursor cursor(payload);
+  WireError error;
+  error.id = cursor.U64();
+  const uint8_t code = cursor.U8();
+  error.message = cursor.Bytes();
+  if (cursor.bad() || !cursor.AtEnd() || !ValidStatusCode(code)) {
+    return ProtocolError("malformed error payload");
+  }
+  error.code = static_cast<StatusCode>(code);
+  return error;
+}
+
+// --- JSON lines ------------------------------------------------------------
+
+std::string RequestToJson(const QueryRequest& request) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("v");
+  json.Value(static_cast<uint64_t>(kWireVersion));
+  json.Key("type");
+  json.Value("query");
+  json.Key("id");
+  json.Value(request.id);
+  json.Key("kind");
+  json.Value(QueryKindName(request.query.kind));
+  json.Key("pattern");
+  json.Value(request.query.pattern);
+  json.Key("min_len");
+  json.Value(request.query.min_len);
+  json.Key("expand");
+  json.Value(request.query.expand_occurrences);
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+std::string ResponseToJson(const QueryResponse& response) {
+  const QueryResult& r = response.result;
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("v");
+  json.Value(static_cast<uint64_t>(kWireVersion));
+  json.Key("type");
+  json.Value("response");
+  json.Key("id");
+  json.Value(response.id);
+  json.Key("status");
+  json.Value(StatusCodeToString(r.status_code));
+  if (!r.ok()) {
+    json.Key("error");
+    json.Value(r.error);
+  }
+  json.Key("found");
+  json.Value(r.found);
+  json.Key("hits");
+  json.BeginArray();
+  for (const Hit& hit : r.hits) {
+    json.BeginObject();
+    json.Key("pos");
+    json.Value(hit.pos);
+    json.Key("len");
+    json.Value(hit.length);
+    json.Key("qpos");
+    json.Value(hit.query_pos);
+    json.EndObject();
+  }
+  json.EndArray();
+  if (!r.matching_stats.empty()) {
+    json.Key("ms");
+    json.BeginArray();
+    for (uint32_t v : r.matching_stats) json.Value(v);
+    json.EndArray();
+  }
+  json.Key("nodes_checked");
+  json.Value(r.stats.nodes_checked);
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+namespace {
+
+// Shared preamble of both JSON parsers: strict parse, object check,
+// version check. Returns nullptr plus an error status on failure.
+Result<obs::JsonValue> ParseEnvelopeJson(std::string_view line,
+                                         std::string_view expect_type) {
+  Result<obs::JsonValue> doc = obs::ParseJson(line);
+  if (!doc.ok()) {
+    return ProtocolError("bad JSON line: " + doc.status().message());
+  }
+  if (!doc->is_object()) return ProtocolError("JSON line is not an object");
+  const obs::JsonValue* v = doc->Find("v");
+  if (v == nullptr || !v->is_number() ||
+      v->number != static_cast<double>(kWireVersion)) {
+    return ProtocolError("missing or unsupported JSON envelope version");
+  }
+  const obs::JsonValue* type = doc->Find("type");
+  if (type == nullptr || !type->is_string() ||
+      type->string_value != expect_type) {
+    return ProtocolError("JSON envelope type is not '" +
+                         std::string(expect_type) + "'");
+  }
+  return doc;
+}
+
+}  // namespace
+
+Result<QueryRequest> ParseRequestJson(std::string_view line) {
+  Result<obs::JsonValue> doc = ParseEnvelopeJson(line, "query");
+  if (!doc.ok()) return doc.status();
+  QueryRequest request;
+  if (const obs::JsonValue* id = doc->Find("id"); id != nullptr) {
+    if (!id->is_number() || id->number < 0) {
+      return ProtocolError("JSON request id must be a non-negative number");
+    }
+    request.id = static_cast<uint64_t>(id->number);
+  }
+  const obs::JsonValue* kind = doc->Find("kind");
+  if (kind != nullptr) {
+    if (!kind->is_string()) return ProtocolError("JSON 'kind' not a string");
+    std::optional<QueryKind> parsed = KindFromName(kind->string_value);
+    if (!parsed) {
+      return ProtocolError("unknown query kind '" + kind->string_value +
+                           "'");
+    }
+    request.query.kind = *parsed;
+  }
+  const obs::JsonValue* pattern = doc->Find("pattern");
+  if (pattern == nullptr || !pattern->is_string()) {
+    return ProtocolError("JSON request needs a string 'pattern'");
+  }
+  request.query.pattern = pattern->string_value;
+  if (const obs::JsonValue* min_len = doc->Find("min_len");
+      min_len != nullptr) {
+    if (!min_len->is_number() || min_len->number < 0) {
+      return ProtocolError("JSON 'min_len' must be a non-negative number");
+    }
+    request.query.min_len =
+        std::max<uint32_t>(1, static_cast<uint32_t>(min_len->number));
+  }
+  if (const obs::JsonValue* expand = doc->Find("expand");
+      expand != nullptr) {
+    if (expand->kind != obs::JsonValue::Kind::kBool) {
+      return ProtocolError("JSON 'expand' must be a boolean");
+    }
+    request.query.expand_occurrences = expand->bool_value;
+  }
+  return request;
+}
+
+Result<QueryResponse> ParseResponseJson(std::string_view line) {
+  Result<obs::JsonValue> doc = ParseEnvelopeJson(line, "response");
+  if (!doc.ok()) return doc.status();
+  QueryResponse response;
+  if (const obs::JsonValue* id = doc->Find("id");
+      id != nullptr && id->is_number() && id->number >= 0) {
+    response.id = static_cast<uint64_t>(id->number);
+  }
+  const obs::JsonValue* status = doc->Find("status");
+  if (status == nullptr || !status->is_string()) {
+    return ProtocolError("JSON response needs a string 'status'");
+  }
+  std::optional<StatusCode> code = StatusCodeFromName(status->string_value);
+  if (!code) {
+    return ProtocolError("unknown status '" + status->string_value + "'");
+  }
+  response.result.status_code = *code;
+  if (const obs::JsonValue* error = doc->Find("error");
+      error != nullptr && error->is_string()) {
+    response.result.error = error->string_value;
+  }
+  if (const obs::JsonValue* found = doc->Find("found");
+      found != nullptr && found->kind == obs::JsonValue::Kind::kBool) {
+    response.result.found = found->bool_value;
+  }
+  if (const obs::JsonValue* hits = doc->Find("hits"); hits != nullptr) {
+    if (!hits->is_array()) return ProtocolError("JSON 'hits' not an array");
+    for (const obs::JsonValue& entry : hits->array) {
+      const obs::JsonValue* pos = entry.Find("pos");
+      const obs::JsonValue* len = entry.Find("len");
+      const obs::JsonValue* qpos = entry.Find("qpos");
+      if (pos == nullptr || !pos->is_number() || len == nullptr ||
+          !len->is_number() || qpos == nullptr || !qpos->is_number()) {
+        return ProtocolError("malformed JSON hit entry");
+      }
+      response.result.hits.push_back({static_cast<uint32_t>(pos->number),
+                                      static_cast<uint32_t>(len->number),
+                                      static_cast<uint32_t>(qpos->number)});
+    }
+  }
+  if (const obs::JsonValue* ms = doc->Find("ms"); ms != nullptr) {
+    if (!ms->is_array()) return ProtocolError("JSON 'ms' not an array");
+    for (const obs::JsonValue& entry : ms->array) {
+      if (!entry.is_number()) return ProtocolError("malformed JSON ms entry");
+      response.result.matching_stats.push_back(
+          static_cast<uint32_t>(entry.number));
+    }
+  }
+  if (const obs::JsonValue* nodes = doc->Find("nodes_checked");
+      nodes != nullptr && nodes->is_number()) {
+    response.result.stats.nodes_checked =
+        static_cast<uint64_t>(nodes->number);
+  }
+  return response;
+}
+
+// --- query text ------------------------------------------------------------
+
+std::optional<Query> ParseQueryText(std::string_view line,
+                                    uint32_t min_len) {
+  size_t begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string_view::npos || line[begin] == '#') {
+    return std::nullopt;
+  }
+  size_t end = line.find_last_not_of(" \t\r");
+  std::string body(line.substr(begin, end - begin + 1));
+  size_t space = body.find_first_of(" \t");
+  if (space != std::string::npos) {
+    std::string kind = body.substr(0, space);
+    std::string pattern = body.substr(body.find_first_not_of(" \t", space));
+    if (kind == "findall") return Query::FindAll(std::move(pattern));
+    if (kind == "contains") return Query::Contains(std::move(pattern));
+    if (kind == "match") {
+      return Query::MaximalMatches(std::move(pattern), min_len);
+    }
+    if (kind == "ms") return Query::MatchingStats(std::move(pattern));
+  }
+  return Query::FindAll(std::move(body));
+}
+
+void PrintResultSummary(std::ostream& out, const Query& query,
+                        const QueryResult& result, size_t max_listed) {
+  if (!result.ok()) {
+    out << "ERROR: " << result.error;
+    return;
+  }
+  switch (query.kind) {
+    case QueryKind::kContains:
+      out << (result.found ? "yes" : "no");
+      break;
+    case QueryKind::kFindAll:
+      out << result.hits.size() << " occurrence(s)";
+      for (size_t i = 0; i < result.hits.size() && i < max_listed; ++i) {
+        out << " " << result.hits[i].pos;
+      }
+      if (result.hits.size() > max_listed) {
+        out << " (+" << result.hits.size() - max_listed << " more)";
+      }
+      break;
+    case QueryKind::kMaximalMatches:
+      out << result.hits.size() << " match(es)";
+      for (size_t i = 0; i < result.hits.size() && i < max_listed; ++i) {
+        const Hit& hit = result.hits[i];
+        out << " query[" << hit.query_pos << ".."
+            << hit.query_pos + hit.length << ")@" << hit.pos;
+      }
+      if (result.hits.size() > max_listed) {
+        out << " (+" << result.hits.size() - max_listed << " more)";
+      }
+      break;
+    case QueryKind::kMatchingStats: {
+      uint32_t max_ms = 0;
+      uint64_t total = 0;
+      for (uint32_t v : result.matching_stats) {
+        max_ms = std::max(max_ms, v);
+        total += v;
+      }
+      out << "n=" << result.matching_stats.size() << " max=" << max_ms
+          << " mean="
+          << (result.matching_stats.empty()
+                  ? 0.0
+                  : static_cast<double>(total) /
+                        static_cast<double>(result.matching_stats.size()));
+      break;
+    }
+  }
+}
+
+}  // namespace spine::core::wire

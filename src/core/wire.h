@@ -1,0 +1,144 @@
+// The unified request/response envelope shared by every query
+// front-end: the CLI subcommands, the randomized fuzzer, and the
+// `spine serve` network server all (de)serialize queries and answers
+// through exactly these functions — there is no per-frontend ad-hoc
+// parsing or printing left anywhere in the tree.
+//
+// Three representations of the same envelope:
+//
+//   binary frames   the serving wire (docs/SERVING.md):
+//                     u32 length | u8 version | u8 type | payload
+//                   little-endian, length covers version..payload and
+//                   is capped at kMaxFramePayload, so a corrupt prefix
+//                   can never provoke a huge allocation;
+//   JSON lines      one JSON object per line, same fields by name —
+//                   the debugging fallback (`serve` auto-detects it per
+//                   connection) and the `--json` client format;
+//   query text      the human form used by batch pattern files and the
+//                   `query` subcommand ("KIND PATTERN" lines).
+//
+// Versioning: every frame and JSON line carries kWireVersion. Decoders
+// reject other versions with kProtocolError — never a crash, never a
+// silently misread payload (tests/wire_test.cc and the spine_fuzz
+// `frames` mode enforce this over junk/truncated/oversized inputs).
+
+#ifndef SPINE_CORE_WIRE_H_
+#define SPINE_CORE_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/query.h"
+
+namespace spine::core::wire {
+
+// Bumped when the frame layout or a payload encoding changes shape.
+inline constexpr uint8_t kWireVersion = 1;
+
+// Upper bound on the length field of one frame (version byte + type
+// byte + payload). Oversized frames are a protocol error: the decoder
+// refuses them before allocating anything.
+inline constexpr uint32_t kMaxFramePayload = 1u << 24;  // 16 MiB
+
+enum class FrameType : uint8_t {
+  kQuery = 1,          // client -> server: QueryRequest
+  kResponse = 2,       // server -> client: QueryResponse
+  kStats = 3,          // client -> server: STATS verb (empty payload)
+  kStatsResponse = 4,  // server -> client: stats JSON document
+  kError = 5,          // server -> client: connection-level error
+};
+
+// What to ask, plus a client-chosen correlation id echoed back in the
+// response (responses to pipelined requests arrive in request order,
+// but the id makes matching robust and survives shed queries).
+struct QueryRequest {
+  uint64_t id = 0;
+  Query query;
+
+  bool operator==(const QueryRequest&) const = default;
+};
+
+// The answer envelope. `result.status_code` carries per-query verdicts
+// including the serving-layer ones: kOverloaded when admission control
+// shed the query, kInvalidArgument when the backend cannot answer the
+// kind, I/O and corruption verdicts from the medium.
+struct QueryResponse {
+  uint64_t id = 0;
+  QueryResult result;
+};
+
+// Connection-level error frame (protocol violations, where there may be
+// no request id to respond to). After sending one the server closes the
+// connection: framing cannot be trusted once a length prefix lied.
+struct WireError {
+  uint64_t id = 0;  // 0 when the offending frame never yielded an id
+  StatusCode code = StatusCode::kProtocolError;
+  std::string message;
+};
+
+// --- binary frames ---------------------------------------------------------
+
+// Serializers append one complete frame (length prefix included).
+void AppendRequestFrame(const QueryRequest& request, std::string* out);
+void AppendResponseFrame(const QueryResponse& response, std::string* out);
+void AppendStatsRequestFrame(std::string* out);
+void AppendStatsResponseFrame(std::string_view stats_json, std::string* out);
+void AppendErrorFrame(const WireError& error, std::string* out);
+
+// One frame lifted out of a byte stream; `payload` points into the
+// caller's buffer (valid only while the buffer lives).
+struct Frame {
+  uint8_t version = 0;
+  FrameType type = FrameType::kError;
+  std::string_view payload;
+};
+
+// Extracts the first complete frame from `buffer`. Three outcomes:
+//   OK, *consumed > 0   — *frame is valid, drop *consumed bytes;
+//   OK, *consumed == 0  — the buffer holds only a partial frame, read
+//                         more bytes and try again;
+//   kProtocolError      — the prefix can never become a valid frame
+//                         (oversized length, bad version, unknown
+//                         type); close the connection.
+Status ExtractFrame(std::string_view buffer, Frame* frame, size_t* consumed);
+
+// Payload decoders for the matching FrameType. All reject malformed
+// payloads with kProtocolError.
+Result<QueryRequest> DecodeRequest(std::string_view payload);
+Result<QueryResponse> DecodeResponse(std::string_view payload);
+Result<std::string> DecodeStatsResponse(std::string_view payload);
+Result<WireError> DecodeError(std::string_view payload);
+
+// --- JSON lines ------------------------------------------------------------
+
+// {"v":1,"type":"query","id":N,"kind":"findall","pattern":"...",
+//  "min_len":N,"expand":bool} — and the response mirror with "status",
+// "found", "hits":[{"pos","len","qpos"}], "ms":[...], "error".
+std::string RequestToJson(const QueryRequest& request);
+std::string ResponseToJson(const QueryResponse& response);
+Result<QueryRequest> ParseRequestJson(std::string_view line);
+Result<QueryResponse> ParseResponseJson(std::string_view line);
+
+// --- query text ------------------------------------------------------------
+
+// One line of the human query form: 'PATTERN' (findall) or
+// 'KIND PATTERN' with KIND in {findall, contains, match, ms}. Blank
+// lines and '#' comments yield nullopt. `min_len` seeds
+// Query::min_len for match queries.
+std::optional<Query> ParseQueryText(std::string_view line, uint32_t min_len);
+
+// Human rendering of one answer, e.g. "4 occurrence(s) 0 4 8 12" or
+// "ERROR: ...". At most `max_listed` hits are listed, then
+// "(+k more)"; pass SIZE_MAX to list everything. Shared by the CLI's
+// query and batch printers.
+void PrintResultSummary(std::ostream& out, const Query& query,
+                        const QueryResult& result,
+                        size_t max_listed = 16);
+
+}  // namespace spine::core::wire
+
+#endif  // SPINE_CORE_WIRE_H_

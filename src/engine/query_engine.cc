@@ -49,7 +49,7 @@ QueryResult QueryEngine::AnswerOne(const core::Index& index,
       // Only kIoError is presumed transient; corruption and everything
       // else is a property of the data, not the attempt.
       if (result.status_code != StatusCode::kIoError ||
-          attempt >= options_.max_retries) {
+          attempt >= options_.retry_limit) {
         break;
       }
       ++*retries;

@@ -21,7 +21,7 @@
 // detects corruption yields a per-query error QueryResult (status_code
 // != kOk) while the rest of the batch completes normally. Transient
 // kIoError failures are retried with exponential backoff
-// (Options::max_retries); kCorruption is never retried (the medium is
+// (Options::retry_limit); kCorruption is never retried (the medium is
 // wrong, not the moment). Error results are never cached.
 //
 // The multi-index overload fans one batch across several indexes at
@@ -60,13 +60,20 @@ struct BatchStats {
 
 class QueryEngine {
  public:
+  // Field names follow the one naming scheme shared with
+  // serve::Options (threads / queue_cap / retry_* / tracing); the
+  // defaults table for both lives in docs/SERVING.md.
   struct Options {
     uint32_t threads = 0;      // 0 → hardware concurrency
     uint64_t cache_bytes = 0;  // 0 → result cache disabled
     // Transient-fault handling: a query failing with kIoError is
-    // re-executed up to max_retries times, sleeping retry_backoff_us,
+    // re-executed up to retry_limit times, sleeping retry_backoff_us,
     // 2x, 4x, ... between attempts. Corruption is never retried.
-    uint32_t max_retries = 2;
+    union {
+      uint32_t retry_limit = 2;
+      // Pre-serve spelling; same storage, removed next release.
+      [[deprecated("renamed retry_limit")]] uint32_t max_retries;
+    };
     uint32_t retry_backoff_us = 500;
     // Collect a per-query TraceContext (spans + notes) into
     // BatchStats::traces. No effect on results or on builds compiled

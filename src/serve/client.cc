@@ -1,0 +1,222 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace spine::serve {
+
+namespace wire = core::wire;
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               bool json) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::IoError("connect " + host + ":" +
+                                    std::to_string(port) + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return Client(fd, json);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      json_(other.json_),
+      buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    json_ = other.json_;
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::FailedPrecondition("client moved-from");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::Send(const wire::QueryRequest& request) {
+  std::string out;
+  if (json_) {
+    out = wire::RequestToJson(request);
+    out += '\n';
+  } else {
+    wire::AppendRequestFrame(request, &out);
+  }
+  return SendRaw(out);
+}
+
+Status Client::SendStatsRequest() {
+  std::string out;
+  if (json_) {
+    out = "{\"v\":1,\"type\":\"stats\"}\n";
+  } else {
+    wire::AppendStatsRequestFrame(&out);
+  }
+  return SendRaw(out);
+}
+
+void Client::ShutdownSend() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Status Client::FillOne() {
+  char chunk[64 * 1024];
+  while (true) {
+    if (json_) {
+      if (buffer_.find('\n') != std::string::npos) return Status::OK();
+    } else {
+      wire::Frame frame;
+      size_t consumed = 0;
+      Status status = wire::ExtractFrame(buffer_, &frame, &consumed);
+      if (!status.ok()) return status;
+      if (consumed > 0) return Status::OK();
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status Client::NextFrame(wire::Frame* frame, std::string* storage) {
+  Status status = FillOne();
+  if (!status.ok()) return status;
+  size_t consumed = 0;
+  status = wire::ExtractFrame(buffer_, frame, &consumed);
+  if (!status.ok()) return status;
+  // Detach the payload from buffer_ so the caller outlives the erase.
+  *storage = std::string(frame->payload);
+  frame->payload = *storage;
+  buffer_.erase(0, consumed);
+  return Status::OK();
+}
+
+Status Client::NextLine(std::string* line) {
+  Status status = FillOne();
+  if (!status.ok()) return status;
+  const size_t newline = buffer_.find('\n');
+  *line = buffer_.substr(0, newline);
+  buffer_.erase(0, newline + 1);
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+  return Status::OK();
+}
+
+namespace {
+
+// A JSON-mode server error line ({"type":"error",...}) mapped onto its
+// own Status, or nullopt when `line` is not an error object.
+std::optional<Status> JsonErrorStatus(const std::string& line) {
+  Result<obs::JsonValue> doc = obs::ParseJson(line);
+  if (!doc.ok() || !doc->is_object()) return std::nullopt;
+  const obs::JsonValue* type = doc->Find("type");
+  if (type == nullptr || !type->is_string() ||
+      type->string_value != "error") {
+    return std::nullopt;
+  }
+  const obs::JsonValue* error = doc->Find("error");
+  std::string message =
+      error != nullptr && error->is_string() ? error->string_value : line;
+  const obs::JsonValue* code = doc->Find("status");
+  if (code != nullptr && code->is_string() &&
+      code->string_value == "Overloaded") {
+    return Status::Overloaded(std::move(message));
+  }
+  return Status::ProtocolError(std::move(message));
+}
+
+}  // namespace
+
+Result<wire::QueryResponse> Client::ReceiveResponse() {
+  if (json_) {
+    std::string line;
+    Status status = NextLine(&line);
+    if (!status.ok()) return status;
+    if (std::optional<Status> error = JsonErrorStatus(line)) return *error;
+    return wire::ParseResponseJson(line);
+  }
+  wire::Frame frame;
+  std::string storage;
+  Status status = NextFrame(&frame, &storage);
+  if (!status.ok()) return status;
+  if (frame.type == wire::FrameType::kError) {
+    Result<wire::WireError> error = wire::DecodeError(frame.payload);
+    if (!error.ok()) return error.status();
+    return Status(error->code, std::move(error->message));
+  }
+  if (frame.type != wire::FrameType::kResponse) {
+    return Status::ProtocolError(
+        "expected response frame, got type " +
+        std::to_string(static_cast<int>(frame.type)));
+  }
+  return wire::DecodeResponse(frame.payload);
+}
+
+Result<std::string> Client::ReceiveStatsJson() {
+  if (json_) {
+    std::string line;
+    Status status = NextLine(&line);
+    if (!status.ok()) return status;
+    if (std::optional<Status> error = JsonErrorStatus(line)) return *error;
+    return line;
+  }
+  wire::Frame frame;
+  std::string storage;
+  Status status = NextFrame(&frame, &storage);
+  if (!status.ok()) return status;
+  if (frame.type == wire::FrameType::kError) {
+    Result<wire::WireError> error = wire::DecodeError(frame.payload);
+    if (!error.ok()) return error.status();
+    return Status(error->code, std::move(error->message));
+  }
+  if (frame.type != wire::FrameType::kStatsResponse) {
+    return Status::ProtocolError(
+        "expected stats frame, got type " +
+        std::to_string(static_cast<int>(frame.type)));
+  }
+  return wire::DecodeStatsResponse(frame.payload);
+}
+
+}  // namespace spine::serve

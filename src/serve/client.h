@@ -1,0 +1,77 @@
+// Blocking TCP client for the spine serve wire protocol.
+//
+// Speaks both dialects of core/wire.h — binary frames (default) and
+// JSON lines — against a running serve::Server. Used by
+// tests/serve_test.cc (protocol-level correctness) and
+// bench/bench_serve.cc (open-loop load generation).
+//
+// The client is deliberately synchronous: Send*() appends bytes to the
+// socket, Receive*() blocks until one complete reply is buffered.
+// Pipelining is just calling Send() N times before Receive() N times —
+// the server answers in request order, and request ids make the
+// pairing auditable either way.
+
+#ifndef SPINE_SERVE_CLIENT_H_
+#define SPINE_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/wire.h"
+
+namespace spine::serve {
+
+class Client {
+ public:
+  // Connects to host:port. With `json` set, every exchange uses the
+  // JSON-lines dialect (the first byte written switches the server's
+  // connection mode).
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                bool json = false);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool json() const { return json_; }
+  int fd() const { return fd_; }
+
+  Status Send(const core::wire::QueryRequest& request);
+  Status SendStatsRequest();
+  // Raw bytes straight onto the socket — the hook tests and the fuzzer
+  // use to deliver malformed frames.
+  Status SendRaw(std::string_view bytes);
+
+  // Blocks for the next response frame / line. A connection-level error
+  // frame (or JSON error line) comes back as the error's own Status; a
+  // closed socket yields kIoError.
+  Result<core::wire::QueryResponse> ReceiveResponse();
+  // Blocks for the next stats document (reply to SendStatsRequest).
+  Result<std::string> ReceiveStatsJson();
+
+  // Half-closes the write side; the server drains what was sent and
+  // then sees EOF. Receive*() keeps working until the server closes.
+  void ShutdownSend();
+
+ private:
+  Client(int fd, bool json) : fd_(fd), json_(json) {}
+
+  // Reads until `buffer_` holds one complete frame (binary) or one
+  // newline-terminated line (JSON). OK means it does.
+  Status FillOne();
+  Status NextFrame(core::wire::Frame* frame, std::string* storage);
+  Status NextLine(std::string* line);
+
+  int fd_ = -1;
+  bool json_ = false;
+  std::string buffer_;
+};
+
+}  // namespace spine::serve
+
+#endif  // SPINE_SERVE_CLIENT_H_

@@ -1,0 +1,479 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "core/wire.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace spine::serve {
+
+namespace wire = core::wire;
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+engine::QueryEngine::Options EngineOptions(const Options& options) {
+  engine::QueryEngine::Options engine_options;
+  engine_options.threads = options.threads;
+  engine_options.cache_bytes = options.cache_bytes;
+  engine_options.retry_limit = options.retry_limit;
+  engine_options.retry_backoff_us = options.retry_backoff_us;
+  engine_options.tracing = options.tracing;
+  return engine_options;
+}
+
+// One query lifted off the wire, waiting for admission.
+struct Pending {
+  wire::QueryRequest request;
+  SteadyClock::time_point decoded_at;
+};
+
+QueryResult OverloadedResult(uint32_t inflight, uint32_t max_inflight) {
+  QueryResult result;
+  result.status_code = StatusCode::kOverloaded;
+  result.error = "server overloaded (" + std::to_string(inflight) + "/" +
+                 std::to_string(max_inflight) +
+                 " queries in flight); retry with backoff";
+  return result;
+}
+
+// JSON-mode connection-level error line (the JSON twin of the binary
+// kError frame).
+std::string ErrorJsonLine(const Status& status) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("v");
+  json.Value(static_cast<uint64_t>(wire::kWireVersion));
+  json.Key("type");
+  json.Value("error");
+  json.Key("status");
+  json.Value(StatusCodeToString(status.code()));
+  json.Key("error");
+  json.Value(status.message());
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+}  // namespace
+
+struct Server::Connection {
+  int fd = -1;
+  std::thread thread;
+  std::string buffer;
+  enum class Mode { kUnknown, kBinary, kJson } mode = Mode::kUnknown;
+  std::atomic<bool> done{false};
+};
+
+Server::Server(const core::Index& index, const Options& options)
+    : index_(index), options_(options), engine_(EngineOptions(options)) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" + options_.host +
+                                   "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    Status status = Status::IoError("cannot listen on " + options_.host +
+                                    ":" + std::to_string(options_.port) +
+                                    ": " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  running_.store(true, std::memory_order_release);
+  drain_.store(false, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::RequestDrain() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  drain_.store(true, std::memory_order_release);
+  // Wake the acceptor out of accept(2) and half-close every connection
+  // for reading: readers finish what the kernel already buffered (every
+  // accepted query still gets its response), then see EOF and exit.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  for (const auto& connection : connections_) {
+    if (!connection->done.load(std::memory_order_acquire)) {
+      ::shutdown(connection->fd, SHUT_RD);
+    }
+  }
+}
+
+void Server::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  RequestDrain();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    connections.swap(connections_);
+  }
+  for (auto& connection : connections) {
+    if (connection->thread.joinable()) connection->thread.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+ServerStats Server::stats() const {
+  ServerStats stats;
+  stats.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  stats.connections_open = open_.load(std::memory_order_relaxed);
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::string Server::StatsJson() const {
+  const ServerStats snapshot = stats();
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("schema_version");
+  json.Value(obs::kStatsSchemaVersion);
+  json.Key("command");
+  json.Value("serve");
+  json.Key("metrics");
+  json.RawValue(obs::Registry::ToJson(obs::Registry::Default().Snapshot()));
+  json.Key("serve");
+  json.BeginObject();
+  json.Key("backend");
+  json.Value(index_.Name());
+  json.Key("characters");
+  json.Value(index_.size());
+  json.Key("connections_accepted");
+  json.Value(snapshot.connections_accepted);
+  json.Key("connections_open");
+  json.Value(snapshot.connections_open);
+  json.Key("queries");
+  json.Value(snapshot.queries);
+  json.Key("shed");
+  json.Value(snapshot.shed);
+  json.Key("protocol_errors");
+  json.Value(snapshot.protocol_errors);
+  json.Key("bytes_in");
+  json.Value(snapshot.bytes_in);
+  json.Key("bytes_out");
+  json.Value(snapshot.bytes_out);
+  json.Key("threads");
+  json.Value(engine_.thread_count());
+  json.Key("queue_cap");
+  json.Value(options_.queue_cap);
+  json.Key("max_inflight");
+  json.Value(options_.max_inflight);
+  json.EndObject();
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+namespace {
+
+// Loops send(2) over partial writes; MSG_NOSIGNAL so a vanished client
+// surfaces as EPIPE instead of killing the process.
+bool WriteAll(int fd, std::string_view data, std::atomic<uint64_t>* bytes) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  bytes->fetch_add(data.size(), std::memory_order_relaxed);
+  SPINE_OBS_COUNT("serve.bytes_out", data.size());
+  return true;
+}
+
+}  // namespace
+
+void Server::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (drain) or unrecoverable
+    }
+    if (drain_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    JoinFinishedConnections();
+    if (open_.load(std::memory_order_relaxed) >= options_.max_connections) {
+      // Reject at the door with a connection-level overload error (a
+      // binary kError frame; the mode sniff never ran, see SERVING.md).
+      std::string frame;
+      wire::AppendErrorFrame(
+          {0, StatusCode::kOverloaded,
+           "connection limit reached (" +
+               std::to_string(options_.max_connections) + ")"},
+          &frame);
+      WriteAll(fd, frame, &bytes_out_);
+      ::close(fd);
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      SPINE_OBS_COUNT("serve.shed", 1);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    open_.fetch_add(1, std::memory_order_relaxed);
+    SPINE_OBS_COUNT("serve.connections_total", 1);
+    SPINE_OBS_GAUGE_SET("serve.connections",
+                        static_cast<int64_t>(
+                            open_.load(std::memory_order_relaxed)));
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+  }
+}
+
+void Server::JoinFinishedConnections() {
+  std::lock_guard<std::mutex> lock(connections_mu_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::ConnectionLoop(Connection* connection) {
+  char chunk[64 * 1024];
+  while (true) {
+    ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF (client closed, or drain half-close)
+    bytes_in_.fetch_add(static_cast<uint64_t>(n),
+                        std::memory_order_relaxed);
+    SPINE_OBS_COUNT("serve.bytes_in", static_cast<uint64_t>(n));
+    connection->buffer.append(chunk, static_cast<size_t>(n));
+    if (!ProcessBuffered(connection)) break;
+  }
+  ::close(connection->fd);
+  open_.fetch_sub(1, std::memory_order_relaxed);
+  SPINE_OBS_GAUGE_SET("serve.connections",
+                      static_cast<int64_t>(
+                          open_.load(std::memory_order_relaxed)));
+  connection->done.store(true, std::memory_order_release);
+}
+
+bool Server::ProcessBuffered(Connection* connection) {
+  if (connection->mode == Connection::Mode::kUnknown) {
+    if (connection->buffer.empty()) return true;
+    // Binary frames start with a little-endian length whose low byte is
+    // never '{' for sane frame sizes below 123 bytes — but rather than
+    // rely on that, the spec simply reserves '{' as the JSON-mode
+    // introducer: a binary first frame always begins with its length
+    // prefix, and no valid frame under the 16 MiB cap starts 0x7b 0x??
+    // 0x?? 0x7b. One sniff per connection, then the mode is sticky.
+    connection->mode = connection->buffer[0] == '{'
+                          ? Connection::Mode::kJson
+                          : Connection::Mode::kBinary;
+  }
+
+  const bool json = connection->mode == Connection::Mode::kJson;
+  std::vector<Pending> window;
+  std::string out;
+
+  // Flushes `window` through admission control + the engine, appending
+  // one response per request (in order) to `out`.
+  auto flush_window = [&]() {
+    if (window.empty()) return;
+    // Per-connection bound: everything beyond queue_cap in this batch
+    // window is shed outright.
+    uint32_t candidates = static_cast<uint32_t>(
+        std::min<size_t>(window.size(), options_.queue_cap));
+    // Server-wide bound: reserve up to max_inflight slots.
+    uint32_t granted = 0;
+    uint32_t current = inflight_.load(std::memory_order_relaxed);
+    while (true) {
+      const uint32_t room =
+          current >= options_.max_inflight ? 0
+                                           : options_.max_inflight - current;
+      granted = std::min(candidates, room);
+      if (granted == 0) break;
+      if (inflight_.compare_exchange_weak(current, current + granted,
+                                          std::memory_order_acq_rel)) {
+        break;
+      }
+    }
+
+    std::vector<Query> queries;
+    queries.reserve(granted);
+    for (uint32_t i = 0; i < granted; ++i) {
+      queries.push_back(window[i].request.query);
+    }
+    const SteadyClock::time_point exec_start = SteadyClock::now();
+#if !defined(SPINE_OBS_DISABLED)
+    for (uint32_t i = 0; i < granted; ++i) {
+      using Micros = std::chrono::duration<double, std::micro>;
+      const double wait_us =
+          Micros(exec_start - window[i].decoded_at).count();
+      SPINE_OBS_OBSERVE_US("serve.queue_wait_us", wait_us);
+    }
+#else
+    (void)exec_start;
+#endif
+    std::vector<QueryResult> results;
+    if (granted > 0) {
+      results = engine_.ExecuteBatch(index_, queries);
+      inflight_.fetch_sub(granted, std::memory_order_acq_rel);
+      queries_.fetch_add(granted, std::memory_order_relaxed);
+      SPINE_OBS_COUNT("serve.queries", granted);
+    }
+    const uint32_t shed_here = static_cast<uint32_t>(window.size()) - granted;
+    if (shed_here > 0) {
+      shed_.fetch_add(shed_here, std::memory_order_relaxed);
+      SPINE_OBS_COUNT("serve.shed", shed_here);
+    }
+    const uint32_t inflight_now =
+        inflight_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < window.size(); ++i) {
+      wire::QueryResponse response;
+      response.id = window[i].request.id;
+      response.result =
+          i < granted ? std::move(results[i])
+                      : OverloadedResult(inflight_now + shed_here,
+                                         options_.max_inflight);
+      if (json) {
+        out += wire::ResponseToJson(response);
+        out += '\n';
+      } else {
+        wire::AppendResponseFrame(response, &out);
+      }
+    }
+    window.clear();
+  };
+
+  // Answers a protocol violation: emit the connection-level error in
+  // the connection's own dialect, then signal the caller to close
+  // (framing cannot be resynchronized after a lying prefix).
+  auto protocol_error = [&](const Status& status) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    SPINE_OBS_COUNT("serve.protocol_errors", 1);
+    if (json) {
+      out += ErrorJsonLine(status);
+      out += '\n';
+    } else {
+      wire::AppendErrorFrame(
+          {0, status.code(), std::string(status.message())}, &out);
+    }
+    WriteAll(connection->fd, out, &bytes_out_);
+    return false;
+  };
+
+  if (json) {
+    size_t newline;
+    while ((newline = connection->buffer.find('\n')) != std::string::npos) {
+      std::string line = connection->buffer.substr(0, newline);
+      connection->buffer.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      // The STATS verb in JSON dress; checked before the request parse
+      // so its error message does not claim a missing pattern.
+      if (line.find("\"stats\"") != std::string::npos) {
+        Result<obs::JsonValue> doc = obs::ParseJson(line);
+        if (doc.ok() && doc->is_object()) {
+          const obs::JsonValue* type = doc->Find("type");
+          if (type != nullptr && type->is_string() &&
+              type->string_value == "stats") {
+            flush_window();
+            out += StatsJson();
+            out += '\n';
+            continue;
+          }
+        }
+      }
+      Result<wire::QueryRequest> request = wire::ParseRequestJson(line);
+      if (!request.ok()) return protocol_error(request.status());
+      window.push_back({*std::move(request), SteadyClock::now()});
+    }
+  } else {
+    while (true) {
+      wire::Frame frame;
+      size_t consumed = 0;
+      Status status =
+          wire::ExtractFrame(connection->buffer, &frame, &consumed);
+      if (!status.ok()) return protocol_error(status);
+      if (consumed == 0) break;  // partial frame: wait for more bytes
+      switch (frame.type) {
+        case wire::FrameType::kQuery: {
+          Result<wire::QueryRequest> request =
+              wire::DecodeRequest(frame.payload);
+          if (!request.ok()) return protocol_error(request.status());
+          window.push_back({*std::move(request), SteadyClock::now()});
+          break;
+        }
+        case wire::FrameType::kStats:
+          flush_window();
+          wire::AppendStatsResponseFrame(StatsJson(), &out);
+          break;
+        default:
+          // Clients must not send server-to-client frame types.
+          return protocol_error(Status::ProtocolError(
+              "unexpected client frame type " +
+              std::to_string(static_cast<int>(frame.type))));
+      }
+      connection->buffer.erase(0, consumed);
+    }
+  }
+
+  flush_window();
+  if (out.empty()) return true;
+  return WriteAll(connection->fd, out, &bytes_out_);
+}
+
+}  // namespace spine::serve

@@ -1,0 +1,158 @@
+// spine serve: the networked query front-end.
+//
+// A Server listens on a TCP port and answers wire-envelope queries
+// (core/wire.h) against any core::Index — a compact image, a paged
+// disk index, or a ShardedIndex family opened through the
+// BackendRegistry. The protocol is the length-prefixed binary framing
+// of core/wire.h, with a JSON-lines fallback auto-detected per
+// connection (a first byte of '{' switches the whole connection to
+// JSON mode) for debugging with nothing but nc.
+//
+// Threading model
+//   One acceptor thread owns the listening socket. Each accepted
+//   connection gets a reader thread that drains complete frames from
+//   its socket in batch windows and executes the admitted queries
+//   through the shared engine::QueryEngine::ExecuteBatch — so the
+//   actual query work runs on the engine's work-stealing ThreadPool,
+//   not on connection threads, and heterogeneous connections share
+//   one result cache and one set of workers.
+//
+// Admission control and load-shed
+//   Two bounds protect the engine from saturation:
+//     queue_cap      per-connection: at most this many queries from one
+//                    batch window are queued for execution; the excess
+//                    is shed immediately.
+//     max_inflight   server-wide: queries admitted across all
+//                    connections at any instant.
+//   A shed query is answered — in order, with its request id — by a
+//   QueryResponse whose status is StatusCode::kOverloaded. Clients see
+//   a distinct, retryable verdict instead of a stalled socket.
+//
+// Graceful drain
+//   RequestDrain() stops the acceptor and half-closes every connection
+//   for reading. Reader threads finish whatever the kernel had already
+//   buffered — every accepted query still gets its response — then the
+//   connections close. Stop() drains and joins everything.
+//   (`spine serve` wires SIGTERM/SIGINT to exactly this sequence and
+//   flushes a final stats snapshot.)
+//
+// Observability: serve.* metrics (connections, queries, shed,
+// queue_wait_us, bytes in/out, protocol errors) land in the default
+// obs::Registry; the STATS protocol verb and `stats --json` both emit
+// the same versioned snapshot. docs/SERVING.md holds the full spec.
+
+#ifndef SPINE_SERVE_SERVER_H_
+#define SPINE_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "core/index.h"
+#include "engine/query_engine.h"
+
+namespace spine::serve {
+
+// Same naming scheme as engine::QueryEngine::Options (threads /
+// queue_cap / retry_* / tracing); the combined defaults table lives in
+// docs/SERVING.md.
+struct Options {
+  std::string host = "127.0.0.1";  // bind address
+  uint16_t port = 0;               // 0 → ephemeral; read back via port()
+  uint32_t threads = 0;            // engine pool size, 0 → hardware
+  uint32_t queue_cap = 64;         // per-connection admitted-queue bound
+  uint32_t max_inflight = 256;     // server-wide admission bound
+  uint32_t max_connections = 64;   // accepted sockets at once
+  uint64_t cache_bytes = 0;        // engine result cache, 0 → disabled
+  uint32_t retry_limit = 2;        // engine transient-fault retries
+  uint32_t retry_backoff_us = 500;
+  bool tracing = false;            // per-query engine traces (in-process)
+};
+
+// Monotonic totals since Start(); readable while serving.
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_open = 0;
+  uint64_t queries = 0;          // admitted and executed
+  uint64_t shed = 0;             // rejected with kOverloaded
+  uint64_t protocol_errors = 0;  // connections killed by bad frames
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+class Server {
+ public:
+  // The index must outlive the server. All option fields are fixed at
+  // construction.
+  Server(const core::Index& index, const Options& options);
+  ~Server();  // Stop()s if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens and spawns the acceptor. Fails with kIoError when
+  // the address cannot be bound, kInvalidArgument for a bad host.
+  Status Start();
+
+  // Port actually bound (resolves port 0 after Start()).
+  uint16_t port() const { return port_; }
+  bool draining() const { return drain_.load(std::memory_order_acquire); }
+
+  // Stops accepting and half-closes every connection for reading;
+  // in-flight and already-buffered queries still complete and their
+  // responses are written. Idempotent, non-blocking.
+  void RequestDrain();
+
+  // RequestDrain() + join acceptor and every connection thread. After
+  // Stop() the stats are final. Idempotent.
+  void Stop();
+
+  ServerStats stats() const;
+
+  // The versioned stats snapshot served by the STATS verb:
+  // {"schema_version":N,"command":"serve","metrics":{...},
+  //  "serve":{connections, queries, shed, ...}}.
+  std::string StatsJson() const;
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* connection);
+  // Decodes and answers every complete frame currently in
+  // `connection`'s buffer; returns false when the connection must
+  // close (protocol error or write failure).
+  bool ProcessBuffered(Connection* connection);
+  void JoinFinishedConnections();
+
+  const core::Index& index_;
+  const Options options_;
+  engine::QueryEngine engine_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> drain_{false};
+
+  std::mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  std::atomic<uint32_t> inflight_{0};  // admitted, not yet answered
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> open_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+};
+
+}  // namespace spine::serve
+
+#endif  // SPINE_SERVE_SERVER_H_

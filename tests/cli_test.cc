@@ -433,5 +433,57 @@ TEST(CliTest, VerifyDetectsBitFlippedImageWithExitCode3) {
   EXPECT_EQ(RunCli({"verify", garbage}).code, 3);
 }
 
+// The exit-code table (ExitCode in cli.h) is a stable contract: every
+// StatusCode maps to exactly the documented number, including the
+// serving-layer codes. Scripts match on these, so a renumbering must
+// fail loudly here.
+TEST(CliTest, ExitCodeTableIsTotalAndStable) {
+  EXPECT_EQ(ExitCodeFor(StatusCode::kOk), 0);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kIoError), 1);
+  // 2 is kExitUsage: malformed command lines only, never a StatusCode.
+  EXPECT_EQ(ExitCodeFor(StatusCode::kCorruption), 3);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kInvalidArgument), 4);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kNotFound), 5);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kResourceExhausted), 6);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kOutOfRange), 7);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kFailedPrecondition), 7);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kOverloaded), 8);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kProtocolError), 9);
+
+  EXPECT_EQ(ExitCodeFor(StatusCode::kOk), kExitOk);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kOverloaded), kExitOverloaded);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kProtocolError), kExitProtocolError);
+
+  // The usage text documents the same table.
+  CliResult help = RunCli({"help"});
+  EXPECT_NE(help.out.find("8 overloaded"), std::string::npos);
+  EXPECT_NE(help.out.find("9 protocol"), std::string::npos);
+}
+
+TEST(CliTest, ServeValidatesItsArguments) {
+  CliResult missing = RunCli({"serve"});
+  EXPECT_EQ(missing.code, kExitUsage);
+  EXPECT_NE(missing.err.find("serve requires"), std::string::npos);
+
+  const std::string fasta = TempPath("cli_serve.fa");
+  const std::string index = TempPath("cli_serve.spine");
+  WriteFile(fasta, ">s\nACGTACGTACGTACGT\n");
+  ASSERT_EQ(RunCli({"build", fasta, index}).code, 0);
+
+  EXPECT_EQ(RunCli({"serve", index, "--port=70000"}).code,
+            kExitInvalidArgument);
+  EXPECT_EQ(RunCli({"serve", index, "--host=not.an.address"}).code,
+            kExitInvalidArgument);
+  EXPECT_EQ(RunCli({"serve", index, "--queue-cap=0"}).code,
+            kExitInvalidArgument);
+  EXPECT_EQ(RunCli({"serve", TempPath("cli_serve_missing.spine")}).code,
+            kExitIoError);
+
+  // Usage mentions serve and points at the protocol spec.
+  CliResult help = RunCli({"help"});
+  EXPECT_NE(help.out.find("serve <artifact>"), std::string::npos);
+  EXPECT_NE(help.out.find("SERVING.md"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace spine::cli

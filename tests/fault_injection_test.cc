@@ -192,7 +192,7 @@ TEST(FaultInjectionTest, EngineRetryHealsTransientReadError) {
 
   engine::QueryEngine engine({.threads = 2,
                               .cache_bytes = 0,
-                              .max_retries = 2,
+                              .retry_limit = 2,
                               .retry_backoff_us = 0});
   std::string pattern = s.substr(100, 8);
   std::vector<Query> queries = {Query::FindAll(pattern)};
@@ -255,7 +255,7 @@ TEST(FaultInjectionTest, PersistentCorruptionFailsPerQueryNotPerBatch) {
   std::vector<Query> queries = MakeQueries(qrng, s, 8);
   engine::QueryEngine engine({.threads = 2,
                               .cache_bytes = 0,
-                              .max_retries = 2,
+                              .retry_limit = 2,
                               .retry_backoff_us = 0});
   core::DiskSpineAdapter adapter(**disk);
   engine::BatchStats stats;

@@ -205,7 +205,7 @@ TEST(MetricsInvariantTest, EngineRetriesMatchBatchStats) {
   RegistryDelta delta;
   engine::QueryEngine engine({.threads = 2,
                               .cache_bytes = 0,
-                              .max_retries = 2,
+                              .retry_limit = 2,
                               .retry_backoff_us = 0});
   std::vector<Query> queries = {Query::FindAll(s.substr(50, 8)),
                                 Query::Contains(s.substr(500, 6))};

@@ -1,0 +1,416 @@
+// End-to-end tests for the spine serve network front-end: responses
+// over the wire match in-process execution exactly, admission control
+// sheds with kOverloaded instead of stalling, graceful drain answers
+// everything already accepted, and protocol violations kill the
+// connection cleanly — never the server.
+
+#include "serve/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "compact/compact_spine.h"
+#include "core/adapters.h"
+#include "core/query.h"
+#include "core/wire.h"
+#include "obs/json.h"
+#include "serve/client.h"
+#include "shard/sharded_index.h"
+#include "test_util.h"
+
+namespace spine::serve {
+namespace {
+
+namespace wire = core::wire;
+using spine::test::TestCorpus;
+
+// One shared fixture corpus/index per binary: building the index once
+// keeps the suite fast, and every test treats it as read-only.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new std::string(TestCorpus(20000));
+    index_ = new CompactSpineIndex(Alphabet::Dna());
+    ASSERT_TRUE(index_->AppendString(*corpus_).ok());
+    adapter_ = new core::CompactSpineAdapter(*index_);
+  }
+  static void TearDownTestSuite() {
+    delete adapter_;
+    delete index_;
+    delete corpus_;
+    adapter_ = nullptr;
+    index_ = nullptr;
+    corpus_ = nullptr;
+  }
+
+  // A deterministic mixed-kind query stream; `salt` decorrelates the
+  // streams of concurrent clients.
+  static Query NthQuery(size_t i, size_t salt) {
+    const size_t len = 6 + (i * 7 + salt) % 20;
+    const size_t offset = (i * 131 + salt * 977) % (corpus_->size() - 128);
+    std::string pattern = corpus_->substr(offset, len);
+    switch (i % 4) {
+      case 0:
+        return Query::FindAll(pattern);
+      case 1:
+        return Query::Contains(pattern);
+      case 2:
+        return Query::MaximalMatches(corpus_->substr(offset, 64), 8);
+      default:
+        return Query::MatchingStats(corpus_->substr(offset, 32));
+    }
+  }
+
+  static std::string* corpus_;
+  static CompactSpineIndex* index_;
+  static core::CompactSpineAdapter* adapter_;
+};
+
+std::string* ServeTest::corpus_ = nullptr;
+CompactSpineIndex* ServeTest::index_ = nullptr;
+core::CompactSpineAdapter* ServeTest::adapter_ = nullptr;
+
+Options TestOptions() {
+  Options options;
+  options.port = 0;  // ephemeral
+  options.threads = 4;
+  return options;
+}
+
+TEST_F(ServeTest, ConcurrentClientsMatchInProcessExecutionExactly) {
+  Server server(*adapter_, TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_NE(server.port(), 0);
+
+  constexpr int kClients = 4;
+  constexpr size_t kQueriesPerClient = 60;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Result<Client> client = Client::Connect("127.0.0.1", server.port(),
+                                              /*json=*/c % 2 == 1);
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (size_t i = 0; i < kQueriesPerClient; ++i) {
+        const Query query = NthQuery(i, static_cast<size_t>(c));
+        const uint64_t id = static_cast<uint64_t>(c) * 1000 + i;
+        if (!client->Send({id, query}).ok()) {
+          ++failures;
+          return;
+        }
+        Result<wire::QueryResponse> response = client->ReceiveResponse();
+        if (!response.ok() || response->id != id) {
+          ++failures;
+          return;
+        }
+        // The ground truth: the same Index the server wraps, executed
+        // in-process. The wire answer must be payload-identical.
+        const QueryResult oracle = adapter_->Execute(query);
+        if (!response->result.SameAnswer(oracle)) ++failures;
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries, kClients * kQueriesPerClient);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  server.Stop();
+}
+
+TEST_F(ServeTest, PipelinedRequestsAnswerInOrderAfterClientEof) {
+  Server server(*adapter_, TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Result<Client> client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  constexpr size_t kCount = 40;
+  std::string burst;
+  for (size_t i = 0; i < kCount; ++i) {
+    wire::AppendRequestFrame({i, NthQuery(i, 3)}, &burst);
+  }
+  ASSERT_TRUE(client->SendRaw(burst).ok());
+  // EOF-drain path: the server must answer every frame it received
+  // before the half-close, then close the connection.
+  client->ShutdownSend();
+  for (size_t i = 0; i < kCount; ++i) {
+    Result<wire::QueryResponse> response = client->ReceiveResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString() << " at "
+                               << i;
+    EXPECT_EQ(response->id, i);  // responses arrive in request order
+    EXPECT_TRUE(
+        response->result.SameAnswer(adapter_->Execute(NthQuery(i, 3))));
+  }
+  EXPECT_FALSE(client->ReceiveResponse().ok());  // clean EOF afterwards
+  server.Stop();
+}
+
+TEST_F(ServeTest, SaturatingBurstShedsWithOverloadedAndAnswersEverything) {
+  Options options = TestOptions();
+  options.threads = 1;
+  options.queue_cap = 1;     // admit one query per batch window
+  options.max_inflight = 1;  // and one across the server
+  Server server(*adapter_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A saturating burst in one write: the reader drains it in few batch
+  // windows, each admitting queue_cap=1 and shedding the rest. Retried
+  // because TCP may (rarely) deliver the burst in many tiny chunks,
+  // giving every window just one admittable query.
+  constexpr size_t kBurst = 400;
+  bool shed_seen = false;
+  for (int attempt = 0; attempt < 5 && !shed_seen; ++attempt) {
+    Result<Client> client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    std::string burst;
+    for (size_t i = 0; i < kBurst; ++i) {
+      wire::AppendRequestFrame({i, NthQuery(i, 7)}, &burst);
+    }
+    ASSERT_TRUE(client->SendRaw(burst).ok());
+    client->ShutdownSend();
+
+    size_t ok_answers = 0;
+    size_t overloaded = 0;
+    for (size_t i = 0; i < kBurst; ++i) {
+      Result<wire::QueryResponse> response = client->ReceiveResponse();
+      ASSERT_TRUE(response.ok()) << response.status().ToString() << " at "
+                                 << i;
+      EXPECT_EQ(response->id, i);
+      if (response->result.status_code == StatusCode::kOverloaded) {
+        EXPECT_FALSE(response->result.error.empty());
+        ++overloaded;
+      } else {
+        // Admitted queries answer correctly even under saturation.
+        EXPECT_TRUE(
+            response->result.SameAnswer(adapter_->Execute(NthQuery(i, 7))));
+        ++ok_answers;
+      }
+    }
+    // Shed or not, every single request got exactly one response.
+    EXPECT_EQ(ok_answers + overloaded, kBurst);
+    shed_seen = overloaded > 0;
+  }
+  EXPECT_TRUE(shed_seen) << "a 400-request burst against queue_cap=1 "
+                            "never shed in 5 attempts";
+  EXPECT_GT(server.stats().shed, 0u);
+  server.Stop();
+}
+
+TEST_F(ServeTest, GracefulDrainAnswersEveryAcceptedQuery) {
+  Options options = TestOptions();
+  // Wide-open admission: this test isolates drain behavior, and a shed
+  // response would mask a lost one.
+  options.queue_cap = 1024;
+  options.max_inflight = 1024;
+  Server server(*adapter_, options);
+  ASSERT_TRUE(server.Start().ok());
+  Result<Client> client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // Warm-up round trip proves the connection is accepted and readable.
+  ASSERT_TRUE(client->Send({0, Query::Contains("ACGT")}).ok());
+  ASSERT_TRUE(client->ReceiveResponse().ok());
+
+  constexpr size_t kCount = 100;
+  std::string burst;
+  for (size_t i = 1; i <= kCount; ++i) {
+    wire::AppendRequestFrame({i, NthQuery(i, 11)}, &burst);
+  }
+  ASSERT_TRUE(client->SendRaw(burst).ok());
+  // Give loopback TCP time to land the burst in the server's receive
+  // buffer, then drain: everything already accepted must be answered.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  server.RequestDrain();
+  EXPECT_TRUE(server.draining());
+
+  for (size_t i = 1; i <= kCount; ++i) {
+    Result<wire::QueryResponse> response = client->ReceiveResponse();
+    ASSERT_TRUE(response.ok())
+        << "query " << i << " lost in drain: " << response.status().ToString();
+    EXPECT_EQ(response->id, i);
+    EXPECT_TRUE(
+        response->result.SameAnswer(adapter_->Execute(NthQuery(i, 11))));
+  }
+  EXPECT_FALSE(client->ReceiveResponse().ok());  // then EOF
+  server.Stop();
+  EXPECT_EQ(server.stats().queries, kCount + 1);
+  EXPECT_EQ(server.stats().shed, 0u);
+
+  // Draining servers refuse new connections outright.
+  Result<Client> late = Client::Connect("127.0.0.1", server.port());
+  if (late.ok()) EXPECT_FALSE(late->ReceiveResponse().ok());
+}
+
+TEST_F(ServeTest, StatsVerbReportsServerCountersOverBothDialects) {
+  Server server(*adapter_, TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  for (const bool json : {false, true}) {
+    Result<Client> client =
+        Client::Connect("127.0.0.1", server.port(), json);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->Send({1, Query::FindAll("ACGT")}).ok());
+    ASSERT_TRUE(client->ReceiveResponse().ok());
+    ASSERT_TRUE(client->SendStatsRequest().ok());
+    Result<std::string> stats = client->ReceiveStatsJson();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+    Result<obs::JsonValue> doc = obs::ParseJson(*stats);
+    ASSERT_TRUE(doc.ok()) << *stats;
+    const obs::JsonValue* serve = doc->Find("serve");
+    ASSERT_NE(serve, nullptr);
+    const obs::JsonValue* queries = serve->Find("queries");
+    ASSERT_NE(queries, nullptr);
+    EXPECT_GE(queries->number, 1.0);
+    EXPECT_NE(doc->Find("schema_version"), nullptr);
+    EXPECT_NE(doc->Find("metrics"), nullptr);
+  }
+  server.Stop();
+}
+
+TEST_F(ServeTest, ProtocolViolationsGetAnErrorAndCloseOnlyThatConnection) {
+  Server server(*adapter_, TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+
+  {  // Oversized length prefix.
+    Result<Client> client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    std::string huge = {'\xff', '\xff', '\xff', '\x7f', 0, 0};
+    ASSERT_TRUE(client->SendRaw(huge).ok());
+    Result<wire::QueryResponse> response = client->ReceiveResponse();
+    ASSERT_FALSE(response.ok());
+    EXPECT_EQ(response.status().code(), StatusCode::kProtocolError);
+  }
+  {  // Wrong version byte.
+    Result<Client> client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    std::string frame;
+    wire::AppendRequestFrame({1, Query::FindAll("ACGT")}, &frame);
+    frame[4] = static_cast<char>(wire::kWireVersion + 1);
+    ASSERT_TRUE(client->SendRaw(frame).ok());
+    EXPECT_EQ(client->ReceiveResponse().status().code(),
+              StatusCode::kProtocolError);
+  }
+  {  // A server-to-client frame type from a client.
+    Result<Client> client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    std::string frame;
+    wire::AppendResponseFrame({1, QueryResult{}}, &frame);
+    ASSERT_TRUE(client->SendRaw(frame).ok());
+    EXPECT_EQ(client->ReceiveResponse().status().code(),
+              StatusCode::kProtocolError);
+  }
+  {  // JSON dialect: junk line.
+    Result<Client> client =
+        Client::Connect("127.0.0.1", server.port(), /*json=*/true);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->SendRaw("{this is not json}\n").ok());
+    EXPECT_EQ(client->ReceiveResponse().status().code(),
+              StatusCode::kProtocolError);
+  }
+  {  // A trailing partial frame at EOF is dropped silently.
+    Result<Client> client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->SendRaw(std::string("\x20\x00", 2)).ok());
+    client->ShutdownSend();
+    EXPECT_FALSE(client->ReceiveResponse().ok());
+  }
+
+  EXPECT_GE(server.stats().protocol_errors, 4u);
+  // The server survives all of it: a fresh connection still works.
+  Result<Client> client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Send({5, Query::Contains("ACGT")}).ok());
+  Result<wire::QueryResponse> response = client->ReceiveResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->id, 5u);
+  server.Stop();
+}
+
+TEST_F(ServeTest, ConnectionLimitRejectsWithOverloadedErrorFrame) {
+  Options options = TestOptions();
+  options.max_connections = 1;
+  Server server(*adapter_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Result<Client> first = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->Send({1, Query::Contains("ACGT")}).ok());
+  ASSERT_TRUE(first->ReceiveResponse().ok());
+
+  Result<Client> second = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(second.ok());  // TCP accepts; the server then rejects
+  Result<wire::QueryResponse> rejected = second->ReceiveResponse();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOverloaded);
+
+  // The first connection is unaffected.
+  ASSERT_TRUE(first->Send({2, Query::Contains("TTTT")}).ok());
+  EXPECT_TRUE(first->ReceiveResponse().ok());
+  server.Stop();
+}
+
+TEST_F(ServeTest, ServesAShardedFamilyIncludingItsErrorVerdicts) {
+  shard::ShardedIndex::Options build;
+  build.shards = 3;
+  build.max_pattern = 16;
+  Result<std::unique_ptr<shard::ShardedIndex>> family =
+      shard::ShardedIndex::Build(Alphabet::Dna(), *corpus_, build);
+  ASSERT_TRUE(family.ok()) << family.status().ToString();
+
+  Server server(**family, TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Result<Client> client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  const Query good = Query::FindAll(corpus_->substr(100, 12));
+  ASSERT_TRUE(client->Send({1, good}).ok());
+  Result<wire::QueryResponse> response = client->ReceiveResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->result.SameAnswer((*family)->Execute(good)));
+
+  // An overlong pattern is a per-query backend error; it must travel
+  // the wire as a statusful response, not break the connection.
+  const Query too_long = Query::FindAll(corpus_->substr(0, 64));
+  ASSERT_TRUE(client->Send({2, too_long}).ok());
+  response = client->ReceiveResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->result.status_code, StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(client->Send({3, good}).ok());
+  EXPECT_TRUE(client->ReceiveResponse().ok());  // connection survives
+  server.Stop();
+}
+
+TEST_F(ServeTest, StartFailuresReportCleanly) {
+  Options bad_host = TestOptions();
+  bad_host.host = "not-an-ip";
+  Server server(*adapter_, bad_host);
+  Status status = server.Start();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+
+  Server first(*adapter_, TestOptions());
+  ASSERT_TRUE(first.Start().ok());
+  Options taken = TestOptions();
+  taken.port = first.port();
+  Server second(*adapter_, taken);
+  Status occupied = second.Start();
+  ASSERT_FALSE(occupied.ok());
+  EXPECT_EQ(occupied.code(), StatusCode::kIoError);
+  first.Stop();
+}
+
+}  // namespace
+}  // namespace spine::serve

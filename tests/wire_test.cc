@@ -1,0 +1,390 @@
+// Round-trip and robustness tests for the unified wire envelope
+// (core/wire.h): every query kind and every error status survives the
+// binary and JSON encodings unchanged, and junk / truncated / oversized
+// byte streams always come back as kProtocolError — never a crash,
+// never a silently misread payload.
+
+#include "core/wire.h"
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/query.h"
+
+namespace spine::core::wire {
+namespace {
+
+// One request per query kind, with non-default knobs so defaulted
+// fields cannot masquerade as correctly decoded ones.
+std::vector<QueryRequest> AllKindsRequests() {
+  return {
+      {1, Query::FindAll("ACGTACGT")},
+      {2, Query::Contains("TTTT")},
+      {7, Query::MaximalMatches("ACGTACGTACGT", 5, true)},
+      {99, Query::MatchingStats("GATTACA")},
+  };
+}
+
+QueryResult RichResult() {
+  QueryResult result;
+  result.found = true;
+  result.hits = {{0, 8, 0}, {16, 8, 4}, {4096, 3, 9}};
+  result.matching_stats = {1, 2, 3, 4, 0, 7};
+  result.stats.nodes_checked = 123;
+  result.stats.link_traversals = 45;
+  result.stats.chain_hops = 6;
+  return result;
+}
+
+TEST(WireBinaryTest, RequestRoundTripsForEveryQueryKind) {
+  for (const QueryRequest& request : AllKindsRequests()) {
+    std::string buffer;
+    AppendRequestFrame(request, &buffer);
+
+    Frame frame;
+    size_t consumed = 0;
+    ASSERT_TRUE(ExtractFrame(buffer, &frame, &consumed).ok());
+    ASSERT_EQ(consumed, buffer.size());
+    EXPECT_EQ(frame.version, kWireVersion);
+    ASSERT_EQ(frame.type, FrameType::kQuery);
+
+    Result<QueryRequest> decoded = DecodeRequest(frame.payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, request);
+  }
+}
+
+TEST(WireBinaryTest, ResponseRoundTripsPayloadAndWorkCounters) {
+  QueryResponse response;
+  response.id = 0xdeadbeefcafe;
+  response.result = RichResult();
+
+  std::string buffer;
+  AppendResponseFrame(response, &buffer);
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(ExtractFrame(buffer, &frame, &consumed).ok());
+  ASSERT_EQ(frame.type, FrameType::kResponse);
+
+  Result<QueryResponse> decoded = DecodeResponse(frame.payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, response.id);
+  EXPECT_TRUE(decoded->result.SameAnswer(response.result));
+  EXPECT_EQ(decoded->result.stats.nodes_checked, 123u);
+  EXPECT_EQ(decoded->result.stats.link_traversals, 45u);
+  EXPECT_EQ(decoded->result.stats.chain_hops, 6u);
+}
+
+TEST(WireBinaryTest, EveryStatusCodeSurvivesTheResponseEncoding) {
+  for (uint8_t c = 0; c <= static_cast<uint8_t>(StatusCode::kProtocolError);
+       ++c) {
+    QueryResponse response;
+    response.id = c;
+    response.result.status_code = static_cast<StatusCode>(c);
+    if (c != 0) response.result.error = "synthetic failure";
+
+    std::string buffer;
+    AppendResponseFrame(response, &buffer);
+    Frame frame;
+    size_t consumed = 0;
+    ASSERT_TRUE(ExtractFrame(buffer, &frame, &consumed).ok());
+    Result<QueryResponse> decoded = DecodeResponse(frame.payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->result.status_code, static_cast<StatusCode>(c));
+    EXPECT_EQ(decoded->result.error, response.result.error);
+  }
+}
+
+TEST(WireBinaryTest, ErrorFrameRoundTrips) {
+  WireError error{42, StatusCode::kOverloaded, "try later"};
+  std::string buffer;
+  AppendErrorFrame(error, &buffer);
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(ExtractFrame(buffer, &frame, &consumed).ok());
+  ASSERT_EQ(frame.type, FrameType::kError);
+  Result<WireError> decoded = DecodeError(frame.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, 42u);
+  EXPECT_EQ(decoded->code, StatusCode::kOverloaded);
+  EXPECT_EQ(decoded->message, "try later");
+}
+
+TEST(WireBinaryTest, StatsFramesRoundTrip) {
+  std::string buffer;
+  AppendStatsRequestFrame(&buffer);
+  AppendStatsResponseFrame("{\"queries\":7}", &buffer);
+
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(ExtractFrame(buffer, &frame, &consumed).ok());
+  EXPECT_EQ(frame.type, FrameType::kStats);
+  EXPECT_TRUE(frame.payload.empty());
+  buffer.erase(0, consumed);
+
+  ASSERT_TRUE(ExtractFrame(buffer, &frame, &consumed).ok());
+  ASSERT_EQ(frame.type, FrameType::kStatsResponse);
+  Result<std::string> stats = DecodeStatsResponse(frame.payload);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(*stats, "{\"queries\":7}");
+}
+
+TEST(WireBinaryTest, PartialPrefixesAskForMoreBytesAtEveryLength) {
+  std::string buffer;
+  AppendRequestFrame({5, Query::FindAll("ACGT")}, &buffer);
+  // Every strict prefix is "partial": OK with consumed == 0.
+  for (size_t len = 0; len < buffer.size(); ++len) {
+    Frame frame;
+    size_t consumed = 1;  // must be reset by ExtractFrame
+    Status status =
+        ExtractFrame(std::string_view(buffer).substr(0, len), &frame,
+                     &consumed);
+    EXPECT_TRUE(status.ok()) << "prefix len " << len;
+    EXPECT_EQ(consumed, 0u) << "prefix len " << len;
+  }
+}
+
+TEST(WireBinaryTest, OversizedLengthIsAProtocolErrorBeforeAnyAllocation) {
+  std::string buffer;
+  const uint32_t huge = kMaxFramePayload + 1;
+  for (int i = 0; i < 4; ++i) {
+    buffer.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  Frame frame;
+  size_t consumed = 0;
+  Status status = ExtractFrame(buffer, &frame, &consumed);
+  EXPECT_EQ(status.code(), StatusCode::kProtocolError);
+}
+
+TEST(WireBinaryTest, BadVersionAndBadTypeAreProtocolErrors) {
+  std::string good;
+  AppendRequestFrame({1, Query::FindAll("ACGT")}, &good);
+
+  std::string bad_version = good;
+  bad_version[4] = static_cast<char>(kWireVersion + 1);
+  Frame frame;
+  size_t consumed = 0;
+  EXPECT_EQ(ExtractFrame(bad_version, &frame, &consumed).code(),
+            StatusCode::kProtocolError);
+
+  std::string bad_type = good;
+  bad_type[5] = 0;  // below kQuery
+  EXPECT_EQ(ExtractFrame(bad_type, &frame, &consumed).code(),
+            StatusCode::kProtocolError);
+  bad_type[5] = 99;  // above kError
+  EXPECT_EQ(ExtractFrame(bad_type, &frame, &consumed).code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(WireBinaryTest, UndersizedLengthIsAProtocolError) {
+  // length = 1 cannot even hold version + type.
+  std::string buffer("\x01\x00\x00\x00\x01", 5);
+  Frame frame;
+  size_t consumed = 0;
+  EXPECT_EQ(ExtractFrame(buffer, &frame, &consumed).code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(WireBinaryTest, TruncatedPayloadsNeverDecode) {
+  std::string request_frame;
+  AppendRequestFrame({9, Query::MaximalMatches("ACGTACGT", 3, true)},
+                     &request_frame);
+  std::string response_frame;
+  QueryResponse response;
+  response.id = 11;
+  response.result = RichResult();
+  AppendResponseFrame(response, &response_frame);
+
+  // Strip the 6-byte frame header, then feed every strict payload
+  // prefix to the decoder: each must fail cleanly, none may crash.
+  const std::string request_payload = request_frame.substr(6);
+  for (size_t len = 0; len < request_payload.size(); ++len) {
+    Result<QueryRequest> decoded =
+        DecodeRequest(std::string_view(request_payload).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "payload prefix " << len;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
+  }
+  const std::string response_payload = response_frame.substr(6);
+  for (size_t len = 0; len < response_payload.size(); ++len) {
+    Result<QueryResponse> decoded =
+        DecodeResponse(std::string_view(response_payload).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "payload prefix " << len;
+  }
+}
+
+TEST(WireBinaryTest, LyingHitCountIsRejectedWithoutAllocating) {
+  // A response payload whose hit count claims 2^31 hits but carries no
+  // hit bytes: the decoder must reject it up front (the count check
+  // happens before reserve()).
+  std::string payload;
+  auto put_u32 = [&payload](uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      payload.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  };
+  for (int i = 0; i < 8; ++i) payload.push_back(0);  // id
+  payload.push_back(0);                              // status
+  payload.push_back(0);                              // found
+  put_u32(0);                                        // error length
+  put_u32(0x80000000u);                              // hit count (lie)
+  Result<QueryResponse> decoded = DecodeResponse(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(WireBinaryTest, RandomJunkNeverCrashesTheDecoders) {
+  Rng rng(20260808);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string junk;
+    const uint32_t len = rng.Below(64);
+    for (uint32_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(rng.Below(256)));
+    }
+    Frame frame;
+    size_t consumed = 0;
+    Status status = ExtractFrame(junk, &frame, &consumed);
+    if (status.ok() && consumed > 0) {
+      // A junk buffer that happens to frame correctly still must not
+      // crash any payload decoder.
+      (void)DecodeRequest(frame.payload);
+      (void)DecodeResponse(frame.payload);
+      (void)DecodeError(frame.payload);
+    }
+  }
+}
+
+TEST(WireJsonTest, RequestRoundTripsForEveryQueryKind) {
+  for (const QueryRequest& request : AllKindsRequests()) {
+    const std::string line = RequestToJson(request);
+    Result<QueryRequest> decoded = ParseRequestJson(line);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString() << " in "
+                              << line;
+    EXPECT_EQ(*decoded, request) << line;
+  }
+}
+
+TEST(WireJsonTest, ResponseRoundTripsAnswerFields) {
+  QueryResponse response;
+  response.id = 31337;
+  response.result = RichResult();
+  response.result.status_code = StatusCode::kOk;
+
+  Result<QueryResponse> decoded = ParseResponseJson(ResponseToJson(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, 31337u);
+  EXPECT_TRUE(decoded->result.SameAnswer(response.result));
+}
+
+TEST(WireJsonTest, ErrorStatusesRoundTripByName) {
+  for (uint8_t c = 1; c <= static_cast<uint8_t>(StatusCode::kProtocolError);
+       ++c) {
+    QueryResponse response;
+    response.result.status_code = static_cast<StatusCode>(c);
+    response.result.error = "nope";
+    Result<QueryResponse> decoded =
+        ParseResponseJson(ResponseToJson(response));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->result.status_code, static_cast<StatusCode>(c));
+    EXPECT_EQ(decoded->result.error, "nope");
+  }
+}
+
+TEST(WireJsonTest, MalformedLinesAreProtocolErrors) {
+  const char* kBad[] = {
+      "",
+      "not json at all",
+      "[1,2,3]",
+      "{\"type\":\"query\",\"pattern\":\"A\"}",          // missing version
+      "{\"v\":2,\"type\":\"query\",\"pattern\":\"A\"}",  // wrong version
+      "{\"v\":1,\"type\":\"nope\",\"pattern\":\"A\"}",   // wrong type
+      "{\"v\":1,\"type\":\"query\"}",                    // no pattern
+      "{\"v\":1,\"type\":\"query\",\"pattern\":7}",      // pattern not string
+      "{\"v\":1,\"type\":\"query\",\"pattern\":\"A\",\"kind\":\"zap\"}",
+      "{\"v\":1,\"type\":\"response\"}",                 // no status
+      "{\"v\":1,\"type\":\"response\",\"status\":\"Bogus\"}",
+  };
+  for (const char* line : kBad) {
+    EXPECT_EQ(ParseRequestJson(line).status().code(),
+              StatusCode::kProtocolError)
+        << line;
+    EXPECT_EQ(ParseResponseJson(line).status().code(),
+              StatusCode::kProtocolError)
+        << line;
+  }
+}
+
+TEST(WireTextTest, ParsesEveryKindPrefixAndDefaultsToFindAll) {
+  std::optional<Query> q = ParseQueryText("findall ACGT", 10);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->kind, QueryKind::kFindAll);
+  EXPECT_EQ(q->pattern, "ACGT");
+
+  q = ParseQueryText("contains TTT", 10);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->kind, QueryKind::kContains);
+
+  q = ParseQueryText("match ACGTACGT", 3);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->kind, QueryKind::kMaximalMatches);
+  EXPECT_EQ(q->min_len, 3u);
+
+  q = ParseQueryText("ms GATTACA", 10);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->kind, QueryKind::kMatchingStats);
+
+  q = ParseQueryText("  ACGT  ", 10);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->kind, QueryKind::kFindAll);
+  EXPECT_EQ(q->pattern, "ACGT");
+
+  EXPECT_FALSE(ParseQueryText("", 10).has_value());
+  EXPECT_FALSE(ParseQueryText("   \t", 10).has_value());
+  EXPECT_FALSE(ParseQueryText("# comment", 10).has_value());
+}
+
+TEST(WireTextTest, PrintsEveryKindAndCapsTheListing) {
+  std::ostringstream out;
+  QueryResult findall;
+  findall.hits = {{3, 4, 0}, {9, 4, 0}};
+  PrintResultSummary(out, Query::FindAll("ACGT"), findall);
+  EXPECT_EQ(out.str(), "2 occurrence(s) 3 9");
+
+  out.str("");
+  QueryResult contains;
+  contains.found = true;
+  PrintResultSummary(out, Query::Contains("ACGT"), contains);
+  EXPECT_EQ(out.str(), "yes");
+
+  out.str("");
+  QueryResult match;
+  match.hits = {{5, 7, 2}};
+  PrintResultSummary(out, Query::MaximalMatches("ACGTACGT", 3), match);
+  EXPECT_EQ(out.str(), "1 match(es) query[2..9)@5");
+
+  out.str("");
+  QueryResult ms;
+  ms.matching_stats = {2, 4};
+  PrintResultSummary(out, Query::MatchingStats("ACGT"), ms);
+  EXPECT_EQ(out.str(), "n=2 max=4 mean=3");
+
+  out.str("");
+  QueryResult error;
+  error.status_code = StatusCode::kIoError;
+  error.error = "disk fell over";
+  PrintResultSummary(out, Query::FindAll("ACGT"), error);
+  EXPECT_EQ(out.str(), "ERROR: disk fell over");
+
+  out.str("");
+  QueryResult many;
+  for (uint32_t i = 0; i < 5; ++i) many.hits.push_back({i, 4, 0});
+  PrintResultSummary(out, Query::FindAll("ACGT"), many, /*max_listed=*/3);
+  EXPECT_EQ(out.str(), "5 occurrence(s) 0 1 2 (+2 more)");
+}
+
+}  // namespace
+}  // namespace spine::core::wire

@@ -1,11 +1,15 @@
 #include "tools/cli.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -23,16 +27,43 @@
 #include "core/matcher.h"
 #include "core/query.h"
 #include "core/registry.h"
+#include "core/wire.h"
 #include "engine/query_engine.h"
 #include "kernel/kernel.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "seq/fasta.h"
 #include "seq/generator.h"
+#include "serve/server.h"
 #include "shard/sharded_index.h"
 #include "storage/page_file.h"
 
 namespace spine::cli {
+
+int ExitCodeFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return kExitOk;
+    case StatusCode::kIoError:
+      return kExitIoError;
+    case StatusCode::kCorruption:
+      return kExitCorruption;
+    case StatusCode::kInvalidArgument:
+      return kExitInvalidArgument;
+    case StatusCode::kNotFound:
+      return kExitNotFound;
+    case StatusCode::kResourceExhausted:
+      return kExitResourceExhausted;
+    case StatusCode::kOutOfRange:
+    case StatusCode::kFailedPrecondition:
+      return kExitPrecondition;
+    case StatusCode::kOverloaded:
+      return kExitOverloaded;
+    case StatusCode::kProtocolError:
+      return kExitProtocolError;
+  }
+  return kExitIoError;
+}
 
 namespace {
 
@@ -53,6 +84,14 @@ constexpr const char* kUsage =
     "      run a batch of queries concurrently; each line of patterns.txt\n"
     "      is 'PATTERN' or 'KIND PATTERN' with KIND one of findall,\n"
     "      contains, match, ms\n"
+    "  serve <artifact> [--port=N] [--host=ADDR] [--threads=N]\n"
+    "        [--queue-cap=N] [--max-inflight=N] [--max-connections=N]\n"
+    "        [--cache-mb=M] [--min-len=N] [--trace]\n"
+    "      serve queries over TCP: the length-prefixed binary protocol\n"
+    "      of core/wire.h with a JSON-lines fallback (docs/SERVING.md);\n"
+    "      --port=0 picks an ephemeral port and prints it; SIGTERM or\n"
+    "      SIGINT drains gracefully (stop accepting, answer everything\n"
+    "      already accepted, flush stats)\n"
     "  approx <index.spine> <pattern> [--max-edits=K]\n"
     "  hamming <index.spine> <pattern> [--max-mismatches=K]\n"
     "  lrs <index.spine>\n"
@@ -76,30 +115,8 @@ constexpr const char* kUsage =
     "the SPINE_KERNEL env var sets the same override, flag wins)\n"
     "exit codes: 0 ok, 1 I/O error, 2 usage error, 3 corruption detected,\n"
     "            4 invalid argument, 5 not found, 6 resource exhausted,\n"
-    "            7 precondition/range error\n";
-
-// Maps a Status to the CLI's documented exit codes (see kUsage). Usage
-// errors (malformed command lines) return 2 directly, bypassing this.
-int ExitCodeFor(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk:
-      return 0;
-    case StatusCode::kIoError:
-      return 1;
-    case StatusCode::kCorruption:
-      return 3;
-    case StatusCode::kInvalidArgument:
-      return 4;
-    case StatusCode::kNotFound:
-      return 5;
-    case StatusCode::kResourceExhausted:
-      return 6;
-    case StatusCode::kOutOfRange:
-    case StatusCode::kFailedPrecondition:
-      return 7;
-  }
-  return 1;
-}
+    "            7 precondition/range error, 8 overloaded, 9 protocol\n"
+    "            error (the one table is ExitCode in tools/cli.h)\n";
 
 // Splits args into positionals and --key=value / --flag options.
 struct ParsedArgs {
@@ -234,7 +251,7 @@ int EmitStatsJson(const ParsedArgs& args, std::ostream& out,
 int CmdBuild(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
     err << "build requires <input.fa> <index.spine>\n";
-    return 2;
+    return kExitUsage;
   }
   std::string alphabet_name = "dna";
   if (auto it = args.options.find("alphabet"); it != args.options.end()) {
@@ -311,7 +328,7 @@ int CmdBuild(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 int CmdGBuild(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
     err << "gbuild requires <input.fa> <index.spineg>\n";
-    return 2;
+    return kExitUsage;
   }
   std::string alphabet_name = "dna";
   if (auto it = args.options.find("alphabet"); it != args.options.end()) {
@@ -346,7 +363,7 @@ int CmdGBuild(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 int CmdGQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
     err << "gquery requires <index.spineg> <pattern>\n";
-    return 2;
+    return kExitUsage;
   }
   Result<GeneralizedCompactSpine> index =
       GeneralizedCompactSpine::Load(args.positional[0]);
@@ -363,15 +380,18 @@ int CmdGQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
     err << "query requires <index> <pattern>\n";
-    return 2;
+    return kExitUsage;
   }
   Result<std::unique_ptr<core::Index>> index =
       OpenIndex(args, args.positional[0]);
   if (!index.ok()) return Fail(err, index.status());
-  QueryResult result = (*index)->Execute(Query::FindAll(args.positional[1]));
+  const Query query = Query::FindAll(args.positional[1]);
+  QueryResult result = (*index)->Execute(query);
   if (!result.ok()) return FailResult(err, result);
-  out << result.hits.size() << " occurrence(s)";
-  for (const Hit& hit : result.hits) out << " " << hit.pos;
+  // The same renderer the batch printer and the serve clients use:
+  // one human form per answer, defined once in core/wire.h.
+  core::wire::PrintResultSummary(out, query, result,
+                                 std::numeric_limits<size_t>::max());
   out << "\n";
   return EmitStatsJson(args, out, err, "query", [&](obs::JsonWriter& json) {
     json.Key("query");
@@ -392,84 +412,20 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   });
 }
 
-// One line of a batch patterns file: 'PATTERN' (findall) or
-// 'KIND PATTERN' with KIND in {findall, contains, match, ms}. Blank
-// lines and '#' comments are skipped.
-std::optional<Query> ParseBatchLine(const std::string& line,
-                                    uint32_t min_len) {
-  size_t begin = line.find_first_not_of(" \t\r");
-  if (begin == std::string::npos || line[begin] == '#') return std::nullopt;
-  size_t end = line.find_last_not_of(" \t\r");
-  std::string body = line.substr(begin, end - begin + 1);
-  size_t space = body.find_first_of(" \t");
-  if (space != std::string::npos) {
-    std::string kind = body.substr(0, space);
-    std::string pattern = body.substr(body.find_first_not_of(" \t", space));
-    if (kind == "findall") return Query::FindAll(std::move(pattern));
-    if (kind == "contains") return Query::Contains(std::move(pattern));
-    if (kind == "match") {
-      return Query::MaximalMatches(std::move(pattern), min_len);
-    }
-    if (kind == "ms") return Query::MatchingStats(std::move(pattern));
-  }
-  return Query::FindAll(std::move(body));
-}
-
+// One result line of batch output: "[i] KIND PATTERN: <summary>", the
+// summary rendered by the shared core/wire.h printer.
 void PrintBatchResult(std::ostream& out, size_t idx, const Query& query,
                       const QueryResult& result) {
-  constexpr size_t kMaxListed = 16;
   out << "[" << idx << "] " << QueryKindName(query.kind) << " "
       << query.pattern << ": ";
-  if (!result.ok()) {
-    out << "ERROR: " << result.error << "\n";
-    return;
-  }
-  switch (query.kind) {
-    case QueryKind::kContains:
-      out << (result.found ? "yes" : "no");
-      break;
-    case QueryKind::kFindAll:
-      out << result.hits.size() << " occurrence(s)";
-      for (size_t i = 0; i < result.hits.size() && i < kMaxListed; ++i) {
-        out << " " << result.hits[i].pos;
-      }
-      if (result.hits.size() > kMaxListed) {
-        out << " (+" << result.hits.size() - kMaxListed << " more)";
-      }
-      break;
-    case QueryKind::kMaximalMatches:
-      out << result.hits.size() << " match(es)";
-      for (size_t i = 0; i < result.hits.size() && i < kMaxListed; ++i) {
-        const Hit& hit = result.hits[i];
-        out << " query[" << hit.query_pos << ".."
-            << hit.query_pos + hit.length << ")@" << hit.pos;
-      }
-      if (result.hits.size() > kMaxListed) {
-        out << " (+" << result.hits.size() - kMaxListed << " more)";
-      }
-      break;
-    case QueryKind::kMatchingStats: {
-      uint32_t max_ms = 0;
-      uint64_t total = 0;
-      for (uint32_t v : result.matching_stats) {
-        max_ms = std::max(max_ms, v);
-        total += v;
-      }
-      out << "n=" << result.matching_stats.size() << " max=" << max_ms
-          << " mean="
-          << (result.matching_stats.empty()
-                  ? 0.0
-                  : static_cast<double>(total) / result.matching_stats.size());
-      break;
-    }
-  }
+  core::wire::PrintResultSummary(out, query, result);
   out << "\n";
 }
 
 int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
     err << "batch requires <index> <patterns.txt>\n";
-    return 2;
+    return kExitUsage;
   }
   Result<std::unique_ptr<core::Index>> index =
       OpenIndex(args, args.positional[0]);
@@ -485,7 +441,7 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   std::vector<Query> queries;
   std::string line;
   while (std::getline(file, line)) {
-    if (std::optional<Query> query = ParseBatchLine(line, min_len)) {
+    if (std::optional<Query> query = core::wire::ParseQueryText(line, min_len)) {
       queries.push_back(*std::move(query));
     }
   }
@@ -556,10 +512,108 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   });
 }
 
+// SIGTERM/SIGINT handlers may run on any thread, so they only flip this
+// flag; the serve command's main loop notices and performs the actual
+// drain from normal (signal-safe-free) context.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void OnDrainSignal(int) { g_drain_requested = 1; }
+
+int CmdServe(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "serve requires <artifact>\n";
+    return kExitUsage;
+  }
+  const uint64_t port = OptionU64(args, "port").value_or(0);
+  if (port > 65535) {
+    return Fail(err, Status::InvalidArgument("port " + std::to_string(port) +
+                                             " out of range (0..65535)"));
+  }
+  Result<std::unique_ptr<core::Index>> index =
+      OpenIndex(args, args.positional[0]);
+  if (!index.ok()) return Fail(err, index.status());
+
+  serve::Options options;
+  options.port = static_cast<uint16_t>(port);
+  if (auto it = args.options.find("host"); it != args.options.end()) {
+    options.host = it->second;
+  }
+  options.threads =
+      static_cast<uint32_t>(OptionU64(args, "threads").value_or(0));
+  options.queue_cap = static_cast<uint32_t>(
+      OptionU64(args, "queue-cap").value_or(options.queue_cap));
+  options.max_inflight = static_cast<uint32_t>(
+      OptionU64(args, "max-inflight").value_or(options.max_inflight));
+  options.max_connections = static_cast<uint32_t>(
+      OptionU64(args, "max-connections").value_or(options.max_connections));
+  options.cache_bytes = OptionU64(args, "cache-mb").value_or(16) << 20;
+  options.retry_limit = static_cast<uint32_t>(
+      OptionU64(args, "retry-limit").value_or(options.retry_limit));
+  options.retry_backoff_us = static_cast<uint32_t>(
+      OptionU64(args, "retry-backoff-us").value_or(options.retry_backoff_us));
+  options.tracing = args.options.count("trace") > 0;
+  if (options.queue_cap == 0 || options.max_inflight == 0 ||
+      options.max_connections == 0) {
+    return Fail(err, Status::InvalidArgument(
+                         "queue-cap, max-inflight and max-connections "
+                         "must be positive"));
+  }
+
+  serve::Server server(**index, options);
+  Status status = server.Start();
+  if (!status.ok()) return Fail(err, status);
+  out << "serving " << (*index)->Name() << " (" << (*index)->size()
+      << " characters) at " << options.host << ":" << server.port()
+      << " — SIGTERM/SIGINT to drain\n";
+  out.flush();
+
+  g_drain_requested = 0;
+  struct sigaction action {};
+  action.sa_handler = OnDrainSignal;
+  struct sigaction old_term {}, old_int {};
+  sigaction(SIGTERM, &action, &old_term);
+  sigaction(SIGINT, &action, &old_int);
+  while (g_drain_requested == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  out << "draining...\n";
+  out.flush();
+  server.Stop();
+  sigaction(SIGTERM, &old_term, nullptr);
+  sigaction(SIGINT, &old_int, nullptr);
+
+  const serve::ServerStats final_stats = server.stats();
+  out << "drained: " << final_stats.queries << " quer(ies) answered, "
+      << final_stats.shed << " shed, " << final_stats.connections_accepted
+      << " connection(s), " << final_stats.bytes_in << " B in / "
+      << final_stats.bytes_out << " B out\n";
+  return EmitStatsJson(args, out, err, "serve", [&](obs::JsonWriter& json) {
+    json.Key("serve");
+    json.BeginObject();
+    json.Key("backend");
+    json.Value((*index)->Name());
+    json.Key("characters");
+    json.Value((*index)->size());
+    json.Key("connections_accepted");
+    json.Value(final_stats.connections_accepted);
+    json.Key("queries");
+    json.Value(final_stats.queries);
+    json.Key("shed");
+    json.Value(final_stats.shed);
+    json.Key("protocol_errors");
+    json.Value(final_stats.protocol_errors);
+    json.Key("bytes_in");
+    json.Value(final_stats.bytes_in);
+    json.Key("bytes_out");
+    json.Value(final_stats.bytes_out);
+    json.EndObject();
+  });
+}
+
 int CmdApprox(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
     err << "approx requires <index.spine> <pattern>\n";
-    return 2;
+    return kExitUsage;
   }
   Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
   if (!index.ok()) return Fail(err, index.status());
@@ -583,7 +637,7 @@ int CmdHamming(const ParsedArgs& args, std::ostream& out,
                std::ostream& err) {
   if (args.positional.size() != 2) {
     err << "hamming requires <index.spine> <pattern>\n";
-    return 2;
+    return kExitUsage;
   }
   Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
   if (!index.ok()) return Fail(err, index.status());
@@ -602,7 +656,7 @@ int CmdHamming(const ParsedArgs& args, std::ostream& out,
 int CmdLrs(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 1) {
     err << "lrs requires <index.spine>\n";
-    return 2;
+    return kExitUsage;
   }
   Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
   if (!index.ok()) return Fail(err, index.status());
@@ -624,7 +678,7 @@ int CmdLrs(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 1) {
     err << "stats requires <index>\n";
-    return 2;
+    return kExitUsage;
   }
   Result<std::unique_ptr<core::Index>> opened =
       OpenIndex(args, args.positional[0]);
@@ -719,7 +773,7 @@ int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 int CmdSearch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
     err << "search requires <index.spine> <query.fa>\n";
-    return 2;
+    return kExitUsage;
   }
   Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
   if (!index.ok()) return Fail(err, index.status());
@@ -768,7 +822,7 @@ int CmdSearch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 int CmdAlign(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
     err << "align requires <reference.fa> <query.fa>\n";
-    return 2;
+    return kExitUsage;
   }
   Result<std::string> reference = LoadFirstSequence(args.positional[0], out);
   if (!reference.ok()) return Fail(err, reference.status());
@@ -798,7 +852,7 @@ int CmdGenerate(const ParsedArgs& args, std::ostream& out,
                 std::ostream& err) {
   if (args.positional.size() != 1) {
     err << "generate requires <output.fa>\n";
-    return 2;
+    return kExitUsage;
   }
   std::string alphabet_name = "dna";
   if (auto it = args.options.find("alphabet"); it != args.options.end()) {
@@ -843,7 +897,7 @@ int CmdGenerate(const ParsedArgs& args, std::ostream& out,
 int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 1) {
     err << "verify requires <artifact>\n";
-    return 2;
+    return kExitUsage;
   }
   const std::string& path = args.positional[0];
   Result<uint32_t> magic = core::BackendRegistry::SniffMagic(path);
@@ -925,7 +979,7 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
   if (args.empty()) {
     err << kUsage;
-    return 2;
+    return kExitUsage;
   }
   const std::string& command = args[0];
   ParsedArgs parsed = Parse(args, 1);
@@ -941,6 +995,7 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
   if (command == "gquery") return CmdGQuery(parsed, out, err);
   if (command == "query") return CmdQuery(parsed, out, err);
   if (command == "batch") return CmdBatch(parsed, out, err);
+  if (command == "serve") return CmdServe(parsed, out, err);
   if (command == "approx") return CmdApprox(parsed, out, err);
   if (command == "hamming") return CmdHamming(parsed, out, err);
   if (command == "lrs") return CmdLrs(parsed, out, err);
@@ -954,7 +1009,7 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
     return 0;
   }
   err << "unknown command '" << command << "'\n" << kUsage;
-  return 2;
+  return kExitUsage;
 }
 
 }  // namespace spine::cli

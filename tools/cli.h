@@ -14,6 +14,10 @@
 //       Execute a file of heterogeneous queries (findall / contains /
 //       match / ms, one per line) concurrently through the batch
 //       QueryEngine; results print in input order.
+//   serve <artifact> [--port=N] [--host=ADDR] ...
+//       Serve queries over TCP: the core/wire.h framed protocol with a
+//       JSON-lines fallback. SIGTERM/SIGINT drains gracefully. See
+//       docs/SERVING.md.
 //   gquery <index.spineg> <pattern>
 //       Like query, over a generalized index.
 //   approx <index.spine> <pattern> [--max-edits=K]
@@ -38,7 +42,32 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace spine::cli {
+
+// THE exit-code table: the single source of truth for what spine_tool
+// returns to the shell. Extend-only — scripts and the CI smoke jobs
+// match on these numbers, so existing entries must never be renumbered.
+// ExitCodeFor() maps StatusCode onto it; tests/cli_test.cc asserts the
+// mapping stays total and stable.
+enum ExitCode : int {
+  kExitOk = 0,
+  kExitIoError = 1,            // kIoError
+  kExitUsage = 2,              // malformed command line (no Status)
+  kExitCorruption = 3,         // kCorruption
+  kExitInvalidArgument = 4,    // kInvalidArgument
+  kExitNotFound = 5,           // kNotFound
+  kExitResourceExhausted = 6,  // kResourceExhausted
+  kExitPrecondition = 7,       // kFailedPrecondition, kOutOfRange
+  kExitOverloaded = 8,         // kOverloaded (server shed the query)
+  kExitProtocolError = 9,      // kProtocolError (bad wire bytes)
+};
+
+// Maps a Status onto the table above. Usage errors (malformed command
+// lines) return kExitUsage directly, bypassing this: there is no
+// StatusCode for "you typed the flags wrong".
+int ExitCodeFor(StatusCode code);
 
 // Runs one invocation; `args` excludes the program name. Returns the
 // process exit code (0 on success). All output goes to the streams.

@@ -9,12 +9,16 @@
 //
 //   $ ./tools/spine_fuzz [seconds] [seed]
 //   $ ./tools/spine_fuzz manifest [seconds] [seed]
+//   $ ./tools/spine_fuzz frames [seconds] [seed]
 //
 // The default mode interleaves every phase; `manifest` mode spends the
 // whole budget corrupting .spinefam families (truncations, bit flips,
 // byte overwrites in the manifest and in shard files) and demands that
 // ShardedIndex::Load rejects each with kCorruption — never a crash,
-// never a silently wrong index.
+// never a silently wrong index. `frames` mode corrupts serving-wire
+// byte streams and JSON lines (core/wire.h) the same way and demands
+// every mutation is either decoded consistently or rejected with
+// kProtocolError — never a crash, never a silently misread envelope.
 //
 // This is the harness that found the paper's extrib PRT ambiguity
 // (DESIGN.md §5); it runs for 2 seconds in CI.
@@ -36,6 +40,7 @@
 #include "compact/serializer.h"
 #include "core/matcher.h"
 #include "core/spine_index.h"
+#include "core/wire.h"
 #include "dawg/suffix_automaton.h"
 #include "naive/naive_index.h"
 #include "shard/sharded_index.h"
@@ -173,13 +178,228 @@ int FuzzShardManifest(spine::Rng& rng, const std::string& s,
   return 0;
 }
 
+// Wire-envelope robustness phase (the serving PR): build valid binary
+// frames and JSON lines out of random queries and answers, corrupt them
+// with MutateBytes / pure junk, and demand that the core/wire.h
+// decoders either reject cleanly with kProtocolError or decode into a
+// value whose re-encoding decodes back identically — never a crash,
+// never a silently misread envelope.
+int FuzzWireFrames(spine::Rng& rng, uint64_t* checks) {
+  using namespace spine;
+  namespace wire = core::wire;
+  const char* letters = "ACGT";
+
+  const auto random_pattern = [&](uint64_t max_len) {
+    std::string p;
+    const uint64_t len = rng.Below(max_len + 1);
+    for (uint64_t i = 0; i < len; ++i) p.push_back(letters[rng.Below(4)]);
+    return p;
+  };
+  const auto random_request = [&] {
+    wire::QueryRequest request;
+    request.id = rng.Next();
+    request.query.kind = static_cast<QueryKind>(rng.Below(4));
+    request.query.pattern = random_pattern(24);
+    request.query.min_len = 1 + static_cast<uint32_t>(rng.Below(8));
+    request.query.expand_occurrences = rng.Chance(0.5);
+    return request;
+  };
+  const auto random_response = [&] {
+    wire::QueryResponse response;
+    response.id = rng.Next();
+    response.result.status_code = static_cast<StatusCode>(rng.Below(10));
+    response.result.found = rng.Chance(0.5);
+    for (uint64_t i = rng.Below(4); i > 0; --i) {
+      response.result.hits.push_back(
+          {static_cast<uint32_t>(rng.Below(1000)),
+           static_cast<uint32_t>(rng.Below(100)),
+           static_cast<uint32_t>(rng.Below(100))});
+    }
+    for (uint64_t i = rng.Below(4); i > 0; --i) {
+      response.result.matching_stats.push_back(
+          static_cast<uint32_t>(rng.Below(50)));
+    }
+    if (response.result.status_code != StatusCode::kOk) {
+      response.result.error = "fuzz error " + std::to_string(rng.Below(100));
+    }
+    return response;
+  };
+
+  // The invariant every decoded value must satisfy: encode it again,
+  // extract and decode the re-encoded frame, and land on the same
+  // value. Catches any drift between the encoder and the decoder that
+  // a mutated-but-accepted payload could otherwise smuggle through.
+  const auto request_roundtrips = [&](const wire::QueryRequest& request) {
+    std::string bytes;
+    wire::AppendRequestFrame(request, &bytes);
+    wire::Frame frame;
+    size_t consumed = 0;
+    if (!wire::ExtractFrame(bytes, &frame, &consumed).ok() || consumed == 0) {
+      return false;
+    }
+    auto again = wire::DecodeRequest(frame.payload);
+    return again.ok() && *again == request;
+  };
+  const auto response_roundtrips = [&](const wire::QueryResponse& response) {
+    std::string bytes;
+    wire::AppendResponseFrame(response, &bytes);
+    wire::Frame frame;
+    size_t consumed = 0;
+    if (!wire::ExtractFrame(bytes, &frame, &consumed).ok() || consumed == 0) {
+      return false;
+    }
+    auto again = wire::DecodeResponse(frame.payload);
+    return again.ok() && again->id == response.id &&
+           again->result.SameAnswer(response.result) &&
+           again->result.error == response.result.error;
+  };
+
+  // --- binary stream: 1..4 valid frames, then 1..3 mutations ---------------
+  std::string stream;
+  for (uint64_t i = 1 + rng.Below(4); i > 0; --i) {
+    switch (rng.Below(5)) {
+      case 0: wire::AppendRequestFrame(random_request(), &stream); break;
+      case 1: wire::AppendResponseFrame(random_response(), &stream); break;
+      case 2: wire::AppendStatsRequestFrame(&stream); break;
+      case 3:
+        wire::AppendStatsResponseFrame("{\"schema_version\":1}", &stream);
+        break;
+      default:
+        wire::AppendErrorFrame({rng.Next(), StatusCode::kOverloaded,
+                                "fuzz overload"},
+                               &stream);
+        break;
+    }
+  }
+  if (rng.Chance(0.2)) {  // sometimes fuzz pure junk instead
+    stream.resize(rng.Below(64));
+    for (char& c : stream) c = static_cast<char>(rng.Below(256));
+  } else {
+    for (uint64_t i = 1 + rng.Below(3); i > 0; --i) MutateBytes(rng, &stream);
+  }
+
+  // Consume the stream exactly the way serve/server.cc does.
+  std::string_view buffer(stream);
+  while (!buffer.empty()) {
+    ++*checks;
+    wire::Frame frame;
+    size_t consumed = 0;
+    Status status = wire::ExtractFrame(buffer, &frame, &consumed);
+    if (!status.ok()) {
+      if (status.code() != StatusCode::kProtocolError) {
+        return Fail("frame rejection used '" + status.ToString() +
+                        "' instead of kProtocolError",
+                    "", "");
+      }
+      break;  // clean rejection: the connection would close here
+    }
+    if (consumed == 0) break;  // partial tail: the server would read more
+    switch (frame.type) {
+      case wire::FrameType::kQuery: {
+        auto decoded = wire::DecodeRequest(frame.payload);
+        if (!decoded.ok() &&
+            decoded.status().code() != StatusCode::kProtocolError) {
+          return Fail("request decode used '" + decoded.status().ToString() +
+                          "' instead of kProtocolError",
+                      "", "");
+        }
+        if (decoded.ok() && !request_roundtrips(*decoded)) {
+          return Fail("mutated request decoded but does not round-trip", "",
+                      decoded->query.pattern);
+        }
+        break;
+      }
+      case wire::FrameType::kResponse: {
+        auto decoded = wire::DecodeResponse(frame.payload);
+        if (!decoded.ok() &&
+            decoded.status().code() != StatusCode::kProtocolError) {
+          return Fail("response decode used '" + decoded.status().ToString() +
+                          "' instead of kProtocolError",
+                      "", "");
+        }
+        if (decoded.ok() && !response_roundtrips(*decoded)) {
+          return Fail("mutated response decoded but does not round-trip", "",
+                      "");
+        }
+        break;
+      }
+      case wire::FrameType::kStats:
+        break;  // empty payload by construction; nothing to decode
+      case wire::FrameType::kStatsResponse:
+        if (auto decoded = wire::DecodeStatsResponse(frame.payload);
+            !decoded.ok() &&
+            decoded.status().code() != StatusCode::kProtocolError) {
+          return Fail("stats decode used '" + decoded.status().ToString() +
+                          "' instead of kProtocolError",
+                      "", "");
+        }
+        break;
+      case wire::FrameType::kError:
+        if (auto decoded = wire::DecodeError(frame.payload);
+            !decoded.ok() &&
+            decoded.status().code() != StatusCode::kProtocolError) {
+          return Fail("error decode used '" + decoded.status().ToString() +
+                          "' instead of kProtocolError",
+                      "", "");
+        }
+        break;
+    }
+    buffer.remove_prefix(consumed);
+  }
+
+  // --- JSON lines: mutate valid encodings, then parse ----------------------
+  for (int trial = 0; trial < 4; ++trial) {
+    ++*checks;
+    const bool is_request = rng.Chance(0.5);
+    std::string line = is_request ? wire::RequestToJson(random_request())
+                                  : wire::ResponseToJson(random_response());
+    MutateBytes(rng, &line);
+    if (is_request) {
+      auto parsed = wire::ParseRequestJson(line);
+      if (!parsed.ok() &&
+          parsed.status().code() != StatusCode::kProtocolError) {
+        return Fail("JSON request rejection used '" +
+                        parsed.status().ToString() +
+                        "' instead of kProtocolError",
+                    "", line);
+      }
+      if (parsed.ok()) {
+        auto again = wire::ParseRequestJson(wire::RequestToJson(*parsed));
+        if (!again.ok() || !(*again == *parsed)) {
+          return Fail("mutated JSON request parsed but does not round-trip",
+                      "", line);
+        }
+      }
+    } else {
+      auto parsed = wire::ParseResponseJson(line);
+      if (!parsed.ok() &&
+          parsed.status().code() != StatusCode::kProtocolError) {
+        return Fail("JSON response rejection used '" +
+                        parsed.status().ToString() +
+                        "' instead of kProtocolError",
+                    "", line);
+      }
+      if (parsed.ok()) {
+        auto again = wire::ParseResponseJson(wire::ResponseToJson(*parsed));
+        if (!again.ok() || again->id != parsed->id ||
+            !again->result.SameAnswer(parsed->result)) {
+          return Fail("mutated JSON response parsed but does not round-trip",
+                      "", line);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace spine;
   const bool manifest_mode =
       argc > 1 && std::strcmp(argv[1], "manifest") == 0;
-  const int arg0 = manifest_mode ? 2 : 1;
+  const bool frames_mode = argc > 1 && std::strcmp(argv[1], "frames") == 0;
+  const int arg0 = (manifest_mode || frames_mode) ? 2 : 1;
   double budget_seconds = argc > arg0 ? std::atof(argv[arg0]) : 2.0;
   uint64_t seed =
       argc > arg0 + 1 ? std::strtoull(argv[arg0 + 1], nullptr, 10) : 20260706;
@@ -215,6 +435,10 @@ int main(int argc, char** argv) {
       if (int rc = FuzzShardManifest(rng, s, fuzz_dir, &checks); rc != 0) {
         return rc;
       }
+      continue;
+    }
+    if (frames_mode) {
+      if (int rc = FuzzWireFrames(rng, &checks); rc != 0) return rc;
       continue;
     }
 
@@ -272,6 +496,11 @@ int main(int argc, char** argv) {
       if (int rc = FuzzShardManifest(rng, s, fuzz_dir, &checks); rc != 0) {
         return rc;
       }
+    }
+
+    // Serving-wire envelope robustness; cheap enough for every round.
+    if (int rc = FuzzWireFrames(rng, &checks); rc != 0) {
+      return rc;
     }
 
     // Maximal matches: SPINE vs suffix tree vs oracle.
