@@ -4,6 +4,7 @@
 #include <cstring>
 #include <limits>
 
+#include "common/check.h"
 #include "obs/json.h"
 
 namespace spine::core::wire {
@@ -92,8 +93,17 @@ Status ProtocolError(std::string what) {
 
 // Frame scaffolding: every Append* builds payload bytes then wraps them
 // as  u32 length | u8 version | u8 type | payload.
+//
+// The cap is an invariant, not an input check: every public encoder
+// bounds its payload (AppendResponseFrame degrades oversized results,
+// request senders validate the pattern first), so a violation here is a
+// bug in an encoder — and without the check it would emit a frame the
+// peer's ExtractFrame can never accept (or, past 4 GiB, a silently
+// truncated length).
 void AppendFrame(FrameType type, std::string_view payload,
                  std::string* out) {
+  SPINE_CHECK_MSG(payload.size() + 2 <= kMaxFramePayload,
+                  "frame payload exceeds kMaxFramePayload");
   PutU32(static_cast<uint32_t>(payload.size() + 2), out);
   PutU8(kWireVersion, out);
   PutU8(static_cast<uint8_t>(type), out);
@@ -143,6 +153,30 @@ void AppendRequestFrame(const QueryRequest& request, std::string* out) {
 
 void AppendResponseFrame(const QueryResponse& response, std::string* out) {
   const QueryResult& r = response.result;
+  // Exact payload size: id(8) status(1) found(1) error(4+n) hits(4+12n)
+  // matching_stats(4+4n) work counters(24). A findall with millions of
+  // hits or matching stats over a near-cap pattern can exceed the frame
+  // cap; such a frame would be rejected by the peer's ExtractFrame
+  // before delivery, so degrade to a small, deliverable
+  // kResourceExhausted verdict instead of an un-receivable answer.
+  const uint64_t payload_size =
+      8 + 1 + 1 + (4 + r.error.size()) +
+      (4 + static_cast<uint64_t>(r.hits.size()) * 12) +
+      (4 + static_cast<uint64_t>(r.matching_stats.size()) * 4) + 24;
+  if (payload_size + 2 > kMaxFramePayload) {
+    QueryResponse degraded;
+    degraded.id = response.id;
+    degraded.result.status_code = StatusCode::kResourceExhausted;
+    degraded.result.found = r.found;
+    degraded.result.stats = r.stats;
+    degraded.result.error =
+        "response too large for one frame (" +
+        std::to_string(r.hits.size()) + " hit(s), " +
+        std::to_string(r.matching_stats.size()) +
+        " matching stat(s)); narrow the query";
+    AppendResponseFrame(degraded, out);
+    return;
+  }
   std::string payload;
   PutU64(response.id, &payload);
   PutU8(static_cast<uint8_t>(r.status_code), &payload);

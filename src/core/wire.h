@@ -41,7 +41,11 @@ inline constexpr uint8_t kWireVersion = 1;
 
 // Upper bound on the length field of one frame (version byte + type
 // byte + payload). Oversized frames are a protocol error: the decoder
-// refuses them before allocating anything.
+// refuses them before allocating anything. Encoders honor the same
+// cap: AppendResponseFrame degrades an over-cap result to a small
+// kResourceExhausted response, and request senders must bound the
+// pattern (serve::Client::Send rejects oversized patterns with
+// kInvalidArgument) — so no emitted frame is ever un-receivable.
 inline constexpr uint32_t kMaxFramePayload = 1u << 24;  // 16 MiB
 
 enum class FrameType : uint8_t {
@@ -82,7 +86,14 @@ struct WireError {
 
 // --- binary frames ---------------------------------------------------------
 
-// Serializers append one complete frame (length prefix included).
+// Serializers append one complete frame (length prefix included). The
+// result always fits kMaxFramePayload: a response too large for one
+// frame (millions of hits, matching stats over a near-cap pattern) is
+// replaced by a kResourceExhausted response carrying the same id, so
+// the client gets a deliverable verdict instead of a frame its
+// ExtractFrame must reject. Requests have no such fallback — callers
+// keep pattern + 20 bytes of fixed fields under the cap (enforced by
+// SPINE_CHECK; serve::Client::Send pre-validates).
 void AppendRequestFrame(const QueryRequest& request, std::string* out);
 void AppendResponseFrame(const QueryResponse& response, std::string* out);
 void AppendStatsRequestFrame(std::string* out);

@@ -16,7 +16,20 @@ namespace spine::engine {
 QueryEngine::QueryEngine() : QueryEngine(Options{}) {}
 
 QueryEngine::QueryEngine(const Options& options)
-    : pool_(options.threads), cache_(options.cache_bytes), options_(options) {}
+    : pool_(options.threads), cache_(options.cache_bytes), options_(options) {
+  // Merge the deprecated max_retries spelling, once, at the only read
+  // site; everything downstream sees retry_limit.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  if (options.max_retries != Options::kRetryLimitUnset) {
+    options_.retry_limit = options.max_retries;
+  }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+}
 
 QueryResult QueryEngine::AnswerOne(const core::Index& index,
                                    const Query& query, std::mutex* backend_mu,

@@ -64,21 +64,25 @@ class QueryEngine {
   // serve::Options (threads / queue_cap / retry_* / tracing); the
   // defaults table for both lives in docs/SERVING.md.
   struct Options {
+    // Sentinel for "max_retries was never written" (no real limit gets
+    // anywhere near it: the backoff doubles per attempt).
+    static constexpr uint32_t kRetryLimitUnset = 0xffffffffu;
+
     uint32_t threads = 0;      // 0 → hardware concurrency
     uint64_t cache_bytes = 0;  // 0 → result cache disabled
     // Transient-fault handling: a query failing with kIoError is
     // re-executed up to retry_limit times, sleeping retry_backoff_us,
     // 2x, 4x, ... between attempts. Corruption is never retried.
-    union {
-      uint32_t retry_limit = 2;
-      // Pre-serve spelling; same storage, removed next release.
-      [[deprecated("renamed retry_limit")]] uint32_t max_retries;
-    };
+    uint32_t retry_limit = 2;
     uint32_t retry_backoff_us = 500;
     // Collect a per-query TraceContext (spans + notes) into
     // BatchStats::traces. No effect on results or on builds compiled
     // with SPINE_OBS_DISABLED.
     bool tracing = false;
+    // Pre-serve spelling of retry_limit; when set it overrides
+    // retry_limit at engine construction. Removed next release.
+    [[deprecated("renamed retry_limit")]] uint32_t max_retries =
+        kRetryLimitUnset;
   };
 
   QueryEngine();  // default Options

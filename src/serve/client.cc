@@ -73,6 +73,18 @@ Status Client::SendRaw(std::string_view bytes) {
 }
 
 Status Client::Send(const wire::QueryRequest& request) {
+  // A pattern near the frame cap cannot travel either dialect (binary:
+  // the encoded frame would exceed kMaxFramePayload; JSON: the server
+  // bounds un-terminated lines at the same cap). Fail with a
+  // client-side verdict instead of encoding bytes the server is
+  // guaranteed to reject. 20 = the request payload's fixed fields plus
+  // the version/type header bytes.
+  if (request.query.pattern.size() + 20 > wire::kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "pattern of " + std::to_string(request.query.pattern.size()) +
+        " bytes exceeds the " + std::to_string(wire::kMaxFramePayload) +
+        "-byte wire frame cap");
+  }
   std::string out;
   if (json_) {
     out = wire::RequestToJson(request);

@@ -270,6 +270,13 @@ void Server::AcceptLoop() {
     {
       std::lock_guard<std::mutex> lock(connections_mu_);
       connections_.push_back(std::move(connection));
+      // RequestDrain may have swept connections_ between the drain
+      // check above and this insert; re-check under the same lock so a
+      // freshly accepted connection cannot miss its half-close and
+      // stall Stop() in recv.
+      if (drain_.load(std::memory_order_acquire)) {
+        ::shutdown(raw->fd, SHUT_RD);
+      }
     }
     raw->thread = std::thread([this, raw] { ConnectionLoop(raw); });
   }
@@ -312,16 +319,34 @@ void Server::ConnectionLoop(Connection* connection) {
 
 bool Server::ProcessBuffered(Connection* connection) {
   if (connection->mode == Connection::Mode::kUnknown) {
-    if (connection->buffer.empty()) return true;
-    // Binary frames start with a little-endian length whose low byte is
-    // never '{' for sane frame sizes below 123 bytes — but rather than
-    // rely on that, the spec simply reserves '{' as the JSON-mode
-    // introducer: a binary first frame always begins with its length
-    // prefix, and no valid frame under the 16 MiB cap starts 0x7b 0x??
-    // 0x?? 0x7b. One sniff per connection, then the mode is sticky.
-    connection->mode = connection->buffer[0] == '{'
-                          ? Connection::Mode::kJson
-                          : Connection::Mode::kBinary;
+    const std::string& buffer = connection->buffer;
+    if (buffer.empty()) return true;
+    if (buffer[0] != '{') {
+      connection->mode = Connection::Mode::kBinary;
+    } else if (buffer.size() >= 5) {
+      // '{' (0x7b) is also the LOW byte of any little-endian frame
+      // length ≡ 123 mod 256 (e.g. a query with a 103-byte pattern),
+      // so the first byte alone cannot decide. Byte 4 can: a binary
+      // frame carries kWireVersion there — a control byte that can
+      // never appear raw in a JSON line (strict JSON escapes control
+      // characters) — and its first four bytes must read as a
+      // plausible length. One sniff per connection, then sticky.
+      uint32_t length = 0;
+      for (int i = 0; i < 4; ++i) {
+        length |= static_cast<uint32_t>(static_cast<uint8_t>(buffer[i]))
+                  << (8 * i);
+      }
+      const bool binary_frame =
+          static_cast<uint8_t>(buffer[4]) == wire::kWireVersion &&
+          length >= 2 && length <= wire::kMaxFramePayload;
+      connection->mode = binary_frame ? Connection::Mode::kBinary
+                                      : Connection::Mode::kJson;
+    } else if (buffer.find('\n') != std::string::npos) {
+      // A complete line shorter than any frame header: JSON.
+      connection->mode = Connection::Mode::kJson;
+    } else {
+      return true;  // undecidable on < 5 bytes; wait for more
+    }
   }
 
   const bool json = connection->mode == Connection::Mode::kJson;
@@ -440,6 +465,14 @@ bool Server::ProcessBuffered(Connection* connection) {
       Result<wire::QueryRequest> request = wire::ParseRequestJson(line);
       if (!request.ok()) return protocol_error(request.status());
       window.push_back({*std::move(request), SteadyClock::now()});
+    }
+    // Binary mode is bounded by ExtractFrame's 16 MiB cap; hold JSON
+    // lines to the same bar so a client streaming newline-free bytes
+    // cannot grow the buffer without limit.
+    if (connection->buffer.size() > wire::kMaxFramePayload) {
+      return protocol_error(Status::ProtocolError(
+          "JSON line exceeds " + std::to_string(wire::kMaxFramePayload) +
+          " bytes without a newline"));
     }
   } else {
     while (true) {

@@ -5,8 +5,9 @@
 // disk index, or a ShardedIndex family opened through the
 // BackendRegistry. The protocol is the length-prefixed binary framing
 // of core/wire.h, with a JSON-lines fallback auto-detected per
-// connection (a first byte of '{' switches the whole connection to
-// JSON mode) for debugging with nothing but nc.
+// connection (a first byte of '{' plus a first line that cannot be a
+// binary frame header switches the whole connection to JSON mode) for
+// debugging with nothing but nc.
 //
 // Threading model
 //   One acceptor thread owns the listening socket. Each accepted

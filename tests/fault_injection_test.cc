@@ -208,6 +208,55 @@ TEST(FaultInjectionTest, EngineRetryHealsTransientReadError) {
   EXPECT_GE(backend.faults_injected(), 1u);
 }
 
+// The deprecated max_retries spelling must really override retry_limit
+// at engine construction: with max_retries = 0 a transient read fault
+// is NOT retried (retry_limit's default of 2 would have healed it), so
+// the query fails with kIoError and zero retries.
+TEST(FaultInjectionTest, DeprecatedMaxRetriesOverridesRetryLimit) {
+  Rng rng(12);
+  const std::string s = RandomDna(rng, 4000);
+  const std::string path = TempPath("fi_retry_alias.idx");
+  {
+    DiskSpine::Options options;
+    options.pool_frames = 64;
+    auto disk = DiskSpine::Create(Alphabet::Dna(), path, options);
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AppendString(s).ok());
+    ASSERT_TRUE((*disk)->Checkpoint().ok());
+  }
+
+  FaultInjectingBackend backend;
+  DiskSpine::Options options;
+  options.pool_frames = 16;
+  options.backend = &backend;
+  auto disk = DiskSpine::Open(path, options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  backend.ScheduleReadFault(FaultKind::kReadError, 1);
+
+  engine::QueryEngine::Options engine_options;
+  engine_options.threads = 2;
+  engine_options.retry_backoff_us = 0;
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  engine_options.max_retries = 0;  // old spelling: disable retries
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+  engine::QueryEngine engine(engine_options);
+
+  std::vector<Query> queries = {Query::FindAll(s.substr(100, 8))};
+  core::DiskSpineAdapter adapter(**disk);
+  engine::BatchStats stats;
+  std::vector<QueryResult> results =
+      engine.ExecuteBatch(adapter, queries, &stats);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status_code, StatusCode::kIoError);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
 // (d) Persistent on-disk corruption: every data page gets a bit flip,
 // so each query that touches storage fails with kCorruption — but the
 // batch itself completes, results arrive for every query, and the

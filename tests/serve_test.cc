@@ -319,6 +319,16 @@ TEST_F(ServeTest, ProtocolViolationsGetAnErrorAndCloseOnlyThatConnection) {
     EXPECT_EQ(client->ReceiveResponse().status().code(),
               StatusCode::kProtocolError);
   }
+  {  // A complete JSON line shorter than a frame header still selects
+     // JSON mode (and fails the request parse) instead of stalling the
+     // dialect sniff forever.
+    Result<Client> client =
+        Client::Connect("127.0.0.1", server.port(), /*json=*/true);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client->SendRaw("{}\n").ok());
+    EXPECT_EQ(client->ReceiveResponse().status().code(),
+              StatusCode::kProtocolError);
+  }
   {  // A trailing partial frame at EOF is dropped silently.
     Result<Client> client = Client::Connect("127.0.0.1", server.port());
     ASSERT_TRUE(client.ok());
@@ -335,6 +345,53 @@ TEST_F(ServeTest, ProtocolViolationsGetAnErrorAndCloseOnlyThatConnection) {
   Result<wire::QueryResponse> response = client->ReceiveResponse();
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->id, 5u);
+  server.Stop();
+}
+
+TEST_F(ServeTest, BinaryFrameWhoseLengthLowByteIsBraceStaysBinary) {
+  Server server(*adapter_, TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Result<Client> client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // A 103-byte pattern makes the frame length 123 — so the first wire
+  // byte is '{' (0x7b, the little-endian low byte). The dialect sniff
+  // must still classify the connection as binary, not kill it as
+  // malformed JSON.
+  const Query query = Query::FindAll(corpus_->substr(0, 103));
+  std::string frame;
+  wire::AppendRequestFrame({42, query}, &frame);
+  ASSERT_EQ(frame[0], '{');  // the premise of the regression
+  ASSERT_TRUE(client->SendRaw(frame).ok());
+
+  Result<wire::QueryResponse> response = client->ReceiveResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->id, 42u);
+  EXPECT_TRUE(response->result.SameAnswer(adapter_->Execute(query)));
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+  server.Stop();
+}
+
+TEST_F(ServeTest, NewlineFreeJsonStreamIsBoundedNotUnbounded) {
+  Server server(*adapter_, TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+  Result<Client> client =
+      Client::Connect("127.0.0.1", server.port(), /*json=*/true);
+  ASSERT_TRUE(client.ok());
+
+  // Commit the connection to JSON mode, then stream past the frame cap
+  // without ever sending a newline: the server must kill the
+  // connection with a protocol error instead of buffering forever.
+  ASSERT_TRUE(client->SendRaw("{\"v\":1,").ok());
+  const std::string chunk(1 << 20, 'x');
+  for (int i = 0; i <= 16; ++i) {
+    // The server may close mid-stream; a failed send is the expected
+    // way to find out.
+    if (!client->SendRaw(chunk).ok()) break;
+  }
+  Result<wire::QueryResponse> response = client->ReceiveResponse();
+  EXPECT_FALSE(response.ok());
+  EXPECT_GE(server.stats().protocol_errors, 1u);
   server.Stop();
 }
 

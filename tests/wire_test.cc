@@ -100,6 +100,35 @@ TEST(WireBinaryTest, EveryStatusCodeSurvivesTheResponseEncoding) {
   }
 }
 
+TEST(WireBinaryTest, OversizedResponseDegradesToResourceExhausted) {
+  // ~1.5M hits encode to ~18 MiB — past the frame cap. The encoder
+  // must emit a small kResourceExhausted response with the same id,
+  // never a frame ExtractFrame would reject as a protocol error.
+  QueryResponse response;
+  response.id = 77;
+  response.result.found = true;
+  response.result.stats.nodes_checked = 5;
+  response.result.hits.resize(1500000, Hit{1, 2, 3});
+
+  std::string buffer;
+  AppendResponseFrame(response, &buffer);
+  EXPECT_LT(buffer.size(), 1024u);
+
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(ExtractFrame(buffer, &frame, &consumed).ok());
+  ASSERT_EQ(consumed, buffer.size());
+  ASSERT_EQ(frame.type, FrameType::kResponse);
+  Result<QueryResponse> decoded = DecodeResponse(frame.payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->id, 77u);
+  EXPECT_EQ(decoded->result.status_code, StatusCode::kResourceExhausted);
+  EXPECT_TRUE(decoded->result.hits.empty());
+  EXPECT_TRUE(decoded->result.found);
+  EXPECT_EQ(decoded->result.stats.nodes_checked, 5u);
+  EXPECT_NE(decoded->result.error.find("1500000"), std::string::npos);
+}
+
 TEST(WireBinaryTest, ErrorFrameRoundTrips) {
   WireError error{42, StatusCode::kOverloaded, "try later"};
   std::string buffer;
