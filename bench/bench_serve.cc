@@ -126,6 +126,7 @@ struct PointResult {
   uint64_t answered = 0;
   uint64_t ok = 0;
   uint64_t shed = 0;
+  uint64_t deadline_exceeded = 0;
   uint64_t errors = 0;  // transport-level failures (should be zero)
   double p50_us = 0, p99_us = 0, p999_us = 0;
 };
@@ -154,7 +155,7 @@ PointResult RunPoint(const Args& args, uint16_t port, double qps,
     serve::Client client;
     std::vector<uint64_t> ids;
     std::vector<double> latencies_us;
-    uint64_t ok = 0, shed = 0, errors = 0;
+    uint64_t ok = 0, shed = 0, deadline_exceeded = 0, errors = 0;
   };
   std::vector<std::unique_ptr<Lane>> lanes;
   for (uint32_t c = 0; c < args.conns; ++c) {
@@ -196,6 +197,9 @@ PointResult RunPoint(const Args& args, uint16_t port, double qps,
         lane->latencies_us.push_back(latency.count());
         if (response->result.status_code == StatusCode::kOverloaded) {
           ++lane->shed;
+        } else if (response->result.status_code ==
+                   StatusCode::kDeadlineExceeded) {
+          ++lane->deadline_exceeded;
         } else if (response->result.ok()) {
           ++lane->ok;
         }
@@ -211,6 +215,7 @@ PointResult RunPoint(const Args& args, uint16_t port, double qps,
     point.answered += lane->latencies_us.size();
     point.ok += lane->ok;
     point.shed += lane->shed;
+    point.deadline_exceeded += lane->deadline_exceeded;
     point.errors += lane->errors;
     all_us.insert(all_us.end(), lane->latencies_us.begin(),
                   lane->latencies_us.end());
@@ -296,6 +301,49 @@ void Run(int argc, char** argv) {
     }
   }
   table.Print();
+
+  // Deadline sweep (PR 7): the same open-loop generator at the highest
+  // QPS point, with every request carrying a per-request budget. Every
+  // request is still answered — just some with kDeadlineExceeded once
+  // the budget (which includes batch-window queueing) runs out. The
+  // 0 ms row is the unbounded control.
+  const std::vector<uint32_t> deadline_sweep = {0, 50, 5, 1};
+  const double deadline_qps = args.qps.back();
+  std::printf("\ndeadline sweep at %s target qps (0 = unbounded):\n",
+              FormatCount(static_cast<uint64_t>(deadline_qps)).c_str());
+  TablePrinter deadline_table({"deadline ms", "sent", "ok", "dl exceeded",
+                               "shed", "p50 us", "p99 us"});
+  for (size_t i = 0; i < deadline_sweep.size(); ++i) {
+    std::vector<core::wire::QueryRequest> bounded = workload;
+    for (core::wire::QueryRequest& request : bounded) {
+      request.query.deadline_ms = deadline_sweep[i];
+    }
+    const PointResult point = RunPoint(args, port, deadline_qps, bounded);
+    deadline_table.AddRow(
+        {FormatCount(deadline_sweep[i]), FormatCount(point.sent),
+         FormatCount(point.ok), FormatCount(point.deadline_exceeded),
+         FormatCount(point.shed), FormatDouble(point.p50_us, 1),
+         FormatDouble(point.p99_us, 1)});
+    const std::string key = "d" + std::to_string(i);
+    report.AddMetric(key + "_deadline_ms",
+                     static_cast<uint64_t>(deadline_sweep[i]));
+    report.AddMetric(key + "_sent", point.sent);
+    report.AddMetric(key + "_ok", point.ok);
+    report.AddMetric(key + "_deadline_exceeded", point.deadline_exceeded);
+    report.AddMetric(key + "_shed", point.shed);
+    report.AddMetric(key + "_p50_us", point.p50_us);
+    report.AddMetric(key + "_p99_us", point.p99_us);
+    clean = clean && point.errors == 0 && point.answered == point.sent;
+    if (point.errors != 0 || point.answered != point.sent) {
+      std::printf("  WARNING: deadline point %u ms lost responses "
+                  "(%llu answered of %llu sent, %llu transport errors)\n",
+                  deadline_sweep[i],
+                  static_cast<unsigned long long>(point.answered),
+                  static_cast<unsigned long long>(point.sent),
+                  static_cast<unsigned long long>(point.errors));
+    }
+  }
+  deadline_table.Print();
 
   if (server) {
     server->Stop();

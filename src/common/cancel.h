@@ -1,0 +1,192 @@
+// Deadlines and cooperative cancellation.
+//
+// Three small value types thread a time budget from the serving edge
+// down to the innermost vertebra loops:
+//
+//   Deadline          an absolute point on the monotonic clock (or
+//                     "never"). Queries carry a *relative* deadline_ms
+//                     on the wire; the engine pins it to an absolute
+//                     Deadline exactly once, at batch entry, so queued
+//                     time counts against the budget.
+//   CancelToken       a poll-only flag combining an explicit Cancel()
+//                     (client disconnected, shutdown) with a Deadline,
+//                     optionally chained to a parent token (the serve
+//                     layer holds one token per connection; the engine
+//                     derives one per query under it).
+//   CancelCheckpoint  the hot-loop guard: amortizes the clock read and
+//                     the atomic load over `interval` iterations, and
+//                     compiles down to a null test + decrement when no
+//                     token is present — measured <1% on the
+//                     bench_kernel_ops / bench_table6 hot paths
+//                     (docs/PERF.md).
+//
+// Cancellation is cooperative: code observes ShouldStop(), abandons the
+// traversal, and the caller (core/query.h ExecuteQuery, the engine)
+// converts the fired token into a kDeadlineExceeded / kCancelled
+// QueryResult. A partial payload is never returned as kOk.
+//
+// Thread safety: Cancel() and all the polling calls are safe from any
+// thread (relaxed atomics + an immutable deadline). Construction and
+// destruction are not concurrent with use, as usual.
+
+#ifndef SPINE_COMMON_CANCEL_H_
+#define SPINE_COMMON_CANCEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "common/status.h"
+
+namespace spine {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Default: never expires.
+  Deadline() : at_(Clock::time_point::max()) {}
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline At(Clock::time_point at) {
+    Deadline d;
+    d.at_ = at;
+    return d;
+  }
+  static Deadline AfterMs(uint64_t ms) {
+    return AfterMicros(ms > std::numeric_limits<uint64_t>::max() / 1000
+                           ? std::numeric_limits<uint64_t>::max()
+                           : ms * 1000);
+  }
+  static Deadline AfterMicros(uint64_t us) {
+    // Saturate: a huge relative budget must not overflow past the
+    // clock's epoch and read as "already expired". The clamp into the
+    // signed duration rep matters too — microseconds counts in int64,
+    // and a uint64 past that wraps negative.
+    const Clock::time_point now = Clock::now();
+    const auto headroom = Clock::time_point::max() - now;
+    const auto want = std::chrono::microseconds(static_cast<int64_t>(
+        std::min<uint64_t>(us, std::numeric_limits<int64_t>::max())));
+    return At(want >= std::chrono::duration_cast<std::chrono::microseconds>(
+                          headroom)
+                  ? Clock::time_point::max()
+                  : now + want);
+  }
+
+  bool IsInfinite() const { return at_ == Clock::time_point::max(); }
+  bool Expired() const { return !IsInfinite() && Clock::now() >= at_; }
+
+  // Microseconds until expiry, clamped to >= 0. A very large value
+  // (int64 max) for the infinite deadline.
+  int64_t RemainingMicros() const {
+    if (IsInfinite()) return std::numeric_limits<int64_t>::max();
+    const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+        at_ - Clock::now());
+    return left.count() < 0 ? 0 : left.count();
+  }
+  int64_t RemainingMs() const {
+    const int64_t us = RemainingMicros();
+    return us == std::numeric_limits<int64_t>::max() ? us : us / 1000;
+  }
+
+  Clock::time_point time() const { return at_; }
+
+  static Deadline Sooner(const Deadline& a, const Deadline& b) {
+    return a.at_ <= b.at_ ? a : b;
+  }
+
+  bool operator==(const Deadline&) const = default;
+
+ private:
+  Clock::time_point at_;
+};
+
+// A poll-only cancellation flag plus deadline, optionally chained to a
+// parent token. Non-copyable: holders share it by pointer, so one
+// Cancel() is seen by every observer.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  explicit CancelToken(Deadline deadline, const CancelToken* parent = nullptr)
+      : deadline_(deadline), parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  // Requests cancellation (kCancelled). Safe from any thread; sticky.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_relaxed) ||
+           (parent_ != nullptr && parent_->cancel_requested());
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+  // True once the holder should stop: explicitly cancelled (here or in
+  // an ancestor) or past the deadline (here or in an ancestor).
+  bool Fired() const { return FiredCode() != StatusCode::kOk; }
+
+  // kCancelled / kDeadlineExceeded when fired, kOk otherwise. An
+  // explicit Cancel() wins over a simultaneously expired deadline: it
+  // carries more information (the peer is gone; retrying is pointless).
+  StatusCode FiredCode() const {
+    if (cancel_requested()) return StatusCode::kCancelled;
+    if (deadline_.Expired()) return StatusCode::kDeadlineExceeded;
+    if (parent_ != nullptr) return parent_->FiredCode();
+    return StatusCode::kOk;
+  }
+
+  Status ToStatus() const {
+    switch (FiredCode()) {
+      case StatusCode::kCancelled:
+        return Status::Cancelled("query cancelled");
+      case StatusCode::kDeadlineExceeded:
+        return Status::DeadlineExceeded("deadline exceeded");
+      default:
+        return Status::OK();
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Deadline deadline_;
+  const CancelToken* parent_ = nullptr;
+};
+
+// How many loop iterations pass between token polls. Chosen so the
+// poll amortizes to noise (one clock read per ~thousand vertebra
+// steps) while keeping worst-case overshoot far under any practical
+// deadline (a checkpoint interval of work is microseconds).
+inline constexpr uint32_t kCancelCheckInterval = 1024;
+
+// Hot-loop guard. With token == nullptr, ShouldStop() is a null test
+// and nothing else touches memory — the common (no-deadline) case
+// stays kernel-speed.
+class CancelCheckpoint {
+ public:
+  explicit CancelCheckpoint(const CancelToken* token,
+                            uint32_t interval = kCancelCheckInterval)
+      : token_(token), interval_(interval), countdown_(interval) {}
+
+  bool ShouldStop() {
+    if (token_ == nullptr) return false;
+    if (fired_) return true;
+    if (--countdown_ != 0) return false;
+    countdown_ = interval_;
+    fired_ = token_->Fired();
+    return fired_;
+  }
+
+ private:
+  const CancelToken* token_;
+  uint32_t interval_;
+  uint32_t countdown_;
+  bool fired_ = false;
+};
+
+}  // namespace spine
+
+#endif  // SPINE_COMMON_CANCEL_H_

@@ -24,6 +24,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Overloaded";
     case StatusCode::kProtocolError:
       return "ProtocolError";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

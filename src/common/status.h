@@ -32,6 +32,15 @@ enum class StatusCode {
   // The peer sent bytes that do not form a valid wire frame (bad
   // magic/version, truncated or oversized frame, malformed payload).
   kProtocolError = 9,
+  // The query's time budget ran out before an answer was produced
+  // (common/cancel.h). The work was abandoned at a checkpoint; any
+  // partial payload is discarded. Retrying with a larger budget is
+  // reasonable.
+  kDeadlineExceeded = 10,
+  // The query was cancelled cooperatively — the client disconnected or
+  // the server is shutting down. Retrying is pointless for the
+  // originator (it asked for the cancellation, directly or by dying).
+  kCancelled = 11,
 };
 
 // Human-readable name for a status code ("OK", "InvalidArgument", ...).
@@ -72,6 +81,12 @@ class Status {
   }
   static Status ProtocolError(std::string msg) {
     return Status(StatusCode::kProtocolError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -70,9 +70,15 @@ void RecordQueryObs(const Query& query, const QueryResult& result,
 // suffix-link matcher, occurrences from per-match FindAll (ascending,
 // so front() is the first occurrence — the position SPINE reports),
 // and matching statistics from seeded matches plus the decay sweep.
+// Cancellation granularity here is coarser than the SPINE generics:
+// per maximal match / per phase on the adapter level, plus — for the
+// paged tree — every buffer-pool miss via the scoped token
+// (CancelScopedIndex). A fired token is converted to an error result
+// exactly like an I/O latch, never returned as a partial kOk payload.
 template <typename Tree>
 QueryResult StExecute(const Tree& tree, std::string_view name,
-                      const Query& query, obs::TraceContext* trace) {
+                      const Query& query, obs::TraceContext* trace,
+                      const CancelToken* cancel) {
 #if defined(SPINE_OBS_DISABLED)
   trace = nullptr;
 #endif
@@ -80,6 +86,8 @@ QueryResult StExecute(const Tree& tree, std::string_view name,
   if constexpr (IoLatchedIndex<Tree>) {
     (void)tree.ConsumeError();  // stale latch must not taint this query
   }
+  internal::CancelScopeGuard<Tree> cancel_scope(tree, cancel);
+  CancelCheckpoint checkpoint(cancel, /*interval=*/1);
   (void)name;
   QueryResult result;
   switch (query.kind) {
@@ -101,6 +109,7 @@ QueryResult StExecute(const Tree& tree, std::string_view name,
       const uint32_t min_len = std::max<uint32_t>(query.min_len, 1);
       for (const StMatch& match : GenericStFindMaximalMatches(
                tree, query.pattern, min_len, &result.stats)) {
+        if (checkpoint.ShouldStop()) break;
         const std::string_view sub = std::string_view(query.pattern)
                                          .substr(match.query_pos, match.length);
         std::vector<uint32_t> positions = tree.FindAll(sub, &result.stats);
@@ -139,19 +148,31 @@ QueryResult StExecute(const Tree& tree, std::string_view name,
       return failed;
     }
   }
+  if (cancel != nullptr) {
+    Status status = cancel->ToStatus();
+    if (!status.ok()) {
+      QueryResult timed_out;
+      timed_out.stats = result.stats;
+      timed_out.status_code = status.code();
+      timed_out.error = std::string(status.message());
+      return timed_out;
+    }
+  }
   return result;
 }
 
 }  // namespace
 
 QueryResult SuffixTreeAdapter::Execute(const Query& query,
-                                       obs::TraceContext* trace) const {
-  return StExecute(*tree_, Name(), query, trace);
+                                       obs::TraceContext* trace,
+                                       const CancelToken* cancel) const {
+  return StExecute(*tree_, Name(), query, trace, cancel);
 }
 
 QueryResult DiskSuffixTreeAdapter::Execute(const Query& query,
-                                           obs::TraceContext* trace) const {
-  return StExecute(*tree_, Name(), query, trace);
+                                           obs::TraceContext* trace,
+                                           const CancelToken* cancel) const {
+  return StExecute(*tree_, Name(), query, trace, cancel);
 }
 
 Status DiskSuffixTreeAdapter::VerifyStructure() const {
@@ -191,7 +212,8 @@ const Alphabet& CompactDawgAdapter::alphabet() const {
 }
 
 QueryResult CompactDawgAdapter::Execute(const Query& query,
-                                        obs::TraceContext* trace) const {
+                                        obs::TraceContext* trace,
+                                        const CancelToken* cancel) const {
 #if defined(SPINE_OBS_DISABLED)
   trace = nullptr;
 #endif
@@ -200,17 +222,27 @@ QueryResult CompactDawgAdapter::Execute(const Query& query,
   }
   obs::SpanTimer exec_timer(trace, "exec_us");
   QueryResult result;
+  // One walk bounded by the pattern length; a boundary check suffices.
+  if (cancel != nullptr && cancel->Fired()) {
+    result.status_code = cancel->FiredCode();
+    result.error = std::string(cancel->ToStatus().message());
+    return result;
+  }
   result.found = query.pattern.empty() || dawg_->Contains(query.pattern);
   RecordQueryObs(query, result, trace);
   return result;
 }
 
 QueryResult NaiveTextAdapter::Execute(const Query& query,
-                                      obs::TraceContext* trace) const {
+                                      obs::TraceContext* trace,
+                                      const CancelToken* cancel) const {
 #if defined(SPINE_OBS_DISABLED)
   trace = nullptr;
 #endif
   obs::SpanTimer exec_timer(trace, "exec_us");
+  // The oracle polls per reported match (interval 1: its per-item work
+  // — a full text scan — dwarfs a token poll).
+  CancelCheckpoint checkpoint(cancel, /*interval=*/1);
   QueryResult result;
   switch (query.kind) {
     case QueryKind::kContains:
@@ -231,6 +263,7 @@ QueryResult NaiveTextAdapter::Execute(const Query& query,
       const uint32_t min_len = std::max<uint32_t>(query.min_len, 1);
       for (const naive::NaiveMatch& match :
            naive::MaximalMatches(text_, query.pattern, min_len)) {
+        if (checkpoint.ShouldStop()) break;
         const std::string_view sub = std::string_view(query.pattern)
                                          .substr(match.query_pos, match.length);
         if (query.expand_occurrences) {
@@ -259,6 +292,16 @@ QueryResult NaiveTextAdapter::Execute(const Query& query,
     }
   }
   RecordQueryObs(query, result, trace);
+  if (cancel != nullptr) {
+    Status status = cancel->ToStatus();
+    if (!status.ok()) {
+      QueryResult timed_out;
+      timed_out.stats = result.stats;
+      timed_out.status_code = status.code();
+      timed_out.error = std::string(status.message());
+      return timed_out;
+    }
+  }
   return result;
 }
 

@@ -57,8 +57,9 @@ class SpineIndexAdapter final : public Index {
   const Alphabet& alphabet() const override { return index_->alphabet(); }
   uint64_t size() const override { return index_->size(); }
   QueryResult Execute(const Query& query,
-                      obs::TraceContext* trace = nullptr) const override {
-    return ExecuteQuery(*index_, query, trace);
+                      obs::TraceContext* trace = nullptr,
+                      const CancelToken* cancel = nullptr) const override {
+    return ExecuteQuery(*index_, query, trace, cancel);
   }
   Status VerifyStructure() const override { return index_->Validate(); }
   uint64_t MemoryBytes() const override { return index_->MemoryBytes(); }
@@ -85,8 +86,9 @@ class CompactSpineAdapter final : public Index {
   const Alphabet& alphabet() const override { return index_->alphabet(); }
   uint64_t size() const override { return index_->size(); }
   QueryResult Execute(const Query& query,
-                      obs::TraceContext* trace = nullptr) const override {
-    return ExecuteQuery(*index_, query, trace);
+                      obs::TraceContext* trace = nullptr,
+                      const CancelToken* cancel = nullptr) const override {
+    return ExecuteQuery(*index_, query, trace, cancel);
   }
   Status VerifyStructure() const override { return index_->Validate(); }
   uint64_t MemoryBytes() const override { return index_->MemoryBytes(); }
@@ -115,8 +117,9 @@ class GeneralizedSpineAdapter final : public Index {
   }
   uint64_t size() const override { return index_->underlying().size(); }
   QueryResult Execute(const Query& query,
-                      obs::TraceContext* trace = nullptr) const override {
-    return ExecuteQuery(index_->underlying(), query, trace);
+                      obs::TraceContext* trace = nullptr,
+                      const CancelToken* cancel = nullptr) const override {
+    return ExecuteQuery(index_->underlying(), query, trace, cancel);
   }
   Status VerifyStructure() const override {
     return index_->underlying().Validate();
@@ -148,8 +151,9 @@ class GeneralizedCompactAdapter final : public Index {
   }
   uint64_t size() const override { return index_->underlying().size(); }
   QueryResult Execute(const Query& query,
-                      obs::TraceContext* trace = nullptr) const override {
-    return ExecuteQuery(index_->underlying(), query, trace);
+                      obs::TraceContext* trace = nullptr,
+                      const CancelToken* cancel = nullptr) const override {
+    return ExecuteQuery(index_->underlying(), query, trace, cancel);
   }
   Status VerifyStructure() const override {
     return index_->underlying().Validate();
@@ -183,11 +187,14 @@ class DiskSpineAdapter final : public Index {
   const Alphabet& alphabet() const override { return index_->alphabet(); }
   uint64_t size() const override { return index_->size(); }
   QueryResult Execute(const Query& query,
-                      obs::TraceContext* trace = nullptr) const override {
+                      obs::TraceContext* trace = nullptr,
+                      const CancelToken* cancel = nullptr) const override {
     // ExecuteQuery drains + re-checks the I/O error latch around the
     // traversal (the IoLatchedIndex concept), so faults surface as
-    // per-query error results here too.
-    return ExecuteQuery(*index_, query, trace);
+    // per-query error results here too; the CancelScopedIndex concept
+    // additionally routes `cancel` to the buffer pool, which polls it
+    // on every page miss.
+    return ExecuteQuery(*index_, query, trace, cancel);
   }
   Status VerifyStructure() const override {
     Status status = index_->VerifyStructure();
@@ -223,7 +230,8 @@ class DiskSuffixTreeAdapter final : public Index {
   const Alphabet& alphabet() const override { return tree_->alphabet(); }
   uint64_t size() const override { return tree_->size(); }
   QueryResult Execute(const Query& query,
-                      obs::TraceContext* trace = nullptr) const override;
+                      obs::TraceContext* trace = nullptr,
+                      const CancelToken* cancel = nullptr) const override;
   // Paged node/text walk: edge ranges, child targets and suffix indexes
   // in bounds. Reads every record, so page checksums are exercised too.
   Status VerifyStructure() const override;
@@ -249,7 +257,8 @@ class SuffixTreeAdapter final : public Index {
   const Alphabet& alphabet() const override { return tree_->alphabet(); }
   uint64_t size() const override { return tree_->size(); }
   QueryResult Execute(const Query& query,
-                      obs::TraceContext* trace = nullptr) const override;
+                      obs::TraceContext* trace = nullptr,
+                      const CancelToken* cancel = nullptr) const override;
   Status VerifyStructure() const override { return tree_->Validate(); }
   uint64_t MemoryBytes() const override { return tree_->MemoryBytes(); }
 
@@ -273,7 +282,8 @@ class CompactDawgAdapter final : public Index {
   const Alphabet& alphabet() const override;
   uint64_t size() const override { return dawg_->size(); }
   QueryResult Execute(const Query& query,
-                      obs::TraceContext* trace = nullptr) const override;
+                      obs::TraceContext* trace = nullptr,
+                      const CancelToken* cancel = nullptr) const override;
   Status VerifyStructure() const override { return dawg_->Validate(); }
   uint64_t MemoryBytes() const override { return dawg_->MemoryBytes(); }
 
@@ -294,7 +304,8 @@ class NaiveTextAdapter final : public Index {
   const Alphabet& alphabet() const override { return alphabet_; }
   uint64_t size() const override { return text_.size(); }
   QueryResult Execute(const Query& query,
-                      obs::TraceContext* trace = nullptr) const override;
+                      obs::TraceContext* trace = nullptr,
+                      const CancelToken* cancel = nullptr) const override;
   Status VerifyStructure() const override { return Status::OK(); }
   uint64_t MemoryBytes() const override { return text_.capacity(); }
 

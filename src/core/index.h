@@ -27,6 +27,7 @@
 #include <string_view>
 
 #include "alphabet/alphabet.h"
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/query.h"
 #include "obs/trace.h"
@@ -126,8 +127,15 @@ class Index {
   // QueryResult with status_code != kOk (payload untrusted), never as a
   // crash or a silently wrong answer. Unsupported kinds (see
   // Capabilities::query_kinds) yield kInvalidArgument.
+  //
+  // `cancel`, when non-null, is polled cooperatively; a fired token
+  // yields a kDeadlineExceeded / kCancelled result (common/cancel.h).
+  // Checkpoint granularity is per backend: SPINE-shaped walks poll
+  // every kCancelCheckInterval steps, paged backends additionally on
+  // every buffer-pool miss, baselines at least between phases.
   virtual QueryResult Execute(const Query& query,
-                              obs::TraceContext* trace = nullptr) const = 0;
+                              obs::TraceContext* trace = nullptr,
+                              const CancelToken* cancel = nullptr) const = 0;
 
   // Full structural self-check (invariants + checksums where the
   // backend has them). Used by `spine verify`.

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "core/search.h"
 #include "core/spine_index.h"
 
@@ -64,11 +65,12 @@ std::vector<MatchOccurrences> CollectAllOccurrences(
 template <typename Index>
 std::vector<MaximalMatch> GenericFindMaximalMatches(
     const Index& index, std::string_view query, uint32_t min_len,
-    SearchStats* stats = nullptr) {
+    SearchStats* stats = nullptr, const CancelToken* cancel = nullptr) {
   std::vector<MaximalMatch> out;
   const Alphabet& alphabet = index.alphabet();
   NodeId node = kRootNode;
   uint32_t pathlen = 0;
+  CancelCheckpoint checkpoint(cancel);
   auto report = [&](uint32_t end_pos) {
     if (pathlen >= min_len) out.push_back({end_pos - pathlen, pathlen, node});
   };
@@ -80,6 +82,10 @@ std::vector<MaximalMatch> GenericFindMaximalMatches(
   [[maybe_unused]] std::optional<kernel::EncodedPattern> encoded;
   if constexpr (KernelAccelerated<Index>) encoded.emplace(alphabet, query);
   for (uint32_t i = 0; i < query.size(); ++i) {
+    // One poll per query character bounds the overshoot even when the
+    // link-shrink inner loop below is long (its depth is bounded by the
+    // current pathlen, which the outer loop grows one step at a time).
+    if (checkpoint.ShouldStop()) return {};
     if constexpr (KernelAccelerated<Index>) {
       const uint32_t run = index.MatchVertebraRun(node, *encoded, i);
       if (run > 0) {
@@ -135,9 +141,9 @@ std::vector<MaximalMatch> GenericFindMaximalMatches(
 // the maximal-match finder; maximal matches are exactly the positions
 // where ms[q] >= min_len and ms[q-1] <= ms[q].
 template <typename Index>
-std::vector<uint32_t> GenericMatchingStatistics(const Index& index,
-                                                std::string_view query,
-                                                SearchStats* stats = nullptr) {
+std::vector<uint32_t> GenericMatchingStatistics(
+    const Index& index, std::string_view query, SearchStats* stats = nullptr,
+    const CancelToken* cancel = nullptr) {
   // Derived from the maximal matches via the O(n) decay rule. Each
   // maximal match is uniquely identified by its query start (two
   // right-maximal matches sharing a start would make the shorter one
@@ -148,7 +154,7 @@ std::vector<uint32_t> GenericMatchingStatistics(const Index& index,
   // repetitive queries where long matches overlap densely.
   std::vector<uint32_t> ms(query.size(), 0);
   for (const MaximalMatch& match :
-       GenericFindMaximalMatches(index, query, 1, stats)) {
+       GenericFindMaximalMatches(index, query, 1, stats, cancel)) {
     ms[match.query_pos] = match.length;
   }
   for (size_t q = 1; q < ms.size(); ++q) {
@@ -159,7 +165,8 @@ std::vector<uint32_t> GenericMatchingStatistics(const Index& index,
 
 template <typename Index>
 std::vector<MatchOccurrences> GenericCollectAllOccurrences(
-    const Index& index, const std::vector<MaximalMatch>& matches) {
+    const Index& index, const std::vector<MaximalMatch>& matches,
+    const CancelToken* cancel = nullptr) {
   std::vector<MatchOccurrences> results(matches.size());
   std::unordered_map<NodeId, std::vector<uint32_t>> watch;
   for (uint32_t idx = 0; idx < matches.size(); ++idx) {
@@ -171,7 +178,11 @@ std::vector<MatchOccurrences> GenericCollectAllOccurrences(
   if (matches.empty()) return results;
   const NodeId n = static_cast<NodeId>(index.size());
   std::vector<uint32_t> newly_matched;
+  // The other O(n) full-backbone scan (besides GenericFindAll's); same
+  // checkpoint discipline.
+  CancelCheckpoint checkpoint(cancel);
   for (NodeId j = 1; j <= n; ++j) {
+    if (checkpoint.ShouldStop()) return {};
     const uint32_t lel = index.LinkLel(j);
     if (lel == 0) continue;
     auto it = watch.find(index.LinkDest(j));

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/matcher.h"
 #include "core/search.h"
@@ -57,6 +58,12 @@ struct Query {
   // kMaximalMatches: report every data-string occurrence of every match
   // (the paper's deferred backbone scan) instead of first occurrences.
   bool expand_occurrences = false;
+  // Time budget in milliseconds; 0 means unbounded. Relative — the
+  // engine pins it to an absolute common/cancel.h Deadline once, at
+  // batch entry, so queue time counts. Carried by all three wire
+  // encodings (core/wire.h). Not part of the result-cache key: a cached
+  // answer is complete and equally valid under any budget.
+  uint32_t deadline_ms = 0;
 
   static Query Contains(std::string pattern) {
     return {QueryKind::kContains, std::move(pattern), 1, false};
@@ -119,6 +126,32 @@ concept IoLatchedIndex = requires(const Index& index) {
   { index.ConsumeError() } -> std::same_as<Status>;
 };
 
+// Backends whose I/O layer can observe a CancelToken on its own
+// (storage::DiskSpine, storage::DiskSuffixTree route it to the
+// BufferPool, which polls it on every page miss — the natural
+// checkpoint for paged walks, where one miss may cost milliseconds).
+// ExecuteQuery scopes the token onto the backend for the duration of
+// one query.
+template <typename Index>
+concept CancelScopedIndex = requires(const Index& index) {
+  index.SetCancelToken(static_cast<const CancelToken*>(nullptr));
+};
+
+namespace internal {
+// Clears the backend's scoped token on every exit path.
+template <typename Index>
+struct CancelScopeGuard {
+  CancelScopeGuard(const Index& index, const CancelToken* cancel)
+      : index_(index) {
+    if constexpr (CancelScopedIndex<Index>) index_.SetCancelToken(cancel);
+  }
+  ~CancelScopeGuard() {
+    if constexpr (CancelScopedIndex<Index>) index_.SetCancelToken(nullptr);
+  }
+  const Index& index_;
+};
+}  // namespace internal
+
 // Answers one query against any backend satisfying the Index concept.
 // Deterministic: the same (index contents, query) pair always produces
 // the same QueryResult payload, on any thread.
@@ -131,9 +164,16 @@ concept IoLatchedIndex = requires(const Index& index) {
 // `trace`, when non-null, receives an "exec_us" span plus the work
 // counters as notes. Tracing is strictly observational: the returned
 // QueryResult is byte-identical with trace == nullptr.
+//
+// `cancel`, when non-null, bounds the work: the generic walks poll it
+// at checkpoints (common/cancel.h) and a fired token yields a
+// kDeadlineExceeded / kCancelled result — never a partial payload
+// reported as kOk. CancelScopedIndex backends additionally observe the
+// token on every page miss.
 template <typename Index>
 QueryResult ExecuteQuery(const Index& index, const Query& query,
-                         obs::TraceContext* trace = nullptr) {
+                         obs::TraceContext* trace = nullptr,
+                         const CancelToken* cancel = nullptr) {
 #if defined(SPINE_OBS_DISABLED)
   trace = nullptr;  // capture sites compile out in disabled builds
 #endif
@@ -142,15 +182,17 @@ QueryResult ExecuteQuery(const Index& index, const Query& query,
     // Drop any stale latch so this query's verdict is its own.
     (void)index.ConsumeError();
   }
+  internal::CancelScopeGuard<Index> cancel_scope(index, cancel);
   QueryResult result;
   switch (query.kind) {
     case QueryKind::kContains:
       result.found =
-          GenericFindFirstEnd(index, query.pattern, &result.stats).has_value();
+          GenericFindFirstEnd(index, query.pattern, &result.stats, cancel)
+              .has_value();
       break;
     case QueryKind::kFindAll: {
       std::vector<uint32_t> starts =
-          GenericFindAll(index, query.pattern, &result.stats);
+          GenericFindAll(index, query.pattern, &result.stats, cancel);
       const uint32_t m = static_cast<uint32_t>(query.pattern.size());
       result.hits.reserve(starts.size());
       for (uint32_t pos : starts) result.hits.push_back({pos, m, 0});
@@ -160,10 +202,10 @@ QueryResult ExecuteQuery(const Index& index, const Query& query,
     case QueryKind::kMaximalMatches: {
       const uint32_t min_len = std::max<uint32_t>(query.min_len, 1);
       std::vector<MaximalMatch> matches = GenericFindMaximalMatches(
-          index, query.pattern, min_len, &result.stats);
+          index, query.pattern, min_len, &result.stats, cancel);
       if (query.expand_occurrences) {
         for (const MatchOccurrences& occ :
-             GenericCollectAllOccurrences(index, matches)) {
+             GenericCollectAllOccurrences(index, matches, cancel)) {
           for (uint32_t pos : occ.data_positions) {
             result.hits.push_back({pos, occ.match.length, occ.match.query_pos});
           }
@@ -179,8 +221,8 @@ QueryResult ExecuteQuery(const Index& index, const Query& query,
       break;
     }
     case QueryKind::kMatchingStats: {
-      result.matching_stats =
-          GenericMatchingStatistics(index, query.pattern, &result.stats);
+      result.matching_stats = GenericMatchingStatistics(
+          index, query.pattern, &result.stats, cancel);
       result.found = std::any_of(result.matching_stats.begin(),
                                  result.matching_stats.end(),
                                  [](uint32_t v) { return v > 0; });
@@ -219,6 +261,19 @@ QueryResult ExecuteQuery(const Index& index, const Query& query,
       failed.status_code = status.code();
       failed.error = std::string(status.message());
       return failed;
+    }
+  }
+  // A fired token trumps whatever partial payload the abandoned walk
+  // left behind. (Checked after the latch: a paged backend that
+  // observed the deadline on a page miss latched the same verdict.)
+  if (cancel != nullptr) {
+    Status status = cancel->ToStatus();
+    if (!status.ok()) {
+      QueryResult timed_out;
+      timed_out.stats = result.stats;  // work done before the stop counts
+      timed_out.status_code = status.code();
+      timed_out.error = std::string(status.message());
+      return timed_out;
     }
   }
   return result;

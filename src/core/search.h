@@ -23,6 +23,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cancel.h"
 #include "core/spine_index.h"
 #include "kernel/kernel.h"
 
@@ -46,13 +47,25 @@ concept NodePrefetchable = requires(const Index& index) {
   index.PrefetchNode(NodeId{0});
 };
 
+// Cancellation (common/cancel.h): every generic takes an optional
+// CancelToken and polls it through a CancelCheckpoint every
+// kCancelCheckInterval iterations of its dominant loop. On a fired
+// token the walk returns early with a partial value; the *caller*
+// (core/query.h ExecuteQuery) re-checks the token and converts the
+// abandonment into a kDeadlineExceeded / kCancelled result, so a
+// partial payload is never reported as kOk. With cancel == nullptr the
+// checkpoint is a null test — the hot paths stay kernel-speed
+// (overhead measured in docs/PERF.md).
+
 // End node (== end position) of the first occurrence of `pattern`.
 template <typename Index>
 std::optional<NodeId> GenericFindFirstEnd(const Index& index,
                                           std::string_view pattern,
-                                          SearchStats* stats = nullptr) {
+                                          SearchStats* stats = nullptr,
+                                          const CancelToken* cancel = nullptr) {
   NodeId node = kRootNode;
   uint32_t pathlen = 0;
+  CancelCheckpoint checkpoint(cancel);
   if constexpr (KernelAccelerated<Index>) {
     // Runs of matching vertebras are consumed word-parallel; Step()
     // only resolves the boundary character (rib lookup / mismatch).
@@ -61,6 +74,7 @@ std::optional<NodeId> GenericFindFirstEnd(const Index& index,
     const kernel::EncodedPattern encoded(index.alphabet(), pattern);
     size_t i = 0;
     while (i < pattern.size()) {
+      if (checkpoint.ShouldStop()) return std::nullopt;
       const uint32_t run = index.MatchVertebraRun(node, encoded, i);
       if (run > 0) {
         if (stats != nullptr) stats->nodes_checked += run;
@@ -80,6 +94,7 @@ std::optional<NodeId> GenericFindFirstEnd(const Index& index,
     return node;
   } else {
     for (char ch : pattern) {
+      if (checkpoint.ShouldStop()) return std::nullopt;
       Code c = index.alphabet().Encode(ch);
       if (c == kInvalidCode) return std::nullopt;
       StepResult step = index.Step(node, c, pathlen, stats);
@@ -95,15 +110,22 @@ std::optional<NodeId> GenericFindFirstEnd(const Index& index,
 template <typename Index>
 std::vector<uint32_t> GenericFindAll(const Index& index,
                                      std::string_view pattern,
-                                     SearchStats* stats = nullptr) {
+                                     SearchStats* stats = nullptr,
+                                     const CancelToken* cancel = nullptr) {
   std::vector<uint32_t> starts;
   if (pattern.empty()) return starts;
-  std::optional<NodeId> first = GenericFindFirstEnd(index, pattern, stats);
+  std::optional<NodeId> first =
+      GenericFindFirstEnd(index, pattern, stats, cancel);
   if (!first.has_value()) return starts;
   const uint32_t m = static_cast<uint32_t>(pattern.size());
   std::vector<NodeId> buffer = {*first};
   const NodeId n = static_cast<NodeId>(index.size());
+  // The backbone scan is the unbounded part — O(n) over ALL indexed
+  // characters regardless of hit count — so this is where a deadline
+  // matters most on huge artifacts.
+  CancelCheckpoint checkpoint(cancel);
   for (NodeId j = *first + 1; j <= n; ++j) {
+    if (checkpoint.ShouldStop()) return {};
     if (index.LinkLel(j) < m) continue;
     if (std::binary_search(buffer.begin(), buffer.end(), index.LinkDest(j))) {
       buffer.push_back(j);

@@ -111,7 +111,7 @@ void AppendFrame(FrameType type, std::string_view payload,
 }
 
 bool ValidStatusCode(uint8_t code) {
-  return code <= static_cast<uint8_t>(StatusCode::kProtocolError);
+  return code <= static_cast<uint8_t>(StatusCode::kCancelled);
 }
 
 bool ValidQueryKind(uint8_t kind) {
@@ -129,7 +129,7 @@ std::optional<QueryKind> KindFromName(std::string_view name) {
 }
 
 std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
-  for (uint8_t c = 0; c <= static_cast<uint8_t>(StatusCode::kProtocolError);
+  for (uint8_t c = 0; c <= static_cast<uint8_t>(StatusCode::kCancelled);
        ++c) {
     if (StatusCodeToString(static_cast<StatusCode>(c)) == name) {
       return static_cast<StatusCode>(c);
@@ -148,6 +148,11 @@ void AppendRequestFrame(const QueryRequest& request, std::string* out) {
   PutU8(request.query.expand_occurrences ? 1 : 0, &payload);
   PutU32(static_cast<uint32_t>(request.query.pattern.size()), &payload);
   payload.append(request.query.pattern);
+  // deadline_ms trails the pattern so a pre-deadline decoder (which
+  // required the payload to end at the pattern) and this one stay
+  // byte-compatible in the common deadline-less case; DecodeRequest
+  // accepts both shapes under the same version byte.
+  PutU32(request.query.deadline_ms, &payload);
   AppendFrame(FrameType::kQuery, payload, out);
 }
 
@@ -259,6 +264,14 @@ Result<QueryRequest> DecodeRequest(std::string_view payload) {
   request.query.min_len = cursor.U32();
   request.query.expand_occurrences = cursor.U8() != 0;
   request.query.pattern = cursor.Bytes();
+  // Version-tolerant tail: a payload that ends at the pattern is a
+  // request from before deadlines existed (deadline_ms = 0, i.e. no
+  // deadline); exactly four more bytes are the u32 deadline. Anything
+  // else is garbage, not a future extension — extensions bump
+  // kWireVersion.
+  if (!cursor.bad() && cursor.remaining() == 4) {
+    request.query.deadline_ms = cursor.U32();
+  }
   if (cursor.bad() || !cursor.AtEnd()) {
     return ProtocolError("malformed query request payload");
   }
@@ -347,6 +360,10 @@ std::string RequestToJson(const QueryRequest& request) {
   json.Value(request.query.min_len);
   json.Key("expand");
   json.Value(request.query.expand_occurrences);
+  if (request.query.deadline_ms > 0) {
+    json.Key("deadline_ms");
+    json.Value(request.query.deadline_ms);
+  }
   json.EndObject();
   return std::move(json).Finish();
 }
@@ -461,6 +478,18 @@ Result<QueryRequest> ParseRequestJson(std::string_view line) {
     }
     request.query.expand_occurrences = expand->bool_value;
   }
+  if (const obs::JsonValue* deadline = doc->Find("deadline_ms");
+      deadline != nullptr) {
+    if (!deadline->is_number() || deadline->number < 0) {
+      return ProtocolError("JSON 'deadline_ms' must be a non-negative number");
+    }
+    // Values past u32 clamp to the u32 max (~49.7 days) — already
+    // "effectively unbounded", and clamping keeps huge JSON numbers
+    // from wrapping into tiny budgets.
+    request.query.deadline_ms = static_cast<uint32_t>(std::min(
+        deadline->number,
+        static_cast<double>(std::numeric_limits<uint32_t>::max())));
+  }
   return request;
 }
 
@@ -534,12 +563,42 @@ std::optional<Query> ParseQueryText(std::string_view line,
   if (space != std::string::npos) {
     std::string kind = body.substr(0, space);
     std::string pattern = body.substr(body.find_first_not_of(" \t", space));
-    if (kind == "findall") return Query::FindAll(std::move(pattern));
-    if (kind == "contains") return Query::Contains(std::move(pattern));
-    if (kind == "match") {
-      return Query::MaximalMatches(std::move(pattern), min_len);
+    // Optional per-query budget suffix: "KIND@MS PATTERN" (e.g.
+    // "findall@250 abra"). A malformed suffix makes the whole word an
+    // unrecognized kind, which falls through to the findall-whole-line
+    // rule below — same as any other unknown first word.
+    uint32_t deadline_ms = 0;
+    bool kind_ok = true;
+    if (size_t at = kind.find('@'); at != std::string::npos) {
+      std::string_view digits = std::string_view(kind).substr(at + 1);
+      kind_ok = !digits.empty() &&
+                digits.find_first_not_of("0123456789") ==
+                    std::string_view::npos;
+      if (kind_ok) {
+        uint64_t value = 0;
+        for (char c : digits) {
+          value = value * 10 + static_cast<uint64_t>(c - '0');
+          if (value > std::numeric_limits<uint32_t>::max()) {
+            value = std::numeric_limits<uint32_t>::max();  // saturate
+            break;
+          }
+        }
+        deadline_ms = static_cast<uint32_t>(value);
+        kind.resize(at);
+      }
     }
-    if (kind == "ms") return Query::MatchingStats(std::move(pattern));
+    if (kind_ok) {
+      std::optional<Query> query;
+      if (kind == "findall") query = Query::FindAll(std::move(pattern));
+      else if (kind == "contains") query = Query::Contains(std::move(pattern));
+      else if (kind == "match") {
+        query = Query::MaximalMatches(std::move(pattern), min_len);
+      } else if (kind == "ms") query = Query::MatchingStats(std::move(pattern));
+      if (query) {
+        query->deadline_ms = deadline_ms;
+        return query;
+      }
+    }
   }
   return Query::FindAll(std::move(body));
 }

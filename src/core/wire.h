@@ -92,8 +92,13 @@ struct WireError {
 // replaced by a kResourceExhausted response carrying the same id, so
 // the client gets a deliverable verdict instead of a frame its
 // ExtractFrame must reject. Requests have no such fallback — callers
-// keep pattern + 20 bytes of fixed fields under the cap (enforced by
+// keep pattern + 24 bytes of fixed fields under the cap (enforced by
 // SPINE_CHECK; serve::Client::Send pre-validates).
+//
+// Request payloads carry a trailing u32 deadline_ms (0 = none). The
+// field was appended after the pattern precisely so DecodeRequest can
+// accept both the old payload shape (ends at the pattern) and the new
+// one under the same kWireVersion — see the decoder comment.
 void AppendRequestFrame(const QueryRequest& request, std::string* out);
 void AppendResponseFrame(const QueryResponse& response, std::string* out);
 void AppendStatsRequestFrame(std::string* out);
@@ -127,8 +132,10 @@ Result<WireError> DecodeError(std::string_view payload);
 // --- JSON lines ------------------------------------------------------------
 
 // {"v":1,"type":"query","id":N,"kind":"findall","pattern":"...",
-//  "min_len":N,"expand":bool} — and the response mirror with "status",
-// "found", "hits":[{"pos","len","qpos"}], "ms":[...], "error".
+//  "min_len":N,"expand":bool,"deadline_ms":N} — deadline_ms is emitted
+// only when non-zero and defaults to 0 (no deadline) on parse — and
+// the response mirror with "status", "found",
+// "hits":[{"pos","len","qpos"}], "ms":[...], "error".
 std::string RequestToJson(const QueryRequest& request);
 std::string ResponseToJson(const QueryResponse& response);
 Result<QueryRequest> ParseRequestJson(std::string_view line);
@@ -137,9 +144,10 @@ Result<QueryResponse> ParseResponseJson(std::string_view line);
 // --- query text ------------------------------------------------------------
 
 // One line of the human query form: 'PATTERN' (findall) or
-// 'KIND PATTERN' with KIND in {findall, contains, match, ms}. Blank
-// lines and '#' comments yield nullopt. `min_len` seeds
-// Query::min_len for match queries.
+// 'KIND PATTERN' with KIND in {findall, contains, match, ms}, where
+// KIND may carry a per-query budget suffix 'KIND@MS' (milliseconds,
+// e.g. "findall@250 abra"). Blank lines and '#' comments yield
+// nullopt. `min_len` seeds Query::min_len for match queries.
 std::optional<Query> ParseQueryText(std::string_view line, uint32_t min_len);
 
 // Human rendering of one answer, e.g. "4 occurrence(s) 0 4 8 12" or

@@ -16,26 +16,39 @@ namespace spine::engine {
 QueryEngine::QueryEngine() : QueryEngine(Options{}) {}
 
 QueryEngine::QueryEngine(const Options& options)
-    : pool_(options.threads), cache_(options.cache_bytes), options_(options) {
-  // Merge the deprecated max_retries spelling, once, at the only read
-  // site; everything downstream sees retry_limit.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  if (options.max_retries != Options::kRetryLimitUnset) {
-    options_.retry_limit = options.max_retries;
-  }
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
-}
+    : pool_(options.threads), cache_(options.cache_bytes), options_(options) {}
 
 QueryResult QueryEngine::AnswerOne(const core::Index& index,
                                    const Query& query, std::mutex* backend_mu,
                                    bool* cache_hit, uint64_t* retries,
-                                   obs::TraceContext* trace) {
+                                   obs::TraceContext* trace,
+                                   const CancelToken* batch_cancel,
+                                   Deadline::Clock::time_point epoch) {
   *cache_hit = false;
+  // Pin the query's relative budget to the batch epoch (not "now"):
+  // time spent queued behind other chunks already counts against it.
+  // The per-query token chains under the batch-wide one, so either an
+  // expired budget or a batch Cancel() stops this query.
+  std::optional<CancelToken> scoped;
+  const CancelToken* cancel = batch_cancel;
+  if (query.deadline_ms > 0) {
+    scoped.emplace(
+        Deadline::At(epoch + std::chrono::milliseconds(query.deadline_ms)),
+        batch_cancel);
+    cancel = &*scoped;
+  }
+  // Fail-before-dispatch: a query whose budget is gone before a worker
+  // even picks it up gets its verdict without touching the backend (or
+  // the cache — deterministic regardless of residency).
+  if (cancel != nullptr) {
+    Status fired = cancel->ToStatus();
+    if (!fired.ok()) {
+      QueryResult expired;
+      expired.status_code = fired.code();
+      expired.error = std::string(fired.message()) + " before dispatch";
+      return expired;
+    }
+  }
   std::string key;
   if (cache_.enabled()) {
     key = QueryCache::Key(index.cache_id(), query);
@@ -55,9 +68,9 @@ QueryResult QueryEngine::AnswerOne(const core::Index& index,
     for (uint32_t attempt = 0;; ++attempt) {
       if (backend_mu != nullptr) {
         std::lock_guard<std::mutex> lock(*backend_mu);
-        result = index.Execute(query, trace);
+        result = index.Execute(query, trace, cancel);
       } else {
-        result = index.Execute(query, trace);
+        result = index.Execute(query, trace, cancel);
       }
       // Only kIoError is presumed transient; corruption and everything
       // else is a property of the data, not the attempt.
@@ -65,10 +78,31 @@ QueryResult QueryEngine::AnswerOne(const core::Index& index,
           attempt >= options_.retry_limit) {
         break;
       }
+      // Retries respect the remaining budget: a token that fired while
+      // the failing attempt ran ends the loop with the time verdict
+      // (keeping the transient error's detail — it is what actually
+      // consumed the budget).
+      if (cancel != nullptr) {
+        Status fired = cancel->ToStatus();
+        if (!fired.ok()) {
+          result.status_code = fired.code();
+          result.error =
+              std::string(fired.message()) + " while retrying: " + result.error;
+          break;
+        }
+      }
       ++*retries;
       ++attempts_used;
       if (backoff_us > 0) {
-        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        // Never sleep past the deadline; the next attempt (or its
+        // pre-execute checkpoint) delivers the verdict promptly.
+        uint64_t sleep_us = backoff_us;
+        if (scoped.has_value()) {
+          sleep_us = std::min<uint64_t>(
+              sleep_us,
+              static_cast<uint64_t>(scoped->deadline().RemainingMicros()));
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
         backoff_us *= 2;
       }
     }
@@ -88,18 +122,21 @@ QueryResult QueryEngine::AnswerOne(const core::Index& index,
 
 std::vector<QueryResult> QueryEngine::ExecuteBatch(
     const core::Index& index, const std::vector<Query>& queries,
-    BatchStats* stats) {
+    BatchStats* stats, const CancelToken* cancel) {
   std::vector<BatchStats> multi_stats;
   std::vector<std::vector<QueryResult>> results =
       ExecuteBatch(std::vector<const core::Index*>{&index}, queries,
-                   stats != nullptr ? &multi_stats : nullptr);
+                   stats != nullptr ? &multi_stats : nullptr, cancel);
   if (stats != nullptr) *stats = std::move(multi_stats.front());
   return std::move(results.front());
 }
 
 std::vector<std::vector<QueryResult>> QueryEngine::ExecuteBatch(
     const std::vector<const core::Index*>& indexes,
-    const std::vector<Query>& queries, std::vector<BatchStats>* stats) {
+    const std::vector<Query>& queries, std::vector<BatchStats>* stats,
+    const CancelToken* cancel) {
+  // Every per-query deadline in this batch is pinned to this instant.
+  const Deadline::Clock::time_point epoch = Deadline::Clock::now();
   const size_t m = indexes.size();
   const size_t n = queries.size();
   const uint32_t thread_count = pool_.thread_count();
@@ -114,6 +151,8 @@ std::vector<std::vector<QueryResult>> QueryEngine::ExecuteBatch(
     std::atomic<uint64_t> cache_hits{0};
     std::atomic<uint64_t> failed{0};
     std::atomic<uint64_t> retries{0};
+    std::atomic<uint64_t> deadline_exceeded{0};
+    std::atomic<uint64_t> cancelled{0};
   };
   std::vector<BatchCounters> counters(m);
   // Serialization locks for backends without concurrent-safe reads.
@@ -168,18 +207,28 @@ std::vector<std::vector<QueryResult>> QueryEngine::ExecuteBatch(
           uint64_t local_hits = 0;
           uint64_t local_failed = 0;
           uint64_t local_retries = 0;
+          uint64_t local_deadline = 0;
+          uint64_t local_cancelled = 0;
           for (size_t i = begin; i < end; ++i) {
             bool hit = false;
             results[j][i] =
                 AnswerOne(*indexes[j], queries[i], serialize[j], &hit,
                           &local_retries,
-                          trace_slots == nullptr ? nullptr : &trace_slots[i]);
+                          trace_slots == nullptr ? nullptr : &trace_slots[i],
+                          cancel, epoch);
             if (hit) {
               ++local_hits;
             } else {
               local.Add(results[j][i].stats);
             }
-            if (!results[j][i].ok()) ++local_failed;
+            if (!results[j][i].ok()) {
+              ++local_failed;
+              if (results[j][i].status_code == StatusCode::kDeadlineExceeded) {
+                ++local_deadline;
+              } else if (results[j][i].status_code == StatusCode::kCancelled) {
+                ++local_cancelled;
+              }
+            }
           }
           per_thread[j][static_cast<size_t>(ThreadPool::worker_index())].Add(
               local);
@@ -189,6 +238,10 @@ std::vector<std::vector<QueryResult>> QueryEngine::ExecuteBatch(
                                        std::memory_order_relaxed);
           counters[j].retries.fetch_add(local_retries,
                                         std::memory_order_relaxed);
+          counters[j].deadline_exceeded.fetch_add(local_deadline,
+                                                  std::memory_order_relaxed);
+          counters[j].cancelled.fetch_add(local_cancelled,
+                                          std::memory_order_relaxed);
           if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             all_done.set_value();
           }
@@ -206,11 +259,17 @@ std::vector<std::vector<QueryResult>> QueryEngine::ExecuteBatch(
         counters[j].failed.load(std::memory_order_relaxed);
     const uint64_t total_retries =
         counters[j].retries.load(std::memory_order_relaxed);
+    const uint64_t total_deadline =
+        counters[j].deadline_exceeded.load(std::memory_order_relaxed);
+    const uint64_t total_cancelled =
+        counters[j].cancelled.load(std::memory_order_relaxed);
     SPINE_OBS_COUNT("engine.queries", n);
     SPINE_OBS_COUNT("engine.cache_hits", total_hits);
     SPINE_OBS_COUNT("engine.executed", n - total_hits);
     SPINE_OBS_COUNT("engine.failed", total_failed);
     SPINE_OBS_COUNT("engine.retries", total_retries);
+    SPINE_OBS_COUNT("engine.deadline_exceeded", total_deadline);
+    SPINE_OBS_COUNT("engine.cancelled", total_cancelled);
     if (stats != nullptr) {
       BatchStats& out = (*stats)[j];
       out.queries = n;
@@ -218,6 +277,8 @@ std::vector<std::vector<QueryResult>> QueryEngine::ExecuteBatch(
       out.executed = n - total_hits;
       out.failed = total_failed;
       out.retries = total_retries;
+      out.deadline_exceeded = total_deadline;
+      out.cancelled = total_cancelled;
       for (const SearchStats& s : per_thread[j]) out.search.Add(s);
       out.per_thread = std::move(per_thread[j]);
       out.traces = std::move(traces[j]);

@@ -24,6 +24,18 @@
 // (Options::retry_limit); kCorruption is never retried (the medium is
 // wrong, not the moment). Error results are never cached.
 //
+// Deadlines (PR 7): Query::deadline_ms is pinned to an absolute
+// common/cancel.h Deadline once, at batch entry — so time spent queued
+// behind other work counts against the budget. A query already expired
+// when a worker picks it up fails with kDeadlineExceeded before
+// touching the backend; one that expires mid-walk is stopped at the
+// next cooperative checkpoint. Retries never sleep past the deadline,
+// and a budget exhausted between attempts yields kDeadlineExceeded
+// carrying the transient error's detail. The optional batch-wide
+// CancelToken (the serve layer passes its per-connection token) chains
+// above every per-query deadline; Cancel() aborts queries still
+// pending with kCancelled. Deadline results are never cached either.
+//
 // The multi-index overload fans one batch across several indexes at
 // once: every (index, chunk) pair becomes a pool task, so a slow
 // backend (disk) overlaps with fast ones (in-memory) instead of
@@ -50,6 +62,10 @@ struct BatchStats {
   uint64_t cache_hits = 0;  // answered from the result cache
   uint64_t failed = 0;      // queries that returned an error result
   uint64_t retries = 0;     // transient-fault re-executions
+  // Subsets of `failed`, broken out because they are verdicts about
+  // time, not about the data: ran out of budget / token cancelled.
+  uint64_t deadline_exceeded = 0;
+  uint64_t cancelled = 0;
   SearchStats search;       // total backend work, summed over workers
   std::vector<SearchStats> per_thread;  // one slot per pool worker
   // One trace per query, in input order, when Options::tracing is on
@@ -64,25 +80,18 @@ class QueryEngine {
   // serve::Options (threads / queue_cap / retry_* / tracing); the
   // defaults table for both lives in docs/SERVING.md.
   struct Options {
-    // Sentinel for "max_retries was never written" (no real limit gets
-    // anywhere near it: the backoff doubles per attempt).
-    static constexpr uint32_t kRetryLimitUnset = 0xffffffffu;
-
     uint32_t threads = 0;      // 0 → hardware concurrency
     uint64_t cache_bytes = 0;  // 0 → result cache disabled
     // Transient-fault handling: a query failing with kIoError is
     // re-executed up to retry_limit times, sleeping retry_backoff_us,
-    // 2x, 4x, ... between attempts. Corruption is never retried.
+    // 2x, 4x, ... between attempts (never past the query's deadline).
+    // Corruption is never retried.
     uint32_t retry_limit = 2;
     uint32_t retry_backoff_us = 500;
     // Collect a per-query TraceContext (spans + notes) into
     // BatchStats::traces. No effect on results or on builds compiled
     // with SPINE_OBS_DISABLED.
     bool tracing = false;
-    // Pre-serve spelling of retry_limit; when set it overrides
-    // retry_limit at engine construction. Removed next release.
-    [[deprecated("renamed retry_limit")]] uint32_t max_retries =
-        kRetryLimitUnset;
   };
 
   QueryEngine();  // default Options
@@ -95,10 +104,13 @@ class QueryEngine {
 
   // Executes every query in `queries` against `index` and returns the
   // answers in input order. Thread-safe: concurrent batches (against the
-  // same or different backends) share the pool and cache.
+  // same or different backends) share the pool and cache. `cancel`,
+  // when non-null, must outlive the call; it parents every per-query
+  // deadline token, so one Cancel() aborts the whole batch cooperatively.
   std::vector<QueryResult> ExecuteBatch(const core::Index& index,
                                         const std::vector<Query>& queries,
-                                        BatchStats* stats = nullptr);
+                                        BatchStats* stats = nullptr,
+                                        const CancelToken* cancel = nullptr);
 
   // Fans the batch across every index at once; result[j][i] answers
   // queries[i] on *indexes[j]. When `stats` is non-null it is resized
@@ -106,12 +118,15 @@ class QueryEngine {
   std::vector<std::vector<QueryResult>> ExecuteBatch(
       const std::vector<const core::Index*>& indexes,
       const std::vector<Query>& queries,
-      std::vector<BatchStats>* stats = nullptr);
+      std::vector<BatchStats>* stats = nullptr,
+      const CancelToken* cancel = nullptr);
 
  private:
   QueryResult AnswerOne(const core::Index& index, const Query& query,
                         std::mutex* backend_mu, bool* cache_hit,
-                        uint64_t* retries, obs::TraceContext* trace);
+                        uint64_t* retries, obs::TraceContext* trace,
+                        const CancelToken* batch_cancel,
+                        Deadline::Clock::time_point epoch);
 
   ThreadPool pool_;
   QueryCache cache_;

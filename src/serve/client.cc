@@ -77,9 +77,10 @@ Status Client::Send(const wire::QueryRequest& request) {
   // the encoded frame would exceed kMaxFramePayload; JSON: the server
   // bounds un-terminated lines at the same cap). Fail with a
   // client-side verdict instead of encoding bytes the server is
-  // guaranteed to reject. 20 = the request payload's fixed fields plus
-  // the version/type header bytes.
-  if (request.query.pattern.size() + 20 > wire::kMaxFramePayload) {
+  // guaranteed to reject. 24 = the request payload's fixed fields
+  // (including the trailing deadline_ms) plus the version/type header
+  // bytes.
+  if (request.query.pattern.size() + 24 > wire::kMaxFramePayload) {
     return Status::InvalidArgument(
         "pattern of " + std::to_string(request.query.pattern.size()) +
         " bytes exceeds the " + std::to_string(wire::kMaxFramePayload) +

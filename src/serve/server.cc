@@ -3,14 +3,18 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
+#include "common/cancel.h"
 #include "core/wire.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -33,11 +37,33 @@ engine::QueryEngine::Options EngineOptions(const Options& options) {
   return engine_options;
 }
 
-// One query lifted off the wire, waiting for admission.
+// How often reader threads and the watchdog wake to check timeouts.
+// Coarse on purpose: timeout precision of ~100 ms is plenty for bounds
+// measured in seconds, and the idle cost is one syscall per tick.
+constexpr int kTickMs = 100;
+
+// One query lifted off the wire, waiting for admission. The deadline is
+// pinned at decode time so time spent buffered in the batch window
+// counts against the budget.
 struct Pending {
   wire::QueryRequest request;
   SteadyClock::time_point decoded_at;
+  Deadline deadline;
 };
+
+// request-or-default, capped by max_deadline_ms; 0 everywhere means
+// unbounded. With a cap set, even a request asking for "no deadline"
+// gets the cap — the server's time is not the client's to pin.
+Deadline EffectiveDeadline(const Options& options, uint32_t request_ms) {
+  uint32_t effective =
+      request_ms != 0 ? request_ms : options.default_deadline_ms;
+  if (options.max_deadline_ms > 0) {
+    effective = effective == 0
+                    ? options.max_deadline_ms
+                    : std::min(effective, options.max_deadline_ms);
+  }
+  return effective == 0 ? Deadline::Infinite() : Deadline::AfterMs(effective);
+}
 
 QueryResult OverloadedResult(uint32_t inflight, uint32_t max_inflight) {
   QueryResult result;
@@ -73,6 +99,14 @@ struct Server::Connection {
   std::string buffer;
   enum class Mode { kUnknown, kBinary, kJson } mode = Mode::kUnknown;
   std::atomic<bool> done{false};
+  // Fired by the watchdog when the peer vanishes mid-execution; every
+  // batch this connection runs chains under it, so the engine's
+  // checkpoints abandon work nobody will read.
+  CancelToken cancel;
+  // Watchdog bookkeeping: set around ExecuteBatch by the reader thread.
+  std::atomic<bool> executing{false};
+  std::atomic<int64_t> exec_start_us{0};  // SteadyClock, us since epoch
+  std::atomic<bool> slow_logged{false};
 };
 
 Server::Server(const core::Index& index, const Options& options)
@@ -118,7 +152,9 @@ Status Server::Start() {
   }
   running_.store(true, std::memory_order_release);
   drain_.store(false, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
   acceptor_ = std::thread([this] { AcceptLoop(); });
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
   return Status::OK();
 }
 
@@ -149,6 +185,10 @@ void Server::Stop() {
   for (auto& connection : connections) {
     if (connection->thread.joinable()) connection->thread.join();
   }
+  // The watchdog outlives the connections so a peer that dies during
+  // the drain still gets its executing batch cancelled.
+  stopping_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -163,6 +203,10 @@ ServerStats Server::stats() const {
   stats.queries = queries_.load(std::memory_order_relaxed);
   stats.shed = shed_.load(std::memory_order_relaxed);
   stats.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded =
+      deadline_exceeded_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.idle_closed = idle_closed_.load(std::memory_order_relaxed);
   stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   return stats;
@@ -194,6 +238,12 @@ std::string Server::StatsJson() const {
   json.Value(snapshot.shed);
   json.Key("protocol_errors");
   json.Value(snapshot.protocol_errors);
+  json.Key("deadline_exceeded");
+  json.Value(snapshot.deadline_exceeded);
+  json.Key("cancelled");
+  json.Value(snapshot.cancelled);
+  json.Key("idle_closed");
+  json.Value(snapshot.idle_closed);
   json.Key("bytes_in");
   json.Value(snapshot.bytes_in);
   json.Key("bytes_out");
@@ -204,6 +254,10 @@ std::string Server::StatsJson() const {
   json.Value(options_.queue_cap);
   json.Key("max_inflight");
   json.Value(options_.max_inflight);
+  json.Key("default_deadline_ms");
+  json.Value(options_.default_deadline_ms);
+  json.Key("max_deadline_ms");
+  json.Value(options_.max_deadline_ms);
   json.EndObject();
   json.EndObject();
   return std::move(json).Finish();
@@ -211,18 +265,44 @@ std::string Server::StatsJson() const {
 
 namespace {
 
-// Loops send(2) over partial writes; MSG_NOSIGNAL so a vanished client
-// surfaces as EPIPE instead of killing the process.
-bool WriteAll(int fd, std::string_view data, std::atomic<uint64_t>* bytes) {
+// Loops send(2) over partial writes. MSG_NOSIGNAL so a vanished client
+// surfaces as EPIPE instead of killing the process; MSG_DONTWAIT plus a
+// poll(POLLOUT) wait so a client that stops reading blocks us for at
+// most `timeout_ms` without progress (0 = wait forever) instead of
+// wedging the reader thread in a blocking send. Partial progress
+// resets the clock: a slow-but-alive reader is not a dead one.
+bool WriteAll(int fd, std::string_view data, std::atomic<uint64_t>* bytes,
+              uint32_t timeout_ms) {
   size_t sent = 0;
+  SteadyClock::time_point last_progress = SteadyClock::now();
   while (sent < data.size()) {
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
-                       MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      last_progress = SteadyClock::now();
+      continue;
     }
-    sent += static_cast<size_t>(n);
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (timeout_ms > 0) {
+        const int64_t stalled_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                SteadyClock::now() - last_progress)
+                .count();
+        if (stalled_ms >= static_cast<int64_t>(timeout_ms)) return false;
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int ready = ::poll(&pfd, 1, kTickMs);
+      if (ready < 0 && errno != EINTR) return false;
+      if (ready > 0 && (pfd.revents & (POLLERR | POLLNVAL)) != 0) {
+        return false;
+      }
+      continue;
+    }
+    return false;
   }
   bytes->fetch_add(data.size(), std::memory_order_relaxed);
   SPINE_OBS_COUNT("serve.bytes_out", data.size());
@@ -252,7 +332,7 @@ void Server::AcceptLoop() {
            "connection limit reached (" +
                std::to_string(options_.max_connections) + ")"},
           &frame);
-      WriteAll(fd, frame, &bytes_out_);
+      WriteAll(fd, frame, &bytes_out_, options_.write_timeout_ms);
       ::close(fd);
       shed_.fetch_add(1, std::memory_order_relaxed);
       SPINE_OBS_COUNT("serve.shed", 1);
@@ -282,6 +362,56 @@ void Server::AcceptLoop() {
   }
 }
 
+void Server::WatchdogLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(connections_mu_);
+      const int64_t now_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              SteadyClock::now().time_since_epoch())
+              .count();
+      for (const auto& connection : connections_) {
+        // Only executing connections matter here — and only they are
+        // safe to touch: their reader thread is inside ExecuteBatch,
+        // so it cannot be concurrently closing the fd.
+        if (connection->done.load(std::memory_order_acquire)) continue;
+        if (!connection->executing.load(std::memory_order_acquire)) {
+          continue;
+        }
+        // Peer death detection: POLLERR | POLLHUP on a zero-timeout
+        // poll. POLLRDHUP is deliberately NOT consulted — a client
+        // that half-closed with shutdown(SHUT_WR) to drain pipelined
+        // responses is still reading and must get its answers; only a
+        // fully gone peer (RST, full close) fires the token.
+        pollfd pfd{};
+        pfd.fd = connection->fd;
+        pfd.events = 0;
+        if (::poll(&pfd, 1, 0) > 0 &&
+            (pfd.revents & (POLLERR | POLLHUP)) != 0) {
+          connection->cancel.Cancel();
+        }
+        const int64_t running_ms =
+            (now_us -
+             connection->exec_start_us.load(std::memory_order_relaxed)) /
+            1000;
+        if (options_.slow_query_ms > 0 &&
+            running_ms >= static_cast<int64_t>(options_.slow_query_ms) &&
+            !connection->slow_logged.exchange(true,
+                                              std::memory_order_relaxed)) {
+          SPINE_OBS_COUNT("serve.slow_queries", 1);
+          std::fprintf(
+              stderr,
+              "[spine serve] watchdog: batch on fd %d running %lld ms "
+              "(slow_query_ms=%u)\n",
+              connection->fd, static_cast<long long>(running_ms),
+              options_.slow_query_ms);
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(kTickMs));
+  }
+}
+
 void Server::JoinFinishedConnections() {
   std::lock_guard<std::mutex> lock(connections_mu_);
   for (auto it = connections_.begin(); it != connections_.end();) {
@@ -296,18 +426,72 @@ void Server::JoinFinishedConnections() {
 
 void Server::ConnectionLoop(Connection* connection) {
   char chunk[64 * 1024];
+  SteadyClock::time_point last_activity = SteadyClock::now();
+  bool timed_out = false;
   while (true) {
-    ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
-    if (n < 0) {
+    // Wait for readability with a coarse tick instead of blocking in
+    // recv: a half-open or silent peer costs an fd, never a parked
+    // thread. Drain still works — shutdown(SHUT_RD) makes the socket
+    // readable, recv reports EOF, and the loop exits.
+    pollfd pfd{};
+    pfd.fd = connection->fd;
+    pfd.events = POLLIN;
+    int ready = ::poll(&pfd, 1, kTickMs);
+    if (ready < 0) {
       if (errno == EINTR) continue;
       break;
     }
+    if (ready == 0) {
+      const int64_t quiet_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              SteadyClock::now() - last_activity)
+              .count();
+      // An empty buffer means the connection is simply idle; leftover
+      // bytes mean the client stopped mid-frame (or mid-line), which
+      // gets the much tighter read timeout.
+      const uint32_t bound = connection->buffer.empty()
+                                 ? options_.idle_timeout_ms
+                                 : options_.read_timeout_ms;
+      if (bound > 0 && quiet_ms >= static_cast<int64_t>(bound)) {
+        timed_out = true;
+        break;
+      }
+      continue;
+    }
+    if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) break;
+    ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      break;
+    }
     if (n == 0) break;  // EOF (client closed, or drain half-close)
+    last_activity = SteadyClock::now();
     bytes_in_.fetch_add(static_cast<uint64_t>(n),
                         std::memory_order_relaxed);
     SPINE_OBS_COUNT("serve.bytes_in", static_cast<uint64_t>(n));
     connection->buffer.append(chunk, static_cast<size_t>(n));
     if (!ProcessBuffered(connection)) break;
+  }
+  if (timed_out) {
+    idle_closed_.fetch_add(1, std::memory_order_relaxed);
+    SPINE_OBS_COUNT("serve.idle_closed", 1);
+    // Best-effort goodbye in the connection's dialect (a half-open
+    // peer may never read it; that is its problem, not our thread's).
+    const Status status = Status::DeadlineExceeded(
+        connection->buffer.empty()
+            ? "connection idle past idle_timeout_ms; closing"
+            : "request incomplete past read_timeout_ms; closing");
+    std::string out;
+    if (connection->mode == Connection::Mode::kJson) {
+      out = ErrorJsonLine(status);
+      out += '\n';
+    } else {
+      wire::AppendErrorFrame(
+          {0, status.code(), std::string(status.message())}, &out);
+    }
+    WriteAll(connection->fd, out, &bytes_out_, options_.write_timeout_ms);
   }
   ::close(connection->fd);
   open_.fetch_sub(1, std::memory_order_relaxed);
@@ -376,10 +560,34 @@ bool Server::ProcessBuffered(Connection* connection) {
       }
     }
 
+    // Per-entry disposition among the granted: a budget that expired
+    // while the request sat in the window is answered kDeadlineExceeded
+    // without touching the engine; live queries carry their remaining
+    // budget (floored at 1 ms so it cannot degrade to "unbounded")
+    // down into the engine's cooperative checkpoints.
+    std::vector<QueryResult> prefilled(granted);
+    std::vector<bool> expired(granted, false);
     std::vector<Query> queries;
     queries.reserve(granted);
     for (uint32_t i = 0; i < granted; ++i) {
-      queries.push_back(window[i].request.query);
+      const Deadline& deadline = window[i].deadline;
+      if (deadline.Expired()) {
+        expired[i] = true;
+        prefilled[i].status_code = StatusCode::kDeadlineExceeded;
+        prefilled[i].error = "deadline exceeded before dispatch";
+        continue;
+      }
+      Query query = window[i].request.query;
+      if (deadline.IsInfinite()) {
+        query.deadline_ms = 0;
+      } else {
+        const int64_t remaining_us = deadline.RemainingMicros();
+        SPINE_OBS_OBSERVE_US("serve.deadline_remaining_us",
+                             static_cast<double>(remaining_us));
+        query.deadline_ms = static_cast<uint32_t>(
+            std::max<int64_t>(1, remaining_us / 1000));
+      }
+      queries.push_back(std::move(query));
     }
     const SteadyClock::time_point exec_start = SteadyClock::now();
 #if !defined(SPINE_OBS_DISABLED)
@@ -389,12 +597,23 @@ bool Server::ProcessBuffered(Connection* connection) {
           Micros(exec_start - window[i].decoded_at).count();
       SPINE_OBS_OBSERVE_US("serve.queue_wait_us", wait_us);
     }
-#else
-    (void)exec_start;
 #endif
     std::vector<QueryResult> results;
+    if (!queries.empty()) {
+      // Executed under the connection's CancelToken so the watchdog
+      // can abandon the batch when the peer vanishes mid-execution.
+      connection->exec_start_us.store(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              exec_start.time_since_epoch())
+              .count(),
+          std::memory_order_relaxed);
+      connection->slow_logged.store(false, std::memory_order_relaxed);
+      connection->executing.store(true, std::memory_order_release);
+      results = engine_.ExecuteBatch(index_, queries, nullptr,
+                                     &connection->cancel);
+      connection->executing.store(false, std::memory_order_release);
+    }
     if (granted > 0) {
-      results = engine_.ExecuteBatch(index_, queries);
       inflight_.fetch_sub(granted, std::memory_order_acq_rel);
       queries_.fetch_add(granted, std::memory_order_relaxed);
       SPINE_OBS_COUNT("serve.queries", granted);
@@ -406,19 +625,38 @@ bool Server::ProcessBuffered(Connection* connection) {
     }
     const uint32_t inflight_now =
         inflight_.load(std::memory_order_relaxed);
+    uint64_t deadline_here = 0;
+    uint64_t cancelled_here = 0;
+    size_t next_result = 0;
     for (size_t i = 0; i < window.size(); ++i) {
       wire::QueryResponse response;
       response.id = window[i].request.id;
-      response.result =
-          i < granted ? std::move(results[i])
-                      : OverloadedResult(inflight_now + shed_here,
-                                         options_.max_inflight);
+      if (i < granted) {
+        response.result = expired[i] ? std::move(prefilled[i])
+                                     : std::move(results[next_result++]);
+      } else {
+        response.result = OverloadedResult(inflight_now + shed_here,
+                                           options_.max_inflight);
+      }
+      if (response.result.status_code == StatusCode::kDeadlineExceeded) {
+        ++deadline_here;
+      } else if (response.result.status_code == StatusCode::kCancelled) {
+        ++cancelled_here;
+      }
       if (json) {
         out += wire::ResponseToJson(response);
         out += '\n';
       } else {
         wire::AppendResponseFrame(response, &out);
       }
+    }
+    if (deadline_here > 0) {
+      deadline_exceeded_.fetch_add(deadline_here, std::memory_order_relaxed);
+      SPINE_OBS_COUNT("serve.deadline_exceeded", deadline_here);
+    }
+    if (cancelled_here > 0) {
+      cancelled_.fetch_add(cancelled_here, std::memory_order_relaxed);
+      SPINE_OBS_COUNT("serve.cancelled", cancelled_here);
     }
     window.clear();
   };
@@ -436,7 +674,7 @@ bool Server::ProcessBuffered(Connection* connection) {
       wire::AppendErrorFrame(
           {0, status.code(), std::string(status.message())}, &out);
     }
-    WriteAll(connection->fd, out, &bytes_out_);
+    WriteAll(connection->fd, out, &bytes_out_, options_.write_timeout_ms);
     return false;
   };
 
@@ -464,7 +702,10 @@ bool Server::ProcessBuffered(Connection* connection) {
       }
       Result<wire::QueryRequest> request = wire::ParseRequestJson(line);
       if (!request.ok()) return protocol_error(request.status());
-      window.push_back({*std::move(request), SteadyClock::now()});
+      wire::QueryRequest req = *std::move(request);
+      const Deadline deadline =
+          EffectiveDeadline(options_, req.query.deadline_ms);
+      window.push_back({std::move(req), SteadyClock::now(), deadline});
     }
     // Binary mode is bounded by ExtractFrame's 16 MiB cap; hold JSON
     // lines to the same bar so a client streaming newline-free bytes
@@ -487,7 +728,10 @@ bool Server::ProcessBuffered(Connection* connection) {
           Result<wire::QueryRequest> request =
               wire::DecodeRequest(frame.payload);
           if (!request.ok()) return protocol_error(request.status());
-          window.push_back({*std::move(request), SteadyClock::now()});
+          wire::QueryRequest req = *std::move(request);
+          const Deadline deadline =
+              EffectiveDeadline(options_, req.query.deadline_ms);
+          window.push_back({std::move(req), SteadyClock::now(), deadline});
           break;
         }
         case wire::FrameType::kStats:
@@ -506,7 +750,8 @@ bool Server::ProcessBuffered(Connection* connection) {
 
   flush_window();
   if (out.empty()) return true;
-  return WriteAll(connection->fd, out, &bytes_out_);
+  return WriteAll(connection->fd, out, &bytes_out_,
+                  options_.write_timeout_ms);
 }
 
 }  // namespace spine::serve

@@ -37,8 +37,38 @@
 //   (`spine serve` wires SIGTERM/SIGINT to exactly this sequence and
 //   flushes a final stats snapshot.)
 //
+// Time-bounding and cancellation (PR 7) — no client can pin a thread:
+//   deadlines       every request carries Query::deadline_ms (0 = ask
+//                   for the server default). The effective budget is
+//                   request-or-default, capped by max_deadline_ms, and
+//                   pinned to an absolute Deadline the moment the
+//                   request is decoded, so time buffered in a batch
+//                   window counts. Expired queries are answered
+//                   kDeadlineExceeded without touching the engine;
+//                   live ones carry their remaining budget down into
+//                   the engine's cooperative checkpoints.
+//   reader timeouts reader threads wait in poll(2) with a ~100 ms
+//                   tick instead of blocking in recv forever:
+//                   a connection idle past idle_timeout_ms (empty
+//                   buffer) or stuck mid-frame past read_timeout_ms is
+//                   sent a best-effort kDeadlineExceeded error frame
+//                   and closed — a half-open client costs one fd, not
+//                   a parked thread.
+//   write timeouts  responses are written with MSG_DONTWAIT plus a
+//                   poll(POLLOUT) loop; a client that stops reading
+//                   for write_timeout_ms gets its connection dropped
+//                   instead of wedging the reader thread in send.
+//   watchdog        one server-wide thread ticks ~100 ms over the
+//                   executing connections: a peer that vanished
+//                   (POLLERR/POLLHUP on its socket) has its per-
+//                   connection CancelToken fired so the engine stops
+//                   burning CPU on answers nobody will read, and a
+//                   batch running past slow_query_ms logs one
+//                   slow-query line to stderr.
+//
 // Observability: serve.* metrics (connections, queries, shed,
-// queue_wait_us, bytes in/out, protocol errors) land in the default
+// queue_wait_us, bytes in/out, protocol errors, deadline_exceeded,
+// cancelled, idle_closed, deadline_remaining_us) land in the default
 // obs::Registry; the STATS protocol verb and `stats --json` both emit
 // the same versioned snapshot. docs/SERVING.md holds the full spec.
 
@@ -73,6 +103,13 @@ struct Options {
   uint32_t retry_limit = 2;        // engine transient-fault retries
   uint32_t retry_backoff_us = 500;
   bool tracing = false;            // per-query engine traces (in-process)
+  // Time budgets (milliseconds; 0 disables the bound):
+  uint32_t default_deadline_ms = 0;  // applied when a request carries 0
+  uint32_t max_deadline_ms = 0;      // cap on any effective deadline
+  uint32_t idle_timeout_ms = 60000;  // close connections with no traffic
+  uint32_t read_timeout_ms = 10000;  // ... and ones stuck mid-frame
+  uint32_t write_timeout_ms = 10000;  // drop clients that stop reading
+  uint32_t slow_query_ms = 1000;      // watchdog stderr log threshold
 };
 
 // Monotonic totals since Start(); readable while serving.
@@ -82,6 +119,9 @@ struct ServerStats {
   uint64_t queries = 0;          // admitted and executed
   uint64_t shed = 0;             // rejected with kOverloaded
   uint64_t protocol_errors = 0;  // connections killed by bad frames
+  uint64_t deadline_exceeded = 0;  // queries answered kDeadlineExceeded
+  uint64_t cancelled = 0;          // queries answered kCancelled
+  uint64_t idle_closed = 0;        // connections closed by idle/read timeout
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
 };
@@ -125,6 +165,9 @@ class Server {
 
   void AcceptLoop();
   void ConnectionLoop(Connection* connection);
+  // The ~100 ms tick that fires disconnected executing connections'
+  // CancelTokens and logs slow query batches (see header comment).
+  void WatchdogLoop();
   // Decodes and answers every complete frame currently in
   // `connection`'s buffer; returns false when the connection must
   // close (protocol error or write failure).
@@ -138,8 +181,10 @@ class Server {
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::thread acceptor_;
+  std::thread watchdog_;
   std::atomic<bool> running_{false};
   std::atomic<bool> drain_{false};
+  std::atomic<bool> stopping_{false};  // tells the watchdog to exit
 
   std::mutex connections_mu_;
   std::vector<std::unique_ptr<Connection>> connections_;
@@ -150,6 +195,9 @@ class Server {
   std::atomic<uint64_t> queries_{0};
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> cancelled_{0};
+  std::atomic<uint64_t> idle_closed_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
 };

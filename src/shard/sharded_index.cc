@@ -143,7 +143,8 @@ Result<std::unique_ptr<ShardedIndex>> ShardedIndex::Build(
 }
 
 QueryResult ShardedIndex::Execute(const Query& query,
-                                  obs::TraceContext* trace) const {
+                                  obs::TraceContext* trace,
+                                  const CancelToken* cancel) const {
 #if defined(SPINE_OBS_DISABLED)
   trace = nullptr;
 #endif
@@ -172,29 +173,41 @@ QueryResult ShardedIndex::Execute(const Query& query,
   QueryResult result;
   switch (query.kind) {
     case QueryKind::kContains:
-      result = ExecuteContains(query);
+      result = ExecuteContains(query, cancel);
       break;
     case QueryKind::kFindAll:
-      result = ExecuteFindAll(query);
+      result = ExecuteFindAll(query, cancel);
       break;
     case QueryKind::kMaximalMatches:
-      result = ExecuteMaximalMatches(query);
+      result = ExecuteMaximalMatches(query, cancel);
       break;
     case QueryKind::kMatchingStats:
-      result = ExecuteMatchingStats(query);
+      result = ExecuteMatchingStats(query, cancel);
       break;
   }
   RecordFamilyObs(query, result, trace);
+  // A fired token invalidates whatever partial merge the walks left.
+  if (cancel != nullptr) {
+    Status status = cancel->ToStatus();
+    if (!status.ok()) {
+      QueryResult timed_out;
+      timed_out.stats = result.stats;
+      timed_out.status_code = status.code();
+      timed_out.error = std::string(status.message());
+      return timed_out;
+    }
+  }
   return result;
 }
 
-QueryResult ShardedIndex::ExecuteContains(const Query& query) const {
+QueryResult ShardedIndex::ExecuteContains(const Query& query,
+                                          const CancelToken* cancel) const {
   QueryResult result;
   for (size_t i = 0; i < shards_.size(); ++i) {
     // Warm the next shard's root Link Table line while this shard
     // walks; shards are probed strictly in order on the miss path.
     if (i + 1 < shards_.size()) shards_[i + 1].PrefetchNode(kRootNode);
-    if (GenericFindFirstEnd(shards_[i], query.pattern, &result.stats)
+    if (GenericFindFirstEnd(shards_[i], query.pattern, &result.stats, cancel)
             .has_value()) {
       result.found = true;
       break;
@@ -203,13 +216,15 @@ QueryResult ShardedIndex::ExecuteContains(const Query& query) const {
   return result;
 }
 
-QueryResult ShardedIndex::ExecuteFindAll(const Query& query) const {
+QueryResult ShardedIndex::ExecuteFindAll(const Query& query,
+                                         const CancelToken* cancel) const {
   QueryResult result;
   if (!query.pattern.empty()) {
     const uint32_t m = static_cast<uint32_t>(query.pattern.size());
     std::vector<std::vector<uint32_t>> local(shards_.size());
     for (size_t i = 0; i < shards_.size(); ++i) {
-      local[i] = GenericFindAll(shards_[i], query.pattern, &result.stats);
+      local[i] =
+          GenericFindAll(shards_[i], query.pattern, &result.stats, cancel);
     }
     SPINE_OBS_SCOPED_TIMER_US("shard.merge_us");
     for (size_t i = 0; i < shards_.size(); ++i) {
@@ -228,11 +243,12 @@ QueryResult ShardedIndex::ExecuteFindAll(const Query& query) const {
 }
 
 std::vector<uint32_t> ShardedIndex::MergedMatchingStats(
-    std::string_view pattern, SearchStats* stats) const {
+    std::string_view pattern, SearchStats* stats,
+    const CancelToken* cancel) const {
   std::vector<uint32_t> merged(pattern.size(), 0);
   for (const CompactSpineIndex& shard : shards_) {
     const std::vector<uint32_t> local =
-        GenericMatchingStatistics(shard, pattern, stats);
+        GenericMatchingStatistics(shard, pattern, stats, cancel);
     for (size_t q = 0; q < merged.size(); ++q) {
       merged[q] = std::max(merged[q], local[q]);
     }
@@ -240,9 +256,11 @@ std::vector<uint32_t> ShardedIndex::MergedMatchingStats(
   return merged;
 }
 
-QueryResult ShardedIndex::ExecuteMatchingStats(const Query& query) const {
+QueryResult ShardedIndex::ExecuteMatchingStats(
+    const Query& query, const CancelToken* cancel) const {
   QueryResult result;
-  result.matching_stats = MergedMatchingStats(query.pattern, &result.stats);
+  result.matching_stats =
+      MergedMatchingStats(query.pattern, &result.stats, cancel);
   {
     SPINE_OBS_SCOPED_TIMER_US("shard.merge_us");
     result.found = std::any_of(result.matching_stats.begin(),
@@ -252,7 +270,8 @@ QueryResult ShardedIndex::ExecuteMatchingStats(const Query& query) const {
   return result;
 }
 
-QueryResult ShardedIndex::ExecuteMaximalMatches(const Query& query) const {
+QueryResult ShardedIndex::ExecuteMaximalMatches(
+    const Query& query, const CancelToken* cancel) const {
   const uint32_t min_len = std::max<uint32_t>(query.min_len, 1);
   const std::string_view pattern = query.pattern;
   QueryResult result;
@@ -260,16 +279,20 @@ QueryResult ShardedIndex::ExecuteMaximalMatches(const Query& query) const {
   // the merged statistics equal the monolithic ones, and the maximal
   // matches are exactly the positions where ms[q] >= min_len and
   // ms[q-1] <= ms[q] (see core/matcher.h).
-  const std::vector<uint32_t> ms = MergedMatchingStats(pattern, &result.stats);
+  const std::vector<uint32_t> ms =
+      MergedMatchingStats(pattern, &result.stats, cancel);
   SPINE_OBS_SCOPED_TIMER_US("shard.merge_us");
+  CancelCheckpoint checkpoint(cancel);
   for (uint32_t q = 0; q < ms.size(); ++q) {
+    if (checkpoint.ShouldStop()) break;
     const uint32_t len = ms[q];
     if (len < min_len) continue;
     if (q > 0 && ms[q - 1] > len) continue;  // inside an earlier match
     const std::string_view sub = pattern.substr(q, len);
     if (query.expand_occurrences) {
       for (size_t i = 0; i < shards_.size(); ++i) {
-        for (uint32_t pos : GenericFindAll(shards_[i], sub, &result.stats)) {
+        for (uint32_t pos :
+             GenericFindAll(shards_[i], sub, &result.stats, cancel)) {
           const uint64_t global = infos_[i].core_start + pos;
           if (global < infos_[i].core_end) {
             result.hits.push_back({static_cast<uint32_t>(global), len, q});
@@ -280,7 +303,7 @@ QueryResult ShardedIndex::ExecuteMaximalMatches(const Query& query) const {
       uint32_t first = std::numeric_limits<uint32_t>::max();
       for (size_t i = 0; i < shards_.size(); ++i) {
         const std::optional<NodeId> end =
-            GenericFindFirstEnd(shards_[i], sub, &result.stats);
+            GenericFindFirstEnd(shards_[i], sub, &result.stats, cancel);
         if (end.has_value()) {
           first = std::min(
               first, static_cast<uint32_t>(infos_[i].core_start + *end - len));

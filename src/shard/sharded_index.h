@@ -104,9 +104,12 @@ class ShardedIndex final : public core::Index {
   const Alphabet& alphabet() const override { return alphabet_; }
   uint64_t size() const override { return n_; }
   // Merged per the header note. Emits shard.queries / shard.fanout /
-  // shard.merge_us metrics and a "shard_fanout" trace note.
+  // shard.merge_us metrics and a "shard_fanout" trace note. `cancel`
+  // is threaded into every per-shard generic walk, so a fired token
+  // stops mid-shard, not just between shards.
   QueryResult Execute(const Query& query,
-                      obs::TraceContext* trace = nullptr) const override;
+                      obs::TraceContext* trace = nullptr,
+                      const CancelToken* cancel = nullptr) const override;
   // Per-shard Validate plus family invariants: core ranges partition
   // [0, n), slices sized to the margin, and overlap characters agree
   // between neighbouring shards.
@@ -124,15 +127,20 @@ class ShardedIndex final : public core::Index {
   ShardedIndex(const Alphabet& alphabet, uint64_t n, uint32_t max_pattern)
       : alphabet_(alphabet), n_(n), max_pattern_(max_pattern) {}
 
-  QueryResult ExecuteContains(const Query& query) const;
-  QueryResult ExecuteFindAll(const Query& query) const;
-  QueryResult ExecuteMatchingStats(const Query& query) const;
-  QueryResult ExecuteMaximalMatches(const Query& query) const;
+  QueryResult ExecuteContains(const Query& query,
+                              const CancelToken* cancel) const;
+  QueryResult ExecuteFindAll(const Query& query,
+                             const CancelToken* cancel) const;
+  QueryResult ExecuteMatchingStats(const Query& query,
+                                   const CancelToken* cancel) const;
+  QueryResult ExecuteMaximalMatches(const Query& query,
+                                    const CancelToken* cancel) const;
 
   // Elementwise-max merge of per-shard matching statistics; stats
   // accumulate the per-shard search work.
   std::vector<uint32_t> MergedMatchingStats(std::string_view pattern,
-                                            SearchStats* stats) const;
+                                            SearchStats* stats,
+                                            const CancelToken* cancel) const;
 
   Alphabet alphabet_;
   uint64_t n_ = 0;

@@ -109,6 +109,19 @@ uint8_t* BufferPool::FetchPage(uint64_t page_id, bool mark_dirty) {
   ++stats_.misses;
   SPINE_OBS_COUNT("storage.pool.misses", 1);
 
+  // Deadline checkpoint: refuse to start a page fault once the query's
+  // token fired. Latching the verdict makes every later fetch of this
+  // query fail fast, so the abandoned walk unwinds in O(remaining
+  // steps) over zeroed records with no further I/O.
+  if (cancel_ != nullptr) {
+    Status fired = cancel_->ToStatus();
+    if (!fired.ok()) {
+      SPINE_OBS_COUNT("storage.pool.cancelled_misses", 1);
+      last_error_ = fired;
+      return nullptr;
+    }
+  }
+
   const bool uses_lru_list = policy_ == ReplacementPolicy::kLru ||
                              policy_ == ReplacementPolicy::kPinTop;
   uint32_t frame;

@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "storage/page_file.h"
 
@@ -90,6 +91,17 @@ class BufferPool {
   uint32_t frame_count() const { return static_cast<uint32_t>(frames_.size()); }
   uint64_t MemoryBytes() const { return arena_.size(); }
 
+  // Scopes a CancelToken onto the pool (storage backends forward it
+  // from core/query.h ExecuteQuery for the duration of one query; null
+  // clears it). FetchPage polls the token before faulting a page in —
+  // the page-miss path is the natural deadline checkpoint for paged
+  // walks, where one miss may cost a disk round-trip — and a fired
+  // token latches exactly like an I/O error: the fetch returns nullptr,
+  // the traversal runs out on zeroed records, and ConsumeError()
+  // reports kDeadlineExceeded / kCancelled. Pool hits never poll, so
+  // in-memory-resident walks pay nothing here.
+  void SetCancelToken(const CancelToken* cancel) { cancel_ = cancel; }
+
   bool has_error() const { return !last_error_.ok(); }
   const Status& last_error() const { return last_error_; }
   // Returns the latched error (or OK) and clears the latch.
@@ -141,6 +153,7 @@ class BufferPool {
 
   IoStats stats_;
   Status last_error_;
+  const CancelToken* cancel_ = nullptr;  // scoped per query, not owned
 };
 
 }  // namespace spine::storage

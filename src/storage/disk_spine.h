@@ -125,6 +125,15 @@ class DiskSpine {
   // Returns the latched error (or OK) and clears the latch.
   Status ConsumeError() const;
 
+  // CancelScopedIndex (core/query.h): ExecuteQuery scopes the query's
+  // token here for the duration of one query; the buffer pool polls it
+  // on every page miss and latches kDeadlineExceeded / kCancelled like
+  // any other I/O verdict. const because searches are const (the pool
+  // is already mutable).
+  void SetCancelToken(const CancelToken* cancel) const {
+    pool_.SetCancelToken(cancel);
+  }
+
   // Full structural scan: every link points upstream, LELs are bounded
   // by their destination depth, rib/extrib slots and overflow indexes
   // are in range, and extrib chains advance strictly in PT. Used by

@@ -91,6 +91,12 @@ class DiskSuffixTree {
   bool has_io_error() const { return pool_.has_error(); }
   Status ConsumeError() const { return pool_.ConsumeError(); }
 
+  // CancelScopedIndex (core/query.h): the pool polls the scoped token
+  // on every page miss; a fired token latches like an I/O error.
+  void SetCancelToken(const CancelToken* cancel) const {
+    pool_.SetCancelToken(cancel);
+  }
+
  private:
   DiskSuffixTree(const Alphabet& alphabet, PageFile file,
                  const Options& options);

@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "obs/metrics.h"
 
@@ -89,31 +91,67 @@ IoBackend* PosixIoBackend() {
 // --- FaultInjectingBackend ------------------------------------------------
 
 void FaultInjectingBackend::ScheduleReadFault(FaultKind kind, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
   read_faults_.push_back({reads_ + nth, kind});
 }
 
 void FaultInjectingBackend::ScheduleWriteFault(FaultKind kind, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
   write_faults_.push_back({writes_ + nth, kind});
 }
 
 void FaultInjectingBackend::ScheduleSyncFault(uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
   sync_faults_.push_back({syncs_ + nth, FaultKind::kSyncError});
 }
 
 void FaultInjectingBackend::EnableRandomFaults(uint64_t seed, double rate) {
+  std::lock_guard<std::mutex> lock(mu_);
   random_rng_ = Rng(seed);
   random_rate_ = rate;
 }
 
+void FaultInjectingBackend::ScheduleReadStall(uint64_t micros, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_stalls_.push_back({reads_ + nth, micros});
+}
+
+void FaultInjectingBackend::EnableRandomStalls(uint64_t seed, double rate,
+                                               uint64_t micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_rng_ = Rng(seed);
+  stall_rate_ = rate;
+  stall_micros_ = micros;
+}
+
 void FaultInjectingBackend::ClearScheduledFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
   read_faults_.clear();
   write_faults_.clear();
   sync_faults_.clear();
+  read_stalls_.clear();
 }
 
-bool FaultInjectingBackend::NextFault(std::deque<Scheduled>* scheduled,
-                                      uint64_t op_counter, bool is_read,
-                                      bool is_sync, FaultKind* kind) {
+uint64_t FaultInjectingBackend::PendingStallLocked() {
+  uint64_t micros = 0;
+  for (auto it = read_stalls_.begin(); it != read_stalls_.end();) {
+    if (it->at_op == reads_) {
+      micros += it->micros;
+      it = read_stalls_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (stall_rate_ > 0.0 && stall_rng_.Chance(stall_rate_)) {
+    micros += stall_micros_;
+  }
+  if (micros > 0) ++stalls_injected_;
+  return micros;
+}
+
+bool FaultInjectingBackend::NextFaultLocked(std::deque<Scheduled>* scheduled,
+                                            uint64_t op_counter, bool is_read,
+                                            bool is_sync, FaultKind* kind) {
   for (auto it = scheduled->begin(); it != scheduled->end(); ++it) {
     if (it->at_op == op_counter) {
       *kind = it->kind;
@@ -151,21 +189,42 @@ Result<uint64_t> FaultInjectingBackend::Size(int handle) {
 
 Status FaultInjectingBackend::Read(int handle, uint64_t offset, void* buf,
                                    size_t n, size_t* bytes_read) {
-  ++reads_;
+  uint64_t stall_micros = 0;
+  uint64_t op = 0;
   FaultKind kind;
-  if (NextFault(&read_faults_, reads_, /*is_read=*/true, /*is_sync=*/false,
-                &kind)) {
-    ++faults_injected_;
+  bool fault = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    op = ++reads_;
+    // stalls compose with (and precede) error injection
+    stall_micros = PendingStallLocked();
+    fault = NextFaultLocked(&read_faults_, reads_, /*is_read=*/true,
+                            /*is_sync=*/false, &kind);
+    if (fault) ++faults_injected_;
+  }
+  if (stall_micros > 0) {
+    SPINE_OBS_COUNT("storage.faults.stalls", 1);
+    // A bounded sleep, never a park: any stall schedule still
+    // terminates, so the contract "kOk / kIoError / kDeadlineExceeded,
+    // never a hang" holds regardless of what the deadline machinery
+    // above does.
+    std::this_thread::sleep_for(std::chrono::microseconds(stall_micros));
+  }
+  if (fault) {
     SPINE_OBS_COUNT("storage.faults.injected", 1);
     if (kind == FaultKind::kReadError) {
       return Status::IoError("injected EIO on read (op " +
-                             std::to_string(reads_) + ")");
+                             std::to_string(op) + ")");
     }
     // kBitFlip: perform the read, then silently corrupt one bit.
     Status status = delegate_->Read(handle, offset, buf, n, bytes_read);
     if (!status.ok()) return status;
     if (*bytes_read > 0) {
-      uint64_t bit = random_rng_.Below(*bytes_read * 8);
+      uint64_t bit;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        bit = random_rng_.Below(*bytes_read * 8);
+      }
       static_cast<uint8_t*>(buf)[bit / 8] ^=
           static_cast<uint8_t>(1u << (bit % 8));
     }
@@ -176,15 +235,21 @@ Status FaultInjectingBackend::Read(int handle, uint64_t offset, void* buf,
 
 Status FaultInjectingBackend::Write(int handle, uint64_t offset,
                                     const void* buf, size_t n) {
-  ++writes_;
+  uint64_t op = 0;
   FaultKind kind;
-  if (NextFault(&write_faults_, writes_, /*is_read=*/false,
-                /*is_sync=*/false, &kind)) {
-    ++faults_injected_;
+  bool fault = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    op = ++writes_;
+    fault = NextFaultLocked(&write_faults_, writes_, /*is_read=*/false,
+                            /*is_sync=*/false, &kind);
+    if (fault) ++faults_injected_;
+  }
+  if (fault) {
     SPINE_OBS_COUNT("storage.faults.injected", 1);
     if (kind == FaultKind::kWriteError) {
       return Status::IoError("injected EIO on write (op " +
-                             std::to_string(writes_) + ")");
+                             std::to_string(op) + ")");
     }
     // Short write and torn page both persist only a prefix; a short
     // write reports the failure, a torn page lies and reports success.
@@ -202,14 +267,20 @@ Status FaultInjectingBackend::Write(int handle, uint64_t offset,
 }
 
 Status FaultInjectingBackend::Sync(int handle) {
-  ++syncs_;
+  uint64_t op = 0;
   FaultKind kind;
-  if (NextFault(&sync_faults_, syncs_, /*is_read=*/false, /*is_sync=*/true,
-                &kind)) {
-    ++faults_injected_;
+  bool fault = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    op = ++syncs_;
+    fault = NextFaultLocked(&sync_faults_, syncs_, /*is_read=*/false,
+                            /*is_sync=*/true, &kind);
+    if (fault) ++faults_injected_;
+  }
+  if (fault) {
     SPINE_OBS_COUNT("storage.faults.injected", 1);
     return Status::IoError("injected EIO on sync (op " +
-                           std::to_string(syncs_) + ")");
+                           std::to_string(op) + ")");
   }
   return delegate_->Sync(handle);
 }

@@ -11,15 +11,17 @@
 // never a crash, never a silently wrong answer.
 //
 // Backends are stateless with respect to files (handles carry the
-// state), so one backend instance may serve many PageFiles. Fault
-// scheduling on FaultInjectingBackend is not thread-safe; drive it from
-// one thread (the storage stack above it is single-threaded anyway).
+// state), so one backend instance may serve many PageFiles.
+// FaultInjectingBackend's scheduling state is mutex-guarded: tests may
+// rearm or disable schedules while engine workers are mid-I/O (the
+// serve-layer deadline tests reconfigure stalls under a live server).
 
 #ifndef SPINE_STORAGE_IO_BACKEND_H_
 #define SPINE_STORAGE_IO_BACKEND_H_
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 
 #include "common/rng.h"
@@ -74,14 +76,34 @@ class FaultInjectingBackend : public IoBackend {
   // deterministic seeded stream and fails with probability `rate`
   // (fault kind drawn uniformly among the kinds valid for the op).
   void EnableRandomFaults(uint64_t seed, double rate);
-  void DisableRandomFaults() { random_rate_ = 0.0; }
+  void DisableRandomFaults() {
+    std::lock_guard<std::mutex> lock(mu_);
+    random_rate_ = 0.0;
+  }
+
+  // --- Injected latency: a stall sleeps the calling thread for
+  // `micros` before the (otherwise successful) read proceeds —
+  // deterministic slow I/O for deadline testing. Stalls are bounded
+  // sleeps, never parks: under ANY stall schedule every operation
+  // eventually completes, so a query ends in kOk, kIoError, or
+  // kDeadlineExceeded — never a hang (tests/fault_injection_test.cc
+  // enforces this over 100 seeds).
+  void ScheduleReadStall(uint64_t micros, uint64_t nth = 1);
+  // Every read independently stalls `micros` with probability `rate`
+  // from a dedicated deterministic seeded stream.
+  void EnableRandomStalls(uint64_t seed, double rate, uint64_t micros);
+  void DisableRandomStalls() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stall_rate_ = 0.0;
+  }
 
   void ClearScheduledFaults();
 
-  uint64_t reads() const { return reads_; }
-  uint64_t writes() const { return writes_; }
-  uint64_t syncs() const { return syncs_; }
-  uint64_t faults_injected() const { return faults_injected_; }
+  uint64_t reads() const { return Snapshot(reads_); }
+  uint64_t writes() const { return Snapshot(writes_); }
+  uint64_t syncs() const { return Snapshot(syncs_); }
+  uint64_t faults_injected() const { return Snapshot(faults_injected_); }
+  uint64_t stalls_injected() const { return Snapshot(stalls_injected_); }
 
   // IoBackend implementation (delegates unless a fault fires).
   Result<int> Open(const std::string& path, bool create) override;
@@ -99,20 +121,39 @@ class FaultInjectingBackend : public IoBackend {
     FaultKind kind;
   };
 
-  // Returns the fault to inject for the current op, if any.
-  bool NextFault(std::deque<Scheduled>* scheduled, uint64_t op_counter,
-                 bool is_read, bool is_sync, FaultKind* kind);
+  // Returns the fault to inject for the current op, if any. mu_ held.
+  bool NextFaultLocked(std::deque<Scheduled>* scheduled, uint64_t op_counter,
+                       bool is_read, bool is_sync, FaultKind* kind);
 
+  struct ScheduledStall {
+    uint64_t at_op;  // absolute read counter value that triggers it
+    uint64_t micros;
+  };
+
+  // Combined stall micros armed for the current read, if any. mu_ held.
+  uint64_t PendingStallLocked();
+
+  uint64_t Snapshot(const uint64_t& counter) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counter;
+  }
+
+  mutable std::mutex mu_;
   IoBackend* delegate_;
   std::deque<Scheduled> read_faults_;
   std::deque<Scheduled> write_faults_;
   std::deque<Scheduled> sync_faults_;
+  std::deque<ScheduledStall> read_stalls_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
   uint64_t syncs_ = 0;
   uint64_t faults_injected_ = 0;
+  uint64_t stalls_injected_ = 0;
   Rng random_rng_{0};
   double random_rate_ = 0.0;
+  Rng stall_rng_{0};
+  double stall_rate_ = 0.0;
+  uint64_t stall_micros_ = 0;
 };
 
 }  // namespace spine::storage

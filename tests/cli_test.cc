@@ -449,15 +449,33 @@ TEST(CliTest, ExitCodeTableIsTotalAndStable) {
   EXPECT_EQ(ExitCodeFor(StatusCode::kFailedPrecondition), 7);
   EXPECT_EQ(ExitCodeFor(StatusCode::kOverloaded), 8);
   EXPECT_EQ(ExitCodeFor(StatusCode::kProtocolError), 9);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kDeadlineExceeded), 10);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kCancelled), 11);
 
   EXPECT_EQ(ExitCodeFor(StatusCode::kOk), kExitOk);
   EXPECT_EQ(ExitCodeFor(StatusCode::kOverloaded), kExitOverloaded);
   EXPECT_EQ(ExitCodeFor(StatusCode::kProtocolError), kExitProtocolError);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kDeadlineExceeded), kExitDeadlineExceeded);
+  EXPECT_EQ(ExitCodeFor(StatusCode::kCancelled), kExitCancelled);
 
   // The usage text documents the same table.
   CliResult help = RunCli({"help"});
   EXPECT_NE(help.out.find("8 overloaded"), std::string::npos);
   EXPECT_NE(help.out.find("9 protocol"), std::string::npos);
+  EXPECT_NE(help.out.find("10 deadline"), std::string::npos);
+  EXPECT_NE(help.out.find("11 cancelled"), std::string::npos);
+}
+
+// `query --deadline-ms` enforces the budget on the direct (no-engine)
+// path: a generous budget answers normally, exit code 0.
+TEST(CliTest, QueryDeadlineFlagIsAcceptedAndGenerousBudgetSucceeds) {
+  const std::string fasta = TempPath("cli_dl.fa");
+  const std::string index = TempPath("cli_dl.spine");
+  WriteFile(fasta, ">seq\nACGTACGGTACGTTACGATTACGT\n");
+  ASSERT_EQ(RunCli({"build", fasta, index}).code, 0);
+  CliResult result = RunCli({"query", index, "ACGT", "--deadline-ms=60000"});
+  EXPECT_EQ(result.code, 0) << result.err;
+  EXPECT_NE(result.out.find("occurrence"), std::string::npos) << result.out;
 }
 
 TEST(CliTest, ServeValidatesItsArguments) {

@@ -1,9 +1,12 @@
-// Tests for the common substrate: Status/Result, RNG, timer.
+// Tests for the common substrate: Status/Result, RNG, timer, and the
+// deadline / cooperative-cancellation primitives (common/cancel.h).
 
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "common/cancel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/timer.h"
@@ -30,7 +33,9 @@ TEST(StatusTest, AllCodesHaveNames) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kOutOfRange, StatusCode::kIoError, StatusCode::kCorruption,
-        StatusCode::kResourceExhausted, StatusCode::kFailedPrecondition}) {
+        StatusCode::kResourceExhausted, StatusCode::kFailedPrecondition,
+        StatusCode::kOverloaded, StatusCode::kProtocolError,
+        StatusCode::kDeadlineExceeded, StatusCode::kCancelled}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
 }
@@ -93,6 +98,101 @@ TEST(RngTest, BetweenAndChance) {
     ASSERT_GE(d, 0.0);
     ASSERT_LT(d, 1.0);
   }
+}
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.IsInfinite());
+  EXPECT_FALSE(deadline.Expired());
+  EXPECT_EQ(deadline.RemainingMicros(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(deadline.RemainingMs(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(deadline, Deadline::Infinite());
+}
+
+TEST(DeadlineTest, AfterMsExpires) {
+  Deadline deadline = Deadline::AfterMs(0);
+  EXPECT_FALSE(deadline.IsInfinite());
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_EQ(deadline.RemainingMicros(), 0);
+
+  Deadline future = Deadline::AfterMs(60'000);
+  EXPECT_FALSE(future.Expired());
+  EXPECT_GT(future.RemainingMicros(), 0);
+  EXPECT_LE(future.RemainingMs(), 60'000);
+}
+
+TEST(DeadlineTest, HugeBudgetSaturatesInsteadOfOverflowing) {
+  // uint32 max milliseconds (the largest wire value) and beyond must
+  // read as "effectively never", not wrap into the past.
+  Deadline huge = Deadline::AfterMs(std::numeric_limits<uint32_t>::max());
+  EXPECT_FALSE(huge.Expired());
+  Deadline max = Deadline::AfterMicros(std::numeric_limits<uint64_t>::max());
+  EXPECT_FALSE(max.Expired());
+  EXPECT_TRUE(max.IsInfinite());
+}
+
+TEST(DeadlineTest, SoonerPicksTheEarlier) {
+  Deadline early = Deadline::AfterMs(1);
+  Deadline late = Deadline::AfterMs(60'000);
+  EXPECT_EQ(Deadline::Sooner(early, late), early);
+  EXPECT_EQ(Deadline::Sooner(late, early), early);
+  EXPECT_EQ(Deadline::Sooner(late, Deadline::Infinite()), late);
+}
+
+TEST(CancelTokenTest, FiresOnCancelAndOnDeadline) {
+  CancelToken token;
+  EXPECT_FALSE(token.Fired());
+  EXPECT_EQ(token.FiredCode(), StatusCode::kOk);
+  EXPECT_TRUE(token.ToStatus().ok());
+  token.Cancel();
+  EXPECT_TRUE(token.Fired());
+  EXPECT_EQ(token.FiredCode(), StatusCode::kCancelled);
+  EXPECT_EQ(token.ToStatus().code(), StatusCode::kCancelled);
+
+  CancelToken expired(Deadline::AfterMs(0));
+  EXPECT_TRUE(expired.Fired());
+  EXPECT_EQ(expired.FiredCode(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(expired.ToStatus().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTokenTest, ExplicitCancelWinsOverExpiredDeadline) {
+  CancelToken token(Deadline::AfterMs(0));
+  token.Cancel();
+  EXPECT_EQ(token.FiredCode(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, ChainsToParent) {
+  CancelToken parent;
+  CancelToken child(Deadline::Infinite(), &parent);
+  EXPECT_FALSE(child.Fired());
+  parent.Cancel();
+  EXPECT_TRUE(child.Fired());
+  EXPECT_EQ(child.FiredCode(), StatusCode::kCancelled);
+
+  CancelToken expired_parent(Deadline::AfterMs(0));
+  CancelToken child2(Deadline::Infinite(), &expired_parent);
+  EXPECT_TRUE(child2.Fired());
+  EXPECT_EQ(child2.FiredCode(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelCheckpointTest, NullTokenNeverStops) {
+  CancelCheckpoint checkpoint(nullptr, 2);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(checkpoint.ShouldStop());
+}
+
+TEST(CancelCheckpointTest, PollsAtIntervalAndSticks) {
+  CancelToken token;
+  CancelCheckpoint checkpoint(&token, 4);
+  // Not fired: never stops, no matter how often it is asked.
+  for (int i = 0; i < 16; ++i) EXPECT_FALSE(checkpoint.ShouldStop());
+  token.Cancel();
+  // The poll happens every 4th call; until then the stale "not fired"
+  // answer is allowed...
+  bool stopped = false;
+  for (int i = 0; i < 4 && !stopped; ++i) stopped = checkpoint.ShouldStop();
+  EXPECT_TRUE(stopped);
+  // ...and once fired, the answer is sticky on every later call.
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(checkpoint.ShouldStop());
 }
 
 TEST(TimerTest, MeasuresElapsedTime) {

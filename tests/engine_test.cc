@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cancel.h"
 #include "compact/compact_spine.h"
 #include "core/adapters.h"
 #include "core/query.h"
@@ -423,6 +424,97 @@ TEST(QueryEngineTest, MultiIndexOverloadAnswersEveryIndex) {
           << "index " << j << ", query " << i;
     }
   }
+}
+
+// --- deadlines and cancellation (PR 7) --------------------------------------
+
+TEST(QueryEngineTest, ExpiredBatchTokenFailsEveryQueryBeforeDispatch) {
+  const std::string corpus = TestCorpus(10'000);
+  SpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(corpus).ok());
+  core::SpineIndexAdapter adapter(index);
+  const std::vector<Query> queries = MixedBatch(corpus, 40);
+
+  QueryEngine engine({.threads = 4, .cache_bytes = 8 << 20});
+  CancelToken expired(Deadline::AfterMs(0));  // fired before the batch starts
+  BatchStats stats;
+  std::vector<QueryResult> results =
+      engine.ExecuteBatch(adapter, queries, &stats, &expired);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status_code, StatusCode::kDeadlineExceeded)
+        << "query " << i;
+    EXPECT_NE(results[i].error.find("before dispatch"), std::string::npos)
+        << results[i].error;
+  }
+  EXPECT_EQ(stats.deadline_exceeded, queries.size());
+  EXPECT_EQ(stats.failed, queries.size());
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  // Expired verdicts must not poison the cache: a clean rerun of the
+  // same batch executes fresh and succeeds.
+  BatchStats rerun;
+  std::vector<QueryResult> fresh =
+      engine.ExecuteBatch(adapter, queries, &rerun);
+  EXPECT_EQ(rerun.cache_hits, 0u);
+  EXPECT_EQ(rerun.failed, 0u);
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_TRUE(fresh[i].ok()) << "query " << i << ": " << fresh[i].error;
+  }
+}
+
+TEST(QueryEngineTest, CancelledBatchTokenReportsCancelledNotDeadline) {
+  const std::string corpus = TestCorpus(5'000);
+  SpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(corpus).ok());
+  core::SpineIndexAdapter adapter(index);
+  const std::vector<Query> queries = MixedBatch(corpus, 20);
+
+  QueryEngine engine({.threads = 2, .cache_bytes = 0});
+  CancelToken token;
+  token.Cancel();  // the "client hung up before we started" shape
+  BatchStats stats;
+  std::vector<QueryResult> results =
+      engine.ExecuteBatch(adapter, queries, &stats, &token);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status_code, StatusCode::kCancelled) << "query " << i;
+  }
+  EXPECT_EQ(stats.cancelled, queries.size());
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.failed, queries.size());
+}
+
+TEST(QueryEngineTest, GenerousPerQueryDeadlinesDoNotChangeAnswers) {
+  const std::string corpus = TestCorpus(10'000);
+  SpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(corpus).ok());
+  core::SpineIndexAdapter adapter(index);
+  std::vector<Query> queries = MixedBatch(corpus, 60);
+  std::vector<QueryResult> reference;
+  for (const Query& q : queries) reference.push_back(ExecuteQuery(index, q));
+  // A minute-scale budget on every query: enforcement machinery runs
+  // (tokens, checkpoints) but nothing fires.
+  for (Query& q : queries) q.deadline_ms = 60'000;
+
+  QueryEngine engine({.threads = 4, .cache_bytes = 0});
+  BatchStats stats;
+  std::vector<QueryResult> results =
+      engine.ExecuteBatch(adapter, queries, &stats);
+  ASSERT_EQ(results.size(), reference.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].SameAnswer(reference[i])) << "query " << i;
+  }
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+}
+
+TEST(QueryCacheTest, KeyIgnoresDeadline) {
+  // Deliberate: the same pattern with a different budget is the same
+  // answer, so a budget change must not fragment the cache.
+  Query a = Query::FindAll("ACGT");
+  Query b = Query::FindAll("ACGT");
+  b.deadline_ms = 500;
+  EXPECT_EQ(QueryCache::Key(1, a), QueryCache::Key(1, b));
 }
 
 }  // namespace

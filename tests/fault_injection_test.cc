@@ -17,6 +17,7 @@
 #include <fstream>
 
 #include "common/rng.h"
+#include "common/timer.h"
 #include "compact/compact_spine.h"
 #include "core/adapters.h"
 #include "core/query.h"
@@ -208,11 +209,10 @@ TEST(FaultInjectionTest, EngineRetryHealsTransientReadError) {
   EXPECT_GE(backend.faults_injected(), 1u);
 }
 
-// The deprecated max_retries spelling must really override retry_limit
-// at engine construction: with max_retries = 0 a transient read fault
-// is NOT retried (retry_limit's default of 2 would have healed it), so
-// the query fails with kIoError and zero retries.
-TEST(FaultInjectionTest, DeprecatedMaxRetriesOverridesRetryLimit) {
+// retry_limit = 0 really disables retries: a transient read fault that
+// one retry would have healed (the default retry_limit of 2 does, see
+// the test above) surfaces as kIoError with zero retries.
+TEST(FaultInjectionTest, RetryLimitZeroDisablesRetries) {
   Rng rng(12);
   const std::string s = RandomDna(rng, 4000);
   const std::string path = TempPath("fi_retry_alias.idx");
@@ -236,14 +236,7 @@ TEST(FaultInjectionTest, DeprecatedMaxRetriesOverridesRetryLimit) {
   engine::QueryEngine::Options engine_options;
   engine_options.threads = 2;
   engine_options.retry_backoff_us = 0;
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-  engine_options.max_retries = 0;  // old spelling: disable retries
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
+  engine_options.retry_limit = 0;
   engine::QueryEngine engine(engine_options);
 
   std::vector<Query> queries = {Query::FindAll(s.substr(100, 8))};
@@ -460,6 +453,153 @@ TEST(FaultInjectionTest, VerifyStructureHealthyAndCorrupt) {
   if (verdict.ok()) verdict = (*disk)->ConsumeError();
   ASSERT_FALSE(verdict.ok());
   EXPECT_EQ(verdict.code(), StatusCode::kCorruption);
+}
+
+// --- injected latency / stalls (PR 7) ---------------------------------------
+
+// (g) A scheduled stall delays the read but does not fail it, composes
+// with (and precedes) a scheduled error on the same read, and is wiped
+// by ClearScheduledFaults.
+TEST(FaultInjectionTest, ScheduledStallDelaysButDoesNotFail) {
+  const std::string path = TempPath("fi_stall.dat");
+  FaultInjectingBackend backend;
+  Result<PageFile> file =
+      PageFile::Create(path, PageFile::SyncMode::kNone, &backend);
+  ASSERT_TRUE(file.ok());
+  uint8_t page[kPageSize] = {};
+  SealPageChecksum(0, page);
+  ASSERT_TRUE(file->WritePage(0, page).ok());
+
+  backend.ScheduleReadStall(/*micros=*/30'000, /*nth=*/1);
+  WallTimer timer;
+  uint8_t raw[kPageSize];
+  ASSERT_TRUE(file->ReadPage(0, raw).ok());
+  EXPECT_GE(timer.ElapsedMillis(), 25.0);
+  EXPECT_EQ(backend.stalls_injected(), 1u);
+
+  // Stall + EIO on the same read: slow AND broken, in that order.
+  backend.ScheduleReadStall(/*micros=*/20'000, /*nth=*/1);
+  backend.ScheduleReadFault(FaultKind::kReadError, 1);
+  timer.Reset();
+  Status both = file->ReadPage(0, raw);
+  ASSERT_FALSE(both.ok());
+  EXPECT_EQ(both.code(), StatusCode::kIoError);
+  EXPECT_GE(timer.ElapsedMillis(), 15.0);
+  EXPECT_EQ(backend.stalls_injected(), 2u);
+
+  // ClearScheduledFaults wipes pending stalls along with faults.
+  backend.ScheduleReadStall(/*micros=*/500'000, /*nth=*/1);
+  backend.ClearScheduledFaults();
+  timer.Reset();
+  ASSERT_TRUE(file->ReadPage(0, raw).ok());
+  EXPECT_LT(timer.ElapsedMillis(), 100.0);
+  EXPECT_EQ(backend.stalls_injected(), 2u);
+}
+
+// (h) ISSUE acceptance: a findall against a paged backend whose every
+// read stalls returns kDeadlineExceeded within ~2x the deadline — the
+// budget bounds wall time even though the medium has become molasses.
+TEST(FaultInjectionTest, StalledFindAllReturnsDeadlineExceededPromptly) {
+  Rng rng(606);
+  const std::string s = RandomDna(rng, 6000);
+  FaultInjectingBackend backend;
+  DiskSpine::Options options;
+  options.pool_frames = 4;  // cold, tiny pool: every query faults pages in
+  options.backend = &backend;
+  auto disk = DiskSpine::Create(Alphabet::Dna(), TempPath("fi_stall_dl.idx"),
+                                options);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->AppendString(s).ok());
+  ASSERT_TRUE((*disk)->Flush().ok());
+
+  backend.EnableRandomStalls(/*seed=*/1, /*rate=*/1.0, /*micros=*/20'000);
+  engine::QueryEngine engine({.threads = 1,
+                              .cache_bytes = 0,
+                              .retry_limit = 2,
+                              .retry_backoff_us = 0});
+  core::DiskSpineAdapter adapter(**disk);
+  std::vector<Query> queries = {Query::FindAll(s.substr(0, 3))};
+  queries[0].deadline_ms = 50;
+  WallTimer timer;
+  engine::BatchStats stats;
+  std::vector<QueryResult> results = engine.ExecuteBatch(adapter, queries,
+                                                         &stats);
+  const double elapsed_ms = timer.ElapsedMillis();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status_code, StatusCode::kDeadlineExceeded)
+      << results[0].status().ToString();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  // ~2x budget: the worst case is the deadline firing just as a read
+  // begins its stall (one 20 ms sleep of overshoot) plus scheduling
+  // noise — nowhere near the seconds an unbounded walk would take.
+  EXPECT_LT(elapsed_ms, 100.0);
+  EXPECT_GT(backend.stalls_injected(), 0u);
+}
+
+// (i) 100 seeded schedules mixing stalls with EIO faults, queries with
+// and without budgets: every single query ends in exactly one of kOk
+// (oracle-identical), kIoError/kCorruption, or kDeadlineExceeded.
+// Never a hang — stalls are bounded sleeps by construction, and the
+// deadline turns their sum into a verdict.
+TEST(FaultInjectionTest, HundredStallSchedulesAlwaysTerminateCleanly) {
+  Rng rng(909);
+  const std::string s = RandomDna(rng, 6000);
+  CompactSpineIndex oracle(Alphabet::Dna());
+  ASSERT_TRUE(oracle.AppendString(s).ok());
+
+  FaultInjectingBackend backend;
+  DiskSpine::Options options;
+  options.pool_frames = 4;
+  options.backend = &backend;
+  auto disk = DiskSpine::Create(Alphabet::Dna(), TempPath("fi_stall100.idx"),
+                                options);
+  ASSERT_TRUE(disk.ok());
+  ASSERT_TRUE((*disk)->AppendString(s).ok());
+  ASSERT_TRUE((*disk)->Flush().ok());
+
+  engine::QueryEngine engine({.threads = 2,
+                              .cache_bytes = 0,
+                              .retry_limit = 1,
+                              .retry_backoff_us = 0});
+  core::DiskSpineAdapter adapter(**disk);
+  uint64_t correct = 0, io_errors = 0, deadline_errors = 0;
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    backend.EnableRandomStalls(seed, /*rate=*/0.2, /*micros=*/1'500);
+    backend.EnableRandomFaults(seed * 7919, /*rate=*/0.02);
+    Rng qrng(seed * 31);
+    std::vector<Query> queries = MakeQueries(qrng, s, 3);
+    for (Query& query : queries) {
+      if (qrng.Chance(0.7)) query.deadline_ms = 4;
+    }
+    engine::BatchStats stats;
+    std::vector<QueryResult> results =
+        engine.ExecuteBatch(adapter, queries, &stats);
+    ASSERT_EQ(results.size(), queries.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      const QueryResult& got = results[i];
+      if (got.ok()) {
+        EXPECT_TRUE(got.SameAnswer(ExecuteQuery(oracle, queries[i])))
+            << "seed " << seed << " query " << i
+            << " reported success with a wrong answer";
+        ++correct;
+      } else if (got.status_code == StatusCode::kIoError ||
+                 got.status_code == StatusCode::kCorruption) {
+        ++io_errors;
+      } else if (got.status_code == StatusCode::kDeadlineExceeded) {
+        ++deadline_errors;
+      } else {
+        FAIL() << "seed " << seed << " query " << i
+               << " unexpected verdict: " << got.status().ToString();
+      }
+    }
+  }
+  backend.DisableRandomStalls();
+  backend.DisableRandomFaults();
+  // Every arm of the contract actually fired.
+  EXPECT_GT(backend.stalls_injected(), 0u);
+  EXPECT_GT(correct, 0u);
+  EXPECT_GT(io_errors, 0u);
+  EXPECT_GT(deadline_errors, 0u);
 }
 
 }  // namespace

@@ -13,8 +13,11 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+
 #include <gtest/gtest.h>
 
+#include "common/timer.h"
 #include "compact/compact_spine.h"
 #include "core/adapters.h"
 #include "core/query.h"
@@ -22,6 +25,8 @@
 #include "obs/json.h"
 #include "serve/client.h"
 #include "shard/sharded_index.h"
+#include "storage/disk_spine.h"
+#include "storage/io_backend.h"
 #include "test_util.h"
 
 namespace spine::serve {
@@ -354,11 +359,11 @@ TEST_F(ServeTest, BinaryFrameWhoseLengthLowByteIsBraceStaysBinary) {
   Result<Client> client = Client::Connect("127.0.0.1", server.port());
   ASSERT_TRUE(client.ok());
 
-  // A 103-byte pattern makes the frame length 123 — so the first wire
-  // byte is '{' (0x7b, the little-endian low byte). The dialect sniff
-  // must still classify the connection as binary, not kill it as
-  // malformed JSON.
-  const Query query = Query::FindAll(corpus_->substr(0, 103));
+  // A 99-byte pattern makes the frame length 123 (99 + 24 fixed bytes,
+  // deadline word included) — so the first wire byte is '{' (0x7b, the
+  // little-endian low byte). The dialect sniff must still classify the
+  // connection as binary, not kill it as malformed JSON.
+  const Query query = Query::FindAll(corpus_->substr(0, 99));
   std::string frame;
   wire::AppendRequestFrame({42, query}, &frame);
   ASSERT_EQ(frame[0], '{');  // the premise of the regression
@@ -467,6 +472,199 @@ TEST_F(ServeTest, StartFailuresReportCleanly) {
   ASSERT_FALSE(occupied.ok());
   EXPECT_EQ(occupied.code(), StatusCode::kIoError);
   first.Stop();
+}
+
+// --- deadlines, timeouts, and stall-proofing (PR 7) -------------------------
+
+// A paged DiskSpine whose every backend read stalls: the serving-side
+// acceptance rig for time-bounding. Stalls start disabled so the build
+// runs at full speed; callers flip them on per test.
+struct StallingDiskIndex {
+  storage::FaultInjectingBackend backend;
+  std::unique_ptr<storage::DiskSpine> disk;
+  std::unique_ptr<core::DiskSpineAdapter> adapter;
+
+  static std::unique_ptr<StallingDiskIndex> Make(const std::string& corpus,
+                                                 const std::string& name) {
+    auto rig = std::make_unique<StallingDiskIndex>();
+    storage::DiskSpine::Options options;
+    options.pool_frames = 4;  // tiny pool: queries keep missing pages
+    options.backend = &rig->backend;
+    auto disk = storage::DiskSpine::Create(Alphabet::Dna(),
+                                           spine::test::TempPath(name),
+                                           options);
+    if (!disk.ok() || !(*disk)->AppendString(corpus).ok() ||
+        !(*disk)->Flush().ok()) {
+      return nullptr;
+    }
+    rig->disk = std::move(*disk);
+    rig->adapter = std::make_unique<core::DiskSpineAdapter>(*rig->disk);
+    return rig;
+  }
+};
+
+// ISSUE acceptance: a findall against a paged backend under injected
+// stall comes back kDeadlineExceeded well within ~2x the deadline,
+// instead of grinding through every stalled page read.
+TEST_F(ServeTest, StalledBackendDeadlineAnswersWithinBudget) {
+  auto rig = StallingDiskIndex::Make(corpus_->substr(0, 6000), "serve_dl.idx");
+  ASSERT_NE(rig, nullptr);
+  Server server(*rig->adapter, TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+  rig->backend.EnableRandomStalls(/*seed=*/1, /*rate=*/1.0,
+                                  /*micros=*/20'000);
+
+  Result<Client> client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  wire::QueryRequest request{7, Query::FindAll(corpus_->substr(0, 3))};
+  request.query.deadline_ms = 50;
+  WallTimer timer;
+  ASSERT_TRUE(client->Send(request).ok());
+  Result<wire::QueryResponse> response = client->ReceiveResponse();
+  const double elapsed_ms = timer.ElapsedMillis();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->id, 7u);
+  EXPECT_EQ(response->result.status_code, StatusCode::kDeadlineExceeded)
+      << response->result.error;
+  // Budget 50 ms; the worst-case overshoot is one in-flight 20 ms stall
+  // plus scheduling noise. 200 ms keeps CI calm while still proving the
+  // walk did not run to completion (which takes seconds at this rate).
+  EXPECT_LT(elapsed_ms, 200.0);
+  EXPECT_GE(server.stats().deadline_exceeded, 1u);
+  server.Stop();
+}
+
+TEST_F(ServeTest, ServerDefaultAndMaxDeadlinesBoundRequests) {
+  auto rig =
+      StallingDiskIndex::Make(corpus_->substr(0, 6000), "serve_cap.idx");
+  ASSERT_NE(rig, nullptr);
+  Options options = TestOptions();
+  options.default_deadline_ms = 50;  // requests that do not ask get this
+  options.max_deadline_ms = 60;      // and nobody gets more than this
+  Server server(*rig->adapter, options);
+  ASSERT_TRUE(server.Start().ok());
+  rig->backend.EnableRandomStalls(/*seed=*/2, /*rate=*/1.0,
+                                  /*micros=*/20'000);
+
+  Result<Client> client = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  // No deadline on the request: the server default applies.
+  WallTimer timer;
+  ASSERT_TRUE(client->Send({1, Query::FindAll(corpus_->substr(0, 3))}).ok());
+  Result<wire::QueryResponse> response = client->ReceiveResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->result.status_code, StatusCode::kDeadlineExceeded);
+  EXPECT_LT(timer.ElapsedMillis(), 250.0);
+
+  // A greedy hour-long budget: the cap cuts it to 60 ms.
+  wire::QueryRequest greedy{2, Query::FindAll(corpus_->substr(0, 3))};
+  greedy.query.deadline_ms = 3'600'000;
+  timer.Reset();
+  ASSERT_TRUE(client->Send(greedy).ok());
+  response = client->ReceiveResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->result.status_code, StatusCode::kDeadlineExceeded);
+  EXPECT_LT(timer.ElapsedMillis(), 250.0);
+
+  EXPECT_GE(server.stats().deadline_exceeded, 2u);
+  server.Stop();
+}
+
+TEST_F(ServeTest, IdleAndMidFrameTimeoutsCloseWithoutPinningThreads) {
+  Options options = TestOptions();
+  options.idle_timeout_ms = 200;
+  options.read_timeout_ms = 200;
+  Server server(*adapter_, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  {  // Half-open client: connects, sends nothing, never reads.
+    Result<Client> idle = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(idle.ok());
+    // The server sends a best-effort deadline error and closes; either
+    // the error status or a bare close (kIoError) is acceptable.
+    WallTimer timer;
+    Result<wire::QueryResponse> response = idle->ReceiveResponse();
+    EXPECT_FALSE(response.ok());
+    EXPECT_LT(timer.ElapsedMillis(), 2'000.0);
+  }
+  {  // Stuck mid-frame: a partial header, then silence.
+    Result<Client> stuck = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(stuck.ok());
+    ASSERT_TRUE(stuck->SendRaw(std::string("\x40\x00", 2)).ok());
+    WallTimer timer;
+    Result<wire::QueryResponse> response = stuck->ReceiveResponse();
+    EXPECT_FALSE(response.ok());
+    EXPECT_LT(timer.ElapsedMillis(), 2'000.0);
+  }
+  // Both connections were closed by the timeout machinery — and the
+  // server still answers new traffic, proving no reader thread wedged.
+  EXPECT_GE(server.stats().idle_closed, 2u);
+  Result<Client> fresh = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(fresh->Send({9, Query::Contains("ACGT")}).ok());
+  EXPECT_TRUE(fresh->ReceiveResponse().ok());
+  server.Stop();
+  EXPECT_EQ(server.stats().connections_open, 0u);
+}
+
+// Satellite: a client killed mid-query (RST via SO_LINGER=0, the only
+// close that trips POLLERR/POLLHUP — a polite FIN must keep the drain
+// semantics) has its in-flight work cancelled by the watchdog, and the
+// failed response write must not take the server down (SIGPIPE).
+TEST_F(ServeTest, KilledClientMidQueryGetsCancelledByTheWatchdog) {
+  auto rig =
+      StallingDiskIndex::Make(corpus_->substr(0, 6000), "serve_kill.idx");
+  ASSERT_NE(rig, nullptr);
+  Server server(*rig->adapter, TestOptions());
+  ASSERT_TRUE(server.Start().ok());
+  rig->backend.EnableRandomStalls(/*seed=*/3, /*rate=*/1.0,
+                                  /*micros=*/20'000);
+
+  {
+    Result<Client> client = Client::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    // Unbounded query over the stalled medium: would take seconds.
+    ASSERT_TRUE(client->Send({1, Query::FindAll(corpus_->substr(0, 3))}).ok());
+    // Give the server a moment to start executing, then vanish rudely.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    struct linger abort_on_close = {.l_onoff = 1, .l_linger = 0};
+    ASSERT_EQ(setsockopt(client->fd(), SOL_SOCKET, SO_LINGER, &abort_on_close,
+                         sizeof(abort_on_close)),
+              0);
+  }  // ~Client closes the fd; with linger(0) that is an RST
+
+  // The watchdog (100 ms tick) notices and fires the connection token;
+  // the next page-miss checkpoint turns the walk into kCancelled.
+  WallTimer timer;
+  while (server.stats().cancelled == 0 && timer.ElapsedMillis() < 10'000.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server.stats().cancelled, 1u)
+      << "watchdog never cancelled the abandoned query";
+
+  // The server survived the dead socket and still answers.
+  rig->backend.DisableRandomStalls();
+  Result<Client> fresh = Client::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(fresh->Send({2, Query::Contains("ACGT")}).ok());
+  EXPECT_TRUE(fresh->ReceiveResponse().ok());
+  server.Stop();
+}
+
+TEST_F(ServeTest, StatsJsonCarriesTheDeadlineCountersAndConfig) {
+  Options options = TestOptions();
+  options.default_deadline_ms = 123;
+  options.max_deadline_ms = 456;
+  Server server(*adapter_, options);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string json = server.StatsJson();
+  for (const char* key :
+       {"\"deadline_exceeded\"", "\"cancelled\"", "\"idle_closed\"",
+        "\"default_deadline_ms\":123", "\"max_deadline_ms\":456"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " in " << json;
+  }
+  server.Stop();
 }
 
 }  // namespace

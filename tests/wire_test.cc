@@ -6,6 +6,7 @@
 
 #include "core/wire.h"
 
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,12 +23,17 @@ namespace {
 // One request per query kind, with non-default knobs so defaulted
 // fields cannot masquerade as correctly decoded ones.
 std::vector<QueryRequest> AllKindsRequests() {
-  return {
+  std::vector<QueryRequest> requests = {
       {1, Query::FindAll("ACGTACGT")},
       {2, Query::Contains("TTTT")},
       {7, Query::MaximalMatches("ACGTACGTACGT", 5, true)},
       {99, Query::MatchingStats("GATTACA")},
   };
+  // Mixed deadlines — absent (0), small, and the full-range maximum —
+  // so every round-trip test below also proves deadline_ms survives.
+  requests[1].query.deadline_ms = 250;
+  requests[2].query.deadline_ms = std::numeric_limits<uint32_t>::max();
+  return requests;
 }
 
 QueryResult RichResult() {
@@ -231,10 +237,18 @@ TEST(WireBinaryTest, TruncatedPayloadsNeverDecode) {
 
   // Strip the 6-byte frame header, then feed every strict payload
   // prefix to the decoder: each must fail cleanly, none may crash.
+  // Exception by design: the prefix that drops exactly the trailing
+  // deadline_ms word is the pre-deadline payload shape, which the
+  // version-tolerant decoder accepts with deadline_ms == 0.
   const std::string request_payload = request_frame.substr(6);
   for (size_t len = 0; len < request_payload.size(); ++len) {
     Result<QueryRequest> decoded =
         DecodeRequest(std::string_view(request_payload).substr(0, len));
+    if (len == request_payload.size() - 4) {
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(decoded->query.deadline_ms, 0u);
+      continue;
+    }
     EXPECT_FALSE(decoded.ok()) << "payload prefix " << len;
     EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
   }
@@ -413,6 +427,91 @@ TEST(WireTextTest, PrintsEveryKindAndCapsTheListing) {
   for (uint32_t i = 0; i < 5; ++i) many.hits.push_back({i, 4, 0});
   PrintResultSummary(out, Query::FindAll("ACGT"), many, /*max_listed=*/3);
   EXPECT_EQ(out.str(), "5 occurrence(s) 0 1 2 (+2 more)");
+}
+
+// --- deadline_ms on the wire (PR 7) ----------------------------------------
+
+TEST(WireDeadlineTest, BinaryPayloadWithTrailingJunkIsRejected) {
+  std::string buffer;
+  AppendRequestFrame({5, Query::FindAll("ACGT")}, &buffer);
+  const std::string payload = buffer.substr(6);
+  // Any tail other than exactly 0 or 4 extra bytes after the pattern is
+  // malformed — 1..3 and 5+ junk bytes must all be kProtocolError.
+  for (size_t extra : {1u, 2u, 3u, 5u, 8u}) {
+    std::string junk = payload + std::string(extra, '\xff');
+    Result<QueryRequest> decoded = DecodeRequest(junk);
+    EXPECT_FALSE(decoded.ok()) << extra << " junk bytes";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError);
+  }
+}
+
+TEST(WireDeadlineTest, JsonOmitsZeroAndEmitsNonzero) {
+  QueryRequest request{1, Query::FindAll("ACGT")};
+  EXPECT_EQ(RequestToJson(request).find("deadline_ms"), std::string::npos);
+  request.query.deadline_ms = 75;
+  const std::string line = RequestToJson(request);
+  EXPECT_NE(line.find("\"deadline_ms\":75"), std::string::npos) << line;
+  Result<QueryRequest> decoded = ParseRequestJson(line);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->query.deadline_ms, 75u);
+}
+
+TEST(WireDeadlineTest, JsonJunkDeadlinesAreRejectedAndOverflowClamps) {
+  const auto envelope = [](const char* deadline) {
+    return std::string(
+               "{\"v\":1,\"type\":\"query\",\"pattern\":\"ACGT\","
+               "\"deadline_ms\":") +
+           deadline + "}";
+  };
+  // Non-numbers and negatives are protocol errors.
+  for (const char* bad : {"\"5\"", "null", "[1]", "-1", "-4294967295"}) {
+    Result<QueryRequest> decoded = ParseRequestJson(envelope(bad));
+    EXPECT_FALSE(decoded.ok()) << bad;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError) << bad;
+  }
+  // Values past uint32 range clamp instead of wrapping.
+  Result<QueryRequest> huge =
+      ParseRequestJson(envelope("18446744073709551616"));
+  ASSERT_TRUE(huge.ok()) << huge.status().ToString();
+  EXPECT_EQ(huge->query.deadline_ms, std::numeric_limits<uint32_t>::max());
+  // Fractional budgets truncate toward zero.
+  Result<QueryRequest> frac = ParseRequestJson(envelope("2.9"));
+  ASSERT_TRUE(frac.ok()) << frac.status().ToString();
+  EXPECT_EQ(frac->query.deadline_ms, 2u);
+}
+
+TEST(WireTextTest, KindAtMsSuffixSetsThePerLineDeadline) {
+  std::optional<Query> q = ParseQueryText("findall@250 ACGT", 10);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->kind, QueryKind::kFindAll);
+  EXPECT_EQ(q->pattern, "ACGT");
+  EXPECT_EQ(q->deadline_ms, 250u);
+
+  q = ParseQueryText("ms@1 GATTACA", 10);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->kind, QueryKind::kMatchingStats);
+  EXPECT_EQ(q->deadline_ms, 1u);
+
+  // A budget past uint32 range saturates instead of wrapping.
+  q = ParseQueryText("contains@99999999999999999999 TTT", 10);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->kind, QueryKind::kContains);
+  EXPECT_EQ(q->deadline_ms, std::numeric_limits<uint32_t>::max());
+
+  // A malformed suffix is not a kind prefix at all: the whole line
+  // falls back to a findall for the raw text (matching the pre-PR 7
+  // treatment of unrecognized first words).
+  q = ParseQueryText("findall@abc ACGT", 10);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->kind, QueryKind::kFindAll);
+  EXPECT_EQ(q->pattern, "findall@abc ACGT");
+  EXPECT_EQ(q->deadline_ms, 0u);
+
+  // "@" with an empty number is likewise not a valid suffix.
+  q = ParseQueryText("ms@ GATTACA", 10);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->pattern, "ms@ GATTACA");
+  EXPECT_EQ(q->deadline_ms, 0u);
 }
 
 }  // namespace

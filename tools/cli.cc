@@ -18,6 +18,7 @@
 #include "align/aligner.h"
 #include "align/approximate.h"
 #include "align/hamming.h"
+#include "common/cancel.h"
 #include "common/timer.h"
 #include "compact/compact_spine.h"
 #include "compact/generalized_compact.h"
@@ -61,6 +62,10 @@ int ExitCodeFor(StatusCode code) {
       return kExitOverloaded;
     case StatusCode::kProtocolError:
       return kExitProtocolError;
+    case StatusCode::kDeadlineExceeded:
+      return kExitDeadlineExceeded;
+    case StatusCode::kCancelled:
+      return kExitCancelled;
   }
   return kExitIoError;
 }
@@ -78,15 +83,18 @@ constexpr const char* kUsage =
     "  gbuild <input.fa> <index.spineg> [--alphabet=dna|protein|ascii]\n"
     "      index EVERY record of a multi-FASTA file together\n"
     "  gquery <index.spineg> <pattern>\n"
-    "  query <index> <pattern>\n"
+    "  query <index> <pattern> [--deadline-ms=N]\n"
     "  batch <index> <patterns.txt> [--threads=N] [--cache-mb=M] "
-    "[--min-len=N] [--trace]\n"
+    "[--min-len=N] [--deadline-ms=N] [--trace]\n"
     "      run a batch of queries concurrently; each line of patterns.txt\n"
     "      is 'PATTERN' or 'KIND PATTERN' with KIND one of findall,\n"
-    "      contains, match, ms\n"
+    "      contains, match, ms; KIND@MS sets a per-line deadline, and\n"
+    "      --deadline-ms sets the default for lines without one\n"
     "  serve <artifact> [--port=N] [--host=ADDR] [--threads=N]\n"
     "        [--queue-cap=N] [--max-inflight=N] [--max-connections=N]\n"
     "        [--cache-mb=M] [--min-len=N] [--trace]\n"
+    "        [--default-deadline-ms=N] [--max-deadline-ms=N]\n"
+    "        [--idle-timeout-ms=N] [--read-timeout-ms=N]\n"
     "      serve queries over TCP: the length-prefixed binary protocol\n"
     "      of core/wire.h with a JSON-lines fallback (docs/SERVING.md);\n"
     "      --port=0 picks an ephemeral port and prints it; SIGTERM or\n"
@@ -116,7 +124,8 @@ constexpr const char* kUsage =
     "exit codes: 0 ok, 1 I/O error, 2 usage error, 3 corruption detected,\n"
     "            4 invalid argument, 5 not found, 6 resource exhausted,\n"
     "            7 precondition/range error, 8 overloaded, 9 protocol\n"
-    "            error (the one table is ExitCode in tools/cli.h)\n";
+    "            error, 10 deadline exceeded, 11 cancelled (the one\n"
+    "            table is ExitCode in tools/cli.h)\n";
 
 // Splits args into positionals and --key=value / --flag options.
 struct ParsedArgs {
@@ -385,8 +394,17 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   Result<std::unique_ptr<core::Index>> index =
       OpenIndex(args, args.positional[0]);
   if (!index.ok()) return Fail(err, index.status());
-  const Query query = Query::FindAll(args.positional[1]);
-  QueryResult result = (*index)->Execute(query);
+  Query query = Query::FindAll(args.positional[1]);
+  query.deadline_ms =
+      static_cast<uint32_t>(OptionU64(args, "deadline-ms").value_or(0));
+  // The single-query path has no engine to pin the budget, so pin it
+  // here: the deadline covers exactly the Execute call.
+  std::optional<CancelToken> cancel;
+  if (query.deadline_ms > 0) {
+    cancel.emplace(Deadline::AfterMs(query.deadline_ms));
+  }
+  QueryResult result =
+      (*index)->Execute(query, nullptr, cancel ? &*cancel : nullptr);
   if (!result.ok()) return FailResult(err, result);
   // The same renderer the batch printer and the serve clients use:
   // one human form per answer, defined once in core/wire.h.
@@ -438,10 +456,14 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   const uint32_t min_len =
       std::max<uint32_t>(1, static_cast<uint32_t>(
                                 OptionU64(args, "min-len").value_or(10)));
+  // Batch-wide default budget; a per-line KIND@MS suffix wins.
+  const uint32_t default_deadline_ms =
+      static_cast<uint32_t>(OptionU64(args, "deadline-ms").value_or(0));
   std::vector<Query> queries;
   std::string line;
   while (std::getline(file, line)) {
     if (std::optional<Query> query = core::wire::ParseQueryText(line, min_len)) {
+      if (query->deadline_ms == 0) query->deadline_ms = default_deadline_ms;
       queries.push_back(*std::move(query));
     }
   }
@@ -474,6 +496,9 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       << " q/s), cache hits " << stats.cache_hits << "/" << stats.queries
       << ", " << stats.search.nodes_checked << " nodes checked";
   if (stats.failed > 0) out << ", " << stats.failed << " FAILED";
+  if (stats.deadline_exceeded > 0) {
+    out << " (" << stats.deadline_exceeded << " deadline-exceeded)";
+  }
   out << "\n";
   return EmitStatsJson(args, out, err, "batch", [&](obs::JsonWriter& json) {
     json.Key("batch");
@@ -490,6 +515,10 @@ int CmdBatch(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     json.Value(stats.failed);
     json.Key("retries");
     json.Value(stats.retries);
+    json.Key("deadline_exceeded");
+    json.Value(stats.deadline_exceeded);
+    json.Key("cancelled");
+    json.Value(stats.cancelled);
     json.Key("seconds");
     json.Value(secs);
     json.Key("threads");
@@ -552,6 +581,19 @@ int CmdServe(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   options.retry_backoff_us = static_cast<uint32_t>(
       OptionU64(args, "retry-backoff-us").value_or(options.retry_backoff_us));
   options.tracing = args.options.count("trace") > 0;
+  options.default_deadline_ms = static_cast<uint32_t>(
+      OptionU64(args, "default-deadline-ms")
+          .value_or(options.default_deadline_ms));
+  options.max_deadline_ms = static_cast<uint32_t>(
+      OptionU64(args, "max-deadline-ms").value_or(options.max_deadline_ms));
+  options.idle_timeout_ms = static_cast<uint32_t>(
+      OptionU64(args, "idle-timeout-ms").value_or(options.idle_timeout_ms));
+  options.read_timeout_ms = static_cast<uint32_t>(
+      OptionU64(args, "read-timeout-ms").value_or(options.read_timeout_ms));
+  options.write_timeout_ms = static_cast<uint32_t>(
+      OptionU64(args, "write-timeout-ms").value_or(options.write_timeout_ms));
+  options.slow_query_ms = static_cast<uint32_t>(
+      OptionU64(args, "slow-query-ms").value_or(options.slow_query_ms));
   if (options.queue_cap == 0 || options.max_inflight == 0 ||
       options.max_connections == 0) {
     return Fail(err, Status::InvalidArgument(
@@ -602,6 +644,12 @@ int CmdServe(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     json.Value(final_stats.shed);
     json.Key("protocol_errors");
     json.Value(final_stats.protocol_errors);
+    json.Key("deadline_exceeded");
+    json.Value(final_stats.deadline_exceeded);
+    json.Key("cancelled");
+    json.Value(final_stats.cancelled);
+    json.Key("idle_closed");
+    json.Value(final_stats.idle_closed);
     json.Key("bytes_in");
     json.Value(final_stats.bytes_in);
     json.Key("bytes_out");

@@ -60,8 +60,10 @@ enum ExitCode : int {
   kExitNotFound = 5,           // kNotFound
   kExitResourceExhausted = 6,  // kResourceExhausted
   kExitPrecondition = 7,       // kFailedPrecondition, kOutOfRange
-  kExitOverloaded = 8,         // kOverloaded (server shed the query)
-  kExitProtocolError = 9,      // kProtocolError (bad wire bytes)
+  kExitOverloaded = 8,          // kOverloaded (server shed the query)
+  kExitProtocolError = 9,       // kProtocolError (bad wire bytes)
+  kExitDeadlineExceeded = 10,   // kDeadlineExceeded (time budget spent)
+  kExitCancelled = 11,          // kCancelled (peer gone / shutdown)
 };
 
 // Maps a Status onto the table above. Usage errors (malformed command

@@ -29,6 +29,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -202,6 +203,13 @@ int FuzzWireFrames(spine::Rng& rng, uint64_t* checks) {
     request.query.pattern = random_pattern(24);
     request.query.min_len = 1 + static_cast<uint32_t>(rng.Below(8));
     request.query.expand_occurrences = rng.Chance(0.5);
+    // Deadlines (PR 7): zero (absent), small, and full-range values all
+    // flow through the round-trip invariants below in both dialects.
+    request.query.deadline_ms =
+        rng.Chance(0.3) ? 0
+        : rng.Chance(0.5)
+            ? 1 + static_cast<uint32_t>(rng.Below(10000))
+            : static_cast<uint32_t>(rng.Next());
     return request;
   };
   const auto random_response = [&] {
@@ -345,6 +353,60 @@ int FuzzWireFrames(spine::Rng& rng, uint64_t* checks) {
         break;
     }
     buffer.remove_prefix(consumed);
+  }
+
+  // --- deadline_ms hostile inputs (PR 7) -----------------------------------
+  // Junk, overflow and zero deadlines must yield either a valid request
+  // (clamped to uint32) or kProtocolError — never UB, never a hang.
+  for (int trial = 0; trial < 3; ++trial) {
+    ++*checks;
+    static const char* kHostileDeadlines[] = {
+        "0",      "4294967295", "4294967296",          "18446744073709551616",
+        "1e300",  "-1",         "-4294967295",         "0.5",
+        "\"5\"",  "null",       "[1]",                 "1e-300",
+    };
+    const char* hostile =
+        kHostileDeadlines[rng.Below(std::size(kHostileDeadlines))];
+    std::string line =
+        "{\"v\":1,\"type\":\"query\",\"id\":1,\"pattern\":\"ACG\","
+        "\"deadline_ms\":";
+    line += hostile;
+    line += "}";
+    auto parsed = wire::ParseRequestJson(line);
+    if (!parsed.ok()) {
+      if (parsed.status().code() != StatusCode::kProtocolError) {
+        return Fail("hostile deadline rejection used '" +
+                        parsed.status().ToString() +
+                        "' instead of kProtocolError",
+                    "", line);
+      }
+    } else if (!request_roundtrips(*parsed)) {
+      return Fail("hostile deadline parsed but does not round-trip", "", line);
+    }
+    // Binary: a pre-deadline (20-byte fixed fields) payload must still
+    // decode — with deadline_ms == 0 — and any other tail length must be
+    // rejected as kProtocolError.
+    wire::QueryRequest request = random_request();
+    std::string bytes;
+    wire::AppendRequestFrame(request, &bytes);
+    wire::Frame frame;
+    size_t consumed = 0;
+    if (!wire::ExtractFrame(bytes, &frame, &consumed).ok()) {
+      return Fail("valid request frame failed to extract", "", "");
+    }
+    std::string payload(frame.payload);
+    std::string old_shape = payload.substr(0, payload.size() - 4);
+    auto old_decoded = wire::DecodeRequest(old_shape);
+    if (!old_decoded.ok() || old_decoded->query.deadline_ms != 0 ||
+        old_decoded->query.pattern != request.query.pattern) {
+      return Fail("pre-deadline request payload no longer decodes", "",
+                  request.query.pattern);
+    }
+    std::string odd_tail = payload + static_cast<char>(rng.Below(256));
+    if (auto odd = wire::DecodeRequest(odd_tail); odd.ok()) {
+      return Fail("request payload with trailing junk decoded silently", "",
+                  request.query.pattern);
+    }
   }
 
   // --- JSON lines: mutate valid encodings, then parse ----------------------
