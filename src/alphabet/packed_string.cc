@@ -10,6 +10,7 @@ PackedString::PackedString(uint32_t bits_per_code) : bits_(bits_per_code) {
 
 void PackedString::Append(Code code) {
   SPINE_DCHECK(bits_ == 8 || code < (1u << bits_));
+  EnsureOwned();
   uint64_t bit_pos = size_ * bits_;
   uint64_t word = bit_pos / 64;
   uint32_t offset = static_cast<uint32_t>(bit_pos % 64);
@@ -27,12 +28,13 @@ void PackedString::Append(Code code) {
 
 Code PackedString::Get(uint64_t index) const {
   SPINE_DCHECK(index < size_);
+  const uint64_t* words = word_data();
   uint64_t bit_pos = index * bits_;
   uint64_t word = bit_pos / 64;
   uint32_t offset = static_cast<uint32_t>(bit_pos % 64);
-  uint64_t value = words_[word] >> offset;
+  uint64_t value = words[word] >> offset;
   if (offset + bits_ > 64) {
-    value |= words_[word + 1] << (64 - offset);
+    value |= words[word + 1] << (64 - offset);
   }
   uint64_t mask = bits_ == 64 ? ~0ull : ((1ull << bits_) - 1);
   return static_cast<Code>(value & mask);
@@ -42,7 +44,26 @@ void PackedString::RestoreFromWords(std::vector<uint64_t> words,
                                     uint64_t size) {
   SPINE_CHECK(words.size() * 64 >= size * bits_);
   words_ = std::move(words);
+  view_ = nullptr;
+  view_words_ = 0;
   size_ = size;
+}
+
+void PackedString::BorrowFromWords(const uint64_t* words, uint64_t word_count,
+                                   uint64_t size) {
+  SPINE_CHECK(word_count * 64 >= size * bits_);
+  SPINE_CHECK(reinterpret_cast<uintptr_t>(words) % alignof(uint64_t) == 0);
+  words_.clear();
+  view_ = words;
+  view_words_ = word_count;
+  size_ = size;
+}
+
+void PackedString::EnsureOwned() {
+  if (view_ == nullptr) return;
+  words_.assign(view_, view_ + view_words_);
+  view_ = nullptr;
+  view_words_ = 0;
 }
 
 }  // namespace spine

@@ -24,17 +24,40 @@ class PackedString {
   uint64_t size() const { return size_; }
   uint32_t bits_per_code() const { return bits_; }
 
-  // Bytes of heap storage used by the packed words.
-  uint64_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+  // Bytes of private heap storage used by the packed words. A borrowed
+  // view costs nothing here: its pages belong to the mapping.
+  uint64_t MemoryBytes() const {
+    return view_ != nullptr ? 0 : words_.size() * sizeof(uint64_t);
+  }
 
-  // Raw word access for serialization.
+  // Raw word access for serialization and the match kernels. Valid in
+  // both owned and borrowed modes; `words()` is only for owned strings
+  // (kernel::EncodedPattern builds its own).
+  const uint64_t* word_data() const {
+    return view_ != nullptr ? view_ : words_.data();
+  }
+  uint64_t word_count() const {
+    return view_ != nullptr ? view_words_ : words_.size();
+  }
   const std::vector<uint64_t>& words() const { return words_; }
+
   void RestoreFromWords(std::vector<uint64_t> words, uint64_t size);
+  // Zero-copy restore: points at `word_count` externally owned words
+  // (an mmap'd image; the caller keeps the mapping alive). The pointer
+  // must be 8-aligned. Append() copies out of the view first.
+  void BorrowFromWords(const uint64_t* words, uint64_t word_count,
+                       uint64_t size);
+  bool borrowed() const { return view_ != nullptr; }
 
  private:
+  // Copies a borrowed view into owned storage; no-op when owned.
+  void EnsureOwned();
+
   uint32_t bits_;
   uint64_t size_ = 0;
   std::vector<uint64_t> words_;
+  const uint64_t* view_ = nullptr;  // non-null => borrowed mode
+  uint64_t view_words_ = 0;
 };
 
 }  // namespace spine

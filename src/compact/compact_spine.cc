@@ -175,7 +175,7 @@ void CompactSpineIndex::AddRib(NodeId node, Code c, NodeId dest, uint32_t pt) {
 
   // Migrate the node's entry from class `klass` to `klass + 1`.
   uint32_t new_class = klass + 1;
-  std::vector<uint8_t>& table = rt_[new_class - 1];
+  auto& table = rt_[new_class - 1];
   uint32_t stride = RtStride(new_class);
   uint32_t slot;
   if (!rt_free_[new_class - 1].empty()) {
@@ -232,7 +232,26 @@ std::optional<CompactSpineIndex::ExtribView> CompactSpineIndex::ExtribAt(
   return ExtribAtInternal(node);
 }
 
+void CompactSpineIndex::EnsureOwnedTables() {
+  if (backing_ == nullptr) return;
+  lt_word_.EnsureOwned();
+  lt_lel_.EnsureOwned();
+  root_rib_dest_.EnsureOwned();
+  for (uint32_t k = 0; k < 4; ++k) {
+    rt_[k].EnsureOwned();
+    rt_free_[k].EnsureOwned();
+  }
+  overflow_.EnsureOwned();
+  // codes_ materializes itself on its first Append; force it here so
+  // the index stops referencing the mapping entirely.
+  std::vector<uint64_t> words(codes_.word_data(),
+                              codes_.word_data() + codes_.word_count());
+  codes_.RestoreFromWords(std::move(words), codes_.size());
+  backing_.reset();
+}
+
 Status CompactSpineIndex::Append(char ch) {
+  EnsureOwnedTables();
   Code c = alphabet_.Encode(ch);
   if (c == kInvalidCode) {
     return Status::InvalidArgument(
@@ -312,7 +331,7 @@ uint32_t CompactSpineIndex::MatchVertebraRun(
   if (limit == 0) return 0;
   const uint32_t bits = codes_.bits_per_code();
   return static_cast<uint32_t>(kernel::MatchRunPacked(
-      codes_.words().data(), codes_.words().size(),
+      codes_.word_data(), codes_.word_count(),
       static_cast<uint64_t>(node) * bits, pattern.packed().words().data(),
       pattern.packed().words().size(),
       static_cast<uint64_t>(pattern_pos) * bits, limit, bits));

@@ -38,6 +38,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -46,6 +47,7 @@
 
 #include "alphabet/alphabet.h"
 #include "alphabet/packed_string.h"
+#include "common/borrow_vec.h"
 #include "common/status.h"
 #include "core/spine_index.h"  // NodeId, StepResult, SearchStats
 
@@ -216,20 +218,31 @@ class CompactSpineIndex {
 
   void PushNode(NodeId dest, uint32_t lel);  // appends the LT entry
 
+  // Copies every borrowed table (and the packed labels) into owned
+  // storage so mutation never writes through a read-only mapping.
+  // Called at the top of Append; a heap-built index pays one branch.
+  void EnsureOwnedTables();
+
   Alphabet alphabet_;
   PackedString codes_;
 
-  std::vector<uint32_t> lt_word_;  // entry 0 (root) unused
-  std::vector<uint16_t> lt_lel_;
+  // Flat tables are BorrowVecs: the heap open path owns them, the mmap
+  // open path points them into the artifact mapping (kept alive by
+  // backing_). The hash maps below are always rebuilt at open.
+  BorrowVec<uint32_t> lt_word_;  // entry 0 (root) unused
+  BorrowVec<uint16_t> lt_lel_;
 
   // Root forward edges: dest per code (PT is always 0 at the root).
-  std::vector<uint32_t> root_rib_dest_;
+  BorrowVec<uint32_t> root_rib_dest_;
 
-  std::array<std::vector<uint8_t>, 4> rt_;        // classes 1..4
-  std::array<std::vector<uint32_t>, 4> rt_free_;  // recycled entry offsets
+  std::array<BorrowVec<uint8_t>, 4> rt_;        // classes 1..4
+  std::array<BorrowVec<uint32_t>, 4> rt_free_;  // recycled entry offsets
   std::unordered_map<uint32_t, BigEntry> rt_big_;
   std::unordered_map<uint32_t, ExtribEntry> extribs_;
-  std::vector<uint32_t> overflow_;  // label overflow values
+  BorrowVec<uint32_t> overflow_;  // label overflow values
+
+  // Keeps the mapped image alive while any table borrows from it.
+  std::shared_ptr<const void> backing_;
 
   uint32_t max_lel_ = 0;
   uint32_t max_pt_ = 0;

@@ -13,7 +13,10 @@ namespace spine {
 
 namespace {
 constexpr uint32_t kGenMagic = 0x53504e47;  // "SPNG"
-constexpr uint32_t kGenVersion = 1;
+// v2: the outer header (boundaries + names) carries its own CRC32C
+// footer, and a zero pad puts the embedded compact image at an
+// 8-aligned file offset so the zero-copy loader can borrow from it.
+constexpr uint32_t kGenVersion = 2;
 }  // namespace
 
 GeneralizedCompactSpine::GeneralizedCompactSpine(const Alphabet& alphabet)
@@ -140,42 +143,47 @@ Status GeneralizedCompactSpine::Save(const std::string& path) const {
   w.Pod<uint64_t>(names_.size());
   for (const std::string& name : names_) {
     w.Pod<uint32_t>(static_cast<uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    w.Bytes(name.data(), name.size());
   }
+  // Close the outer header with its own checksum, padded so the inner
+  // image (self-checksummed) starts at an 8-aligned file offset.
+  w.AlignForFooter8();
+  w.WriteCrcFooter();
   SPINE_RETURN_IF_ERROR(SaveCompactSpineToStream(index_, out));
   out.flush();
   if (!out) return Status::IoError("write failure on " + path);
   return Status::OK();
 }
 
-Result<GeneralizedCompactSpine> GeneralizedCompactSpine::Load(
-    const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open " + path);
-  serde::Reader r(in);
-  uint32_t magic = 0, version = 0, kind = 0;
+namespace {
+
+// The parsed outer header. Shared between the stream and memory open
+// paths (serde::Reader and serde::MapReader expose the same reading
+// interface), so both reach identical verdicts on any byte sequence.
+struct OuterHeader {
+  uint32_t kind = 0;
+  std::vector<uint32_t> boundaries;
+  std::vector<std::string> names;
+};
+
+template <typename R>
+Status ParseOuterHeader(R& r, const std::string& path, OuterHeader* out) {
+  uint32_t magic = 0, version = 0;
   if (!r.Pod(&magic) || magic != kGenMagic) {
     return Status::Corruption("bad generalized-index magic in " + path);
   }
   if (!r.Pod(&version) || version != kGenVersion) {
     return Status::Corruption("unsupported generalized-index version");
   }
-  if (!r.Pod(&kind) || kind > 3 ||
-      kind == static_cast<uint32_t>(Alphabet::Kind::kByte)) {
+  if (!r.Pod(&out->kind) || out->kind > 3 ||
+      out->kind == static_cast<uint32_t>(Alphabet::Kind::kByte)) {
     return Status::Corruption("bad alphabet kind in " + path);
   }
-  Alphabet alphabet = Alphabet::Dna();
-  if (kind == static_cast<uint32_t>(Alphabet::Kind::kProtein)) {
-    alphabet = Alphabet::Protein();
-  } else if (kind == static_cast<uint32_t>(Alphabet::Kind::kAscii)) {
-    alphabet = Alphabet::Ascii();
-  }
-  GeneralizedCompactSpine generalized(alphabet);
-  if (!r.Vec(&generalized.boundaries_)) {
+  if (!r.Vec(&out->boundaries)) {
     return Status::Corruption("truncated boundaries in " + path);
   }
   uint64_t name_count = 0;
-  if (!r.Pod(&name_count) || name_count != generalized.boundaries_.size()) {
+  if (!r.Pod(&name_count) || name_count != out->boundaries.size()) {
     return Status::Corruption("name/boundary count mismatch in " + path);
   }
   for (uint64_t i = 0; i < name_count; ++i) {
@@ -184,13 +192,70 @@ Result<GeneralizedCompactSpine> GeneralizedCompactSpine::Load(
       return Status::Corruption("bad name length in " + path);
     }
     std::string name(length, '\0');
-    in.read(name.data(), length);
-    if (!in.good() && length > 0) {
+    if (length > 0 && !r.Bytes(name.data(), length)) {
       return Status::Corruption("truncated name in " + path);
     }
-    generalized.names_.push_back(std::move(name));
+    out->names.push_back(std::move(name));
   }
+  if (!r.AlignForFooter8()) {
+    return Status::Corruption("bad header padding in " + path);
+  }
+  if (!r.VerifyCrcFooter()) {
+    return Status::Corruption("header checksum mismatch in " + path);
+  }
+  return Status::OK();
+}
+
+Alphabet AlphabetForKind(uint32_t kind) {
+  if (kind == static_cast<uint32_t>(Alphabet::Kind::kProtein)) {
+    return Alphabet::Protein();
+  }
+  if (kind == static_cast<uint32_t>(Alphabet::Kind::kAscii)) {
+    return Alphabet::Ascii();
+  }
+  return Alphabet::Dna();
+}
+
+}  // namespace
+
+Result<GeneralizedCompactSpine> GeneralizedCompactSpine::Load(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  serde::Reader r(in);
+  OuterHeader header;
+  SPINE_RETURN_IF_ERROR(ParseOuterHeader(r, path, &header));
+  GeneralizedCompactSpine generalized(AlphabetForKind(header.kind));
+  generalized.boundaries_ = std::move(header.boundaries);
+  generalized.names_ = std::move(header.names);
   Result<CompactSpineIndex> inner = LoadCompactSpineFromStream(in);
+  if (!inner.ok()) return inner.status();
+  if (inner->alphabet().kind() != Alphabet::Kind::kAscii) {
+    return Status::Corruption("inner index alphabet mismatch in " + path);
+  }
+  if (!generalized.boundaries_.empty() &&
+      generalized.boundaries_.back() != inner->size()) {
+    return Status::Corruption("boundaries inconsistent with index size");
+  }
+  generalized.index_ = std::move(inner).value();
+  return generalized;
+}
+
+Result<GeneralizedCompactSpine> GeneralizedCompactSpine::LoadFromMemory(
+    const uint8_t* data, uint64_t size, bool verify,
+    std::shared_ptr<const void> keepalive) {
+  const std::string path = "<memory>";
+  serde::MapReader r(data, size, /*verify_crc=*/verify);
+  OuterHeader header;
+  SPINE_RETURN_IF_ERROR(ParseOuterHeader(r, path, &header));
+  GeneralizedCompactSpine generalized(AlphabetForKind(header.kind));
+  generalized.boundaries_ = std::move(header.boundaries);
+  generalized.names_ = std::move(header.names);
+  // The inner image starts here, at an 8-aligned offset by
+  // construction; borrow it in place.
+  uint64_t inner_start = r.offset();
+  Result<CompactSpineIndex> inner = LoadCompactSpineFromMemory(
+      data + inner_start, size - inner_start, verify, std::move(keepalive));
   if (!inner.ok()) return inner.status();
   if (inner->alphabet().kind() != Alphabet::Kind::kAscii) {
     return Status::Corruption("inner index alphabet mismatch in " + path);

@@ -13,6 +13,7 @@
 #define SPINE_COMPACT_GENERALIZED_COMPACT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -80,6 +81,16 @@ class GeneralizedCompactSpine {
 
   Status Save(const std::string& path) const;
   static Result<GeneralizedCompactSpine> Load(const std::string& path);
+
+  // Zero-copy variant over an image already in memory (an mmap'd
+  // .spinegen file): the outer header is parsed and copied (it is
+  // tiny), the embedded compact image is borrowed in place via
+  // LoadCompactSpineFromMemory. Same verify semantics and verdicts as
+  // Load. `data` must be 8-aligned; `keepalive` is retained by the
+  // inner index while it borrows from the buffer.
+  static Result<GeneralizedCompactSpine> LoadFromMemory(
+      const uint8_t* data, uint64_t size, bool verify,
+      std::shared_ptr<const void> keepalive);
 
  private:
   bool MapPosition(uint32_t global, Hit* hit) const;

@@ -18,6 +18,13 @@ QueryResult UnsupportedKindResult(std::string_view backend, QueryKind kind) {
   return result;
 }
 
+QueryResult MappingFenceResult(const Status& fence) {
+  QueryResult result;
+  result.status_code = fence.code();
+  result.error = std::string(fence.message());
+  return result;
+}
+
 namespace {
 
 // The same left-to-right decay GenericMatchingStatistics uses to turn

@@ -37,6 +37,7 @@
 #include "dawg/compact_dawg.h"
 #include "storage/disk_spine.h"
 #include "storage/disk_suffix_tree.h"
+#include "storage/mmap_region.h"
 #include "storage/page_file.h"
 #include "suffix_tree/suffix_tree.h"
 
@@ -45,6 +46,12 @@ namespace spine::core {
 // A query-kind-unsupported error result (never a silently empty
 // answer); shared by the adapters and shard::ShardedIndex.
 QueryResult UnsupportedKindResult(std::string_view backend, QueryKind kind);
+
+// A kIoError result for a query admitted after the artifact's mapping
+// fence tripped (the file shrank under the mapping; see
+// storage/mmap_region.h). Shared by the mmap-opened adapters and
+// shard::ShardedIndex.
+QueryResult MappingFenceResult(const Status& fence);
 
 class SpineIndexAdapter final : public Index {
  public:
@@ -75,6 +82,14 @@ class CompactSpineAdapter final : public Index {
       : index_(&index) {}
   explicit CompactSpineAdapter(CompactSpineIndex&& index)
       : owned_(std::move(index)), index_(&*owned_) {}
+  // Zero-copy open: the index borrows its tables from `mapping`; every
+  // query admission checks the length fence first so a shrunk artifact
+  // surfaces as a clean kIoError, never SIGBUS.
+  CompactSpineAdapter(CompactSpineIndex&& index,
+                      std::shared_ptr<const storage::MmapRegion> mapping)
+      : owned_(std::move(index)),
+        index_(&*owned_),
+        mapping_(std::move(mapping)) {}
 
   IndexKind kind() const override { return IndexKind::kCompactSpine; }
   Capabilities capabilities() const override {
@@ -88,9 +103,18 @@ class CompactSpineAdapter final : public Index {
   QueryResult Execute(const Query& query,
                       obs::TraceContext* trace = nullptr,
                       const CancelToken* cancel = nullptr) const override {
+    if (mapping_ != nullptr) {
+      Status fence = mapping_->CheckFence();
+      if (!fence.ok()) return MappingFenceResult(fence);
+    }
     return ExecuteQuery(*index_, query, trace, cancel);
   }
-  Status VerifyStructure() const override { return index_->Validate(); }
+  Status VerifyStructure() const override {
+    if (mapping_ != nullptr) {
+      SPINE_RETURN_IF_ERROR(mapping_->CheckFence());
+    }
+    return index_->Validate();
+  }
   uint64_t MemoryBytes() const override { return index_->MemoryBytes(); }
 
   const CompactSpineIndex& backend() const { return *index_; }
@@ -98,6 +122,7 @@ class CompactSpineAdapter final : public Index {
  private:
   std::optional<CompactSpineIndex> owned_;
   const CompactSpineIndex* index_;
+  std::shared_ptr<const storage::MmapRegion> mapping_;
 };
 
 // Queries run against the concatenated underlying index, so hit
@@ -139,6 +164,12 @@ class GeneralizedCompactAdapter final : public Index {
       : index_(&index) {}
   explicit GeneralizedCompactAdapter(GeneralizedCompactSpine&& index)
       : owned_(std::move(index)), index_(&*owned_) {}
+  // Zero-copy open (see CompactSpineAdapter).
+  GeneralizedCompactAdapter(GeneralizedCompactSpine&& index,
+                            std::shared_ptr<const storage::MmapRegion> mapping)
+      : owned_(std::move(index)),
+        index_(&*owned_),
+        mapping_(std::move(mapping)) {}
 
   IndexKind kind() const override { return IndexKind::kGeneralizedCompact; }
   Capabilities capabilities() const override {
@@ -153,9 +184,16 @@ class GeneralizedCompactAdapter final : public Index {
   QueryResult Execute(const Query& query,
                       obs::TraceContext* trace = nullptr,
                       const CancelToken* cancel = nullptr) const override {
+    if (mapping_ != nullptr) {
+      Status fence = mapping_->CheckFence();
+      if (!fence.ok()) return MappingFenceResult(fence);
+    }
     return ExecuteQuery(index_->underlying(), query, trace, cancel);
   }
   Status VerifyStructure() const override {
+    if (mapping_ != nullptr) {
+      SPINE_RETURN_IF_ERROR(mapping_->CheckFence());
+    }
     return index_->underlying().Validate();
   }
   uint64_t MemoryBytes() const override {
@@ -167,6 +205,7 @@ class GeneralizedCompactAdapter final : public Index {
  private:
   std::optional<GeneralizedCompactSpine> owned_;
   const GeneralizedCompactSpine* index_;
+  std::shared_ptr<const storage::MmapRegion> mapping_;
 };
 
 class DiskSpineAdapter final : public Index {

@@ -1,6 +1,10 @@
 #include "core/index.h"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
 
 namespace spine::core {
 
@@ -15,5 +19,45 @@ uint64_t NextIndexCacheId() {
 }
 
 Index::Index() : cache_id_(NextIndexCacheId()) {}
+
+Result<OpenOptions> ParseOpenSpec(std::string_view spec) {
+  OpenOptions options;
+  if (spec == "heap") return options;
+  if (spec == "mmap") {
+    options.mode = OpenMode::kMmap;
+    return options;
+  }
+  if (spec == "mmap-noverify") {
+    options.mode = OpenMode::kMmap;
+    options.verify = false;
+    return options;
+  }
+  return Status::InvalidArgument("unknown open mode '" + std::string(spec) +
+                                 "' (expected heap, mmap or mmap-noverify)");
+}
+
+std::string_view OpenOptionsName(const OpenOptions& options) {
+  if (options.mode == OpenMode::kHeap) return "heap";
+  return options.verify ? "mmap" : "mmap-noverify";
+}
+
+OpenOptions DefaultOpenOptions() {
+  // Resolved once: the env var is process configuration, not a per-open
+  // knob (per-open choice is what the OpenOptions parameter is for).
+  static const OpenOptions resolved = [] {
+    OpenOptions options;
+    const char* spec = std::getenv("SPINE_OPEN");
+    if (spec == nullptr || spec[0] == '\0') return options;
+    Result<OpenOptions> parsed = ParseOpenSpec(spec);
+    if (!parsed.ok()) {
+      std::fprintf(stderr,
+                   "spine: ignoring invalid SPINE_OPEN=%s (%s); using heap\n",
+                   spec, parsed.status().message().c_str());
+      return options;
+    }
+    return *parsed;
+  }();
+  return resolved;
+}
 
 }  // namespace spine::core

@@ -65,6 +65,41 @@ constexpr std::string_view IndexKindName(IndexKind kind) {
   return "unknown";
 }
 
+// How an on-disk artifact is materialized at open time.
+//
+// kHeap reads the image into private memory (every byte copied and
+// verified up front). kMmap maps the artifact and serves straight from
+// the page cache: compact images borrow their tables from the mapping
+// (zero copy, O(small) open), paged backends route their page reads
+// through storage::MmapIoBackend. Built-in-memory indexes have no open
+// mode; Index::open_mode() reports "built" for them.
+enum class OpenMode : uint8_t {
+  kHeap = 0,
+  kMmap = 1,
+};
+
+struct OpenOptions {
+  OpenMode mode = OpenMode::kHeap;
+  // mmap only: verify the whole-image checksum and structural
+  // invariants at open, exactly as the heap path always does (both
+  // paths then reach identical verdicts on any artifact). false skips
+  // both — bounds/geometry checks only — for artifact-size-independent
+  // open cost on trusted images. Ignored by the heap path.
+  bool verify = true;
+};
+
+// Parses an open spec: "heap", "mmap" or "mmap-noverify" (the
+// vocabulary of --open= and $SPINE_OPEN). kInvalidArgument otherwise.
+Result<OpenOptions> ParseOpenSpec(std::string_view spec);
+
+// The spec name for `options` ("heap" / "mmap" / "mmap-noverify").
+std::string_view OpenOptionsName(const OpenOptions& options);
+
+// Process default: $SPINE_OPEN when set and valid, else heap.
+// Infallible — an invalid value warns once on stderr and falls back to
+// heap (a misspelled env var must not take the serving fleet down).
+OpenOptions DefaultOpenOptions();
+
 constexpr uint8_t QueryKindBit(QueryKind kind) {
   return static_cast<uint8_t>(1u << static_cast<uint8_t>(kind));
 }
@@ -150,8 +185,16 @@ class Index {
   // construction from a monotone counter (never 0, never reused).
   uint64_t cache_id() const { return cache_id_; }
 
+  // How this index came to be: "built" (constructed in memory), or the
+  // open spec the registry used ("heap" / "mmap" / "mmap-noverify").
+  // Surfaced in `spine stats --json` and the server's stats snapshot.
+  std::string_view open_mode() const { return open_mode_; }
+  // Set by BackendRegistry::Open/OpenAs right after a successful open.
+  void set_open_mode(std::string_view mode) { open_mode_ = mode; }
+
  private:
   const uint64_t cache_id_;
+  std::string_view open_mode_ = "built";  // always a string literal
 };
 
 // Issues the next process-unique cache id (what the Index constructor

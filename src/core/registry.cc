@@ -8,6 +8,7 @@
 #include "compact/serializer.h"
 #include "core/adapters.h"
 #include "shard/sharded_index.h"
+#include "storage/mmap_region.h"
 
 namespace spine::core {
 
@@ -18,7 +19,18 @@ constexpr uint32_t kGeneralizedMagic = 0x53504e47; // "SPNG"
 constexpr uint32_t kDiskSpineMeta = 0x5350444d;    // "SPDM"
 constexpr uint32_t kDiskTreeMeta = 0x53544d44;     // "STMD"
 
-Result<std::unique_ptr<Index>> OpenCompact(const std::string& path) {
+Result<std::unique_ptr<Index>> OpenCompact(const std::string& path,
+                                           const OpenOptions& options) {
+  if (options.mode == OpenMode::kMmap) {
+    Result<std::shared_ptr<storage::MmapRegion>> region =
+        storage::MmapRegion::Map(path);
+    if (!region.ok()) return region.status();
+    Result<CompactSpineIndex> index = LoadCompactSpineFromMemory(
+        (*region)->data(), (*region)->size(), options.verify, *region);
+    if (!index.ok()) return index.status();
+    return std::unique_ptr<Index>(
+        new CompactSpineAdapter(std::move(*index), std::move(*region)));
+  }
   Result<CompactSpineIndex> index = LoadCompactSpine(path);
   if (!index.ok()) return index.status();
   return std::unique_ptr<Index>(
@@ -26,30 +38,52 @@ Result<std::unique_ptr<Index>> OpenCompact(const std::string& path) {
 }
 
 Result<std::unique_ptr<Index>> OpenGeneralizedCompact(
-    const std::string& path) {
+    const std::string& path, const OpenOptions& options) {
+  if (options.mode == OpenMode::kMmap) {
+    Result<std::shared_ptr<storage::MmapRegion>> region =
+        storage::MmapRegion::Map(path);
+    if (!region.ok()) return region.status();
+    Result<GeneralizedCompactSpine> index =
+        GeneralizedCompactSpine::LoadFromMemory(
+            (*region)->data(), (*region)->size(), options.verify, *region);
+    if (!index.ok()) return index.status();
+    return std::unique_ptr<Index>(
+        new GeneralizedCompactAdapter(std::move(*index), std::move(*region)));
+  }
   Result<GeneralizedCompactSpine> index = GeneralizedCompactSpine::Load(path);
   if (!index.ok()) return index.status();
   return std::unique_ptr<Index>(
       new GeneralizedCompactAdapter(std::move(*index)));
 }
 
-Result<std::unique_ptr<Index>> OpenDiskSpine(const std::string& path) {
+Result<std::unique_ptr<Index>> OpenDiskSpine(const std::string& path,
+                                             const OpenOptions& options) {
+  storage::DiskSpine::Options disk_options;
+  if (options.mode == OpenMode::kMmap) {
+    disk_options.backend = storage::MmapIoBackend();
+  }
   Result<std::unique_ptr<storage::DiskSpine>> index =
-      storage::DiskSpine::Open(path, {});
+      storage::DiskSpine::Open(path, disk_options);
   if (!index.ok()) return index.status();
   return std::unique_ptr<Index>(new DiskSpineAdapter(std::move(*index)));
 }
 
-Result<std::unique_ptr<Index>> OpenDiskSuffixTree(const std::string& path) {
+Result<std::unique_ptr<Index>> OpenDiskSuffixTree(const std::string& path,
+                                                  const OpenOptions& options) {
+  storage::DiskSuffixTree::Options tree_options;
+  if (options.mode == OpenMode::kMmap) {
+    tree_options.backend = storage::MmapIoBackend();
+  }
   Result<std::unique_ptr<storage::DiskSuffixTree>> tree =
-      storage::DiskSuffixTree::Open(path, {});
+      storage::DiskSuffixTree::Open(path, tree_options);
   if (!tree.ok()) return tree.status();
   return std::unique_ptr<Index>(new DiskSuffixTreeAdapter(std::move(*tree)));
 }
 
-Result<std::unique_ptr<Index>> OpenSharded(const std::string& path) {
+Result<std::unique_ptr<Index>> OpenSharded(const std::string& path,
+                                           const OpenOptions& options) {
   Result<std::unique_ptr<shard::ShardedIndex>> index =
-      shard::ShardedIndex::Load(path);
+      shard::ShardedIndex::Load(path, options);
   if (!index.ok()) return index.status();
   return std::unique_ptr<Index>(std::move(*index));
 }
@@ -120,8 +154,20 @@ Result<uint32_t> BackendRegistry::SniffMagic(const std::string& path) {
   return magic;
 }
 
+namespace {
+
+// Every successful open reports the spec it used, so `spine stats` and
+// the server snapshot can tell a heap copy from a live mapping.
+Result<std::unique_ptr<Index>> Stamp(Result<std::unique_ptr<Index>> opened,
+                                     const OpenOptions& options) {
+  if (opened.ok()) (*opened)->set_open_mode(OpenOptionsName(options));
+  return opened;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<Index>> BackendRegistry::Open(
-    const std::string& path) const {
+    const std::string& path, const OpenOptions& options) const {
   Result<uint32_t> magic = SniffMagic(path);
   if (!magic.ok()) return magic.status();
 
@@ -139,7 +185,7 @@ Result<std::unique_ptr<Index>> BackendRegistry::Open(
     }
     for (const BackendInfo& info : backends_) {
       if (info.file_magic == kPageFileMagic && info.meta_magic == *meta) {
-        return info.open(path);
+        return Stamp(info.open(path, options), options);
       }
     }
     return Status::Corruption("unrecognized metadata magic in " + path +
@@ -149,7 +195,7 @@ Result<std::unique_ptr<Index>> BackendRegistry::Open(
   for (const BackendInfo& info : backends_) {
     if (info.file_magic != 0 && info.file_magic == *magic &&
         info.meta_magic == 0) {
-      return info.open(path);
+      return Stamp(info.open(path, options), options);
     }
   }
   return Status::Corruption(
@@ -158,7 +204,8 @@ Result<std::unique_ptr<Index>> BackendRegistry::Open(
 }
 
 Result<std::unique_ptr<Index>> BackendRegistry::OpenAs(
-    std::string_view name, const std::string& path) const {
+    std::string_view name, const std::string& path,
+    const OpenOptions& options) const {
   const BackendInfo* info = FindByName(name);
   if (info == nullptr) {
     return Status::InvalidArgument("unknown backend '" + std::string(name) +
@@ -168,7 +215,7 @@ Result<std::unique_ptr<Index>> BackendRegistry::OpenAs(
     return Status::InvalidArgument("backend '" + std::string(name) +
                                    "' has no on-disk artifact to open");
   }
-  return info->open(path);
+  return Stamp(info->open(path, options), options);
 }
 
 }  // namespace spine::core

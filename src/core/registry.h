@@ -46,9 +46,11 @@ struct BackendInfo {
   uint32_t meta_magic = 0;
   // One-line artifact description (used by `spine verify`).
   std::string_view artifact;
-  // Opens the artifact at `path`; null for backends that are built in
-  // memory rather than reopened from disk.
-  Result<std::unique_ptr<Index>> (*open)(const std::string& path) = nullptr;
+  // Opens the artifact at `path` the way `options` asks (heap copy or
+  // zero-copy mmap); null for backends that are built in memory rather
+  // than reopened from disk.
+  Result<std::unique_ptr<Index>> (*open)(const std::string& path,
+                                         const OpenOptions& options) = nullptr;
 };
 
 class BackendRegistry {
@@ -72,13 +74,25 @@ class BackendRegistry {
   // Opens the artifact at `path`, choosing the backend by sniffing the
   // leading magic (and the sidecar magic for page files). Unrecognized
   // or truncated magic is kCorruption; a missing file is kIoError.
-  Result<std::unique_ptr<Index>> Open(const std::string& path) const;
+  // `options` picks the open path (heap copy vs zero-copy mmap); the
+  // one-argument overload uses DefaultOpenOptions() ($SPINE_OPEN).
+  // The returned index reports the spec via Index::open_mode().
+  Result<std::unique_ptr<Index>> Open(const std::string& path,
+                                      const OpenOptions& options) const;
+  Result<std::unique_ptr<Index>> Open(const std::string& path) const {
+    return Open(path, DefaultOpenOptions());
+  }
 
   // Opens `path` as the named backend, bypassing the sniff (the
   // --backend= escape hatch). Unknown names and backends without an
   // open function are kInvalidArgument.
   Result<std::unique_ptr<Index>> OpenAs(std::string_view name,
-                                        const std::string& path) const;
+                                        const std::string& path,
+                                        const OpenOptions& options) const;
+  Result<std::unique_ptr<Index>> OpenAs(std::string_view name,
+                                        const std::string& path) const {
+    return OpenAs(name, path, DefaultOpenOptions());
+  }
 
  private:
   BackendRegistry();

@@ -185,6 +185,7 @@ class ScopedTimerUs {
 
 #define SPINE_OBS_COUNT(name, delta) ((void)0)
 #define SPINE_OBS_GAUGE_SET(name, value) ((void)0)
+#define SPINE_OBS_GAUGE_ADD(name, delta) ((void)0)
 #define SPINE_OBS_OBSERVE_US(name, value) ((void)0)
 #define SPINE_OBS_SCOPED_TIMER_US(name)
 
@@ -202,6 +203,13 @@ class ScopedTimerUs {
     static ::spine::obs::Gauge& spine_obs_gauge_ =                 \
         ::spine::obs::Registry::Default().GetGauge(name);          \
     spine_obs_gauge_.Set(value);                                   \
+  } while (false)
+
+#define SPINE_OBS_GAUGE_ADD(name, delta)                           \
+  do {                                                             \
+    static ::spine::obs::Gauge& spine_obs_gauge_ =                 \
+        ::spine::obs::Registry::Default().GetGauge(name);          \
+    spine_obs_gauge_.Add(delta);                                   \
   } while (false)
 
 #define SPINE_OBS_OBSERVE_US(name, value)                          \

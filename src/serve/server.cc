@@ -226,6 +226,8 @@ std::string Server::StatsJson() const {
   json.BeginObject();
   json.Key("backend");
   json.Value(index_.Name());
+  json.Key("open_mode");
+  json.Value(index_.open_mode());
   json.Key("characters");
   json.Value(index_.size());
   json.Key("connections_accepted");

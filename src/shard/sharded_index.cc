@@ -149,6 +149,17 @@ QueryResult ShardedIndex::Execute(const Query& query,
   trace = nullptr;
 #endif
   obs::SpanTimer exec_timer(trace, "exec_us");
+  // Mapped families fence first: a shrunk shard file must surface as a
+  // clean kIoError, never as a SIGBUS inside a walk.
+  {
+    Status fence = CheckMappingFence();
+    if (!fence.ok()) {
+      QueryResult failed;
+      failed.status_code = fence.code();
+      failed.error = std::string(fence.message());
+      return failed;
+    }
+  }
   // Admission: a longer pattern could straddle a shard boundary without
   // any shard seeing it whole, for every query kind (matching
   // statistics are only exact while no match can exceed the margin).
@@ -317,7 +328,17 @@ QueryResult ShardedIndex::ExecuteMaximalMatches(
   return result;
 }
 
+Status ShardedIndex::CheckMappingFence() const {
+  for (const std::shared_ptr<const storage::MmapRegion>& mapping : mappings_) {
+    Status fence = mapping->CheckFence();
+    if (!fence.ok()) return fence;
+  }
+  return Status::OK();
+}
+
 Status ShardedIndex::VerifyStructure() const {
+  Status fence = CheckMappingFence();
+  if (!fence.ok()) return fence;
   if (shards_.empty()) {
     return Status::Corruption("sharded family has no shards");
   }
@@ -420,7 +441,7 @@ Status ShardedIndex::Save(const std::string& path) const {
 }
 
 Result<std::unique_ptr<ShardedIndex>> ShardedIndex::Load(
-    const std::string& path) {
+    const std::string& path, const core::OpenOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IoError("cannot open " + path + ": " +
@@ -498,19 +519,44 @@ Result<std::unique_ptr<ShardedIndex>> ShardedIndex::Load(
   for (uint32_t i = 0; i < shards; ++i) {
     const std::string shard_path =
         dir.empty() ? names[i] : dir + "/" + names[i];
-    Result<std::string> bytes = ReadFileBytes(shard_path);
-    if (!bytes.ok()) return bytes.status();
-    if (bytes->size() != sizes[i]) {
-      return Status::Corruption(
-          shard_path + ": size mismatch (manifest says " +
-          std::to_string(sizes[i]) + " bytes, file has " +
-          std::to_string(bytes->size()) + ")");
+    Result<CompactSpineIndex> index = Status::OK();
+    if (options.mode == core::OpenMode::kMmap) {
+      // Zero-copy: map the shard image and borrow its tables. The
+      // whole-file CRC pass (the only full read) is skipped with
+      // verify=false, keeping open cost independent of shard size.
+      Result<std::shared_ptr<storage::MmapRegion>> region =
+          storage::MmapRegion::Map(shard_path);
+      if (!region.ok()) return region.status();
+      if ((*region)->size() != sizes[i]) {
+        return Status::Corruption(
+            shard_path + ": size mismatch (manifest says " +
+            std::to_string(sizes[i]) + " bytes, file has " +
+            std::to_string((*region)->size()) + ")");
+      }
+      if (options.verify &&
+          Crc32c((*region)->data(), (*region)->size()) != crcs[i]) {
+        return Status::Corruption(shard_path +
+                                  ": shard file checksum mismatch");
+      }
+      index = LoadCompactSpineFromMemory((*region)->data(), (*region)->size(),
+                                         options.verify, *region);
+      if (index.ok()) family->mappings_.push_back(std::move(*region));
+    } else {
+      Result<std::string> bytes = ReadFileBytes(shard_path);
+      if (!bytes.ok()) return bytes.status();
+      if (bytes->size() != sizes[i]) {
+        return Status::Corruption(
+            shard_path + ": size mismatch (manifest says " +
+            std::to_string(sizes[i]) + " bytes, file has " +
+            std::to_string(bytes->size()) + ")");
+      }
+      if (Crc32c(bytes->data(), bytes->size()) != crcs[i]) {
+        return Status::Corruption(shard_path +
+                                  ": shard file checksum mismatch");
+      }
+      std::istringstream stream(*bytes);
+      index = LoadCompactSpineFromStream(stream);
     }
-    if (Crc32c(bytes->data(), bytes->size()) != crcs[i]) {
-      return Status::Corruption(shard_path + ": shard file checksum mismatch");
-    }
-    std::istringstream stream(*bytes);
-    Result<CompactSpineIndex> index = LoadCompactSpineFromStream(stream);
     if (!index.ok()) {
       return Status(index.status().code(),
                     shard_path + ": " +

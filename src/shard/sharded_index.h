@@ -49,6 +49,7 @@
 #include "common/status.h"
 #include "compact/compact_spine.h"
 #include "core/index.h"
+#include "storage/mmap_region.h"
 
 namespace spine::shard {
 
@@ -90,8 +91,14 @@ class ShardedIndex final : public core::Index {
 
   // Reopens a family saved by Save. Verifies the manifest CRC, every
   // shard file's size + whole-file CRC32C, and the split geometry;
-  // any mismatch is kCorruption.
-  static Result<std::unique_ptr<ShardedIndex>> Load(const std::string& path);
+  // any mismatch is kCorruption. Under OpenMode::kMmap every shard
+  // image is mapped and its tables borrowed from the mapping (the
+  // manifest itself is small and always read eagerly); per-shard CRC
+  // and structural validation are skipped when options.verify is
+  // false. Every query then passes the length fence of all shard
+  // mappings before touching mapped bytes.
+  static Result<std::unique_ptr<ShardedIndex>> Load(
+      const std::string& path, const core::OpenOptions& options = {});
 
   // --- core::Index ---------------------------------------------------------
 
@@ -142,11 +149,20 @@ class ShardedIndex final : public core::Index {
                                             SearchStats* stats,
                                             const CancelToken* cancel) const;
 
+  // kIoError when any shard mapping's backing file shrank below its
+  // mapped length (storage::MmapRegion::CheckFence); OK for heap-loaded
+  // families (no mappings to fence).
+  Status CheckMappingFence() const;
+
   Alphabet alphabet_;
   uint64_t n_ = 0;
   uint32_t max_pattern_ = 0;
   std::vector<ShardInfo> infos_;
   std::vector<CompactSpineIndex> shards_;
+  // One region per shard when the family was opened with
+  // OpenMode::kMmap (shards_[i] borrows from mappings_[i]); empty on
+  // the heap path.
+  std::vector<std::shared_ptr<const storage::MmapRegion>> mappings_;
 };
 
 }  // namespace spine::shard

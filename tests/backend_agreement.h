@@ -16,6 +16,7 @@
 
 #include "compact/compact_spine.h"
 #include "compact/generalized_compact.h"
+#include "compact/serializer.h"
 #include "core/adapters.h"
 #include "core/generalized_spine.h"
 #include "core/index.h"
@@ -144,6 +145,120 @@ class BackendFleet {
   bool ok_ = false;
   std::string error_;
 };
+
+// --- Differential open-path harness (PR 8) -------------------------------
+//
+// The mmap open path must be *observationally identical* to the heap
+// path: same answers, same error verdicts, and same work counters (the
+// walks execute the same steps whether the tables live in private
+// memory or in a mapping). These helpers save one artifact per
+// persistent backend kind, reopen each through the registry under any
+// open spec, and compare result streams field by field.
+
+// One saved artifact the registry can reopen, tagged with its backend
+// name for failure messages.
+struct PersistentArtifact {
+  std::string path;
+  std::string name;
+};
+
+// Builds and saves every persistent artifact kind over `corpus` into
+// `dir`: compact image, generalized compact image, disk spine page
+// file, disk suffix tree page file, and a 3-shard family manifest.
+// Returns false (with `error` set) on any build/save failure.
+inline bool SavePersistentArtifacts(const Alphabet& alphabet,
+                                    const std::string& corpus,
+                                    const ScopedTempDir& dir,
+                                    std::vector<PersistentArtifact>* artifacts,
+                                    std::string* error) {
+  artifacts->clear();
+  {
+    CompactSpineIndex compact(alphabet);
+    Status status = compact.AppendString(corpus);
+    if (status.ok()) status = SaveCompactSpine(compact, dir.File("diff.spine"));
+    if (!status.ok()) {
+      *error = "compact: " + status.ToString();
+      return false;
+    }
+    artifacts->push_back({dir.File("diff.spine"), "compact"});
+  }
+  {
+    GeneralizedCompactSpine generalized(alphabet);
+    Status status = generalized.AddString(corpus, "seq0");
+    if (status.ok()) status = generalized.Save(dir.File("diff.spineg"));
+    if (!status.ok()) {
+      *error = "generalized-compact: " + status.ToString();
+      return false;
+    }
+    artifacts->push_back({dir.File("diff.spineg"), "generalized-compact"});
+  }
+  {
+    auto disk = storage::DiskSpine::Create(alphabet, dir.File("diff.disk"), {});
+    Status status = disk.status();
+    if (status.ok()) status = (*disk)->AppendString(corpus);
+    if (status.ok()) status = (*disk)->Checkpoint();
+    if (!status.ok()) {
+      *error = "disk: " + status.ToString();
+      return false;
+    }
+    artifacts->push_back({dir.File("diff.disk"), "disk"});
+  }
+  {
+    auto tree =
+        storage::DiskSuffixTree::Create(alphabet, dir.File("diff.st"), {});
+    Status status = tree.status();
+    if (status.ok()) status = (*tree)->AppendString(corpus);
+    if (status.ok()) status = (*tree)->Checkpoint();
+    if (!status.ok()) {
+      *error = "disk-st: " + status.ToString();
+      return false;
+    }
+    artifacts->push_back({dir.File("diff.st"), "disk-st"});
+  }
+  {
+    auto family = shard::ShardedIndex::Build(alphabet, corpus,
+                                             {.shards = 3, .max_pattern = 128});
+    Status status = family.status();
+    if (status.ok()) status = (*family)->Save(dir.File("diff.spinefam"));
+    if (!status.ok()) {
+      *error = "sharded: " + status.ToString();
+      return false;
+    }
+    artifacts->push_back({dir.File("diff.spinefam"), "sharded"});
+  }
+  return true;
+}
+
+// Runs `queries` through a fresh engine (no cache, so every answer is
+// executed, never served from a hit) on one index.
+inline std::vector<QueryResult> RunBatch(
+    const core::Index& index, const std::vector<Query>& queries) {
+  engine::QueryEngine engine({.threads = 2, .cache_bytes = 0});
+  return engine.ExecuteBatch(index, queries);
+}
+
+// Checks two result streams identical *including* the SearchStats work
+// counters — the property that makes the two open paths substitutable
+// byte for byte, not merely answer-equivalent.
+inline void ExpectIdenticalResults(const std::vector<QueryResult>& expected,
+                                   const std::vector<QueryResult>& actual,
+                                   const std::vector<Query>& queries,
+                                   const std::string& tag) {
+  ASSERT_EQ(expected.size(), actual.size()) << tag;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(actual[i].SameAnswer(expected[i]))
+        << tag << ": answers diverge on query " << i << " (kind "
+        << QueryKindName(queries[i].kind) << ", pattern \""
+        << queries[i].pattern << "\")";
+    EXPECT_EQ(actual[i].stats.nodes_checked, expected[i].stats.nodes_checked)
+        << tag << ": nodes_checked diverges on query " << i;
+    EXPECT_EQ(actual[i].stats.link_traversals,
+              expected[i].stats.link_traversals)
+        << tag << ": link_traversals diverges on query " << i;
+    EXPECT_EQ(actual[i].stats.chain_hops, expected[i].stats.chain_hops)
+        << tag << ": chain_hops diverges on query " << i;
+  }
+}
 
 // Runs the batch through the engine on every index and checks each
 // backend's answers byte-identical to slot 0 (the oracle) for every

@@ -433,6 +433,67 @@ TEST(CliTest, VerifyDetectsBitFlippedImageWithExitCode3) {
   EXPECT_EQ(RunCli({"verify", garbage}).code, 3);
 }
 
+// --open=mmap threads through every artifact-opening command (PR 8):
+// same answers, same exit codes, and the open mode is reported.
+TEST(CliTest, OpenFlagSelectsMmapPathWithIdenticalBehavior) {
+  const std::string fasta = TempPath("cli_mmap.fa");
+  const std::string index = TempPath("cli_mmap.spine");
+  WriteFile(fasta, ">seq\nACGTACGGTACGTTACGATTACGTACGGT\n");
+  ASSERT_EQ(RunCli({"build", fasta, index}).code, 0);
+
+  // A healthy artifact verifies under every open path.
+  for (const char* spec :
+       {"--open=heap", "--open=mmap", "--open=mmap-noverify"}) {
+    CliResult verify = RunCli({"verify", index, spec});
+    EXPECT_EQ(verify.code, 0) << spec << ": " << verify.err;
+  }
+  // Query output is byte-identical across open paths.
+  CliResult heap_query = RunCli({"query", index, "ACGT"});
+  CliResult mmap_query = RunCli({"query", index, "ACGT", "--open=mmap"});
+  ASSERT_EQ(heap_query.code, 0);
+  ASSERT_EQ(mmap_query.code, 0);
+  EXPECT_EQ(heap_query.out, mmap_query.out);
+  // The stats snapshot names the open path that produced it.
+  CliResult stats = RunCli({"stats", index, "--open=mmap", "--json"});
+  ASSERT_EQ(stats.code, 0) << stats.err;
+  EXPECT_NE(stats.out.find("\"open_mode\":\"mmap\""), std::string::npos)
+      << stats.out;
+  // A bad spec is rejected up front, before touching the artifact.
+  EXPECT_EQ(RunCli({"verify", index, "--open=mmap-eager"}).code, 4);
+  EXPECT_EQ(RunCli({"query", index, "ACGT", "--open="}).code, 4);
+}
+
+TEST(CliTest, VerifyOpenMmapKeepsTheExitCodeContract) {
+  const std::string fasta = TempPath("cli_mmap_bad.fa");
+  const std::string index = TempPath("cli_mmap_bad.spine");
+  WriteFile(fasta, ">seq\nACGTACGGTACGTTACGATTACGT\n");
+  ASSERT_EQ(RunCli({"build", fasta, index}).code, 0);
+  EXPECT_EQ(RunCli({"verify", index, "--open=mmap"}).code, 0);
+
+  // Missing file stays an I/O error under mmap.
+  EXPECT_EQ(RunCli({"verify", "/nonexistent.spine", "--open=mmap"}).code, 1);
+
+  // Bit-flipped payload: the mapped CRC pass catches it, exit 3.
+  std::string image;
+  {
+    std::ifstream in(index, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    image = buf.str();
+  }
+  ASSERT_GT(image.size(), 40u);
+  std::string flipped = image;
+  flipped[flipped.size() / 2] =
+      static_cast<char>(flipped[flipped.size() / 2] ^ 0x10);
+  WriteFile(index, flipped);
+  CliResult verify = RunCli({"verify", index, "--open=mmap"});
+  EXPECT_EQ(verify.code, 3) << verify.out << verify.err;
+
+  // Truncation is caught on the mmap path too.
+  WriteFile(index, image.substr(0, image.size() / 2));
+  EXPECT_EQ(RunCli({"verify", index, "--open=mmap"}).code, 3);
+}
+
 // The exit-code table (ExitCode in cli.h) is a stable contract: every
 // StatusCode maps to exactly the documented number, including the
 // serving-layer codes. Scripts match on these, so a renumbering must

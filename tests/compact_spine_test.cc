@@ -13,12 +13,17 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "common/rng.h"
 #include "compact/serializer.h"
+#include "core/adapters.h"
+#include "core/registry.h"
 #include "kernel/kernel.h"
 #include "core/spine_index.h"
 #include "naive/naive_index.h"
 #include "seq/generator.h"
+#include "storage/mmap_region.h"
 #include "test_util.h"
 
 namespace spine {
@@ -419,6 +424,130 @@ TEST_F(SerializerCorruptionTest, SingleBitPayloadFlipCaughtByChecksum) {
     EXPECT_EQ(LoadCodeFor(bad), StatusCode::kCorruption)
         << "bit flip at byte " << pos << " was not rejected";
   }
+}
+
+// --- zero-copy mmap open path (PR 8) ----------------------------------------
+
+// Loads `bytes` through the borrow-from-mapping deserializer (written
+// to a file and mapped, so the data is page-aligned exactly as the
+// registry's mmap open sees it) and returns the verdict code.
+StatusCode MmapLoadCodeFor(const std::string& bytes, const std::string& path) {
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  auto region = storage::MmapRegion::Map(path);
+  if (!region.ok()) return region.status().code();
+  Result<CompactSpineIndex> loaded = LoadCompactSpineFromMemory(
+      (*region)->data(), (*region)->size(), /*verify=*/true, *region);
+  return loaded.ok() ? StatusCode::kOk : loaded.status().code();
+}
+
+// The identical-verdict property the image-mode fuzzer leans on: for
+// any mutation of a valid image — truncations at every prefix, bit
+// flips through header, payload AND the CRC footer itself — the mmap
+// path returns exactly the verdict the heap path returns.
+TEST_F(SerializerCorruptionTest, MmapVerdictMatchesHeapOnEveryMutation) {
+  const std::string path =
+      ::testing::TempDir() + "/spine_mmap_verdict.idx";
+  // The pristine image loads on both paths.
+  ASSERT_EQ(LoadCodeFor(image_), StatusCode::kOk);
+  ASSERT_EQ(MmapLoadCodeFor(image_, path), StatusCode::kOk);
+  for (size_t len = 0; len < image_.size(); len += 5) {
+    const std::string bad = image_.substr(0, len);
+    EXPECT_EQ(MmapLoadCodeFor(bad, path), LoadCodeFor(bad))
+        << "verdicts diverge on truncation to " << len;
+  }
+  for (size_t pos = 0; pos < image_.size(); pos += 9) {
+    std::string bad = image_;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x04);
+    EXPECT_EQ(MmapLoadCodeFor(bad, path), LoadCodeFor(bad))
+        << "verdicts diverge on bit flip at byte " << pos;
+  }
+  // The footer specifically: flipping any of the last 4 bytes breaks
+  // the stored CRC, and both paths must say kCorruption.
+  for (size_t i = 1; i <= 4; ++i) {
+    std::string bad = image_;
+    bad[bad.size() - i] = static_cast<char>(bad[bad.size() - i] ^ 0xff);
+    EXPECT_EQ(LoadCodeFor(bad), StatusCode::kCorruption);
+    EXPECT_EQ(MmapLoadCodeFor(bad, path), StatusCode::kCorruption);
+  }
+}
+
+// Trailing garbage after the footer is tolerated identically (the
+// shard loader relies on this when images are CRC-pinned by size).
+TEST_F(SerializerCorruptionTest, MmapToleratesTrailingBytesLikeHeap) {
+  const std::string path = ::testing::TempDir() + "/spine_mmap_trail.idx";
+  std::string padded = image_ + std::string(13, '\0');
+  EXPECT_EQ(LoadCodeFor(padded), StatusCode::kOk);
+  EXPECT_EQ(MmapLoadCodeFor(padded, path), StatusCode::kOk);
+}
+
+// mmap-noverify still rejects images whose geometry is wrong (bounds
+// checks are never skipped), via the registry's open path.
+TEST(SerializerTest, MmapNoverifySkipsChecksumButKeepsBounds) {
+  Rng rng(991);
+  std::string s = RandomString(rng, 1200, 4);
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(s).ok());
+  const std::string path = ::testing::TempDir() + "/spine_noverify.idx";
+  ASSERT_TRUE(SaveCompactSpine(index, path).ok());
+
+  Result<core::OpenOptions> noverify = core::ParseOpenSpec("mmap-noverify");
+  ASSERT_TRUE(noverify.ok());
+  auto opened = core::BackendRegistry::Default().Open(path, *noverify);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  QueryResult result = (*opened)->Execute(Query::FindAll(s.substr(30, 6)));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.hits.size(),
+            spine::test::OracleFindAll(s, s.substr(30, 6)).size());
+
+  // A truncated image still fails cleanly without the checksum pass.
+  const std::string short_path =
+      ::testing::TempDir() + "/spine_noverify_short.idx";
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = buf.str();
+    std::ofstream out(short_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 3));
+  }
+  auto truncated =
+      core::BackendRegistry::Default().Open(short_path, *noverify);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kCorruption);
+}
+
+// The shrink race: artifact validated at open, file truncated while
+// the index is live. The next query and the next verify both surface a
+// clean kIoError from the mapping fence — never SIGBUS, never a wrong
+// answer.
+TEST(SerializerTest, MmapShrinkBetweenOpenAndQueryIsCleanIoError) {
+  Rng rng(313);
+  std::string s = RandomString(rng, 4000, 4);
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(s).ok());
+  const std::string path = ::testing::TempDir() + "/spine_shrink.idx";
+  ASSERT_TRUE(SaveCompactSpine(index, path).ok());
+
+  Result<core::OpenOptions> mmap = core::ParseOpenSpec("mmap");
+  ASSERT_TRUE(mmap.ok());
+  auto opened = core::BackendRegistry::Default().Open(path, *mmap);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Query query = Query::FindAll(s.substr(100, 8));
+  ASSERT_TRUE((*opened)->Execute(query).ok());
+
+  std::filesystem::resize_file(path, 64);
+  QueryResult after = (*opened)->Execute(query);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status_code, StatusCode::kIoError);
+  Status verify = (*opened)->VerifyStructure();
+  ASSERT_FALSE(verify.ok());
+  EXPECT_EQ(verify.code(), StatusCode::kIoError);
+  // The error is a verdict, not a latch: asking again gives the same
+  // clean answer (no crash, no stale success).
+  EXPECT_EQ((*opened)->Execute(query).status_code, StatusCode::kIoError);
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include "engine/query_engine.h"
 #include "storage/disk_spine.h"
 #include "storage/io_backend.h"
+#include "storage/mmap_region.h"
 #include "storage/page_file.h"
 #include "test_util.h"
 
@@ -453,6 +454,87 @@ TEST(FaultInjectionTest, VerifyStructureHealthyAndCorrupt) {
   if (verdict.ok()) verdict = (*disk)->ConsumeError();
   ASSERT_FALSE(verdict.ok());
   EXPECT_EQ(verdict.code(), StatusCode::kCorruption);
+}
+
+// --- zero-copy mmap backend under faults (PR 8) -----------------------------
+
+// The same 100-seed read-fault contract holds when the paged stack
+// runs over the zero-copy mmap backend: FaultInjectingBackend wraps
+// MmapIoBackend exactly as it wraps the POSIX one, and every query
+// still ends oracle-identical or with a clean kIoError/kCorruption.
+TEST(FaultInjectionTest, HundredRandomReadSchedulesOverMmapBackend) {
+  Rng rng(5353);
+  const std::string s = RandomDna(rng, 6000);
+  CompactSpineIndex oracle(Alphabet::Dna());
+  ASSERT_TRUE(oracle.AppendString(s).ok());
+
+  // Build cleanly over POSIX first; the mmap backend is read-only and
+  // only ever sees the finished artifact.
+  const std::string path = TempPath("fi_mmap100.idx");
+  {
+    DiskSpine::Options options;
+    options.pool_frames = 64;
+    auto disk = DiskSpine::Create(Alphabet::Dna(), path, options);
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AppendString(s).ok());
+    ASSERT_TRUE((*disk)->Checkpoint().ok());
+  }
+
+  FaultInjectingBackend backend(MmapIoBackend());
+  DiskSpine::Options options;
+  options.pool_frames = 4;  // tiny pool: every query faults pages in
+  options.backend = &backend;
+  auto disk = DiskSpine::Open(path, options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+
+  uint64_t clean_errors = 0, correct = 0;
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    backend.EnableRandomFaults(seed, /*rate=*/0.05);
+    Rng qrng(seed * 977);
+    for (const Query& query : MakeQueries(qrng, s, 4)) {
+      QueryResult expected = ExecuteQuery(oracle, query);
+      QueryResult got = ExecuteQuery(**disk, query);
+      ASSERT_TRUE(CorrectOrCleanError(got, expected))
+          << "seed " << seed << " pattern " << query.pattern;
+      got.ok() ? ++correct : ++clean_errors;
+    }
+    backend.DisableRandomFaults();
+  }
+  EXPECT_GT(backend.faults_injected(), 0u);
+  EXPECT_GT(clean_errors, 0u);
+  EXPECT_GT(correct, 0u);
+}
+
+// The mmap backend is strictly read-only: creating a new artifact over
+// it refuses cleanly, and a write reaching it (Checkpoint on an index
+// opened over it) is a clean kIoError, not an abort.
+TEST(FaultInjectionTest, MmapBackendRefusesWritesCleanly) {
+  auto created = DiskSpine::Create(Alphabet::Dna(), TempPath("fi_mmap_ro.idx"),
+                                   {.pool_frames = 8,
+                                    .policy = ReplacementPolicy::kLru,
+                                    .sync_mode = PageFile::SyncMode::kNone,
+                                    .backend = MmapIoBackend()});
+  ASSERT_FALSE(created.ok());
+  EXPECT_EQ(created.status().code(), StatusCode::kIoError);
+
+  Rng rng(5354);
+  const std::string s = RandomDna(rng, 2000);
+  const std::string path = TempPath("fi_mmap_ro2.idx");
+  {
+    auto disk = DiskSpine::Create(Alphabet::Dna(), path, {});
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AppendString(s).ok());
+    ASSERT_TRUE((*disk)->Checkpoint().ok());
+  }
+  DiskSpine::Options options;
+  options.pool_frames = 8;
+  options.backend = MmapIoBackend();
+  auto disk = DiskSpine::Open(path, options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_TRUE((*disk)->Contains(s.substr(10, 8)));
+  Status checkpoint = (*disk)->Checkpoint();
+  ASSERT_FALSE(checkpoint.ok());
+  EXPECT_EQ(checkpoint.code(), StatusCode::kIoError);
 }
 
 // --- injected latency / stalls (PR 7) ---------------------------------------

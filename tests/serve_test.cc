@@ -19,8 +19,10 @@
 
 #include "common/timer.h"
 #include "compact/compact_spine.h"
+#include "compact/serializer.h"
 #include "core/adapters.h"
 #include "core/query.h"
+#include "core/registry.h"
 #include "core/wire.h"
 #include "obs/json.h"
 #include "serve/client.h"
@@ -650,6 +652,71 @@ TEST_F(ServeTest, KilledClientMidQueryGetsCancelledByTheWatchdog) {
   ASSERT_TRUE(fresh->Send({2, Query::Contains("ACGT")}).ok());
   EXPECT_TRUE(fresh->ReceiveResponse().ok());
   server.Stop();
+}
+
+// Zero-copy serving (PR 8): two independent servers open the SAME
+// artifact file through the mmap path — each with its own mapping —
+// and serve concurrent clients on both dialects. Every wire answer
+// must match the in-process oracle built from the original index, and
+// each server's stats endpoint must report the mmap open mode.
+TEST_F(ServeTest, TwoServersOverOneMmapArtifactServeIdenticalAnswers) {
+  const std::string path = spine::test::TempPath("serve_mmap.spine");
+  ASSERT_TRUE(SaveCompactSpine(*index_, path).ok());
+  Result<core::OpenOptions> mmap = core::ParseOpenSpec("mmap");
+  ASSERT_TRUE(mmap.ok());
+
+  std::vector<std::unique_ptr<core::Index>> opened;
+  std::vector<std::unique_ptr<Server>> servers;
+  for (int s = 0; s < 2; ++s) {
+    auto index = core::BackendRegistry::Default().Open(path, *mmap);
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    EXPECT_EQ((*index)->open_mode(), "mmap");
+    servers.push_back(std::make_unique<Server>(**index, TestOptions()));
+    opened.push_back(std::move(*index));
+    ASSERT_TRUE(servers.back()->Start().ok());
+  }
+
+  constexpr int kClientsPerServer = 2;
+  constexpr size_t kQueries = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int s = 0; s < 2; ++s) {
+    for (int c = 0; c < kClientsPerServer; ++c) {
+      clients.emplace_back([&, s, c] {
+        Result<Client> client = Client::Connect(
+            "127.0.0.1", servers[s]->port(), /*json=*/c % 2 == 1);
+        if (!client.ok()) {
+          ++failures;
+          return;
+        }
+        for (size_t i = 0; i < kQueries; ++i) {
+          const Query query = NthQuery(i, static_cast<size_t>(s * 10 + c));
+          const uint64_t id =
+              static_cast<uint64_t>(s * 100 + c) * 1000 + i;
+          if (!client->Send({id, query}).ok()) {
+            ++failures;
+            return;
+          }
+          Result<wire::QueryResponse> response = client->ReceiveResponse();
+          if (!response.ok() || response->id != id) {
+            ++failures;
+            return;
+          }
+          const QueryResult oracle = adapter_->Execute(query);
+          if (!response->result.SameAnswer(oracle)) ++failures;
+        }
+      });
+    }
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  for (auto& server : servers) {
+    EXPECT_EQ(server->stats().queries, kClientsPerServer * kQueries);
+    const std::string json = server->StatsJson();
+    EXPECT_NE(json.find("\"open_mode\":\"mmap\""), std::string::npos) << json;
+    server->Stop();
+  }
 }
 
 TEST_F(ServeTest, StatsJsonCarriesTheDeadlineCountersAndConfig) {

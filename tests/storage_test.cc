@@ -2,6 +2,7 @@
 // paged arrays, and the disk-resident SPINE / suffix tree.
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -10,8 +11,10 @@
 
 #include "common/rng.h"
 #include "compact/compact_spine.h"
+#include "core/adapters.h"
 #include "core/matcher.h"
 #include "naive/naive_index.h"
+#include "storage/mmap_region.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
 #include "storage/disk_spine.h"
@@ -532,6 +535,124 @@ TEST(DiskLocalityTest, SpineFaultsLessThanSuffixTree) {
 
   EXPECT_LT((*disk_spine)->io_stats().misses,
             (*disk_tree)->io_stats().misses);
+}
+
+// --- MmapRegion + MmapIoBackend (PR 8) --------------------------------------
+
+TEST(MmapRegionTest, MapReadAtAndBounds) {
+  const std::string path = TempPath("mmap_basic.bin");
+  const std::string payload = "zero-copy artifact bytes";
+  spine::test::WriteFile(path, payload);
+
+  auto region = MmapRegion::Map(path);
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  ASSERT_EQ((*region)->size(), payload.size());
+  EXPECT_EQ((*region)->path(), path);
+  EXPECT_EQ(std::memcmp((*region)->data(), payload.data(), payload.size()), 0);
+  EXPECT_TRUE((*region)->CheckFence().ok());
+
+  // Bounded read semantics mirror the IoBackend contract.
+  char buf[64] = {};
+  size_t bytes_read = 0;
+  ASSERT_TRUE((*region)->ReadAt(5, buf, 4, &bytes_read).ok());
+  EXPECT_EQ(bytes_read, 4u);
+  EXPECT_EQ(std::string(buf, 4), "copy");
+  // Reading past EOF truncates; reading at/after EOF returns 0 bytes.
+  ASSERT_TRUE((*region)->ReadAt(payload.size() - 2, buf, 10, &bytes_read).ok());
+  EXPECT_EQ(bytes_read, 2u);
+  ASSERT_TRUE((*region)->ReadAt(payload.size() + 7, buf, 10, &bytes_read).ok());
+  EXPECT_EQ(bytes_read, 0u);
+}
+
+TEST(MmapRegionTest, OpenFailuresAreClean) {
+  auto missing = MmapRegion::Map(TempPath("mmap_nope.bin"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kIoError);
+
+  auto directory = MmapRegion::Map(::testing::TempDir());
+  ASSERT_FALSE(directory.ok());
+  EXPECT_EQ(directory.status().code(), StatusCode::kIoError);
+}
+
+TEST(MmapRegionTest, EmptyFileMapsToNullRegion) {
+  const std::string path = TempPath("mmap_empty.bin");
+  spine::test::WriteFile(path, "");
+  auto region = MmapRegion::Map(path);
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  EXPECT_EQ((*region)->size(), 0u);
+  EXPECT_TRUE((*region)->CheckFence().ok());
+  char buf[4];
+  size_t bytes_read = 7;
+  ASSERT_TRUE((*region)->ReadAt(0, buf, 4, &bytes_read).ok());
+  EXPECT_EQ(bytes_read, 0u);
+}
+
+// The length fence: a file shrunk under a live mapping turns every
+// subsequent access into kIoError instead of SIGBUS.
+TEST(MmapRegionTest, FenceDetectsShrunkFile) {
+  const std::string path = TempPath("mmap_shrink.bin");
+  spine::test::WriteFile(path, std::string(8192, 'x'));
+  auto region = MmapRegion::Map(path);
+  ASSERT_TRUE(region.ok());
+  ASSERT_TRUE((*region)->CheckFence().ok());
+
+  std::filesystem::resize_file(path, 100);
+  Status fence = (*region)->CheckFence();
+  ASSERT_FALSE(fence.ok());
+  EXPECT_EQ(fence.code(), StatusCode::kIoError);
+  char buf[8];
+  size_t bytes_read = 0;
+  Status read = (*region)->ReadAt(0, buf, 8, &bytes_read);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.code(), StatusCode::kIoError);
+
+  // Growing the file back (or beyond) re-arms the mapping: the mapped
+  // prefix is covered again.
+  std::filesystem::resize_file(path, 16384);
+  EXPECT_TRUE((*region)->CheckFence().ok());
+}
+
+TEST(MmapRegionTest, MlockFailureIsBestEffort) {
+  // An mlock request may or may not succeed depending on
+  // RLIMIT_MEMLOCK; either way the map itself must succeed.
+  const std::string path = TempPath("mmap_lock.bin");
+  spine::test::WriteFile(path, std::string(4096, 'y'));
+  MmapOptions options;
+  options.lock = true;
+  auto region = MmapRegion::Map(path, options);
+  ASSERT_TRUE(region.ok()) << region.status().ToString();
+  EXPECT_EQ((*region)->size(), 4096u);
+}
+
+// A disk index opened over the mmap backend whose page file shrinks
+// mid-life: the per-read fence converts the lost pages into latched
+// kIoError, never SIGBUS.
+TEST(MmapRegionTest, DiskSpineOverShrunkFileLatchesIoError) {
+  Rng rng(66);
+  const std::string s = spine::test::RandomDna(rng, 5000);
+  const std::string path = TempPath("mmap_shrunk_disk.idx");
+  {
+    DiskSpine::Options options;
+    options.pool_frames = 64;
+    auto disk = DiskSpine::Create(Alphabet::Dna(), path, options);
+    ASSERT_TRUE(disk.ok());
+    ASSERT_TRUE((*disk)->AppendString(s).ok());
+    ASSERT_TRUE((*disk)->Checkpoint().ok());
+  }
+  DiskSpine::Options options;
+  options.pool_frames = 4;  // cold pool: queries must hit the backend
+  options.backend = MmapIoBackend();
+  auto disk = DiskSpine::Open(path, options);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+  EXPECT_TRUE((*disk)->Contains(s.substr(20, 10)));
+
+  // Chop the tail off the page file while the index is live.
+  std::filesystem::resize_file(path, kPageSize);
+  (void)(*disk)->ConsumeError();
+  core::DiskSpineAdapter adapter(**disk);
+  QueryResult result = adapter.Execute(Query::FindAll(s.substr(40, 12)));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status_code, StatusCode::kIoError);
 }
 
 }  // namespace

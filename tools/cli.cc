@@ -115,6 +115,10 @@ constexpr const char* kUsage =
     "query, batch, stats and verify open any artifact kind (compact or\n"
     "generalized image, disk index page file, .spinefam shard family) by\n"
     "sniffing its magic; --backend=NAME overrides the sniff\n"
+    "every artifact-opening command accepts --open=heap|mmap|mmap-noverify\n"
+    "(default heap, or $SPINE_OPEN): mmap serves straight from a page-cache\n"
+    "mapping (zero-copy, checksum verified at open); mmap-noverify skips\n"
+    "the checksum for constant-time opens of trusted artifacts\n"
     "build, query and batch accept --stats-json[=FILE]: after the\n"
     "command finishes, dump a versioned JSON snapshot of all runtime\n"
     "metrics (plus a command-specific section) to stdout or FILE\n"
@@ -202,10 +206,19 @@ int FailResult(std::ostream& err, const QueryResult& result) {
 // goes through here, so they all accept every artifact kind.
 Result<std::unique_ptr<core::Index>> OpenIndex(const ParsedArgs& args,
                                                const std::string& path) {
-  if (auto it = args.options.find("backend"); it != args.options.end()) {
-    return core::BackendRegistry::Default().OpenAs(it->second, path);
+  // --open=heap|mmap|mmap-noverify picks the open path; the flag wins
+  // over $SPINE_OPEN (which DefaultOpenOptions already resolved).
+  core::OpenOptions open_options = core::DefaultOpenOptions();
+  if (auto it = args.options.find("open"); it != args.options.end()) {
+    Result<core::OpenOptions> parsed = core::ParseOpenSpec(it->second);
+    if (!parsed.ok()) return parsed.status();
+    open_options = *parsed;
   }
-  return core::BackendRegistry::Default().Open(path);
+  if (auto it = args.options.find("backend"); it != args.options.end()) {
+    return core::BackendRegistry::Default().OpenAs(it->second, path,
+                                                   open_options);
+  }
+  return core::BackendRegistry::Default().Open(path, open_options);
 }
 
 // The versioned stats snapshot emitted by `stats --json` and by the
@@ -747,6 +760,8 @@ int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
         json.BeginObject();
         json.Key("backend");
         json.Value(index.Name());
+        json.Key("open_mode");
+        json.Value(index.open_mode());
         json.Key("alphabet");
         json.Value(compact.alphabet().name());
         json.Key("characters");
@@ -771,7 +786,8 @@ int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       }) << "\n";
       return 0;
     }
-    out << "alphabet        : " << compact.alphabet().name() << "\n"
+    out << "open mode       : " << index.open_mode() << "\n"
+        << "alphabet        : " << compact.alphabet().name() << "\n"
         << "characters      : " << compact.size() << "\n"
         << "max LEL/PT/PRT  : " << compact.max_lel() << " / "
         << compact.max_pt() << " / " << compact.max_prt() << "\n"
@@ -791,6 +807,8 @@ int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       json.BeginObject();
       json.Key("backend");
       json.Value(index.Name());
+      json.Key("open_mode");
+      json.Value(index.open_mode());
       json.Key("alphabet");
       json.Value(index.alphabet().name());
       json.Key("characters");
@@ -808,6 +826,7 @@ int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     return 0;
   }
   out << "backend         : " << index.Name() << "\n"
+      << "open mode       : " << index.open_mode() << "\n"
       << "alphabet        : " << index.alphabet().name() << "\n"
       << "characters      : " << index.size() << "\n";
   if (family != nullptr) {

@@ -45,8 +45,11 @@
 #include "dawg/suffix_automaton.h"
 #include "naive/naive_index.h"
 #include "shard/sharded_index.h"
+#include "storage/mmap_region.h"
 #include "suffix_tree/st_matcher.h"
 #include "suffix_tree/suffix_tree.h"
+
+#include <unistd.h>
 
 namespace {
 
@@ -60,7 +63,10 @@ int Fail(const std::string& what, const std::string& s,
 // Image-robustness phase: serialize the index, corrupt the bytes, and
 // demand that LoadCompactSpine either rejects the image with a clean
 // Status or yields an index that still answers correctly — it must
-// never crash and never silently return a broken index.
+// never crash and never silently return a broken index. Every mutated
+// image is also opened through the zero-copy mmap path (PR 8), which
+// must reach exactly the heap path's verdict, and when both load,
+// exactly its answers.
 int FuzzSerializedImage(spine::Rng& rng, const spine::CompactSpineIndex& index,
                         const std::string& s, uint64_t* checks) {
   using namespace spine;
@@ -69,6 +75,10 @@ int FuzzSerializedImage(spine::Rng& rng, const spine::CompactSpineIndex& index,
     return Fail("image save failed", s, "");
   }
   const std::string image = saved.str();
+  const std::string mmap_path =
+      (std::filesystem::temp_directory_path() /
+       ("spine_fuzz_img_" + std::to_string(::getpid()) + ".tmp"))
+          .string();
   for (int trial = 0; trial < 6; ++trial) {
     ++*checks;
     std::string mutated = image;
@@ -92,12 +102,38 @@ int FuzzSerializedImage(spine::Rng& rng, const spine::CompactSpineIndex& index,
     }
     std::istringstream in(mutated);
     Result<CompactSpineIndex> loaded = LoadCompactSpineFromStream(in);
-    if (!loaded.ok()) continue;  // clean rejection is a pass
+    const StatusCode heap_code =
+        loaded.ok() ? StatusCode::kOk : loaded.status().code();
+
+    {
+      std::ofstream out(mmap_path, std::ios::binary | std::ios::trunc);
+      out.write(mutated.data(), static_cast<std::streamsize>(mutated.size()));
+    }
+    StatusCode mmap_code = StatusCode::kOk;
+    Result<CompactSpineIndex> mapped = Status::OK();
+    auto region = storage::MmapRegion::Map(mmap_path);
+    if (!region.ok()) {
+      mmap_code = region.status().code();
+    } else {
+      mapped = LoadCompactSpineFromMemory((*region)->data(), (*region)->size(),
+                                          /*verify=*/true, *region);
+      if (!mapped.ok()) mmap_code = mapped.status().code();
+    }
+    if (mmap_code != heap_code) {
+      std::fprintf(stderr, "  heap verdict: %d  mmap verdict: %d\n",
+                   static_cast<int>(heap_code), static_cast<int>(mmap_code));
+      return Fail("heap/mmap image verdicts diverge", s, "");
+    }
+    if (!loaded.ok()) continue;  // clean rejection is a pass (both paths)
     // The mutation survived loading (e.g. it restored the original
-    // bytes); whatever came back must still answer correctly.
+    // bytes); whatever came back must still answer correctly — on both
+    // open paths.
     std::string pattern = s.substr(0, std::min<size_t>(s.size(), 4));
     if (loaded->FindAll(pattern) != naive::FindAllOccurrences(s, pattern)) {
       return Fail("mutated image loaded but answers wrong", s, pattern);
+    }
+    if (mapped->FindAll(pattern) != loaded->FindAll(pattern)) {
+      return Fail("mmap-opened mutated image answers differently", s, pattern);
     }
   }
   return 0;
