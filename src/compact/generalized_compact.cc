@@ -55,6 +55,18 @@ uint32_t GeneralizedCompactSpine::StringLength(uint32_t id) const {
   return boundaries_[id] - start - 1;  // minus the separator
 }
 
+std::string GeneralizedCompactSpine::StringText(uint32_t id) const {
+  SPINE_CHECK(id < boundaries_.size());
+  const uint32_t start = id == 0 ? 0 : boundaries_[id - 1];
+  const uint32_t length = StringLength(id);
+  std::string text;
+  text.reserve(length);
+  for (uint32_t i = 0; i < length; ++i) {
+    text.push_back(index_.CharAt(start + i));
+  }
+  return text;
+}
+
 bool GeneralizedCompactSpine::MapPosition(uint32_t global, Hit* hit) const {
   auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), global);
   if (it == boundaries_.end()) return false;

@@ -46,7 +46,13 @@ class GeneralizedCompactSpine {
   }
   uint32_t StringLength(uint32_t id) const;
   const std::string& StringName(uint32_t id) const { return names_[id]; }
+  // The stored (canonical) text of string `id`, reconstructed from the
+  // underlying concatenation. What compaction re-indexes when merging
+  // frozen shards (shard/dynamic_family.h).
+  std::string StringText(uint32_t id) const;
   uint64_t total_characters() const { return index_.size(); }
+  // The user-facing alphabet strings and queries validate against.
+  const Alphabet& alphabet() const { return user_alphabet_; }
 
   struct Hit {
     uint32_t string_id;

@@ -21,24 +21,65 @@ uint64_t NextIndexCacheId() {
 Index::Index() : cache_id_(NextIndexCacheId()) {}
 
 Result<OpenOptions> ParseOpenSpec(std::string_view spec) {
-  OpenOptions options;
-  if (spec == "heap") return options;
-  if (spec == "mmap") {
-    options.mode = OpenMode::kMmap;
-    return options;
+  // Split off the base mode; what follows are comma-separated flags.
+  std::string_view base = spec;
+  std::string_view flags;
+  if (size_t comma = spec.find(','); comma != std::string_view::npos) {
+    base = spec.substr(0, comma);
+    flags = spec.substr(comma + 1);
   }
-  if (spec == "mmap-noverify") {
+  OpenOptions options;
+  if (base == "mmap") {
+    options.mode = OpenMode::kMmap;
+  } else if (base == "mmap-noverify") {
     options.mode = OpenMode::kMmap;
     options.verify = false;
-    return options;
+  } else if (base != "heap") {
+    return Status::InvalidArgument("unknown open mode '" + std::string(spec) +
+                                   "' (expected heap, mmap or mmap-noverify, "
+                                   "with optional ,populate / ,hugepage)");
   }
-  return Status::InvalidArgument("unknown open mode '" + std::string(spec) +
-                                 "' (expected heap, mmap or mmap-noverify)");
+  while (!flags.empty()) {
+    std::string_view flag = flags;
+    if (size_t comma = flags.find(','); comma != std::string_view::npos) {
+      flag = flags.substr(0, comma);
+      flags = flags.substr(comma + 1);
+    } else {
+      flags = {};
+    }
+    // Flags on "heap" are rejected rather than silently ignored: the
+    // caller asked for mmap behavior the heap path cannot deliver.
+    if (options.mode == OpenMode::kHeap) {
+      return Status::InvalidArgument("open flag '" + std::string(flag) +
+                                     "' requires an mmap mode");
+    }
+    if (flag == "populate") {
+      options.populate = true;
+    } else if (flag == "hugepage") {
+      options.hugepage = true;
+    } else {
+      return Status::InvalidArgument(
+          "unknown open flag '" + std::string(flag) +
+          "' (expected populate or hugepage)");
+    }
+  }
+  return options;
 }
 
 std::string_view OpenOptionsName(const OpenOptions& options) {
   if (options.mode == OpenMode::kHeap) return "heap";
-  return options.verify ? "mmap" : "mmap-noverify";
+  // open_mode() promises a string literal, so enumerate the combos.
+  const int flags =
+      (options.populate ? 1 : 0) | (options.hugepage ? 2 : 0);
+  if (options.verify) {
+    constexpr std::string_view kNames[] = {
+        "mmap", "mmap,populate", "mmap,hugepage", "mmap,populate,hugepage"};
+    return kNames[flags];
+  }
+  constexpr std::string_view kNames[] = {
+      "mmap-noverify", "mmap-noverify,populate", "mmap-noverify,hugepage",
+      "mmap-noverify,populate,hugepage"};
+  return kNames[flags];
 }
 
 OpenOptions DefaultOpenOptions() {

@@ -24,6 +24,7 @@
 #define SPINE_CORE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 
 #include "alphabet/alphabet.h"
@@ -47,6 +48,7 @@ enum class IndexKind : uint8_t {
   kCompactDawg = 7,        // CDAWG baseline (dawg/compact_dawg.h)
   kNaive = 8,              // brute-force oracle (naive/naive_index.h)
   kSharded = 9,            // K-way sharded family (shard/sharded_index.h)
+  kDynamic = 10,           // LSM-style lifecycle (shard/dynamic_family.h)
 };
 
 constexpr std::string_view IndexKindName(IndexKind kind) {
@@ -61,6 +63,7 @@ constexpr std::string_view IndexKindName(IndexKind kind) {
     case IndexKind::kCompactDawg: return "cdawg";
     case IndexKind::kNaive: return "naive";
     case IndexKind::kSharded: return "sharded";
+    case IndexKind::kDynamic: return "dynamic";
   }
   return "unknown";
 }
@@ -86,13 +89,24 @@ struct OpenOptions {
   // both — bounds/geometry checks only — for artifact-size-independent
   // open cost on trusted images. Ignored by the heap path.
   bool verify = true;
+  // mmap only: pre-fault the whole mapping at open (MAP_POPULATE), so
+  // the first query never stalls on a page-in. Trades open latency for
+  // query-tail latency. Ignored by the heap path.
+  bool populate = false;
+  // mmap only: advise the kernel to back the mapping with transparent
+  // huge pages (MADV_HUGEPAGE, best-effort). Ignored by the heap path.
+  bool hugepage = false;
 };
 
-// Parses an open spec: "heap", "mmap" or "mmap-noverify" (the
-// vocabulary of --open= and $SPINE_OPEN). kInvalidArgument otherwise.
+// Parses an open spec: a base mode ("heap", "mmap" or "mmap-noverify")
+// optionally followed by comma-separated mmap flags ("populate",
+// "hugepage") — e.g. "mmap,populate,hugepage". This is the vocabulary
+// of --open= and $SPINE_OPEN. kInvalidArgument otherwise (flags on
+// "heap" are rejected: they have no heap meaning to silently ignore).
 Result<OpenOptions> ParseOpenSpec(std::string_view spec);
 
-// The spec name for `options` ("heap" / "mmap" / "mmap-noverify").
+// The canonical spec name for `options` (always a string literal, e.g.
+// "heap", "mmap", "mmap-noverify,populate", "mmap,populate,hugepage").
 std::string_view OpenOptionsName(const OpenOptions& options);
 
 // Process default: $SPINE_OPEN when set and valid, else heap.
@@ -183,7 +197,22 @@ class Index {
 
   // Process-unique id for result-cache keying, assigned at
   // construction from a monotone counter (never 0, never reused).
-  uint64_t cache_id() const { return cache_id_; }
+  // Virtual so dynamic backends can report the *current generation's*
+  // id instead: every mutation mints a fresh id, so cached answers
+  // computed against an older generation become unreachable the moment
+  // the generation pointer swaps (the engine LRU self-invalidates).
+  virtual uint64_t cache_id() const { return cache_id_; }
+
+  // Dynamic backends return an immutable snapshot of the current
+  // generation: an Index whose answers and cache_id() stay frozen for
+  // the snapshot's lifetime even while writers swap generations
+  // underneath. Consumers that issue several queries expecting one
+  // consistent view (the engine's multi-query batches) pin once and
+  // query the snapshot. nullptr (the default) means this index is
+  // already immutable — query it directly.
+  virtual std::shared_ptr<const Index> PinSnapshot() const {
+    return nullptr;
+  }
 
   // How this index came to be: "built" (constructed in memory), or the
   // open spec the registry used ("heap" / "mmap" / "mmap-noverify").
@@ -195,6 +224,46 @@ class Index {
  private:
   const uint64_t cache_id_;
   std::string_view open_mode_ = "built";  // always a string literal
+};
+
+// A dynamic index that accepts document-level mutations after open.
+// Implemented by shard::DynamicFamily (shard/dynamic_family.h);
+// declared here so serve/ and tools/ can drive mutations through the
+// abstract seam without depending on shard/. All methods are safe to
+// call concurrently with Execute() on the same object; mutations
+// themselves are serialized internally.
+class MutableIndex : public Index {
+ public:
+  // Indexes a new document and returns its assigned doc id (monotone,
+  // never reused). The document is queryable immediately but volatile
+  // until the next Flush()/Compact() persists it.
+  virtual Result<uint32_t> InsertDocument(std::string_view text) = 0;
+
+  // Tombstones a live document: its text stops matching queries at
+  // once and is physically dropped at the next compaction. kNotFound
+  // if the id was never assigned or is already deleted.
+  virtual Status DeleteDocument(uint32_t doc_id) = 0;
+
+  // Freezes the memtable into a durable on-disk shard and swaps the
+  // generation pointer. After Flush() returns OK, every prior mutation
+  // survives crash + reopen.
+  virtual Status Flush() = 0;
+
+  // Flush, then merge all frozen shards into one, dropping tombstoned
+  // documents. A failed compaction leaves the prior generation fully
+  // live (on disk and in memory).
+  virtual Status Compact() = 0;
+
+  // Re-adopts the latest on-disk generation, discarding any volatile
+  // (unflushed) in-memory state. The serve SIGHUP/`reload` hook.
+  virtual Status Reload() = 0;
+
+  // Version counter of the currently-served generation (bumps on every
+  // successful mutation, flush, compaction or reload).
+  virtual uint64_t generation_version() const = 0;
+
+  // Number of live (inserted and not deleted) documents.
+  virtual uint32_t live_documents() const = 0;
 };
 
 // Issues the next process-unique cache id (what the Index constructor

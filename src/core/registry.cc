@@ -7,6 +7,7 @@
 
 #include "compact/serializer.h"
 #include "core/adapters.h"
+#include "shard/dynamic_family.h"
 #include "shard/sharded_index.h"
 #include "storage/mmap_region.h"
 
@@ -19,11 +20,21 @@ constexpr uint32_t kGeneralizedMagic = 0x53504e47; // "SPNG"
 constexpr uint32_t kDiskSpineMeta = 0x5350444d;    // "SPDM"
 constexpr uint32_t kDiskTreeMeta = 0x53544d44;     // "STMD"
 
+// N in-process opens of one artifact share a single mapping (the
+// storage::MmapRegion::MapShared weak cache), with populate/hugepage
+// toggles carried through from the open spec.
+storage::MmapOptions MmapOptionsFrom(const OpenOptions& options) {
+  storage::MmapOptions mmap_options;
+  mmap_options.populate = options.populate;
+  mmap_options.hugepage = options.hugepage;
+  return mmap_options;
+}
+
 Result<std::unique_ptr<Index>> OpenCompact(const std::string& path,
                                            const OpenOptions& options) {
   if (options.mode == OpenMode::kMmap) {
     Result<std::shared_ptr<storage::MmapRegion>> region =
-        storage::MmapRegion::Map(path);
+        storage::MmapRegion::MapShared(path, MmapOptionsFrom(options));
     if (!region.ok()) return region.status();
     Result<CompactSpineIndex> index = LoadCompactSpineFromMemory(
         (*region)->data(), (*region)->size(), options.verify, *region);
@@ -41,7 +52,7 @@ Result<std::unique_ptr<Index>> OpenGeneralizedCompact(
     const std::string& path, const OpenOptions& options) {
   if (options.mode == OpenMode::kMmap) {
     Result<std::shared_ptr<storage::MmapRegion>> region =
-        storage::MmapRegion::Map(path);
+        storage::MmapRegion::MapShared(path, MmapOptionsFrom(options));
     if (!region.ok()) return region.status();
     Result<GeneralizedCompactSpine> index =
         GeneralizedCompactSpine::LoadFromMemory(
@@ -80,8 +91,37 @@ Result<std::unique_ptr<Index>> OpenDiskSuffixTree(const std::string& path,
   return std::unique_ptr<Index>(new DiskSuffixTreeAdapter(std::move(*tree)));
 }
 
+Result<std::unique_ptr<Index>> OpenDynamic(const std::string& path,
+                                           const OpenOptions& options) {
+  shard::DynamicFamily::Options family_options;
+  family_options.open = options;
+  Result<std::unique_ptr<shard::DynamicFamily>> family =
+      shard::DynamicFamily::Open(path, family_options);
+  if (!family.ok()) return family.status();
+  return std::unique_ptr<Index>(std::move(*family));
+}
+
+// Both family flavors share the "SPFM" magic; the version field right
+// behind it says which lifecycle wrote the manifest (v1 static
+// ShardedIndex, v2 DynamicFamily generation pointer).
 Result<std::unique_ptr<Index>> OpenSharded(const std::string& path,
                                            const OpenOptions& options) {
+  uint32_t version = 0;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) {
+      return Status::IoError("cannot open " + path + ": " +
+                             std::strerror(errno));
+    }
+    probe.seekg(sizeof(uint32_t));
+    probe.read(reinterpret_cast<char*>(&version), sizeof(version));
+    if (!probe) {
+      return Status::Corruption(path + " is too short to hold a manifest");
+    }
+  }
+  if (version == shard::kDynamicManifestVersion) {
+    return OpenDynamic(path, options);
+  }
   Result<std::unique_ptr<shard::ShardedIndex>> index =
       shard::ShardedIndex::Load(path, options);
   if (!index.ok()) return index.status();
@@ -105,6 +145,12 @@ BackendRegistry::BackendRegistry() {
       {IndexKind::kSharded, IndexKindName(IndexKind::kSharded),
        shard::kShardManifestMagic, 0, "sharded family manifest",
        &OpenSharded},
+      // Same file magic as kSharded (OpenSharded routes on the version
+      // field); listed so --backend=dynamic can force the open and so
+      // diagnostics can name the kind. FindByMagic-style scans hit the
+      // kSharded row first, which dispatches correctly for both.
+      {IndexKind::kDynamic, IndexKindName(IndexKind::kDynamic), 0, 0,
+       "dynamic family manifest", &OpenDynamic},
       // Memory-built backends: addressable by name for diagnostics,
       // but with no on-disk artifact to open.
       {IndexKind::kSpine, IndexKindName(IndexKind::kSpine), 0, 0,

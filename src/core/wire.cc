@@ -118,6 +118,21 @@ bool ValidQueryKind(uint8_t kind) {
   return kind <= static_cast<uint8_t>(QueryKind::kMatchingStats);
 }
 
+bool ValidMutateOp(uint8_t op) {
+  return op >= static_cast<uint8_t>(MutateOp::kInsert) &&
+         op <= static_cast<uint8_t>(MutateOp::kReload);
+}
+
+std::optional<MutateOp> MutateOpFromName(std::string_view name) {
+  for (uint8_t op = static_cast<uint8_t>(MutateOp::kInsert);
+       op <= static_cast<uint8_t>(MutateOp::kReload); ++op) {
+    if (MutateOpName(static_cast<MutateOp>(op)) == name) {
+      return static_cast<MutateOp>(op);
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<QueryKind> KindFromName(std::string_view name) {
   for (uint8_t k = 0; k <= static_cast<uint8_t>(QueryKind::kMatchingStats);
        ++k) {
@@ -139,6 +154,16 @@ std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
 }
 
 }  // namespace
+
+std::string_view MutateOpName(MutateOp op) {
+  switch (op) {
+    case MutateOp::kInsert: return "insert";
+    case MutateOp::kDelete: return "delete";
+    case MutateOp::kCompact: return "compact";
+    case MutateOp::kReload: return "reload";
+  }
+  return "unknown";
+}
 
 void AppendRequestFrame(const QueryRequest& request, std::string* out) {
   std::string payload;
@@ -211,6 +236,29 @@ void AppendStatsResponseFrame(std::string_view stats_json,
   AppendFrame(FrameType::kStatsResponse, stats_json, out);
 }
 
+void AppendMutateFrame(const MutateRequest& request, std::string* out) {
+  std::string payload;
+  PutU64(request.id, &payload);
+  PutU8(static_cast<uint8_t>(request.op), &payload);
+  PutU32(request.doc_id, &payload);
+  PutU32(static_cast<uint32_t>(request.document.size()), &payload);
+  payload.append(request.document);
+  AppendFrame(FrameType::kMutate, payload, out);
+}
+
+void AppendMutateResponseFrame(const MutateResponse& response,
+                               std::string* out) {
+  std::string payload;
+  PutU64(response.id, &payload);
+  PutU8(static_cast<uint8_t>(response.op), &payload);
+  PutU32(response.doc_id, &payload);
+  PutU8(static_cast<uint8_t>(response.status), &payload);
+  PutU32(static_cast<uint32_t>(response.error.size()), &payload);
+  payload.append(response.error);
+  PutU64(response.generation, &payload);
+  AppendFrame(FrameType::kMutateResponse, payload, out);
+}
+
 void AppendErrorFrame(const WireError& error, std::string* out) {
   std::string payload;
   PutU64(error.id, &payload);
@@ -246,7 +294,7 @@ Status ExtractFrame(std::string_view buffer, Frame* frame,
                          std::to_string(kWireVersion) + ")");
   }
   if (type < static_cast<uint8_t>(FrameType::kQuery) ||
-      type > static_cast<uint8_t>(FrameType::kError)) {
+      type > static_cast<uint8_t>(FrameType::kMutateResponse)) {
     return ProtocolError("unknown frame type " + std::to_string(type));
   }
   frame->version = version;
@@ -326,6 +374,46 @@ Result<QueryResponse> DecodeResponse(std::string_view payload) {
 
 Result<std::string> DecodeStatsResponse(std::string_view payload) {
   return std::string(payload);
+}
+
+Result<MutateRequest> DecodeMutate(std::string_view payload) {
+  Cursor cursor(payload);
+  MutateRequest request;
+  request.id = cursor.U64();
+  const uint8_t op = cursor.U8();
+  request.doc_id = cursor.U32();
+  request.document = cursor.Bytes();
+  if (cursor.bad() || !cursor.AtEnd()) {
+    return ProtocolError("malformed mutate request payload");
+  }
+  if (!ValidMutateOp(op)) {
+    return ProtocolError("unknown mutate op " + std::to_string(op));
+  }
+  request.op = static_cast<MutateOp>(op);
+  return request;
+}
+
+Result<MutateResponse> DecodeMutateResponse(std::string_view payload) {
+  Cursor cursor(payload);
+  MutateResponse response;
+  response.id = cursor.U64();
+  const uint8_t op = cursor.U8();
+  response.doc_id = cursor.U32();
+  const uint8_t code = cursor.U8();
+  response.error = cursor.Bytes();
+  response.generation = cursor.U64();
+  if (cursor.bad() || !cursor.AtEnd()) {
+    return ProtocolError("malformed mutate response payload");
+  }
+  if (!ValidMutateOp(op)) {
+    return ProtocolError("unknown mutate op " + std::to_string(op));
+  }
+  if (!ValidStatusCode(code)) {
+    return ProtocolError("unknown status code " + std::to_string(code));
+  }
+  response.op = static_cast<MutateOp>(op);
+  response.status = static_cast<StatusCode>(code);
+  return response;
 }
 
 Result<WireError> DecodeError(std::string_view payload) {
@@ -545,6 +633,130 @@ Result<QueryResponse> ParseResponseJson(std::string_view line) {
       nodes != nullptr && nodes->is_number()) {
     response.result.stats.nodes_checked =
         static_cast<uint64_t>(nodes->number);
+  }
+  return response;
+}
+
+std::string MutateToJson(const MutateRequest& request) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("v");
+  json.Value(static_cast<uint64_t>(kWireVersion));
+  json.Key("type");
+  json.Value("mutate");
+  json.Key("id");
+  json.Value(request.id);
+  json.Key("op");
+  json.Value(MutateOpName(request.op));
+  if (request.op == MutateOp::kInsert) {
+    json.Key("doc");
+    json.Value(request.document);
+  } else if (request.op == MutateOp::kDelete) {
+    json.Key("doc_id");
+    json.Value(request.doc_id);
+  }
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+std::string MutateResponseToJson(const MutateResponse& response) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("v");
+  json.Value(static_cast<uint64_t>(kWireVersion));
+  json.Key("type");
+  json.Value("mutate_response");
+  json.Key("id");
+  json.Value(response.id);
+  json.Key("op");
+  json.Value(MutateOpName(response.op));
+  json.Key("status");
+  json.Value(StatusCodeToString(response.status));
+  if (response.status != StatusCode::kOk) {
+    json.Key("error");
+    json.Value(response.error);
+  }
+  json.Key("doc_id");
+  json.Value(response.doc_id);
+  json.Key("generation");
+  json.Value(response.generation);
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+Result<MutateRequest> ParseMutateJson(std::string_view line) {
+  Result<obs::JsonValue> doc = ParseEnvelopeJson(line, "mutate");
+  if (!doc.ok()) return doc.status();
+  MutateRequest request;
+  if (const obs::JsonValue* id = doc->Find("id"); id != nullptr) {
+    if (!id->is_number() || id->number < 0) {
+      return ProtocolError("JSON mutate id must be a non-negative number");
+    }
+    request.id = static_cast<uint64_t>(id->number);
+  }
+  const obs::JsonValue* op = doc->Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return ProtocolError("JSON mutate needs a string 'op'");
+  }
+  std::optional<MutateOp> parsed = MutateOpFromName(op->string_value);
+  if (!parsed) {
+    return ProtocolError("unknown mutate op '" + op->string_value + "'");
+  }
+  request.op = *parsed;
+  if (request.op == MutateOp::kInsert) {
+    const obs::JsonValue* body = doc->Find("doc");
+    if (body == nullptr || !body->is_string()) {
+      return ProtocolError("JSON insert needs a string 'doc'");
+    }
+    request.document = body->string_value;
+  } else if (request.op == MutateOp::kDelete) {
+    const obs::JsonValue* doc_id = doc->Find("doc_id");
+    if (doc_id == nullptr || !doc_id->is_number() || doc_id->number < 0) {
+      return ProtocolError("JSON delete needs a non-negative 'doc_id'");
+    }
+    request.doc_id = static_cast<uint32_t>(doc_id->number);
+  }
+  return request;
+}
+
+Result<MutateResponse> ParseMutateResponseJson(std::string_view line) {
+  Result<obs::JsonValue> doc = ParseEnvelopeJson(line, "mutate_response");
+  if (!doc.ok()) return doc.status();
+  MutateResponse response;
+  if (const obs::JsonValue* id = doc->Find("id");
+      id != nullptr && id->is_number() && id->number >= 0) {
+    response.id = static_cast<uint64_t>(id->number);
+  }
+  const obs::JsonValue* op = doc->Find("op");
+  if (op == nullptr || !op->is_string()) {
+    return ProtocolError("JSON mutate response needs a string 'op'");
+  }
+  std::optional<MutateOp> parsed_op = MutateOpFromName(op->string_value);
+  if (!parsed_op) {
+    return ProtocolError("unknown mutate op '" + op->string_value + "'");
+  }
+  response.op = *parsed_op;
+  const obs::JsonValue* status = doc->Find("status");
+  if (status == nullptr || !status->is_string()) {
+    return ProtocolError("JSON mutate response needs a string 'status'");
+  }
+  std::optional<StatusCode> code = StatusCodeFromName(status->string_value);
+  if (!code) {
+    return ProtocolError("unknown status '" + status->string_value + "'");
+  }
+  response.status = *code;
+  if (const obs::JsonValue* error = doc->Find("error");
+      error != nullptr && error->is_string()) {
+    response.error = error->string_value;
+  }
+  if (const obs::JsonValue* doc_id = doc->Find("doc_id");
+      doc_id != nullptr && doc_id->is_number() && doc_id->number >= 0) {
+    response.doc_id = static_cast<uint32_t>(doc_id->number);
+  }
+  if (const obs::JsonValue* generation = doc->Find("generation");
+      generation != nullptr && generation->is_number() &&
+      generation->number >= 0) {
+    response.generation = static_cast<uint64_t>(generation->number);
   }
   return response;
 }

@@ -49,12 +49,28 @@ inline constexpr uint8_t kWireVersion = 1;
 inline constexpr uint32_t kMaxFramePayload = 1u << 24;  // 16 MiB
 
 enum class FrameType : uint8_t {
-  kQuery = 1,          // client -> server: QueryRequest
-  kResponse = 2,       // server -> client: QueryResponse
-  kStats = 3,          // client -> server: STATS verb (empty payload)
-  kStatsResponse = 4,  // server -> client: stats JSON document
-  kError = 5,          // server -> client: connection-level error
+  kQuery = 1,           // client -> server: QueryRequest
+  kResponse = 2,        // server -> client: QueryResponse
+  kStats = 3,           // client -> server: STATS verb (empty payload)
+  kStatsResponse = 4,   // server -> client: stats JSON document
+  kError = 5,           // server -> client: connection-level error
+  kMutate = 6,          // client -> server: MutateRequest (dynamic index)
+  kMutateResponse = 7,  // server -> client: MutateResponse
 };
+
+// Lifecycle verbs a client may send against a server whose backend is a
+// mutable (dynamic) index. Servers over static backends answer every
+// mutate with kInvalidArgument — the verb set is part of the wire
+// contract either way.
+enum class MutateOp : uint8_t {
+  kInsert = 1,   // add `document`; response carries the new doc_id
+  kDelete = 2,   // tombstone `doc_id`
+  kCompact = 3,  // flush + merge frozen shards, dropping tombstones
+  kReload = 4,   // reopen from the on-disk manifest
+};
+
+// "insert" / "delete" / "compact" / "reload".
+std::string_view MutateOpName(MutateOp op);
 
 // What to ask, plus a client-chosen correlation id echoed back in the
 // response (responses to pipelined requests arrive in request order,
@@ -73,6 +89,32 @@ struct QueryRequest {
 struct QueryResponse {
   uint64_t id = 0;
   QueryResult result;
+};
+
+// One lifecycle mutation. `document` is meaningful only for kInsert;
+// `doc_id` only for kDelete.
+struct MutateRequest {
+  uint64_t id = 0;
+  MutateOp op = MutateOp::kInsert;
+  uint32_t doc_id = 0;
+  std::string document;
+
+  bool operator==(const MutateRequest&) const = default;
+};
+
+// The mutation verdict. On success `generation` is the index generation
+// the mutation published (so a client can confirm its write is visible
+// to every later query), and for kInsert `doc_id` is the id assigned to
+// the new document.
+struct MutateResponse {
+  uint64_t id = 0;
+  MutateOp op = MutateOp::kInsert;
+  uint32_t doc_id = 0;
+  StatusCode status = StatusCode::kOk;
+  std::string error;
+  uint64_t generation = 0;
+
+  bool operator==(const MutateResponse&) const = default;
 };
 
 // Connection-level error frame (protocol violations, where there may be
@@ -104,6 +146,12 @@ void AppendResponseFrame(const QueryResponse& response, std::string* out);
 void AppendStatsRequestFrame(std::string* out);
 void AppendStatsResponseFrame(std::string_view stats_json, std::string* out);
 void AppendErrorFrame(const WireError& error, std::string* out);
+// Mutate senders keep `document` + 21 bytes of fixed fields under the
+// frame cap (serve::Client::SendMutate pre-validates); responses are
+// small by construction.
+void AppendMutateFrame(const MutateRequest& request, std::string* out);
+void AppendMutateResponseFrame(const MutateResponse& response,
+                               std::string* out);
 
 // One frame lifted out of a byte stream; `payload` points into the
 // caller's buffer (valid only while the buffer lives).
@@ -128,6 +176,8 @@ Result<QueryRequest> DecodeRequest(std::string_view payload);
 Result<QueryResponse> DecodeResponse(std::string_view payload);
 Result<std::string> DecodeStatsResponse(std::string_view payload);
 Result<WireError> DecodeError(std::string_view payload);
+Result<MutateRequest> DecodeMutate(std::string_view payload);
+Result<MutateResponse> DecodeMutateResponse(std::string_view payload);
 
 // --- JSON lines ------------------------------------------------------------
 
@@ -140,6 +190,15 @@ std::string RequestToJson(const QueryRequest& request);
 std::string ResponseToJson(const QueryResponse& response);
 Result<QueryRequest> ParseRequestJson(std::string_view line);
 Result<QueryResponse> ParseResponseJson(std::string_view line);
+
+// {"v":1,"type":"mutate","id":N,"op":"insert","doc":"..."} (a delete
+// carries "doc_id" instead of "doc"; compact/reload carry neither) and
+// the response mirror {"v":1,"type":"mutate_response","id":N,
+// "op":"insert","status":"ok","doc_id":N,"generation":N,"error":...}.
+std::string MutateToJson(const MutateRequest& request);
+std::string MutateResponseToJson(const MutateResponse& response);
+Result<MutateRequest> ParseMutateJson(std::string_view line);
+Result<MutateResponse> ParseMutateResponseJson(std::string_view line);
 
 // --- query text ------------------------------------------------------------
 

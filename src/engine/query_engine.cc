@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <future>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -141,6 +142,20 @@ std::vector<std::vector<QueryResult>> QueryEngine::ExecuteBatch(
   const size_t n = queries.size();
   const uint32_t thread_count = pool_.thread_count();
 
+  // Pin every backend's snapshot once for the whole batch: a dynamic
+  // index keeps answering from one generation even while writers swap
+  // the pointer underneath, so all n queries in the batch see the same
+  // frozen state — and the cache key carries that generation's id, so
+  // answers cached against generation N are unreachable after a swap.
+  // Backends that are already immutable return nullptr and are used
+  // directly.
+  std::vector<std::shared_ptr<const core::Index>> pins(m);
+  std::vector<const core::Index*> effective(indexes);
+  for (size_t j = 0; j < m; ++j) {
+    pins[j] = indexes[j]->PinSnapshot();
+    if (pins[j] != nullptr) effective[j] = pins[j].get();
+  }
+
   std::vector<std::vector<QueryResult>> results(m);
   std::vector<std::vector<SearchStats>> per_thread(
       m, std::vector<SearchStats>(thread_count));
@@ -163,7 +178,7 @@ std::vector<std::vector<QueryResult>> QueryEngine::ExecuteBatch(
 #if !defined(SPINE_OBS_DISABLED)
     if (options_.tracing && stats != nullptr) traces[j].resize(n);
 #endif
-    if (!indexes[j]->capabilities().concurrent_reads) {
+    if (!effective[j]->capabilities().concurrent_reads) {
       serialize[j] = &backend_mus[j];
     }
   }
@@ -212,7 +227,7 @@ std::vector<std::vector<QueryResult>> QueryEngine::ExecuteBatch(
           for (size_t i = begin; i < end; ++i) {
             bool hit = false;
             results[j][i] =
-                AnswerOne(*indexes[j], queries[i], serialize[j], &hit,
+                AnswerOne(*effective[j], queries[i], serialize[j], &hit,
                           &local_retries,
                           trace_slots == nullptr ? nullptr : &trace_slots[i],
                           cancel, epoch);

@@ -96,6 +96,25 @@ Status Client::Send(const wire::QueryRequest& request) {
   return SendRaw(out);
 }
 
+Status Client::SendMutate(const wire::MutateRequest& request) {
+  // Same cap discipline as Send(): 21 = the mutate payload's fixed
+  // fields plus the version/type header bytes.
+  if (request.document.size() + 21 > wire::kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "document of " + std::to_string(request.document.size()) +
+        " bytes exceeds the " + std::to_string(wire::kMaxFramePayload) +
+        "-byte wire frame cap");
+  }
+  std::string out;
+  if (json_) {
+    out = wire::MutateToJson(request);
+    out += '\n';
+  } else {
+    wire::AppendMutateFrame(request, &out);
+  }
+  return SendRaw(out);
+}
+
 Status Client::SendStatsRequest() {
   std::string out;
   if (json_) {
@@ -205,6 +224,31 @@ Result<wire::QueryResponse> Client::ReceiveResponse() {
         std::to_string(static_cast<int>(frame.type)));
   }
   return wire::DecodeResponse(frame.payload);
+}
+
+Result<wire::MutateResponse> Client::ReceiveMutateResponse() {
+  if (json_) {
+    std::string line;
+    Status status = NextLine(&line);
+    if (!status.ok()) return status;
+    if (std::optional<Status> error = JsonErrorStatus(line)) return *error;
+    return wire::ParseMutateResponseJson(line);
+  }
+  wire::Frame frame;
+  std::string storage;
+  Status status = NextFrame(&frame, &storage);
+  if (!status.ok()) return status;
+  if (frame.type == wire::FrameType::kError) {
+    Result<wire::WireError> error = wire::DecodeError(frame.payload);
+    if (!error.ok()) return error.status();
+    return Status(error->code, std::move(error->message));
+  }
+  if (frame.type != wire::FrameType::kMutateResponse) {
+    return Status::ProtocolError(
+        "expected mutate response frame, got type " +
+        std::to_string(static_cast<int>(frame.type)));
+  }
+  return wire::DecodeMutateResponse(frame.payload);
 }
 
 Result<std::string> Client::ReceiveStatsJson() {

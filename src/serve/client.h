@@ -43,6 +43,9 @@ class Client {
 
   Status Send(const core::wire::QueryRequest& request);
   Status SendStatsRequest();
+  // Lifecycle verbs against a mutable backend (docs/LIFECYCLE.md). The
+  // document is bounded by the frame cap, same as query patterns.
+  Status SendMutate(const core::wire::MutateRequest& request);
   // Raw bytes straight onto the socket — the hook tests and the fuzzer
   // use to deliver malformed frames.
   Status SendRaw(std::string_view bytes);
@@ -53,6 +56,8 @@ class Client {
   Result<core::wire::QueryResponse> ReceiveResponse();
   // Blocks for the next stats document (reply to SendStatsRequest).
   Result<std::string> ReceiveStatsJson();
+  // Blocks for the next mutate response (reply to SendMutate).
+  Result<core::wire::MutateResponse> ReceiveMutateResponse();
 
   // Half-closes the write side; the server drains what was sent and
   // then sees EOF. Receive*() keeps working until the server closes.

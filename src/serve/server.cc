@@ -207,6 +207,7 @@ ServerStats Server::stats() const {
       deadline_exceeded_.load(std::memory_order_relaxed);
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   stats.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  stats.mutations = mutations_.load(std::memory_order_relaxed);
   stats.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   stats.bytes_out = bytes_out_.load(std::memory_order_relaxed);
   return stats;
@@ -246,6 +247,17 @@ std::string Server::StatsJson() const {
   json.Value(snapshot.cancelled);
   json.Key("idle_closed");
   json.Value(snapshot.idle_closed);
+  json.Key("mutable");
+  json.Value(options_.mutable_index != nullptr);
+  json.Key("mutations");
+  json.Value(snapshot.mutations);
+  if (options_.mutable_index != nullptr) {
+    json.Key("generation");
+    json.Value(options_.mutable_index->generation_version());
+    json.Key("live_documents");
+    json.Value(
+        static_cast<uint64_t>(options_.mutable_index->live_documents()));
+  }
   json.Key("bytes_in");
   json.Value(snapshot.bytes_in);
   json.Key("bytes_out");
@@ -702,6 +714,26 @@ bool Server::ProcessBuffered(Connection* connection) {
           }
         }
       }
+      // Lifecycle verbs, same pre-parse sniff as the stats verb. A
+      // mutation is a write barrier: the window flushed first executes
+      // against the old generation, later queries against the new one,
+      // and the responses stay in request order.
+      if (line.find("\"mutate\"") != std::string::npos) {
+        Result<obs::JsonValue> doc = obs::ParseJson(line);
+        if (doc.ok() && doc->is_object()) {
+          const obs::JsonValue* type = doc->Find("type");
+          if (type != nullptr && type->is_string() &&
+              type->string_value == "mutate") {
+            Result<wire::MutateRequest> request =
+                wire::ParseMutateJson(line);
+            if (!request.ok()) return protocol_error(request.status());
+            flush_window();
+            out += wire::MutateResponseToJson(ApplyMutation(*request));
+            out += '\n';
+            continue;
+          }
+        }
+      }
       Result<wire::QueryRequest> request = wire::ParseRequestJson(line);
       if (!request.ok()) return protocol_error(request.status());
       wire::QueryRequest req = *std::move(request);
@@ -740,6 +772,17 @@ bool Server::ProcessBuffered(Connection* connection) {
           flush_window();
           wire::AppendStatsResponseFrame(StatsJson(), &out);
           break;
+        case wire::FrameType::kMutate: {
+          Result<wire::MutateRequest> request =
+              wire::DecodeMutate(frame.payload);
+          if (!request.ok()) return protocol_error(request.status());
+          // Write barrier: queries buffered before this frame run
+          // against the old generation, ones after against the new;
+          // responses stay in request order either way.
+          flush_window();
+          wire::AppendMutateResponseFrame(ApplyMutation(*request), &out);
+          break;
+        }
         default:
           // Clients must not send server-to-client frame types.
           return protocol_error(Status::ProtocolError(
@@ -754,6 +797,48 @@ bool Server::ProcessBuffered(Connection* connection) {
   if (out.empty()) return true;
   return WriteAll(connection->fd, out, &bytes_out_,
                   options_.write_timeout_ms);
+}
+
+wire::MutateResponse Server::ApplyMutation(
+    const wire::MutateRequest& request) {
+  wire::MutateResponse response;
+  response.id = request.id;
+  response.op = request.op;
+  response.doc_id = request.doc_id;
+  core::MutableIndex* target = options_.mutable_index;
+  mutations_.fetch_add(1, std::memory_order_relaxed);
+  SPINE_OBS_COUNT("serve.mutations", 1);
+  if (target == nullptr) {
+    response.status = StatusCode::kInvalidArgument;
+    response.error = "backend '" + std::string(index_.Name()) +
+                     "' is read-only; lifecycle verbs need a dynamic index";
+    return response;
+  }
+  Status status;
+  switch (request.op) {
+    case wire::MutateOp::kInsert: {
+      Result<uint32_t> doc_id = target->InsertDocument(request.document);
+      if (doc_id.ok()) {
+        response.doc_id = *doc_id;
+      } else {
+        status = doc_id.status();
+      }
+      break;
+    }
+    case wire::MutateOp::kDelete:
+      status = target->DeleteDocument(request.doc_id);
+      break;
+    case wire::MutateOp::kCompact:
+      status = target->Compact();
+      break;
+    case wire::MutateOp::kReload:
+      status = target->Reload();
+      break;
+  }
+  response.status = status.code();
+  if (!status.ok()) response.error = std::string(status.message());
+  response.generation = target->generation_version();
+  return response;
 }
 
 }  // namespace spine::serve

@@ -85,6 +85,7 @@
 
 #include "common/status.h"
 #include "core/index.h"
+#include "core/wire.h"
 #include "engine/query_engine.h"
 
 namespace spine::serve {
@@ -110,6 +111,14 @@ struct Options {
   uint32_t read_timeout_ms = 10000;  // ... and ones stuck mid-frame
   uint32_t write_timeout_ms = 10000;  // drop clients that stop reading
   uint32_t slow_query_ms = 1000;      // watchdog stderr log threshold
+  // Lifecycle verbs (kMutate frames / "type":"mutate" lines). When the
+  // served index is mutable (a dynamic family), point this at it —
+  // normally the same object as the query index — and the server
+  // accepts insert/delete/compact/reload. Null (the default) makes the
+  // server read-only: every mutate is answered kInvalidArgument.
+  // Mutations serialize inside the index; queries already in flight
+  // keep their pinned generation (engine snapshot pinning).
+  core::MutableIndex* mutable_index = nullptr;
 };
 
 // Monotonic totals since Start(); readable while serving.
@@ -122,6 +131,7 @@ struct ServerStats {
   uint64_t deadline_exceeded = 0;  // queries answered kDeadlineExceeded
   uint64_t cancelled = 0;          // queries answered kCancelled
   uint64_t idle_closed = 0;        // connections closed by idle/read timeout
+  uint64_t mutations = 0;          // lifecycle verbs applied (or refused)
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
 };
@@ -173,6 +183,10 @@ class Server {
   // close (protocol error or write failure).
   bool ProcessBuffered(Connection* connection);
   void JoinFinishedConnections();
+  // Applies one lifecycle verb against options_.mutable_index (or
+  // refuses it when the server is read-only) and builds the response.
+  core::wire::MutateResponse ApplyMutation(
+      const core::wire::MutateRequest& request);
 
   const core::Index& index_;
   const Options options_;
@@ -198,6 +212,7 @@ class Server {
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> cancelled_{0};
   std::atomic<uint64_t> idle_closed_{0};
+  std::atomic<uint64_t> mutations_{0};
   std::atomic<uint64_t> bytes_in_{0};
   std::atomic<uint64_t> bytes_out_{0};
 };

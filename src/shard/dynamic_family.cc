@@ -1,0 +1,1215 @@
+#include "shard/dynamic_family.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <shared_mutex>
+#include <sstream>
+#include <utility>
+
+#include "common/crc32c.h"
+#include "common/serde.h"
+#include "compact/generalized_compact.h"
+#include "core/generalized_spine.h"
+#include "core/matcher.h"
+#include "core/search.h"
+#include "obs/metrics.h"
+#include "shard/sharded_index.h"
+#include "storage/mmap_region.h"
+
+namespace spine::shard {
+
+namespace {
+
+// Backstop against corrupt manifests claiming absurd shard counts.
+constexpr uint32_t kMaxDynamicShards = 1u << 20;
+
+// The two reserved separator bytes: the memtable concatenates with the
+// GeneralizedSpineIndex separator, frozen shards with the compact one.
+// Neither may appear in documents or patterns — a pattern containing
+// either could match across document boundaries.
+constexpr char kMemSeparator = GeneralizedSpineIndex::kSeparator;
+constexpr char kDiskSeparator = GeneralizedCompactSpine::kSeparator;
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string BaseName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string SiblingPath(const std::string& manifest_path,
+                        const std::string& filename) {
+  const std::string dir = DirName(manifest_path);
+  return dir.empty() ? filename : dir + "/" + filename;
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("failed reading " + path);
+  return std::move(buffer).str();
+}
+
+Result<Alphabet> AlphabetFromKindCode(uint32_t code) {
+  switch (static_cast<Alphabet::Kind>(code)) {
+    case Alphabet::Kind::kDna: return Alphabet::Dna();
+    case Alphabet::Kind::kProtein: return Alphabet::Protein();
+    case Alphabet::Kind::kByte: return Alphabet::Byte();
+    case Alphabet::Kind::kAscii: return Alphabet::Ascii();
+  }
+  return Status::Corruption("unknown alphabet kind " + std::to_string(code));
+}
+
+storage::MmapOptions MmapOptionsFrom(const core::OpenOptions& open) {
+  storage::MmapOptions options;
+  options.populate = open.populate;
+  options.hugepage = open.hugepage;
+  return options;
+}
+
+// Validates and canonicalizes one document through the user alphabet
+// (case folding etc.), so the memtable and every frozen shard index
+// byte-identical text and answers stay byte-exact across flushes.
+Result<std::string> CanonicalizeDocument(const Alphabet& alphabet,
+                                         std::string_view text) {
+  std::string canonical;
+  canonical.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == kMemSeparator || c == kDiskSeparator) {
+      return Status::InvalidArgument("document contains a reserved separator "
+                                     "byte at offset " +
+                                     std::to_string(i));
+    }
+    const Code code = alphabet.Encode(c);
+    if (code == kInvalidCode) {
+      return Status::InvalidArgument(
+          "character at offset " + std::to_string(i) + " is not in the " +
+          alphabet.name() + " alphabet");
+    }
+    canonical.push_back(alphabet.Decode(code));
+  }
+  return canonical;
+}
+
+// Mirrors RecordFamilyObs in sharded_index.cc: the lifecycle answers a
+// query with direct generic-algorithm calls across its sources, so it
+// reports the per-kind counter and aggregated work counters itself.
+void RecordLifecycleObs(const Query& query, const QueryResult& result,
+                        obs::TraceContext* trace) {
+#if !defined(SPINE_OBS_DISABLED)
+  static obs::Counter* const kind_counters[] = {
+      &obs::Registry::Default().GetCounter("core.queries.contains"),
+      &obs::Registry::Default().GetCounter("core.queries.findall"),
+      &obs::Registry::Default().GetCounter("core.queries.match"),
+      &obs::Registry::Default().GetCounter("core.queries.ms"),
+  };
+  kind_counters[static_cast<size_t>(query.kind)]->Add(1);
+  SPINE_OBS_COUNT("lifecycle.queries", 1);
+  SPINE_OBS_COUNT("core.vertebra_steps", result.stats.nodes_checked);
+  SPINE_OBS_COUNT("core.link_traversals", result.stats.link_traversals);
+  SPINE_OBS_COUNT("core.chain_hops", result.stats.chain_hops);
+  if (trace != nullptr) {
+    trace->Note("nodes_checked", result.stats.nodes_checked);
+    trace->Note("link_traversals", result.stats.link_traversals);
+    trace->Note("chain_hops", result.stats.chain_hops);
+    trace->Note("found", result.found ? 1 : 0);
+  }
+#else
+  (void)query;
+  (void)result;
+  (void)trace;
+#endif
+}
+
+}  // namespace
+
+// --- generation model ------------------------------------------------------
+
+// The live, growing shard. The shared_mutex travels with the data:
+// the writer appends under the exclusive lock, every reader (on any
+// pinned generation) walks the index under the shared lock. Older
+// generations simply ignore documents past their visible count.
+struct DynamicFamily::MemtableShard {
+  explicit MemtableShard(const Alphabet& alphabet) : index(alphabet) {}
+
+  mutable std::shared_mutex mu;
+  GeneralizedSpineIndex index;
+  std::vector<uint32_t> doc_ids;   // ascending; parallel to texts
+  std::vector<std::string> texts;  // canonical document texts
+  uint64_t chars = 0;              // total canonical characters (flush trigger)
+};
+
+// An immutable on-disk shard image, loaded (or just built) in memory.
+struct DynamicFamily::FrozenShard {
+  explicit FrozenShard(GeneralizedCompactSpine&& image)
+      : index(std::move(image)) {}
+
+  GeneralizedCompactSpine index;
+  std::string filename;  // relative to the manifest's directory
+  uint64_t file_size = 0;
+  uint32_t file_crc = 0;
+  std::vector<uint32_t> doc_ids;  // ascending; parallel to index strings
+  std::vector<uint64_t> starts;   // local concatenation start per document
+  // Non-null when the image borrows from a mapping (mmap open): the
+  // fence is checked at query admission, exactly like ShardedIndex.
+  std::shared_ptr<const storage::MmapRegion> mapping;
+};
+
+// One immutable snapshot of the family's queryable state. Everything
+// below `derived state` is precomputed once by the publishing writer;
+// readers share the structure lock-free (the memtable's own lock is
+// the only lock a query ever takes).
+struct DynamicFamily::Generation {
+  uint64_t version = 0;
+  uint64_t cache_id = 0;
+  uint32_t next_doc_id = 0;
+  std::vector<std::shared_ptr<const FrozenShard>> shards;
+  std::shared_ptr<MemtableShard> memtable;  // null when empty/flushed
+  uint32_t memtable_visible = 0;  // docs of the memtable this gen sees
+  std::vector<uint32_t> tombstones;  // sorted, unique doc ids
+
+  // --- derived state (BuildDerived) ---
+  struct DocRef {
+    uint32_t doc_id = 0;
+    uint32_t length = 0;
+    uint64_t canonical_start = 0;  // offset in the live concatenation
+    uint32_t source = 0;           // shard index, or shards.size() = memtable
+    uint32_t local = 0;            // document index within the source
+  };
+  std::vector<DocRef> live;  // ascending doc_id
+  // Per source: local doc index -> canonical start, or -1 when dead.
+  std::vector<std::vector<int64_t>> doc_map;
+  std::vector<bool> shard_dirty;     // shard holds a tombstoned doc
+  bool memtable_dirty = false;       // a visible memtable doc is tombstoned
+  std::vector<uint64_t> mem_starts;  // local start per visible memtable doc
+  std::vector<uint32_t> mem_lengths;
+  uint64_t mem_limit = 0;    // local chars covered by visible memtable docs
+  uint64_t total_chars = 0;  // live concatenation size, separators included
+
+  void BuildDerived();
+};
+
+void DynamicFamily::Generation::BuildDerived() {
+  live.clear();
+  doc_map.assign(shards.size() + 1, {});
+  shard_dirty.assign(shards.size(), false);
+  mem_starts.clear();
+  mem_lengths.clear();
+  memtable_dirty = false;
+  mem_limit = 0;
+  const auto dead = [this](uint32_t id) {
+    return std::binary_search(tombstones.begin(), tombstones.end(), id);
+  };
+  uint64_t canonical = 0;
+  for (uint32_t s = 0; s < shards.size(); ++s) {
+    const FrozenShard& shard = *shards[s];
+    const uint64_t concat = shard.index.underlying().size();
+    doc_map[s].assign(shard.doc_ids.size(), -1);
+    for (uint32_t i = 0; i < shard.doc_ids.size(); ++i) {
+      const uint64_t end =
+          i + 1 < shard.starts.size() ? shard.starts[i + 1] : concat;
+      const uint32_t length =
+          static_cast<uint32_t>(end - shard.starts[i] - 1);
+      if (dead(shard.doc_ids[i])) {
+        shard_dirty[s] = true;
+        continue;
+      }
+      doc_map[s][i] = static_cast<int64_t>(canonical);
+      live.push_back({shard.doc_ids[i], length, canonical, s, i});
+      canonical += length + 1;
+    }
+  }
+  if (memtable != nullptr && memtable_visible > 0) {
+    std::vector<int64_t>& mem_map = doc_map[shards.size()];
+    mem_map.assign(memtable_visible, -1);
+    mem_starts.reserve(memtable_visible);
+    mem_lengths.reserve(memtable_visible);
+    uint64_t local = 0;
+    for (uint32_t i = 0; i < memtable_visible; ++i) {
+      const uint32_t length = static_cast<uint32_t>(memtable->texts[i].size());
+      mem_starts.push_back(local);
+      mem_lengths.push_back(length);
+      if (dead(memtable->doc_ids[i])) {
+        memtable_dirty = true;
+      } else {
+        mem_map[i] = static_cast<int64_t>(canonical);
+        live.push_back({memtable->doc_ids[i], length, canonical,
+                        static_cast<uint32_t>(shards.size()), i});
+        canonical += length + 1;
+      }
+      local += length + 1;
+    }
+    mem_limit = local;
+  }
+  total_chars = canonical;
+}
+
+// The pinned view handed to engine batches: answers, size and cache_id
+// stay frozen on this generation while writers swap underneath.
+class DynamicFamily::Snapshot final : public core::Index {
+ public:
+  Snapshot(Alphabet alphabet, std::shared_ptr<const Generation> generation)
+      : alphabet_(std::move(alphabet)), generation_(std::move(generation)) {}
+
+  core::IndexKind kind() const override { return core::IndexKind::kDynamic; }
+  core::Capabilities capabilities() const override {
+    core::Capabilities caps;
+    caps.persistent = true;
+    return caps;
+  }
+  const Alphabet& alphabet() const override { return alphabet_; }
+  uint64_t size() const override { return generation_->total_chars; }
+  QueryResult Execute(const Query& query, obs::TraceContext* trace,
+                      const CancelToken* cancel) const override {
+    return DynamicFamily::ExecuteOnGeneration(*generation_, query, trace,
+                                              cancel);
+  }
+  Status VerifyStructure() const override {
+    return DynamicFamily::VerifyGeneration(*generation_);
+  }
+  uint64_t MemoryBytes() const override {
+    return DynamicFamily::GenerationMemoryBytes(*generation_);
+  }
+  uint64_t cache_id() const override { return generation_->cache_id; }
+
+ private:
+  Alphabet alphabet_;
+  std::shared_ptr<const Generation> generation_;
+};
+
+// --- query merge -----------------------------------------------------------
+
+QueryResult DynamicFamily::ExecuteOnGeneration(const Generation& gen,
+                                               const Query& query,
+                                               obs::TraceContext* trace,
+                                               const CancelToken* cancel) {
+#if defined(SPINE_OBS_DISABLED)
+  trace = nullptr;
+#endif
+  obs::SpanTimer exec_timer(trace, "exec_us");
+  QueryResult result;
+
+  // A reserved separator byte could match across document boundaries —
+  // composition-dependent nonsense — so it is rejected, never answered.
+  for (const char c : query.pattern) {
+    if (c == kMemSeparator || c == kDiskSeparator) {
+      result.status_code = StatusCode::kInvalidArgument;
+      result.error = "pattern contains a reserved separator byte";
+      RecordLifecycleObs(query, result, trace);
+      return result;
+    }
+  }
+
+  // Length fence before touching mapped shard bytes (docs/STORAGE.md).
+  for (const std::shared_ptr<const FrozenShard>& shard : gen.shards) {
+    if (shard->mapping != nullptr) {
+      Status fence = shard->mapping->CheckFence();
+      if (!fence.ok()) {
+        result.status_code = fence.code();
+        result.error = std::string(fence.message());
+        RecordLifecycleObs(query, result, trace);
+        return result;
+      }
+    }
+  }
+
+  // Empty patterns get core/query.h ExecuteQuery's verdicts (contains
+  // trivially true, everything else empty) so the differential oracle
+  // agrees byte-for-byte.
+  if (query.pattern.empty()) {
+    result.found = query.kind == QueryKind::kContains;
+    RecordLifecycleObs(query, result, trace);
+    return result;
+  }
+
+  // One shared lock covers every memtable read below: one query sees
+  // one memtable state even while the writer appends concurrently.
+  const bool use_memtable = gen.memtable != nullptr && gen.memtable_visible > 0;
+  std::shared_lock<std::shared_mutex> memtable_lock;
+  bool mem_clean = false;
+  if (use_memtable) {
+    memtable_lock = std::shared_lock<std::shared_mutex>(gen.memtable->mu);
+    mem_clean = gen.memtable->index.string_count() == gen.memtable_visible &&
+                !gen.memtable_dirty;
+  }
+  const uint32_t shard_count = static_cast<uint32_t>(gen.shards.size());
+  const uint32_t source_count = shard_count + (use_memtable ? 1 : 0);
+  bool any_dirty = use_memtable && !mem_clean;
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    if (gen.shard_dirty[s]) any_dirty = true;
+  }
+
+  // Maps a local position in source `s` to its offset in the live
+  // concatenation; -1 when the position lies in a dead or invisible
+  // document (or on a separator, unreachable for valid patterns).
+  const auto canonical_of = [&gen, shard_count,
+                             use_memtable](uint32_t s, uint64_t pos) -> int64_t {
+    if (s < shard_count) {
+      const FrozenShard& shard = *gen.shards[s];
+      const auto it =
+          std::upper_bound(shard.starts.begin(), shard.starts.end(), pos);
+      const uint32_t doc =
+          static_cast<uint32_t>(it - shard.starts.begin()) - 1;
+      const uint64_t offset = pos - shard.starts[doc];
+      const uint64_t end = doc + 1 < shard.starts.size()
+                               ? shard.starts[doc + 1]
+                               : shard.index.underlying().size();
+      if (offset >= end - shard.starts[doc] - 1) return -1;
+      const int64_t base = gen.doc_map[s][doc];
+      return base < 0 ? -1 : base + static_cast<int64_t>(offset);
+    }
+    if (!use_memtable || pos >= gen.mem_limit) return -1;
+    const auto it =
+        std::upper_bound(gen.mem_starts.begin(), gen.mem_starts.end(), pos);
+    const uint32_t doc = static_cast<uint32_t>(it - gen.mem_starts.begin()) - 1;
+    const uint64_t offset = pos - gen.mem_starts[doc];
+    if (offset >= gen.mem_lengths[doc]) return -1;
+    const int64_t base = gen.doc_map[shard_count][doc];
+    return base < 0 ? -1 : base + static_cast<int64_t>(offset);
+  };
+
+  const auto find_all_in = [&](uint32_t s, std::string_view pattern) {
+    return s < shard_count
+               ? GenericFindAll(gen.shards[s]->index.underlying(), pattern,
+                                &result.stats, cancel)
+               : GenericFindAll(gen.memtable->index.underlying(), pattern,
+                                &result.stats, cancel);
+  };
+
+  // All live occurrences of `pattern`, as ascending canonical offsets.
+  const auto live_positions = [&](std::string_view pattern) {
+    std::vector<int64_t> positions;
+    for (uint32_t s = 0; s < source_count; ++s) {
+      for (const uint32_t pos : find_all_in(s, pattern)) {
+        const int64_t mapped = canonical_of(s, pos);
+        if (mapped >= 0) positions.push_back(mapped);
+      }
+    }
+    std::sort(positions.begin(), positions.end());
+    return positions;
+  };
+
+  const auto live_contains = [&](std::string_view pattern) -> bool {
+    for (uint32_t s = 0; s < source_count; ++s) {
+      const bool clean = s < shard_count ? !gen.shard_dirty[s] : mem_clean;
+      if (clean) {
+        const bool found =
+            s < shard_count
+                ? GenericFindFirstEnd(gen.shards[s]->index.underlying(),
+                                      pattern, &result.stats, cancel)
+                      .has_value()
+                : GenericFindFirstEnd(gen.memtable->index.underlying(),
+                                      pattern, &result.stats, cancel)
+                      .has_value();
+        if (found) return true;
+      } else {
+        // A dirty source can only vouch for occurrences that map live.
+        for (const uint32_t pos : find_all_in(s, pattern)) {
+          if (canonical_of(s, pos) >= 0) return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  // Matching statistics over the live collection. All-clean sources
+  // merge by elementwise max (substring occurrence over a union
+  // distributes); any dirty source falls back to the incremental scan,
+  // correct because ms[q+1] >= ms[q] - 1 holds over any string set, so
+  // the window only ever grows by one probe per extension.
+  const auto merged_ms = [&]() {
+    const uint32_t m = static_cast<uint32_t>(query.pattern.size());
+    std::vector<uint32_t> ms(m, 0);
+    if (!any_dirty) {
+      for (uint32_t s = 0; s < source_count; ++s) {
+        const std::vector<uint32_t> one =
+            s < shard_count
+                ? GenericMatchingStatistics(gen.shards[s]->index.underlying(),
+                                            query.pattern, &result.stats,
+                                            cancel)
+                : GenericMatchingStatistics(gen.memtable->index.underlying(),
+                                            query.pattern, &result.stats,
+                                            cancel);
+        for (uint32_t q = 0; q < m; ++q) ms[q] = std::max(ms[q], one[q]);
+      }
+      return ms;
+    }
+    CancelCheckpoint checkpoint(cancel);
+    uint32_t z = 0;
+    for (uint32_t q = 0; q < m; ++q) {
+      if (checkpoint.ShouldStop()) return ms;
+      if (z > 0) --z;
+      while (q + z < m && live_contains(std::string_view(query.pattern)
+                                            .substr(q, z + 1))) {
+        ++z;
+      }
+      ms[q] = z;
+    }
+    return ms;
+  };
+
+  const uint32_t m = static_cast<uint32_t>(query.pattern.size());
+  switch (query.kind) {
+    case QueryKind::kContains:
+      result.found = live_contains(query.pattern);
+      break;
+    case QueryKind::kFindAll: {
+      for (const int64_t pos : live_positions(query.pattern)) {
+        result.hits.push_back({static_cast<uint32_t>(pos), m, 0});
+      }
+      result.found = !result.hits.empty();
+      break;
+    }
+    case QueryKind::kMatchingStats: {
+      result.matching_stats = merged_ms();
+      result.found =
+          std::any_of(result.matching_stats.begin(),
+                      result.matching_stats.end(),
+                      [](uint32_t v) { return v > 0; });
+      break;
+    }
+    case QueryKind::kMaximalMatches: {
+      const uint32_t min_len = std::max<uint32_t>(query.min_len, 1);
+      const std::vector<uint32_t> ms = merged_ms();
+      for (uint32_t q = 0; q < ms.size(); ++q) {
+        if (ms[q] < min_len) continue;
+        // ms[q-1] can exceed ms[q] only by one; when it does, this
+        // match is a suffix of the previous one and is not maximal.
+        if (q > 0 && ms[q - 1] > ms[q]) continue;
+        const std::string_view sub =
+            std::string_view(query.pattern).substr(q, ms[q]);
+        const std::vector<int64_t> positions = live_positions(sub);
+        if (positions.empty()) continue;  // only under a fired token
+        if (query.expand_occurrences) {
+          for (const int64_t pos : positions) {
+            result.hits.push_back({static_cast<uint32_t>(pos), ms[q], q});
+          }
+        } else {
+          result.hits.push_back(
+              {static_cast<uint32_t>(positions.front()), ms[q], q});
+        }
+      }
+      result.found = !result.hits.empty();
+      break;
+    }
+  }
+
+  // A fired token trumps whatever partial payload the abandoned walks
+  // left behind — never reported as kOk.
+  if (cancel != nullptr) {
+    Status status = cancel->ToStatus();
+    if (!status.ok()) {
+      QueryResult stopped;
+      stopped.stats = result.stats;  // work done before the stop counts
+      stopped.status_code = status.code();
+      stopped.error = std::string(status.message());
+      RecordLifecycleObs(query, stopped, trace);
+      return stopped;
+    }
+  }
+  RecordLifecycleObs(query, result, trace);
+  return result;
+}
+
+// --- construction / open ---------------------------------------------------
+
+DynamicFamily::DynamicFamily(std::string path, const Alphabet& alphabet,
+                             Options options)
+    : path_(std::move(path)), alphabet_(alphabet), options_(std::move(options)) {}
+
+DynamicFamily::~DynamicFamily() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_stop_ = true;
+  }
+  bg_cv_.notify_all();
+  if (background_.joinable()) background_.join();
+}
+
+Result<std::unique_ptr<DynamicFamily>> DynamicFamily::Create(
+    const std::string& path, const Alphabet& alphabet,
+    const Options& options) {
+  if (alphabet.kind() == Alphabet::Kind::kByte) {
+    return Status::InvalidArgument(
+        "dynamic families require an encodable alphabet (dna, protein or "
+        "ascii): frozen shards are compact images");
+  }
+  if (std::ifstream probe(path, std::ios::binary); probe) {
+    return Status::FailedPrecondition(path +
+                                      " already exists; open it instead");
+  }
+  std::unique_ptr<DynamicFamily> family(
+      new DynamicFamily(path, alphabet, options));
+  auto generation = std::make_shared<Generation>();
+  generation->version = 1;
+  generation->cache_id = core::NextIndexCacheId();
+  generation->BuildDerived();
+  SPINE_RETURN_IF_ERROR(family->WriteManifest(*generation));
+  family->current_ = std::move(generation);
+  family->StartBackgroundThread();
+  return family;
+}
+
+Result<std::unique_ptr<DynamicFamily>> DynamicFamily::Open(
+    const std::string& path, const Options& options) {
+  Alphabet alphabet = Alphabet::Dna();
+  Result<std::shared_ptr<Generation>> generation =
+      LoadGeneration(path, options, &alphabet);
+  if (!generation.ok()) return generation.status();
+  std::unique_ptr<DynamicFamily> family(
+      new DynamicFamily(path, alphabet, options));
+  family->current_ = *std::move(generation);
+  family->StartBackgroundThread();
+  return family;
+}
+
+// --- generation plumbing ---------------------------------------------------
+
+std::shared_ptr<const DynamicFamily::Generation>
+DynamicFamily::CurrentGeneration() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  return current_;
+}
+
+void DynamicFamily::Publish(std::shared_ptr<const Generation> generation) {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  current_ = std::move(generation);
+}
+
+uint64_t DynamicFamily::size() const {
+  return CurrentGeneration()->total_chars;
+}
+
+uint64_t DynamicFamily::cache_id() const {
+  return CurrentGeneration()->cache_id;
+}
+
+uint64_t DynamicFamily::generation_version() const {
+  return CurrentGeneration()->version;
+}
+
+uint32_t DynamicFamily::live_documents() const {
+  return static_cast<uint32_t>(CurrentGeneration()->live.size());
+}
+
+uint32_t DynamicFamily::next_doc_id() const {
+  return CurrentGeneration()->next_doc_id;
+}
+
+uint32_t DynamicFamily::frozen_shard_count() const {
+  return static_cast<uint32_t>(CurrentGeneration()->shards.size());
+}
+
+uint32_t DynamicFamily::memtable_documents() const {
+  std::shared_ptr<const Generation> gen = CurrentGeneration();
+  if (gen->memtable == nullptr) return 0;
+  std::shared_lock<std::shared_mutex> lock(gen->memtable->mu);
+  return gen->memtable->index.string_count();
+}
+
+uint32_t DynamicFamily::tombstone_count() const {
+  return static_cast<uint32_t>(CurrentGeneration()->tombstones.size());
+}
+
+QueryResult DynamicFamily::Execute(const Query& query,
+                                   obs::TraceContext* trace,
+                                   const CancelToken* cancel) const {
+  std::shared_ptr<const Generation> gen = CurrentGeneration();
+  return ExecuteOnGeneration(*gen, query, trace, cancel);
+}
+
+std::shared_ptr<const core::Index> DynamicFamily::PinSnapshot() const {
+  return std::make_shared<Snapshot>(alphabet_, CurrentGeneration());
+}
+
+Status DynamicFamily::VerifyStructure() const {
+  return VerifyGeneration(*CurrentGeneration());
+}
+
+uint64_t DynamicFamily::MemoryBytes() const {
+  return GenerationMemoryBytes(*CurrentGeneration());
+}
+
+Status DynamicFamily::VerifyGeneration(const Generation& gen) {
+  for (const std::shared_ptr<const FrozenShard>& shard : gen.shards) {
+    if (shard->mapping != nullptr) {
+      SPINE_RETURN_IF_ERROR(shard->mapping->CheckFence());
+    }
+    if (shard->index.string_count() != shard->doc_ids.size()) {
+      return Status::Corruption("shard " + shard->filename +
+                                " document count mismatch");
+    }
+    SPINE_RETURN_IF_ERROR(shard->index.underlying().Validate());
+  }
+  if (gen.memtable != nullptr) {
+    std::shared_lock<std::shared_mutex> lock(gen.memtable->mu);
+    if (gen.memtable_visible > gen.memtable->index.string_count()) {
+      return Status::Corruption(
+          "generation sees more memtable documents than exist");
+    }
+    SPINE_RETURN_IF_ERROR(gen.memtable->index.underlying().Validate());
+  }
+  for (const uint32_t id : gen.tombstones) {
+    if (id >= gen.next_doc_id) {
+      return Status::Corruption("tombstone references an unassigned doc id");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t DynamicFamily::GenerationMemoryBytes(const Generation& gen) {
+  uint64_t total = 0;
+  for (const std::shared_ptr<const FrozenShard>& shard : gen.shards) {
+    total += shard->index.underlying().MemoryBytes();
+    total += shard->doc_ids.size() * sizeof(uint32_t);
+    total += shard->starts.size() * sizeof(uint64_t);
+  }
+  if (gen.memtable != nullptr) {
+    std::shared_lock<std::shared_mutex> lock(gen.memtable->mu);
+    total += gen.memtable->index.underlying().MemoryBytes();
+    total += gen.memtable->chars;
+  }
+  total += gen.live.size() * sizeof(Generation::DocRef);
+  return total;
+}
+
+// --- mutations -------------------------------------------------------------
+
+Result<uint32_t> DynamicFamily::InsertDocument(std::string_view text) {
+  Result<std::string> canonical = CanonicalizeDocument(alphabet_, text);
+  if (!canonical.ok()) return canonical.status();
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  std::shared_ptr<const Generation> cur = CurrentGeneration();
+  auto next = std::make_shared<Generation>();
+  next->version = cur->version + 1;
+  next->cache_id = core::NextIndexCacheId();
+  next->next_doc_id = cur->next_doc_id + 1;
+  next->shards = cur->shards;
+  next->tombstones = cur->tombstones;
+  next->memtable = cur->memtable != nullptr
+                       ? cur->memtable
+                       : std::make_shared<MemtableShard>(alphabet_);
+  const uint32_t doc_id = cur->next_doc_id;
+  {
+    std::unique_lock<std::shared_mutex> lock(next->memtable->mu);
+    SPINE_RETURN_IF_ERROR(next->memtable->index.AddString(*canonical));
+    next->memtable->doc_ids.push_back(doc_id);
+    next->memtable->chars += canonical->size();
+    next->memtable->texts.push_back(std::move(*canonical));
+  }
+  // The newest generation always sees the full memtable; older pinned
+  // generations keep their smaller visible counts.
+  next->memtable_visible =
+      static_cast<uint32_t>(next->memtable->doc_ids.size());
+  next->BuildDerived();
+  Publish(next);
+  SPINE_OBS_COUNT("lifecycle.inserts", 1);
+  if (options_.flush_threshold_bytes > 0 &&
+      next->memtable->chars >= options_.flush_threshold_bytes) {
+    KickBackground();
+  }
+  return doc_id;
+}
+
+Status DynamicFamily::DeleteDocument(uint32_t doc_id) {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  std::shared_ptr<const Generation> cur = CurrentGeneration();
+  const auto it = std::lower_bound(
+      cur->live.begin(), cur->live.end(), doc_id,
+      [](const Generation::DocRef& ref, uint32_t id) {
+        return ref.doc_id < id;
+      });
+  if (it == cur->live.end() || it->doc_id != doc_id) {
+    return Status::NotFound("document " + std::to_string(doc_id) +
+                            " is not live");
+  }
+  auto next = std::make_shared<Generation>();
+  next->version = cur->version + 1;
+  next->cache_id = core::NextIndexCacheId();
+  next->next_doc_id = cur->next_doc_id;
+  next->shards = cur->shards;
+  next->memtable = cur->memtable;
+  next->memtable_visible = cur->memtable_visible;
+  next->tombstones = cur->tombstones;
+  next->tombstones.insert(std::upper_bound(next->tombstones.begin(),
+                                           next->tombstones.end(), doc_id),
+                          doc_id);
+  next->BuildDerived();
+  if (it->source < cur->shards.size()) {
+    // Deleting a frozen document: the tombstone must survive reopen,
+    // so the manifest commits before the generation publishes. On
+    // failure the old generation keeps serving — the doc stays live.
+    SPINE_RETURN_IF_ERROR(WriteManifest(*next));
+  }
+  Publish(next);
+  SPINE_OBS_COUNT("lifecycle.deletes", 1);
+  return Status::OK();
+}
+
+Status DynamicFamily::Flush() {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  return FlushLocked();
+}
+
+Status DynamicFamily::Compact() {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  return CompactLocked();
+}
+
+Status DynamicFamily::Reload() {
+  std::lock_guard<std::mutex> writer(writer_mu_);
+  return ReloadLocked();
+}
+
+Status DynamicFamily::FlushLocked() {
+  std::shared_ptr<const Generation> cur = CurrentGeneration();
+  if (cur->memtable == nullptr || cur->memtable_visible == 0) {
+    return Status::OK();
+  }
+  // The writer lock stops the memtable growing mid-flush, and the
+  // newest generation sees all of it, so no document is left behind.
+  std::vector<uint32_t> doc_ids;
+  std::vector<std::string> texts;
+  std::vector<uint32_t> dropped;  // tombstones resolved by this flush
+  {
+    std::shared_lock<std::shared_mutex> lock(cur->memtable->mu);
+    for (uint32_t i = 0; i < cur->memtable_visible; ++i) {
+      const uint32_t id = cur->memtable->doc_ids[i];
+      if (std::binary_search(cur->tombstones.begin(), cur->tombstones.end(),
+                             id)) {
+        dropped.push_back(id);
+      } else {
+        doc_ids.push_back(id);
+        texts.push_back(cur->memtable->texts[i]);
+      }
+    }
+  }
+  auto next = std::make_shared<Generation>();
+  next->version = cur->version + 1;
+  next->cache_id = core::NextIndexCacheId();
+  next->next_doc_id = cur->next_doc_id;
+  next->shards = cur->shards;
+  // Tombstones that only masked memtable documents die with them.
+  std::set_difference(cur->tombstones.begin(), cur->tombstones.end(),
+                      dropped.begin(), dropped.end(),
+                      std::back_inserter(next->tombstones));
+  if (!doc_ids.empty()) {
+    Result<std::shared_ptr<const FrozenShard>> shard =
+        WriteShard(next->version, doc_ids, texts);
+    if (!shard.ok()) return shard.status();
+    next->shards.push_back(*std::move(shard));
+  }
+  next->BuildDerived();
+  Status status = WriteManifest(*next);
+  if (!status.ok()) {
+    if (!doc_ids.empty()) {
+      // Roll back the fresh image; the old generation stays fully live.
+      std::remove(SiblingPath(path_, next->shards.back()->filename).c_str());
+    }
+    return status;
+  }
+  Publish(next);
+  SPINE_OBS_COUNT("lifecycle.flushes", 1);
+  return Status::OK();
+}
+
+Status DynamicFamily::CompactLocked() {
+  SPINE_RETURN_IF_ERROR(FlushLocked());
+  std::shared_ptr<const Generation> cur = CurrentGeneration();
+  if (cur->shards.size() <= 1 && cur->tombstones.empty()) {
+    return Status::OK();  // already compact
+  }
+  std::vector<uint32_t> doc_ids;
+  std::vector<std::string> texts;
+  doc_ids.reserve(cur->live.size());
+  texts.reserve(cur->live.size());
+  for (const Generation::DocRef& doc : cur->live) {
+    doc_ids.push_back(doc.doc_id);
+    texts.push_back(cur->shards[doc.source]->index.StringText(doc.local));
+  }
+  auto next = std::make_shared<Generation>();
+  next->version = cur->version + 1;
+  next->cache_id = core::NextIndexCacheId();
+  next->next_doc_id = cur->next_doc_id;
+  if (!doc_ids.empty()) {
+    Result<std::shared_ptr<const FrozenShard>> shard =
+        WriteShard(next->version, doc_ids, texts);
+    if (!shard.ok()) return shard.status();
+    next->shards.push_back(*std::move(shard));
+  }
+  next->BuildDerived();
+  Status status = WriteManifest(*next);
+  if (!status.ok()) {
+    if (!next->shards.empty()) {
+      std::remove(SiblingPath(path_, next->shards.back()->filename).c_str());
+    }
+    return status;
+  }
+  Publish(next);
+  // The old images are unreferenced by the committed manifest; pinned
+  // readers keep them alive through open descriptors or heap copies,
+  // so unlinking now is safe.
+  for (const std::shared_ptr<const FrozenShard>& shard : cur->shards) {
+    std::remove(SiblingPath(path_, shard->filename).c_str());
+  }
+  SPINE_OBS_COUNT("lifecycle.compactions", 1);
+  return Status::OK();
+}
+
+Status DynamicFamily::ReloadLocked() {
+  Alphabet alphabet = Alphabet::Dna();
+  Result<std::shared_ptr<Generation>> loaded =
+      LoadGeneration(path_, options_, &alphabet);
+  if (!loaded.ok()) return loaded.status();
+  if (alphabet.kind() != alphabet_.kind()) {
+    return Status::FailedPrecondition(
+        "manifest alphabet changed across reload");
+  }
+  std::shared_ptr<const Generation> cur = CurrentGeneration();
+  std::shared_ptr<Generation> next = *std::move(loaded);
+  // Keep the version counter monotone: volatile inserts bumped the
+  // in-memory version past what the manifest recorded.
+  if (next->version < cur->version + 1) next->version = cur->version + 1;
+  Publish(std::move(next));
+  SPINE_OBS_COUNT("lifecycle.reloads", 1);
+  return Status::OK();
+}
+
+// --- persistence -----------------------------------------------------------
+
+Status DynamicFamily::RunFaultHook(std::string_view step) const {
+  if (!options_.write_fault_hook) return Status::OK();
+  return options_.write_fault_hook(step);
+}
+
+Result<std::shared_ptr<const DynamicFamily::FrozenShard>>
+DynamicFamily::WriteShard(uint64_t version,
+                          const std::vector<uint32_t>& doc_ids,
+                          const std::vector<std::string>& texts) const {
+  GeneralizedCompactSpine image(alphabet_);
+  for (size_t i = 0; i < texts.size(); ++i) {
+    SPINE_RETURN_IF_ERROR(
+        image.AddString(texts[i], "doc-" + std::to_string(doc_ids[i])));
+  }
+  // Image files are uniquely named per generation and never rewritten
+  // in place — the crash-consistency contract's load-bearing half.
+  const std::string filename =
+      BaseName(path_) + ".g" + std::to_string(version);
+  const std::string full = SiblingPath(path_, filename);
+  Status status = RunFaultHook("shard.write");
+  if (status.ok()) status = image.Save(full);
+  if (status.ok()) status = RunFaultHook("shard.finish");
+  Result<std::string> bytes =
+      status.ok() ? ReadFileBytes(full) : Result<std::string>(status);
+  if (!bytes.ok()) {
+    std::remove(full.c_str());
+    return bytes.status();
+  }
+  auto shard = std::make_shared<FrozenShard>(std::move(image));
+  shard->filename = filename;
+  shard->file_size = bytes->size();
+  shard->file_crc = Crc32c(bytes->data(), bytes->size());
+  shard->doc_ids = doc_ids;
+  shard->starts.reserve(texts.size());
+  uint64_t start = 0;
+  for (const std::string& text : texts) {
+    shard->starts.push_back(start);
+    start += text.size() + 1;
+  }
+  return std::shared_ptr<const FrozenShard>(std::move(shard));
+}
+
+Status DynamicFamily::WriteManifest(const Generation& generation) const {
+  std::vector<uint32_t> frozen_ids;
+  for (const std::shared_ptr<const FrozenShard>& shard : generation.shards) {
+    frozen_ids.insert(frozen_ids.end(), shard->doc_ids.begin(),
+                      shard->doc_ids.end());
+  }
+  // Only tombstones of frozen documents are durable; memtable deletes
+  // resolve at flush and would dangle after a reopen.
+  std::vector<uint32_t> durable_tombstones;
+  for (const uint32_t id : generation.tombstones) {
+    if (std::binary_search(frozen_ids.begin(), frozen_ids.end(), id)) {
+      durable_tombstones.push_back(id);
+    }
+  }
+  SPINE_RETURN_IF_ERROR(RunFaultHook("manifest.write"));
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open " + tmp + " for writing");
+    serde::Writer w(out);
+    w.Pod(kShardManifestMagic);
+    w.Pod(kDynamicManifestVersion);
+    w.Pod(static_cast<uint32_t>(alphabet_.kind()));
+    w.Pod<uint64_t>(generation.version);
+    w.Pod<uint32_t>(generation.next_doc_id);
+    w.Pod<uint32_t>(static_cast<uint32_t>(generation.shards.size()));
+    for (const std::shared_ptr<const FrozenShard>& shard : generation.shards) {
+      w.Pod<uint32_t>(static_cast<uint32_t>(shard->filename.size()));
+      w.Bytes(shard->filename.data(), shard->filename.size());
+      w.Pod<uint64_t>(shard->file_size);
+      w.Pod<uint32_t>(shard->file_crc);
+      w.Vec(shard->doc_ids);
+    }
+    w.Vec(durable_tombstones);
+    w.WriteCrcFooter();
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IoError("write failure on " + tmp);
+    }
+  }
+  Status hook = RunFaultHook("manifest.rename");
+  if (!hook.ok()) {
+    std::remove(tmp.c_str());
+    return hook;
+  }
+  // The commit point: readers either see the old manifest or the new
+  // one in its entirety, never a torn mix.
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    Status status = Status::IoError("rename(" + tmp + ", " + path_ +
+                                    "): " + std::strerror(errno));
+    std::remove(tmp.c_str());
+    return status;
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<DynamicFamily::Generation>>
+DynamicFamily::LoadGeneration(const std::string& path, const Options& options,
+                              Alphabet* alphabet_out) {
+  Result<std::string> manifest_bytes = ReadFileBytes(path);
+  if (!manifest_bytes.ok()) return manifest_bytes.status();
+  std::istringstream stream(*manifest_bytes);
+  serde::Reader r(stream);
+  const auto corrupt = [&path](const std::string& what) {
+    return Status::Corruption(what + " in " + path);
+  };
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t alphabet_code = 0;
+  if (!r.Pod(&magic) || magic != kShardManifestMagic) {
+    return corrupt("bad family manifest magic");
+  }
+  if (!r.Pod(&version) || version != kDynamicManifestVersion) {
+    return corrupt("unsupported family manifest version");
+  }
+  if (!r.Pod(&alphabet_code)) return corrupt("truncated alphabet kind");
+  Result<Alphabet> alphabet = AlphabetFromKindCode(alphabet_code);
+  if (!alphabet.ok()) return corrupt("bad alphabet kind");
+  if (alphabet->kind() == Alphabet::Kind::kByte) {
+    return corrupt("byte alphabet is not valid for a dynamic family");
+  }
+  uint64_t generation_version = 0;
+  uint32_t next_doc_id = 0;
+  uint32_t shard_count = 0;
+  if (!r.Pod(&generation_version) || generation_version == 0) {
+    return corrupt("bad generation version");
+  }
+  if (!r.Pod(&next_doc_id)) return corrupt("truncated next doc id");
+  if (!r.Pod(&shard_count) || shard_count > kMaxDynamicShards) {
+    return corrupt("absurd shard count");
+  }
+  struct ShardMeta {
+    std::string filename;
+    uint64_t file_size = 0;
+    uint32_t file_crc = 0;
+    std::vector<uint32_t> doc_ids;
+  };
+  std::vector<ShardMeta> metas;
+  metas.reserve(shard_count);
+  int64_t prev_id = -1;
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    ShardMeta meta;
+    uint32_t name_length = 0;
+    if (!r.Pod(&name_length) || name_length == 0 || name_length > 4096) {
+      return corrupt("bad shard filename length");
+    }
+    meta.filename.resize(name_length);
+    if (!r.Bytes(meta.filename.data(), name_length)) {
+      return corrupt("truncated shard filename");
+    }
+    if (meta.filename.find_first_of("/\\") != std::string::npos ||
+        meta.filename.find("..") != std::string::npos) {
+      return corrupt("shard filename escapes the family directory");
+    }
+    if (!r.Pod(&meta.file_size)) return corrupt("truncated shard size");
+    if (!r.Pod(&meta.file_crc)) return corrupt("truncated shard checksum");
+    if (!r.Vec(&meta.doc_ids) || meta.doc_ids.empty()) {
+      return corrupt("empty shard document list");
+    }
+    for (const uint32_t id : meta.doc_ids) {
+      if (static_cast<int64_t>(id) <= prev_id || id >= next_doc_id) {
+        return corrupt("shard document ids out of order");
+      }
+      prev_id = id;
+    }
+    metas.push_back(std::move(meta));
+  }
+  std::vector<uint32_t> tombstones;
+  if (!r.Vec(&tombstones)) return corrupt("truncated tombstone set");
+  std::vector<uint32_t> frozen_ids;
+  for (const ShardMeta& meta : metas) {
+    frozen_ids.insert(frozen_ids.end(), meta.doc_ids.begin(),
+                      meta.doc_ids.end());
+  }
+  int64_t prev_tombstone = -1;
+  for (const uint32_t id : tombstones) {
+    if (static_cast<int64_t>(id) <= prev_tombstone) {
+      return corrupt("tombstones out of order");
+    }
+    prev_tombstone = id;
+    if (!std::binary_search(frozen_ids.begin(), frozen_ids.end(), id)) {
+      return corrupt("tombstone references no frozen document");
+    }
+  }
+  if (!r.VerifyCrcFooter()) return corrupt("manifest checksum mismatch");
+  if (r.consumed() + sizeof(uint32_t) != manifest_bytes->size()) {
+    return corrupt("trailing bytes after manifest footer");
+  }
+
+  auto generation = std::make_shared<Generation>();
+  generation->version = generation_version;
+  generation->cache_id = core::NextIndexCacheId();
+  generation->next_doc_id = next_doc_id;
+  generation->tombstones = std::move(tombstones);
+  for (ShardMeta& meta : metas) {
+    const std::string full = SiblingPath(path, meta.filename);
+    std::shared_ptr<const storage::MmapRegion> mapping;
+    const auto load_image = [&]() -> Result<GeneralizedCompactSpine> {
+      if (options.open.mode == core::OpenMode::kMmap) {
+        Result<std::shared_ptr<storage::MmapRegion>> region =
+            storage::MmapRegion::MapShared(full,
+                                           MmapOptionsFrom(options.open));
+        if (!region.ok()) return region.status();
+        if ((*region)->size() != meta.file_size) {
+          return Status::Corruption("shard " + meta.filename +
+                                    " size disagrees with the manifest");
+        }
+        if (options.open.verify &&
+            Crc32c((*region)->data(), (*region)->size()) != meta.file_crc) {
+          return Status::Corruption("shard " + meta.filename +
+                                    " checksum mismatch");
+        }
+        mapping = *region;
+        return GeneralizedCompactSpine::LoadFromMemory(
+            (*region)->data(), (*region)->size(), options.open.verify,
+            *std::move(region));
+      }
+      Result<std::string> bytes = ReadFileBytes(full);
+      if (!bytes.ok()) return bytes.status();
+      if (bytes->size() != meta.file_size) {
+        return Status::Corruption("shard " + meta.filename +
+                                  " size disagrees with the manifest");
+      }
+      if (Crc32c(bytes->data(), bytes->size()) != meta.file_crc) {
+        return Status::Corruption("shard " + meta.filename +
+                                  " checksum mismatch");
+      }
+      // new[] guarantees max_align; LoadFromMemory needs 8-aligned data
+      // which a std::string's buffer does not promise.
+      std::shared_ptr<uint8_t[]> buffer(new uint8_t[bytes->size()]);
+      std::memcpy(buffer.get(), bytes->data(), bytes->size());
+      return GeneralizedCompactSpine::LoadFromMemory(
+          buffer.get(), bytes->size(), /*verify=*/true, buffer);
+    };
+    Result<GeneralizedCompactSpine> image = load_image();
+    if (!image.ok()) return image.status();
+    if (image->string_count() != meta.doc_ids.size()) {
+      return Status::Corruption("shard " + meta.filename +
+                                " document count disagrees with the manifest");
+    }
+    if (image->alphabet().kind() != alphabet->kind()) {
+      return Status::Corruption("shard " + meta.filename +
+                                " alphabet disagrees with the manifest");
+    }
+    auto shard = std::make_shared<FrozenShard>(std::move(*image));
+    shard->filename = std::move(meta.filename);
+    shard->file_size = meta.file_size;
+    shard->file_crc = meta.file_crc;
+    shard->doc_ids = std::move(meta.doc_ids);
+    shard->mapping = std::move(mapping);
+    shard->starts.reserve(shard->doc_ids.size());
+    uint64_t start = 0;
+    for (uint32_t i = 0; i < shard->doc_ids.size(); ++i) {
+      shard->starts.push_back(start);
+      start += shard->index.StringLength(i) + 1;
+    }
+    generation->shards.push_back(std::move(shard));
+  }
+  generation->BuildDerived();
+  *alphabet_out = *alphabet;
+  return generation;
+}
+
+// --- background flush / compaction -----------------------------------------
+
+void DynamicFamily::StartBackgroundThread() {
+  if (options_.flush_threshold_bytes == 0 && options_.compact_fanout == 0) {
+    return;
+  }
+  background_ = std::thread([this] { BackgroundLoop(); });
+}
+
+void DynamicFamily::KickBackground() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_kick_ = true;
+  }
+  bg_cv_.notify_all();
+}
+
+void DynamicFamily::BackgroundLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(bg_mu_);
+      bg_cv_.wait(lock, [this] { return bg_stop_ || bg_kick_; });
+      if (bg_stop_) return;
+      bg_kick_ = false;
+    }
+    Status status = Status::OK();
+    {
+      std::lock_guard<std::mutex> writer(writer_mu_);
+      std::shared_ptr<const Generation> cur = CurrentGeneration();
+      if (options_.flush_threshold_bytes > 0 && cur->memtable != nullptr &&
+          cur->memtable->chars >= options_.flush_threshold_bytes) {
+        status = FlushLocked();
+      }
+      if (status.ok() && options_.compact_fanout > 0) {
+        cur = CurrentGeneration();
+        if (cur->shards.size() >= options_.compact_fanout) {
+          status = CompactLocked();
+        }
+      }
+    }
+    if (!status.ok()) {
+      // A background failure never takes the family down: the prior
+      // generation keeps serving; the error is parked for TakeBackgroundError.
+      SPINE_OBS_COUNT("lifecycle.background_errors", 1);
+      std::lock_guard<std::mutex> lock(bg_mu_);
+      bg_error_ = status;
+    }
+  }
+}
+
+Status DynamicFamily::TakeBackgroundError() {
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  Status status = bg_error_;
+  bg_error_ = Status::OK();
+  return status;
+}
+
+}  // namespace spine::shard

@@ -524,8 +524,11 @@ Result<std::unique_ptr<ShardedIndex>> ShardedIndex::Load(
       // Zero-copy: map the shard image and borrow its tables. The
       // whole-file CRC pass (the only full read) is skipped with
       // verify=false, keeping open cost independent of shard size.
+      storage::MmapOptions mmap_options;
+      mmap_options.populate = options.populate;
+      mmap_options.hugepage = options.hugepage;
       Result<std::shared_ptr<storage::MmapRegion>> region =
-          storage::MmapRegion::Map(shard_path);
+          storage::MmapRegion::MapShared(shard_path, mmap_options);
       if (!region.ok()) return region.status();
       if ((*region)->size() != sizes[i]) {
         return Status::Corruption(

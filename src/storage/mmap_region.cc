@@ -53,8 +53,12 @@ Result<std::shared_ptr<MmapRegion>> MmapRegion::Map(
   const uint8_t* data = nullptr;
   bool locked = false;
   if (size > 0) {
+    int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+    if (options.populate) flags |= MAP_POPULATE;
+#endif
     void* mapping =
-        ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, /*offset=*/0);
+        ::mmap(nullptr, size, PROT_READ, flags, fd, /*offset=*/0);
     if (mapping == MAP_FAILED) {
       Status status =
           Status::IoError("mmap(" + path + "): " + std::strerror(errno));
@@ -64,6 +68,9 @@ Result<std::shared_ptr<MmapRegion>> MmapRegion::Map(
     // Advice is best-effort everywhere: a kernel that rejects it still
     // serves the mapping correctly, just without the hint.
     (void)::madvise(mapping, size, ToMadvise(options.advice));
+#ifdef MADV_HUGEPAGE
+    if (options.hugepage) (void)::madvise(mapping, size, MADV_HUGEPAGE);
+#endif
     if (options.lock) {
       if (::mlock(mapping, size) == 0) {
         locked = true;
@@ -119,6 +126,66 @@ Status MmapRegion::ReadAt(uint64_t offset, void* buf, size_t n,
   std::memcpy(buf, data_ + offset, take);
   *bytes_read = take;
   return Status::OK();
+}
+
+// --- shared-mapping cache --------------------------------------------------
+
+namespace {
+
+// Keyed on (path, mapping-relevant options): two opens only share a
+// region when they would have produced byte-identical mappings.
+std::string SharedKey(const std::string& path, const MmapOptions& options) {
+  std::string key = path;
+  key.push_back('\0');
+  key.push_back(static_cast<char>('0' + static_cast<int>(options.advice)));
+  key.push_back(options.lock ? 'L' : '-');
+  key.push_back(options.populate ? 'P' : '-');
+  key.push_back(options.hugepage ? 'H' : '-');
+  return key;
+}
+
+struct SharedCache {
+  std::mutex mu;
+  std::unordered_map<std::string, std::weak_ptr<MmapRegion>> regions;
+};
+
+SharedCache& SharedMappings() {
+  static SharedCache* cache = new SharedCache;
+  return *cache;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<MmapRegion>> MmapRegion::MapShared(
+    const std::string& path, const MmapOptions& options) {
+  SharedCache& cache = SharedMappings();
+  const std::string key = SharedKey(path, options);
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto it = cache.regions.find(key);
+    if (it != cache.regions.end()) {
+      if (std::shared_ptr<MmapRegion> region = it->second.lock()) {
+        // Never hand out a mapping whose backing file already shrank —
+        // remap instead so the caller sees the artifact's current state
+        // (a fresh Map would fail or fence cleanly on its own).
+        if (region->CheckFence().ok()) {
+          SPINE_OBS_GAUGE_ADD("storage.mmap.cache_hits", 1);
+          return region;
+        }
+      }
+      cache.regions.erase(it);
+    }
+  }
+  // Map outside the lock: the miss path does real I/O, and two racing
+  // misses at worst map twice (the loser's insert overwrites, and the
+  // winner's region dies with its last holder — harmless).
+  Result<std::shared_ptr<MmapRegion>> region = Map(path, options);
+  if (!region.ok()) return region.status();
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    cache.regions[key] = *region;
+  }
+  return region;
 }
 
 // --- MmapIoBackend ---------------------------------------------------------

@@ -45,6 +45,13 @@ struct MmapOptions {
   // index). Failure (RLIMIT_MEMLOCK) is not fatal: it counts
   // storage.mmap.mlock_failures and the open proceeds unpinned.
   bool lock = false;
+  // MAP_POPULATE: pre-fault every page at map time so the first query
+  // never stalls on a page-in (open pays the cost instead). Downgraded
+  // silently on kernels without the flag.
+  bool populate = false;
+  // MADV_HUGEPAGE: ask for transparent-huge-page backing. Best-effort
+  // everywhere — a kernel built without THP just ignores the hint.
+  bool hugepage = false;
 };
 
 class MmapRegion {
@@ -53,6 +60,17 @@ class MmapRegion {
   // for the region's lifetime (the fence needs it). An empty file maps
   // to a null region of size 0 — valid, with nothing to point at.
   static Result<std::shared_ptr<MmapRegion>> Map(
+      const std::string& path, const MmapOptions& options = {});
+
+  // The shared-mapping cache: N in-process opens of one (path, options)
+  // pair share a single refcounted region instead of mapping the file N
+  // times. The cache holds weak references — a region lives exactly as
+  // long as someone holds it, and the next open after the last release
+  // maps afresh (so a replaced artifact is picked up). Hits count the
+  // storage.mmap.cache_hits gauge. A cached region whose fence already
+  // failed (backing file shrank) is dropped and remapped rather than
+  // handed out.
+  static Result<std::shared_ptr<MmapRegion>> MapShared(
       const std::string& path, const MmapOptions& options = {});
 
   ~MmapRegion();

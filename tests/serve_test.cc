@@ -26,6 +26,7 @@
 #include "core/wire.h"
 #include "obs/json.h"
 #include "serve/client.h"
+#include "shard/dynamic_family.h"
 #include "shard/sharded_index.h"
 #include "storage/disk_spine.h"
 #include "storage/io_backend.h"
@@ -717,6 +718,123 @@ TEST_F(ServeTest, TwoServersOverOneMmapArtifactServeIdenticalAnswers) {
     EXPECT_NE(json.find("\"open_mode\":\"mmap\""), std::string::npos) << json;
     server->Stop();
   }
+}
+
+// --- lifecycle mutations over the wire (docs/LIFECYCLE.md) ------------------
+
+TEST_F(ServeTest, MutateVerbsDriveADynamicBackendOverBothDialects) {
+  spine::test::ScopedTempDir dir;
+  shard::DynamicFamily::Options family_options;
+  auto family = shard::DynamicFamily::Create(dir.File("fam.spinefam"),
+                                             Alphabet::Dna(), family_options);
+  ASSERT_TRUE(family.ok()) << family.status().ToString();
+
+  Options options = TestOptions();
+  options.mutable_index = family->get();
+  Server server(**family, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  uint32_t expected_doc_id = 0;
+  for (const bool json : {false, true}) {
+    SCOPED_TRACE(json ? "json" : "binary");
+    Result<Client> client = Client::Connect("127.0.0.1", server.port(), json);
+    ASSERT_TRUE(client.ok());
+
+    // Pipelined write barrier: the pre-insert query must answer
+    // against the old generation, in request order.
+    ASSERT_TRUE(client->Send({1, Query::FindAll("GATTACA")}).ok());
+    wire::MutateRequest insert;
+    insert.id = 2;
+    insert.op = wire::MutateOp::kInsert;
+    insert.document = "GATTACAGATTACA";
+    ASSERT_TRUE(client->SendMutate(insert).ok());
+    ASSERT_TRUE(client->Send({3, Query::FindAll("GATTACA")}).ok());
+
+    Result<wire::QueryResponse> before = client->ReceiveResponse();
+    ASSERT_TRUE(before.ok()) << before.status().ToString();
+    EXPECT_TRUE(before->result.hits.empty());
+
+    Result<wire::MutateResponse> inserted = client->ReceiveMutateResponse();
+    ASSERT_TRUE(inserted.ok()) << inserted.status().ToString();
+    EXPECT_EQ(inserted->id, 2u);
+    EXPECT_EQ(inserted->op, wire::MutateOp::kInsert);
+    EXPECT_EQ(inserted->status, StatusCode::kOk);
+    EXPECT_EQ(inserted->doc_id, expected_doc_id);
+    EXPECT_GT(inserted->generation, 0u);
+
+    Result<wire::QueryResponse> after = client->ReceiveResponse();
+    ASSERT_TRUE(after.ok()) << after.status().ToString();
+    EXPECT_EQ(after->result.hits.size(), 2u);
+
+    // Compact, then delete; the collection ends each dialect round
+    // empty again.
+    wire::MutateRequest compact;
+    compact.id = 4;
+    compact.op = wire::MutateOp::kCompact;
+    ASSERT_TRUE(client->SendMutate(compact).ok());
+    Result<wire::MutateResponse> compacted = client->ReceiveMutateResponse();
+    ASSERT_TRUE(compacted.ok());
+    EXPECT_EQ(compacted->status, StatusCode::kOk);
+
+    wire::MutateRequest del;
+    del.id = 5;
+    del.op = wire::MutateOp::kDelete;
+    del.doc_id = expected_doc_id;
+    ASSERT_TRUE(client->SendMutate(del).ok());
+    Result<wire::MutateResponse> deleted = client->ReceiveMutateResponse();
+    ASSERT_TRUE(deleted.ok());
+    EXPECT_EQ(deleted->status, StatusCode::kOk);
+
+    // Deleting it again is a per-request verdict, not a connection
+    // error: the same connection keeps serving queries afterwards.
+    del.id = 6;
+    ASSERT_TRUE(client->SendMutate(del).ok());
+    Result<wire::MutateResponse> missing = client->ReceiveMutateResponse();
+    ASSERT_TRUE(missing.ok());
+    EXPECT_EQ(missing->status, StatusCode::kNotFound);
+    EXPECT_FALSE(missing->error.empty());
+
+    ASSERT_TRUE(client->Send({7, Query::Contains("GATTACA")}).ok());
+    Result<wire::QueryResponse> gone = client->ReceiveResponse();
+    ASSERT_TRUE(gone.ok());
+    EXPECT_FALSE(gone->result.found);
+
+    ++expected_doc_id;
+  }
+
+  // The stats document reports the mutable backend and its counters.
+  const std::string stats = server.StatsJson();
+  for (const char* key :
+       {"\"mutable\":true", "\"mutations\"", "\"generation\"",
+        "\"live_documents\""}) {
+    EXPECT_NE(stats.find(key), std::string::npos) << key << " in " << stats;
+  }
+  server.Stop();
+}
+
+TEST_F(ServeTest, ReadOnlyBackendRefusesMutationsAndKeepsServing) {
+  Server server(*adapter_, TestOptions());  // no mutable_index
+  ASSERT_TRUE(server.Start().ok());
+  for (const bool json : {false, true}) {
+    SCOPED_TRACE(json ? "json" : "binary");
+    Result<Client> client = Client::Connect("127.0.0.1", server.port(), json);
+    ASSERT_TRUE(client.ok());
+    wire::MutateRequest insert;
+    insert.id = 1;
+    insert.op = wire::MutateOp::kInsert;
+    insert.document = "ACGT";
+    ASSERT_TRUE(client->SendMutate(insert).ok());
+    Result<wire::MutateResponse> response = client->ReceiveMutateResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, StatusCode::kInvalidArgument);
+    EXPECT_NE(response->error.find("read-only"), std::string::npos);
+    // The refusal is per-request: queries still flow on this connection.
+    ASSERT_TRUE(client->Send({2, Query::Contains("ACGT")}).ok());
+    EXPECT_TRUE(client->ReceiveResponse().ok());
+  }
+  const std::string stats = server.StatsJson();
+  EXPECT_NE(stats.find("\"mutable\":false"), std::string::npos) << stats;
+  server.Stop();
 }
 
 TEST_F(ServeTest, StatsJsonCarriesTheDeadlineCountersAndConfig) {

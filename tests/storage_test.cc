@@ -14,6 +14,7 @@
 #include "core/adapters.h"
 #include "core/matcher.h"
 #include "naive/naive_index.h"
+#include "obs/metrics.h"
 #include "storage/mmap_region.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_model.h"
@@ -622,6 +623,63 @@ TEST(MmapRegionTest, MlockFailureIsBestEffort) {
   auto region = MmapRegion::Map(path, options);
   ASSERT_TRUE(region.ok()) << region.status().ToString();
   EXPECT_EQ((*region)->size(), 4096u);
+}
+
+// The shared-mapping cache: N concurrent opens of the same artifact
+// share one refcounted region, hits move the storage.mmap.cache_hits
+// gauge, and the cache is keyed on mapping-relevant options.
+TEST(MmapRegionTest, MapSharedDeduplicatesLiveMappings) {
+  const std::string path = TempPath("mmap_shared.bin");
+  spine::test::WriteFile(path, std::string(8192, 'a'));
+  spine::obs::Gauge& hits =
+      spine::obs::Registry::Default().GetGauge("storage.mmap.cache_hits");
+  const int64_t hits_before = hits.value();
+
+  auto first = MmapRegion::MapShared(path);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(hits.value(), hits_before);  // first open is a miss
+
+  auto second = MmapRegion::MapShared(path);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // same physical mapping
+  EXPECT_EQ(hits.value(), hits_before + 1);
+
+  // Different mapping-relevant options must NOT share: a populated
+  // mapping is not byte-equivalent in behavior to a lazy one.
+  MmapOptions populate;
+  populate.populate = true;
+  auto distinct = MmapRegion::MapShared(path, populate);
+  ASSERT_TRUE(distinct.ok()) << distinct.status().ToString();
+  EXPECT_NE(first->get(), distinct->get());
+  EXPECT_EQ(hits.value(), hits_before + 1);
+
+  // Once the last holder releases, the next open maps afresh (a
+  // replaced artifact is picked up), so it is a miss again.
+  const MmapRegion* stale = first->get();
+  first->reset();
+  second->reset();
+  auto remapped = MmapRegion::MapShared(path);
+  ASSERT_TRUE(remapped.ok());
+  EXPECT_EQ(hits.value(), hits_before + 1);
+  (void)stale;  // the old pointer is dead; only the miss count matters
+}
+
+// A cached region whose backing file shrank under it is dropped and
+// remapped instead of handed out: the new holder sees a working fence.
+TEST(MmapRegionTest, MapSharedDropsFencedRegions) {
+  const std::string path = TempPath("mmap_shared_shrink.bin");
+  spine::test::WriteFile(path, std::string(8192, 'b'));
+  auto first = MmapRegion::MapShared(path);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  std::filesystem::resize_file(path, 4096);
+  ASSERT_FALSE((*first)->CheckFence().ok());
+
+  auto second = MmapRegion::MapShared(path);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_NE(first->get(), second->get());
+  EXPECT_EQ((*second)->size(), 4096u);
+  EXPECT_TRUE((*second)->CheckFence().ok());
 }
 
 // A disk index opened over the mmap backend whose page file shrinks

@@ -480,6 +480,125 @@ TEST(WireDeadlineTest, JsonJunkDeadlinesAreRejectedAndOverflowClamps) {
   EXPECT_EQ(frac->query.deadline_ms, 2u);
 }
 
+// --- lifecycle mutate envelopes (docs/LIFECYCLE.md) -------------------------
+
+// One request per op, with non-default fields so defaults cannot
+// masquerade as decoded values.
+std::vector<MutateRequest> AllOpsMutates() {
+  MutateRequest insert;
+  insert.id = 11;
+  insert.op = MutateOp::kInsert;
+  insert.document = "ACGTACGTAC";
+  MutateRequest del;
+  del.id = 12;
+  del.op = MutateOp::kDelete;
+  del.doc_id = 42;
+  MutateRequest compact;
+  compact.id = 13;
+  compact.op = MutateOp::kCompact;
+  MutateRequest reload;
+  reload.id = std::numeric_limits<uint64_t>::max();
+  reload.op = MutateOp::kReload;
+  return {insert, del, compact, reload};
+}
+
+TEST(WireMutateTest, BinaryRoundTripsForEveryOp) {
+  for (const MutateRequest& request : AllOpsMutates()) {
+    std::string buffer;
+    AppendMutateFrame(request, &buffer);
+    Frame frame;
+    size_t consumed = 0;
+    ASSERT_TRUE(ExtractFrame(buffer, &frame, &consumed).ok());
+    ASSERT_EQ(consumed, buffer.size());
+    ASSERT_EQ(frame.type, FrameType::kMutate);
+    Result<MutateRequest> decoded = DecodeMutate(frame.payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, request) << MutateOpName(request.op);
+  }
+}
+
+TEST(WireMutateTest, BinaryResponseRoundTripsStatusAndGeneration) {
+  MutateResponse response;
+  response.id = 7;
+  response.op = MutateOp::kInsert;
+  response.doc_id = 3;
+  response.status = StatusCode::kOk;
+  response.generation = 12345678901234ull;
+  for (StatusCode code : {StatusCode::kOk, StatusCode::kInvalidArgument,
+                          StatusCode::kNotFound, StatusCode::kIoError}) {
+    response.status = code;
+    response.error = code == StatusCode::kOk ? "" : "mutation refused";
+    std::string buffer;
+    AppendMutateResponseFrame(response, &buffer);
+    Frame frame;
+    size_t consumed = 0;
+    ASSERT_TRUE(ExtractFrame(buffer, &frame, &consumed).ok());
+    ASSERT_EQ(frame.type, FrameType::kMutateResponse);
+    Result<MutateResponse> decoded = DecodeMutateResponse(frame.payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(*decoded, response);
+  }
+}
+
+TEST(WireMutateTest, JsonRoundTripsForEveryOpAndResponse) {
+  for (MutateRequest request : AllOpsMutates()) {
+    // JSON numbers travel as doubles: ids above 2^53 are binary-only
+    // (same constraint as query ids in this dialect).
+    request.id = std::min<uint64_t>(request.id, 1ull << 53);
+    Result<MutateRequest> parsed = ParseMutateJson(MutateToJson(request));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(*parsed, request) << MutateOpName(request.op);
+  }
+  MutateResponse response;
+  response.id = 9;
+  response.op = MutateOp::kDelete;
+  response.doc_id = 17;
+  response.status = StatusCode::kNotFound;
+  response.error = "document 17 is not live";
+  response.generation = 88;
+  Result<MutateResponse> parsed =
+      ParseMutateResponseJson(MutateResponseToJson(response));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, response);
+}
+
+TEST(WireMutateTest, TruncatedAndJunkMutatePayloadsAreProtocolErrors) {
+  MutateRequest request;
+  request.id = 5;
+  request.op = MutateOp::kInsert;
+  request.document = "ACGT";
+  std::string buffer;
+  AppendMutateFrame(request, &buffer);
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_TRUE(ExtractFrame(buffer, &frame, &consumed).ok());
+  const std::string payload(frame.payload);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    Result<MutateRequest> truncated =
+        DecodeMutate(std::string_view(payload).substr(0, len));
+    EXPECT_EQ(truncated.status().code(), StatusCode::kProtocolError)
+        << "length " << len;
+  }
+  // Trailing junk after a complete payload is rejected too.
+  EXPECT_EQ(DecodeMutate(payload + "x").status().code(),
+            StatusCode::kProtocolError);
+  // An out-of-range op byte never decodes (offset 8 = after the id).
+  std::string bad_op = payload;
+  bad_op[8] = '\x7f';
+  EXPECT_EQ(DecodeMutate(bad_op).status().code(), StatusCode::kProtocolError);
+  // Malformed JSON lines: wrong type, unknown op, missing fields.
+  for (const char* line :
+       {"{\"v\":1,\"type\":\"query\",\"id\":1,\"op\":\"insert\",\"doc\":\"A\"}",
+        "{\"v\":1,\"type\":\"mutate\",\"id\":1,\"op\":\"upsert\",\"doc\":\"A\"}",
+        "{\"v\":1,\"type\":\"mutate\",\"id\":1,\"op\":\"insert\"}",
+        "{\"v\":1,\"type\":\"mutate\",\"id\":1,\"op\":\"delete\"}",
+        "not json at all"}) {
+    EXPECT_EQ(ParseMutateJson(line).status().code(),
+              StatusCode::kProtocolError)
+        << line;
+  }
+}
+
 TEST(WireTextTest, KindAtMsSuffixSetsThePerLineDeadline) {
   std::optional<Query> q = ParseQueryText("findall@250 ACGT", 10);
   ASSERT_TRUE(q.has_value());

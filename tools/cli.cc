@@ -36,6 +36,7 @@
 #include "seq/fasta.h"
 #include "seq/generator.h"
 #include "serve/server.h"
+#include "shard/dynamic_family.h"
 #include "shard/sharded_index.h"
 #include "storage/page_file.h"
 
@@ -99,7 +100,19 @@ constexpr const char* kUsage =
     "      of core/wire.h with a JSON-lines fallback (docs/SERVING.md);\n"
     "      --port=0 picks an ephemeral port and prints it; SIGTERM or\n"
     "      SIGINT drains gracefully (stop accepting, answer everything\n"
-    "      already accepted, flush stats)\n"
+    "      already accepted, flush stats); serving a dynamic family also\n"
+    "      accepts insert/delete/compact/reload mutations on the wire,\n"
+    "      and SIGHUP reopens the family from its on-disk manifest\n"
+    "  add <family.spinefam> [document] [--file=PATH]\n"
+    "        [--alphabet=dna|protein|ascii]\n"
+    "      insert one document into a dynamic family (created on first\n"
+    "      use; docs/LIFECYCLE.md), flush it durable, print the doc id\n"
+    "  rm <family.spinefam> <doc-id>\n"
+    "      tombstone one document: it stops matching immediately and is\n"
+    "      physically dropped at the next compact\n"
+    "  compact <family.spinefam>\n"
+    "      merge every frozen shard into one compact image, dropping\n"
+    "      tombstoned documents and their tombstones\n"
     "  approx <index.spine> <pattern> [--max-edits=K]\n"
     "  hamming <index.spine> <pattern> [--max-mismatches=K]\n"
     "  lrs <index.spine>\n"
@@ -561,6 +574,12 @@ volatile std::sig_atomic_t g_drain_requested = 0;
 
 void OnDrainSignal(int) { g_drain_requested = 1; }
 
+// SIGHUP asks a serve over a dynamic family to reopen from its on-disk
+// manifest (same flag discipline as the drain signals).
+volatile std::sig_atomic_t g_reload_requested = 0;
+
+void OnReloadSignal(int) { g_reload_requested = 1; }
+
 int CmdServe(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 1) {
     err << "serve requires <artifact>\n";
@@ -614,21 +633,50 @@ int CmdServe(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
                          "must be positive"));
   }
 
+  // A dynamic family is served mutable: the wire accepts lifecycle
+  // verbs against it, and SIGHUP reopens it from the manifest.
+  auto* mutable_index = dynamic_cast<core::MutableIndex*>(index->get());
+  options.mutable_index = mutable_index;
+
   serve::Server server(**index, options);
   Status status = server.Start();
   if (!status.ok()) return Fail(err, status);
   out << "serving " << (*index)->Name() << " (" << (*index)->size()
       << " characters) at " << options.host << ":" << server.port()
-      << " — SIGTERM/SIGINT to drain\n";
+      << " — SIGTERM/SIGINT to drain"
+      << (mutable_index != nullptr ? ", SIGHUP to reload" : "") << "\n";
   out.flush();
 
   g_drain_requested = 0;
+  g_reload_requested = 0;
   struct sigaction action {};
   action.sa_handler = OnDrainSignal;
   struct sigaction old_term {}, old_int {};
   sigaction(SIGTERM, &action, &old_term);
   sigaction(SIGINT, &action, &old_int);
+  struct sigaction reload_action {};
+  reload_action.sa_handler = OnReloadSignal;
+  struct sigaction old_hup {};
+  sigaction(SIGHUP, &reload_action, &old_hup);
   while (g_drain_requested == 0) {
+    if (g_reload_requested != 0) {
+      g_reload_requested = 0;
+      if (mutable_index != nullptr) {
+        Status reloaded = mutable_index->Reload();
+        if (reloaded.ok()) {
+          out << "reloaded from manifest: generation "
+              << mutable_index->generation_version() << ", "
+              << mutable_index->live_documents() << " live document(s)\n";
+        } else {
+          out << "reload failed (old generation keeps serving): "
+              << reloaded.ToString() << "\n";
+        }
+      } else {
+        out << "SIGHUP ignored: backend '" << (*index)->Name()
+            << "' is not reloadable\n";
+      }
+      out.flush();
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   out << "draining...\n";
@@ -636,6 +684,7 @@ int CmdServe(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   server.Stop();
   sigaction(SIGTERM, &old_term, nullptr);
   sigaction(SIGINT, &old_int, nullptr);
+  sigaction(SIGHUP, &old_hup, nullptr);
 
   const serve::ServerStats final_stats = server.stats();
   out << "drained: " << final_stats.queries << " quer(ies) answered, "
@@ -663,12 +712,146 @@ int CmdServe(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
     json.Value(final_stats.cancelled);
     json.Key("idle_closed");
     json.Value(final_stats.idle_closed);
+    json.Key("mutations");
+    json.Value(final_stats.mutations);
     json.Key("bytes_in");
     json.Value(final_stats.bytes_in);
     json.Key("bytes_out");
     json.Value(final_stats.bytes_out);
     json.EndObject();
   });
+}
+
+// add / rm / compact: the document lifecycle against a dynamic family
+// (shard::DynamicFamily, docs/LIFECYCLE.md).
+
+Result<shard::DynamicFamily::Options> FamilyOptions(const ParsedArgs& args) {
+  core::OpenOptions open_options = core::DefaultOpenOptions();
+  if (auto it = args.options.find("open"); it != args.options.end()) {
+    Result<core::OpenOptions> parsed = core::ParseOpenSpec(it->second);
+    if (!parsed.ok()) return parsed.status();
+    open_options = *parsed;
+  }
+  shard::DynamicFamily::Options family_options;
+  family_options.open = open_options;
+  return family_options;
+}
+
+int CmdAdd(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.empty() || args.positional.size() > 2) {
+    err << "add requires <family.spinefam> [document] (or --file=PATH)\n";
+    return kExitUsage;
+  }
+  const std::string& path = args.positional[0];
+  std::string document;
+  auto file_it = args.options.find("file");
+  if (file_it != args.options.end()) {
+    if (args.positional.size() == 2) {
+      err << "add takes either a document argument or --file, not both\n";
+      return kExitUsage;
+    }
+    std::ifstream in(file_it->second, std::ios::binary);
+    if (!in) {
+      return Fail(err, Status::IoError("cannot open " + file_it->second));
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    document = std::move(text).str();
+    // Trailing newlines from text files would trip the reserved-
+    // separator check; inner ones are a real error and still rejected.
+    while (!document.empty() &&
+           (document.back() == '\n' || document.back() == '\r')) {
+      document.pop_back();
+    }
+  } else if (args.positional.size() == 2) {
+    document = args.positional[1];
+  } else {
+    err << "add requires a document argument or --file=PATH\n";
+    return kExitUsage;
+  }
+
+  Result<shard::DynamicFamily::Options> family_options = FamilyOptions(args);
+  if (!family_options.ok()) return Fail(err, family_options.status());
+  std::unique_ptr<shard::DynamicFamily> family;
+  if (std::ifstream(path).good()) {
+    Result<std::unique_ptr<shard::DynamicFamily>> opened =
+        shard::DynamicFamily::Open(path, *family_options);
+    if (!opened.ok()) return Fail(err, opened.status());
+    family = std::move(*opened);
+  } else {
+    std::string alphabet_name = "ascii";
+    if (auto it = args.options.find("alphabet"); it != args.options.end()) {
+      alphabet_name = it->second;
+    }
+    Result<Alphabet> alphabet = AlphabetFromName(alphabet_name);
+    if (!alphabet.ok()) return Fail(err, alphabet.status());
+    Result<std::unique_ptr<shard::DynamicFamily>> created =
+        shard::DynamicFamily::Create(path, *alphabet, *family_options);
+    if (!created.ok()) return Fail(err, created.status());
+    family = std::move(*created);
+    out << "created " << path << " (" << alphabet->name() << ")\n";
+  }
+  Result<uint32_t> doc_id = family->InsertDocument(document);
+  if (!doc_id.ok()) return Fail(err, doc_id.status());
+  // The CLI process exits right after, so flush: an unflushed memtable
+  // is volatile by contract.
+  Status flushed = family->Flush();
+  if (!flushed.ok()) return Fail(err, flushed);
+  out << "doc " << *doc_id << " added (" << document.size()
+      << " chars); generation " << family->generation_version() << ", "
+      << family->frozen_shard_count() << " shard(s), "
+      << family->live_documents() << " live document(s)\n";
+  return 0;
+}
+
+int CmdRm(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
+  if (args.positional.size() != 2) {
+    err << "rm requires <family.spinefam> <doc-id>\n";
+    return kExitUsage;
+  }
+  char* end = nullptr;
+  const uint64_t doc_id =
+      std::strtoull(args.positional[1].c_str(), &end, 10);
+  if (end == args.positional[1].c_str() || *end != '\0' ||
+      doc_id > std::numeric_limits<uint32_t>::max()) {
+    return Fail(err, Status::InvalidArgument("bad doc id '" +
+                                             args.positional[1] + "'"));
+  }
+  Result<shard::DynamicFamily::Options> family_options = FamilyOptions(args);
+  if (!family_options.ok()) return Fail(err, family_options.status());
+  Result<std::unique_ptr<shard::DynamicFamily>> family =
+      shard::DynamicFamily::Open(args.positional[0], *family_options);
+  if (!family.ok()) return Fail(err, family.status());
+  Status status = (*family)->DeleteDocument(static_cast<uint32_t>(doc_id));
+  if (!status.ok()) return Fail(err, status);
+  out << "doc " << doc_id << " deleted; generation "
+      << (*family)->generation_version() << ", "
+      << (*family)->tombstone_count() << " tombstone(s), "
+      << (*family)->live_documents() << " live document(s)\n";
+  return 0;
+}
+
+int CmdCompact(const ParsedArgs& args, std::ostream& out,
+               std::ostream& err) {
+  if (args.positional.size() != 1) {
+    err << "compact requires <family.spinefam>\n";
+    return kExitUsage;
+  }
+  Result<shard::DynamicFamily::Options> family_options = FamilyOptions(args);
+  if (!family_options.ok()) return Fail(err, family_options.status());
+  Result<std::unique_ptr<shard::DynamicFamily>> family =
+      shard::DynamicFamily::Open(args.positional[0], *family_options);
+  if (!family.ok()) return Fail(err, family.status());
+  const uint32_t shards_before = (*family)->frozen_shard_count();
+  const uint32_t tombstones_before = (*family)->tombstone_count();
+  Status status = (*family)->Compact();
+  if (!status.ok()) return Fail(err, status);
+  out << "compacted " << shards_before << " -> "
+      << (*family)->frozen_shard_count() << " shard(s), dropped "
+      << tombstones_before << " tombstone(s); generation "
+      << (*family)->generation_version() << ", "
+      << (*family)->live_documents() << " live document(s)\n";
+  return 0;
 }
 
 int CmdApprox(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
@@ -801,6 +984,7 @@ int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   }
 
   const auto* family = dynamic_cast<const shard::ShardedIndex*>(&index);
+  const auto* dynamic = dynamic_cast<const shard::DynamicFamily*>(&index);
   if (want_json) {
     out << StatsSnapshotJson("stats", [&](obs::JsonWriter& json) {
       json.Key("index");
@@ -819,6 +1003,18 @@ int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
         json.Key("max_pattern");
         json.Value(static_cast<uint64_t>(family->max_pattern()));
       }
+      if (dynamic != nullptr) {
+        json.Key("generation");
+        json.Value(dynamic->generation_version());
+        json.Key("shards");
+        json.Value(static_cast<uint64_t>(dynamic->frozen_shard_count()));
+        json.Key("memtable_documents");
+        json.Value(static_cast<uint64_t>(dynamic->memtable_documents()));
+        json.Key("tombstones");
+        json.Value(static_cast<uint64_t>(dynamic->tombstone_count()));
+        json.Key("live_documents");
+        json.Value(static_cast<uint64_t>(dynamic->live_documents()));
+      }
       json.Key("memory_bytes");
       json.Value(index.MemoryBytes());
       json.EndObject();
@@ -832,6 +1028,13 @@ int CmdStats(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (family != nullptr) {
     out << "shards          : " << family->shard_count() << "\n"
         << "max pattern     : " << family->max_pattern() << "\n";
+  }
+  if (dynamic != nullptr) {
+    out << "generation      : " << dynamic->generation_version() << "\n"
+        << "frozen shards   : " << dynamic->frozen_shard_count() << "\n"
+        << "memtable docs   : " << dynamic->memtable_documents() << "\n"
+        << "tombstones      : " << dynamic->tombstone_count() << "\n"
+        << "live documents  : " << dynamic->live_documents() << "\n";
   }
   out << "memory bytes    : " << index.MemoryBytes() << "\n";
   return 0;
@@ -1033,6 +1236,14 @@ int CmdVerify(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
           << " shard(s), manifest and shard checksums verified";
       break;
     }
+    case core::IndexKind::kDynamic: {
+      const auto& family = static_cast<const shard::DynamicFamily&>(index);
+      out << ", generation " << family.generation_version() << ", "
+          << family.frozen_shard_count() << " shard(s), "
+          << family.live_documents()
+          << " live document(s), manifest and shard checksums verified";
+      break;
+    }
     default:
       break;
   }
@@ -1063,6 +1274,9 @@ int Run(const std::vector<std::string>& args, std::ostream& out,
   if (command == "query") return CmdQuery(parsed, out, err);
   if (command == "batch") return CmdBatch(parsed, out, err);
   if (command == "serve") return CmdServe(parsed, out, err);
+  if (command == "add") return CmdAdd(parsed, out, err);
+  if (command == "rm") return CmdRm(parsed, out, err);
+  if (command == "compact") return CmdCompact(parsed, out, err);
   if (command == "approx") return CmdApprox(parsed, out, err);
   if (command == "hamming") return CmdHamming(parsed, out, err);
   if (command == "lrs") return CmdLrs(parsed, out, err);

@@ -44,6 +44,7 @@
 #include "core/wire.h"
 #include "dawg/suffix_automaton.h"
 #include "naive/naive_index.h"
+#include "shard/dynamic_family.h"
 #include "shard/sharded_index.h"
 #include "storage/mmap_region.h"
 #include "suffix_tree/st_matcher.h"
@@ -215,6 +216,100 @@ int FuzzShardManifest(spine::Rng& rng, const std::string& s,
   return 0;
 }
 
+// Dynamic-manifest robustness phase (the lifecycle PR): build a
+// DynamicFamily — several flushed documents across several generations,
+// sometimes a durable tombstone — then corrupt the v2 manifest (the
+// generation pointer, shard list and tombstone set) or one shard image
+// on disk, and demand that DynamicFamily::Open rejects the family with
+// kCorruption — never a crash, never a torn or silently wrong load.
+// Reopening an untouched family (an identity mutation) must succeed.
+int FuzzDynamicManifest(spine::Rng& rng, const std::string& s,
+                        const std::filesystem::path& dir, uint64_t* checks) {
+  using namespace spine;
+  const std::string path = (dir / "dynamic.spinefam").string();
+  // Fresh ground each round: generations leave uniquely named shard
+  // images (<manifest>.g<version>) behind.
+  {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("dynamic.spinefam", 0) == 0) {
+        std::error_code remove_ec;
+        std::filesystem::remove(entry.path(), remove_ec);
+      }
+    }
+  }
+  shard::DynamicFamily::Options options;
+  options.open.verify = true;
+  {
+    auto family =
+        shard::DynamicFamily::Create(path, Alphabet::Dna(), options);
+    if (!family.ok()) return Fail("dynamic create failed", s, "");
+    const uint32_t docs = 2 + static_cast<uint32_t>(rng.Below(3));
+    for (uint32_t d = 0; d < docs; ++d) {
+      const std::string doc =
+          s.substr(rng.Below(s.size()), 1 + rng.Below(24));
+      if (!(*family)->InsertDocument(doc).ok()) {
+        return Fail("dynamic insert failed", s, doc);
+      }
+      // Flushing between inserts leaves several frozen shards (and
+      // shard image files) for the corruption loop to aim at.
+      if (rng.Chance(0.6) && !(*family)->Flush().ok()) {
+        return Fail("dynamic flush failed", s, "");
+      }
+    }
+    if (!(*family)->Flush().ok()) return Fail("dynamic flush failed", s, "");
+    if (rng.Chance(0.5)) {
+      // A durable tombstone exercises the manifest's tombstone set.
+      (void)(*family)->DeleteDocument(static_cast<uint32_t>(rng.Below(docs)));
+    }
+  }
+
+  std::vector<std::string> files = {path};
+  {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("dynamic.spinefam.g", 0) == 0) {
+        files.push_back(entry.path().string());
+      }
+    }
+  }
+  const auto read_all = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  const auto write_all = [](const std::string& p, const std::string& bytes) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  };
+  for (int trial = 0; trial < 6; ++trial) {
+    ++*checks;
+    const std::string& victim = files[rng.Below(files.size())];
+    const std::string original = read_all(victim);
+    std::string mutated = original;
+    MutateBytes(rng, &mutated);
+    write_all(victim, mutated);
+    auto loaded = shard::DynamicFamily::Open(path, options);
+    write_all(victim, original);
+    if (mutated == original) {
+      if (!loaded.ok()) return Fail("pristine dynamic family rejected", s, "");
+      continue;
+    }
+    if (loaded.ok()) {
+      return Fail("corrupt dynamic family (" + victim + ") loaded silently",
+                  s, "");
+    }
+    if (loaded.status().code() != StatusCode::kCorruption) {
+      return Fail("corrupt dynamic family yielded '" +
+                      loaded.status().ToString() + "' instead of kCorruption",
+                  s, "");
+    }
+  }
+  return 0;
+}
+
 // Wire-envelope robustness phase (the serving PR): build valid binary
 // frames and JSON lines out of random queries and answers, corrupt them
 // with MutateBytes / pure junk, and demand that the core/wire.h
@@ -298,15 +393,71 @@ int FuzzWireFrames(spine::Rng& rng, uint64_t* checks) {
            again->result.error == response.result.error;
   };
 
+  // Lifecycle verbs (the dynamic-index PR) get the same treatment as
+  // queries: random valid envelopes, mutation, and the round-trip
+  // invariant on anything the decoder accepts.
+  const auto random_mutate = [&] {
+    wire::MutateRequest request;
+    request.id = rng.Next();
+    request.op = static_cast<wire::MutateOp>(1 + rng.Below(4));
+    if (request.op == wire::MutateOp::kInsert) {
+      request.document = random_pattern(24);
+    }
+    if (request.op == wire::MutateOp::kDelete) {
+      request.doc_id = static_cast<uint32_t>(rng.Below(1000));
+    }
+    return request;
+  };
+  const auto random_mutate_response = [&] {
+    wire::MutateResponse response;
+    response.id = rng.Next();
+    response.op = static_cast<wire::MutateOp>(1 + rng.Below(4));
+    response.doc_id = static_cast<uint32_t>(rng.Below(1000));
+    response.status = static_cast<StatusCode>(rng.Below(10));
+    if (response.status != StatusCode::kOk) {
+      response.error = "fuzz mutate error " + std::to_string(rng.Below(100));
+    }
+    response.generation = rng.Below(1000);
+    return response;
+  };
+  const auto mutate_roundtrips = [&](const wire::MutateRequest& request) {
+    std::string bytes;
+    wire::AppendMutateFrame(request, &bytes);
+    wire::Frame frame;
+    size_t consumed = 0;
+    if (!wire::ExtractFrame(bytes, &frame, &consumed).ok() || consumed == 0) {
+      return false;
+    }
+    auto again = wire::DecodeMutate(frame.payload);
+    return again.ok() && *again == request;
+  };
+  const auto mutate_response_roundtrips =
+      [&](const wire::MutateResponse& response) {
+        std::string bytes;
+        wire::AppendMutateResponseFrame(response, &bytes);
+        wire::Frame frame;
+        size_t consumed = 0;
+        if (!wire::ExtractFrame(bytes, &frame, &consumed).ok() ||
+            consumed == 0) {
+          return false;
+        }
+        auto again = wire::DecodeMutateResponse(frame.payload);
+        return again.ok() && *again == response;
+      };
+
   // --- binary stream: 1..4 valid frames, then 1..3 mutations ---------------
   std::string stream;
   for (uint64_t i = 1 + rng.Below(4); i > 0; --i) {
-    switch (rng.Below(5)) {
+    switch (rng.Below(7)) {
       case 0: wire::AppendRequestFrame(random_request(), &stream); break;
       case 1: wire::AppendResponseFrame(random_response(), &stream); break;
       case 2: wire::AppendStatsRequestFrame(&stream); break;
       case 3:
         wire::AppendStatsResponseFrame("{\"schema_version\":1}", &stream);
+        break;
+      case 4: wire::AppendMutateFrame(random_mutate(), &stream); break;
+      case 5:
+        wire::AppendMutateResponseFrame(random_mutate_response(), &stream);
         break;
       default:
         wire::AppendErrorFrame({rng.Next(), StatusCode::kOverloaded,
@@ -378,6 +529,36 @@ int FuzzWireFrames(spine::Rng& rng, uint64_t* checks) {
                       "", "");
         }
         break;
+      case wire::FrameType::kMutate: {
+        auto decoded = wire::DecodeMutate(frame.payload);
+        if (!decoded.ok() &&
+            decoded.status().code() != StatusCode::kProtocolError) {
+          return Fail("mutate decode used '" + decoded.status().ToString() +
+                          "' instead of kProtocolError",
+                      "", "");
+        }
+        if (decoded.ok() && !mutate_roundtrips(*decoded)) {
+          return Fail("mutated mutate frame decoded but does not round-trip",
+                      "", decoded->document);
+        }
+        break;
+      }
+      case wire::FrameType::kMutateResponse: {
+        auto decoded = wire::DecodeMutateResponse(frame.payload);
+        if (!decoded.ok() &&
+            decoded.status().code() != StatusCode::kProtocolError) {
+          return Fail("mutate response decode used '" +
+                          decoded.status().ToString() +
+                          "' instead of kProtocolError",
+                      "", "");
+        }
+        if (decoded.ok() && !mutate_response_roundtrips(*decoded)) {
+          return Fail(
+              "mutated mutate response decoded but does not round-trip", "",
+              "");
+        }
+        break;
+      }
       case wire::FrameType::kError:
         if (auto decoded = wire::DecodeError(frame.payload);
             !decoded.ok() &&
@@ -487,6 +668,51 @@ int FuzzWireFrames(spine::Rng& rng, uint64_t* checks) {
       }
     }
   }
+
+  // --- JSON mutate envelopes: same discipline ------------------------------
+  for (int trial = 0; trial < 3; ++trial) {
+    ++*checks;
+    const bool is_request = rng.Chance(0.5);
+    std::string line =
+        is_request ? wire::MutateToJson(random_mutate())
+                   : wire::MutateResponseToJson(random_mutate_response());
+    MutateBytes(rng, &line);
+    if (is_request) {
+      auto parsed = wire::ParseMutateJson(line);
+      if (!parsed.ok() &&
+          parsed.status().code() != StatusCode::kProtocolError) {
+        return Fail("JSON mutate rejection used '" +
+                        parsed.status().ToString() +
+                        "' instead of kProtocolError",
+                    "", line);
+      }
+      if (parsed.ok()) {
+        auto again = wire::ParseMutateJson(wire::MutateToJson(*parsed));
+        if (!again.ok() || !(*again == *parsed)) {
+          return Fail("mutated JSON mutate parsed but does not round-trip",
+                      "", line);
+        }
+      }
+    } else {
+      auto parsed = wire::ParseMutateResponseJson(line);
+      if (!parsed.ok() &&
+          parsed.status().code() != StatusCode::kProtocolError) {
+        return Fail("JSON mutate response rejection used '" +
+                        parsed.status().ToString() +
+                        "' instead of kProtocolError",
+                    "", line);
+      }
+      if (parsed.ok()) {
+        auto again = wire::ParseMutateResponseJson(
+            wire::MutateResponseToJson(*parsed));
+        if (!again.ok() || !(*again == *parsed)) {
+          return Fail(
+              "mutated JSON mutate response parsed but does not round-trip",
+              "", line);
+        }
+      }
+    }
+  }
   return 0;
 }
 
@@ -531,6 +757,9 @@ int main(int argc, char** argv) {
 
     if (manifest_mode) {
       if (int rc = FuzzShardManifest(rng, s, fuzz_dir, &checks); rc != 0) {
+        return rc;
+      }
+      if (int rc = FuzzDynamicManifest(rng, s, fuzz_dir, &checks); rc != 0) {
         return rc;
       }
       continue;
@@ -592,6 +821,14 @@ int main(int argc, char** argv) {
     // other phases, so a third of the rounds is plenty.
     if (rounds % 3 == 0) {
       if (int rc = FuzzShardManifest(rng, s, fuzz_dir, &checks); rc != 0) {
+        return rc;
+      }
+    }
+
+    // Dynamic-family v2 manifest robustness (the lifecycle PR), on its
+    // own third of the rounds.
+    if (rounds % 3 == 1) {
+      if (int rc = FuzzDynamicManifest(rng, s, fuzz_dir, &checks); rc != 0) {
         return rc;
       }
     }
