@@ -1,0 +1,136 @@
+// Approximate-query throughput: queries/sec of the kMismatch and
+// kEditDistance kinds versus error budget and pattern length, with the
+// planner's seed-length choice logged per point. The sweep is the
+// evidence behind the seed-and-extend default: seeded points should
+// beat the O(n*m) scan by orders of magnitude wherever the planner
+// chooses seeds, and the points where it falls back to the scan (short
+// patterns, fat budgets) show the crossover the cost model encodes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/json_report.h"
+#include "bench_util/table.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "compact/compact_spine.h"
+#include "core/query.h"
+#include "plan/planner.h"
+#include "seq/datasets.h"
+#include "seq/generator.h"
+
+namespace spine::bench {
+namespace {
+
+constexpr uint64_t kBaseCorpus = 1ull << 20;  // chars, pre-scale
+constexpr uint32_t kQueriesPerPoint = 24;
+constexpr uint32_t kPatternLens[] = {8, 32, 128};
+constexpr uint32_t kSigmaDna = 4;
+
+// A corpus slice with exactly `budget` planted errors, so every query
+// has at least one inexact occurrence to find and the verifier does
+// representative work.
+std::string PerturbedSlice(const std::string& corpus, Rng& rng, uint32_t m,
+                           uint32_t budget, bool edits) {
+  const uint32_t start =
+      static_cast<uint32_t>(rng.Below(corpus.size() - m - budget - 1));
+  std::string pattern = corpus.substr(start, m);
+  for (uint32_t e = 0; e < budget; ++e) {
+    const uint32_t at = static_cast<uint32_t>(rng.Below(pattern.size()));
+    switch (edits ? rng.Below(3) : 0u) {
+      case 0: pattern[at] = "ACGT"[rng.Below(4)]; break;
+      case 1: pattern.insert(at, 1, "ACGT"[rng.Below(4)]); break;
+      default: pattern.erase(at, 1); break;
+    }
+  }
+  return pattern;
+}
+
+struct Point {
+  double qps = 0;
+  uint64_t hits = 0;
+};
+
+Point RunPoint(const CompactSpineIndex& index, const std::string& corpus,
+               bool edits, uint32_t m, uint32_t budget) {
+  Rng rng(1000 * m + 10 * budget + (edits ? 1 : 0));
+  std::vector<Query> queries;
+  queries.reserve(kQueriesPerPoint);
+  for (uint32_t q = 0; q < kQueriesPerPoint; ++q) {
+    std::string pattern = PerturbedSlice(corpus, rng, m, budget, edits);
+    queries.push_back(edits ? Query::EditDistance(std::move(pattern), budget)
+                            : Query::Mismatch(std::move(pattern), budget));
+  }
+  Point point;
+  WallTimer timer;
+  for (const Query& query : queries) {
+    QueryResult result = ExecuteQuery(index, query);
+    SPINE_CHECK(result.ok());
+    point.hits += result.hits.size();
+  }
+  point.qps = static_cast<double>(kQueriesPerPoint) / timer.ElapsedSeconds();
+  return point;
+}
+
+void Sweep(const CompactSpineIndex& index, const std::string& corpus,
+           bool edits, uint32_t max_budget, BenchReport* report) {
+  const char* kind = edits ? "edit" : "mismatch";
+  std::printf("\n%s (budget x pattern length):\n", kind);
+  TablePrinter table(
+      {"budget", "len", "plan", "seed len", "queries/s", "hits/query"});
+  for (uint32_t budget = 0; budget <= max_budget; ++budget) {
+    for (const uint32_t m : kPatternLens) {
+      if (budget >= m) continue;  // degenerate by contract
+      const plan::ApproxPlan plan = plan::PlanApprox(
+          corpus.size(), kSigmaDna, m, budget, /*backend_seedable=*/true);
+      const Point point = RunPoint(index, corpus, edits, m, budget);
+      table.AddRow({std::to_string(budget), std::to_string(m),
+                    plan.use_seeds ? "seeds" : "scan",
+                    std::to_string(plan.seed_len), FormatDouble(point.qps, 1),
+                    FormatDouble(static_cast<double>(point.hits) /
+                                     kQueriesPerPoint,
+                                 2)});
+      const std::string key =
+          std::string(kind) + "_b" + std::to_string(budget) + "_len" +
+          std::to_string(m);
+      report->AddMetric(key + "_qps", point.qps);
+      report->AddMetric(key + "_seed_len",
+                        static_cast<uint64_t>(plan.seed_len));
+      report->AddMetric(key + "_seeded",
+                        static_cast<uint64_t>(plan.use_seeds ? 1 : 0));
+    }
+  }
+  table.Print();
+}
+
+void Run() {
+  const double scale = seq::BenchScaleFromEnv();
+  PrintBanner("Approx", "k-mismatch / bounded-edit throughput", scale);
+
+  seq::GeneratorOptions gen;
+  gen.length =
+      static_cast<uint64_t>(static_cast<double>(kBaseCorpus) * scale);
+  gen.seed = 71;
+  const std::string corpus = seq::GenerateSequence(Alphabet::Dna(), gen);
+  CompactSpineIndex index(Alphabet::Dna());
+  SPINE_CHECK(index.AppendString(corpus).ok());
+
+  BenchReport report("approx", scale);
+  report.AddInfo("corpus", "generated DNA");
+  report.AddMetric("corpus_chars", static_cast<uint64_t>(corpus.size()));
+  Sweep(index, corpus, /*edits=*/false, /*max_budget=*/4, &report);
+  Sweep(index, corpus, /*edits=*/true, /*max_budget=*/3, &report);
+
+  const Status status = report.Write();
+  SPINE_CHECK(status.ok());
+}
+
+}  // namespace
+}  // namespace spine::bench
+
+int main() {
+  spine::bench::Run();
+  return 0;
+}

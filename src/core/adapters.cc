@@ -42,17 +42,31 @@ bool AnyPositive(const std::vector<uint32_t>& ms) {
                      [](uint32_t v) { return v > 0; });
 }
 
+// Code-space view over the oracle's raw text so the approximate
+// generics canonicalize (DNA case folding, out-of-alphabet handling)
+// exactly like the real backends. Not SeedSearchable: the oracle always
+// takes the verification-scan path.
+struct NaiveCodeView {
+  const Alphabet* alpha;
+  const std::string* text;
+  Code CodeAt(uint64_t i) const { return alpha->Encode((*text)[i]); }
+  uint64_t size() const { return text->size(); }
+  const Alphabet& alphabet() const { return *alpha; }
+};
+
 // Mirrors the observability block of core/query.h ExecuteQuery for the
 // adapter paths that do not go through it (suffix trees, CDAWG, naive):
 // per-kind query counters, Table 6 work counters, and trace notes.
 void RecordQueryObs(const Query& query, const QueryResult& result,
                     obs::TraceContext* trace) {
 #if !defined(SPINE_OBS_DISABLED)
-  static obs::Counter* const kind_counters[] = {
+  static obs::Counter* const kind_counters[kQueryKindCount] = {
       &obs::Registry::Default().GetCounter("core.queries.contains"),
       &obs::Registry::Default().GetCounter("core.queries.findall"),
       &obs::Registry::Default().GetCounter("core.queries.match"),
       &obs::Registry::Default().GetCounter("core.queries.ms"),
+      &obs::Registry::Default().GetCounter("core.queries.mismatch"),
+      &obs::Registry::Default().GetCounter("core.queries.editdist"),
   };
   kind_counters[static_cast<size_t>(query.kind)]->Add(1);
   SPINE_OBS_COUNT("core.vertebra_steps", result.stats.nodes_checked);
@@ -141,6 +155,24 @@ QueryResult StExecute(const Tree& tree, std::string_view name,
       }
       DecayMatchingStats(&result.matching_stats);
       result.found = AnyPositive(result.matching_stats);
+      break;
+    }
+    case QueryKind::kMismatch:
+    case QueryKind::kEditDistance: {
+      // Suffix trees are not SeedSearchable, so the generics take the
+      // planner's verification-scan path over CodeAt.
+      ApproxSearchStats approx_stats;
+      std::vector<ApproxHit> approx_hits =
+          query.kind == QueryKind::kMismatch
+              ? GenericFindMismatch(tree, query.pattern, query.max_errors,
+                                    &result.stats, &approx_stats, cancel)
+              : GenericFindEditDistance(tree, query.pattern, query.max_errors,
+                                        &result.stats, &approx_stats, cancel);
+      for (const ApproxHit& hit : approx_hits) {
+        result.hits.push_back({hit.pos, hit.length, hit.errors});
+      }
+      result.found = !result.hits.empty();
+      RecordApproxObs(approx_stats);
       break;
     }
   }
@@ -295,6 +327,23 @@ QueryResult NaiveTextAdapter::Execute(const Query& query,
       }
       DecayMatchingStats(&result.matching_stats);
       result.found = AnyPositive(result.matching_stats);
+      break;
+    }
+    case QueryKind::kMismatch:
+    case QueryKind::kEditDistance: {
+      const NaiveCodeView view{&alphabet_, &text_};
+      ApproxSearchStats approx_stats;
+      std::vector<ApproxHit> approx_hits =
+          query.kind == QueryKind::kMismatch
+              ? GenericFindMismatch(view, query.pattern, query.max_errors,
+                                    &result.stats, &approx_stats, cancel)
+              : GenericFindEditDistance(view, query.pattern, query.max_errors,
+                                        &result.stats, &approx_stats, cancel);
+      for (const ApproxHit& hit : approx_hits) {
+        result.hits.push_back({hit.pos, hit.length, hit.errors});
+      }
+      result.found = !result.hits.empty();
+      RecordApproxObs(approx_stats);
       break;
     }
   }

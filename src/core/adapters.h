@@ -60,7 +60,11 @@ class SpineIndexAdapter final : public Index {
       : owned_(std::move(index)), index_(&*owned_) {}
 
   IndexKind kind() const override { return IndexKind::kSpine; }
-  Capabilities capabilities() const override { return Capabilities{}; }
+  Capabilities capabilities() const override {
+    Capabilities caps;
+    caps.supports_approx = true;  // backbone seed lookup available
+    return caps;
+  }
   const Alphabet& alphabet() const override { return index_->alphabet(); }
   uint64_t size() const override { return index_->size(); }
   QueryResult Execute(const Query& query,
@@ -136,7 +140,11 @@ class GeneralizedSpineAdapter final : public Index {
       : owned_(std::move(index)), index_(&*owned_) {}
 
   IndexKind kind() const override { return IndexKind::kGeneralizedSpine; }
-  Capabilities capabilities() const override { return Capabilities{}; }
+  Capabilities capabilities() const override {
+    Capabilities caps;
+    caps.supports_approx = true;
+    return caps;
+  }
   const Alphabet& alphabet() const override {
     return index_->underlying().alphabet();
   }
@@ -144,7 +152,9 @@ class GeneralizedSpineAdapter final : public Index {
   QueryResult Execute(const Query& query,
                       obs::TraceContext* trace = nullptr,
                       const CancelToken* cancel = nullptr) const override {
-    return ExecuteQuery(index_->underlying(), query, trace, cancel);
+    // The separator keeps approximate windows inside one document.
+    return ExecuteQuery(index_->underlying(), query, trace, cancel,
+                        GeneralizedSpineIndex::kSeparator);
   }
   Status VerifyStructure() const override {
     return index_->underlying().Validate();
@@ -174,6 +184,7 @@ class GeneralizedCompactAdapter final : public Index {
   IndexKind kind() const override { return IndexKind::kGeneralizedCompact; }
   Capabilities capabilities() const override {
     Capabilities caps;
+    caps.supports_approx = true;
     caps.persistent = true;
     return caps;
   }
@@ -188,7 +199,9 @@ class GeneralizedCompactAdapter final : public Index {
       Status fence = mapping_->CheckFence();
       if (!fence.ok()) return MappingFenceResult(fence);
     }
-    return ExecuteQuery(index_->underlying(), query, trace, cancel);
+    // The separator keeps approximate windows inside one document.
+    return ExecuteQuery(index_->underlying(), query, trace, cancel,
+                        GeneralizedCompactSpine::kSeparator);
   }
   Status VerifyStructure() const override {
     if (mapping_ != nullptr) {
@@ -220,6 +233,7 @@ class DiskSpineAdapter final : public Index {
     Capabilities caps;
     caps.concurrent_reads = false;  // const reads share the buffer pool
     caps.statusful_io = true;
+    caps.supports_approx = true;
     caps.persistent = true;
     return caps;
   }

@@ -118,8 +118,17 @@ constexpr uint8_t QueryKindBit(QueryKind kind) {
   return static_cast<uint8_t>(1u << static_cast<uint8_t>(kind));
 }
 
-// All four kinds of core/query.h.
+// All six kinds of core/query.h.
 inline constexpr uint8_t kAllQueryKinds =
+    QueryKindBit(QueryKind::kContains) | QueryKindBit(QueryKind::kFindAll) |
+    QueryKindBit(QueryKind::kMaximalMatches) |
+    QueryKindBit(QueryKind::kMatchingStats) |
+    QueryKindBit(QueryKind::kMismatch) |
+    QueryKindBit(QueryKind::kEditDistance);
+
+// The four exact kinds — what backends without position-addressable
+// text (compact DAWG) can still answer.
+inline constexpr uint8_t kExactQueryKinds =
     QueryKindBit(QueryKind::kContains) | QueryKindBit(QueryKind::kFindAll) |
     QueryKindBit(QueryKind::kMaximalMatches) |
     QueryKindBit(QueryKind::kMatchingStats);
@@ -137,8 +146,11 @@ struct Capabilities {
   // aborting; Execute() can return kIoError / kCorruption verdicts that
   // describe the medium, not the query.
   bool statusful_io = false;
-  // Approximate-search kernels (edit / Hamming distance) are available
-  // on the underlying structure (CLI `approx` / `hamming`).
+  // The backend can run the seed-and-extend path for the approximate
+  // kinds (kMismatch / kEditDistance): exact seed location through the
+  // backbone plus positional verification. Backends with this flag off
+  // still answer those kinds when query_kinds allows it — via the
+  // planner's O(n*m) verification scan.
   bool supports_approx = false;
   // The structure round-trips through an on-disk artifact the registry
   // can reopen (compact images, paged files, shard manifests).

@@ -20,12 +20,14 @@
 #include <algorithm>
 #include <concepts>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/cancel.h"
 #include "common/status.h"
+#include "core/approx.h"
 #include "core/matcher.h"
 #include "core/search.h"
 #include "obs/metrics.h"
@@ -38,7 +40,13 @@ enum class QueryKind : uint8_t {
   kFindAll = 1,         // all start positions of an exact pattern
   kMaximalMatches = 2,  // maximal matching substrings >= min_len
   kMatchingStats = 3,   // Chang-Lawler matching statistics
+  kMismatch = 4,        // windows within max_errors Hamming distance
+  kEditDistance = 5,    // windows within max_errors edit distance
 };
+
+// Number of query kinds (the per-kind counter arrays and the wire
+// bounds checks all derive from this).
+inline constexpr size_t kQueryKindCount = 6;
 
 constexpr std::string_view QueryKindName(QueryKind kind) {
   switch (kind) {
@@ -46,6 +54,8 @@ constexpr std::string_view QueryKindName(QueryKind kind) {
     case QueryKind::kFindAll: return "findall";
     case QueryKind::kMaximalMatches: return "match";
     case QueryKind::kMatchingStats: return "ms";
+    case QueryKind::kMismatch: return "mismatch";
+    case QueryKind::kEditDistance: return "edit";
   }
   return "unknown";
 }
@@ -64,6 +74,11 @@ struct Query {
   // encodings (core/wire.h). Not part of the result-cache key: a cached
   // answer is complete and equally valid under any budget.
   uint32_t deadline_ms = 0;
+  // kMismatch / kEditDistance: the error budget (k resp. d). A budget
+  // >= the pattern length is degenerate — every position would qualify
+  // vacuously — and yields an empty kOk answer, like an empty pattern.
+  // Part of the result-cache key (core semantics, unlike deadline_ms).
+  uint32_t max_errors = 0;
 
   static Query Contains(std::string pattern) {
     return {QueryKind::kContains, std::move(pattern), 1, false};
@@ -79,15 +94,27 @@ struct Query {
   static Query MatchingStats(std::string pattern) {
     return {QueryKind::kMatchingStats, std::move(pattern), 1, false};
   }
+  static Query Mismatch(std::string pattern, uint32_t max_mismatches) {
+    return {QueryKind::kMismatch, std::move(pattern), 1, false, 0,
+            max_mismatches};
+  }
+  static Query EditDistance(std::string pattern, uint32_t max_edits) {
+    return {QueryKind::kEditDistance, std::move(pattern), 1, false, 0,
+            max_edits};
+  }
 
   bool operator==(const Query&) const = default;
 };
 
 // One occurrence of a pattern (or maximal match) in the data string.
+// For the approximate kinds, `length` is the matched window length
+// (always the pattern length for kMismatch) and `query_pos` carries the
+// error count actually used (<= Query::max_errors) — so k=0 / d=0 hits
+// are bit-identical to kFindAll's.
 struct Hit {
   uint32_t pos = 0;        // start offset in the data string
   uint32_t length = 0;     // matched length
-  uint32_t query_pos = 0;  // start offset in the query (maximal matches)
+  uint32_t query_pos = 0;  // query offset (maximal matches) / error count
 
   bool operator==(const Hit&) const = default;
 };
@@ -170,10 +197,16 @@ struct CancelScopeGuard {
 // kDeadlineExceeded / kCancelled result — never a partial payload
 // reported as kOk. CancelScopedIndex backends additionally observe the
 // token on every page miss.
+//
+// `doc_separator`, when set, is the document-boundary character of a
+// generalized (multi-document) index; the approximate kinds never
+// report a window crossing it. Exact kinds ignore it (separator codes
+// never equal pattern codes, so they get the guarantee for free).
 template <typename Index>
 QueryResult ExecuteQuery(const Index& index, const Query& query,
                          obs::TraceContext* trace = nullptr,
-                         const CancelToken* cancel = nullptr) {
+                         const CancelToken* cancel = nullptr,
+                         std::optional<char> doc_separator = std::nullopt) {
 #if defined(SPINE_OBS_DISABLED)
   trace = nullptr;  // capture sites compile out in disabled builds
 #endif
@@ -228,18 +261,53 @@ QueryResult ExecuteQuery(const Index& index, const Query& query,
                                  [](uint32_t v) { return v > 0; });
       break;
     }
+    case QueryKind::kMismatch:
+    case QueryKind::kEditDistance: {
+      if constexpr (CodeAddressable<Index>) {
+        ApproxSearchStats approx_stats;
+        std::vector<ApproxHit> approx_hits =
+            query.kind == QueryKind::kMismatch
+                ? GenericFindMismatch(index, query.pattern, query.max_errors,
+                                      &result.stats, &approx_stats, cancel,
+                                      doc_separator)
+                : GenericFindEditDistance(index, query.pattern,
+                                          query.max_errors, &result.stats,
+                                          &approx_stats, cancel,
+                                          doc_separator);
+        result.hits.reserve(approx_hits.size());
+        for (const ApproxHit& hit : approx_hits) {
+          result.hits.push_back({hit.pos, hit.length, hit.errors});
+        }
+        result.found = !result.hits.empty();
+        RecordApproxObs(approx_stats);
+        if (trace != nullptr) {
+          trace->Note("approx_candidates", approx_stats.candidates);
+          trace->Note("approx_seed_len", approx_stats.seed_len);
+        }
+      } else {
+        // Adapters route unsupported kinds away before dispatch
+        // (Capabilities::query_kinds); this is the belt to that brace.
+        result.status_code = StatusCode::kInvalidArgument;
+        result.error = "backend cannot address text positions";
+        return result;
+      }
+      break;
+    }
   }
 #if !defined(SPINE_OBS_DISABLED)
   {
     // The paper's Table 6 work counters, accumulated across all queries
     // and all backends; work done before a latched fault still counts.
     // The per-kind counter cannot go through SPINE_OBS_COUNT (the name
-    // is dynamic), so it resolves all four once per instantiation.
-    static obs::Counter* const kind_counters[] = {
+    // is dynamic), so it resolves all kQueryKindCount once per
+    // instantiation.
+    static obs::Counter* const kind_counters[kQueryKindCount] = {
         &obs::Registry::Default().GetCounter("core.queries.contains"),
         &obs::Registry::Default().GetCounter("core.queries.findall"),
         &obs::Registry::Default().GetCounter("core.queries.match"),
         &obs::Registry::Default().GetCounter("core.queries.ms"),
+        &obs::Registry::Default().GetCounter("core.queries.mismatch"),
+        &obs::Registry::Default().GetCounter("core.queries.editdist"),
     };
     kind_counters[static_cast<size_t>(query.kind)]->Add(1);
     SPINE_OBS_COUNT("core.vertebra_steps", result.stats.nodes_checked);

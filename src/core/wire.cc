@@ -115,7 +115,7 @@ bool ValidStatusCode(uint8_t code) {
 }
 
 bool ValidQueryKind(uint8_t kind) {
-  return kind <= static_cast<uint8_t>(QueryKind::kMatchingStats);
+  return kind <= static_cast<uint8_t>(QueryKind::kEditDistance);
 }
 
 bool ValidMutateOp(uint8_t op) {
@@ -133,16 +133,6 @@ std::optional<MutateOp> MutateOpFromName(std::string_view name) {
   return std::nullopt;
 }
 
-std::optional<QueryKind> KindFromName(std::string_view name) {
-  for (uint8_t k = 0; k <= static_cast<uint8_t>(QueryKind::kMatchingStats);
-       ++k) {
-    if (QueryKindName(static_cast<QueryKind>(k)) == name) {
-      return static_cast<QueryKind>(k);
-    }
-  }
-  return std::nullopt;
-}
-
 std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
   for (uint8_t c = 0; c <= static_cast<uint8_t>(StatusCode::kCancelled);
        ++c) {
@@ -154,6 +144,16 @@ std::optional<StatusCode> StatusCodeFromName(std::string_view name) {
 }
 
 }  // namespace
+
+std::optional<QueryKind> KindFromName(std::string_view name) {
+  for (uint8_t k = 0; k <= static_cast<uint8_t>(QueryKind::kEditDistance);
+       ++k) {
+    if (QueryKindName(static_cast<QueryKind>(k)) == name) {
+      return static_cast<QueryKind>(k);
+    }
+  }
+  return std::nullopt;
+}
 
 std::string_view MutateOpName(MutateOp op) {
   switch (op) {
@@ -173,11 +173,13 @@ void AppendRequestFrame(const QueryRequest& request, std::string* out) {
   PutU8(request.query.expand_occurrences ? 1 : 0, &payload);
   PutU32(static_cast<uint32_t>(request.query.pattern.size()), &payload);
   payload.append(request.query.pattern);
-  // deadline_ms trails the pattern so a pre-deadline decoder (which
-  // required the payload to end at the pattern) and this one stay
-  // byte-compatible in the common deadline-less case; DecodeRequest
-  // accepts both shapes under the same version byte.
+  // deadline_ms and max_errors trail the pattern so decoders from
+  // before either field existed stay byte-compatible: DecodeRequest
+  // accepts a payload ending at the pattern (neither field), after a
+  // u32 deadline (pre-approx), or after deadline + u32 max_errors —
+  // all under the same version byte.
   PutU32(request.query.deadline_ms, &payload);
+  PutU32(request.query.max_errors, &payload);
   AppendFrame(FrameType::kQuery, payload, out);
 }
 
@@ -312,13 +314,16 @@ Result<QueryRequest> DecodeRequest(std::string_view payload) {
   request.query.min_len = cursor.U32();
   request.query.expand_occurrences = cursor.U8() != 0;
   request.query.pattern = cursor.Bytes();
-  // Version-tolerant tail: a payload that ends at the pattern is a
-  // request from before deadlines existed (deadline_ms = 0, i.e. no
-  // deadline); exactly four more bytes are the u32 deadline. Anything
-  // else is garbage, not a future extension — extensions bump
+  // Version-tolerant tail: a payload ending at the pattern predates
+  // deadlines (deadline_ms = 0); exactly four more bytes are the u32
+  // deadline (pre-approx); exactly eight are deadline + u32 max_errors.
+  // Anything else is garbage, not a future extension — extensions bump
   // kWireVersion.
-  if (!cursor.bad() && cursor.remaining() == 4) {
+  if (!cursor.bad() &&
+      (cursor.remaining() == 4 || cursor.remaining() == 8)) {
+    const bool has_errors = cursor.remaining() == 8;
     request.query.deadline_ms = cursor.U32();
+    if (has_errors) request.query.max_errors = cursor.U32();
   }
   if (cursor.bad() || !cursor.AtEnd()) {
     return ProtocolError("malformed query request payload");
@@ -452,6 +457,10 @@ std::string RequestToJson(const QueryRequest& request) {
     json.Key("deadline_ms");
     json.Value(request.query.deadline_ms);
   }
+  if (request.query.max_errors > 0) {
+    json.Key("max_errors");
+    json.Value(request.query.max_errors);
+  }
   json.EndObject();
   return std::move(json).Finish();
 }
@@ -576,6 +585,17 @@ Result<QueryRequest> ParseRequestJson(std::string_view line) {
     // from wrapping into tiny budgets.
     request.query.deadline_ms = static_cast<uint32_t>(std::min(
         deadline->number,
+        static_cast<double>(std::numeric_limits<uint32_t>::max())));
+  }
+  if (const obs::JsonValue* errors = doc->Find("max_errors");
+      errors != nullptr) {
+    if (!errors->is_number() || errors->number < 0) {
+      return ProtocolError("JSON 'max_errors' must be a non-negative number");
+    }
+    // Clamped like deadline_ms: any budget >= the pattern length is
+    // equally degenerate, so huge JSON numbers must not wrap.
+    request.query.max_errors = static_cast<uint32_t>(std::min(
+        errors->number,
         static_cast<double>(std::numeric_limits<uint32_t>::max())));
   }
   return request;
@@ -775,28 +795,51 @@ std::optional<Query> ParseQueryText(std::string_view line,
   if (space != std::string::npos) {
     std::string kind = body.substr(0, space);
     std::string pattern = body.substr(body.find_first_not_of(" \t", space));
-    // Optional per-query budget suffix: "KIND@MS PATTERN" (e.g.
-    // "findall@250 abra"). A malformed suffix makes the whole word an
-    // unrecognized kind, which falls through to the findall-whole-line
-    // rule below — same as any other unknown first word.
+    // Optional suffixes on the kind word: an error budget
+    // "KIND:ERRORS" (approximate kinds only, e.g. "mismatch:2 abra")
+    // and a per-query deadline "KIND@MS" (e.g. "findall@250 abra"),
+    // combined as "KIND:ERRORS@MS". A malformed suffix makes the whole
+    // word an unrecognized kind, which falls through to the
+    // findall-whole-line rule below — same as any other unknown first
+    // word.
+    const auto parse_digits =
+        [](std::string_view digits) -> std::optional<uint32_t> {
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string_view::npos) {
+        return std::nullopt;
+      }
+      uint64_t value = 0;
+      for (char c : digits) {
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+        if (value > std::numeric_limits<uint32_t>::max()) {
+          value = std::numeric_limits<uint32_t>::max();  // saturate
+          break;
+        }
+      }
+      return static_cast<uint32_t>(value);
+    };
     uint32_t deadline_ms = 0;
+    uint32_t max_errors = 0;
+    bool has_errors = false;
     bool kind_ok = true;
     if (size_t at = kind.find('@'); at != std::string::npos) {
-      std::string_view digits = std::string_view(kind).substr(at + 1);
-      kind_ok = !digits.empty() &&
-                digits.find_first_not_of("0123456789") ==
-                    std::string_view::npos;
+      const std::optional<uint32_t> ms =
+          parse_digits(std::string_view(kind).substr(at + 1));
+      kind_ok = ms.has_value();
       if (kind_ok) {
-        uint64_t value = 0;
-        for (char c : digits) {
-          value = value * 10 + static_cast<uint64_t>(c - '0');
-          if (value > std::numeric_limits<uint32_t>::max()) {
-            value = std::numeric_limits<uint32_t>::max();  // saturate
-            break;
-          }
-        }
-        deadline_ms = static_cast<uint32_t>(value);
+        deadline_ms = *ms;
         kind.resize(at);
+      }
+    }
+    if (size_t colon = kind.find(':');
+        kind_ok && colon != std::string::npos) {
+      const std::optional<uint32_t> errors =
+          parse_digits(std::string_view(kind).substr(colon + 1));
+      kind_ok = errors.has_value();
+      if (kind_ok) {
+        max_errors = *errors;
+        has_errors = true;
+        kind.resize(colon);
       }
     }
     if (kind_ok) {
@@ -806,6 +849,17 @@ std::optional<Query> ParseQueryText(std::string_view line,
       else if (kind == "match") {
         query = Query::MaximalMatches(std::move(pattern), min_len);
       } else if (kind == "ms") query = Query::MatchingStats(std::move(pattern));
+      else if (kind == "mismatch") {
+        query = Query::Mismatch(std::move(pattern), max_errors);
+      } else if (kind == "edit") {
+        query = Query::EditDistance(std::move(pattern), max_errors);
+      }
+      // An error budget on an exact kind ("findall:2") is as malformed
+      // as non-digits after the colon: the whole line is a pattern.
+      if (query && has_errors && query->kind != QueryKind::kMismatch &&
+          query->kind != QueryKind::kEditDistance) {
+        query.reset();
+      }
       if (query) {
         query->deadline_ms = deadline_ms;
         return query;
@@ -860,6 +914,27 @@ void PrintResultSummary(std::ostream& out, const Query& query,
                         static_cast<double>(result.matching_stats.size()));
       break;
     }
+    case QueryKind::kMismatch:
+      out << result.hits.size() << " hit(s) within " << query.max_errors
+          << " mismatch(es)";
+      for (size_t i = 0; i < result.hits.size() && i < max_listed; ++i) {
+        out << " " << result.hits[i].pos << ":" << result.hits[i].query_pos;
+      }
+      if (result.hits.size() > max_listed) {
+        out << " (+" << result.hits.size() - max_listed << " more)";
+      }
+      break;
+    case QueryKind::kEditDistance:
+      out << result.hits.size() << " hit(s) within " << query.max_errors
+          << " edit(s)";
+      for (size_t i = 0; i < result.hits.size() && i < max_listed; ++i) {
+        const Hit& hit = result.hits[i];
+        out << " " << hit.pos << ":" << hit.length << ":" << hit.query_pos;
+      }
+      if (result.hits.size() > max_listed) {
+        out << " (+" << result.hits.size() - max_listed << " more)";
+      }
+      break;
   }
 }
 

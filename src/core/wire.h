@@ -72,6 +72,11 @@ enum class MutateOp : uint8_t {
 // "insert" / "delete" / "compact" / "reload".
 std::string_view MutateOpName(MutateOp op);
 
+// The inverse of QueryKindName: "findall" / "contains" / "match" /
+// "ms" / "mismatch" / "edit" -> the kind; nullopt for anything else.
+// Shared by the JSON parser and the CLI's --kind flag.
+std::optional<QueryKind> KindFromName(std::string_view name);
+
 // What to ask, plus a client-chosen correlation id echoed back in the
 // response (responses to pipelined requests arrive in request order,
 // but the id makes matching robust and survives shed queries).
@@ -137,10 +142,12 @@ struct WireError {
 // keep pattern + 24 bytes of fixed fields under the cap (enforced by
 // SPINE_CHECK; serve::Client::Send pre-validates).
 //
-// Request payloads carry a trailing u32 deadline_ms (0 = none). The
-// field was appended after the pattern precisely so DecodeRequest can
-// accept both the old payload shape (ends at the pattern) and the new
-// one under the same kWireVersion — see the decoder comment.
+// Request payloads carry a trailing u32 deadline_ms (0 = none)
+// followed by a trailing u32 max_errors (the k/d budget of the
+// approximate kinds; 0 otherwise). Both were appended after the
+// pattern precisely so DecodeRequest can accept the older payload
+// shapes (ending at the pattern, or after the deadline) under the same
+// kWireVersion — see the decoder comment.
 void AppendRequestFrame(const QueryRequest& request, std::string* out);
 void AppendResponseFrame(const QueryResponse& response, std::string* out);
 void AppendStatsRequestFrame(std::string* out);
@@ -182,10 +189,11 @@ Result<MutateResponse> DecodeMutateResponse(std::string_view payload);
 // --- JSON lines ------------------------------------------------------------
 
 // {"v":1,"type":"query","id":N,"kind":"findall","pattern":"...",
-//  "min_len":N,"expand":bool,"deadline_ms":N} — deadline_ms is emitted
-// only when non-zero and defaults to 0 (no deadline) on parse — and
-// the response mirror with "status", "found",
-// "hits":[{"pos","len","qpos"}], "ms":[...], "error".
+//  "min_len":N,"expand":bool,"deadline_ms":N,"max_errors":N} —
+// deadline_ms and max_errors are emitted only when non-zero and
+// default to 0 on parse — and the response mirror with "status",
+// "found", "hits":[{"pos","len","qpos"}], "ms":[...], "error". For the
+// approximate kinds a hit's "qpos" carries its error count.
 std::string RequestToJson(const QueryRequest& request);
 std::string ResponseToJson(const QueryResponse& response);
 Result<QueryRequest> ParseRequestJson(std::string_view line);
@@ -203,9 +211,11 @@ Result<MutateResponse> ParseMutateResponseJson(std::string_view line);
 // --- query text ------------------------------------------------------------
 
 // One line of the human query form: 'PATTERN' (findall) or
-// 'KIND PATTERN' with KIND in {findall, contains, match, ms}, where
-// KIND may carry a per-query budget suffix 'KIND@MS' (milliseconds,
-// e.g. "findall@250 abra"). Blank lines and '#' comments yield
+// 'KIND PATTERN' with KIND in {findall, contains, match, ms, mismatch,
+// edit}. KIND may carry an error-budget suffix 'KIND:ERRORS'
+// (approximate kinds only, e.g. "mismatch:2 abra") and/or a per-query
+// deadline suffix 'KIND@MS' (milliseconds, e.g. "findall@250 abra";
+// combined: "edit:1@250 abra"). Blank lines and '#' comments yield
 // nullopt. `min_len` seeds Query::min_len for match queries.
 std::optional<Query> ParseQueryText(std::string_view line, uint32_t min_len);
 

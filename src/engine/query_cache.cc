@@ -17,6 +17,8 @@ std::string QueryCache::Key(uint64_t backend_id, const Query& query) {
   key += '|';
   key += query.expand_occurrences ? '1' : '0';
   key += '|';
+  key += std::to_string(query.max_errors);
+  key += '|';
   key += query.pattern;  // last field, so embedded '|' is unambiguous
   return key;
 }

@@ -1,0 +1,59 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+
+namespace spine::plan {
+namespace {
+
+// sigma^len, saturating well above any text length we care about.
+uint64_t SaturatingPow(uint64_t sigma, uint32_t len) {
+  constexpr uint64_t kCap = uint64_t{1} << 62;
+  uint64_t value = 1;
+  for (uint32_t i = 0; i < len; ++i) {
+    if (value > kCap / std::max<uint64_t>(sigma, 2)) return kCap;
+    value *= std::max<uint64_t>(sigma, 2);
+  }
+  return value;
+}
+
+}  // namespace
+
+ApproxPlan PlanApprox(uint64_t text_len, uint32_t sigma,
+                      uint32_t pattern_len, uint32_t budget,
+                      bool backend_seedable) {
+  ApproxPlan plan;
+  // Degenerate queries (empty pattern, budget >= m) are answered before
+  // any plan runs; a scan plan is a safe identity for them.
+  if (!backend_seedable || pattern_len == 0 || budget >= pattern_len) {
+    return plan;
+  }
+  const uint32_t pieces = budget + 1;
+  if (pieces > pattern_len) return plan;  // pieces would be empty
+  const uint32_t seed_len = pattern_len / pieces;
+  // One- and two-character seeds hit a constant fraction of the text;
+  // locating them costs more than the scan they were meant to avoid.
+  if (seed_len < 3) return plan;
+  // Expected verification work: each of `pieces` seeds surfaces about
+  // text_len / sigma^seed_len candidates, each verified in O(m). The
+  // scan verifies all ~text_len windows. Seeds must win by a margin
+  // (4x) to cover the sort/dedup and per-seed lookup overhead.
+  const uint64_t denom = SaturatingPow(sigma, seed_len);
+  const uint64_t expected_candidates =
+      pieces * (text_len / std::max<uint64_t>(denom, 1) + 1);
+  if (expected_candidates * 4 >= std::max<uint64_t>(text_len, 1)) {
+    return plan;
+  }
+  plan.use_seeds = true;
+  plan.piece_count = pieces;
+  plan.seed_len = seed_len;
+  return plan;
+}
+
+std::pair<uint32_t, uint32_t> SeedBoundaries(uint32_t m, uint32_t pieces,
+                                             uint32_t piece) {
+  const uint64_t begin = static_cast<uint64_t>(piece) * m / pieces;
+  const uint64_t end = (static_cast<uint64_t>(piece) + 1) * m / pieces;
+  return {static_cast<uint32_t>(begin), static_cast<uint32_t>(end)};
+}
+
+}  // namespace spine::plan

@@ -12,6 +12,7 @@
 #include "common/crc32c.h"
 #include "common/serde.h"
 #include "compact/generalized_compact.h"
+#include "core/approx.h"
 #include "core/generalized_spine.h"
 #include "core/matcher.h"
 #include "core/search.h"
@@ -109,11 +110,13 @@ Result<std::string> CanonicalizeDocument(const Alphabet& alphabet,
 void RecordLifecycleObs(const Query& query, const QueryResult& result,
                         obs::TraceContext* trace) {
 #if !defined(SPINE_OBS_DISABLED)
-  static obs::Counter* const kind_counters[] = {
+  static obs::Counter* const kind_counters[kQueryKindCount] = {
       &obs::Registry::Default().GetCounter("core.queries.contains"),
       &obs::Registry::Default().GetCounter("core.queries.findall"),
       &obs::Registry::Default().GetCounter("core.queries.match"),
       &obs::Registry::Default().GetCounter("core.queries.ms"),
+      &obs::Registry::Default().GetCounter("core.queries.mismatch"),
+      &obs::Registry::Default().GetCounter("core.queries.editdist"),
   };
   kind_counters[static_cast<size_t>(query.kind)]->Add(1);
   SPINE_OBS_COUNT("lifecycle.queries", 1);
@@ -266,6 +269,7 @@ class DynamicFamily::Snapshot final : public core::Index {
   core::IndexKind kind() const override { return core::IndexKind::kDynamic; }
   core::Capabilities capabilities() const override {
     core::Capabilities caps;
+    caps.supports_approx = true;  // per-source seed-and-extend
     caps.persistent = true;
     return caps;
   }
@@ -502,6 +506,54 @@ QueryResult DynamicFamily::ExecuteOnGeneration(const Generation& gen,
         }
       }
       result.found = !result.hits.empty();
+      break;
+    }
+    case QueryKind::kMismatch:
+    case QueryKind::kEditDistance: {
+      // Per-source core/approx.h generics with the source's separator:
+      // no window crosses a document boundary, and documents are
+      // atomically live or dead, so mapping the window's start suffices
+      // to decide liveness of the whole window.
+      ApproxSearchStats family_stats;
+      struct MappedHit {
+        int64_t pos;
+        ApproxHit hit;
+        bool operator<(const MappedHit& o) const { return pos < o.pos; }
+      };
+      std::vector<MappedHit> mapped;
+      for (uint32_t s = 0; s < source_count; ++s) {
+        const char separator = s < shard_count ? kDiskSeparator : kMemSeparator;
+        ApproxSearchStats source_stats;
+        const auto run = [&](const auto& underlying) {
+          return query.kind == QueryKind::kMismatch
+                     ? GenericFindMismatch(underlying, query.pattern,
+                                           query.max_errors, &result.stats,
+                                           &source_stats, cancel, separator)
+                     : GenericFindEditDistance(underlying, query.pattern,
+                                               query.max_errors, &result.stats,
+                                               &source_stats, cancel,
+                                               separator);
+        };
+        const std::vector<ApproxHit> hits =
+            s < shard_count ? run(gen.shards[s]->index.underlying())
+                            : run(gen.memtable->index.underlying());
+        for (const ApproxHit& hit : hits) {
+          const int64_t pos = canonical_of(s, hit.pos);
+          if (pos >= 0) mapped.push_back({pos, hit});
+        }
+        family_stats.candidates += source_stats.candidates;
+        family_stats.seeded = family_stats.seeded || source_stats.seeded;
+        family_stats.seed_len =
+            std::max(family_stats.seed_len, source_stats.seed_len);
+      }
+      std::sort(mapped.begin(), mapped.end());
+      for (const MappedHit& entry : mapped) {
+        result.hits.push_back({static_cast<uint32_t>(entry.pos),
+                               entry.hit.length, entry.hit.errors});
+      }
+      result.found = !result.hits.empty();
+      family_stats.verified = result.hits.size();
+      RecordApproxObs(family_stats);
       break;
     }
   }

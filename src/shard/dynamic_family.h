@@ -121,6 +121,7 @@ class DynamicFamily final : public core::MutableIndex {
   core::IndexKind kind() const override { return core::IndexKind::kDynamic; }
   core::Capabilities capabilities() const override {
     core::Capabilities caps;
+    caps.supports_approx = true;  // per-source seed-and-extend
     caps.persistent = true;
     return caps;
   }

@@ -11,6 +11,7 @@
 #include "common/crc32c.h"
 #include "common/serde.h"
 #include "compact/serializer.h"
+#include "core/approx.h"
 #include "core/matcher.h"
 #include "core/search.h"
 #include "engine/thread_pool.h"
@@ -63,11 +64,13 @@ Result<Alphabet> AlphabetFromKindCode(uint32_t code) {
 void RecordFamilyObs(const Query& query, const QueryResult& result,
                      obs::TraceContext* trace) {
 #if !defined(SPINE_OBS_DISABLED)
-  static obs::Counter* const kind_counters[] = {
+  static obs::Counter* const kind_counters[kQueryKindCount] = {
       &obs::Registry::Default().GetCounter("core.queries.contains"),
       &obs::Registry::Default().GetCounter("core.queries.findall"),
       &obs::Registry::Default().GetCounter("core.queries.match"),
       &obs::Registry::Default().GetCounter("core.queries.ms"),
+      &obs::Registry::Default().GetCounter("core.queries.mismatch"),
+      &obs::Registry::Default().GetCounter("core.queries.editdist"),
   };
   kind_counters[static_cast<size_t>(query.kind)]->Add(1);
   SPINE_OBS_COUNT("core.vertebra_steps", result.stats.nodes_checked);
@@ -160,13 +163,30 @@ QueryResult ShardedIndex::Execute(const Query& query,
       return failed;
     }
   }
+  const bool approx_kind = query.kind == QueryKind::kMismatch ||
+                           query.kind == QueryKind::kEditDistance;
+  // Degenerate approximate queries (empty pattern, budget >= pattern
+  // length) are vacuously empty by core/query.h contract — answered
+  // before admission, since they name no window that could straddle a
+  // boundary.
+  if (approx_kind && (query.pattern.empty() ||
+                      query.max_errors >= query.pattern.size())) {
+    QueryResult empty;
+    RecordFamilyObs(query, empty, trace);
+    return empty;
+  }
   // Admission: a longer pattern could straddle a shard boundary without
   // any shard seeing it whole, for every query kind (matching
   // statistics are only exact while no match can exceed the margin).
-  if (query.pattern.size() > max_pattern_) {
+  // An edit-distance window can run max_errors characters past the
+  // pattern length (insertions), so the margin must cover that too.
+  const uint64_t window_len =
+      query.pattern.size() +
+      (query.kind == QueryKind::kEditDistance ? query.max_errors : 0);
+  if (window_len > max_pattern_) {
     QueryResult rejected;
     rejected.status_code = StatusCode::kInvalidArgument;
-    rejected.error = "pattern length " + std::to_string(query.pattern.size()) +
+    rejected.error = "query window length " + std::to_string(window_len) +
                      " exceeds the shard overlap margin (max_pattern=" +
                      std::to_string(max_pattern_) +
                      "); rebuild with a larger --max-pattern";
@@ -194,6 +214,10 @@ QueryResult ShardedIndex::Execute(const Query& query,
       break;
     case QueryKind::kMatchingStats:
       result = ExecuteMatchingStats(query, cancel);
+      break;
+    case QueryKind::kMismatch:
+    case QueryKind::kEditDistance:
+      result = ExecuteApprox(query, cancel);
       break;
   }
   RecordFamilyObs(query, result, trace);
@@ -325,6 +349,45 @@ QueryResult ShardedIndex::ExecuteMaximalMatches(
     }
   }
   result.found = !result.hits.empty();
+  return result;
+}
+
+QueryResult ShardedIndex::ExecuteApprox(const Query& query,
+                                        const CancelToken* cancel) const {
+  QueryResult result;
+  // Admission guarantees a window starting in shard i's core range lies
+  // entirely inside slice i, so per-shard hits kept by the ownership
+  // filter were verified on complete windows — identical to the
+  // monolithic answer.
+  ApproxSearchStats family_stats;
+  std::vector<std::vector<ApproxHit>> local(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    ApproxSearchStats shard_stats;
+    local[i] = query.kind == QueryKind::kMismatch
+                   ? GenericFindMismatch(shards_[i], query.pattern,
+                                         query.max_errors, &result.stats,
+                                         &shard_stats, cancel)
+                   : GenericFindEditDistance(shards_[i], query.pattern,
+                                             query.max_errors, &result.stats,
+                                             &shard_stats, cancel);
+    family_stats.candidates += shard_stats.candidates;
+    family_stats.seeded = family_stats.seeded || shard_stats.seeded;
+    family_stats.seed_len =
+        std::max(family_stats.seed_len, shard_stats.seed_len);
+  }
+  SPINE_OBS_SCOPED_TIMER_US("shard.merge_us");
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    for (const ApproxHit& hit : local[i]) {
+      const uint64_t global = infos_[i].core_start + hit.pos;
+      if (global < infos_[i].core_end) {
+        result.hits.push_back(
+            {static_cast<uint32_t>(global), hit.length, hit.errors});
+      }
+    }
+  }
+  result.found = !result.hits.empty();
+  family_stats.verified = result.hits.size();
+  RecordApproxObs(family_stats);
   return result;
 }
 

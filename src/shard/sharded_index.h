@@ -22,10 +22,17 @@
 //             matcher reports: ms[q] >= min_len and (q == 0 or
 //             ms[q-1] <= ms[q]); occurrence positions come from
 //             per-shard lookups of the matched substring.
+//   mismatch/ per-shard generic seed-and-extend (core/approx.h) over
+//   edit      the slice, kept only when the window's start falls in the
+//             core range — the margin guarantees the full window (m
+//             characters, m + d for edit distance) is inside the slice,
+//             so kept hits are verified on complete windows.
 //
 // Patterns longer than max_pattern could straddle a boundary without
 // any shard seeing them whole, so Execute rejects them loudly with
-// kInvalidArgument at admission — never a silently wrong answer.
+// kInvalidArgument at admission — never a silently wrong answer. For
+// kEditDistance the admitted window is pattern length + max_errors
+// (insertions can lengthen the matched window by up to d characters).
 //
 // Construction is the first parallel build path in the repo: per-shard
 // compact indexes build concurrently on an engine::ThreadPool.
@@ -105,6 +112,7 @@ class ShardedIndex final : public core::Index {
   core::IndexKind kind() const override { return core::IndexKind::kSharded; }
   core::Capabilities capabilities() const override {
     core::Capabilities caps;
+    caps.supports_approx = true;  // per-shard seed-and-extend
     caps.persistent = true;
     return caps;
   }
@@ -142,6 +150,10 @@ class ShardedIndex final : public core::Index {
                                    const CancelToken* cancel) const;
   QueryResult ExecuteMaximalMatches(const Query& query,
                                     const CancelToken* cancel) const;
+  // kMismatch / kEditDistance: per-shard core/approx.h generics over the
+  // slices, deduplicated by core-range ownership like ExecuteFindAll.
+  QueryResult ExecuteApprox(const Query& query,
+                            const CancelToken* cancel) const;
 
   // Elementwise-max merge of per-shard matching statistics; stats
   // accumulate the per-shard search work.

@@ -1,5 +1,9 @@
 // Tests for the alignment module: edit distance, anchor chaining,
-// the SPINE-anchored aligner, and approximate matching.
+// the SPINE-anchored aligner, and approximate matching — plus the tie
+// between the align-module seed-and-extend and the core kEditDistance
+// query kind: same corpora (tests/test_util.h), same answers, and the
+// approx.* / core.* registry counters move exactly with the
+// SearchStats the queries report.
 
 #include <algorithm>
 #include <string>
@@ -12,10 +16,16 @@
 #include "align/chainer.h"
 #include "align/edit_distance.h"
 #include "common/rng.h"
+#include "core/query.h"
 #include "seq/generator.h"
+#include "test_util.h"
 
 namespace spine::align {
 namespace {
+
+using spine::test::RandomString;
+using spine::test::RegistryDelta;
+using spine::test::TestCorpus;
 
 // ---------------------------------------------------------------------
 // Edit distance.
@@ -33,13 +43,11 @@ TEST(EditDistanceTest, KnownValues) {
 
 TEST(EditDistanceTest, BandedAgreesWithFullWithinBudget) {
   Rng rng(42);
-  const char* letters = "ACGT";
   for (int round = 0; round < 300; ++round) {
     uint32_t la = static_cast<uint32_t>(rng.Below(30));
     uint32_t lb = static_cast<uint32_t>(rng.Below(30));
-    std::string a, b;
-    for (uint32_t i = 0; i < la; ++i) a.push_back(letters[rng.Below(3)]);
-    for (uint32_t i = 0; i < lb; ++i) b.push_back(letters[rng.Below(3)]);
+    const std::string a = RandomString(rng, la, 3);
+    const std::string b = RandomString(rng, lb, 3);
     uint32_t truth = EditDistance(a, b);
     for (uint32_t budget : {0u, 1u, 2u, 5u, 30u}) {
       auto banded = BandedEditDistance(a, b, budget);
@@ -178,10 +186,7 @@ TEST(ChainerTest, OptimalAgainstBruteForce) {
 // ---------------------------------------------------------------------
 
 TEST(AlignerTest, PerfectCopyAlignsCompletely) {
-  seq::GeneratorOptions gen;
-  gen.length = 20000;
-  gen.seed = 9;
-  std::string genome = seq::GenerateSequence(Alphabet::Dna(), gen);
+  const std::string genome = TestCorpus(20000, 9);
   Result<AlignmentResult> result = AlignSequences(genome, genome);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->anchored_bases, genome.size());
@@ -191,10 +196,7 @@ TEST(AlignerTest, PerfectCopyAlignsCompletely) {
 }
 
 TEST(AlignerTest, DivergentStrainAlignsWithHighIdentity) {
-  seq::GeneratorOptions gen;
-  gen.length = 40000;
-  gen.seed = 10;
-  std::string genome = seq::GenerateSequence(Alphabet::Dna(), gen);
+  const std::string genome = TestCorpus(40000, 10);
   seq::MutateOptions mut;
   mut.seed = 11;
   mut.substitution_rate = 0.01;
@@ -208,12 +210,8 @@ TEST(AlignerTest, DivergentStrainAlignsWithHighIdentity) {
 }
 
 TEST(AlignerTest, UnrelatedSequencesBarelyAlign) {
-  seq::GeneratorOptions gen;
-  gen.length = 20000;
-  gen.seed = 12;
-  std::string a = seq::GenerateSequence(Alphabet::Dna(), gen);
-  gen.seed = 13;
-  std::string b = seq::GenerateSequence(Alphabet::Dna(), gen);
+  const std::string a = TestCorpus(20000, 12);
+  const std::string b = TestCorpus(20000, 13);
   AlignOptions options;
   options.min_anchor_len = 24;  // random 24-mers almost never collide
   Result<AlignmentResult> result = AlignSequences(a, b, options);
@@ -296,11 +294,9 @@ TEST(ApproximateTest, DegenerateInputs) {
 
 TEST(ApproximateTest, MatchesBruteForceOracle) {
   Rng rng(23);
-  const char* letters = "ACGT";
   for (int round = 0; round < 40; ++round) {
     uint32_t n = 30 + static_cast<uint32_t>(rng.Below(120));
-    std::string text;
-    for (uint32_t i = 0; i < n; ++i) text.push_back(letters[rng.Below(3)]);
+    const std::string text = RandomString(rng, n, 3);
     CompactSpineIndex index(Alphabet::Dna());
     ASSERT_TRUE(index.AppendString(text).ok());
     for (int trial = 0; trial < 8; ++trial) {
@@ -309,9 +305,7 @@ TEST(ApproximateTest, MatchesBruteForceOracle) {
       if (trial % 2 == 0 && m < n) {
         pattern = text.substr(rng.Below(n - m), m);
       } else {
-        for (uint32_t i = 0; i < m; ++i) {
-          pattern.push_back(letters[rng.Below(3)]);
-        }
+        pattern = RandomString(rng, m, 3);
       }
       uint32_t k = static_cast<uint32_t>(rng.Below(3));
       if (k >= pattern.size()) continue;
@@ -325,6 +319,70 @@ TEST(ApproximateTest, MatchesBruteForceOracle) {
       }
     }
   }
+}
+
+// The align-module seed-and-extend and the core kEditDistance kind
+// (through ExecuteQuery) answer from the same structure with the same
+// best-per-start contract (fewest edits, then shortest window) and
+// must agree triple for triple — and the query path must leave an
+// exact trail in the metrics registry: one routing decision per
+// query, one approx.verified per hit, and Table-6 work counters equal
+// to the summed SearchStats.
+TEST(ApproximateTest, AgreesWithCoreEditKindAndRecordsMetrics) {
+  Rng rng(777);
+  const std::string corpus = TestCorpus(6000, 19);
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(corpus).ok());
+
+  RegistryDelta delta;
+  SearchStats expected;
+  uint64_t queries = 0;
+  uint64_t total_hits = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const uint32_t m = 10 + static_cast<uint32_t>(rng.Below(10));
+    const uint32_t start =
+        static_cast<uint32_t>(rng.Below(corpus.size() - m - 4));
+    std::string pattern = corpus.substr(start, m);
+    const uint32_t d = static_cast<uint32_t>(rng.Below(3));
+    // Perturb up to d characters (substitute / insert / erase) so
+    // inexact hits actually occur.
+    for (uint32_t e = 0; e < d; ++e) {
+      const uint32_t at = static_cast<uint32_t>(rng.Below(pattern.size()));
+      switch (rng.Below(3)) {
+        case 0: pattern[at] = "ACGT"[rng.Below(4)]; break;
+        case 1: pattern.insert(at, 1, "ACGT"[rng.Below(4)]); break;
+        default: pattern.erase(at, 1); break;
+      }
+    }
+
+    QueryResult result = ExecuteQuery(index, Query::EditDistance(pattern, d));
+    ASSERT_TRUE(result.ok()) << result.error;
+    expected.Add(result.stats);
+    ++queries;
+    total_hits += result.hits.size();
+
+    const std::vector<ApproximateHit> seeded =
+        FindApproximate(index, pattern, d);
+    ASSERT_EQ(result.hits.size(), seeded.size()) << "d=" << d;
+    for (size_t i = 0; i < seeded.size(); ++i) {
+      EXPECT_EQ(result.hits[i].pos, seeded[i].data_pos);
+      EXPECT_EQ(result.hits[i].length, seeded[i].length);
+      EXPECT_EQ(result.hits[i].query_pos, seeded[i].edits);
+    }
+  }
+  EXPECT_GT(total_hits, 0u);
+
+  SPINE_SKIP_IF_OBS_DISABLED();
+  // FindApproximate is not a query: only the ExecuteQuery half of the
+  // loop shows up in the registry.
+  EXPECT_EQ(delta.Counter("core.queries.editdist"), queries);
+  EXPECT_EQ(delta.Counter("approx.seeded") + delta.Counter("approx.scanned"),
+            queries);
+  EXPECT_EQ(delta.Counter("approx.verified"), total_hits);
+  EXPECT_GE(delta.Counter("approx.candidates"),
+            delta.Counter("approx.verified"));
+  EXPECT_EQ(delta.Counter("core.vertebra_steps"), expected.nodes_checked);
+  EXPECT_GT(expected.nodes_checked, 0u);
 }
 
 }  // namespace

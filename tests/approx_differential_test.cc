@@ -1,0 +1,485 @@
+// Differential suite for the approximate query surface: every backend
+// must answer kMismatch and kEditDistance exactly like an independent
+// brute-force O(n*m) oracle — one written here, on raw strings, sharing
+// no code with the planner, the seed-and-extend path, or the naive
+// scan fallback in core/approx.h. The grid covers:
+//   - every in-memory backend in the BackendFleet, under every
+//     supported comparison kernel;
+//   - every persistent artifact kind reopened through the registry
+//     under heap, mmap and mmap-noverify;
+//   - DNA and protein corpora, budgets k in 0..4 and d in 0..3;
+//   - k = 0 / d = 0 bit-identical to kFindAll;
+//   - the edge cases: empty patterns, budget >= pattern length,
+//     patterns too short to seed, out-of-alphabet pattern bytes,
+//     shard-boundary straddles and the overlap-margin admission rule,
+//     and deadline expiry mid-extend.
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancel.h"
+#include "common/rng.h"
+#include "core/adapters.h"
+#include "core/index.h"
+#include "core/query.h"
+#include "core/registry.h"
+#include "engine/query_engine.h"
+#include "kernel/kernel.h"
+#include "shard/sharded_index.h"
+
+#include "backend_agreement.h"
+#include "test_util.h"
+
+namespace spine::test {
+namespace {
+
+using core::BackendRegistry;
+using core::OpenOptions;
+using core::ParseOpenSpec;
+
+// --- the independent oracle ------------------------------------------------
+
+// Full-table semi-global DP: fewest edits between `pattern` and any
+// prefix of `window`, shortest prefix on ties. Deliberately NOT the
+// banded align::BestPrefixEditDistance the product path uses.
+std::optional<std::pair<uint32_t, uint32_t>> OracleBestPrefix(
+    const std::string& pattern, const std::string& window,
+    uint32_t max_edits) {
+  const size_t m = pattern.size();
+  const size_t w = window.size();
+  std::vector<std::vector<uint32_t>> dp(m + 1,
+                                        std::vector<uint32_t>(w + 1, 0));
+  for (size_t j = 0; j <= w; ++j) dp[0][j] = static_cast<uint32_t>(j);
+  for (size_t i = 1; i <= m; ++i) {
+    dp[i][0] = static_cast<uint32_t>(i);
+    for (size_t j = 1; j <= w; ++j) {
+      const uint32_t sub =
+          dp[i - 1][j - 1] + (pattern[i - 1] == window[j - 1] ? 0 : 1);
+      dp[i][j] = std::min({sub, dp[i - 1][j] + 1, dp[i][j - 1] + 1});
+    }
+  }
+  std::optional<std::pair<uint32_t, uint32_t>> best;
+  for (size_t j = 0; j <= w; ++j) {  // ascending j: ties keep shortest
+    if (dp[m][j] <= max_edits && (!best || dp[m][j] < best->first)) {
+      best = {{dp[m][j], static_cast<uint32_t>(j)}};
+    }
+  }
+  return best;
+}
+
+// Canonicalizes like the indexes do (DNA case folding); bytes outside
+// the alphabet stay raw and never equal a canonical character.
+std::string Canonical(const Alphabet& alphabet, const std::string& s) {
+  std::string out(s);
+  for (char& c : out) {
+    const Code code = alphabet.Encode(c);
+    if (code != kInvalidCode) c = alphabet.Decode(code);
+  }
+  return out;
+}
+
+std::vector<Hit> OracleMismatch(const Alphabet& alphabet,
+                                const std::string& text,
+                                const std::string& pattern, uint32_t k) {
+  std::vector<Hit> hits;
+  const size_t m = pattern.size();
+  if (m == 0 || k >= m || text.size() < m) return hits;
+  for (size_t start = 0; start + m <= text.size(); ++start) {
+    uint32_t mm = 0;
+    for (size_t i = 0; i < m && mm <= k; ++i) {
+      if (alphabet.Encode(text[start + i]) != alphabet.Encode(pattern[i])) {
+        ++mm;
+      }
+    }
+    if (mm <= k) {
+      hits.push_back({static_cast<uint32_t>(start),
+                      static_cast<uint32_t>(m), mm});
+    }
+  }
+  return hits;
+}
+
+std::vector<Hit> OracleEdit(const Alphabet& alphabet, const std::string& text,
+                            const std::string& pattern, uint32_t d) {
+  std::vector<Hit> hits;
+  const size_t m = pattern.size();
+  if (m == 0 || d >= m || text.empty()) return hits;
+  const std::string canonical_pattern = Canonical(alphabet, pattern);
+  const std::string canonical_text = Canonical(alphabet, text);
+  for (size_t start = 0; start < text.size(); ++start) {
+    const size_t limit = std::min(start + m + d, text.size());
+    const std::string window = canonical_text.substr(start, limit - start);
+    if (window.size() + d < m) continue;  // too close to the end
+    const auto best = OracleBestPrefix(canonical_pattern, window, d);
+    if (best.has_value()) {
+      hits.push_back({static_cast<uint32_t>(start), best->second,
+                      best->first});
+    }
+  }
+  return hits;
+}
+
+std::vector<Hit> OracleApprox(const Alphabet& alphabet,
+                              const std::string& text, const Query& query) {
+  return query.kind == QueryKind::kMismatch
+             ? OracleMismatch(alphabet, text, query.pattern,
+                              query.max_errors)
+             : OracleEdit(alphabet, text, query.pattern, query.max_errors);
+}
+
+// --- the query grid --------------------------------------------------------
+
+// Approximate queries over one corpus: exact slices (k=0/d=0), slices
+// perturbed by substitutions / indels up to the budget, and random
+// near-misses. k in 0..4, d in 0..3, every budget represented.
+std::vector<Query> ApproxQueries(const std::string& corpus, Rng& rng) {
+  const auto corpus_char = [&] {
+    return corpus[rng.Below(corpus.size())];
+  };
+  const auto slice = [&](size_t len) {
+    return corpus.substr(rng.Below(corpus.size() - len), len);
+  };
+  std::vector<Query> queries;
+  for (uint32_t k = 0; k <= 4; ++k) {
+    std::string pattern = slice(8 + 3 * k);
+    for (uint32_t s = 0; s < k; ++s) {  // k substitutions: a planted hit
+      pattern[rng.Below(pattern.size())] = corpus_char();
+    }
+    queries.push_back(Query::Mismatch(pattern, k));
+    queries.push_back(Query::Mismatch(slice(6 + k), k));  // unperturbed
+  }
+  for (uint32_t d = 0; d <= 3; ++d) {
+    std::string pattern = slice(9 + 4 * d);
+    for (uint32_t e = 0; e < d; ++e) {  // mixed edits: a planted hit
+      const size_t at = rng.Below(pattern.size());
+      switch (rng.Below(3)) {
+        case 0: pattern[at] = corpus_char(); break;
+        case 1: pattern.insert(at, 1, corpus_char()); break;
+        default: pattern.erase(at, 1); break;
+      }
+    }
+    queries.push_back(Query::EditDistance(pattern, d));
+    queries.push_back(Query::EditDistance(slice(7 + d), d));
+  }
+  // Random patterns: mostly misses, occasionally lucky near-hits.
+  for (uint32_t i = 0; i < 4; ++i) {
+    std::string pattern;
+    for (uint32_t j = 0; j < 10; ++j) pattern.push_back(corpus_char());
+    queries.push_back(i % 2 == 0 ? Query::Mismatch(pattern, 2)
+                                 : Query::EditDistance(pattern, 2));
+  }
+  return queries;
+}
+
+// Restores kernel auto-selection however a test exits.
+struct KernelRestore {
+  ~KernelRestore() { (void)kernel::ForceByName("auto"); }
+};
+
+void ExpectMatchesOracle(const core::Index& index, const Alphabet& alphabet,
+                         const std::string& corpus,
+                         const std::vector<Query>& queries,
+                         const std::string& tag) {
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Query& query = queries[i];
+    if (!index.capabilities().Supports(query.kind)) continue;
+    const QueryResult result = index.Execute(query);
+    ASSERT_TRUE(result.ok())
+        << tag << ": query " << i << " failed: " << result.error;
+    const std::vector<Hit> expected = OracleApprox(alphabet, corpus, query);
+    EXPECT_EQ(result.hits, expected)
+        << tag << ": hits diverge from the oracle on query " << i << " ("
+        << QueryKindName(query.kind) << ":" << query.max_errors
+        << " pattern \"" << query.pattern << "\")";
+    EXPECT_EQ(result.found, !expected.empty()) << tag << ": query " << i;
+  }
+}
+
+// --- the differential grids ------------------------------------------------
+
+// Every in-memory backend (and the naive adapter, itself a second
+// independent implementation), under every supported kernel, on DNA
+// and protein corpora.
+TEST(ApproxDifferentialTest, FleetMatchesOracleUnderEveryKernel) {
+  KernelRestore restore;
+  struct Corpus {
+    const char* name;
+    Alphabet alphabet;
+    std::string text;
+  };
+  Rng rng(20260808);
+  const std::vector<Corpus> corpora = {
+      {"dna", Alphabet::Dna(), TestCorpus(8000, 7)},
+      {"protein", Alphabet::Protein(), RandomProtein(rng, 5000)},
+  };
+  for (const Corpus& corpus : corpora) {
+    BackendFleet fleet(corpus.alphabet, corpus.text);
+    ASSERT_TRUE(fleet.ok()) << fleet.error();
+    Rng query_rng(corpus.text.size());
+    const std::vector<Query> queries = ApproxQueries(corpus.text, query_rng);
+    for (const kernel::Kind kind : kernel::SupportedKinds()) {
+      ASSERT_TRUE(kernel::Force(kind).ok());
+      for (const core::Index* index : fleet.indexes()) {
+        ExpectMatchesOracle(
+            *index, corpus.alphabet, corpus.text, queries,
+            std::string(corpus.name) + "/" +
+                std::string(core::IndexKindName(index->kind())) +
+                "/kernel=" + std::string(kernel::KindName(kind)));
+      }
+    }
+  }
+}
+
+// Every persistent artifact kind, reopened through the registry under
+// every open path, under every kernel.
+TEST(ApproxDifferentialTest, PersistentBackendsMatchOracleOnEveryOpenPath) {
+  KernelRestore restore;
+  const std::string corpus = TestCorpus(8000, 13);
+  ScopedTempDir dir;
+  std::vector<PersistentArtifact> artifacts;
+  std::string error;
+  ASSERT_TRUE(SavePersistentArtifacts(Alphabet::Dna(), corpus, dir,
+                                      &artifacts, &error))
+      << error;
+
+  Rng rng(99);
+  const std::vector<Query> queries = ApproxQueries(corpus, rng);
+  for (const kernel::Kind kind : kernel::SupportedKinds()) {
+    ASSERT_TRUE(kernel::Force(kind).ok());
+    for (const PersistentArtifact& artifact : artifacts) {
+      for (const char* spec : {"heap", "mmap", "mmap-noverify"}) {
+        Result<OpenOptions> options = ParseOpenSpec(spec);
+        ASSERT_TRUE(options.ok());
+        auto opened = BackendRegistry::Default().Open(artifact.path, *options);
+        ASSERT_TRUE(opened.ok())
+            << artifact.name << "/" << spec << ": "
+            << opened.status().ToString();
+        ExpectMatchesOracle(**opened, Alphabet::Dna(), corpus, queries,
+                            artifact.name + "/" + spec + "/kernel=" +
+                                std::string(kernel::KindName(kind)));
+      }
+    }
+  }
+}
+
+// A zero budget is exact search: the hit stream must be bit-identical
+// to kFindAll — positions, lengths and the zeroed error field.
+TEST(ApproxDifferentialTest, ZeroBudgetIsBitIdenticalToFindAll) {
+  const std::string corpus = TestCorpus(4000, 21);
+  BackendFleet fleet(Alphabet::Dna(), corpus);
+  ASSERT_TRUE(fleet.ok()) << fleet.error();
+  const std::vector<std::string> patterns = {
+      corpus.substr(100, 12), corpus.substr(777, 8), corpus.substr(1, 30),
+      "TTTTTTTTTTTTGGGGGGACGT",  // almost surely absent
+  };
+  for (const core::Index* index : fleet.indexes()) {
+    const std::string tag(core::IndexKindName(index->kind()));
+    for (const std::string& pattern : patterns) {
+      if (!index->capabilities().Supports(QueryKind::kMismatch)) continue;
+      const QueryResult exact = index->Execute(Query::FindAll(pattern));
+      const QueryResult mismatch =
+          index->Execute(Query::Mismatch(pattern, 0));
+      const QueryResult edit =
+          index->Execute(Query::EditDistance(pattern, 0));
+      ASSERT_TRUE(exact.ok() && mismatch.ok() && edit.ok()) << tag;
+      EXPECT_EQ(mismatch.hits, exact.hits) << tag << " \"" << pattern << "\"";
+      EXPECT_EQ(edit.hits, exact.hits) << tag << " \"" << pattern << "\"";
+      EXPECT_EQ(mismatch.found, exact.found) << tag;
+      EXPECT_EQ(edit.found, exact.found) << tag;
+    }
+  }
+}
+
+// --- edge cases ------------------------------------------------------------
+
+// Empty patterns and budget >= pattern length are degenerate, not
+// errors: every window qualifies vacuously, which the query surface
+// defines as an empty kOk answer — on every backend, including the
+// sharded family (whose admission check must not fire first).
+TEST(ApproxDifferentialTest, DegenerateBudgetsYieldEmptyOk) {
+  const std::string corpus = TestCorpus(3000, 5);
+  BackendFleet fleet(Alphabet::Dna(), corpus);
+  ASSERT_TRUE(fleet.ok()) << fleet.error();
+  const std::vector<Query> degenerate = {
+      Query::Mismatch("", 0),
+      Query::EditDistance("", 2),
+      Query::Mismatch("ACG", 3),       // k == m
+      Query::Mismatch("ACG", 7),       // k > m
+      Query::EditDistance("ACGT", 4),  // d == m
+      Query::EditDistance("AC", 1000000000),
+  };
+  for (const core::Index* index : fleet.indexes()) {
+    for (const Query& query : degenerate) {
+      if (!index->capabilities().Supports(query.kind)) continue;
+      const QueryResult result = index->Execute(query);
+      const std::string tag =
+          std::string(core::IndexKindName(index->kind())) + " " +
+          std::string(QueryKindName(query.kind)) + ":" +
+          std::to_string(query.max_errors) + " \"" + query.pattern + "\"";
+      EXPECT_EQ(result.status_code, StatusCode::kOk) << tag;
+      EXPECT_TRUE(result.hits.empty()) << tag;
+      EXPECT_FALSE(result.found) << tag;
+    }
+  }
+}
+
+// A pattern with fewer than budget+1 seedable characters per piece
+// cannot use the seed path (the planner refuses seeds shorter than its
+// floor); the scan fallback must still produce oracle answers.
+TEST(ApproxDifferentialTest, PatternsTooShortToSeedStillMatchOracle) {
+  const std::string corpus = TestCorpus(3000, 17);
+  BackendFleet fleet(Alphabet::Dna(), corpus);
+  ASSERT_TRUE(fleet.ok()) << fleet.error();
+  const std::vector<Query> queries = {
+      Query::Mismatch(corpus.substr(40, 4), 2),      // pieces of length 1
+      Query::Mismatch(corpus.substr(500, 5), 3),     // 4 pieces over 5 chars
+      Query::EditDistance(corpus.substr(60, 4), 2),  // window 6, seeds of 1
+      Query::EditDistance(corpus.substr(900, 5), 3),
+  };
+  for (const core::Index* index : fleet.indexes()) {
+    ExpectMatchesOracle(*index, Alphabet::Dna(), corpus, queries,
+                        std::string(core::IndexKindName(index->kind())) +
+                            "/short-pattern");
+  }
+}
+
+// Out-of-alphabet pattern bytes never match any indexed character:
+// they consume budget at their position (mismatch) or force an edit,
+// exactly as the oracle computes.
+TEST(ApproxDifferentialTest, OutOfAlphabetPatternBytesMatchOracle) {
+  const std::string corpus = TestCorpus(3000, 29);
+  BackendFleet fleet(Alphabet::Dna(), corpus);
+  ASSERT_TRUE(fleet.ok()) << fleet.error();
+  std::string one_bad = corpus.substr(120, 12);
+  one_bad[5] = '#';
+  std::string two_bad = corpus.substr(840, 14);
+  two_bad[0] = '!';
+  two_bad[13] = '?';
+  const std::vector<Query> queries = {
+      Query::Mismatch(one_bad, 1),  // the '#' spends the whole budget
+      Query::Mismatch(one_bad, 0),  // no budget: can never match
+      Query::Mismatch(two_bad, 2),
+      Query::EditDistance(one_bad, 1),
+      Query::EditDistance(two_bad, 2),
+  };
+  for (const core::Index* index : fleet.indexes()) {
+    ExpectMatchesOracle(*index, Alphabet::Dna(), corpus, queries,
+                        std::string(core::IndexKindName(index->kind())) +
+                            "/out-of-alphabet");
+  }
+}
+
+// Shard families: hits straddling a shard-core boundary come from the
+// overlap margin, and the admission rule accounts for the edit-widened
+// window (m + d), not the bare pattern length.
+TEST(ApproxDifferentialTest, ShardBoundaryStraddlesAndMarginAdmission) {
+  const std::string corpus = TestCorpus(2000, 31);
+  auto family = shard::ShardedIndex::Build(Alphabet::Dna(), corpus,
+                                           {.shards = 4, .max_pattern = 16});
+  ASSERT_TRUE(family.ok()) << family.status().ToString();
+
+  // Patterns planted across the approximate core boundaries (n/4
+  // apart), perturbed so only the approximate kinds can find them.
+  std::vector<Query> straddling;
+  for (const size_t boundary : {corpus.size() / 4, corpus.size() / 2,
+                                3 * corpus.size() / 4}) {
+    std::string pattern = corpus.substr(boundary - 6, 12);
+    pattern[6] = pattern[6] == 'A' ? 'C' : 'A';
+    straddling.push_back(Query::Mismatch(pattern, 1));
+    straddling.push_back(Query::EditDistance(pattern, 1));
+  }
+  for (size_t i = 0; i < straddling.size(); ++i) {
+    const Query& query = straddling[i];
+    const QueryResult result = (*family)->Execute(query);
+    ASSERT_TRUE(result.ok()) << i << ": " << result.error;
+    EXPECT_EQ(result.hits, OracleApprox(Alphabet::Dna(), corpus, query))
+        << "straddle query " << i << " (pattern \"" << query.pattern
+        << "\")";
+    EXPECT_TRUE(result.found) << "planted straddle hit missing, query " << i;
+  }
+
+  // Admission: a mismatch window is the pattern length; an edit window
+  // is m + d. Both must fit the overlap margin (max_pattern = 16).
+  const std::string p14 = corpus.substr(3, 14);
+  const std::string p15 = corpus.substr(3, 15);
+  const std::string p16 = corpus.substr(3, 16);
+  const std::string p17 = corpus.substr(3, 17);
+  EXPECT_TRUE((*family)->Execute(Query::Mismatch(p16, 2)).ok());
+  EXPECT_TRUE((*family)->Execute(Query::EditDistance(p14, 2)).ok());
+  const QueryResult too_wide_mm =
+      (*family)->Execute(Query::Mismatch(p17, 2));
+  EXPECT_EQ(too_wide_mm.status_code, StatusCode::kInvalidArgument);
+  EXPECT_NE(too_wide_mm.error.find("overlap margin"), std::string::npos)
+      << too_wide_mm.error;
+  const QueryResult too_wide_edit =
+      (*family)->Execute(Query::EditDistance(p15, 2));
+  EXPECT_EQ(too_wide_edit.status_code, StatusCode::kInvalidArgument);
+  EXPECT_NE(too_wide_edit.error.find("overlap margin"), std::string::npos)
+      << too_wide_edit.error;
+  // The same pattern with a smaller edit budget fits again.
+  EXPECT_TRUE((*family)->Execute(Query::EditDistance(p15, 1)).ok());
+}
+
+// An expired deadline yields kDeadlineExceeded with no payload — never
+// partial hits reported as kOk — even when it fires mid-extend.
+TEST(ApproxDifferentialTest, ExpiredDeadlineYieldsDeadlineNotPartialHits) {
+  const std::string corpus = TestCorpus(6000, 37);
+  BackendFleet fleet(Alphabet::Dna(), corpus);
+  ASSERT_TRUE(fleet.ok()) << fleet.error();
+  std::string pattern = corpus.substr(50, 16);
+  pattern[8] = pattern[8] == 'A' ? 'C' : 'A';
+  for (const core::Index* index : fleet.indexes()) {
+    if (!index->capabilities().Supports(QueryKind::kMismatch)) continue;
+    for (const Query& query :
+         {Query::Mismatch(pattern, 2), Query::EditDistance(pattern, 2)}) {
+      const CancelToken expired{Deadline::AfterMicros(0)};
+      const QueryResult result = index->Execute(query, nullptr, &expired);
+      const std::string tag =
+          std::string(core::IndexKindName(index->kind())) + "/" +
+          std::string(QueryKindName(query.kind));
+      EXPECT_EQ(result.status_code, StatusCode::kDeadlineExceeded) << tag;
+      EXPECT_TRUE(result.hits.empty()) << tag;
+      EXPECT_FALSE(result.found) << tag;
+    }
+  }
+}
+
+// The engine's cache key must include the error budget: the same
+// pattern under different budgets is a different query, never a stale
+// cache hit.
+TEST(ApproxDifferentialTest, CacheKeysDistinguishErrorBudgets) {
+  const std::string corpus = TestCorpus(4000, 41);
+  CompactSpineIndex compact(Alphabet::Dna());
+  ASSERT_TRUE(compact.AppendString(corpus).ok());
+  const core::CompactSpineAdapter adapter(compact);
+
+  std::string pattern = corpus.substr(200, 12);
+  pattern[6] = pattern[6] == 'A' ? 'C' : 'A';  // 1-mismatch planted hit
+  engine::QueryEngine engine({.threads = 2, .cache_bytes = 1 << 20});
+  const std::vector<Query> queries = {
+      Query::Mismatch(pattern, 0), Query::Mismatch(pattern, 1),
+      Query::Mismatch(pattern, 1),  // a genuine repeat MAY hit the cache
+      Query::EditDistance(pattern, 0), Query::EditDistance(pattern, 1),
+  };
+  const std::vector<QueryResult> results =
+      engine.ExecuteBatch(adapter, queries);
+  ASSERT_EQ(results.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(results[i].hits,
+              OracleApprox(Alphabet::Dna(), corpus, queries[i]))
+        << "query " << i;
+  }
+  // The planted hit separates the budgets: invisible at 0, found at 1.
+  EXPECT_TRUE(results[0].hits.empty());
+  EXPECT_FALSE(results[1].hits.empty());
+  EXPECT_EQ(results[2].hits, results[1].hits);
+}
+
+}  // namespace
+}  // namespace spine::test

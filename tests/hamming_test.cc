@@ -1,5 +1,9 @@
 // Tests for the k-mismatch (Hamming) DFS search and the classical
-// substring utilities (longest repeated / longest common substring).
+// substring utilities (longest repeated / longest common substring),
+// plus the tie between the align-module search and the core
+// kMismatch query kind: same corpora (tests/test_util.h), same
+// answers, and the approx.* / core.* registry counters move exactly
+// with the SearchStats the queries report.
 
 #include "align/hamming.h"
 
@@ -10,11 +14,17 @@
 
 #include "common/rng.h"
 #include "compact/compact_spine.h"
+#include "core/query.h"
 #include "core/spine_index.h"
 #include "seq/generator.h"
+#include "test_util.h"
 
 namespace spine::align {
 namespace {
+
+using spine::test::RandomString;
+using spine::test::RegistryDelta;
+using spine::test::TestCorpus;
 
 std::vector<HammingHit> BruteHamming(const std::string& text,
                                      const std::string& pattern,
@@ -43,8 +53,7 @@ TEST(HammingTest, ExactEqualsZeroMismatch) {
 TEST(HammingTest, OneMismatchFindsVariants) {
   CompactSpineIndex index(Alphabet::Dna());
   ASSERT_TRUE(index.AppendString("AAAATCGAAAA").ok());
-  // "TGGA" vs the text: "TCGA" at 4 has 1 mismatch... actually 2
-  // (G!=C at offset 1 is one; G==G at 2; A==A) -> exactly 1.
+  // "TGGA" vs the text: "TCGA" at 4 differs only at offset 1.
   auto hits = FindHammingMatches(index, "TGGA", 1);
   bool found = false;
   for (const auto& hit : hits) {
@@ -67,27 +76,77 @@ TEST(HammingTest, DegenerateInputs) {
 
 TEST(HammingTest, MatchesBruteForceOracle) {
   Rng rng(2718);
-  const char* letters = "ACGT";
   for (int round = 0; round < 40; ++round) {
     uint32_t n = 20 + static_cast<uint32_t>(rng.Below(200));
     uint32_t sigma = 2 + static_cast<uint32_t>(rng.Below(3));
-    std::string text;
-    for (uint32_t i = 0; i < n; ++i) text.push_back(letters[rng.Below(sigma)]);
+    const std::string text = RandomString(rng, n, sigma);
     CompactSpineIndex index(Alphabet::Dna());
     ASSERT_TRUE(index.AppendString(text).ok());
     for (int trial = 0; trial < 6; ++trial) {
       uint32_t m = 3 + static_cast<uint32_t>(rng.Below(8));
       if (m > n) continue;
-      std::string pattern;
-      for (uint32_t i = 0; i < m; ++i) {
-        pattern.push_back(letters[rng.Below(sigma)]);
-      }
+      const std::string pattern = RandomString(rng, m, sigma);
       uint32_t k = static_cast<uint32_t>(rng.Below(3));
       ASSERT_EQ(FindHammingMatches(index, pattern, k),
                 BruteHamming(text, pattern, k))
           << "text=" << text << " pattern=" << pattern << " k=" << k;
     }
   }
+}
+
+// The DFS search and the core kMismatch kind (seed-and-extend through
+// ExecuteQuery) answer from the same structure and must agree hit for
+// hit — and the query path must leave an exact trail in the metrics
+// registry: one routing decision per query, one approx.verified per
+// hit, and Table-6 work counters equal to the summed SearchStats.
+TEST(HammingTest, AgreesWithCoreMismatchKindAndRecordsMetrics) {
+  Rng rng(4242);
+  const std::string corpus = TestCorpus(6000, 11);
+  CompactSpineIndex index(Alphabet::Dna());
+  ASSERT_TRUE(index.AppendString(corpus).ok());
+
+  RegistryDelta delta;
+  SearchStats expected;
+  uint64_t queries = 0;
+  uint64_t total_hits = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const uint32_t m = 10 + static_cast<uint32_t>(rng.Below(10));
+    const uint32_t start =
+        static_cast<uint32_t>(rng.Below(corpus.size() - m));
+    std::string pattern = corpus.substr(start, m);
+    const uint32_t k = static_cast<uint32_t>(rng.Below(3));
+    // Perturb up to k characters so inexact hits actually occur.
+    for (uint32_t e = 0; e < k; ++e) {
+      pattern[rng.Below(m)] = "ACGT"[rng.Below(4)];
+    }
+
+    QueryResult result = ExecuteQuery(index, Query::Mismatch(pattern, k));
+    ASSERT_TRUE(result.ok()) << result.error;
+    expected.Add(result.stats);
+    ++queries;
+    total_hits += result.hits.size();
+
+    const std::vector<HammingHit> dfs = FindHammingMatches(index, pattern, k);
+    ASSERT_EQ(result.hits.size(), dfs.size()) << "k=" << k;
+    for (size_t i = 0; i < dfs.size(); ++i) {
+      EXPECT_EQ(result.hits[i].pos, dfs[i].data_pos);
+      EXPECT_EQ(result.hits[i].length, pattern.size());
+      EXPECT_EQ(result.hits[i].query_pos, dfs[i].mismatches);
+    }
+  }
+  EXPECT_GT(total_hits, 0u);
+
+  SPINE_SKIP_IF_OBS_DISABLED();
+  // FindHammingMatches is not a query: only the ExecuteQuery half of
+  // the loop shows up in the registry.
+  EXPECT_EQ(delta.Counter("core.queries.mismatch"), queries);
+  EXPECT_EQ(delta.Counter("approx.seeded") + delta.Counter("approx.scanned"),
+            queries);
+  EXPECT_EQ(delta.Counter("approx.verified"), total_hits);
+  EXPECT_GE(delta.Counter("approx.candidates"),
+            delta.Counter("approx.verified"));
+  EXPECT_EQ(delta.Counter("core.vertebra_steps"), expected.nodes_checked);
+  EXPECT_GT(expected.nodes_checked, 0u);
 }
 
 TEST(UtilitiesTest, LongestRepeatedSubstring) {
@@ -105,11 +164,9 @@ TEST(UtilitiesTest, LongestRepeatedSubstring) {
 
 TEST(UtilitiesTest, LongestRepeatedSubstringOracle) {
   Rng rng(31);
-  const char* letters = "ACGT";
   for (int round = 0; round < 40; ++round) {
     uint32_t n = 5 + static_cast<uint32_t>(rng.Below(80));
-    std::string s;
-    for (uint32_t i = 0; i < n; ++i) s.push_back(letters[rng.Below(2)]);
+    const std::string s = RandomString(rng, n, 2);
     SpineIndex index(Alphabet::Dna());
     ASSERT_TRUE(index.AppendString(s).ok());
     // Brute force: longest substring with >= 2 occurrences.

@@ -36,30 +36,8 @@ using storage::PageFile;
 using storage::ReplacementPolicy;
 using FaultKind = FaultInjectingBackend::FaultKind;
 using spine::test::RandomDna;
+using spine::test::RegistryDelta;
 using spine::test::TempPath;
-
-#if defined(SPINE_OBS_DISABLED)
-#define SPINE_SKIP_IF_OBS_DISABLED() \
-  GTEST_SKIP() << "capture sites compiled out (SPINE_OBS=OFF)"
-#else
-#define SPINE_SKIP_IF_OBS_DISABLED() \
-  do {                               \
-  } while (false)
-#endif
-
-// Counter deltas against a baseline snapshot of the default registry.
-class RegistryDelta {
- public:
-  RegistryDelta() : before_(obs::Registry::Default().Snapshot()) {}
-
-  uint64_t Counter(const std::string& name) const {
-    return obs::Registry::Default().Snapshot().counter(name) -
-           before_.counter(name);
-  }
-
- private:
-  obs::MetricsSnapshot before_;
-};
 
 // Writes `pages` dense checksummed pages into a fresh PageFile.
 Result<PageFile> MakePageFile(const std::string& path, uint64_t pages,
@@ -234,20 +212,33 @@ TEST(MetricsInvariantTest, MatcherCountersMatchSearchStats) {
 
   RegistryDelta delta;
   SearchStats expected;
-  uint64_t per_kind[4] = {0, 0, 0, 0};
+  uint64_t per_kind[kQueryKindCount] = {};
+  uint64_t approx_hits = 0;
   for (int i = 0; i < 200; ++i) {
     const uint32_t start = static_cast<uint32_t>(rng.Below(s.size() - 40));
     Query query;
-    switch (i % 4) {
+    switch (i % 6) {
       case 0: query = Query::Contains(s.substr(start, 4 + rng.Below(10))); break;
       case 1: query = Query::FindAll(s.substr(start, 3 + rng.Below(8))); break;
       case 2: query = Query::MaximalMatches(RandomDna(rng, 32), 5); break;
-      default: query = Query::MatchingStats(RandomDna(rng, 20)); break;
+      case 3: query = Query::MatchingStats(RandomDna(rng, 20)); break;
+      case 4:
+        query = Query::Mismatch(s.substr(start, 12 + rng.Below(8)),
+                                rng.Below(3));
+        break;
+      default:
+        query = Query::EditDistance(s.substr(start, 12 + rng.Below(8)),
+                                    rng.Below(3));
+        break;
     }
     QueryResult result = ExecuteQuery(index, query);
     ASSERT_TRUE(result.ok());
     expected.Add(result.stats);
     ++per_kind[static_cast<size_t>(query.kind)];
+    if (query.kind == QueryKind::kMismatch ||
+        query.kind == QueryKind::kEditDistance) {
+      approx_hits += result.hits.size();
+    }
   }
 
   EXPECT_EQ(delta.Counter("core.vertebra_steps"), expected.nodes_checked);
@@ -257,6 +248,15 @@ TEST(MetricsInvariantTest, MatcherCountersMatchSearchStats) {
   EXPECT_EQ(delta.Counter("core.queries.findall"), per_kind[1]);
   EXPECT_EQ(delta.Counter("core.queries.match"), per_kind[2]);
   EXPECT_EQ(delta.Counter("core.queries.ms"), per_kind[3]);
+  EXPECT_EQ(delta.Counter("core.queries.mismatch"), per_kind[4]);
+  EXPECT_EQ(delta.Counter("core.queries.editdist"), per_kind[5]);
+  // Every approximate query records exactly one routing decision, and
+  // the verified-window counter is exactly the hits it returned.
+  EXPECT_EQ(delta.Counter("approx.seeded") + delta.Counter("approx.scanned"),
+            per_kind[4] + per_kind[5]);
+  EXPECT_EQ(delta.Counter("approx.verified"), approx_hits);
+  EXPECT_GE(delta.Counter("approx.candidates"),
+            delta.Counter("approx.verified"));
   EXPECT_GT(expected.nodes_checked, 0u);
 }
 

@@ -257,7 +257,9 @@ TEST_F(ServeTest, GracefulDrainAnswersEveryAcceptedQuery) {
 
   // Draining servers refuse new connections outright.
   Result<Client> late = Client::Connect("127.0.0.1", server.port());
-  if (late.ok()) EXPECT_FALSE(late->ReceiveResponse().ok());
+  if (late.ok()) {
+    EXPECT_FALSE(late->ReceiveResponse().ok());
+  }
 }
 
 TEST_F(ServeTest, StatsVerbReportsServerCountersOverBothDialects) {
@@ -362,11 +364,12 @@ TEST_F(ServeTest, BinaryFrameWhoseLengthLowByteIsBraceStaysBinary) {
   Result<Client> client = Client::Connect("127.0.0.1", server.port());
   ASSERT_TRUE(client.ok());
 
-  // A 99-byte pattern makes the frame length 123 (99 + 24 fixed bytes,
-  // deadline word included) — so the first wire byte is '{' (0x7b, the
-  // little-endian low byte). The dialect sniff must still classify the
-  // connection as binary, not kill it as malformed JSON.
-  const Query query = Query::FindAll(corpus_->substr(0, 99));
+  // A 95-byte pattern makes the frame length 123 (95 + 28 fixed bytes,
+  // deadline and max_errors words included) — so the first wire byte is
+  // '{' (0x7b, the little-endian low byte). The dialect sniff must
+  // still classify the connection as binary, not kill it as malformed
+  // JSON.
+  const Query query = Query::FindAll(corpus_->substr(0, 95));
   std::string frame;
   wire::AppendRequestFrame({42, query}, &frame);
   ASSERT_EQ(frame[0], '{');  // the premise of the regression

@@ -13,9 +13,38 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
 #include "seq/generator.h"
 
+// Guards assertions that require live metric capture sites. In the
+// SPINE_OBS_DISABLED build flavor the sites compile out and the
+// registry legitimately stays flat, so such assertions skip.
+#if defined(SPINE_OBS_DISABLED)
+#define SPINE_SKIP_IF_OBS_DISABLED() \
+  GTEST_SKIP() << "capture sites compiled out (SPINE_OBS=OFF)"
+#else
+#define SPINE_SKIP_IF_OBS_DISABLED() \
+  do {                               \
+  } while (false)
+#endif
+
 namespace spine::test {
+
+// Counter deltas against a baseline snapshot of the default registry.
+// Tests must measure deltas (after minus before) because the default
+// registry is shared process-wide.
+class RegistryDelta {
+ public:
+  RegistryDelta() : before_(obs::Registry::Default().Snapshot()) {}
+
+  uint64_t Counter(const std::string& name) const {
+    return obs::Registry::Default().Snapshot().counter(name) -
+           before_.counter(name);
+  }
+
+ private:
+  obs::MetricsSnapshot before_;
+};
 
 // Path under gtest's per-run temp directory. Callers pick distinct
 // names per test; the directory is shared across the binary.

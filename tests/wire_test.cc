@@ -28,11 +28,16 @@ std::vector<QueryRequest> AllKindsRequests() {
       {2, Query::Contains("TTTT")},
       {7, Query::MaximalMatches("ACGTACGTACGT", 5, true)},
       {99, Query::MatchingStats("GATTACA")},
+      {12, Query::Mismatch("GATTACA", 2)},
+      {13, Query::EditDistance("ACGTTGCA", 3)},
   };
   // Mixed deadlines — absent (0), small, and the full-range maximum —
-  // so every round-trip test below also proves deadline_ms survives.
+  // so every round-trip test below also proves deadline_ms survives;
+  // one approximate request carries a deadline too, so both trailing
+  // words coexist on the wire.
   requests[1].query.deadline_ms = 250;
   requests[2].query.deadline_ms = std::numeric_limits<uint32_t>::max();
+  requests[4].query.deadline_ms = 9000;
   return requests;
 }
 
@@ -237,16 +242,20 @@ TEST(WireBinaryTest, TruncatedPayloadsNeverDecode) {
 
   // Strip the 6-byte frame header, then feed every strict payload
   // prefix to the decoder: each must fail cleanly, none may crash.
-  // Exception by design: the prefix that drops exactly the trailing
-  // deadline_ms word is the pre-deadline payload shape, which the
-  // version-tolerant decoder accepts with deadline_ms == 0.
+  // Exceptions by design: the prefix that drops exactly the trailing
+  // max_errors word is the pre-approx payload shape (deadline intact,
+  // max_errors == 0), and the one that also drops the deadline word is
+  // the pre-deadline shape (both 0) — the version-tolerant decoder
+  // accepts both.
   const std::string request_payload = request_frame.substr(6);
   for (size_t len = 0; len < request_payload.size(); ++len) {
     Result<QueryRequest> decoded =
         DecodeRequest(std::string_view(request_payload).substr(0, len));
-    if (len == request_payload.size() - 4) {
+    if (len == request_payload.size() - 4 ||
+        len == request_payload.size() - 8) {
       ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
       EXPECT_EQ(decoded->query.deadline_ms, 0u);
+      EXPECT_EQ(decoded->query.max_errors, 0u);
       continue;
     }
     EXPECT_FALSE(decoded.ok()) << "payload prefix " << len;
@@ -435,8 +444,9 @@ TEST(WireDeadlineTest, BinaryPayloadWithTrailingJunkIsRejected) {
   std::string buffer;
   AppendRequestFrame({5, Query::FindAll("ACGT")}, &buffer);
   const std::string payload = buffer.substr(6);
-  // Any tail other than exactly 0 or 4 extra bytes after the pattern is
-  // malformed — 1..3 and 5+ junk bytes must all be kProtocolError.
+  // Any tail other than exactly 0, 4 or 8 extra bytes after the pattern
+  // is malformed; the payload already carries the full 8-byte tail, so
+  // every junk extension here must be kProtocolError.
   for (size_t extra : {1u, 2u, 3u, 5u, 8u}) {
     std::string junk = payload + std::string(extra, '\xff');
     Result<QueryRequest> decoded = DecodeRequest(junk);
@@ -478,6 +488,144 @@ TEST(WireDeadlineTest, JsonJunkDeadlinesAreRejectedAndOverflowClamps) {
   Result<QueryRequest> frac = ParseRequestJson(envelope("2.9"));
   ASSERT_TRUE(frac.ok()) << frac.status().ToString();
   EXPECT_EQ(frac->query.deadline_ms, 2u);
+}
+
+// --- max_errors on the wire (the approximate-query PR) ----------------------
+
+// The full truncation matrix over the version-tolerant tail: relative
+// to the pattern end, exactly 0, 4 and 8 trailing bytes are the three
+// accepted payload shapes; every other length is a protocol error.
+TEST(WireApproxTest, BinaryTailMatrixAcceptsExactlyThreeShapes) {
+  QueryRequest request{21, Query::Mismatch("GATTACA", 3)};
+  request.query.deadline_ms = 777;
+  std::string buffer;
+  AppendRequestFrame(request, &buffer);
+  const std::string payload = buffer.substr(6);
+  const size_t base = payload.size() - 8;  // the pattern ends here
+  for (size_t tail = 0; tail <= 8; ++tail) {
+    Result<QueryRequest> decoded =
+        DecodeRequest(std::string_view(payload).substr(0, base + tail));
+    if (tail == 0) {  // pre-deadline shape: both fields default
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(decoded->query.deadline_ms, 0u);
+      EXPECT_EQ(decoded->query.max_errors, 0u);
+    } else if (tail == 4) {  // pre-approx shape: deadline survives
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(decoded->query.deadline_ms, 777u);
+      EXPECT_EQ(decoded->query.max_errors, 0u);
+    } else if (tail == 8) {  // current shape: everything survives
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_EQ(*decoded, request);
+    } else {
+      EXPECT_FALSE(decoded.ok()) << "tail " << tail;
+      EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError)
+          << "tail " << tail;
+    }
+  }
+  // Junk beyond the full tail is rejected at every length tried —
+  // including another 4/8 bytes, which must not read as more fields.
+  for (size_t extra : {1u, 2u, 3u, 4u, 5u, 8u}) {
+    Result<QueryRequest> decoded =
+        DecodeRequest(payload + std::string(extra, '\x7f'));
+    EXPECT_FALSE(decoded.ok()) << extra << " junk bytes";
+    EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError) << extra;
+  }
+}
+
+TEST(WireApproxTest, JsonOmitsZeroBudgetAndEmitsNonzero) {
+  QueryRequest request{1, Query::Mismatch("ACGT", 0)};
+  EXPECT_EQ(RequestToJson(request).find("max_errors"), std::string::npos);
+  request.query.max_errors = 2;
+  const std::string line = RequestToJson(request);
+  EXPECT_NE(line.find("\"max_errors\":2"), std::string::npos) << line;
+  Result<QueryRequest> decoded = ParseRequestJson(line);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->query.max_errors, 2u);
+  EXPECT_EQ(decoded->query.kind, QueryKind::kMismatch);
+}
+
+TEST(WireApproxTest, JsonJunkBudgetsAreRejectedAndOverflowClamps) {
+  const auto envelope = [](const char* errors) {
+    return std::string(
+               "{\"v\":1,\"type\":\"query\",\"kind\":\"edit\","
+               "\"pattern\":\"ACGT\",\"max_errors\":") +
+           errors + "}";
+  };
+  // Non-numbers and negatives are protocol errors, same as deadline_ms.
+  for (const char* bad : {"\"2\"", "null", "[2]", "-1", "-4294967296"}) {
+    Result<QueryRequest> decoded = ParseRequestJson(envelope(bad));
+    EXPECT_FALSE(decoded.ok()) << bad;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kProtocolError) << bad;
+  }
+  // Budgets past uint32 range clamp instead of wrapping; any budget
+  // >= the pattern length is equally degenerate anyway.
+  Result<QueryRequest> huge =
+      ParseRequestJson(envelope("18446744073709551616"));
+  ASSERT_TRUE(huge.ok()) << huge.status().ToString();
+  EXPECT_EQ(huge->query.max_errors, std::numeric_limits<uint32_t>::max());
+  // Fractional budgets truncate toward zero.
+  Result<QueryRequest> frac = ParseRequestJson(envelope("1.9"));
+  ASSERT_TRUE(frac.ok()) << frac.status().ToString();
+  EXPECT_EQ(frac->query.max_errors, 1u);
+}
+
+TEST(WireApproxTest, QueryTextParsesBudgetsAndRejectsMalformedSuffixes) {
+  std::optional<Query> q = ParseQueryText("mismatch:2 GATTACA", 10);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->kind, QueryKind::kMismatch);
+  EXPECT_EQ(q->pattern, "GATTACA");
+  EXPECT_EQ(q->max_errors, 2u);
+
+  q = ParseQueryText("edit:1@250 ACGT", 10);  // combined with a deadline
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->kind, QueryKind::kEditDistance);
+  EXPECT_EQ(q->max_errors, 1u);
+  EXPECT_EQ(q->deadline_ms, 250u);
+
+  q = ParseQueryText("mismatch ACGT", 10);  // budget defaults to 0
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->kind, QueryKind::kMismatch);
+  EXPECT_EQ(q->max_errors, 0u);
+
+  // Overflow saturates at the uint32 max, same as the JSON dialect.
+  q = ParseQueryText("edit:18446744073709551616 ACGT", 10);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->kind, QueryKind::kEditDistance);
+  EXPECT_EQ(q->max_errors, std::numeric_limits<uint32_t>::max());
+
+  // Malformed suffixes — non-digits, negatives, a budget on an exact
+  // kind — degrade the whole line to a findall pattern, the same rule
+  // as any other unrecognized first word.
+  for (const char* line : {"mismatch:-1 ACGT", "edit:2x ACGT",
+                           "mismatch: ACGT", "findall:2 ACGT",
+                           "edit:1:2 ACGT"}) {
+    q = ParseQueryText(line, 10);
+    ASSERT_TRUE(q.has_value()) << line;
+    EXPECT_EQ(q->kind, QueryKind::kFindAll) << line;
+    EXPECT_EQ(q->pattern, line) << line;
+    EXPECT_EQ(q->max_errors, 0u) << line;
+  }
+}
+
+TEST(WireApproxTest, PrintsApproxSummariesAndCapsTheListing) {
+  std::ostringstream out;
+  QueryResult mismatch;
+  mismatch.hits = {{3, 7, 1}, {9, 7, 0}};
+  PrintResultSummary(out, Query::Mismatch("GATTACA", 1), mismatch);
+  EXPECT_EQ(out.str(), "2 hit(s) within 1 mismatch(es) 3:1 9:0");
+
+  out.str("");
+  QueryResult edit;
+  edit.hits = {{5, 6, 2}};
+  PrintResultSummary(out, Query::EditDistance("ACGTACG", 2), edit);
+  EXPECT_EQ(out.str(), "1 hit(s) within 2 edit(s) 5:6:2");
+
+  out.str("");
+  QueryResult many;
+  for (uint32_t i = 0; i < 5; ++i) many.hits.push_back({i, 4, 1});
+  PrintResultSummary(out, Query::Mismatch("ACGT", 1), many,
+                     /*max_listed=*/2);
+  EXPECT_EQ(out.str(), "5 hit(s) within 1 mismatch(es) 0:1 1:1 (+3 more)");
 }
 
 // --- lifecycle mutate envelopes (docs/LIFECYCLE.md) -------------------------

@@ -84,13 +84,19 @@ constexpr const char* kUsage =
     "  gbuild <input.fa> <index.spineg> [--alphabet=dna|protein|ascii]\n"
     "      index EVERY record of a multi-FASTA file together\n"
     "  gquery <index.spineg> <pattern>\n"
-    "  query <index> <pattern> [--deadline-ms=N]\n"
+    "  query <index> <pattern> [--kind=K] [--errors=N] [--min-len=N]\n"
+    "        [--deadline-ms=N]\n"
+    "      --kind is one of findall (default), contains, match, ms,\n"
+    "      mismatch, edit; the approximate kinds take --errors=N (the\n"
+    "      k-mismatch / edit-distance budget, docs/QUERIES.md)\n"
     "  batch <index> <patterns.txt> [--threads=N] [--cache-mb=M] "
     "[--min-len=N] [--deadline-ms=N] [--trace]\n"
     "      run a batch of queries concurrently; each line of patterns.txt\n"
     "      is 'PATTERN' or 'KIND PATTERN' with KIND one of findall,\n"
-    "      contains, match, ms; KIND@MS sets a per-line deadline, and\n"
-    "      --deadline-ms sets the default for lines without one\n"
+    "      contains, match, ms, mismatch, edit; the approximate kinds\n"
+    "      take a KIND:ERRORS budget suffix ('mismatch:2 abra');\n"
+    "      KIND@MS sets a per-line deadline, and --deadline-ms sets the\n"
+    "      default for lines without one\n"
     "  serve <artifact> [--port=N] [--host=ADDR] [--threads=N]\n"
     "        [--queue-cap=N] [--max-inflight=N] [--max-connections=N]\n"
     "        [--cache-mb=M] [--min-len=N] [--trace]\n"
@@ -113,8 +119,10 @@ constexpr const char* kUsage =
     "  compact <family.spinefam>\n"
     "      merge every frozen shard into one compact image, dropping\n"
     "      tombstoned documents and their tombstones\n"
-    "  approx <index.spine> <pattern> [--max-edits=K]\n"
-    "  hamming <index.spine> <pattern> [--max-mismatches=K]\n"
+    "  approx <index> <pattern> [--max-edits=K]\n"
+    "      sugar for 'query --kind=edit --errors=K'\n"
+    "  hamming <index> <pattern> [--max-mismatches=K]\n"
+    "      sugar for 'query --kind=mismatch --errors=K'\n"
     "  lrs <index.spine>\n"
     "  stats <index> [--json]\n"
     "      index statistics; --json emits the versioned stats snapshot\n"
@@ -421,6 +429,18 @@ int CmdQuery(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
       OpenIndex(args, args.positional[0]);
   if (!index.ok()) return Fail(err, index.status());
   Query query = Query::FindAll(args.positional[1]);
+  if (auto it = args.options.find("kind"); it != args.options.end()) {
+    const std::optional<QueryKind> kind = core::wire::KindFromName(it->second);
+    if (!kind) {
+      return Fail(err, Status::InvalidArgument("unknown query kind '" +
+                                               it->second + "'"));
+    }
+    query.kind = *kind;
+  }
+  query.min_len = std::max<uint32_t>(
+      1, static_cast<uint32_t>(OptionU64(args, "min-len").value_or(1)));
+  query.max_errors =
+      static_cast<uint32_t>(OptionU64(args, "errors").value_or(0));
   query.deadline_ms =
       static_cast<uint32_t>(OptionU64(args, "deadline-ms").value_or(0));
   // The single-query path has no engine to pin the budget, so pin it
@@ -854,25 +874,33 @@ int CmdCompact(const ParsedArgs& args, std::ostream& out,
   return 0;
 }
 
+// `approx` and `hamming` are thin sugar over the unified query surface
+// (`query --kind=edit|mismatch --errors=K`): they route through
+// OpenIndex and Query like every other query command, so any artifact
+// kind, open mode and kernel override works here too.
 int CmdApprox(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
   if (args.positional.size() != 2) {
-    err << "approx requires <index.spine> <pattern>\n";
+    err << "approx requires <index> <pattern>\n";
     return kExitUsage;
   }
-  Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
-  if (!index.ok()) return Fail(err, index.status());
   const std::string& pattern = args.positional[1];
-  uint32_t max_edits =
+  const uint32_t max_edits =
       static_cast<uint32_t>(OptionU64(args, "max-edits").value_or(1));
   if (max_edits >= pattern.size()) {
     return Fail(err, Status::InvalidArgument(
                          "max-edits must be smaller than the pattern"));
   }
-  auto hits = align::FindApproximate(*index, pattern, max_edits);
-  out << hits.size() << " hit(s) within " << max_edits << " edit(s)\n";
-  for (const auto& hit : hits) {
-    out << "  pos " << hit.data_pos << " len " << hit.length << " edits "
-        << hit.edits << "\n";
+  Result<std::unique_ptr<core::Index>> index =
+      OpenIndex(args, args.positional[0]);
+  if (!index.ok()) return Fail(err, index.status());
+  const Query query = Query::EditDistance(pattern, max_edits);
+  QueryResult result = (*index)->Execute(query, nullptr, nullptr);
+  if (!result.ok()) return FailResult(err, result);
+  out << result.hits.size() << " hit(s) within " << max_edits
+      << " edit(s)\n";
+  for (const Hit& hit : result.hits) {
+    out << "  pos " << hit.pos << " len " << hit.length << " edits "
+        << hit.query_pos << "\n";
   }
   return 0;
 }
@@ -880,19 +908,22 @@ int CmdApprox(const ParsedArgs& args, std::ostream& out, std::ostream& err) {
 int CmdHamming(const ParsedArgs& args, std::ostream& out,
                std::ostream& err) {
   if (args.positional.size() != 2) {
-    err << "hamming requires <index.spine> <pattern>\n";
+    err << "hamming requires <index> <pattern>\n";
     return kExitUsage;
   }
-  Result<CompactSpineIndex> index = LoadCompactSpine(args.positional[0]);
-  if (!index.ok()) return Fail(err, index.status());
   const std::string& pattern = args.positional[1];
-  uint32_t max_mm =
+  const uint32_t max_mm =
       static_cast<uint32_t>(OptionU64(args, "max-mismatches").value_or(1));
-  auto hits = align::FindHammingMatches(*index, pattern, max_mm);
-  out << hits.size() << " hit(s) within " << max_mm << " mismatch(es)\n";
-  for (const auto& hit : hits) {
-    out << "  pos " << hit.data_pos << " mismatches " << hit.mismatches
-        << "\n";
+  Result<std::unique_ptr<core::Index>> index =
+      OpenIndex(args, args.positional[0]);
+  if (!index.ok()) return Fail(err, index.status());
+  const Query query = Query::Mismatch(pattern, max_mm);
+  QueryResult result = (*index)->Execute(query, nullptr, nullptr);
+  if (!result.ok()) return FailResult(err, result);
+  out << result.hits.size() << " hit(s) within " << max_mm
+      << " mismatch(es)\n";
+  for (const Hit& hit : result.hits) {
+    out << "  pos " << hit.pos << " mismatches " << hit.query_pos << "\n";
   }
   return 0;
 }

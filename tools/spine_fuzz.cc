@@ -330,7 +330,7 @@ int FuzzWireFrames(spine::Rng& rng, uint64_t* checks) {
   const auto random_request = [&] {
     wire::QueryRequest request;
     request.id = rng.Next();
-    request.query.kind = static_cast<QueryKind>(rng.Below(4));
+    request.query.kind = static_cast<QueryKind>(rng.Below(6));
     request.query.pattern = random_pattern(24);
     request.query.min_len = 1 + static_cast<uint32_t>(rng.Below(8));
     request.query.expand_occurrences = rng.Chance(0.5);
@@ -341,6 +341,15 @@ int FuzzWireFrames(spine::Rng& rng, uint64_t* checks) {
         : rng.Chance(0.5)
             ? 1 + static_cast<uint32_t>(rng.Below(10000))
             : static_cast<uint32_t>(rng.Next());
+    // Error budgets (the approximate-query PR): zero, small — often
+    // larger than the pattern — and full-range values, on every kind
+    // (the binary tail carries max_errors unconditionally, and a
+    // budget on an exact kind is legal on the wire; the engine just
+    // ignores it).
+    request.query.max_errors =
+        rng.Chance(0.4) ? 0
+        : rng.Chance(0.5) ? 1 + static_cast<uint32_t>(rng.Below(32))
+                          : static_cast<uint32_t>(rng.Next());
     return request;
   };
   const auto random_response = [&] {
@@ -600,9 +609,11 @@ int FuzzWireFrames(spine::Rng& rng, uint64_t* checks) {
     } else if (!request_roundtrips(*parsed)) {
       return Fail("hostile deadline parsed but does not round-trip", "", line);
     }
-    // Binary: a pre-deadline (20-byte fixed fields) payload must still
-    // decode — with deadline_ms == 0 — and any other tail length must be
-    // rejected as kProtocolError.
+    // Binary: both legacy tails must still decode — dropping the
+    // trailing max_errors word (pre-approx shape) keeps the deadline
+    // and yields max_errors == 0; dropping deadline + max_errors
+    // (pre-deadline shape) yields zero for both. Any other tail length
+    // must be rejected as kProtocolError.
     wire::QueryRequest request = random_request();
     std::string bytes;
     wire::AppendRequestFrame(request, &bytes);
@@ -612,10 +623,21 @@ int FuzzWireFrames(spine::Rng& rng, uint64_t* checks) {
       return Fail("valid request frame failed to extract", "", "");
     }
     std::string payload(frame.payload);
-    std::string old_shape = payload.substr(0, payload.size() - 4);
-    auto old_decoded = wire::DecodeRequest(old_shape);
-    if (!old_decoded.ok() || old_decoded->query.deadline_ms != 0 ||
-        old_decoded->query.pattern != request.query.pattern) {
+    std::string pre_approx = payload.substr(0, payload.size() - 4);
+    auto pre_approx_decoded = wire::DecodeRequest(pre_approx);
+    if (!pre_approx_decoded.ok() ||
+        pre_approx_decoded->query.deadline_ms != request.query.deadline_ms ||
+        pre_approx_decoded->query.max_errors != 0 ||
+        pre_approx_decoded->query.pattern != request.query.pattern) {
+      return Fail("pre-approx request payload no longer decodes", "",
+                  request.query.pattern);
+    }
+    std::string pre_deadline = payload.substr(0, payload.size() - 8);
+    auto pre_deadline_decoded = wire::DecodeRequest(pre_deadline);
+    if (!pre_deadline_decoded.ok() ||
+        pre_deadline_decoded->query.deadline_ms != 0 ||
+        pre_deadline_decoded->query.max_errors != 0 ||
+        pre_deadline_decoded->query.pattern != request.query.pattern) {
       return Fail("pre-deadline request payload no longer decodes", "",
                   request.query.pattern);
     }
@@ -623,6 +645,91 @@ int FuzzWireFrames(spine::Rng& rng, uint64_t* checks) {
     if (auto odd = wire::DecodeRequest(odd_tail); odd.ok()) {
       return Fail("request payload with trailing junk decoded silently", "",
                   request.query.pattern);
+    }
+  }
+
+  // --- max_errors hostile inputs (the approximate-query PR) ---------------
+  // Junk, overflow, negative, and larger-than-the-pattern error budgets
+  // must yield either a valid request (clamped to uint32, round-trips)
+  // or kProtocolError — never UB, never a partial parse.
+  for (int trial = 0; trial < 3; ++trial) {
+    ++*checks;
+    static const char* kHostileErrors[] = {
+        "0",     "2",           "7",          "4294967295",
+        "4294967296",           "18446744073709551616",
+        "-1",    "-2147483648", "1e300",      "0.5",
+        "\"2\"", "null",        "[2]",        "1e-300",
+    };
+    const char* hostile =
+        kHostileErrors[rng.Below(std::size(kHostileErrors))];
+    std::string line =
+        "{\"v\":1,\"type\":\"query\",\"id\":1,\"kind\":\"";
+    line += rng.Chance(0.5) ? "mismatch" : "edit";
+    line += "\",\"pattern\":\"ACG\",\"max_errors\":";
+    line += hostile;
+    line += "}";
+    auto parsed = wire::ParseRequestJson(line);
+    if (!parsed.ok()) {
+      if (parsed.status().code() != StatusCode::kProtocolError) {
+        return Fail("hostile max_errors rejection used '" +
+                        parsed.status().ToString() +
+                        "' instead of kProtocolError",
+                    "", line);
+      }
+    } else if (!request_roundtrips(*parsed)) {
+      return Fail("hostile max_errors parsed but does not round-trip", "",
+                  line);
+    }
+  }
+
+  // --- query text: approximate kinds and hostile suffixes ------------------
+  // Well-formed "KIND:ERRORS[@MS] PATTERN" lines must parse to exactly
+  // the requested query; hostile suffixes (negative, overflow,
+  // non-digit, budget on an exact kind) must never crash, and whatever
+  // does parse must survive a canonical re-render round-trip.
+  for (int trial = 0; trial < 4; ++trial) {
+    ++*checks;
+    const bool edit = rng.Chance(0.5);
+    const uint32_t errors = static_cast<uint32_t>(rng.Below(6));
+    const uint32_t deadline = static_cast<uint32_t>(rng.Below(500));
+    const std::string pattern = "A" + random_pattern(7);
+    std::string line = edit ? "edit" : "mismatch";
+    line += ":" + std::to_string(errors);
+    if (deadline > 0) line += "@" + std::to_string(deadline);
+    line += " " + pattern;
+    std::optional<Query> query = wire::ParseQueryText(line, 1);
+    if (!query ||
+        query->kind != (edit ? QueryKind::kEditDistance
+                             : QueryKind::kMismatch) ||
+        query->pattern != pattern || query->max_errors != errors ||
+        query->deadline_ms != deadline) {
+      return Fail("canonical approx query text did not parse", "", line);
+    }
+    static const char* kHostileSuffixes[] = {
+        ":-1",  ":18446744073709551616", ":2x", ":",  ":@", "::2",
+        ":2@",  ":99999999999@99999999999",
+    };
+    std::string hostile_kind = edit ? "edit" : "mismatch";
+    if (rng.Chance(0.3)) hostile_kind = "findall";  // budget on exact kind
+    std::string hostile_line =
+        hostile_kind + kHostileSuffixes[rng.Below(std::size(kHostileSuffixes))] +
+        " " + pattern;
+    std::optional<Query> hostile = wire::ParseQueryText(hostile_line, 1);
+    if (hostile && (hostile->kind == QueryKind::kMismatch ||
+                    hostile->kind == QueryKind::kEditDistance)) {
+      // Saturating budgets are the only accepted approx parse; it must
+      // re-render and re-parse to the same query.
+      std::string rerender =
+          std::string(hostile->kind == QueryKind::kEditDistance ? "edit"
+                                                                : "mismatch") +
+          ":" + std::to_string(hostile->max_errors) + " " + hostile->pattern;
+      std::optional<Query> again = wire::ParseQueryText(rerender, 1);
+      if (!again || again->kind != hostile->kind ||
+          again->pattern != hostile->pattern ||
+          again->max_errors != hostile->max_errors) {
+        return Fail("hostile approx query text does not round-trip", "",
+                    hostile_line);
+      }
     }
   }
 
